@@ -1,0 +1,60 @@
+// Shared reporting helpers for the experiment benches.
+//
+// Every bench binary regenerates one experiment family from the paper's
+// evaluation (see DESIGN.md §3) and prints rows of the form
+//
+//   [experiment id]  description  paper=<value>  measured=<value>  method
+//
+// so that bench output can be diffed against EXPERIMENTS.md.
+#ifndef RWL_BENCH_BENCH_UTIL_H_
+#define RWL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/inference.h"
+
+namespace rwl::bench {
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n==== %s ====\n", title);
+}
+
+inline std::string AnswerToString(const Answer& answer) {
+  char buf[128];
+  switch (answer.status) {
+    case Answer::Status::kPoint:
+      std::snprintf(buf, sizeof(buf), "%.4f", answer.value);
+      return buf;
+    case Answer::Status::kInterval:
+      std::snprintf(buf, sizeof(buf), "[%.4f, %.4f]", answer.lo, answer.hi);
+      return buf;
+    case Answer::Status::kNonexistent:
+      return "nonexistent";
+    case Answer::Status::kUndefined:
+      return "undefined (no worlds)";
+    case Answer::Status::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+inline void PrintRow(const std::string& id, const std::string& what,
+                     const std::string& paper, const Answer& answer) {
+  std::printf("  [%-18s] %-46s paper=%-14s measured=%-18s via %s\n",
+              id.c_str(), what.c_str(), paper.c_str(),
+              AnswerToString(answer).c_str(),
+              answer.method.empty() ? "-" : answer.method.c_str());
+}
+
+inline void PrintValueRow(const std::string& id, const std::string& what,
+                          const std::string& paper, double measured,
+                          const std::string& method) {
+  std::printf("  [%-18s] %-46s paper=%-14s measured=%-18.4f via %s\n",
+              id.c_str(), what.c_str(), paper.c_str(), measured,
+              method.c_str());
+}
+
+}  // namespace rwl::bench
+
+#endif  // RWL_BENCH_BENCH_UTIL_H_

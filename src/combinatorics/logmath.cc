@@ -1,0 +1,78 @@
+#include "src/combinatorics/logmath.h"
+
+#include <cmath>
+#include <mutex>
+
+namespace rwl {
+namespace {
+
+// Cache of log(n!) for n < kCacheSize, built on first use.
+constexpr int kCacheSize = 1 << 16;
+
+const std::vector<double>& FactorialCache() {
+  static const std::vector<double>* cache = [] {
+    auto* v = new std::vector<double>(kCacheSize);
+    (*v)[0] = 0.0;
+    for (int i = 1; i < kCacheSize; ++i) {
+      (*v)[i] = (*v)[i - 1] + std::log(static_cast<double>(i));
+    }
+    return v;
+  }();
+  return *cache;
+}
+
+}  // namespace
+
+double LogFactorial(int64_t n) {
+  if (n < 0) return kNegInf;
+  if (n < kCacheSize) return FactorialCache()[n];
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogBinomial(int64_t n, int64_t k) {
+  if (k < 0 || k > n || n < 0) return kNegInf;
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double LogMultinomial(int64_t n, const std::vector<int64_t>& parts) {
+  double result = LogFactorial(n);
+  for (int64_t p : parts) {
+    if (p < 0) return kNegInf;
+    result -= LogFactorial(p);
+  }
+  return result;
+}
+
+double LogFallingFactorial(int64_t n, int64_t k) {
+  if (k < 0 || n < k) return kNegInf;
+  return LogFactorial(n) - LogFactorial(n - k);
+}
+
+void LogSumExp::Add(double log_x) {
+  if (log_x == kNegInf) return;
+  if (max_ == kNegInf) {
+    max_ = log_x;
+    sum_ = 1.0;
+    return;
+  }
+  if (log_x <= max_) {
+    sum_ += std::exp(log_x - max_);
+  } else {
+    sum_ = sum_ * std::exp(max_ - log_x) + 1.0;
+    max_ = log_x;
+  }
+}
+
+double LogSumExp::Value() const {
+  if (max_ == kNegInf) return kNegInf;
+  return max_ + std::log(sum_);
+}
+
+double LogAdd(double a, double b) {
+  LogSumExp acc;
+  acc.Add(a);
+  acc.Add(b);
+  return acc.Value();
+}
+
+}  // namespace rwl

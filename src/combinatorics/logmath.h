@@ -1,0 +1,56 @@
+// Log-space combinatorics kernel.
+//
+// All world-counting in rwl happens in log-space: the number of worlds over a
+// domain of size N grows like 2^(kN), so raw counts overflow immediately.
+// This header provides cached log-factorials, log-binomials, log-multinomials
+// and a numerically stable log-sum-exp accumulator.
+#ifndef RWL_COMBINATORICS_LOGMATH_H_
+#define RWL_COMBINATORICS_LOGMATH_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace rwl {
+
+// Natural log of n!, exact via lgamma.  Cached for small n.
+double LogFactorial(int64_t n);
+
+// Natural log of C(n, k).  Returns -inf when the coefficient is zero
+// (k < 0 or k > n).
+double LogBinomial(int64_t n, int64_t k);
+
+// Natural log of the multinomial coefficient N! / (n_1! ... n_m!).
+// Requires sum(parts) == n; returns -inf if any part is negative.
+double LogMultinomial(int64_t n, const std::vector<int64_t>& parts);
+
+// Natural log of the falling factorial n * (n-1) * ... * (n-k+1).
+// Returns 0 for k == 0 and -inf when n < k.
+double LogFallingFactorial(int64_t n, int64_t k);
+
+inline constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Streaming log-sum-exp: accumulates log(sum_i exp(x_i)) without overflow.
+class LogSumExp {
+ public:
+  LogSumExp() = default;
+
+  // Adds a term with log-value `log_x` (use kNegInf for a zero term).
+  void Add(double log_x);
+
+  // log of the accumulated sum; kNegInf if empty or all terms were zero.
+  double Value() const;
+
+  bool IsZero() const { return max_ == kNegInf; }
+
+ private:
+  double max_ = kNegInf;
+  double sum_ = 0.0;  // sum of exp(x_i - max_)
+};
+
+// log(exp(a) + exp(b)), stable.
+double LogAdd(double a, double b);
+
+}  // namespace rwl
+
+#endif  // RWL_COMBINATORICS_LOGMATH_H_

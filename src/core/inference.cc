@@ -1,0 +1,215 @@
+#include "src/core/inference.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/engines/exact_engine.h"
+#include "src/engines/maxent_engine.h"
+#include "src/engines/profile_engine.h"
+#include "src/engines/symbolic_engine.h"
+#include "src/logic/parser.h"
+#include "src/logic/transform.h"
+
+namespace rwl {
+
+std::string StatusToString(Answer::Status status) {
+  switch (status) {
+    case Answer::Status::kPoint:
+      return "point";
+    case Answer::Status::kInterval:
+      return "interval";
+    case Answer::Status::kNonexistent:
+      return "nonexistent";
+    case Answer::Status::kUndefined:
+      return "undefined";
+    case Answer::Status::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+Answer DegreeOfBelief(const KnowledgeBase& kb, const logic::FormulaPtr& query,
+                      const InferenceOptions& options) {
+  // Build a vocabulary covering KB and query symbols.
+  logic::Vocabulary vocabulary = kb.vocabulary();
+  logic::RegisterSymbols(query, &vocabulary);
+  logic::FormulaPtr kb_formula = kb.AsFormula();
+
+  Answer answer;
+
+  // 0. Known domain size (footnote 9): evaluate Pr_N^τ directly at N.
+  if (options.fixed_domain_size > 0) {
+    const int n = options.fixed_domain_size;
+    engines::ProfileEngine profile;
+    engines::ExactEngine exact;
+    const engines::FiniteEngine* engine = nullptr;
+    if (options.use_profile &&
+        profile.Supports(vocabulary, kb_formula, query, n)) {
+      engine = &profile;
+    } else if (options.use_exact_fallback &&
+               exact.Supports(vocabulary, kb_formula, query, n)) {
+      engine = &exact;
+    }
+    if (engine != nullptr) {
+      engines::FiniteResult fr = engine->DegreeAt(
+          vocabulary, kb_formula, query, n, options.tolerances);
+      if (fr.exhausted) {
+        answer.status = Answer::Status::kUnknown;
+        answer.explanation = "work budget exhausted at the fixed N";
+        return answer;
+      }
+      if (!fr.well_defined) {
+        answer.status = Answer::Status::kUndefined;
+        answer.method = engine == &profile ? "profile @ fixed N"
+                                           : "exact @ fixed N";
+        answer.explanation = "no worlds satisfy the KB at this (N, τ)";
+        return answer;
+      }
+      answer.status = Answer::Status::kPoint;
+      answer.value = fr.probability;
+      answer.lo = answer.hi = fr.probability;
+      answer.method = engine == &profile ? "profile @ fixed N"
+                                         : "exact @ fixed N";
+      answer.converged = true;
+      return answer;
+    }
+    answer.status = Answer::Status::kUnknown;
+    answer.explanation = "no engine supports the fixed domain size";
+    return answer;
+  }
+
+  // 1. Symbolic theorems: exact Pr_∞, full language.
+  if (options.use_symbolic) {
+    engines::SymbolicEngine symbolic;
+    engines::SymbolicAnswer sa = symbolic.Infer(kb_formula, query);
+    if (sa.status == engines::SymbolicAnswer::Status::kNonexistent) {
+      answer.status = Answer::Status::kNonexistent;
+      answer.method = sa.rule;
+      answer.explanation = sa.explanation;
+      return answer;
+    }
+    if (sa.status == engines::SymbolicAnswer::Status::kInterval) {
+      answer.method = sa.rule;
+      answer.explanation = sa.explanation;
+      answer.converged = true;
+      if (sa.is_point()) {
+        answer.status = Answer::Status::kPoint;
+        answer.value = sa.lo;
+        answer.lo = answer.hi = sa.lo;
+        return answer;
+      }
+      answer.status = Answer::Status::kInterval;
+      answer.lo = sa.lo;
+      answer.hi = sa.hi;
+      // Keep the interval, but fall through: a numeric engine may sharpen
+      // it to a point.
+    }
+  }
+
+  // 2. Profile engine sweep (unary KBs).
+  if (options.use_profile) {
+    engines::ProfileEngine profile;
+    bool any_supported = false;
+    for (int n : options.limit.domain_sizes) {
+      any_supported =
+          any_supported || profile.Supports(vocabulary, kb_formula, query, n);
+    }
+    if (any_supported) {
+      engines::LimitResult lr =
+          engines::EstimateLimit(profile, vocabulary, kb_formula, query,
+                                 options.tolerances, options.limit);
+      answer.series = lr.series;
+      if (lr.never_defined) {
+        answer.status = Answer::Status::kUndefined;
+        answer.method = "profile sweep";
+        answer.explanation = "no worlds satisfy the KB at any sampled (N, τ)";
+        return answer;
+      }
+      if (lr.value.has_value()) {
+        answer.status = Answer::Status::kPoint;
+        answer.value = *lr.value;
+        answer.lo = answer.hi = *lr.value;
+        answer.method = answer.method.empty()
+                            ? "profile sweep"
+                            : answer.method + " + profile sweep";
+        answer.converged = lr.converged;
+        return answer;
+      }
+    }
+  }
+
+  // 3. Maximum-entropy limit (unary KBs within the linear fragment).
+  if (options.use_maxent) {
+    engines::MaxEntEngine maxent;
+    engines::MaxEntEngine::LimitResultME mr = maxent.InferLimit(
+        vocabulary, kb_formula, query, options.tolerances);
+    if (mr.supported) {
+      answer.status = Answer::Status::kPoint;
+      answer.value = mr.value;
+      answer.lo = answer.hi = mr.value;
+      answer.method = answer.method.empty() ? "maximum entropy"
+                                            : answer.method +
+                                                  " + maximum entropy";
+      answer.converged = mr.converged;
+      return answer;
+    }
+  }
+
+  // 4. Exact enumeration fallback for tiny instances.
+  if (options.use_exact_fallback) {
+    engines::ExactEngine exact;
+    engines::LimitOptions small;
+    small.domain_sizes = {2, 3, 4, 5, 6};
+    small.tolerance_scales = options.limit.tolerance_scales;
+    bool any = false;
+    for (int n : small.domain_sizes) {
+      any = any || exact.Supports(vocabulary, kb_formula, query, n);
+    }
+    if (any) {
+      engines::LimitResult lr = engines::EstimateLimit(
+          exact, vocabulary, kb_formula, query, options.tolerances, small);
+      answer.series = lr.series;
+      if (lr.value.has_value()) {
+        answer.status = Answer::Status::kPoint;
+        answer.value = *lr.value;
+        answer.lo = answer.hi = *lr.value;
+        answer.method = answer.method.empty()
+                            ? "exact enumeration (small N)"
+                            : answer.method + " + exact enumeration";
+        answer.converged = lr.converged;
+        return answer;
+      }
+    }
+  }
+
+  // The symbolic interval (if any) is the best we have.
+  if (answer.status == Answer::Status::kInterval) return answer;
+  answer.status = Answer::Status::kUnknown;
+  if (answer.explanation.empty()) {
+    answer.explanation = "no engine applies to this (KB, query) pair";
+  }
+  return answer;
+}
+
+Answer ConditionalDegreeOfBelief(const KnowledgeBase& kb,
+                                 const logic::FormulaPtr& query,
+                                 const logic::FormulaPtr& evidence,
+                                 const InferenceOptions& options) {
+  KnowledgeBase conditioned = kb;
+  conditioned.Add(evidence);
+  return DegreeOfBelief(conditioned, query, options);
+}
+
+Answer DegreeOfBelief(const KnowledgeBase& kb, std::string_view query,
+                      const InferenceOptions& options) {
+  logic::ParseResult parsed = logic::ParseFormula(query);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "rwl: query parse error: %s\n",
+                 parsed.error.c_str());
+    std::abort();
+  }
+  return DegreeOfBelief(kb, parsed.formula, options);
+}
+
+}  // namespace rwl

@@ -1,0 +1,80 @@
+// Inference: the public entry point for computing degrees of belief.
+//
+// Routes a (KB, query) pair through the available engines:
+//
+//   1. the symbolic engine (closed-form Pr_∞ via the paper's theorems;
+//      works for the full language),
+//   2. the profile engine (exact Pr_N^τ for unary KBs, swept over growing N
+//      and shrinking τ to estimate the limit),
+//   3. the maximum-entropy engine (the true N→∞ limit for unary KBs),
+//   4. the exact enumeration engine (tiny instances; mostly for validation).
+//
+// and reports a point value or interval together with which method produced
+// it and the convergence series (the data behind the paper-style
+// convergence figures).
+#ifndef RWL_CORE_INFERENCE_H_
+#define RWL_CORE_INFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/knowledge_base.h"
+#include "src/engines/engine.h"
+#include "src/logic/formula.h"
+#include "src/semantics/tolerance.h"
+
+namespace rwl {
+
+struct InferenceOptions {
+  // Base tolerance vector (scaled down during the τ → 0 sweep).
+  semantics::ToleranceVector tolerances{0.05};
+  engines::LimitOptions limit;
+  bool use_symbolic = true;
+  bool use_profile = true;
+  bool use_maxent = true;
+  bool use_exact_fallback = true;
+  // Footnote 9: when the true domain size is known (and small enough to
+  // matter), compute Pr_N^τ at exactly this N instead of taking the
+  // N → ∞ limit.  0 means unknown (take limits).
+  int fixed_domain_size = 0;
+};
+
+struct Answer {
+  enum class Status {
+    kPoint,        // Pr_∞ = value
+    kInterval,     // Pr_∞ ∈ [lo, hi]
+    kNonexistent,  // the limit provably does not exist
+    kUndefined,    // KB not eventually consistent (no worlds)
+    kUnknown,      // no engine could decide
+  };
+  Status status = Status::kUnknown;
+  double value = 0.0;
+  double lo = 0.0;
+  double hi = 1.0;
+  std::string method;
+  std::string explanation;
+  bool converged = false;
+  std::vector<engines::SeriesPoint> series;
+};
+
+Answer DegreeOfBelief(const KnowledgeBase& kb, const logic::FormulaPtr& query,
+                      const InferenceOptions& options = {});
+
+// Convenience: parses the query from textual syntax.  Aborts on parse
+// errors (tests and examples pass literals).
+Answer DegreeOfBelief(const KnowledgeBase& kb, std::string_view query,
+                      const InferenceOptions& options = {});
+
+// Pr(φ | KB ∧ ψ): conditioning on additional evidence ψ.  By Proposition
+// 5.2, when KB |∼rw ψ this equals Pr(φ | KB); in general it is the degree
+// of belief after learning ψ.
+Answer ConditionalDegreeOfBelief(const KnowledgeBase& kb,
+                                 const logic::FormulaPtr& query,
+                                 const logic::FormulaPtr& evidence,
+                                 const InferenceOptions& options = {});
+
+std::string StatusToString(Answer::Status status);
+
+}  // namespace rwl
+
+#endif  // RWL_CORE_INFERENCE_H_

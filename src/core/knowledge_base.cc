@@ -1,0 +1,48 @@
+#include "src/core/knowledge_base.h"
+
+#include <sstream>
+
+#include "src/logic/parser.h"
+#include "src/logic/printer.h"
+#include "src/logic/transform.h"
+
+namespace rwl {
+
+void KnowledgeBase::Add(const logic::FormulaPtr& formula) {
+  for (const auto& conjunct : logic::Conjuncts(formula)) {
+    logic::RegisterSymbols(conjunct, &vocabulary_);
+    conjuncts_.push_back(conjunct);
+  }
+}
+
+bool KnowledgeBase::AddParsed(std::string_view text, std::string* error) {
+  logic::ParseResult result = logic::ParseKnowledgeBase(text);
+  if (!result.ok()) {
+    if (error != nullptr) {
+      std::ostringstream message;
+      message << result.error << " at offset " << result.error_offset;
+      *error = message.str();
+    }
+    return false;
+  }
+  Add(result.formula);
+  return true;
+}
+
+void KnowledgeBase::RegisterQuerySymbols(const logic::FormulaPtr& query) {
+  logic::RegisterSymbols(query, &vocabulary_);
+}
+
+logic::FormulaPtr KnowledgeBase::AsFormula() const {
+  return logic::Formula::AndAll(conjuncts_);
+}
+
+std::string KnowledgeBase::ToString() const {
+  std::ostringstream out;
+  for (const auto& conjunct : conjuncts_) {
+    out << logic::ToString(conjunct) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace rwl

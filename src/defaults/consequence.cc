@@ -1,0 +1,25 @@
+#include "src/defaults/consequence.h"
+
+namespace rwl::defaults {
+
+ConsequenceResult RwEntails(const KnowledgeBase& kb,
+                            const logic::FormulaPtr& query,
+                            const InferenceOptions& options, double slack) {
+  ConsequenceResult result;
+  result.answer = DegreeOfBelief(kb, query, options);
+  switch (result.answer.status) {
+    case Answer::Status::kPoint:
+      result.decided = true;
+      result.entails = result.answer.value >= 1.0 - slack;
+      break;
+    case Answer::Status::kInterval:
+      result.decided = true;
+      result.entails = result.answer.lo >= 1.0 - slack;
+      break;
+    default:
+      break;
+  }
+  return result;
+}
+
+}  // namespace rwl::defaults

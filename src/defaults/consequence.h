@@ -1,0 +1,29 @@
+// The random-worlds default-consequence relation |∼rw (Section 5.1):
+//
+//   KB |∼rw φ   iff   Pr_∞(φ | KB) = 1.
+//
+// Defaults "A's are typically B's" enter the KB through their statistical
+// interpretation ||B|A||_x ≈_i 1 (Section 4.3; logic::Default builds it).
+#ifndef RWL_DEFAULTS_CONSEQUENCE_H_
+#define RWL_DEFAULTS_CONSEQUENCE_H_
+
+#include "src/core/inference.h"
+#include "src/core/knowledge_base.h"
+
+namespace rwl::defaults {
+
+struct ConsequenceResult {
+  bool entails = false;      // Pr_∞(φ|KB) = 1 (within numeric tolerance)
+  bool decided = false;      // an engine produced an answer at all
+  Answer answer;             // the underlying degree of belief
+};
+
+// Numeric threshold: a swept/solved probability above 1 - slack counts as 1.
+ConsequenceResult RwEntails(const KnowledgeBase& kb,
+                            const logic::FormulaPtr& query,
+                            const InferenceOptions& options = {},
+                            double slack = 0.05);
+
+}  // namespace rwl::defaults
+
+#endif  // RWL_DEFAULTS_CONSEQUENCE_H_

@@ -1,0 +1,123 @@
+#include "src/defaults/epsilon_semantics.h"
+
+namespace rwl::defaults {
+
+PropPtr Prop::True() {
+  static const PropPtr instance(new Prop(Kind::kTrue));
+  return instance;
+}
+
+PropPtr Prop::False() {
+  static const PropPtr instance(new Prop(Kind::kFalse));
+  return instance;
+}
+
+PropPtr Prop::Var(int index) {
+  auto* p = new Prop(Kind::kVar);
+  p->var_ = index;
+  return PropPtr(p);
+}
+
+PropPtr Prop::Not(PropPtr f) {
+  auto* p = new Prop(Kind::kNot);
+  p->left_ = std::move(f);
+  return PropPtr(p);
+}
+
+PropPtr Prop::And(PropPtr lhs, PropPtr rhs) {
+  auto* p = new Prop(Kind::kAnd);
+  p->left_ = std::move(lhs);
+  p->right_ = std::move(rhs);
+  return PropPtr(p);
+}
+
+PropPtr Prop::Or(PropPtr lhs, PropPtr rhs) {
+  auto* p = new Prop(Kind::kOr);
+  p->left_ = std::move(lhs);
+  p->right_ = std::move(rhs);
+  return PropPtr(p);
+}
+
+bool EvalProp(const PropPtr& f, uint32_t world) {
+  switch (f->kind()) {
+    case Prop::Kind::kTrue:
+      return true;
+    case Prop::Kind::kFalse:
+      return false;
+    case Prop::Kind::kVar:
+      return (world >> f->var()) & 1;
+    case Prop::Kind::kNot:
+      return !EvalProp(f->left(), world);
+    case Prop::Kind::kAnd:
+      return EvalProp(f->left(), world) && EvalProp(f->right(), world);
+    case Prop::Kind::kOr:
+      return EvalProp(f->left(), world) || EvalProp(f->right(), world);
+  }
+  return false;
+}
+
+bool Tolerated(const Rule& rule, const std::vector<Rule>& rules,
+               int num_vars) {
+  const uint32_t num_worlds = uint32_t{1} << num_vars;
+  for (uint32_t w = 0; w < num_worlds; ++w) {
+    if (!EvalProp(rule.antecedent, w) || !EvalProp(rule.consequent, w)) {
+      continue;
+    }
+    bool all_materials = true;
+    for (const auto& other : rules) {
+      if (EvalProp(other.antecedent, w) && !EvalProp(other.consequent, w)) {
+        all_materials = false;
+        break;
+      }
+    }
+    if (all_materials) return true;
+  }
+  return false;
+}
+
+bool EpsilonConsistent(const std::vector<Rule>& rules, int num_vars) {
+  // Greedy peel-off: repeatedly remove some rule tolerated by the remainder.
+  std::vector<Rule> remaining = rules;
+  while (!remaining.empty()) {
+    bool removed = false;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      if (Tolerated(remaining[i], remaining, num_vars)) {
+        remaining.erase(remaining.begin() + static_cast<long>(i));
+        removed = true;
+        break;
+      }
+    }
+    if (!removed) return false;
+  }
+  return true;
+}
+
+bool PEntails(const std::vector<Rule>& rules, const Rule& query,
+              int num_vars) {
+  std::vector<Rule> augmented = rules;
+  augmented.push_back(Rule{query.antecedent, Prop::Not(query.consequent)});
+  return !EpsilonConsistent(augmented, num_vars);
+}
+
+std::string PropToString(const PropPtr& f,
+                         const std::vector<std::string>& names) {
+  switch (f->kind()) {
+    case Prop::Kind::kTrue:
+      return "true";
+    case Prop::Kind::kFalse:
+      return "false";
+    case Prop::Kind::kVar:
+      return names[f->var()];
+    case Prop::Kind::kNot:
+      return "!" + PropToString(f->left(), names);
+    case Prop::Kind::kAnd:
+      return "(" + PropToString(f->left(), names) + " & " +
+             PropToString(f->right(), names) + ")";
+    case Prop::Kind::kOr:
+      return "(" + PropToString(f->left(), names) + " | " +
+             PropToString(f->right(), names) + ")";
+  }
+  return "?";
+}
+
+}  // namespace rwl::defaults

@@ -1,0 +1,80 @@
+// ε-semantics (Adams 1975; Geffner–Pearl 1990): propositional default rules
+// B → C read as "µ(C|B) ≥ 1-ε for all small ε".
+//
+// This is the baseline propositional system the paper compares against in
+// Section 6.  p-entailment is decided exactly with the Goldszmidt–Pearl
+// tolerance procedure:
+//
+//   R is ε-consistent  iff  every nonempty R' ⊆ R contains a rule B → C
+//   "tolerated" by R' (some world satisfies B ∧ C and every material
+//   implication of R'); equivalently the greedy peel-off succeeds.
+//
+//   R p-entails B → C  iff  R ∪ {B → ¬C} is ε-inconsistent.
+//
+// A small propositional AST (Prop) is shared with the GMP90 system and the
+// Theorem 6.1 translation into the unary statistical language.
+#ifndef RWL_DEFAULTS_EPSILON_SEMANTICS_H_
+#define RWL_DEFAULTS_EPSILON_SEMANTICS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rwl::defaults {
+
+class Prop;
+using PropPtr = std::shared_ptr<const Prop>;
+
+// A propositional formula over variables 0..k-1.
+class Prop {
+ public:
+  enum class Kind { kTrue, kFalse, kVar, kNot, kAnd, kOr };
+
+  static PropPtr True();
+  static PropPtr False();
+  static PropPtr Var(int index);
+  static PropPtr Not(PropPtr f);
+  static PropPtr And(PropPtr lhs, PropPtr rhs);
+  static PropPtr Or(PropPtr lhs, PropPtr rhs);
+
+  Kind kind() const { return kind_; }
+  int var() const { return var_; }
+  const PropPtr& left() const { return left_; }
+  const PropPtr& right() const { return right_; }
+
+ private:
+  explicit Prop(Kind kind) : kind_(kind) {}
+  Kind kind_;
+  int var_ = -1;
+  PropPtr left_;
+  PropPtr right_;
+};
+
+// Truth in the world encoded by bitmask `world` (bit i = variable i true).
+bool EvalProp(const PropPtr& f, uint32_t world);
+
+// A default rule B → C.
+struct Rule {
+  PropPtr antecedent;
+  PropPtr consequent;
+};
+
+// True iff rule is tolerated by `rules` over `num_vars` variables: some
+// world satisfies B ∧ C and every material implication B' ⇒ C' in `rules`.
+bool Tolerated(const Rule& rule, const std::vector<Rule>& rules,
+               int num_vars);
+
+// ε-consistency of a rule set (Goldszmidt–Pearl greedy procedure).
+bool EpsilonConsistent(const std::vector<Rule>& rules, int num_vars);
+
+// p-entailment: R |= B → C in ε-semantics.
+bool PEntails(const std::vector<Rule>& rules, const Rule& query,
+              int num_vars);
+
+std::string PropToString(const PropPtr& f,
+                         const std::vector<std::string>& names);
+
+}  // namespace rwl::defaults
+
+#endif  // RWL_DEFAULTS_EPSILON_SEMANTICS_H_

@@ -1,0 +1,186 @@
+#include "src/defaults/gmp90.h"
+
+#include <cmath>
+
+#include "src/logic/builder.h"
+#include "src/maxent/solver.h"
+
+namespace rwl::defaults {
+
+double Gmp90System::ConditionalAtEpsilon(const Rule& query,
+                                         double epsilon) const {
+  const int num_worlds = 1 << num_vars_;
+  maxent::Problem problem;
+  problem.dim = num_worlds;
+  problem.support.assign(num_worlds, true);
+
+  // µ(C_i|B_i) ≥ 1-ε  ⇔  (1-ε)µ(B_i) - µ(B_i ∧ C_i) ≤ 0
+  //                   ⇔  Σ_w coef_w µ_w ≤ 0 with
+  //                      coef_w = (1-ε) - [w ⊨ C_i]   for w ⊨ B_i.
+  for (const auto& rule : rules_) {
+    maxent::LinearConstraint c;
+    c.coef.assign(num_worlds, 0.0);
+    c.bound = 0.0;
+    for (int w = 0; w < num_worlds; ++w) {
+      if (!EvalProp(rule.antecedent, static_cast<uint32_t>(w))) continue;
+      bool consequent = EvalProp(rule.consequent, static_cast<uint32_t>(w));
+      c.coef[w] = (1.0 - epsilon) - (consequent ? 1.0 : 0.0);
+    }
+    problem.constraints.push_back(std::move(c));
+  }
+
+  maxent::Solution solution = maxent::Solve(problem);
+  if (!solution.feasible) return -1.0;
+
+  double mass_b = 0.0;
+  double mass_bc = 0.0;
+  for (int w = 0; w < num_worlds; ++w) {
+    if (!EvalProp(query.antecedent, static_cast<uint32_t>(w))) continue;
+    mass_b += solution.p[w];
+    if (EvalProp(query.consequent, static_cast<uint32_t>(w))) {
+      mass_bc += solution.p[w];
+    }
+  }
+  if (mass_b <= 0.0) return -1.0;
+  return mass_bc / mass_b;
+}
+
+MePlausibleResult Gmp90System::MePlausible(
+    const Rule& query, const std::vector<double>& epsilons) const {
+  MePlausibleResult result;
+  for (double eps : epsilons) {
+    double value = ConditionalAtEpsilon(query, eps);
+    if (value < 0.0) {
+      result.feasible = false;
+      return result;
+    }
+    result.series.push_back(value);
+  }
+  // Plausible when the series climbs toward 1: the final value must be
+  // within O(ε) of 1.  The conditional at ε is ≥ 1 - O(ε) precisely for
+  // plausible consequences; we allow a constant factor for solver slack.
+  double final_eps = epsilons.back();
+  result.plausible = result.series.back() >= 1.0 - 12.0 * final_eps;
+  return result;
+}
+
+std::vector<int> Gmp90System::RuleStrengths() const {
+  const int num_worlds = 1 << num_vars_;
+  const int num_rules = static_cast<int>(rules_.size());
+  std::vector<int> z(num_rules, 1);
+  // κ(w) under current strengths.
+  auto kappa = [&](uint32_t w) {
+    int total = 0;
+    for (int j = 0; j < num_rules; ++j) {
+      if (EvalProp(rules_[j].antecedent, w) &&
+          !EvalProp(rules_[j].consequent, w)) {
+        total += z[j];
+      }
+    }
+    return total;
+  };
+  // Iterate to the least fixed point; strengths are bounded by num_rules ×
+  // max-strength in consistent sets, so cap iterations to detect divergence.
+  const int max_strength = num_rules * num_rules + num_rules + 2;
+  for (int round = 0; round < max_strength; ++round) {
+    bool changed = false;
+    for (int i = 0; i < num_rules; ++i) {
+      int best = -1;
+      for (uint32_t w = 0; w < static_cast<uint32_t>(num_worlds); ++w) {
+        if (!EvalProp(rules_[i].antecedent, w) ||
+            !EvalProp(rules_[i].consequent, w)) {
+          continue;
+        }
+        int cost = kappa(w);
+        if (best < 0 || cost < best) best = cost;
+      }
+      if (best < 0) return {};  // rule unverifiable: inconsistent set
+      int updated = 1 + best;
+      if (updated != z[i]) {
+        z[i] = updated;
+        changed = true;
+      }
+      if (z[i] > max_strength) return {};  // diverging: ε-inconsistent
+    }
+    if (!changed) return z;
+  }
+  return {};
+}
+
+int Gmp90System::CompareByStrengths(const Rule& query) const {
+  std::vector<int> z = RuleStrengths();
+  if (z.empty()) return 0;
+  const int num_worlds = 1 << num_vars_;
+  auto kappa = [&](uint32_t w) {
+    int total = 0;
+    for (size_t j = 0; j < rules_.size(); ++j) {
+      if (EvalProp(rules_[j].antecedent, w) &&
+          !EvalProp(rules_[j].consequent, w)) {
+        total += z[j];
+      }
+    }
+    return total;
+  };
+  int best_with = -1;
+  int best_against = -1;
+  for (uint32_t w = 0; w < static_cast<uint32_t>(num_worlds); ++w) {
+    if (!EvalProp(query.antecedent, w)) continue;
+    int cost = kappa(w);
+    if (EvalProp(query.consequent, w)) {
+      if (best_with < 0 || cost < best_with) best_with = cost;
+    } else {
+      if (best_against < 0 || cost < best_against) best_against = cost;
+    }
+  }
+  if (best_with < 0) return -1;     // antecedent forces ¬C
+  if (best_against < 0) return +1;  // antecedent forces C
+  if (best_with < best_against) return +1;
+  if (best_with > best_against) return -1;
+  return 0;
+}
+
+logic::FormulaPtr PropToUnary(const PropPtr& f,
+                              const std::vector<std::string>& names,
+                              const logic::TermPtr& subject) {
+  using logic::Formula;
+  switch (f->kind()) {
+    case Prop::Kind::kTrue:
+      return Formula::True();
+    case Prop::Kind::kFalse:
+      return Formula::False();
+    case Prop::Kind::kVar:
+      return Formula::Atom(names[f->var()], {subject});
+    case Prop::Kind::kNot:
+      return Formula::Not(PropToUnary(f->left(), names, subject));
+    case Prop::Kind::kAnd:
+      return Formula::And(PropToUnary(f->left(), names, subject),
+                          PropToUnary(f->right(), names, subject));
+    case Prop::Kind::kOr:
+      return Formula::Or(PropToUnary(f->left(), names, subject),
+                         PropToUnary(f->right(), names, subject));
+  }
+  return Formula::True();
+}
+
+logic::FormulaPtr TranslateRule(const Rule& rule,
+                                const std::vector<std::string>& names) {
+  logic::TermPtr x = logic::V("x");
+  return logic::Default(PropToUnary(rule.antecedent, names, x),
+                        PropToUnary(rule.consequent, names, x),
+                        {"x"}, /*tolerance_index=*/1);
+}
+
+RwEmbedding TranslateQuery(const Gmp90System& system, const Rule& query,
+                           const std::vector<std::string>& names,
+                           const std::string& constant) {
+  RwEmbedding out;
+  for (const auto& rule : system.rules()) {
+    out.kb.Add(TranslateRule(rule, names));
+  }
+  logic::TermPtr c = logic::C(constant);
+  out.kb.Add(PropToUnary(query.antecedent, names, c));
+  out.query = PropToUnary(query.consequent, names, c);
+  return out;
+}
+
+}  // namespace rwl::defaults

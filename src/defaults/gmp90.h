@@ -1,0 +1,95 @@
+// The maximum-entropy approach to default reasoning of Goldszmidt, Morris
+// and Pearl (GMP90), and its embedding into random worlds (Theorem 6.1).
+//
+// Given propositional rules R = {B_i → C_i}, the maximum-entropy PPD
+// {µ*_ε} is the entropy-maximizing distribution over the 2^k propositional
+// worlds subject to µ(C_i | B_i) ≥ 1-ε for every rule; B → C is an
+// *ME-plausible consequence* of R when µ*_ε(C|B) → 1 as ε → 0.
+//
+// Theorem 6.1: under the translation p_i ↦ P_i(x), rule B → C ↦
+// ||ψ_C(x)|ψ_B(x)||_x ≈_1 1 (the same ≈_1 everywhere), B → C is an
+// ME-plausible consequence of R iff Pr_∞(ψ_C(c) | ⋀θ_r ∧ ψ_B(c)) = 1.
+// TranslateRule/TranslateQuery build exactly this embedding so the
+// equivalence can be exercised end-to-end against the rwl engines.
+#ifndef RWL_DEFAULTS_GMP90_H_
+#define RWL_DEFAULTS_GMP90_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/knowledge_base.h"
+#include "src/defaults/epsilon_semantics.h"
+#include "src/logic/formula.h"
+
+namespace rwl::defaults {
+
+struct MePlausibleResult {
+  bool feasible = true;          // constraint set nonempty at every ε
+  bool plausible = false;        // µ*_ε(C|B) → 1
+  std::vector<double> series;    // µ*_ε(C|B) per ε in the schedule
+};
+
+class Gmp90System {
+ public:
+  Gmp90System(int num_vars, std::vector<Rule> rules)
+      : num_vars_(num_vars), rules_(std::move(rules)) {}
+
+  // µ*_ε(C|B) for the given ε.  Returns a negative value when the
+  // constraint set is infeasible or µ*(B) = 0.
+  double ConditionalAtEpsilon(const Rule& query, double epsilon) const;
+
+  MePlausibleResult MePlausible(
+      const Rule& query,
+      const std::vector<double>& epsilons = {0.05, 0.01, 0.002}) const;
+
+  // GMP90's rule-strength fixed point.  Each rule i gets a strength z_i
+  // satisfying
+  //
+  //   z_i = 1 + min { Σ_{j violated by w} z_j : w ⊨ B_i ∧ C_i }
+  //
+  // (the strength of a rule is one more than the cost of the cheapest world
+  // verifying it), computed by iteration.  At the maximum-entropy PPD a
+  // world w then carries weight ~ ε^{κ(w)} with κ(w) = Σ_{violated j} z_j,
+  // so B → C is an ME-plausible consequence when the cheapest B∧C world is
+  // strictly cheaper than the cheapest B∧¬C world.  Ties are decided by
+  // second-order (constant-factor) terms, which the symbolic comparison
+  // reports as undecided; MePlausible's numeric series covers those.
+  // Returns empty when the fixed point diverges (ε-inconsistent rules).
+  std::vector<int> RuleStrengths() const;
+
+  // κ-comparison decision: +1 plausible, -1 anti-plausible (B → ¬C wins),
+  // 0 tie at exponent level.
+  int CompareByStrengths(const Rule& query) const;
+
+  int num_vars() const { return num_vars_; }
+  const std::vector<Rule>& rules() const { return rules_; }
+
+ private:
+  int num_vars_;
+  std::vector<Rule> rules_;
+};
+
+// Theorem 6.1 translation: propositional formula over variables names[i]
+// into the unary class formula with subject term `subject`.
+logic::FormulaPtr PropToUnary(const PropPtr& f,
+                              const std::vector<std::string>& names,
+                              const logic::TermPtr& subject);
+
+// Builds the statistical interpretation θ_r = ||ψ_C(x)|ψ_B(x)||_x ≈_1 1 of
+// a rule (all rules share tolerance index 1, as GMP90 shares a single ε).
+logic::FormulaPtr TranslateRule(const Rule& rule,
+                                const std::vector<std::string>& names);
+
+// Builds the full random-worlds instance for a query B → C: KB = ⋀ θ_r ∧
+// ψ_B(c), query = ψ_C(c).
+struct RwEmbedding {
+  KnowledgeBase kb;
+  logic::FormulaPtr query;
+};
+RwEmbedding TranslateQuery(const Gmp90System& system, const Rule& query,
+                           const std::vector<std::string>& names,
+                           const std::string& constant = "C0");
+
+}  // namespace rwl::defaults
+
+#endif  // RWL_DEFAULTS_GMP90_H_

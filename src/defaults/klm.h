@@ -1,0 +1,84 @@
+// KLM-style property checking for the finite-N random-worlds relation.
+//
+// Theorem 5.3 shows |∼rw satisfies the core KLM properties (And, Or, Cut,
+// Cautious Monotonicity, Left Logical Equivalence, Right Weakening,
+// Reflexivity).  The paper's proofs go through conditional-probability
+// identities that hold *exactly* at every finite N and τ — so each property
+// can be verified numerically, with no limit-taking, by comparing Pr_N^τ
+// values produced by any FiniteEngine.  The property tests sweep these
+// checkers over randomly generated KBs (src/workload).
+#ifndef RWL_DEFAULTS_KLM_H_
+#define RWL_DEFAULTS_KLM_H_
+
+#include <string>
+
+#include "src/engines/engine.h"
+
+namespace rwl::defaults {
+
+// All checks interpret "KB |∼ φ" as Pr_N^τ(φ|KB) ≥ threshold.
+struct KlmContext {
+  const engines::FiniteEngine* engine = nullptr;
+  const logic::Vocabulary* vocabulary = nullptr;
+  int domain_size = 8;
+  semantics::ToleranceVector tolerances{0.05};
+  double threshold = 1.0 - 1e-9;
+  double probability_epsilon = 1e-9;
+};
+
+struct KlmCheck {
+  bool applicable = false;  // the premises of the rule held
+  bool holds = true;        // the conclusion followed (when applicable)
+  std::string detail;
+};
+
+// And:  KB |∼ φ and KB |∼ ψ  ⇒  KB |∼ φ ∧ ψ.
+KlmCheck CheckAnd(const KlmContext& ctx, const logic::FormulaPtr& kb,
+                  const logic::FormulaPtr& phi, const logic::FormulaPtr& psi);
+
+// Or:  KB |∼ φ and KB' |∼ φ  ⇒  KB ∨ KB' |∼ φ.
+KlmCheck CheckOr(const KlmContext& ctx, const logic::FormulaPtr& kb,
+                 const logic::FormulaPtr& kb2, const logic::FormulaPtr& phi);
+
+// Cut:  KB |∼ θ and KB ∧ θ |∼ φ  ⇒  KB |∼ φ.
+KlmCheck CheckCut(const KlmContext& ctx, const logic::FormulaPtr& kb,
+                  const logic::FormulaPtr& theta,
+                  const logic::FormulaPtr& phi);
+
+// Cautious Monotonicity:  KB |∼ θ and KB |∼ φ  ⇒  KB ∧ θ |∼ φ.
+KlmCheck CheckCautiousMonotonicity(const KlmContext& ctx,
+                                   const logic::FormulaPtr& kb,
+                                   const logic::FormulaPtr& theta,
+                                   const logic::FormulaPtr& phi);
+
+// Right Weakening on a specific valid implication φ ⇒ φ':
+// KB |∼ φ implies KB |∼ φ' whenever Pr(φ'|KB) ≥ Pr(φ|KB); this checker
+// verifies the monotonicity identity Pr(φ ∨ ψ | KB) ≥ Pr(φ | KB).
+KlmCheck CheckRightWeakeningMonotone(const KlmContext& ctx,
+                                     const logic::FormulaPtr& kb,
+                                     const logic::FormulaPtr& phi,
+                                     const logic::FormulaPtr& psi);
+
+// Reflexivity: KB |∼ KB whenever the KB is satisfiable at this (N, τ).
+KlmCheck CheckReflexivity(const KlmContext& ctx, const logic::FormulaPtr& kb);
+
+// Rational Monotonicity (Theorem 5.5): the proof's finite-N inequality is
+//   Pr(¬φ | KB ∧ θ) ≤ Pr(¬φ | KB) / Pr(θ | KB)
+// whenever Pr(θ|KB) > 0; it holds exactly at every (N, τ) and yields the
+// theorem in the limit.  This checker verifies the inequality.
+KlmCheck CheckRationalMonotonicityBound(const KlmContext& ctx,
+                                        const logic::FormulaPtr& kb,
+                                        const logic::FormulaPtr& theta,
+                                        const logic::FormulaPtr& phi);
+
+// The stronger Proposition 5.2 identity behind Cut + Cautious Monotonicity:
+// if Pr(θ|KB) = 1 then Pr(φ|KB) = Pr(φ|KB ∧ θ).  At finite N this holds as
+// an exact conditional-probability identity.
+KlmCheck CheckConditioningIdentity(const KlmContext& ctx,
+                                   const logic::FormulaPtr& kb,
+                                   const logic::FormulaPtr& theta,
+                                   const logic::FormulaPtr& phi);
+
+}  // namespace rwl::defaults
+
+#endif  // RWL_DEFAULTS_KLM_H_

@@ -1,0 +1,73 @@
+#include "src/engines/engine.h"
+
+#include <cmath>
+
+namespace rwl::engines {
+
+LimitResult EstimateLimit(const FiniteEngine& engine,
+                          const logic::Vocabulary& vocabulary,
+                          const logic::FormulaPtr& kb,
+                          const logic::FormulaPtr& query,
+                          const semantics::ToleranceVector& base_tolerances,
+                          const LimitOptions& options) {
+  LimitResult result;
+
+  // For each tolerance scale, take the largest supported N's value as the
+  // N→∞ estimate; then check stability of those estimates as τ shrinks.
+  std::vector<double> per_scale_estimates;
+  bool engine_exhausted = false;
+  bool last_scale_n_converged = false;
+  for (double scale : options.tolerance_scales) {
+    if (engine_exhausted) break;
+    semantics::ToleranceVector tolerances = base_tolerances.Scaled(scale);
+    std::optional<double> last_defined;
+    double prev = -1.0;
+    bool n_converged = false;
+    for (int n : options.domain_sizes) {
+      if (!engine.Supports(vocabulary, kb, query, n)) continue;
+      FiniteResult fr = engine.DegreeAt(vocabulary, kb, query, n, tolerances);
+      if (fr.exhausted) {
+        // The engine hit its work budget: retrying at other tolerance
+        // scales can only be slower.  Let the caller fall back.
+        engine_exhausted = true;
+        break;
+      }
+      SeriesPoint point;
+      point.domain_size = n;
+      point.tolerance_scale = scale;
+      point.probability = fr.probability;
+      point.well_defined = fr.well_defined;
+      result.series.push_back(point);
+      if (!fr.well_defined) continue;
+      result.never_defined = false;
+      if (last_defined.has_value() &&
+          std::fabs(fr.probability - prev) < options.convergence_epsilon) {
+        n_converged = true;
+      }
+      prev = fr.probability;
+      last_defined = fr.probability;
+    }
+    if (last_defined.has_value()) {
+      per_scale_estimates.push_back(*last_defined);
+      last_scale_n_converged = n_converged;
+    }
+  }
+
+  if (per_scale_estimates.empty()) return result;
+
+  // Converged when the N-series stabilized at the final τ scale AND the
+  // per-τ estimates agree (the two limits of Definition 4.3).
+  double final_value = per_scale_estimates.back();
+  bool tau_converged = last_scale_n_converged;
+  if (per_scale_estimates.size() >= 2) {
+    double prev = per_scale_estimates[per_scale_estimates.size() - 2];
+    tau_converged = tau_converged &&
+                    std::fabs(final_value - prev) <
+                        options.convergence_epsilon;
+  }
+  result.value = final_value;
+  result.converged = tau_converged;
+  return result;
+}
+
+}  // namespace rwl::engines

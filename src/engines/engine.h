@@ -1,0 +1,92 @@
+// Engine interface: computing Pr_N^τ(φ | KB) and estimating the
+// random-worlds limit Pr_∞ (Definition 4.3).
+//
+// A FiniteEngine computes the degree of belief at a *fixed* domain size N
+// and tolerance vector ⃗τ.  EstimateLimit drives a FiniteEngine over a
+// schedule of growing N and shrinking τ (lim_{τ→0} lim_{N→∞}, in that
+// order: for each τ scale the N-limit is estimated first) and reports the
+// common limit when the series converges.
+#ifndef RWL_ENGINES_ENGINE_H_
+#define RWL_ENGINES_ENGINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/logic/formula.h"
+#include "src/logic/vocabulary.h"
+#include "src/semantics/tolerance.h"
+
+namespace rwl::engines {
+
+// Pr_N^τ(φ | KB), plus diagnostics.
+struct FiniteResult {
+  // False when #worlds(KB) == 0 (degree of belief undefined at this N) or
+  // when the engine gave up (see `exhausted`).
+  bool well_defined = false;
+  double probability = 0.0;
+  // log #worlds(KB ∧ φ) and log #worlds(KB).
+  double log_numerator = 0.0;
+  double log_denominator = 0.0;
+  // True when a work budget was hit before the computation finished; the
+  // probability is then meaningless.
+  bool exhausted = false;
+};
+
+class FiniteEngine {
+ public:
+  virtual ~FiniteEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  // True when this engine can evaluate this (KB, query) pair at domain size
+  // N within its structural limits (vocabulary fragment, cost caps).
+  virtual bool Supports(const logic::Vocabulary& vocabulary,
+                        const logic::FormulaPtr& kb,
+                        const logic::FormulaPtr& query, int domain_size) const = 0;
+
+  virtual FiniteResult DegreeAt(const logic::Vocabulary& vocabulary,
+                                const logic::FormulaPtr& kb,
+                                const logic::FormulaPtr& query,
+                                int domain_size,
+                                const semantics::ToleranceVector& tolerances)
+      const = 0;
+};
+
+// One evaluated point of the limit sweep.
+struct SeriesPoint {
+  int domain_size = 0;
+  double tolerance_scale = 1.0;
+  double probability = 0.0;
+  bool well_defined = false;
+};
+
+struct LimitOptions {
+  // Domain sizes per tolerance scale, increasing.
+  std::vector<int> domain_sizes = {8, 16, 24, 32, 48, 64};
+  // Multiplicative scales applied to the base tolerance vector, decreasing.
+  std::vector<double> tolerance_scales = {1.0, 0.5, 0.25};
+  // |last - previous| below this counts as converged.
+  double convergence_epsilon = 5e-3;
+};
+
+struct LimitResult {
+  // The estimated Pr_∞, when the sweep stabilized.
+  std::optional<double> value;
+  bool converged = false;
+  // True when Pr_N^τ was undefined at every evaluated point (KB not
+  // eventually consistent as far as the sweep can see).
+  bool never_defined = true;
+  std::vector<SeriesPoint> series;
+};
+
+LimitResult EstimateLimit(const FiniteEngine& engine,
+                          const logic::Vocabulary& vocabulary,
+                          const logic::FormulaPtr& kb,
+                          const logic::FormulaPtr& query,
+                          const semantics::ToleranceVector& base_tolerances,
+                          const LimitOptions& options);
+
+}  // namespace rwl::engines
+
+#endif  // RWL_ENGINES_ENGINE_H_

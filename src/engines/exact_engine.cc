@@ -1,0 +1,95 @@
+#include "src/engines/exact_engine.h"
+
+#include <cmath>
+
+#include "src/combinatorics/logmath.h"
+#include "src/semantics/evaluator.h"
+#include "src/semantics/world.h"
+
+namespace rwl::engines {
+namespace {
+
+double Log2WorldCount(const logic::Vocabulary& vocabulary, int domain_size) {
+  double log2_count = 0.0;
+  for (const auto& p : vocabulary.predicates()) {
+    log2_count += std::pow(static_cast<double>(domain_size), p.arity);
+  }
+  for (const auto& f : vocabulary.functions()) {
+    log2_count += std::pow(static_cast<double>(domain_size), f.arity) *
+                  std::log2(static_cast<double>(domain_size));
+  }
+  return log2_count;
+}
+
+}  // namespace
+
+bool ExactEngine::Supports(const logic::Vocabulary& vocabulary,
+                           const logic::FormulaPtr& /*kb*/,
+                           const logic::FormulaPtr& /*query*/,
+                           int domain_size) const {
+  if (domain_size <= 0) return false;
+  return Log2WorldCount(vocabulary, domain_size) <= max_log2_worlds_;
+}
+
+FiniteResult ExactEngine::DegreeAt(
+    const logic::Vocabulary& vocabulary, const logic::FormulaPtr& kb,
+    const logic::FormulaPtr& query, int domain_size,
+    const semantics::ToleranceVector& tolerances) const {
+  semantics::World world(&vocabulary, domain_size);
+
+  int64_t kb_count = 0;
+  int64_t both_count = 0;
+
+  // Odometer enumeration over all predicate cells (base 2) and all function
+  // cells (base N).
+  const int num_predicates = vocabulary.num_predicates();
+  const int num_functions = vocabulary.num_functions();
+
+  auto evaluate_current = [&]() {
+    if (!semantics::Evaluate(kb, world, tolerances)) return;
+    ++kb_count;
+    if (semantics::Evaluate(query, world, tolerances)) ++both_count;
+  };
+
+  // Recursive advance: returns false when the odometer wraps around.
+  auto advance = [&]() -> bool {
+    for (int p = 0; p < num_predicates; ++p) {
+      auto& table = world.predicate_table(p);
+      for (auto& cell : table) {
+        if (cell == 0) {
+          cell = 1;
+          return true;
+        }
+        cell = 0;
+      }
+    }
+    for (int f = 0; f < num_functions; ++f) {
+      auto& table = world.function_table(f);
+      for (auto& cell : table) {
+        if (cell + 1 < domain_size) {
+          ++cell;
+          return true;
+        }
+        cell = 0;
+      }
+    }
+    return false;
+  };
+
+  do {
+    evaluate_current();
+  } while (advance());
+
+  FiniteResult result;
+  if (kb_count == 0) return result;
+  result.well_defined = true;
+  result.probability =
+      static_cast<double>(both_count) / static_cast<double>(kb_count);
+  result.log_numerator = both_count > 0
+                             ? std::log(static_cast<double>(both_count))
+                             : kNegInf;
+  result.log_denominator = std::log(static_cast<double>(kb_count));
+  return result;
+}
+
+}  // namespace rwl::engines

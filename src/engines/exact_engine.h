@@ -1,0 +1,41 @@
+// Exact engine: brute-force enumeration of W_N(Φ).
+//
+// Enumerates every world over the vocabulary — all 2^(predicate cells) ×
+// N^(function cells) interpretations — evaluates KB and KB ∧ φ in each, and
+// returns the ratio of counts.  This is the definitional computation of
+// Pr_N^τ (Section 4.2) with no shortcuts, usable only for tiny vocabularies
+// and domain sizes; it serves as the ground-truth oracle that the profile,
+// maximum-entropy and symbolic engines are validated against.
+#ifndef RWL_ENGINES_EXACT_ENGINE_H_
+#define RWL_ENGINES_EXACT_ENGINE_H_
+
+#include "src/engines/engine.h"
+
+namespace rwl::engines {
+
+class ExactEngine : public FiniteEngine {
+ public:
+  // `max_log2_worlds` caps the enumeration: the engine refuses instances
+  // with more than 2^max_log2_worlds worlds.
+  explicit ExactEngine(double max_log2_worlds = 26.0)
+      : max_log2_worlds_(max_log2_worlds) {}
+
+  std::string name() const override { return "exact"; }
+
+  bool Supports(const logic::Vocabulary& vocabulary,
+                const logic::FormulaPtr& kb, const logic::FormulaPtr& query,
+                int domain_size) const override;
+
+  FiniteResult DegreeAt(const logic::Vocabulary& vocabulary,
+                        const logic::FormulaPtr& kb,
+                        const logic::FormulaPtr& query, int domain_size,
+                        const semantics::ToleranceVector& tolerances)
+      const override;
+
+ private:
+  double max_log2_worlds_;
+};
+
+}  // namespace rwl::engines
+
+#endif  // RWL_ENGINES_EXACT_ENGINE_H_

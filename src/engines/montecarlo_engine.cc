@@ -1,0 +1,73 @@
+#include "src/engines/montecarlo_engine.h"
+
+#include <cmath>
+#include <random>
+
+#include "src/combinatorics/logmath.h"
+#include "src/semantics/evaluator.h"
+#include "src/semantics/world.h"
+
+namespace rwl::engines {
+
+bool MonteCarloEngine::Supports(const logic::Vocabulary& vocabulary,
+                                const logic::FormulaPtr& /*kb*/,
+                                const logic::FormulaPtr& /*query*/,
+                                int domain_size) const {
+  if (domain_size <= 0) return false;
+  semantics::World probe(&vocabulary, domain_size);
+  return probe.TotalPredicateCells() + probe.TotalFunctionCells() <=
+         options_.max_cells;
+}
+
+FiniteResult MonteCarloEngine::DegreeAt(
+    const logic::Vocabulary& vocabulary, const logic::FormulaPtr& kb,
+    const logic::FormulaPtr& query, int domain_size,
+    const semantics::ToleranceVector& tolerances) const {
+  std::mt19937_64 rng(options_.seed);
+  std::uniform_int_distribution<int> element(0, domain_size - 1);
+
+  semantics::World world(&vocabulary, domain_size);
+  uint64_t accepted = 0;
+  uint64_t satisfying = 0;
+
+  for (uint64_t s = 0; s < options_.num_samples; ++s) {
+    // Resample every cell uniformly: 64 predicate cells per draw.
+    for (int p = 0; p < vocabulary.num_predicates(); ++p) {
+      auto& table = world.predicate_table(p);
+      uint64_t bits = 0;
+      int have = 0;
+      for (auto& cell : table) {
+        if (have == 0) {
+          bits = rng();
+          have = 64;
+        }
+        cell = bits & 1;
+        bits >>= 1;
+        --have;
+      }
+    }
+    for (int f = 0; f < vocabulary.num_functions(); ++f) {
+      for (auto& cell : world.function_table(f)) {
+        cell = element(rng);
+      }
+    }
+    if (!semantics::Evaluate(kb, world, tolerances)) continue;
+    ++accepted;
+    if (semantics::Evaluate(query, world, tolerances)) ++satisfying;
+  }
+
+  stats_.sampled = options_.num_samples;
+  stats_.accepted = accepted;
+
+  FiniteResult result;
+  if (accepted < options_.min_accepted) return result;
+  result.well_defined = true;
+  result.probability =
+      static_cast<double>(satisfying) / static_cast<double>(accepted);
+  result.log_numerator =
+      satisfying > 0 ? std::log(static_cast<double>(satisfying)) : kNegInf;
+  result.log_denominator = std::log(static_cast<double>(accepted));
+  return result;
+}
+
+}  // namespace rwl::engines

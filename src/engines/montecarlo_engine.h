@@ -1,0 +1,64 @@
+// Monte-Carlo engine: Pr_N^τ estimation by uniform world sampling.
+//
+// Samples worlds uniformly (every predicate cell an independent fair coin,
+// every function cell uniform over the domain — exactly the random-worlds
+// prior), rejects those violating the KB, and estimates Pr_N^τ(φ|KB) as the
+// accepted fraction satisfying φ.  This covers vocabularies the profile
+// engine cannot (binary and higher-arity predicates, function symbols) at
+// domain sizes the exact engine cannot reach — *provided* the KB is not
+// too improbable under the prior: rejection sampling degrades as Pr(KB)
+// shrinks, which is why KBs built from near-extreme defaults (≈ 1 with
+// tiny τ) need the profile engine instead.  The result reports the
+// acceptance count so callers can judge the estimate.
+#ifndef RWL_ENGINES_MONTECARLO_ENGINE_H_
+#define RWL_ENGINES_MONTECARLO_ENGINE_H_
+
+#include <cstdint>
+
+#include "src/engines/engine.h"
+
+namespace rwl::engines {
+
+class MonteCarloEngine : public FiniteEngine {
+ public:
+  struct Options {
+    uint64_t num_samples = 200'000;
+    // Below this many accepted samples the estimate is reported as not
+    // well-defined (indistinguishable from an unsatisfiable KB).
+    uint64_t min_accepted = 50;
+    uint64_t seed = 20260612;
+    // Refuse instances whose world representation exceeds this many cells
+    // (sampling time is linear in it).
+    int64_t max_cells = 1'000'000;
+  };
+
+  MonteCarloEngine() = default;
+  explicit MonteCarloEngine(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "montecarlo"; }
+
+  bool Supports(const logic::Vocabulary& vocabulary,
+                const logic::FormulaPtr& kb, const logic::FormulaPtr& query,
+                int domain_size) const override;
+
+  FiniteResult DegreeAt(const logic::Vocabulary& vocabulary,
+                        const logic::FormulaPtr& kb,
+                        const logic::FormulaPtr& query, int domain_size,
+                        const semantics::ToleranceVector& tolerances)
+      const override;
+
+  // Diagnostics from the most recent DegreeAt call.
+  struct Stats {
+    uint64_t sampled = 0;
+    uint64_t accepted = 0;
+  };
+  const Stats& last_stats() const { return stats_; }
+
+ private:
+  Options options_;
+  mutable Stats stats_;
+};
+
+}  // namespace rwl::engines
+
+#endif  // RWL_ENGINES_MONTECARLO_ENGINE_H_

@@ -1,0 +1,15 @@
+#include "src/evidence/dempster.h"
+
+namespace rwl::evidence {
+
+double DempsterCombine(const std::vector<double>& alphas) {
+  double product = 1.0;
+  double co_product = 1.0;
+  for (double a : alphas) {
+    product *= a;
+    co_product *= (1.0 - a);
+  }
+  return product / (product + co_product);
+}
+
+}  // namespace rwl::evidence

@@ -1,0 +1,22 @@
+// Dempster's rule of combination (Shafer 1976), as derived independently by
+// random worlds for essentially-disjoint competing reference classes
+// (Theorem 5.26):
+//
+//   δ(α_1..α_m) = Π α_i / (Π α_i + Π (1-α_i)).
+#ifndef RWL_EVIDENCE_DEMPSTER_H_
+#define RWL_EVIDENCE_DEMPSTER_H_
+
+#include <vector>
+
+namespace rwl::evidence {
+
+// Combines independent pieces of evidence α_i ∈ [0,1] in favor of a single
+// proposition.  Precondition (Theorem 5.26): not both some α_i == 1 and some
+// α_j == 0 — δ is undefined there; callers must handle that case (the paper:
+// the random-worlds limit does not exist unless the defaults have equal
+// strength).
+double DempsterCombine(const std::vector<double>& alphas);
+
+}  // namespace rwl::evidence
+
+#endif  // RWL_EVIDENCE_DEMPSTER_H_

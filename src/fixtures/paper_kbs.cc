@@ -1,0 +1,255 @@
+#include "src/fixtures/paper_kbs.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rwl::fixtures {
+namespace {
+
+std::vector<PaperExample> BuildCorpus() {
+  std::vector<PaperExample> corpus;
+  auto point = [&](std::string id, std::string description, std::string kb,
+                   std::string query, double value,
+                   double tolerance = 0.03) {
+    PaperExample e;
+    e.id = std::move(id);
+    e.description = std::move(description);
+    e.kb = std::move(kb);
+    e.query = std::move(query);
+    e.expect = PaperExample::Expect::kPoint;
+    e.value = value;
+    e.tolerance = tolerance;
+    corpus.push_back(std::move(e));
+    return &corpus.back();
+  };
+
+  point("E5.8",
+        "direct inference: the jaundice statistics fix Pr(Hep(Eric))",
+        "Jaun(Eric)\n"
+        "#(Hep(x) ; Jaun(x))[x] ~= 0.8\n",
+        "Hep(Eric)", 0.8);
+
+  point("E5.8b", "statistics for other classes are ignored",
+        "Jaun(Eric)\n"
+        "#(Hep(x) ; Jaun(x))[x] ~= 0.8\n"
+        "#(Hep(x))[x] <~_2 0.05\n"
+        "#(Hep(x) ; Jaun(x) & Fever(x))[x] ~=_3 1\n",
+        "Hep(Eric)", 0.8);
+
+  point("E5.8c", "facts about other individuals are ignored",
+        "Jaun(Eric)\n"
+        "#(Hep(x) ; Jaun(x))[x] ~= 0.8\n"
+        "Hep(Tom)\n",
+        "Hep(Eric)", 0.8);
+
+  point("E5.10", "specificity: Tweety the penguin does not fly",
+        "#(Fly(x) ; Bird(x))[x] ~=_1 1\n"
+        "#(Fly(x) ; Penguin(x))[x] ~=_2 0\n"
+        "forall x. (Penguin(x) => Bird(x))\n"
+        "Penguin(Tweety)\n",
+        "Fly(Tweety)", 0.0);
+
+  point("E5.13", "quantified default: a tall parent makes Alice tall",
+        "#(Tall(x) ; exists y. (Child(x, y) & Tall(y)))[x] ~=_1 1\n"
+        "exists y. (Child(Alice, y) & Tall(y))\n",
+        "Tall(Alice)", 1.0);
+
+  point("E5.15", "taxonomy: Opus inherits swimming from penguins",
+        "#(Swims(x) ; Penguin(x))[x] ~=_1 0.9\n"
+        "#(Swims(x) ; Sparrow(x))[x] ~=_2 0.01\n"
+        "#(Swims(x) ; Bird(x))[x] ~=_3 0.05\n"
+        "#(Swims(x) ; Animal(x))[x] ~=_4 0.3\n"
+        "#(Swims(x) ; Fish(x))[x] ~=_5 1\n"
+        "forall x. (Penguin(x) => Bird(x))\n"
+        "forall x. (Sparrow(x) => Bird(x))\n"
+        "forall x. (Bird(x) => Animal(x))\n"
+        "forall x. (Fish(x) => Animal(x))\n"
+        "forall x. (Penguin(x) => !Sparrow(x))\n"
+        "forall x. (Bird(x) => !Fish(x))\n"
+        "Penguin(Opus)\n"
+        "Black(Opus)\n"
+        "LargeNose(Opus)\n",
+        "Swims(Opus)", 0.9);
+
+  point("E5.18", "irrelevant chart entries ignored",
+        "Jaun(Eric)\n"
+        "Fever(Eric)\n"
+        "Tall(Eric)\n"
+        "#(Hep(x) ; Jaun(x))[x] ~= 0.8\n",
+        "Hep(Eric)", 0.8);
+
+  point("E5.19", "irrelevance: the yellow penguin still does not fly",
+        "#(Fly(x) ; Bird(x))[x] ~=_1 1\n"
+        "#(Fly(x) ; Penguin(x))[x] ~=_2 0\n"
+        "forall x. (Penguin(x) => Bird(x))\n"
+        "Penguin(Tweety)\n"
+        "Yellow(Tweety)\n",
+        "Fly(Tweety)", 0.0);
+
+  point("E5.20", "exceptional subclass inherits warm-bloodedness",
+        "#(Fly(x) ; Bird(x))[x] ~=_1 1\n"
+        "#(Fly(x) ; Penguin(x))[x] ~=_2 0\n"
+        "#(WarmBlooded(x) ; Bird(x))[x] ~=_3 1\n"
+        "forall x. (Penguin(x) => Bird(x))\n"
+        "Penguin(Tweety)\n",
+        "WarmBlooded(Tweety)", 1.0);
+
+  point("E5.21", "drowning problem: the yellow penguin is easy to see",
+        "#(Fly(x) ; Bird(x))[x] ~=_1 1\n"
+        "#(Fly(x) ; Penguin(x))[x] ~=_2 0\n"
+        "#(EasyToSee(x) ; Yellow(x))[x] ~=_3 1\n"
+        "forall x. (Penguin(x) => Bird(x))\n"
+        "Penguin(Tweety)\n"
+        "Yellow(Tweety)\n",
+        "EasyToSee(Tweety)", 1.0);
+
+  point("E5.22", "Tay-Sachs through a disjunctive reference class",
+        "#(TS(x) ; EEJ(x) | FC(x))[x] ~= 0.02\n"
+        "EEJ(Eric)\n",
+        "TS(Eric)", 0.02);
+
+  {
+    PaperExample e;
+    e.id = "E5.24";
+    e.description = "strength rule: birds' tighter interval beats magpies";
+    e.kb =
+        "(0.7 <~_1 #(Chirps(x) ; Bird(x))[x]) & "
+        "(#(Chirps(x) ; Bird(x))[x] <~_2 0.8)\n"
+        "(0 <~_3 #(Chirps(x) ; Magpie(x))[x]) & "
+        "(#(Chirps(x) ; Magpie(x))[x] <~_4 0.99)\n"
+        "forall x. (Magpie(x) => Bird(x))\n"
+        "Magpie(Tweety)\n";
+    e.query = "Chirps(Tweety)";
+    e.expect = PaperExample::Expect::kInterval;
+    e.lo = 0.7;
+    e.hi = 0.8;
+    e.tolerance = 0.05;
+    corpus.push_back(e);
+  }
+
+  point("T5.26", "Nixon diamond: δ(0.8, 0.8) = 0.9412",
+        "#(Pacifist(x) ; Quaker(x))[x] ~=_1 0.8\n"
+        "#(Pacifist(x) ; Republican(x))[x] ~=_2 0.8\n"
+        "Quaker(Nixon)\n"
+        "Republican(Nixon)\n"
+        "exists! x. (Quaker(x) & Republican(x))\n",
+        "Pacifist(Nixon)", 0.64 / 0.68, 0.01);
+
+  {
+    PaperExample e;
+    e.id = "T5.26-conflict";
+    e.description =
+        "conflicting hard defaults with independent strengths: no limit";
+    e.kb =
+        "#(Pacifist(x) ; Quaker(x))[x] ~=_1 1\n"
+        "#(Pacifist(x) ; Republican(x))[x] ~=_2 0\n"
+        "Quaker(Nixon)\n"
+        "Republican(Nixon)\n"
+        "exists! x. (Quaker(x) & Republican(x))\n";
+    e.query = "Pacifist(Nixon)";
+    e.expect = PaperExample::Expect::kNonexistent;
+    corpus.push_back(e);
+  }
+
+  point("E5.28", "independence: Pr(Hep ∧ Over60) = 0.8 × 0.4",
+        "#(Hep(x) ; Jaun(x))[x] ~=_1 0.8\n"
+        "Jaun(Eric)\n"
+        "#(Over60(x) ; Patient(x))[x] ~=_5 0.4\n"
+        "Patient(Eric)\n",
+        "Hep(Eric) & Over60(Eric)", 0.32);
+
+  {
+    PaperExample e = PaperExample();
+    e.id = "E5.29";
+    e.description = "no spurious independence: Pr(Black(Clyde)) = 0.47";
+    e.kb =
+        "#(Black(x) ; Bird(x))[x] ~=_1 0.2\n"
+        "#(Bird(x))[x] ~=_2 0.1\n";
+    e.query = "Black(Clyde)";
+    e.expect = PaperExample::Expect::kPoint;
+    e.value = 0.47;
+    e.tolerance = 0.03;
+    e.extra_constants = {"Clyde"};
+    corpus.push_back(e);
+  }
+
+  point("E4.4a", "elephants typically like zookeepers: Clyde likes Eric",
+        "#(Likes(x, y) ; Elephant(x) & Zookeeper(y))[x,y] ~=_1 1\n"
+        "#(Likes(x, Fred) ; Elephant(x))[x] ~=_2 0\n"
+        "Zookeeper(Fred)\n"
+        "Elephant(Clyde)\n"
+        "Zookeeper(Eric)\n",
+        "Likes(Clyde, Eric)", 1.0);
+
+  point("E4.4b", "but Clyde does not like Fred",
+        "#(Likes(x, y) ; Elephant(x) & Zookeeper(y))[x,y] ~=_1 1\n"
+        "#(Likes(x, Fred) ; Elephant(x))[x] ~=_2 0\n"
+        "Zookeeper(Fred)\n"
+        "Elephant(Clyde)\n"
+        "Zookeeper(Eric)\n",
+        "Likes(Clyde, Fred)", 0.0);
+
+  point("E4.6", "nested default: Alice normally rises late",
+        "#(#(RisesLate(x, y) ; Day(y))[y] ~=_1 1 ; "
+        "#(ToBedLate(x, y2) ; Day(y2))[y2] ~=_2 1)[x] ~=_3 1\n"
+        "#(ToBedLate(Alice, y2) ; Day(y2))[y2] ~=_2 1\n",
+        "#(RisesLate(Alice, y) ; Day(y))[y] ~=_1 1", 1.0);
+
+  {
+    PaperExample e;
+    e.id = "S5.5-poole";
+    e.description =
+        "Poole's all-exceptional partition of birds is inconsistent";
+    e.kb =
+        "forall x. (Bird(x) <=> (Emu(x) | Penguin(x)))\n"
+        "forall x. !(Emu(x) & Penguin(x))\n"
+        "#(Emu(x) ; Bird(x))[x] ~=_1 0\n"
+        "#(Penguin(x) ; Bird(x))[x] ~=_2 0\n"
+        "0.2 <~_3 #(Bird(x))[x]\n";
+    e.query = "Bird(Tweety)";
+    e.expect = PaperExample::Expect::kUndefined;
+    e.extra_constants = {"Tweety"};
+    e.numeric_only = true;
+    corpus.push_back(e);
+  }
+
+  {
+    PaperExample e;
+    e.id = "S5.5-names";
+    e.description = "unique names: Ray ≠ Drew (Lifschitz C1)";
+    e.kb = "Ray = Reiter\nDrew = McDermott\n";
+    e.query = "Ray != Drew";
+    e.expect = PaperExample::Expect::kPoint;
+    e.value = 1.0;
+    e.tolerance = 0.02;
+    e.numeric_only = true;
+    corpus.push_back(e);
+  }
+
+  point("S7.2", "representation dependence: the refined prior is 1/3",
+        "forall x. (!White(x) <=> (Red(x) | Blue(x)))\n"
+        "forall x. !(Red(x) & Blue(x))\n",
+        "White(B)", 1.0 / 3.0, 0.02)
+      ->extra_constants = {"B"};
+
+  return corpus;
+}
+
+}  // namespace
+
+const std::vector<PaperExample>& AllPaperExamples() {
+  static const std::vector<PaperExample>* corpus =
+      new std::vector<PaperExample>(BuildCorpus());
+  return *corpus;
+}
+
+const PaperExample& ExampleById(const std::string& id) {
+  for (const auto& example : AllPaperExamples()) {
+    if (example.id == id) return example;
+  }
+  std::fprintf(stderr, "rwl fixtures: unknown example id '%s'\n",
+               id.c_str());
+  std::abort();
+}
+
+}  // namespace rwl::fixtures

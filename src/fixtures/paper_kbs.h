@@ -1,0 +1,49 @@
+// The paper's worked examples as a data corpus.
+//
+// Each entry carries the KB in textual L≈ syntax, the query, and the
+// paper's reported answer, so downstream users (and the data-driven test
+// in tests/fixtures_test.cc plus bench_corpus) can regression-check an
+// engine against the whole evaluation at once.
+#ifndef RWL_FIXTURES_PAPER_KBS_H_
+#define RWL_FIXTURES_PAPER_KBS_H_
+
+#include <string>
+#include <vector>
+
+namespace rwl::fixtures {
+
+struct PaperExample {
+  enum class Expect {
+    kPoint,        // Pr_∞ = value (± tolerance)
+    kInterval,     // Pr_∞ ∈ [lo, hi] (numeric estimates inside; symbolic
+                   // answers equal to the interval)
+    kNonexistent,  // the limit does not exist
+    kUndefined,    // the KB is not eventually consistent
+  };
+
+  std::string id;           // e.g. "E5.8"
+  std::string description;  // one line, the paper's claim
+  std::string kb;           // textual L≈, one sentence per line
+  std::string query;
+  Expect expect = Expect::kPoint;
+  double value = 0.0;       // kPoint
+  double lo = 0.0;          // kInterval
+  double hi = 1.0;
+  double tolerance = 0.03;  // numeric slack for sweep-based answers
+  // Constants the query mentions but the KB does not (they must exist in
+  // the vocabulary as fresh individuals).
+  std::vector<std::string> extra_constants;
+  // True when the example is only decidable by the numeric engines (no
+  // theorem applies); the runner then disables the symbolic engine.
+  bool numeric_only = false;
+};
+
+// The full corpus, in paper order.
+const std::vector<PaperExample>& AllPaperExamples();
+
+// Lookup by id; aborts if absent (programming error in the caller).
+const PaperExample& ExampleById(const std::string& id);
+
+}  // namespace rwl::fixtures
+
+#endif  // RWL_FIXTURES_PAPER_KBS_H_

@@ -1,0 +1,108 @@
+#include "src/logic/builder.h"
+
+#include "src/logic/transform.h"
+
+namespace rwl::logic {
+
+TermPtr V(const std::string& name) { return Term::Variable(name); }
+TermPtr C(const std::string& name) { return Term::Constant(name); }
+
+FormulaPtr P(const std::string& pred, const TermPtr& a) {
+  return Formula::Atom(pred, {a});
+}
+FormulaPtr P(const std::string& pred, const TermPtr& a, const TermPtr& b) {
+  return Formula::Atom(pred, {a, b});
+}
+FormulaPtr P(const std::string& pred, const TermPtr& a, const TermPtr& b,
+             const TermPtr& c) {
+  return Formula::Atom(pred, {a, b, c});
+}
+FormulaPtr P0(const std::string& pred) { return Formula::Atom(pred, {}); }
+
+FormulaPtr Eq(const TermPtr& a, const TermPtr& b) {
+  return Formula::Equal(a, b);
+}
+
+ExprPtr Prop(const FormulaPtr& body, const std::vector<std::string>& vars) {
+  return Expr::Proportion(body, vars);
+}
+
+ExprPtr CondProp(const FormulaPtr& body, const FormulaPtr& cond,
+                 const std::vector<std::string>& vars) {
+  return Expr::Conditional(body, cond, vars);
+}
+
+ExprPtr Num(double value) { return Expr::Constant(value); }
+
+FormulaPtr ApproxEq(const ExprPtr& e, double value, int tolerance_index) {
+  return Formula::Compare(e, CompareOp::kApproxEq, Num(value),
+                          tolerance_index);
+}
+
+FormulaPtr ApproxLeq(const ExprPtr& e, double value, int tolerance_index) {
+  return Formula::Compare(e, CompareOp::kApproxLeq, Num(value),
+                          tolerance_index);
+}
+
+FormulaPtr ApproxGeq(const ExprPtr& e, double value, int tolerance_index) {
+  return Formula::Compare(e, CompareOp::kApproxGeq, Num(value),
+                          tolerance_index);
+}
+
+FormulaPtr InInterval(double lo, int i, const ExprPtr& e, double hi, int j) {
+  return Formula::And(ApproxGeq(e, lo, i), ApproxLeq(e, hi, j));
+}
+
+FormulaPtr Default(const FormulaPtr& antecedent, const FormulaPtr& consequent,
+                   const std::vector<std::string>& vars, int tolerance_index) {
+  return ApproxEq(CondProp(consequent, antecedent, vars), 1.0,
+                  tolerance_index);
+}
+
+FormulaPtr ExistsUnique(const std::string& var, const FormulaPtr& body) {
+  const std::string fresh = FreshVariable(body, var + "_u");
+  FormulaPtr renamed = SubstituteVariable(body, var, Term::Variable(fresh));
+  FormulaPtr uniqueness = Formula::ForAll(
+      fresh, Formula::Implies(
+                 renamed, Formula::Equal(Term::Variable(fresh),
+                                         Term::Variable(var))));
+  return Formula::Exists(var, Formula::And(body, uniqueness));
+}
+
+FormulaPtr ExactlyN(int n, const std::string& var, const FormulaPtr& body) {
+  if (n == 0) return Formula::Not(Formula::Exists(var, body));
+  // Witness variables w1..wn.
+  std::vector<std::string> witnesses;
+  witnesses.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    witnesses.push_back(var + "_w" + std::to_string(i + 1));
+  }
+  std::vector<FormulaPtr> parts;
+  // Each witness satisfies body.
+  for (const auto& w : witnesses) {
+    parts.push_back(SubstituteVariable(body, var, Term::Variable(w)));
+  }
+  // Witnesses pairwise distinct.
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      parts.push_back(Formula::Not(Formula::Equal(
+          Term::Variable(witnesses[i]), Term::Variable(witnesses[j]))));
+    }
+  }
+  // Every satisfier is one of the witnesses.
+  std::vector<FormulaPtr> one_of;
+  for (const auto& w : witnesses) {
+    one_of.push_back(
+        Formula::Equal(Term::Variable(var), Term::Variable(w)));
+  }
+  parts.push_back(
+      Formula::ForAll(var, Formula::Implies(body, Formula::OrAll(one_of))));
+
+  FormulaPtr result = Formula::AndAll(parts);
+  for (int i = n - 1; i >= 0; --i) {
+    result = Formula::Exists(witnesses[i], result);
+  }
+  return result;
+}
+
+}  // namespace rwl::logic

@@ -1,0 +1,67 @@
+// Ergonomic construction helpers for L≈ formulas.
+//
+// These are thin wrappers over the Formula/Expr/Term factories that make
+// knowledge bases in tests, examples and benchmarks read close to the
+// paper's notation, e.g.
+//
+//   // ||Hep(x) | Jaun(x)||_x ≈_1 0.8
+//   ApproxEq(CondProp(P("Hep", x), P("Jaun", x), {"x"}), 0.8, 1)
+//
+//   // Bird(x) → Fly(x)   (statistical interpretation of a default)
+//   Default(P("Bird", x), P("Fly", x), {"x"}, 1)
+#ifndef RWL_LOGIC_BUILDER_H_
+#define RWL_LOGIC_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/logic/formula.h"
+#include "src/logic/term.h"
+
+namespace rwl::logic {
+
+// Terms.
+TermPtr V(const std::string& name);  // variable
+TermPtr C(const std::string& name);  // constant
+
+// Atoms with up to three arguments.
+FormulaPtr P(const std::string& pred, const TermPtr& a);
+FormulaPtr P(const std::string& pred, const TermPtr& a, const TermPtr& b);
+FormulaPtr P(const std::string& pred, const TermPtr& a, const TermPtr& b,
+             const TermPtr& c);
+// Propositional atom (0-ary predicate).
+FormulaPtr P0(const std::string& pred);
+
+FormulaPtr Eq(const TermPtr& a, const TermPtr& b);
+
+// Proportion expressions.
+ExprPtr Prop(const FormulaPtr& body, const std::vector<std::string>& vars);
+ExprPtr CondProp(const FormulaPtr& body, const FormulaPtr& cond,
+                 const std::vector<std::string>& vars);
+ExprPtr Num(double value);
+
+// Proportion formulas.
+FormulaPtr ApproxEq(const ExprPtr& e, double value, int tolerance_index = 1);
+FormulaPtr ApproxLeq(const ExprPtr& e, double value, int tolerance_index = 1);
+FormulaPtr ApproxGeq(const ExprPtr& e, double value, int tolerance_index = 1);
+// α ⪯_i e ⪯_j β, as used in Theorem 5.23 / Example 5.24.
+FormulaPtr InInterval(double lo, int i, const ExprPtr& e, double hi, int j);
+
+// The statistical interpretation of the default "A's are typically B's"
+// (Section 4.3): ||B | A||_vars ≈_i 1.
+FormulaPtr Default(const FormulaPtr& antecedent, const FormulaPtr& consequent,
+                   const std::vector<std::string>& vars,
+                   int tolerance_index = 1);
+
+// ∃! x. body  — "there is a unique x" (used by Theorem 5.26 / the lottery).
+// Expands to ∃x (body ∧ ∀y (body[x/y] ⇒ y = x)) with a fresh variable y.
+FormulaPtr ExistsUnique(const std::string& var, const FormulaPtr& body);
+
+// "There are exactly n elements satisfying body" as a pure first-order
+// sentence with equality (used by the lottery experiments, Section 5.5).
+// n must be small; the formula grows quadratically in n.
+FormulaPtr ExactlyN(int n, const std::string& var, const FormulaPtr& body);
+
+}  // namespace rwl::logic
+
+#endif  // RWL_LOGIC_BUILDER_H_

@@ -1,0 +1,168 @@
+#include "src/logic/classalg.h"
+
+#include <bit>
+
+namespace rwl::logic {
+
+ClassUniverse::ClassUniverse(std::vector<std::string> predicates)
+    : predicates_(std::move(predicates)) {}
+
+int ClassUniverse::PredicateIndex(const std::string& name) const {
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    if (predicates_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+AtomSet::AtomSet(int num_atoms, bool all) : num_atoms_(num_atoms) {
+  int words = (num_atoms + 63) / 64;
+  words_.assign(words, all ? ~uint64_t{0} : 0);
+  if (all && num_atoms % 64 != 0) {
+    // Clear the bits past num_atoms in the last word.
+    words_.back() &= (uint64_t{1} << (num_atoms % 64)) - 1;
+  }
+}
+
+AtomSet AtomSet::OfPredicate(const ClassUniverse& u, int pred_index) {
+  AtomSet s(u.num_atoms());
+  for (int atom = 0; atom < u.num_atoms(); ++atom) {
+    if (ClassUniverse::AtomHas(atom, pred_index)) s.Set(atom, true);
+  }
+  return s;
+}
+
+bool AtomSet::Get(int atom) const {
+  return (words_[atom / 64] >> (atom % 64)) & 1;
+}
+
+void AtomSet::Set(int atom, bool value) {
+  uint64_t mask = uint64_t{1} << (atom % 64);
+  if (value) {
+    words_[atom / 64] |= mask;
+  } else {
+    words_[atom / 64] &= ~mask;
+  }
+}
+
+AtomSet AtomSet::Intersect(const AtomSet& other) const {
+  AtomSet out(num_atoms_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] & other.words_[i];
+  }
+  return out;
+}
+
+AtomSet AtomSet::Union(const AtomSet& other) const {
+  AtomSet out(num_atoms_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] | other.words_[i];
+  }
+  return out;
+}
+
+AtomSet AtomSet::Complement() const {
+  AtomSet out(num_atoms_);
+  for (size_t i = 0; i < words_.size(); ++i) out.words_[i] = ~words_[i];
+  if (num_atoms_ % 64 != 0) {
+    out.words_.back() &= (uint64_t{1} << (num_atoms_ % 64)) - 1;
+  }
+  return out;
+}
+
+bool AtomSet::Empty() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+int AtomSet::Count() const {
+  int count = 0;
+  for (uint64_t w : words_) count += std::popcount(w);
+  return count;
+}
+
+bool AtomSet::SubsetOf(const AtomSet& a, const AtomSet& b,
+                       const AtomSet& allowed) {
+  return a.Intersect(allowed).Intersect(b.Complement()).Empty();
+}
+
+bool AtomSet::Disjoint(const AtomSet& a, const AtomSet& b,
+                       const AtomSet& allowed) {
+  return a.Intersect(b).Intersect(allowed).Empty();
+}
+
+bool AtomSet::Equal(const AtomSet& a, const AtomSet& b) {
+  return a.num_atoms_ == b.num_atoms_ && a.words_ == b.words_;
+}
+
+std::vector<int> AtomSet::Atoms() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_atoms_; ++i) {
+    if (Get(i)) out.push_back(i);
+  }
+  return out;
+}
+
+namespace {
+
+std::optional<AtomSet> Compile(const ClassUniverse& u, const FormulaPtr& f,
+                               const TermPtr& subject) {
+  switch (f->kind()) {
+    case Formula::Kind::kTrue:
+      return AtomSet::All(u);
+    case Formula::Kind::kFalse:
+      return AtomSet::None(u);
+    case Formula::Kind::kAtom: {
+      if (f->terms().size() != 1) return std::nullopt;
+      if (!Term::Equal(f->terms()[0], subject)) return std::nullopt;
+      int index = u.PredicateIndex(f->predicate());
+      if (index < 0) return std::nullopt;
+      return AtomSet::OfPredicate(u, index);
+    }
+    case Formula::Kind::kNot: {
+      auto inner = Compile(u, f->body(), subject);
+      if (!inner) return std::nullopt;
+      return inner->Complement();
+    }
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kImplies:
+    case Formula::Kind::kIff: {
+      auto lhs = Compile(u, f->left(), subject);
+      auto rhs = Compile(u, f->right(), subject);
+      if (!lhs || !rhs) return std::nullopt;
+      switch (f->kind()) {
+        case Formula::Kind::kAnd:
+          return lhs->Intersect(*rhs);
+        case Formula::Kind::kOr:
+          return lhs->Union(*rhs);
+        case Formula::Kind::kImplies:
+          return lhs->Complement().Union(*rhs);
+        default:  // kIff
+          return lhs->Intersect(*rhs).Union(
+              lhs->Complement().Intersect(rhs->Complement()));
+      }
+    }
+    default:
+      return std::nullopt;  // quantifiers / equality / proportions
+  }
+}
+
+}  // namespace
+
+std::optional<AtomSet> CompileClass(const ClassUniverse& u, const FormulaPtr& f,
+                                    const TermPtr& subject) {
+  return Compile(u, f, subject);
+}
+
+bool Taxonomy::Absorb(const FormulaPtr& conjunct) {
+  if (conjunct->kind() != Formula::Kind::kForAll) return false;
+  TermPtr subject = Term::Variable(conjunct->var());
+  auto atoms = CompileClass(*universe_, conjunct->body(), subject);
+  if (!atoms) return false;
+  allowed_ = allowed_.Intersect(*atoms);
+  return true;
+}
+
+}  // namespace rwl::logic

@@ -1,0 +1,123 @@
+// Class algebra: decidable reasoning about boolean combinations of unary
+// predicates ("classes" / "reference classes").
+//
+// A ClassUniverse fixes an ordered list of unary predicate names P1..Pk and
+// identifies a class expression with the set of atoms (Section 6: the 2^k
+// conjunctions Q1 ∧ ... ∧ Qk, Qi ∈ {Pi, ¬Pi}) it contains.  Subset and
+// disjointness questions relative to a background taxonomy — the side
+// conditions "KB |= ∀x(ψ0(x) ⇒ ψ(x))" of Theorems 5.16 and 5.23 — reduce to
+// bit operations over atom sets.
+#ifndef RWL_LOGIC_CLASSALG_H_
+#define RWL_LOGIC_CLASSALG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/logic/formula.h"
+
+namespace rwl::logic {
+
+// The set of atoms over a fixed list of unary predicates.
+class ClassUniverse {
+ public:
+  // At most 24 predicates (2^24 atoms); enough for any realistic KB and far
+  // beyond what the engines can enumerate anyway.
+  static constexpr int kMaxPredicates = 24;
+
+  explicit ClassUniverse(std::vector<std::string> predicates);
+
+  int num_predicates() const { return static_cast<int>(predicates_.size()); }
+  int num_atoms() const { return 1 << num_predicates(); }
+  const std::vector<std::string>& predicates() const { return predicates_; }
+
+  // Index of a predicate name, or -1.
+  int PredicateIndex(const std::string& name) const;
+
+  // Whether predicate `pred` holds in atom `atom`.
+  static bool AtomHas(int atom, int pred_index) {
+    return (atom >> pred_index) & 1;
+  }
+
+ private:
+  std::vector<std::string> predicates_;
+};
+
+// A set of atoms (the extension of a class expression).
+class AtomSet {
+ public:
+  AtomSet() = default;
+  explicit AtomSet(int num_atoms, bool all = false);
+
+  static AtomSet All(const ClassUniverse& u) { return AtomSet(u.num_atoms(), true); }
+  static AtomSet None(const ClassUniverse& u) { return AtomSet(u.num_atoms(), false); }
+  // Atoms where predicate `pred_index` holds.
+  static AtomSet OfPredicate(const ClassUniverse& u, int pred_index);
+
+  bool Get(int atom) const;
+  void Set(int atom, bool value);
+
+  AtomSet Intersect(const AtomSet& other) const;
+  AtomSet Union(const AtomSet& other) const;
+  AtomSet Complement() const;
+
+  bool Empty() const;
+  int Count() const;
+  int num_atoms() const { return num_atoms_; }
+
+  // a ⊆ b within the allowed atoms.
+  static bool SubsetOf(const AtomSet& a, const AtomSet& b,
+                       const AtomSet& allowed);
+  static bool Disjoint(const AtomSet& a, const AtomSet& b,
+                       const AtomSet& allowed);
+  static bool Equal(const AtomSet& a, const AtomSet& b);
+
+  std::vector<int> Atoms() const;  // indices of members
+
+ private:
+  int num_atoms_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+// Compiles a formula into the atom set of the class {x : f(x)} over the
+// universe.  Succeeds only when f is a boolean combination of atoms P(t)
+// where every P is in the universe and every argument term equals `subject`
+// (a variable name, or a constant when compiling facts about an individual).
+// Returns nullopt outside this fragment.
+std::optional<AtomSet> CompileClass(const ClassUniverse& u, const FormulaPtr& f,
+                                    const TermPtr& subject);
+
+// A taxonomy: the atoms permitted by the universal conjuncts of a KB.
+// Built by intersecting, for every conjunct ∀x φ(x) with φ compilable, the
+// atom set of φ.
+class Taxonomy {
+ public:
+  explicit Taxonomy(const ClassUniverse& u)
+      : universe_(&u), allowed_(AtomSet::All(u)) {}
+
+  // Inspects a KB conjunct; if it is a universal class constraint, narrows
+  // the allowed atoms and returns true.
+  bool Absorb(const FormulaPtr& conjunct);
+
+  const AtomSet& allowed() const { return allowed_; }
+
+  bool Entails_Subset(const AtomSet& a, const AtomSet& b) const {
+    return AtomSet::SubsetOf(a, b, allowed_);
+  }
+  bool Entails_Disjoint(const AtomSet& a, const AtomSet& b) const {
+    return AtomSet::Disjoint(a, b, allowed_);
+  }
+  // The class is empty under the taxonomy.
+  bool Entails_Empty(const AtomSet& a) const {
+    return a.Intersect(allowed_).Empty();
+  }
+
+ private:
+  const ClassUniverse* universe_;
+  AtomSet allowed_;
+};
+
+}  // namespace rwl::logic
+
+#endif  // RWL_LOGIC_CLASSALG_H_

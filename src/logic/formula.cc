@@ -1,0 +1,254 @@
+#include "src/logic/formula.h"
+
+#include <functional>
+
+namespace rwl::logic {
+
+bool IsApproximate(CompareOp op) {
+  switch (op) {
+    case CompareOp::kApproxEq:
+    case CompareOp::kApproxLeq:
+    case CompareOp::kApproxGeq:
+      return true;
+    case CompareOp::kEq:
+    case CompareOp::kLeq:
+    case CompareOp::kGeq:
+      return false;
+  }
+  return false;
+}
+
+ExprPtr Expr::Constant(double value) {
+  auto* e = new Expr(Kind::kConstant);
+  e->value_ = value;
+  return ExprPtr(e);
+}
+
+ExprPtr Expr::Proportion(FormulaPtr body, std::vector<std::string> vars) {
+  auto* e = new Expr(Kind::kProportion);
+  e->body_ = std::move(body);
+  e->vars_ = std::move(vars);
+  return ExprPtr(e);
+}
+
+ExprPtr Expr::Conditional(FormulaPtr body, FormulaPtr cond,
+                          std::vector<std::string> vars) {
+  auto* e = new Expr(Kind::kConditional);
+  e->body_ = std::move(body);
+  e->cond_ = std::move(cond);
+  e->vars_ = std::move(vars);
+  return ExprPtr(e);
+}
+
+ExprPtr Expr::Add(ExprPtr lhs, ExprPtr rhs) {
+  auto* e = new Expr(Kind::kAdd);
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return ExprPtr(e);
+}
+
+ExprPtr Expr::Sub(ExprPtr lhs, ExprPtr rhs) {
+  auto* e = new Expr(Kind::kSub);
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return ExprPtr(e);
+}
+
+ExprPtr Expr::Mul(ExprPtr lhs, ExprPtr rhs) {
+  auto* e = new Expr(Kind::kMul);
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return ExprPtr(e);
+}
+
+bool Expr::Equal(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind_ != b->kind_) return false;
+  switch (a->kind_) {
+    case Kind::kConstant:
+      return a->value_ == b->value_;
+    case Kind::kProportion:
+      return a->vars_ == b->vars_ &&
+             Formula::StructuralEqual(a->body_, b->body_);
+    case Kind::kConditional:
+      return a->vars_ == b->vars_ &&
+             Formula::StructuralEqual(a->body_, b->body_) &&
+             Formula::StructuralEqual(a->cond_, b->cond_);
+    case Kind::kAdd:
+    case Kind::kSub:
+    case Kind::kMul:
+      return Equal(a->lhs_, b->lhs_) && Equal(a->rhs_, b->rhs_);
+  }
+  return false;
+}
+
+size_t Expr::Hash(const ExprPtr& e) {
+  if (e == nullptr) return 0;
+  size_t h = static_cast<size_t>(e->kind_) * 1000003;
+  switch (e->kind_) {
+    case Kind::kConstant:
+      h ^= std::hash<double>()(e->value_);
+      break;
+    case Kind::kProportion:
+    case Kind::kConditional:
+      h = h * 31 + Formula::Hash(e->body_);
+      h = h * 31 + Formula::Hash(e->cond_);
+      for (const auto& v : e->vars_) h = h * 31 + std::hash<std::string>()(v);
+      break;
+    case Kind::kAdd:
+    case Kind::kSub:
+    case Kind::kMul:
+      h = h * 31 + Hash(e->lhs_);
+      h = h * 31 + Hash(e->rhs_);
+      break;
+  }
+  return h;
+}
+
+FormulaPtr Formula::True() {
+  static const FormulaPtr instance(new Formula(Kind::kTrue));
+  return instance;
+}
+
+FormulaPtr Formula::False() {
+  static const FormulaPtr instance(new Formula(Kind::kFalse));
+  return instance;
+}
+
+FormulaPtr Formula::Atom(std::string predicate, std::vector<TermPtr> args) {
+  auto* f = new Formula(Kind::kAtom);
+  f->name_ = std::move(predicate);
+  f->terms_ = std::move(args);
+  return FormulaPtr(f);
+}
+
+FormulaPtr Formula::Equal(TermPtr lhs, TermPtr rhs) {
+  auto* f = new Formula(Kind::kEqual);
+  f->terms_ = {std::move(lhs), std::move(rhs)};
+  return FormulaPtr(f);
+}
+
+FormulaPtr Formula::Not(FormulaPtr f) {
+  auto* n = new Formula(Kind::kNot);
+  n->left_ = std::move(f);
+  return FormulaPtr(n);
+}
+
+FormulaPtr Formula::And(FormulaPtr lhs, FormulaPtr rhs) {
+  auto* f = new Formula(Kind::kAnd);
+  f->left_ = std::move(lhs);
+  f->right_ = std::move(rhs);
+  return FormulaPtr(f);
+}
+FormulaPtr Formula::Or(FormulaPtr lhs, FormulaPtr rhs) {
+  auto* f = new Formula(Kind::kOr);
+  f->left_ = std::move(lhs);
+  f->right_ = std::move(rhs);
+  return FormulaPtr(f);
+}
+FormulaPtr Formula::Implies(FormulaPtr lhs, FormulaPtr rhs) {
+  auto* f = new Formula(Kind::kImplies);
+  f->left_ = std::move(lhs);
+  f->right_ = std::move(rhs);
+  return FormulaPtr(f);
+}
+FormulaPtr Formula::Iff(FormulaPtr lhs, FormulaPtr rhs) {
+  auto* f = new Formula(Kind::kIff);
+  f->left_ = std::move(lhs);
+  f->right_ = std::move(rhs);
+  return FormulaPtr(f);
+}
+
+FormulaPtr Formula::ForAll(std::string var, FormulaPtr body) {
+  auto* f = new Formula(Kind::kForAll);
+  f->name_ = std::move(var);
+  f->left_ = std::move(body);
+  return FormulaPtr(f);
+}
+
+FormulaPtr Formula::Exists(std::string var, FormulaPtr body) {
+  auto* f = new Formula(Kind::kExists);
+  f->name_ = std::move(var);
+  f->left_ = std::move(body);
+  return FormulaPtr(f);
+}
+
+FormulaPtr Formula::Compare(ExprPtr lhs, CompareOp op, ExprPtr rhs,
+                            int tolerance_index) {
+  auto* f = new Formula(Kind::kCompare);
+  f->expr_left_ = std::move(lhs);
+  f->expr_right_ = std::move(rhs);
+  f->compare_op_ = op;
+  f->tolerance_index_ = tolerance_index;
+  return FormulaPtr(f);
+}
+
+FormulaPtr Formula::AndAll(const std::vector<FormulaPtr>& fs) {
+  if (fs.empty()) return True();
+  FormulaPtr result = fs[0];
+  for (size_t i = 1; i < fs.size(); ++i) result = And(result, fs[i]);
+  return result;
+}
+
+FormulaPtr Formula::OrAll(const std::vector<FormulaPtr>& fs) {
+  if (fs.empty()) return False();
+  FormulaPtr result = fs[0];
+  for (size_t i = 1; i < fs.size(); ++i) result = Or(result, fs[i]);
+  return result;
+}
+
+bool Formula::StructuralEqual(const FormulaPtr& a, const FormulaPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind_ != b->kind_) return false;
+  switch (a->kind_) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return true;
+    case Kind::kAtom:
+      if (a->name_ != b->name_ || a->terms_.size() != b->terms_.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < a->terms_.size(); ++i) {
+        if (!Term::Equal(a->terms_[i], b->terms_[i])) return false;
+      }
+      return true;
+    case Kind::kEqual:
+      return Term::Equal(a->terms_[0], b->terms_[0]) &&
+             Term::Equal(a->terms_[1], b->terms_[1]);
+    case Kind::kNot:
+      return StructuralEqual(a->left_, b->left_);
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kImplies:
+    case Kind::kIff:
+      return StructuralEqual(a->left_, b->left_) &&
+             StructuralEqual(a->right_, b->right_);
+    case Kind::kForAll:
+    case Kind::kExists:
+      return a->name_ == b->name_ && StructuralEqual(a->left_, b->left_);
+    case Kind::kCompare:
+      return a->compare_op_ == b->compare_op_ &&
+             a->tolerance_index_ == b->tolerance_index_ &&
+             Expr::Equal(a->expr_left_, b->expr_left_) &&
+             Expr::Equal(a->expr_right_, b->expr_right_);
+  }
+  return false;
+}
+
+size_t Formula::Hash(const FormulaPtr& f) {
+  if (f == nullptr) return 0;
+  size_t h = static_cast<size_t>(f->kind_) * 2654435761u;
+  h = h * 31 + std::hash<std::string>()(f->name_);
+  for (const auto& t : f->terms_) h = h * 31 + Term::Hash(t);
+  h = h * 31 + Hash(f->left_);
+  h = h * 31 + Hash(f->right_);
+  h = h * 31 + Expr::Hash(f->expr_left_);
+  h = h * 31 + Expr::Hash(f->expr_right_);
+  h = h * 31 + static_cast<size_t>(f->compare_op_);
+  h = h * 31 + static_cast<size_t>(f->tolerance_index_);
+  return h;
+}
+
+}  // namespace rwl::logic

@@ -1,0 +1,154 @@
+// Formulas and proportion expressions of L≈ (Definition 4.1).
+//
+// The language extends first-order logic with proportion expressions:
+//   ||ψ||_{x1..xk}      — fraction of k-tuples satisfying ψ
+//   ||ψ | θ||_{x1..xk}  — conditional proportion (a primitive, Section 4.1)
+//   rational constants, sums and products of proportion expressions,
+// and proportion formulas comparing two expressions with one of an infinite
+// family of approximate connectives ≈_i / ⪯_i (interpreted with tolerance
+// τ_i), or with exact =, ≤ (the language L= of Halpern 1990).
+//
+// Formula and Expr are immutable trees shared by shared_ptr<const T>.
+#ifndef RWL_LOGIC_FORMULA_H_
+#define RWL_LOGIC_FORMULA_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/logic/term.h"
+
+namespace rwl::logic {
+
+class Formula;
+class Expr;
+using FormulaPtr = std::shared_ptr<const Formula>;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+// Comparison connective of a proportion formula.
+enum class CompareOp {
+  kApproxEq,   // ζ ≈_i ζ'   (|ζ - ζ'| ≤ τ_i)
+  kApproxLeq,  // ζ ⪯_i ζ'   (ζ - ζ' ≤ τ_i)
+  kApproxGeq,  // ζ ⪰_i ζ'   (ζ' - ζ ≤ τ_i)
+  kEq,         // ζ = ζ'     (exact; L= connective)
+  kLeq,        // ζ ≤ ζ'
+  kGeq,        // ζ ≥ ζ'
+};
+
+// True for the ≈/⪯/⪰ family, which consult the tolerance vector.
+bool IsApproximate(CompareOp op);
+
+// A proportion expression (denotes a real number in a world).
+class Expr {
+ public:
+  enum class Kind {
+    kConstant,     // rational constant (stored as double)
+    kProportion,   // ||body||_vars
+    kConditional,  // ||body | cond||_vars
+    kAdd,          // lhs + rhs
+    kSub,          // lhs - rhs
+    kMul,          // lhs * rhs
+  };
+
+  static ExprPtr Constant(double value);
+  static ExprPtr Proportion(FormulaPtr body, std::vector<std::string> vars);
+  static ExprPtr Conditional(FormulaPtr body, FormulaPtr cond,
+                             std::vector<std::string> vars);
+  static ExprPtr Add(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Sub(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Mul(ExprPtr lhs, ExprPtr rhs);
+
+  Kind kind() const { return kind_; }
+  double value() const { return value_; }
+  const FormulaPtr& body() const { return body_; }
+  const FormulaPtr& cond() const { return cond_; }
+  const std::vector<std::string>& vars() const { return vars_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
+  static bool Equal(const ExprPtr& a, const ExprPtr& b);
+  static size_t Hash(const ExprPtr& e);
+
+ private:
+  Expr(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  double value_ = 0.0;
+  FormulaPtr body_;
+  FormulaPtr cond_;
+  std::vector<std::string> vars_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+// A formula of L≈.
+class Formula {
+ public:
+  enum class Kind {
+    kTrue,
+    kFalse,
+    kAtom,     // R(t1,...,tr)
+    kEqual,    // t1 = t2
+    kNot,
+    kAnd,
+    kOr,
+    kImplies,  // material implication ⇒
+    kIff,      // ⇔
+    kForAll,   // ∀x. body
+    kExists,   // ∃x. body
+    kCompare,  // proportion formula ζ op ζ'
+  };
+
+  static FormulaPtr True();
+  static FormulaPtr False();
+  static FormulaPtr Atom(std::string predicate, std::vector<TermPtr> args);
+  static FormulaPtr Equal(TermPtr lhs, TermPtr rhs);
+  static FormulaPtr Not(FormulaPtr f);
+  static FormulaPtr And(FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr Or(FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr Implies(FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr Iff(FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr ForAll(std::string var, FormulaPtr body);
+  static FormulaPtr Exists(std::string var, FormulaPtr body);
+  // ζ op ζ' with tolerance index i (1-based, as in the paper's ≈_i).
+  // The index is ignored by the exact connectives.
+  static FormulaPtr Compare(ExprPtr lhs, CompareOp op, ExprPtr rhs,
+                            int tolerance_index = 1);
+
+  // Conjunction / disjunction of a list (True / False when empty).
+  static FormulaPtr AndAll(const std::vector<FormulaPtr>& fs);
+  static FormulaPtr OrAll(const std::vector<FormulaPtr>& fs);
+
+  Kind kind() const { return kind_; }
+  const std::string& predicate() const { return name_; }
+  const std::string& var() const { return name_; }
+  const std::vector<TermPtr>& terms() const { return terms_; }
+  const FormulaPtr& left() const { return left_; }
+  const FormulaPtr& right() const { return right_; }
+  const FormulaPtr& body() const { return left_; }
+  const ExprPtr& expr_left() const { return expr_left_; }
+  const ExprPtr& expr_right() const { return expr_right_; }
+  CompareOp compare_op() const { return compare_op_; }
+  int tolerance_index() const { return tolerance_index_; }
+
+  static bool StructuralEqual(const FormulaPtr& a, const FormulaPtr& b);
+  static size_t Hash(const FormulaPtr& f);
+
+ private:
+  Formula(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string name_;             // predicate name or bound variable
+  std::vector<TermPtr> terms_;   // atom arguments / equality operands
+  FormulaPtr left_;              // unary & binary connectives; quantifier body
+  FormulaPtr right_;
+  ExprPtr expr_left_;
+  ExprPtr expr_right_;
+  CompareOp compare_op_ = CompareOp::kEq;
+  int tolerance_index_ = 1;
+};
+
+}  // namespace rwl::logic
+
+#endif  // RWL_LOGIC_FORMULA_H_

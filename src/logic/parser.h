@@ -1,0 +1,38 @@
+// Recursive-descent parser for the textual L≈ syntax (see printer.h for the
+// grammar summary).  No exceptions: parse failures are reported through
+// ParseResult with a message and input offset.
+//
+// Convention (matching the paper's notation): identifiers beginning with a
+// lower-case letter are variables; identifiers beginning with an upper-case
+// letter are predicate / constant / function symbols.
+#ifndef RWL_LOGIC_PARSER_H_
+#define RWL_LOGIC_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/logic/formula.h"
+
+namespace rwl::logic {
+
+struct ParseResult {
+  FormulaPtr formula;       // null on failure
+  std::string error;        // empty on success
+  size_t error_offset = 0;  // byte offset of the failure
+
+  bool ok() const { return formula != nullptr; }
+};
+
+// Parses a single formula.  Trailing input (other than whitespace) is an
+// error.
+ParseResult ParseFormula(std::string_view input);
+
+// Parses a knowledge base: one formula per non-empty line; lines beginning
+// with '#' after optional whitespace are comments... except that '#' also
+// opens a proportion expression, so KB comments use "//" instead.  All lines
+// are conjoined.
+ParseResult ParseKnowledgeBase(std::string_view input);
+
+}  // namespace rwl::logic
+
+#endif  // RWL_LOGIC_PARSER_H_

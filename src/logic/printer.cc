@@ -1,0 +1,198 @@
+#include "src/logic/printer.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace rwl::logic {
+namespace {
+
+void PrintTerm(const TermPtr& t, std::ostringstream* out) {
+  *out << t->name();
+  if (t->kind() == Term::Kind::kApply && !t->args().empty()) {
+    *out << "(";
+    for (size_t i = 0; i < t->args().size(); ++i) {
+      if (i > 0) *out << ", ";
+      PrintTerm(t->args()[i], out);
+    }
+    *out << ")";
+  }
+}
+
+void PrintFormula(const FormulaPtr& f, std::ostringstream* out);
+
+std::string FormatNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void PrintVars(const std::vector<std::string>& vars, std::ostringstream* out) {
+  *out << "[";
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (i > 0) *out << ",";
+    *out << vars[i];
+  }
+  *out << "]";
+}
+
+void PrintExpr(const ExprPtr& e, std::ostringstream* out) {
+  switch (e->kind()) {
+    case Expr::Kind::kConstant:
+      *out << FormatNumber(e->value());
+      return;
+    case Expr::Kind::kProportion:
+      *out << "#(";
+      PrintFormula(e->body(), out);
+      *out << ")";
+      PrintVars(e->vars(), out);
+      return;
+    case Expr::Kind::kConditional:
+      *out << "#(";
+      PrintFormula(e->body(), out);
+      *out << " ; ";
+      PrintFormula(e->cond(), out);
+      *out << ")";
+      PrintVars(e->vars(), out);
+      return;
+    case Expr::Kind::kAdd:
+      *out << "(";
+      PrintExpr(e->lhs(), out);
+      *out << " + ";
+      PrintExpr(e->rhs(), out);
+      *out << ")";
+      return;
+    case Expr::Kind::kSub:
+      *out << "(";
+      PrintExpr(e->lhs(), out);
+      *out << " - ";
+      PrintExpr(e->rhs(), out);
+      *out << ")";
+      return;
+    case Expr::Kind::kMul:
+      *out << "(";
+      PrintExpr(e->lhs(), out);
+      *out << " * ";
+      PrintExpr(e->rhs(), out);
+      *out << ")";
+      return;
+  }
+}
+
+const char* CompareOpToken(CompareOp op) {
+  switch (op) {
+    case CompareOp::kApproxEq:
+      return "~=";
+    case CompareOp::kApproxLeq:
+      return "<~";
+    case CompareOp::kApproxGeq:
+      return ">~";
+    case CompareOp::kEq:
+      return "==";
+    case CompareOp::kLeq:
+      return "<=";
+    case CompareOp::kGeq:
+      return ">=";
+  }
+  return "?";
+}
+
+void PrintFormula(const FormulaPtr& f, std::ostringstream* out) {
+  switch (f->kind()) {
+    case Formula::Kind::kTrue:
+      *out << "true";
+      return;
+    case Formula::Kind::kFalse:
+      *out << "false";
+      return;
+    case Formula::Kind::kAtom:
+      *out << f->predicate();
+      if (!f->terms().empty()) {
+        *out << "(";
+        for (size_t i = 0; i < f->terms().size(); ++i) {
+          if (i > 0) *out << ", ";
+          PrintTerm(f->terms()[i], out);
+        }
+        *out << ")";
+      }
+      return;
+    case Formula::Kind::kEqual:
+      *out << "(";
+      PrintTerm(f->terms()[0], out);
+      *out << " = ";
+      PrintTerm(f->terms()[1], out);
+      *out << ")";
+      return;
+    case Formula::Kind::kNot:
+      *out << "!";
+      // Parenthesize non-primary bodies.
+      switch (f->body()->kind()) {
+        case Formula::Kind::kAtom:
+        case Formula::Kind::kTrue:
+        case Formula::Kind::kFalse:
+        case Formula::Kind::kNot:
+        case Formula::Kind::kEqual:
+          PrintFormula(f->body(), out);
+          break;
+        default:
+          *out << "(";
+          PrintFormula(f->body(), out);
+          *out << ")";
+      }
+      return;
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kImplies:
+    case Formula::Kind::kIff: {
+      const char* op = f->kind() == Formula::Kind::kAnd        ? " & "
+                       : f->kind() == Formula::Kind::kOr       ? " | "
+                       : f->kind() == Formula::Kind::kImplies  ? " => "
+                                                               : " <=> ";
+      *out << "(";
+      PrintFormula(f->left(), out);
+      *out << op;
+      PrintFormula(f->right(), out);
+      *out << ")";
+      return;
+    }
+    case Formula::Kind::kForAll:
+    case Formula::Kind::kExists:
+      *out << "(" << (f->kind() == Formula::Kind::kForAll ? "forall " : "exists ")
+           << f->var() << ". ";
+      PrintFormula(f->body(), out);
+      *out << ")";
+      return;
+    case Formula::Kind::kCompare:
+      *out << "(";
+      PrintExpr(f->expr_left(), out);
+      *out << " " << CompareOpToken(f->compare_op());
+      if (IsApproximate(f->compare_op()) && f->tolerance_index() != 1) {
+        *out << "_" << f->tolerance_index();
+      }
+      *out << " ";
+      PrintExpr(f->expr_right(), out);
+      *out << ")";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string ToString(const FormulaPtr& f) {
+  std::ostringstream out;
+  PrintFormula(f, &out);
+  return out.str();
+}
+
+std::string ToString(const ExprPtr& e) {
+  std::ostringstream out;
+  PrintExpr(e, &out);
+  return out.str();
+}
+
+std::string ToString(const TermPtr& t) {
+  std::ostringstream out;
+  PrintTerm(t, &out);
+  return out.str();
+}
+
+}  // namespace rwl::logic

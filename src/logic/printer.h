@@ -1,0 +1,30 @@
+// Pretty-printer for L≈, producing the textual syntax accepted by the
+// parser (round-trip property: Parse(Print(f)) is structurally equal to f).
+//
+// Syntax summary (ASCII rendering of the paper's notation):
+//   true, false
+//   Bird(x), Likes(x, Fred), x = y
+//   !f, (f & g), (f | g), (f => g), (f <=> g)
+//   forall x. f        exists x. f
+//   #(f)[x,y]          — ||f||_{x,y}
+//   #(f ; g)[x]        — ||f | g||_x   (';' avoids clashing with '|' = or)
+//   e ~=_2 0.8         — e ≈_2 0.8
+//   e <~_1 0.3, e >~_1 0.3, e == 0.5, e <= 0.5, e >= 0.5
+// Identifiers starting with an upper-case letter are constants / predicates /
+// functions; lower-case identifiers are variables (the paper's convention).
+#ifndef RWL_LOGIC_PRINTER_H_
+#define RWL_LOGIC_PRINTER_H_
+
+#include <string>
+
+#include "src/logic/formula.h"
+
+namespace rwl::logic {
+
+std::string ToString(const FormulaPtr& f);
+std::string ToString(const ExprPtr& e);
+std::string ToString(const TermPtr& t);
+
+}  // namespace rwl::logic
+
+#endif  // RWL_LOGIC_PRINTER_H_

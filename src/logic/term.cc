@@ -1,0 +1,83 @@
+#include "src/logic/term.h"
+
+#include <functional>
+
+namespace rwl::logic {
+
+TermPtr Term::Variable(std::string name) {
+  return TermPtr(new Term(Kind::kVariable, std::move(name), {}));
+}
+
+TermPtr Term::Constant(std::string name) {
+  return TermPtr(new Term(Kind::kApply, std::move(name), {}));
+}
+
+TermPtr Term::Apply(std::string function, std::vector<TermPtr> args) {
+  return TermPtr(new Term(Kind::kApply, std::move(function), std::move(args)));
+}
+
+bool Term::Equal(const TermPtr& a, const TermPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind_ != b->kind_ || a->name_ != b->name_) return false;
+  if (a->args_.size() != b->args_.size()) return false;
+  for (size_t i = 0; i < a->args_.size(); ++i) {
+    if (!Equal(a->args_[i], b->args_[i])) return false;
+  }
+  return true;
+}
+
+size_t Term::Hash(const TermPtr& t) {
+  if (t == nullptr) return 0;
+  size_t h = std::hash<std::string>()(t->name_);
+  h = h * 31 + static_cast<size_t>(t->kind_);
+  for (const auto& a : t->args_) {
+    h = h * 31 + Hash(a);
+  }
+  return h;
+}
+
+void Term::CollectVariables(std::set<std::string>* out) const {
+  if (kind_ == Kind::kVariable) {
+    out->insert(name_);
+    return;
+  }
+  for (const auto& a : args_) a->CollectVariables(out);
+}
+
+void Term::CollectConstants(std::set<std::string>* out) const {
+  if (kind_ == Kind::kApply) {
+    if (args_.empty()) out->insert(name_);
+    for (const auto& a : args_) a->CollectConstants(out);
+  }
+}
+
+void Term::CollectFunctions(std::set<std::string>* out) const {
+  if (kind_ == Kind::kApply) {
+    out->insert(name_);
+    for (const auto& a : args_) a->CollectFunctions(out);
+  }
+}
+
+TermPtr Term::Substitute(
+    const TermPtr& t,
+    const std::vector<std::pair<std::string, TermPtr>>& subst) {
+  if (t->kind_ == Kind::kVariable) {
+    for (const auto& [var, replacement] : subst) {
+      if (var == t->name_) return replacement;
+    }
+    return t;
+  }
+  bool changed = false;
+  std::vector<TermPtr> new_args;
+  new_args.reserve(t->args_.size());
+  for (const auto& a : t->args_) {
+    TermPtr na = Substitute(a, subst);
+    changed = changed || (na != a);
+    new_args.push_back(std::move(na));
+  }
+  if (!changed) return t;
+  return Apply(t->name_, std::move(new_args));
+}
+
+}  // namespace rwl::logic

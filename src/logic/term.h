@@ -1,0 +1,67 @@
+// Terms of the language L≈ (Definition 4.1): variables and function
+// applications.  Constants are arity-0 function applications.
+//
+// All AST nodes in rwl are immutable and shared via shared_ptr<const T>;
+// structural equality and hashing are provided so that formulas can be used
+// as map keys and compared in tests.
+#ifndef RWL_LOGIC_TERM_H_
+#define RWL_LOGIC_TERM_H_
+
+#include <cstddef>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rwl::logic {
+
+class Term;
+using TermPtr = std::shared_ptr<const Term>;
+
+class Term {
+ public:
+  enum class Kind {
+    kVariable,  // x, y, ...
+    kApply,     // f(t1,...,tr); constants are r == 0
+  };
+
+  static TermPtr Variable(std::string name);
+  static TermPtr Constant(std::string name);
+  static TermPtr Apply(std::string function, std::vector<TermPtr> args);
+
+  Kind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  const std::vector<TermPtr>& args() const { return args_; }
+
+  bool is_variable() const { return kind_ == Kind::kVariable; }
+  bool is_constant() const { return kind_ == Kind::kApply && args_.empty(); }
+
+  // Structural equality / ordering / hash.
+  static bool Equal(const TermPtr& a, const TermPtr& b);
+  static size_t Hash(const TermPtr& t);
+
+  // Collects variable names occurring in this term into `out`.
+  void CollectVariables(std::set<std::string>* out) const;
+  // Collects constant names (arity-0 applications) into `out`.
+  void CollectConstants(std::set<std::string>* out) const;
+  // Collects all function names (including constants) into `out`.
+  void CollectFunctions(std::set<std::string>* out) const;
+
+  // Capture-free substitution of variables by terms.  Terms have no binders,
+  // so this is plain simultaneous replacement.
+  static TermPtr Substitute(
+      const TermPtr& t,
+      const std::vector<std::pair<std::string, TermPtr>>& subst);
+
+ private:
+  Term(Kind kind, std::string name, std::vector<TermPtr> args)
+      : kind_(kind), name_(std::move(name)), args_(std::move(args)) {}
+
+  Kind kind_;
+  std::string name_;
+  std::vector<TermPtr> args_;
+};
+
+}  // namespace rwl::logic
+
+#endif  // RWL_LOGIC_TERM_H_

@@ -1,0 +1,88 @@
+#include "src/logic/vocabulary.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rwl::logic {
+namespace {
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "rwl vocabulary error: %s\n", message.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+int Vocabulary::AddPredicate(const std::string& name, int arity) {
+  auto it = predicate_index_.find(name);
+  if (it != predicate_index_.end()) {
+    if (predicates_[it->second].arity != arity) {
+      Die("predicate '" + name + "' re-declared with different arity");
+    }
+    return it->second;
+  }
+  if (function_index_.count(name) > 0) {
+    Die("symbol '" + name + "' already declared as a function");
+  }
+  PredicateSymbol sym;
+  sym.id = static_cast<int>(predicates_.size());
+  sym.name = name;
+  sym.arity = arity;
+  predicates_.push_back(sym);
+  predicate_index_[name] = sym.id;
+  return sym.id;
+}
+
+int Vocabulary::AddFunction(const std::string& name, int arity) {
+  auto it = function_index_.find(name);
+  if (it != function_index_.end()) {
+    if (functions_[it->second].arity != arity) {
+      Die("function '" + name + "' re-declared with different arity");
+    }
+    return it->second;
+  }
+  if (predicate_index_.count(name) > 0) {
+    Die("symbol '" + name + "' already declared as a predicate");
+  }
+  FunctionSymbol sym;
+  sym.id = static_cast<int>(functions_.size());
+  sym.name = name;
+  sym.arity = arity;
+  functions_.push_back(sym);
+  function_index_[name] = sym.id;
+  return sym.id;
+}
+
+std::optional<PredicateSymbol> Vocabulary::FindPredicate(
+    const std::string& name) const {
+  auto it = predicate_index_.find(name);
+  if (it == predicate_index_.end()) return std::nullopt;
+  return predicates_[it->second];
+}
+
+std::optional<FunctionSymbol> Vocabulary::FindFunction(
+    const std::string& name) const {
+  auto it = function_index_.find(name);
+  if (it == function_index_.end()) return std::nullopt;
+  return functions_[it->second];
+}
+
+std::vector<FunctionSymbol> Vocabulary::Constants() const {
+  std::vector<FunctionSymbol> result;
+  for (const auto& f : functions_) {
+    if (f.arity == 0) result.push_back(f);
+  }
+  return result;
+}
+
+bool Vocabulary::IsUnaryRelational() const {
+  for (const auto& p : predicates_) {
+    if (p.arity != 1) return false;
+  }
+  for (const auto& f : functions_) {
+    if (f.arity != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace rwl::logic

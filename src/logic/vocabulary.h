@@ -1,0 +1,71 @@
+// Vocabulary: the finite first-order signature Φ of Section 4.1.
+//
+// A vocabulary registers predicate symbols (with arity), function symbols
+// (with arity; arity-0 functions are constants) and hands out stable integer
+// ids.  Worlds, engines and the parser all resolve symbols through a
+// Vocabulary.
+#ifndef RWL_LOGIC_VOCABULARY_H_
+#define RWL_LOGIC_VOCABULARY_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rwl::logic {
+
+struct PredicateSymbol {
+  int id = -1;
+  std::string name;
+  int arity = 1;
+};
+
+struct FunctionSymbol {
+  int id = -1;
+  std::string name;
+  int arity = 0;  // 0 == constant
+};
+
+// A mutable symbol table.  Symbols are identified by name; registering the
+// same name twice with the same arity is idempotent, with a different arity
+// it is an error.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  // Registers (or finds) a predicate symbol and returns its id.
+  // Terminates the program on an arity clash: that is a programming error in
+  // the caller, not a recoverable condition.
+  int AddPredicate(const std::string& name, int arity);
+
+  // Registers (or finds) a function symbol; arity 0 declares a constant.
+  int AddFunction(const std::string& name, int arity);
+  int AddConstant(const std::string& name) { return AddFunction(name, 0); }
+
+  std::optional<PredicateSymbol> FindPredicate(const std::string& name) const;
+  std::optional<FunctionSymbol> FindFunction(const std::string& name) const;
+
+  const std::vector<PredicateSymbol>& predicates() const { return predicates_; }
+  const std::vector<FunctionSymbol>& functions() const { return functions_; }
+
+  // Constants in declaration order (the arity-0 functions).
+  std::vector<FunctionSymbol> Constants() const;
+
+  // True when every predicate is unary and every function is a constant:
+  // the fragment covered by the profile and maximum-entropy engines
+  // (Section 6 of the paper).
+  bool IsUnaryRelational() const;
+
+  int num_predicates() const { return static_cast<int>(predicates_.size()); }
+  int num_functions() const { return static_cast<int>(functions_.size()); }
+
+ private:
+  std::vector<PredicateSymbol> predicates_;
+  std::vector<FunctionSymbol> functions_;
+  std::unordered_map<std::string, int> predicate_index_;
+  std::unordered_map<std::string, int> function_index_;
+};
+
+}  // namespace rwl::logic
+
+#endif  // RWL_LOGIC_VOCABULARY_H_

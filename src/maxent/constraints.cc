@@ -1,0 +1,241 @@
+#include "src/maxent/constraints.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "src/logic/printer.h"
+#include "src/logic/transform.h"
+
+namespace rwl::maxent {
+namespace {
+
+using logic::AtomSet;
+using logic::ClassUniverse;
+using logic::CompareOp;
+using logic::Expr;
+using logic::ExprPtr;
+using logic::Formula;
+using logic::FormulaPtr;
+
+// coef over atoms for Σ_{a∈s} p_a.
+std::vector<double> Indicator(const AtomSet& s, int dim) {
+  std::vector<double> coef(dim, 0.0);
+  for (int a : s.Atoms()) coef[a] = 1.0;
+  return coef;
+}
+
+std::vector<double> Minus(std::vector<double> v) {
+  for (double& x : v) x = -x;
+  return v;
+}
+
+// a·p + c·(b·p) as coefficient vector.
+std::vector<double> AffineCombine(const std::vector<double>& a, double c,
+                                  const std::vector<double>& b) {
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + c * b[i];
+  return out;
+}
+
+struct PropClass {
+  AtomSet body;  // B ∩ C
+  AtomSet cond;  // C (all atoms when unconditional)
+  bool conditional = false;
+};
+
+std::optional<PropClass> CompileProportion(const ClassUniverse& universe,
+                                           const ExprPtr& e) {
+  if (e->kind() != Expr::Kind::kProportion &&
+      e->kind() != Expr::Kind::kConditional) {
+    return std::nullopt;
+  }
+  if (e->vars().size() != 1) return std::nullopt;
+  logic::TermPtr subject = logic::Term::Variable(e->vars()[0]);
+  auto body = CompileClass(universe, e->body(), subject);
+  if (!body) return std::nullopt;
+  PropClass out{*body, AtomSet::All(universe), false};
+  if (e->kind() == Expr::Kind::kConditional) {
+    auto cond = CompileClass(universe, e->cond(), subject);
+    if (!cond) return std::nullopt;
+    out.cond = *cond;
+    out.conditional = true;
+  }
+  out.body = out.body.Intersect(out.cond);
+  return out;
+}
+
+// Adds the linear constraints for `prop op v` (possibly flipped so the
+// proportion ends up on the left) with tolerance τ.
+void AddComparison(const PropClass& prop, CompareOp op, bool flipped, double v,
+                   double tau, int dim, Problem* problem) {
+  std::vector<double> body = Indicator(prop.body, dim);
+  std::vector<double> cond = Indicator(prop.cond, dim);
+  // S_B ≤ (v+τ)·S_C   ⇔  S_B - (v+τ)·S_C ≤ 0
+  auto upper = [&](double value) {
+    LinearConstraint c;
+    if (prop.conditional) {
+      c.coef = AffineCombine(body, -value, cond);
+      c.bound = 0.0;
+    } else {
+      c.coef = body;
+      c.bound = value;
+    }
+    problem->constraints.push_back(std::move(c));
+  };
+  // S_B ≥ (v-τ)·S_C   ⇔  (v-τ)·S_C - S_B ≤ 0
+  auto lower = [&](double value) {
+    LinearConstraint c;
+    if (prop.conditional) {
+      c.coef = AffineCombine(Minus(body), value, cond);
+      c.bound = 0.0;
+    } else {
+      c.coef = Minus(body);
+      c.bound = -value;
+    }
+    problem->constraints.push_back(std::move(c));
+  };
+
+  // Normalize flipped comparisons: v op prop.
+  if (flipped) {
+    if (op == CompareOp::kApproxLeq || op == CompareOp::kLeq) {
+      op = op == CompareOp::kApproxLeq ? CompareOp::kApproxGeq : CompareOp::kGeq;
+    } else if (op == CompareOp::kApproxGeq || op == CompareOp::kGeq) {
+      op = op == CompareOp::kApproxGeq ? CompareOp::kApproxLeq : CompareOp::kLeq;
+    }
+    // ≈ / = are symmetric.
+  }
+
+  switch (op) {
+    case CompareOp::kApproxEq:
+      upper(v + tau);
+      lower(v - tau);
+      break;
+    case CompareOp::kEq:
+      upper(v);
+      lower(v);
+      break;
+    case CompareOp::kApproxLeq:
+      upper(v + tau);
+      break;
+    case CompareOp::kLeq:
+      upper(v);
+      break;
+    case CompareOp::kApproxGeq:
+      lower(v - tau);
+      break;
+    case CompareOp::kGeq:
+      lower(v);
+      break;
+  }
+}
+
+}  // namespace
+
+double MassOf(const logic::AtomSet& s, const std::vector<double>& p) {
+  double mass = 0.0;
+  for (int a : s.Atoms()) mass += p[a];
+  return mass;
+}
+
+ExtractedKb ExtractUnaryKb(const logic::Vocabulary& vocabulary,
+                           const logic::FormulaPtr& kb,
+                           const semantics::ToleranceVector& tolerances) {
+  ExtractedKb out;
+  if (!vocabulary.IsUnaryRelational()) {
+    out.error = "vocabulary is not unary-relational";
+    return out;
+  }
+  for (const auto& p : vocabulary.predicates()) {
+    out.predicates.push_back(p.name);
+  }
+  ClassUniverse universe(out.predicates);
+  const int dim = universe.num_atoms();
+  out.problem.dim = dim;
+  out.problem.support.assign(dim, true);
+
+  logic::Taxonomy taxonomy(universe);
+
+  for (const auto& conjunct : logic::Conjuncts(kb)) {
+    // 1. Universal class constraints.
+    if (taxonomy.Absorb(conjunct)) continue;
+
+    // 2. Facts about a constant: class expression applied to one constant.
+    std::set<std::string> constants = logic::ConstantsOf(conjunct);
+    if (constants.size() == 1) {
+      logic::TermPtr subject = logic::Term::Constant(*constants.begin());
+      auto cls = CompileClass(universe, conjunct, subject);
+      if (cls.has_value()) {
+        auto [it, inserted] =
+            out.constant_facts.emplace(*constants.begin(), *cls);
+        if (!inserted) it->second = it->second.Intersect(*cls);
+        continue;
+      }
+    }
+
+    // 3. Proportion comparisons against constants.
+    if (conjunct->kind() == Formula::Kind::kCompare && constants.empty()) {
+      ExprPtr prop_side = conjunct->expr_left();
+      ExprPtr const_side = conjunct->expr_right();
+      bool flipped = false;
+      if (prop_side->kind() == Expr::Kind::kConstant) {
+        std::swap(prop_side, const_side);
+        flipped = true;
+      }
+      if (const_side->kind() == Expr::Kind::kConstant) {
+        auto prop = CompileProportion(universe, prop_side);
+        if (prop.has_value()) {
+          double tau = logic::IsApproximate(conjunct->compare_op())
+                           ? tolerances.Get(conjunct->tolerance_index())
+                           : 0.0;
+          AddComparison(*prop, conjunct->compare_op(), flipped,
+                        const_side->value(), tau, dim, &out.problem);
+          continue;
+        }
+      }
+    }
+
+    // 4. Negated "class is approximately empty/full": ¬(||ψ||_x ≈ v) with
+    //    v near 0 or 1 (used by Theorem 5.23 KBs).
+    if (conjunct->kind() == Formula::Kind::kNot &&
+        conjunct->body()->kind() == Formula::Kind::kCompare &&
+        constants.empty()) {
+      const FormulaPtr& inner = conjunct->body();
+      ExprPtr prop_side = inner->expr_left();
+      ExprPtr const_side = inner->expr_right();
+      if (prop_side->kind() == Expr::Kind::kConstant) {
+        std::swap(prop_side, const_side);
+      }
+      if (const_side->kind() == Expr::Kind::kConstant &&
+          inner->compare_op() == CompareOp::kApproxEq) {
+        auto prop = CompileProportion(universe, prop_side);
+        double v = const_side->value();
+        double tau = tolerances.Get(inner->tolerance_index());
+        if (prop.has_value() && !prop->conditional) {
+          if (v - tau <= 0.0) {
+            // ¬(S ≈ v) with v ≈ 0  ⇒  S ≥ v + τ.
+            AddComparison(*prop, CompareOp::kGeq, false, v + tau, 0.0, dim,
+                          &out.problem);
+            continue;
+          }
+          if (v + tau >= 1.0) {
+            AddComparison(*prop, CompareOp::kLeq, false, v - tau, 0.0, dim,
+                          &out.problem);
+            continue;
+          }
+        }
+      }
+    }
+
+    out.error = "unsupported conjunct: " + logic::ToString(conjunct);
+    return out;
+  }
+
+  for (int a = 0; a < dim; ++a) {
+    if (!taxonomy.allowed().Get(a)) out.problem.support[a] = false;
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace rwl::maxent

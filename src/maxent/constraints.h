@@ -1,0 +1,54 @@
+// Extraction of the constraint space S(KB) (Section 6) from a unary KB.
+//
+// For a vocabulary of k unary predicates, every world induces a vector of
+// atom proportions ⃗p ∈ Δ(2^k).  A unary KB constrains ⃗p linearly:
+//
+//   ∀x φ(x)                    →  p_a = 0 for atoms a ∉ φ
+//   ||B(x) | C(x)||_x ≈_i v    →  |S_{B∩C} - v·S_C| ≤ τ_i · S_C
+//   ||B(x)||_x ⪯_i v           →  S_B ≤ v + τ_i            (etc.)
+//
+// where S_E = Σ_{a∈E} p_a.  Conjuncts about constants are collected
+// separately (they do not move the maximum-entropy point as N → ∞; they are
+// used for conditioning at query time).  Any conjunct outside this fragment
+// makes the extraction report failure, in which case the maximum-entropy
+// engine declines the KB.
+#ifndef RWL_MAXENT_CONSTRAINTS_H_
+#define RWL_MAXENT_CONSTRAINTS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/logic/classalg.h"
+#include "src/logic/formula.h"
+#include "src/logic/vocabulary.h"
+#include "src/maxent/solver.h"
+#include "src/semantics/tolerance.h"
+
+namespace rwl::maxent {
+
+struct ExtractedKb {
+  bool ok = false;
+  std::string error;
+
+  // Atom universe: predicates in vocabulary id order; atom bit j ==
+  // predicate j holds.
+  std::vector<std::string> predicates;
+
+  Problem problem;
+
+  // Per-constant conjunction of class facts (atom sets); a constant with no
+  // facts is simply absent.
+  std::map<std::string, logic::AtomSet> constant_facts;
+};
+
+ExtractedKb ExtractUnaryKb(const logic::Vocabulary& vocabulary,
+                           const logic::FormulaPtr& kb,
+                           const semantics::ToleranceVector& tolerances);
+
+// Σ_{a ∈ s} p_a.
+double MassOf(const logic::AtomSet& s, const std::vector<double>& p);
+
+}  // namespace rwl::maxent
+
+#endif  // RWL_MAXENT_CONSTRAINTS_H_

@@ -1,0 +1,131 @@
+#include "src/maxent/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rwl::maxent {
+namespace {
+
+double PenaltyObjective(const Problem& problem, const std::vector<double>& p,
+                        double lambda, double* max_violation) {
+  double objective = Entropy(p);
+  double worst = 0.0;
+  for (const auto& c : problem.constraints) {
+    double dot = 0.0;
+    for (int i = 0; i < problem.dim; ++i) dot += c.coef[i] * p[i];
+    double violation = dot - c.bound;
+    if (violation > 0) {
+      objective -= lambda * violation * violation;
+      worst = std::max(worst, violation);
+    }
+  }
+  if (max_violation != nullptr) *max_violation = worst;
+  return objective;
+}
+
+void Gradient(const Problem& problem, const std::vector<double>& p,
+              double lambda, std::vector<double>* grad) {
+  grad->assign(problem.dim, 0.0);
+  for (int i = 0; i < problem.dim; ++i) {
+    double pi = std::max(p[i], 1e-300);
+    (*grad)[i] = -(1.0 + std::log(pi));
+  }
+  for (const auto& c : problem.constraints) {
+    double dot = 0.0;
+    for (int i = 0; i < problem.dim; ++i) dot += c.coef[i] * p[i];
+    double violation = dot - c.bound;
+    if (violation > 0) {
+      for (int i = 0; i < problem.dim; ++i) {
+        (*grad)[i] -= 2.0 * lambda * violation * c.coef[i];
+      }
+    }
+  }
+}
+
+// One multiplicative (mirror-descent) step; returns the candidate point.
+std::vector<double> Step(const Problem& problem, const std::vector<double>& p,
+                         const std::vector<double>& grad, double step,
+                         const std::vector<bool>& support) {
+  std::vector<double> log_p(problem.dim, -1e9);
+  double max_lp = -1e18;
+  for (int i = 0; i < problem.dim; ++i) {
+    if (!support[i]) continue;
+    log_p[i] = std::log(std::max(p[i], 1e-300)) + step * grad[i];
+    max_lp = std::max(max_lp, log_p[i]);
+  }
+  std::vector<double> out(problem.dim, 0.0);
+  double total = 0.0;
+  for (int i = 0; i < problem.dim; ++i) {
+    if (!support[i]) continue;
+    out[i] = std::exp(log_p[i] - max_lp);
+    total += out[i];
+  }
+  for (int i = 0; i < problem.dim; ++i) out[i] /= total;
+  return out;
+}
+
+}  // namespace
+
+double Entropy(const std::vector<double>& p) {
+  double h = 0.0;
+  for (double v : p) {
+    if (v > 0) h -= v * std::log(v);
+  }
+  return h;
+}
+
+Solution Solve(const Problem& problem, const SolverOptions& options) {
+  Solution solution;
+  std::vector<bool> support = problem.support;
+  if (support.empty()) support.assign(problem.dim, true);
+  int support_size = 0;
+  for (bool s : support) support_size += s ? 1 : 0;
+  if (support_size == 0) return solution;  // infeasible: empty simplex
+
+  // Uniform start on the support.
+  std::vector<double> p(problem.dim, 0.0);
+  for (int i = 0; i < problem.dim; ++i) {
+    if (support[i]) p[i] = 1.0 / support_size;
+  }
+
+  std::vector<double> grad;
+  int iterations = 0;
+  double lambda = options.initial_penalty;
+  for (int stage = 0; stage < options.penalty_stages; ++stage) {
+    double step = options.initial_step;
+    double current = PenaltyObjective(problem, p, lambda, nullptr);
+    for (int it = 0; it < options.inner_iterations; ++it) {
+      ++iterations;
+      Gradient(problem, p, lambda, &grad);
+      // Backtracking on the mirror step.
+      bool improved = false;
+      for (int bt = 0; bt < 30; ++bt) {
+        std::vector<double> candidate = Step(problem, p, grad, step, support);
+        double value = PenaltyObjective(problem, candidate, lambda, nullptr);
+        if (value > current - 1e-14) {
+          // Accept (allow flat moves to traverse plateaus).
+          improved = value > current + 1e-12;
+          p = std::move(candidate);
+          current = value;
+          step = std::min(step * 1.25, 10.0);
+          break;
+        }
+        step *= 0.5;
+        if (step < 1e-12) break;
+      }
+      if (!improved && step < 1e-10) break;
+    }
+    lambda *= options.penalty_growth;
+  }
+
+  double max_violation = 0.0;
+  PenaltyObjective(problem, p, 0.0, &max_violation);
+  solution.p = std::move(p);
+  solution.entropy = Entropy(solution.p);
+  solution.max_violation = max_violation;
+  solution.iterations = iterations;
+  solution.feasible = max_violation <= options.feasibility_tolerance;
+  return solution;
+}
+
+}  // namespace rwl::maxent

@@ -1,0 +1,183 @@
+#include "src/refclass/reference_class.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "src/engines/symbolic_engine.h"
+#include "src/logic/classalg.h"
+#include "src/logic/printer.h"
+#include "src/logic/transform.h"
+
+namespace rwl::refclass {
+namespace {
+
+using engines::KbAnalysis;
+using engines::StatStatement;
+using logic::AtomSet;
+using logic::ClassUniverse;
+using logic::Formula;
+using logic::FormulaPtr;
+using logic::Term;
+using logic::TermPtr;
+
+struct Applicable {
+  const StatStatement* stat = nullptr;
+  AtomSet atoms;
+};
+
+void CollectArities(const FormulaPtr& f, std::map<std::string, int>* out);
+
+void CollectAritiesExpr(const logic::ExprPtr& e,
+                        std::map<std::string, int>* out) {
+  if (e == nullptr) return;
+  CollectArities(e->body(), out);
+  CollectArities(e->cond(), out);
+  CollectAritiesExpr(e->lhs(), out);
+  CollectAritiesExpr(e->rhs(), out);
+}
+
+void CollectArities(const FormulaPtr& f, std::map<std::string, int>* out) {
+  if (f == nullptr) return;
+  if (f->kind() == Formula::Kind::kAtom) {
+    (*out)[f->predicate()] = static_cast<int>(f->terms().size());
+  }
+  CollectArities(f->left(), out);
+  CollectArities(f->right(), out);
+  CollectAritiesExpr(f->expr_left(), out);
+  CollectAritiesExpr(f->expr_right(), out);
+}
+
+}  // namespace
+
+RefClassAnswer Infer(const FormulaPtr& kb, const FormulaPtr& query,
+                     Policy policy) {
+  RefClassAnswer answer;
+  KbAnalysis analysis = engines::AnalyzeKb(kb);
+
+  // The query must have the shape φ(c) for the reference-class reading:
+  // find stats whose instantiated target equals the query.
+  std::map<std::string, int> arities;
+  for (const auto& conjunct : analysis.conjuncts) {
+    CollectArities(conjunct, &arities);
+  }
+  CollectArities(query, &arities);
+  std::vector<std::string> unary;
+  for (const auto& [name, arity] : arities) {
+    if (arity == 1) unary.push_back(name);
+  }
+  if (unary.empty() || unary.size() > ClassUniverse::kMaxPredicates) {
+    answer.diagnosis = "no unary predicates to form classes over";
+    return answer;
+  }
+  ClassUniverse universe(unary);
+  logic::Taxonomy taxonomy(universe);
+  for (const auto& conjunct : analysis.conjuncts) taxonomy.Absorb(conjunct);
+
+  // Candidate classes with their intervals.
+  std::optional<std::string> constant;
+  std::vector<Applicable> applicable;
+  for (const auto& stat : analysis.stats) {
+    if (stat.vars.size() != 1) continue;
+    // Try every constant mentioned in the query.
+    for (const auto& c : logic::ConstantsOf(query)) {
+      FormulaPtr target_c = logic::SubstituteVariable(
+          stat.target, stat.vars[0], Term::Constant(c));
+      if (!Formula::StructuralEqual(target_c, query)) continue;
+      if (constant.has_value() && *constant != c) continue;
+      auto atoms = CompileClass(universe, stat.refclass,
+                                Term::Variable(stat.vars[0]));
+      if (!atoms.has_value()) continue;
+      // Membership: the facts about c must entail the class.
+      AtomSet facts = AtomSet::All(universe);
+      TermPtr subject = Term::Constant(c);
+      for (size_t i = 0; i < analysis.conjuncts.size(); ++i) {
+        if (analysis.is_stat_conjunct[i]) continue;
+        std::set<std::string> cs = logic::ConstantsOf(analysis.conjuncts[i]);
+        if (cs.size() != 1 || *cs.begin() != c) continue;
+        auto cls = CompileClass(universe, analysis.conjuncts[i], subject);
+        if (cls.has_value()) facts = facts.Intersect(*cls);
+      }
+      if (!taxonomy.Entails_Subset(facts, *atoms)) continue;
+      constant = c;
+      applicable.push_back(Applicable{&stat, *atoms});
+    }
+  }
+
+  if (applicable.empty()) {
+    answer.diagnosis = "no applicable reference class";
+    return answer;
+  }
+
+  // Most specific classes (minimal under ⊆ among applicable).
+  std::vector<const Applicable*> minimal;
+  for (const auto& a : applicable) {
+    bool is_minimal = true;
+    for (const auto& b : applicable) {
+      if (&a == &b) continue;
+      bool b_strict_subset =
+          taxonomy.Entails_Subset(b.atoms, a.atoms) &&
+          !taxonomy.Entails_Subset(a.atoms, b.atoms);
+      if (b_strict_subset) {
+        is_minimal = false;
+        break;
+      }
+    }
+    if (is_minimal) minimal.push_back(&a);
+  }
+
+  // Distinct minimal classes (not mutually equal)?
+  bool conflict = false;
+  for (size_t i = 0; i + 1 < minimal.size() && !conflict; ++i) {
+    for (size_t j = i + 1; j < minimal.size(); ++j) {
+      bool equal = taxonomy.Entails_Subset(minimal[i]->atoms,
+                                           minimal[j]->atoms) &&
+                   taxonomy.Entails_Subset(minimal[j]->atoms,
+                                           minimal[i]->atoms);
+      if (!equal) {
+        conflict = true;
+        break;
+      }
+    }
+  }
+  if (conflict) {
+    answer.status = RefClassAnswer::Status::kVacuous;
+    answer.lo = 0.0;
+    answer.hi = 1.0;
+    answer.diagnosis =
+        "incomparable competing reference classes: the baseline gives the "
+        "trivial interval [0, 1]";
+    return answer;
+  }
+
+  const Applicable* chosen = minimal.front();
+  double lo = chosen->stat->lo;
+  double hi = chosen->stat->hi;
+  std::string why = "most specific class";
+
+  if (policy == Policy::kKyburgStrength) {
+    // Strength rule: a comparable superclass with a strictly tighter,
+    // nested interval overrides the most specific class.
+    for (const auto& a : applicable) {
+      if (&a == chosen) continue;
+      bool superclass = taxonomy.Entails_Subset(chosen->atoms, a.atoms);
+      if (!superclass) continue;
+      if (a.stat->lo >= lo && a.stat->hi <= hi &&
+          (a.stat->lo > lo || a.stat->hi < hi)) {
+        lo = a.stat->lo;
+        hi = a.stat->hi;
+        why = "strength rule: tighter interval from superclass " +
+              logic::ToString(a.stat->refclass);
+      }
+    }
+  }
+
+  answer.status = RefClassAnswer::Status::kInterval;
+  answer.lo = lo;
+  answer.hi = hi;
+  answer.chosen_class = logic::ToString(chosen->stat->refclass);
+  answer.diagnosis = why;
+  return answer;
+}
+
+}  // namespace rwl::refclass

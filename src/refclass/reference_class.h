@@ -1,0 +1,43 @@
+// Reference-class baselines (Section 2): Reichenbach's most-specific-class
+// rule and Kyburg's strength rule.
+//
+// These are the systems the paper argues random worlds subsumes.  They are
+// implemented over the same KB analysis as the symbolic engine so the
+// comparison benches can show, KB by KB, where the baselines go vacuous
+// ([0,1]) while random worlds still answers (e.g. incomparable competing
+// classes, Section 5.3).
+#ifndef RWL_REFCLASS_REFERENCE_CLASS_H_
+#define RWL_REFCLASS_REFERENCE_CLASS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/logic/formula.h"
+
+namespace rwl::refclass {
+
+enum class Policy {
+  kReichenbach,     // most specific applicable class; conflict → vacuous
+  kKyburgStrength,  // + prefer tighter intervals from comparable superclasses
+};
+
+struct RefClassAnswer {
+  enum class Status {
+    kInterval,  // the baseline committed to [lo, hi]
+    kVacuous,   // conflicting classes: the baseline returns [0, 1]
+    kNoClass,   // no applicable reference class found
+  };
+  Status status = Status::kNoClass;
+  double lo = 0.0;
+  double hi = 1.0;
+  std::string chosen_class;
+  std::string diagnosis;
+};
+
+// Computes the baseline's answer for query φ(c) against the KB.
+RefClassAnswer Infer(const logic::FormulaPtr& kb,
+                     const logic::FormulaPtr& query, Policy policy);
+
+}  // namespace rwl::refclass
+
+#endif  // RWL_REFCLASS_REFERENCE_CLASS_H_

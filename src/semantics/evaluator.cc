@@ -1,0 +1,237 @@
+#include "src/semantics/evaluator.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace rwl::semantics {
+namespace {
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "rwl evaluator error: %s\n", message.c_str());
+  std::abort();
+}
+
+// Counts tuples over `vars` satisfying body (and cond, when given).
+// Returns {count_body_and_cond, count_cond}; for unconditional proportions
+// cond is null and count_cond is N^k.
+struct Counts {
+  int64_t body = 0;
+  int64_t cond = 0;
+};
+
+Counts CountTuples(const logic::ExprPtr& e, const World& world,
+                   const ToleranceVector& tolerances, Valuation* valuation) {
+  const auto& vars = e->vars();
+  const int n = world.domain_size();
+  Counts counts;
+
+  // Save shadowed bindings.
+  std::vector<std::pair<std::string, std::optional<int>>> saved;
+  saved.reserve(vars.size());
+  for (const auto& v : vars) {
+    auto it = valuation->find(v);
+    saved.emplace_back(v, it == valuation->end()
+                              ? std::nullopt
+                              : std::optional<int>(it->second));
+  }
+
+  std::vector<int> tuple(vars.size(), 0);
+  while (true) {
+    for (size_t i = 0; i < vars.size(); ++i) (*valuation)[vars[i]] = tuple[i];
+    bool cond_holds = true;
+    if (e->cond() != nullptr) {
+      cond_holds = Evaluate(e->cond(), world, tolerances, valuation);
+    }
+    if (cond_holds) {
+      ++counts.cond;
+      if (Evaluate(e->body(), world, tolerances, valuation)) ++counts.body;
+    }
+    // Odometer increment.
+    size_t i = 0;
+    for (; i < tuple.size(); ++i) {
+      if (++tuple[i] < n) break;
+      tuple[i] = 0;
+    }
+    if (i == tuple.size()) break;
+  }
+
+  // Restore shadowed bindings.
+  for (const auto& [v, old] : saved) {
+    if (old.has_value()) {
+      (*valuation)[v] = *old;
+    } else {
+      valuation->erase(v);
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+int EvaluateTerm(const logic::TermPtr& t, const World& world,
+                 Valuation* valuation) {
+  if (t->is_variable()) {
+    auto it = valuation->find(t->name());
+    if (it == valuation->end()) Die("unbound variable " + t->name());
+    return it->second;
+  }
+  auto sym = world.vocabulary().FindFunction(t->name());
+  if (!sym.has_value()) Die("unknown function symbol " + t->name());
+  std::vector<int> args;
+  args.reserve(t->args().size());
+  for (const auto& a : t->args()) {
+    args.push_back(EvaluateTerm(a, world, valuation));
+  }
+  return world.Apply(sym->id, args);
+}
+
+ExprValue EvaluateExpr(const logic::ExprPtr& e, const World& world,
+                       const ToleranceVector& tolerances,
+                       Valuation* valuation) {
+  using logic::Expr;
+  switch (e->kind()) {
+    case Expr::Kind::kConstant:
+      return {e->value(), true};
+    case Expr::Kind::kProportion: {
+      Counts c = CountTuples(e, world, tolerances, valuation);
+      double total = 1.0;
+      for (size_t i = 0; i < e->vars().size(); ++i) {
+        total *= world.domain_size();
+      }
+      return {static_cast<double>(c.body) / total, true};
+    }
+    case Expr::Kind::kConditional: {
+      Counts c = CountTuples(e, world, tolerances, valuation);
+      if (c.cond == 0) return {0.0, false};
+      return {static_cast<double>(c.body) / static_cast<double>(c.cond),
+              true};
+    }
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kSub:
+    case Expr::Kind::kMul: {
+      ExprValue lhs = EvaluateExpr(e->lhs(), world, tolerances, valuation);
+      ExprValue rhs = EvaluateExpr(e->rhs(), world, tolerances, valuation);
+      ExprValue out;
+      out.defined = lhs.defined && rhs.defined;
+      switch (e->kind()) {
+        case Expr::Kind::kAdd:
+          out.value = lhs.value + rhs.value;
+          break;
+        case Expr::Kind::kSub:
+          out.value = lhs.value - rhs.value;
+          break;
+        default:
+          out.value = lhs.value * rhs.value;
+          break;
+      }
+      return out;
+    }
+  }
+  Die("unreachable expression kind");
+}
+
+bool CompareValues(double lhs, logic::CompareOp op, double rhs, double tau) {
+  using logic::CompareOp;
+  switch (op) {
+    case CompareOp::kApproxEq:
+      return lhs - rhs <= tau && rhs - lhs <= tau;
+    case CompareOp::kApproxLeq:
+      return lhs - rhs <= tau;
+    case CompareOp::kApproxGeq:
+      return rhs - lhs <= tau;
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kLeq:
+      return lhs <= rhs;
+    case CompareOp::kGeq:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+bool Evaluate(const logic::FormulaPtr& f, const World& world,
+              const ToleranceVector& tolerances, Valuation* valuation) {
+  using logic::Formula;
+  switch (f->kind()) {
+    case Formula::Kind::kTrue:
+      return true;
+    case Formula::Kind::kFalse:
+      return false;
+    case Formula::Kind::kAtom: {
+      auto sym = world.vocabulary().FindPredicate(f->predicate());
+      if (!sym.has_value()) Die("unknown predicate " + f->predicate());
+      std::vector<int> args;
+      args.reserve(f->terms().size());
+      for (const auto& t : f->terms()) {
+        args.push_back(EvaluateTerm(t, world, valuation));
+      }
+      return world.Holds(sym->id, args);
+    }
+    case Formula::Kind::kEqual:
+      return EvaluateTerm(f->terms()[0], world, valuation) ==
+             EvaluateTerm(f->terms()[1], world, valuation);
+    case Formula::Kind::kNot:
+      return !Evaluate(f->body(), world, tolerances, valuation);
+    case Formula::Kind::kAnd:
+      return Evaluate(f->left(), world, tolerances, valuation) &&
+             Evaluate(f->right(), world, tolerances, valuation);
+    case Formula::Kind::kOr:
+      return Evaluate(f->left(), world, tolerances, valuation) ||
+             Evaluate(f->right(), world, tolerances, valuation);
+    case Formula::Kind::kImplies:
+      return !Evaluate(f->left(), world, tolerances, valuation) ||
+             Evaluate(f->right(), world, tolerances, valuation);
+    case Formula::Kind::kIff:
+      return Evaluate(f->left(), world, tolerances, valuation) ==
+             Evaluate(f->right(), world, tolerances, valuation);
+    case Formula::Kind::kForAll:
+    case Formula::Kind::kExists: {
+      bool is_forall = f->kind() == Formula::Kind::kForAll;
+      auto it = valuation->find(f->var());
+      std::optional<int> saved = it == valuation->end()
+                                     ? std::nullopt
+                                     : std::optional<int>(it->second);
+      bool result = is_forall;
+      for (int d = 0; d < world.domain_size(); ++d) {
+        (*valuation)[f->var()] = d;
+        bool holds = Evaluate(f->body(), world, tolerances, valuation);
+        if (is_forall && !holds) {
+          result = false;
+          break;
+        }
+        if (!is_forall && holds) {
+          result = true;
+          break;
+        }
+      }
+      if (saved.has_value()) {
+        (*valuation)[f->var()] = *saved;
+      } else {
+        valuation->erase(f->var());
+      }
+      return result;
+    }
+    case Formula::Kind::kCompare: {
+      ExprValue lhs = EvaluateExpr(f->expr_left(), world, tolerances,
+                                   valuation);
+      ExprValue rhs = EvaluateExpr(f->expr_right(), world, tolerances,
+                                   valuation);
+      // 0/0 convention: the comparison holds (see header).
+      if (!lhs.defined || !rhs.defined) return true;
+      double tau = tolerances.Get(f->tolerance_index());
+      return CompareValues(lhs.value, f->compare_op(), rhs.value, tau);
+    }
+  }
+  Die("unreachable formula kind");
+}
+
+bool Evaluate(const logic::FormulaPtr& f, const World& world,
+              const ToleranceVector& tolerances) {
+  Valuation valuation;
+  return Evaluate(f, world, tolerances, &valuation);
+}
+
+}  // namespace rwl::semantics

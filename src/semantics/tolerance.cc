@@ -1,0 +1,27 @@
+#include "src/semantics/tolerance.h"
+
+namespace rwl::semantics {
+
+ToleranceVector ToleranceVector::Uniform(double value) {
+  return ToleranceVector(value);
+}
+
+double ToleranceVector::Get(int index) const {
+  auto it = overrides_.find(index);
+  if (it != overrides_.end()) return it->second;
+  return default_value_;
+}
+
+void ToleranceVector::Set(int index, double value) {
+  overrides_[index] = value;
+}
+
+ToleranceVector ToleranceVector::Scaled(double factor) const {
+  ToleranceVector out(default_value_ * factor);
+  for (const auto& [index, value] : overrides_) {
+    out.overrides_[index] = value * factor;
+  }
+  return out;
+}
+
+}  // namespace rwl::semantics

@@ -1,0 +1,64 @@
+#include "src/semantics/world.h"
+
+#include <cmath>
+
+namespace rwl::semantics {
+namespace {
+
+int64_t Power(int64_t base, int exponent) {
+  int64_t result = 1;
+  for (int i = 0; i < exponent; ++i) result *= base;
+  return result;
+}
+
+}  // namespace
+
+World::World(const logic::Vocabulary* vocabulary, int domain_size)
+    : vocabulary_(vocabulary), domain_size_(domain_size) {
+  predicate_tables_.resize(vocabulary->num_predicates());
+  for (const auto& p : vocabulary->predicates()) {
+    predicate_tables_[p.id].assign(Power(domain_size, p.arity), 0);
+  }
+  function_tables_.resize(vocabulary->num_functions());
+  for (const auto& f : vocabulary->functions()) {
+    function_tables_[f.id].assign(Power(domain_size, f.arity), 0);
+  }
+}
+
+int64_t World::TableIndex(const std::vector<int>& args) const {
+  int64_t index = 0;
+  for (int a : args) index = index * domain_size_ + a;
+  return index;
+}
+
+bool World::Holds(int predicate_id, const std::vector<int>& args) const {
+  return predicate_tables_[predicate_id][TableIndex(args)] != 0;
+}
+
+void World::SetHolds(int predicate_id, const std::vector<int>& args,
+                     bool value) {
+  predicate_tables_[predicate_id][TableIndex(args)] = value ? 1 : 0;
+}
+
+int World::Apply(int function_id, const std::vector<int>& args) const {
+  return function_tables_[function_id][TableIndex(args)];
+}
+
+void World::SetApply(int function_id, const std::vector<int>& args,
+                     int value) {
+  function_tables_[function_id][TableIndex(args)] = value;
+}
+
+int64_t World::TotalPredicateCells() const {
+  int64_t total = 0;
+  for (const auto& t : predicate_tables_) total += t.size();
+  return total;
+}
+
+int64_t World::TotalFunctionCells() const {
+  int64_t total = 0;
+  for (const auto& t : function_tables_) total += t.size();
+  return total;
+}
+
+}  // namespace rwl::semantics

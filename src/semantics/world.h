@@ -1,0 +1,66 @@
+// Finite first-order worlds over the domain {0, ..., N-1}.
+//
+// A World is one element of W_N(Φ) (Section 4.1): an interpretation of every
+// predicate symbol as a relation over the domain and every function symbol
+// as a function (constants are arity-0 functions, i.e. a single element).
+// Worlds are the unit of counting for the exact engine and the unit of
+// evaluation for the L≈ evaluator.
+#ifndef RWL_SEMANTICS_WORLD_H_
+#define RWL_SEMANTICS_WORLD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/logic/vocabulary.h"
+
+namespace rwl::semantics {
+
+class World {
+ public:
+  // Creates the world where every relation is empty, every function maps to
+  // element 0.
+  World(const logic::Vocabulary* vocabulary, int domain_size);
+
+  int domain_size() const { return domain_size_; }
+  const logic::Vocabulary& vocabulary() const { return *vocabulary_; }
+
+  // Predicate lookup / mutation.  `args` are domain elements, one per
+  // argument position.
+  bool Holds(int predicate_id, const std::vector<int>& args) const;
+  void SetHolds(int predicate_id, const std::vector<int>& args, bool value);
+
+  // Function application (constants: empty args).
+  int Apply(int function_id, const std::vector<int>& args) const;
+  void SetApply(int function_id, const std::vector<int>& args, int value);
+
+  // Raw-table access used by the exact engine's odometer enumeration.
+  std::vector<uint8_t>& predicate_table(int predicate_id) {
+    return predicate_tables_[predicate_id];
+  }
+  std::vector<int>& function_table(int function_id) {
+    return function_tables_[function_id];
+  }
+  const std::vector<uint8_t>& predicate_table(int predicate_id) const {
+    return predicate_tables_[predicate_id];
+  }
+  const std::vector<int>& function_table(int function_id) const {
+    return function_tables_[function_id];
+  }
+
+  // Total number of boolean predicate cells (used to size enumerations).
+  int64_t TotalPredicateCells() const;
+  // Total number of function cells.
+  int64_t TotalFunctionCells() const;
+
+ private:
+  int64_t TableIndex(const std::vector<int>& args) const;
+
+  const logic::Vocabulary* vocabulary_;
+  int domain_size_;
+  std::vector<std::vector<uint8_t>> predicate_tables_;
+  std::vector<std::vector<int>> function_tables_;
+};
+
+}  // namespace rwl::semantics
+
+#endif  // RWL_SEMANTICS_WORLD_H_

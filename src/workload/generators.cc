@@ -1,0 +1,163 @@
+#include "src/workload/generators.h"
+
+#include "src/logic/builder.h"
+
+namespace rwl::workload {
+namespace {
+
+using logic::Formula;
+using logic::FormulaPtr;
+using logic::TermPtr;
+
+int UniformInt(std::mt19937* rng, int lo, int hi) {
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(*rng);
+}
+
+double UniformReal(std::mt19937* rng, double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(*rng);
+}
+
+}  // namespace
+
+std::vector<std::string> GeneratorPredicates(int num_predicates) {
+  std::vector<std::string> out;
+  for (int i = 0; i < num_predicates; ++i) {
+    out.push_back("P" + std::to_string(i));
+  }
+  return out;
+}
+
+std::vector<std::string> GeneratorConstants(int num_constants) {
+  std::vector<std::string> out;
+  for (int i = 0; i < num_constants; ++i) {
+    out.push_back("K" + std::to_string(i));
+  }
+  return out;
+}
+
+logic::FormulaPtr RandomClassExpr(int num_predicates, const TermPtr& subject,
+                                  int depth, std::mt19937* rng) {
+  if (depth <= 0 || UniformInt(rng, 0, 2) == 0) {
+    FormulaPtr atom = logic::P("P" + std::to_string(
+                                   UniformInt(rng, 0, num_predicates - 1)),
+                               subject);
+    if (UniformInt(rng, 0, 1) == 0) return atom;
+    return Formula::Not(atom);
+  }
+  FormulaPtr lhs = RandomClassExpr(num_predicates, subject, depth - 1, rng);
+  FormulaPtr rhs = RandomClassExpr(num_predicates, subject, depth - 1, rng);
+  return UniformInt(rng, 0, 1) == 0 ? Formula::And(lhs, rhs)
+                                    : Formula::Or(lhs, rhs);
+}
+
+logic::FormulaPtr RandomUnaryKb(const UnaryKbParams& params,
+                                std::mt19937* rng) {
+  std::vector<FormulaPtr> conjuncts;
+  TermPtr x = logic::V("x");
+
+  for (int i = 0; i < params.num_statements; ++i) {
+    FormulaPtr body = RandomClassExpr(params.num_predicates, x, 1, rng);
+    double value;
+    if (UniformReal(rng, 0.0, 1.0) < params.default_fraction) {
+      value = UniformInt(rng, 0, 1) == 0 ? 0.0 : 1.0;
+    } else {
+      value = UniformReal(rng, 0.15, 0.85);
+    }
+    int tolerance_index = i + 1;
+    if (UniformInt(rng, 0, 1) == 0) {
+      conjuncts.push_back(
+          logic::ApproxEq(logic::Prop(body, {"x"}), value, tolerance_index));
+    } else {
+      FormulaPtr cond = RandomClassExpr(params.num_predicates, x, 1, rng);
+      conjuncts.push_back(logic::ApproxEq(logic::CondProp(body, cond, {"x"}),
+                                          value, tolerance_index));
+    }
+  }
+
+  for (int i = 0; i < params.num_facts; ++i) {
+    int which = UniformInt(rng, 0, params.num_constants - 1);
+    TermPtr c = logic::C("K" + std::to_string(which));
+    conjuncts.push_back(RandomClassExpr(params.num_predicates, c, 1, rng));
+  }
+
+  return Formula::AndAll(conjuncts);
+}
+
+logic::FormulaPtr RandomQuery(const UnaryKbParams& params,
+                              std::mt19937* rng) {
+  if (params.num_constants > 0 && UniformInt(rng, 0, 2) != 0) {
+    int which = UniformInt(rng, 0, params.num_constants - 1);
+    TermPtr c = logic::C("K" + std::to_string(which));
+    return RandomClassExpr(params.num_predicates, c, 1, rng);
+  }
+  TermPtr x = logic::V("x");
+  FormulaPtr body = RandomClassExpr(params.num_predicates, x, 1, rng);
+  return logic::ApproxLeq(logic::Prop(body, {"x"}),
+                          UniformReal(rng, 0.3, 0.9), 1);
+}
+
+ChainKb RandomChainKb(int depth, std::mt19937* rng) {
+  ChainKb out;
+  std::vector<FormulaPtr> conjuncts;
+  TermPtr x = logic::V("x");
+  TermPtr k0 = logic::C("K0");
+
+  // Chain C0 ⊆ C1 ⊆ ... via universal implications.
+  for (int i = 0; i + 1 < depth; ++i) {
+    conjuncts.push_back(logic::Formula::ForAll(
+        "x", Formula::Implies(logic::P("C" + std::to_string(i), x),
+                              logic::P("C" + std::to_string(i + 1), x))));
+  }
+  // Intervals widen strictly as classes grow EXCEPT the designated tightest
+  // level, picked uniformly.
+  int tightest = UniformInt(rng, 0, depth - 1);
+  double center = UniformReal(rng, 0.3, 0.7);
+  double half = 0.02;
+  std::vector<std::pair<double, double>> intervals(depth);
+  // Assign the tightest interval, then widen outward in both directions.
+  for (int i = 0; i < depth; ++i) {
+    double width = half + 0.08 * (std::abs(i - tightest) + (i == tightest ? 0 : 1));
+    double lo = std::max(0.0, center - width);
+    double hi = std::min(1.0, center + width);
+    intervals[i] = {lo, hi};
+  }
+  // Make the non-tightest levels strictly wider than the tightest.
+  for (int i = 0; i < depth; ++i) {
+    FormulaPtr cls = logic::P("C" + std::to_string(i), x);
+    conjuncts.push_back(logic::InInterval(
+        intervals[i].first, 2 * i + 1,
+        logic::CondProp(logic::P("T", x), cls, {"x"}), intervals[i].second,
+        2 * i + 2));
+  }
+  conjuncts.push_back(logic::P("C0", k0));
+  out.kb = Formula::AndAll(conjuncts);
+  out.query = logic::P("T", k0);
+  out.tightest_lo = intervals[tightest].first;
+  out.tightest_hi = intervals[tightest].second;
+  return out;
+}
+
+std::vector<defaults::Rule> RandomRuleSet(int num_vars, int num_rules,
+                                          std::mt19937* rng) {
+  using defaults::Prop;
+  using defaults::PropPtr;
+  std::vector<defaults::Rule> rules;
+  for (int i = 0; i < num_rules; ++i) {
+    // Antecedent: conjunction of 1-2 literals.
+    int num_lits = UniformInt(rng, 1, 2);
+    PropPtr antecedent;
+    for (int j = 0; j < num_lits; ++j) {
+      PropPtr lit = Prop::Var(UniformInt(rng, 0, num_vars - 1));
+      if (UniformInt(rng, 0, 3) == 0) lit = Prop::Not(lit);
+      antecedent = antecedent == nullptr ? lit : Prop::And(antecedent, lit);
+    }
+    PropPtr consequent = Prop::Var(UniformInt(rng, 0, num_vars - 1));
+    if (UniformInt(rng, 0, 1) == 0) consequent = Prop::Not(consequent);
+    rules.push_back(defaults::Rule{antecedent, consequent});
+  }
+  return rules;
+}
+
+}  // namespace rwl::workload

@@ -1,0 +1,65 @@
+// Workload generators for property tests and benchmarks: random unary KBs,
+// taxonomy chains, and propositional default-rule sets.
+//
+// All generators are deterministic given the RNG state, so failures
+// reproduce from the seed alone.
+#ifndef RWL_WORKLOAD_GENERATORS_H_
+#define RWL_WORKLOAD_GENERATORS_H_
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/defaults/epsilon_semantics.h"
+#include "src/logic/formula.h"
+
+namespace rwl::workload {
+
+struct UnaryKbParams {
+  int num_predicates = 3;
+  int num_constants = 1;
+  // Statistical conjuncts ||B|C||_x ≈ v with random class expressions.
+  int num_statements = 2;
+  // Class facts about the constants.
+  int num_facts = 1;
+  // Probability that a statement is a default (v drawn from {0, 1}) rather
+  // than a mid-range statistic.
+  double default_fraction = 0.0;
+};
+
+// Predicate names used by the generator: P0..P{k-1}; constants K0..K{m-1}.
+std::vector<std::string> GeneratorPredicates(int num_predicates);
+std::vector<std::string> GeneratorConstants(int num_constants);
+
+// A random boolean class expression over P0..P{k-1} applied to `subject`.
+logic::FormulaPtr RandomClassExpr(int num_predicates,
+                                  const logic::TermPtr& subject, int depth,
+                                  std::mt19937* rng);
+
+// A random unary KB (a conjunction) following the params.
+logic::FormulaPtr RandomUnaryKb(const UnaryKbParams& params,
+                                std::mt19937* rng);
+
+// A random query formula suited to the generated KBs: a class expression
+// about a random constant, or a proportion comparison.
+logic::FormulaPtr RandomQuery(const UnaryKbParams& params, std::mt19937* rng);
+
+// A taxonomy-chain KB for strength-rule experiments: classes
+// C0 ⊆ C1 ⊆ ... ⊆ C{depth-1}, statistics for a target predicate T on each
+// level with widening intervals, membership fact C0(K0).
+struct ChainKb {
+  logic::FormulaPtr kb;
+  logic::FormulaPtr query;      // T(K0)
+  double tightest_lo = 0.0;
+  double tightest_hi = 1.0;
+};
+ChainKb RandomChainKb(int depth, std::mt19937* rng);
+
+// Random propositional default rules over `num_vars` variables, each rule
+// from a random conjunction of literals to a random literal.
+std::vector<defaults::Rule> RandomRuleSet(int num_vars, int num_rules,
+                                          std::mt19937* rng);
+
+}  // namespace rwl::workload
+
+#endif  // RWL_WORKLOAD_GENERATORS_H_

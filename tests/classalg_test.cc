@@ -1,0 +1,130 @@
+#include "src/logic/classalg.h"
+
+#include <gtest/gtest.h>
+
+#include "src/logic/builder.h"
+
+namespace rwl::logic {
+namespace {
+
+class ClassAlgTest : public ::testing::Test {
+ protected:
+  ClassAlgTest() : universe_({"Bird", "Penguin", "Yellow"}) {}
+
+  AtomSet Compile(const FormulaPtr& f) {
+    auto result = CompileClass(universe_, f, V("x"));
+    EXPECT_TRUE(result.has_value());
+    return result.has_value() ? *result : AtomSet::None(universe_);
+  }
+
+  ClassUniverse universe_;
+};
+
+TEST_F(ClassAlgTest, UniverseBasics) {
+  EXPECT_EQ(universe_.num_predicates(), 3);
+  EXPECT_EQ(universe_.num_atoms(), 8);
+  EXPECT_EQ(universe_.PredicateIndex("Penguin"), 1);
+  EXPECT_EQ(universe_.PredicateIndex("Fish"), -1);
+}
+
+TEST_F(ClassAlgTest, PredicateExtension) {
+  AtomSet birds = Compile(P("Bird", V("x")));
+  EXPECT_EQ(birds.Count(), 4);  // half the atoms
+  for (int atom : birds.Atoms()) {
+    EXPECT_TRUE(ClassUniverse::AtomHas(atom, 0));
+  }
+}
+
+TEST_F(ClassAlgTest, BooleanStructure) {
+  AtomSet yellow_penguins =
+      Compile(Formula::And(P("Penguin", V("x")), P("Yellow", V("x"))));
+  EXPECT_EQ(yellow_penguins.Count(), 2);
+  AtomSet not_bird = Compile(Formula::Not(P("Bird", V("x"))));
+  EXPECT_EQ(not_bird.Count(), 4);
+  AtomSet all = yellow_penguins.Union(yellow_penguins.Complement());
+  EXPECT_EQ(all.Count(), 8);
+}
+
+TEST_F(ClassAlgTest, ImpliesAndIff) {
+  AtomSet implies =
+      Compile(Formula::Implies(P("Penguin", V("x")), P("Bird", V("x"))));
+  // ¬Penguin ∪ Bird: 8 - |Penguin ∧ ¬Bird| = 8 - 2 = 6.
+  EXPECT_EQ(implies.Count(), 6);
+  AtomSet iff = Compile(Formula::Iff(P("Bird", V("x")), P("Bird", V("x"))));
+  EXPECT_EQ(iff.Count(), 8);
+}
+
+TEST_F(ClassAlgTest, WrongSubjectFails) {
+  auto result = CompileClass(universe_, P("Bird", V("y")), V("x"));
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST_F(ClassAlgTest, UnknownPredicateFails) {
+  auto result = CompileClass(universe_, P("Fish", V("x")), V("x"));
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST_F(ClassAlgTest, QuantifiersOutsideFragment) {
+  auto result = CompileClass(
+      universe_, Formula::Exists("y", P("Bird", V("y"))), V("x"));
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST_F(ClassAlgTest, ConstantSubjectCompilesFacts) {
+  auto result = CompileClass(
+      universe_, Formula::And(P("Penguin", C("Tweety")),
+                              P("Yellow", C("Tweety"))),
+      C("Tweety"));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->Count(), 2);
+}
+
+TEST_F(ClassAlgTest, TaxonomySubset) {
+  Taxonomy taxonomy(universe_);
+  // ∀x (Penguin(x) ⇒ Bird(x)).
+  EXPECT_TRUE(taxonomy.Absorb(Formula::ForAll(
+      "x", Formula::Implies(P("Penguin", V("x")), P("Bird", V("x"))))));
+  AtomSet penguins = Compile(P("Penguin", V("x")));
+  AtomSet birds = Compile(P("Bird", V("x")));
+  EXPECT_TRUE(taxonomy.Entails_Subset(penguins, birds));
+  EXPECT_FALSE(taxonomy.Entails_Subset(birds, penguins));
+}
+
+TEST_F(ClassAlgTest, TaxonomyDisjointness) {
+  Taxonomy taxonomy(universe_);
+  EXPECT_TRUE(taxonomy.Absorb(Formula::ForAll(
+      "x", Formula::Not(Formula::And(P("Penguin", V("x")),
+                                     P("Yellow", V("x")))))));
+  AtomSet penguins = Compile(P("Penguin", V("x")));
+  AtomSet yellow = Compile(P("Yellow", V("x")));
+  EXPECT_TRUE(taxonomy.Entails_Disjoint(penguins, yellow));
+}
+
+TEST_F(ClassAlgTest, AbsorbRejectsNonUniversals) {
+  Taxonomy taxonomy(universe_);
+  EXPECT_FALSE(taxonomy.Absorb(P("Bird", C("Tweety"))));
+  EXPECT_FALSE(taxonomy.Absorb(
+      ApproxEq(Prop(P("Bird", V("x")), {"x"}), 0.5, 1)));
+}
+
+TEST_F(ClassAlgTest, EmptyClassDetection) {
+  Taxonomy taxonomy(universe_);
+  taxonomy.Absorb(Formula::ForAll("x", Formula::Not(P("Penguin", V("x")))));
+  AtomSet penguins = Compile(P("Penguin", V("x")));
+  EXPECT_TRUE(taxonomy.Entails_Empty(penguins));
+}
+
+TEST(AtomSetTest, LargeUniverseWordBoundaries) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 7; ++i) names.push_back("Q" + std::to_string(i));
+  ClassUniverse u(names);  // 128 atoms: two words
+  AtomSet all = AtomSet::All(u);
+  EXPECT_EQ(all.Count(), 128);
+  AtomSet q6 = AtomSet::OfPredicate(u, 6);
+  EXPECT_EQ(q6.Count(), 64);
+  EXPECT_EQ(q6.Complement().Count(), 64);
+  EXPECT_TRUE(AtomSet::Equal(q6.Complement().Complement(), q6));
+}
+
+}  // namespace
+}  // namespace rwl::logic

@@ -1,0 +1,46 @@
+#include "src/evidence/dempster.h"
+
+#include <gtest/gtest.h>
+
+namespace rwl::evidence {
+namespace {
+
+TEST(Dempster, NeutralEvidenceIsIdentity) {
+  EXPECT_DOUBLE_EQ(DempsterCombine({0.8, 0.5}), 0.8);
+  EXPECT_DOUBLE_EQ(DempsterCombine({0.5, 0.5, 0.5}), 0.5);
+}
+
+TEST(Dempster, AgreeingEvidenceReinforces) {
+  double combined = DempsterCombine({0.8, 0.8});
+  EXPECT_NEAR(combined, 0.64 / 0.68, 1e-12);
+  EXPECT_GT(combined, 0.8);
+}
+
+TEST(Dempster, ConflictingEvidenceLandsBetween) {
+  double combined = DempsterCombine({0.9, 0.2});
+  EXPECT_GT(combined, 0.2);
+  EXPECT_LT(combined, 0.9);
+  EXPECT_NEAR(combined, 0.18 / (0.18 + 0.08), 1e-12);
+}
+
+TEST(Dempster, ExtremeDominates) {
+  EXPECT_DOUBLE_EQ(DempsterCombine({1.0, 0.3}), 1.0);
+  EXPECT_DOUBLE_EQ(DempsterCombine({0.0, 0.3}), 0.0);
+}
+
+TEST(Dempster, SingleEvidencePassesThrough) {
+  EXPECT_DOUBLE_EQ(DempsterCombine({0.37}), 0.37);
+}
+
+TEST(Dempster, SymmetricInArguments) {
+  EXPECT_DOUBLE_EQ(DempsterCombine({0.7, 0.4}), DempsterCombine({0.4, 0.7}));
+}
+
+TEST(Dempster, MonotoneInEachArgument) {
+  double low = DempsterCombine({0.6, 0.3});
+  double high = DempsterCombine({0.7, 0.3});
+  EXPECT_LT(low, high);
+}
+
+}  // namespace
+}  // namespace rwl::evidence

@@ -1,0 +1,144 @@
+#include "src/defaults/epsilon_semantics.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/generators.h"
+
+namespace rwl::defaults {
+namespace {
+
+// Variables: 0 = Bird, 1 = Fly, 2 = Penguin.
+constexpr int kBird = 0;
+constexpr int kFly = 1;
+constexpr int kPenguin = 2;
+
+Rule MakeRule(PropPtr a, PropPtr c) { return Rule{std::move(a), std::move(c)}; }
+
+std::vector<Rule> TweetyRules() {
+  // Bird → Fly, Penguin → ¬Fly, Penguin → Bird.
+  return {
+      MakeRule(Prop::Var(kBird), Prop::Var(kFly)),
+      MakeRule(Prop::Var(kPenguin), Prop::Not(Prop::Var(kFly))),
+      MakeRule(Prop::Var(kPenguin), Prop::Var(kBird)),
+  };
+}
+
+TEST(EvalPropTest, Basics) {
+  EXPECT_TRUE(EvalProp(Prop::True(), 0));
+  EXPECT_FALSE(EvalProp(Prop::False(), 7));
+  EXPECT_TRUE(EvalProp(Prop::Var(1), 0b010));
+  EXPECT_FALSE(EvalProp(Prop::Var(1), 0b101));
+  EXPECT_TRUE(EvalProp(Prop::And(Prop::Var(0), Prop::Not(Prop::Var(1))),
+                       0b001));
+  EXPECT_TRUE(EvalProp(Prop::Or(Prop::Var(0), Prop::Var(1)), 0b010));
+}
+
+TEST(ToleratedTest, SimpleCases) {
+  std::vector<Rule> rules = TweetyRules();
+  // Bird → Fly is tolerated (a flying non-penguin bird world exists).
+  EXPECT_TRUE(Tolerated(rules[0], rules, 3));
+  // Penguin → ¬Fly is NOT tolerated by the full set (any Penguin ∧ ¬Fly
+  // world violates the materials Penguin ⇒ Bird, Bird ⇒ Fly); it becomes
+  // tolerated at the second Z-level, after Bird → Fly is peeled off.
+  EXPECT_FALSE(Tolerated(rules[1], rules, 3));
+  std::vector<Rule> second_level = {rules[1], rules[2]};
+  EXPECT_TRUE(Tolerated(rules[1], second_level, 3));
+}
+
+TEST(EpsilonConsistencyTest, TweetyIsConsistent) {
+  EXPECT_TRUE(EpsilonConsistent(TweetyRules(), 3));
+}
+
+TEST(EpsilonConsistencyTest, FlatContradictionIsInconsistent) {
+  std::vector<Rule> rules = {
+      MakeRule(Prop::Var(0), Prop::Var(1)),
+      MakeRule(Prop::Var(0), Prop::Not(Prop::Var(1))),
+  };
+  EXPECT_FALSE(EpsilonConsistent(rules, 2));
+}
+
+TEST(PEntailsTest, SpecificityHolds) {
+  // Penguins don't fly, even though penguins are birds and birds fly.
+  std::vector<Rule> rules = TweetyRules();
+  EXPECT_TRUE(PEntails(rules, MakeRule(Prop::Var(kPenguin),
+                                       Prop::Not(Prop::Var(kFly))),
+                       3));
+  EXPECT_FALSE(
+      PEntails(rules, MakeRule(Prop::Var(kPenguin), Prop::Var(kFly)), 3));
+}
+
+TEST(PEntailsTest, DirectRuleEntailed) {
+  std::vector<Rule> rules = TweetyRules();
+  EXPECT_TRUE(PEntails(rules, MakeRule(Prop::Var(kBird), Prop::Var(kFly)),
+                       3));
+}
+
+TEST(PEntailsTest, NoIrrelevanceInEpsilonSemantics) {
+  // ε-semantics is famously too weak for inheritance: red birds are not
+  // concluded to fly (no irrelevance handling) — the paper's Section 6
+  // motivation for the stronger maximum-entropy system.
+  constexpr int kRed = 2;
+  std::vector<Rule> rules = {MakeRule(Prop::Var(kBird), Prop::Var(kFly))};
+  Rule red_bird_flies = MakeRule(
+      Prop::And(Prop::Var(kBird), Prop::Var(kRed)), Prop::Var(kFly));
+  EXPECT_FALSE(PEntails(rules, red_bird_flies, 3));
+}
+
+TEST(PEntailsTest, AndRuleHolds) {
+  // p-entailment is closed under conjunction of consequents.
+  std::vector<Rule> rules = {
+      MakeRule(Prop::Var(0), Prop::Var(1)),
+      MakeRule(Prop::Var(0), Prop::Var(2)),
+  };
+  EXPECT_TRUE(PEntails(rules,
+                       MakeRule(Prop::Var(0),
+                                Prop::And(Prop::Var(1), Prop::Var(2))),
+                       3));
+}
+
+TEST(PEntailsTest, PropertySoundnessOnRandomRuleSets) {
+  // Every rule in a consistent set is p-entailed by the set (reflexivity of
+  // the consequence relation on its generators).
+  std::mt19937 rng(7781);
+  int checked = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<Rule> rules = workload::RandomRuleSet(4, 3, &rng);
+    if (!EpsilonConsistent(rules, 4)) continue;
+    for (const auto& rule : rules) {
+      EXPECT_TRUE(PEntails(rules, rule, 4));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 30);
+}
+
+TEST(PEntailsTest, CutPropertyOnRandomRuleSets) {
+  // Cut for p-entailment: if R entails A → θ and R ∪ {A∧θ → φ-ish} ...
+  // We verify the weaker, classical monotonicity-free property: entailment
+  // is preserved under logically equivalent antecedents.
+  std::mt19937 rng(1234);
+  int checked = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Rule> rules = workload::RandomRuleSet(3, 2, &rng);
+    if (!EpsilonConsistent(rules, 3)) continue;
+    const Rule& r = rules[0];
+    // A ∧ A → C iff A → C (Left Logical Equivalence).
+    Rule doubled = MakeRule(Prop::And(r.antecedent, r.antecedent),
+                            r.consequent);
+    EXPECT_EQ(PEntails(rules, r, 3), PEntails(rules, doubled, 3));
+    ++checked;
+  }
+  EXPECT_GT(checked, 15);
+}
+
+TEST(PropToStringTest, Renders) {
+  std::vector<std::string> names = {"Bird", "Fly"};
+  EXPECT_EQ(PropToString(Prop::And(Prop::Var(0), Prop::Not(Prop::Var(1))),
+                         names),
+            "(Bird & !Fly)");
+}
+
+}  // namespace
+}  // namespace rwl::defaults

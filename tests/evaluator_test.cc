@@ -1,0 +1,173 @@
+#include "src/semantics/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/logic/builder.h"
+
+namespace rwl::semantics {
+namespace {
+
+using logic::C;
+using logic::CondProp;
+using logic::Formula;
+using logic::FormulaPtr;
+using logic::P;
+using logic::Prop;
+using logic::V;
+
+// A five-element world: Bird = {0,1,2,3}, Fly = {0,1,2}, Penguin = {3},
+// Tweety ↦ 3.
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  EvaluatorTest() {
+    vocab_.AddPredicate("Bird", 1);
+    vocab_.AddPredicate("Fly", 1);
+    vocab_.AddPredicate("Penguin", 1);
+    vocab_.AddConstant("Tweety");
+    world_ = std::make_unique<World>(&vocab_, 5);
+    for (int d : {0, 1, 2, 3}) world_->SetHolds(0, {d}, true);
+    for (int d : {0, 1, 2}) world_->SetHolds(1, {d}, true);
+    world_->SetHolds(2, {3}, true);
+    world_->SetApply(0, {}, 3);
+  }
+
+  bool Eval(const FormulaPtr& f, double tau = 0.01) {
+    return Evaluate(f, *world_, ToleranceVector::Uniform(tau));
+  }
+
+  logic::Vocabulary vocab_;
+  std::unique_ptr<World> world_;
+};
+
+TEST_F(EvaluatorTest, AtomsAndConstants) {
+  EXPECT_TRUE(Eval(P("Bird", C("Tweety"))));
+  EXPECT_TRUE(Eval(P("Penguin", C("Tweety"))));
+  EXPECT_FALSE(Eval(P("Fly", C("Tweety"))));
+}
+
+TEST_F(EvaluatorTest, Connectives) {
+  EXPECT_TRUE(Eval(Formula::And(P("Bird", C("Tweety")),
+                                Formula::Not(P("Fly", C("Tweety"))))));
+  EXPECT_TRUE(Eval(Formula::Implies(P("Fly", C("Tweety")),
+                                    Formula::False())));
+  EXPECT_TRUE(Eval(Formula::Iff(P("Fly", C("Tweety")), Formula::False())));
+}
+
+TEST_F(EvaluatorTest, Quantifiers) {
+  EXPECT_TRUE(Eval(Formula::ForAll(
+      "x", Formula::Implies(P("Penguin", V("x")), P("Bird", V("x"))))));
+  EXPECT_TRUE(Eval(Formula::Exists(
+      "x", Formula::And(P("Bird", V("x")), Formula::Not(P("Fly", V("x")))))));
+  EXPECT_FALSE(Eval(Formula::ForAll("x", P("Bird", V("x")))));
+}
+
+TEST_F(EvaluatorTest, EqualityOfTerms) {
+  EXPECT_TRUE(Eval(logic::Eq(C("Tweety"), C("Tweety"))));
+  EXPECT_TRUE(Eval(Formula::Exists(
+      "x", Formula::And(logic::Eq(V("x"), C("Tweety")),
+                        P("Penguin", V("x"))))));
+}
+
+TEST_F(EvaluatorTest, UnconditionalProportion) {
+  // ||Bird(x)||_x = 4/5.
+  EXPECT_TRUE(Eval(logic::ApproxEq(Prop(P("Bird", V("x")), {"x"}), 0.8, 1)));
+  EXPECT_FALSE(Eval(logic::ApproxEq(Prop(P("Bird", V("x")), {"x"}), 0.6, 1)));
+}
+
+TEST_F(EvaluatorTest, ConditionalProportion) {
+  // ||Fly | Bird||_x = 3/4.
+  EXPECT_TRUE(Eval(logic::ApproxEq(
+      CondProp(P("Fly", V("x")), P("Bird", V("x")), {"x"}), 0.75, 1)));
+}
+
+TEST_F(EvaluatorTest, ToleranceControlsApproximation) {
+  FormulaPtr f = logic::ApproxEq(Prop(P("Bird", V("x")), {"x"}), 0.7, 1);
+  EXPECT_FALSE(Eval(f, 0.05));
+  EXPECT_TRUE(Eval(f, 0.2));
+}
+
+TEST_F(EvaluatorTest, ApproxLeqAndGeq) {
+  EXPECT_TRUE(Eval(logic::ApproxLeq(Prop(P("Bird", V("x")), {"x"}), 0.85)));
+  EXPECT_TRUE(Eval(logic::ApproxGeq(Prop(P("Bird", V("x")), {"x"}), 0.75)));
+  EXPECT_FALSE(Eval(logic::ApproxGeq(Prop(P("Bird", V("x")), {"x"}), 0.95)));
+}
+
+TEST_F(EvaluatorTest, ExactComparisons) {
+  EXPECT_TRUE(Eval(Formula::Compare(Prop(P("Bird", V("x")), {"x"}),
+                                    logic::CompareOp::kEq, logic::Num(0.8))));
+  EXPECT_FALSE(Eval(Formula::Compare(Prop(P("Bird", V("x")), {"x"}),
+                                     logic::CompareOp::kEq,
+                                     logic::Num(0.81))));
+}
+
+TEST_F(EvaluatorTest, ZeroDenominatorConventionIsTrue) {
+  // No element satisfies Fly ∧ Penguin, so conditioning on it: any
+  // comparison is true (the 0/0 convention of Section 4.1).
+  FormulaPtr impossible = Formula::And(P("Fly", V("x")), P("Penguin", V("x")));
+  EXPECT_TRUE(Eval(logic::ApproxEq(
+      CondProp(P("Bird", V("x")), impossible, {"x"}), 0.123, 1)));
+  EXPECT_FALSE(Eval(Formula::Not(logic::ApproxEq(
+      CondProp(P("Bird", V("x")), impossible, {"x"}), 0.123, 1))));
+}
+
+TEST_F(EvaluatorTest, Example4_2_ConditionalIsPrimitive) {
+  // Example 4.2: with ||Penguin||_x small but nonzero, the conditional
+  // ||Fly|Penguin||_x must reflect the actual ratio among penguins (here
+  // 0/1 = 0), not the multiplied-out approximation.
+  EXPECT_TRUE(Eval(logic::ApproxEq(
+      CondProp(P("Fly", V("x")), P("Penguin", V("x")), {"x"}), 0.0, 1)));
+  EXPECT_FALSE(Eval(logic::ApproxEq(
+      CondProp(P("Fly", V("x")), P("Penguin", V("x")), {"x"}), 1.0, 1)));
+}
+
+TEST_F(EvaluatorTest, ArithmeticExpressions) {
+  // ||Bird|| - ||Fly|| = 0.8 - 0.6 = 0.2
+  FormulaPtr f = Formula::Compare(
+      logic::Expr::Sub(Prop(P("Bird", V("x")), {"x"}),
+                       Prop(P("Fly", V("x")), {"x"})),
+      logic::CompareOp::kApproxEq, logic::Num(0.2), 1);
+  EXPECT_TRUE(Eval(f));
+  FormulaPtr g = Formula::Compare(
+      logic::Expr::Mul(Prop(P("Bird", V("x")), {"x"}), logic::Num(0.5)),
+      logic::CompareOp::kApproxEq, logic::Num(0.4), 1);
+  EXPECT_TRUE(Eval(g));
+}
+
+TEST_F(EvaluatorTest, MultiVariableProportion) {
+  // ||Bird(x) ∧ Fly(y)||_{x,y} = (4*3)/25.
+  FormulaPtr f = logic::ApproxEq(
+      Prop(Formula::And(P("Bird", V("x")), P("Fly", V("y"))), {"x", "y"}),
+      12.0 / 25.0, 1);
+  EXPECT_TRUE(Eval(f));
+}
+
+TEST_F(EvaluatorTest, NestedProportionInsideQuantifier) {
+  // ∃x (Penguin(x) ∧ ||Fly(y)||_y ≈ 0.6): the proportion is independent of
+  // x but exercises nesting.
+  FormulaPtr f = Formula::Exists(
+      "x", Formula::And(P("Penguin", V("x")),
+                        logic::ApproxEq(Prop(P("Fly", V("y")), {"y"}), 0.6,
+                                        1)));
+  EXPECT_TRUE(Eval(f));
+}
+
+TEST(EvaluatorFunctions, UnaryFunctionInterpretation) {
+  logic::Vocabulary vocab;
+  vocab.AddPredicate("Tall", 1);
+  vocab.AddFunction("Mother", 1);
+  vocab.AddConstant("Alice");
+  World world(&vocab, 3);
+  world.SetHolds(0, {2}, true);   // Tall(2)
+  world.SetApply(0, {0}, 2);      // Mother(0) = 2
+  world.SetApply(0, {1}, 1);
+  world.SetApply(0, {2}, 1);
+  world.SetApply(1, {}, 0);       // Alice = 0
+  ToleranceVector tol = ToleranceVector::Uniform(0.01);
+  // Tall(Mother(Alice)).
+  FormulaPtr f = logic::Formula::Atom(
+      "Tall", {logic::Term::Apply("Mother", {logic::C("Alice")})});
+  EXPECT_TRUE(Evaluate(f, world, tol));
+}
+
+}  // namespace
+}  // namespace rwl::semantics

@@ -1,0 +1,165 @@
+#include "src/engines/exact_engine.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/logic/builder.h"
+
+namespace rwl::engines {
+namespace {
+
+using logic::C;
+using logic::Formula;
+using logic::FormulaPtr;
+using logic::P;
+using logic::V;
+
+semantics::ToleranceVector Tol(double v) {
+  return semantics::ToleranceVector::Uniform(v);
+}
+
+TEST(ExactEngine, TrivialKbGivesPriorProbabilities) {
+  // One unary predicate, no constants: Pr(some element is P) under the
+  // uniform prior; for the query P(c) we need a constant.
+  logic::Vocabulary vocab;
+  vocab.AddPredicate("White", 1);
+  vocab.AddConstant("B");
+  ExactEngine engine;
+  // Pr(White(B) | true) = 1/2 at every N: by symmetry exactly half the
+  // (world, denotation) pairs satisfy it.
+  for (int n = 1; n <= 4; ++n) {
+    FiniteResult r = engine.DegreeAt(vocab, Formula::True(),
+                                     P("White", C("B")), n, Tol(0.1));
+    ASSERT_TRUE(r.well_defined);
+    EXPECT_NEAR(r.probability, 0.5, 1e-12) << "N=" << n;
+  }
+}
+
+TEST(ExactEngine, RefinedVocabularyShiftsPrior) {
+  // Section 7.2: with Red/Blue refining ¬White (disjoint union), the degree
+  // of belief in White(B) becomes 1/3.
+  logic::Vocabulary vocab;
+  vocab.AddPredicate("White", 1);
+  vocab.AddPredicate("Red", 1);
+  vocab.AddPredicate("Blue", 1);
+  vocab.AddConstant("B");
+  // ∀x (¬White ⇔ (Red ∨ Blue)) ∧ ∀x ¬(Red ∧ Blue) ∧ ∀x(White ⇒ ¬Red ∧ ¬Blue)
+  FormulaPtr partition = Formula::ForAll(
+      "x",
+      Formula::And(
+          Formula::Iff(Formula::Not(P("White", V("x"))),
+                       Formula::Or(P("Red", V("x")), P("Blue", V("x")))),
+          Formula::Not(Formula::And(P("Red", V("x")), P("Blue", V("x"))))));
+  ExactEngine engine;
+  for (int n = 1; n <= 3; ++n) {
+    FiniteResult r = engine.DegreeAt(vocab, partition, P("White", C("B")), n,
+                                     Tol(0.1));
+    ASSERT_TRUE(r.well_defined);
+    EXPECT_NEAR(r.probability, 1.0 / 3.0, 1e-12) << "N=" << n;
+  }
+}
+
+TEST(ExactEngine, UnsatisfiableKbIsUndefined) {
+  logic::Vocabulary vocab;
+  vocab.AddPredicate("A", 1);
+  ExactEngine engine;
+  FiniteResult r = engine.DegreeAt(
+      vocab, Formula::And(Formula::Exists("x", P("A", V("x"))),
+                          Formula::ForAll("x", Formula::Not(P("A", V("x"))))),
+      P("A", V("y")), 3, Tol(0.1));
+  EXPECT_FALSE(r.well_defined);
+}
+
+TEST(ExactEngine, UniqueNamesBias) {
+  // Pr(c1 = c2 | true) = 1/N — the automatic unique-names bias (§5.5).
+  logic::Vocabulary vocab;
+  vocab.AddConstant("C1");
+  vocab.AddConstant("C2");
+  ExactEngine engine;
+  for (int n = 2; n <= 5; ++n) {
+    FiniteResult r = engine.DegreeAt(vocab, Formula::True(),
+                                     logic::Eq(C("C1"), C("C2")), n, Tol(0.1));
+    ASSERT_TRUE(r.well_defined);
+    EXPECT_NEAR(r.probability, 1.0 / n, 1e-12);
+  }
+}
+
+TEST(ExactEngine, LifschitzC1UniqueNames) {
+  // Pr(Ray ≠ Drew | Ray = Reiter ∧ Drew = McDermott) → 1.
+  logic::Vocabulary vocab;
+  for (const char* name : {"Ray", "Reiter", "Drew", "McDermott"}) {
+    vocab.AddConstant(name);
+  }
+  ExactEngine engine;
+  FormulaPtr kb = Formula::And(logic::Eq(C("Ray"), C("Reiter")),
+                               logic::Eq(C("Drew"), C("McDermott")));
+  FormulaPtr query = Formula::Not(logic::Eq(C("Ray"), C("Drew")));
+  double last = 0.0;
+  for (int n = 2; n <= 5; ++n) {
+    FiniteResult r = engine.DegreeAt(vocab, kb, query, n, Tol(0.1));
+    ASSERT_TRUE(r.well_defined);
+    last = r.probability;
+    EXPECT_NEAR(last, 1.0 - 1.0 / n, 1e-12);
+  }
+  EXPECT_GT(last, 0.7);
+}
+
+TEST(ExactEngine, ThreeWayEqualityDisjunction) {
+  // Pr(c1 = c2 | (c1=c2) ∨ (c2=c3) ∨ (c1=c3)) = 1/3 in the limit (§5.5).
+  logic::Vocabulary vocab;
+  vocab.AddConstant("C1");
+  vocab.AddConstant("C2");
+  vocab.AddConstant("C3");
+  ExactEngine engine;
+  FormulaPtr e12 = logic::Eq(C("C1"), C("C2"));
+  FormulaPtr e23 = logic::Eq(C("C2"), C("C3"));
+  FormulaPtr e13 = logic::Eq(C("C1"), C("C3"));
+  FormulaPtr kb = Formula::Or(Formula::Or(e12, e23), e13);
+  // At finite N: Pr = (#worlds with c1=c2) / (#worlds with some pair equal).
+  // #(c1=c2) = N^2 (choose the shared value and c3); #some-pair-equal =
+  // 3N^2 - 2N (inclusion-exclusion).  The ratio tends to 1/3.
+  for (int n = 2; n <= 6; ++n) {
+    FiniteResult r = engine.DegreeAt(vocab, kb, e12, n, Tol(0.1));
+    ASSERT_TRUE(r.well_defined);
+    double expected = static_cast<double>(n) * n /
+                      (3.0 * n * n - 2.0 * n);
+    EXPECT_NEAR(r.probability, expected, 1e-12) << "N=" << n;
+  }
+}
+
+TEST(ExactEngine, BinaryPredicateWorldCounts) {
+  // One binary predicate at N=2: 2^4 = 16 worlds; Pr(R(c,c)) = 1/2.
+  logic::Vocabulary vocab;
+  vocab.AddPredicate("R", 2);
+  vocab.AddConstant("A");
+  ExactEngine engine;
+  FiniteResult r = engine.DegreeAt(vocab, Formula::True(),
+                                   P("R", C("A"), C("A")), 2, Tol(0.1));
+  ASSERT_TRUE(r.well_defined);
+  EXPECT_NEAR(r.probability, 0.5, 1e-12);
+  EXPECT_NEAR(std::exp(r.log_denominator), 32.0, 1e-6);  // 16 worlds × 2 denotations
+}
+
+TEST(ExactEngine, SupportsRefusesHugeInstances) {
+  logic::Vocabulary vocab;
+  vocab.AddPredicate("R", 2);
+  ExactEngine engine(/*max_log2_worlds=*/20.0);
+  EXPECT_TRUE(engine.Supports(vocab, Formula::True(), Formula::True(), 4));
+  EXPECT_FALSE(engine.Supports(vocab, Formula::True(), Formula::True(), 8));
+}
+
+TEST(ExactEngine, StatisticalConjunctRestrictsWorlds) {
+  // KB: ||A(x)||_x ≈ 0.5 with τ = 0.1 at N = 4 keeps only worlds with
+  // exactly 2 of 4 elements in A: C(4,2) = 6 of 16.
+  logic::Vocabulary vocab;
+  vocab.AddPredicate("A", 1);
+  ExactEngine engine;
+  FormulaPtr kb = logic::ApproxEq(logic::Prop(P("A", V("x")), {"x"}), 0.5, 1);
+  FiniteResult r = engine.DegreeAt(vocab, kb, Formula::True(), 4, Tol(0.1));
+  ASSERT_TRUE(r.well_defined);
+  EXPECT_NEAR(std::exp(r.log_denominator), 6.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace rwl::engines

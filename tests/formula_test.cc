@@ -1,0 +1,153 @@
+#include "src/logic/formula.h"
+
+#include <gtest/gtest.h>
+
+#include "src/logic/builder.h"
+#include "src/logic/printer.h"
+#include "src/logic/transform.h"
+#include "src/logic/vocabulary.h"
+
+namespace rwl::logic {
+namespace {
+
+TEST(Term, StructuralEquality) {
+  EXPECT_TRUE(Term::Equal(V("x"), V("x")));
+  EXPECT_FALSE(Term::Equal(V("x"), V("y")));
+  EXPECT_FALSE(Term::Equal(V("x"), C("x")));
+  EXPECT_TRUE(Term::Equal(Term::Apply("f", {V("x")}),
+                          Term::Apply("f", {V("x")})));
+  EXPECT_FALSE(Term::Equal(Term::Apply("f", {V("x")}),
+                           Term::Apply("f", {V("y")})));
+}
+
+TEST(Formula, StructuralEquality) {
+  FormulaPtr a = P("Bird", V("x"));
+  FormulaPtr b = P("Bird", V("x"));
+  FormulaPtr c = P("Bird", V("y"));
+  EXPECT_TRUE(Formula::StructuralEqual(a, b));
+  EXPECT_FALSE(Formula::StructuralEqual(a, c));
+  EXPECT_TRUE(Formula::StructuralEqual(Formula::And(a, c),
+                                       Formula::And(b, c)));
+  EXPECT_FALSE(Formula::StructuralEqual(Formula::And(a, c),
+                                        Formula::Or(a, c)));
+}
+
+TEST(Formula, CompareEqualityIncludesToleranceIndex) {
+  FormulaPtr a = ApproxEq(Prop(P("Bird", V("x")), {"x"}), 0.5, 1);
+  FormulaPtr b = ApproxEq(Prop(P("Bird", V("x")), {"x"}), 0.5, 2);
+  EXPECT_FALSE(Formula::StructuralEqual(a, b));
+}
+
+TEST(Formula, HashAgreesOnEqualFormulas) {
+  FormulaPtr a = Default(P("Bird", V("x")), P("Fly", V("x")), {"x"});
+  FormulaPtr b = Default(P("Bird", V("x")), P("Fly", V("x")), {"x"});
+  EXPECT_EQ(Formula::Hash(a), Formula::Hash(b));
+}
+
+TEST(Formula, AndAllEmptyIsTrue) {
+  EXPECT_EQ(Formula::AndAll({})->kind(), Formula::Kind::kTrue);
+  EXPECT_EQ(Formula::OrAll({})->kind(), Formula::Kind::kFalse);
+}
+
+TEST(FreeVariables, QuantifierBinds) {
+  FormulaPtr f = Formula::ForAll(
+      "x", Formula::Implies(P("Bird", V("x")), P("Fly", V("y"))));
+  auto fv = FreeVariables(f);
+  EXPECT_EQ(fv.size(), 1u);
+  EXPECT_TRUE(fv.count("y") > 0);
+}
+
+TEST(FreeVariables, ProportionSubscriptBinds) {
+  // ||Child(x, y)||_x has y free, x bound.
+  ExprPtr e = Prop(P("Child", V("x"), V("y")), {"x"});
+  auto fv = FreeVariables(e);
+  EXPECT_EQ(fv.size(), 1u);
+  EXPECT_TRUE(fv.count("y") > 0);
+}
+
+TEST(FreeVariables, CompareFormula) {
+  FormulaPtr f = ApproxEq(CondProp(P("Hep", V("x")), P("Jaun", V("x")),
+                                   {"x"}),
+                          0.8, 1);
+  EXPECT_TRUE(FreeVariables(f).empty());
+}
+
+TEST(ConstantsOf, CollectsThroughProportions) {
+  FormulaPtr f = ApproxEq(
+      CondProp(P("Likes", V("x"), C("Fred")), P("Elephant", V("x")), {"x"}),
+      0.0, 2);
+  auto consts = ConstantsOf(f);
+  ASSERT_EQ(consts.size(), 1u);
+  EXPECT_TRUE(consts.count("Fred") > 0);
+}
+
+TEST(Substitution, ReplacesFreeOnly) {
+  // (Bird(x) ∧ ∀x Fly(x))[x := Tweety] replaces only the free occurrence.
+  FormulaPtr f = Formula::And(P("Bird", V("x")),
+                              Formula::ForAll("x", P("Fly", V("x"))));
+  FormulaPtr g = SubstituteVariable(f, "x", C("Tweety"));
+  EXPECT_EQ(ToString(g), "(Bird(Tweety) & (forall x. Fly(x)))");
+}
+
+TEST(Substitution, ProportionSubscriptShadows) {
+  // ||Fly(x)||_x [x := Tweety] is unchanged.
+  FormulaPtr f = ApproxEq(Prop(P("Fly", V("x")), {"x"}), 1.0, 1);
+  FormulaPtr g = SubstituteVariable(f, "x", C("Tweety"));
+  EXPECT_TRUE(Formula::StructuralEqual(f, g));
+}
+
+TEST(Conjuncts, FlattensNestedAnds) {
+  FormulaPtr a = P("A", V("x"));
+  FormulaPtr b = P("B", V("x"));
+  FormulaPtr c = P("C", V("x"));
+  auto list = Conjuncts(Formula::And(Formula::And(a, b), c));
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_TRUE(Formula::StructuralEqual(list[0], a));
+  EXPECT_TRUE(Formula::StructuralEqual(list[1], b));
+  EXPECT_TRUE(Formula::StructuralEqual(list[2], c));
+}
+
+TEST(Conjuncts, DropsTrue) {
+  auto list = Conjuncts(Formula::And(Formula::True(), P("A", V("x"))));
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(ExistsUniqueTest, ExpandsToWitnessForm) {
+  FormulaPtr f = ExistsUnique("x", P("Winner", V("x")));
+  // ∃x (Winner(x) ∧ ∀y (Winner(y) ⇒ y = x))
+  EXPECT_EQ(f->kind(), Formula::Kind::kExists);
+  const FormulaPtr& body = f->body();
+  EXPECT_EQ(body->kind(), Formula::Kind::kAnd);
+  EXPECT_EQ(body->right()->kind(), Formula::Kind::kForAll);
+}
+
+TEST(ExactlyNTest, ZeroIsNegatedExists) {
+  FormulaPtr f = ExactlyN(0, "x", P("Winner", V("x")));
+  EXPECT_EQ(f->kind(), Formula::Kind::kNot);
+}
+
+TEST(ExactlyNTest, PositiveBuildsWitnesses) {
+  FormulaPtr f = ExactlyN(2, "x", P("T", V("x")));
+  EXPECT_EQ(f->kind(), Formula::Kind::kExists);
+}
+
+TEST(RegisterSymbolsTest, InfersArities) {
+  Vocabulary vocab;
+  FormulaPtr f = Formula::And(
+      P("Likes", C("Clyde"), C("Fred")),
+      ApproxEq(Prop(P("Elephant", V("x")), {"x"}), 0.1, 1));
+  RegisterSymbols(f, &vocab);
+  EXPECT_EQ(vocab.FindPredicate("Likes")->arity, 2);
+  EXPECT_EQ(vocab.FindPredicate("Elephant")->arity, 1);
+  EXPECT_EQ(vocab.FindFunction("Clyde")->arity, 0);
+  EXPECT_EQ(vocab.FindFunction("Fred")->arity, 0);
+}
+
+TEST(FreshVariableTest, AvoidsCollisions) {
+  FormulaPtr f = Formula::ForAll("x_u", P("A", V("x_u")));
+  std::string fresh = FreshVariable(f, "x_u");
+  EXPECT_NE(fresh, "x_u");
+}
+
+}  // namespace
+}  // namespace rwl::logic

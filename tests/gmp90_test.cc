@@ -1,0 +1,174 @@
+#include "src/defaults/gmp90.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/inference.h"
+#include "src/logic/printer.h"
+
+namespace rwl::defaults {
+namespace {
+
+constexpr int kBird = 0;
+constexpr int kFly = 1;
+constexpr int kPenguin = 2;
+constexpr int kRed = 2;
+
+Rule MakeRule(PropPtr a, PropPtr c) { return Rule{std::move(a), std::move(c)}; }
+
+TEST(Gmp90, DirectRulePlausible) {
+  Gmp90System system(2, {MakeRule(Prop::Var(kBird), Prop::Var(kFly))});
+  auto result = system.MePlausible(
+      MakeRule(Prop::Var(kBird), Prop::Var(kFly)));
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.plausible);
+}
+
+TEST(Gmp90, IrrelevantConjunctIgnored) {
+  // Unlike raw ε-semantics, the maximum-entropy system concludes that red
+  // birds fly (GMP90's headline improvement).
+  Gmp90System system(3, {MakeRule(Prop::Var(kBird), Prop::Var(kFly))});
+  auto result = system.MePlausible(MakeRule(
+      Prop::And(Prop::Var(kBird), Prop::Var(kRed)), Prop::Var(kFly)));
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.plausible);
+}
+
+TEST(Gmp90, SpecificityViaMaxent) {
+  Gmp90System system(3, {
+      MakeRule(Prop::Var(kBird), Prop::Var(kFly)),
+      MakeRule(Prop::Var(kPenguin), Prop::Not(Prop::Var(kFly))),
+      MakeRule(Prop::Var(kPenguin), Prop::Var(kBird)),
+  });
+  auto penguin_no_fly = system.MePlausible(
+      MakeRule(Prop::Var(kPenguin), Prop::Not(Prop::Var(kFly))));
+  ASSERT_TRUE(penguin_no_fly.feasible);
+  EXPECT_TRUE(penguin_no_fly.plausible);
+  auto penguin_fly = system.MePlausible(
+      MakeRule(Prop::Var(kPenguin), Prop::Var(kFly)));
+  EXPECT_FALSE(penguin_fly.plausible);
+}
+
+TEST(Gmp90, NonConsequenceNotPlausible) {
+  // From Bird → Fly alone, Fly → Bird should NOT be plausible.
+  Gmp90System system(2, {MakeRule(Prop::Var(kBird), Prop::Var(kFly))});
+  auto result = system.MePlausible(
+      MakeRule(Prop::Var(kFly), Prop::Var(kBird)));
+  ASSERT_TRUE(result.feasible);
+  EXPECT_FALSE(result.plausible);
+}
+
+TEST(Gmp90, ConditionalSeriesApproachesOne) {
+  Gmp90System system(2, {MakeRule(Prop::Var(0), Prop::Var(1))});
+  double loose = system.ConditionalAtEpsilon(
+      MakeRule(Prop::Var(0), Prop::Var(1)), 0.1);
+  double tight = system.ConditionalAtEpsilon(
+      MakeRule(Prop::Var(0), Prop::Var(1)), 0.005);
+  EXPECT_GT(loose, 0.85);
+  EXPECT_GT(tight, loose);
+}
+
+TEST(Gmp90Strengths, PenguinTriangleStrengths) {
+  Gmp90System system(3, {
+      MakeRule(Prop::Var(kBird), Prop::Var(kFly)),
+      MakeRule(Prop::Var(kPenguin), Prop::Not(Prop::Var(kFly))),
+      MakeRule(Prop::Var(kPenguin), Prop::Var(kBird)),
+  });
+  std::vector<int> z = system.RuleStrengths();
+  ASSERT_EQ(z.size(), 3u);
+  EXPECT_EQ(z[0], 1);  // bird → fly
+  EXPECT_EQ(z[1], 2);  // penguin → ¬fly beats it
+  EXPECT_EQ(z[2], 2);  // penguin → bird
+
+  EXPECT_EQ(system.CompareByStrengths(
+                MakeRule(Prop::Var(kPenguin), Prop::Not(Prop::Var(kFly)))),
+            +1);
+  EXPECT_EQ(system.CompareByStrengths(
+                MakeRule(Prop::Var(kPenguin), Prop::Var(kFly))),
+            -1);
+  EXPECT_EQ(system.CompareByStrengths(
+                MakeRule(Prop::Var(kBird), Prop::Var(kFly))),
+            +1);
+}
+
+TEST(Gmp90Strengths, InconsistentRulesReportEmpty) {
+  Gmp90System system(2, {
+      MakeRule(Prop::Var(0), Prop::Var(1)),
+      MakeRule(Prop::Var(0), Prop::Not(Prop::Var(1))),
+  });
+  EXPECT_TRUE(system.RuleStrengths().empty());
+}
+
+TEST(Gmp90Strengths, GeffnerStrengthBoost) {
+  // Adding P → ¬Q lifts the strength of P∧S → Q from 1 to 2 — the
+  // mechanism behind the anomaly discussed at the end of Section 6.
+  std::vector<Rule> base = {
+      MakeRule(Prop::And(Prop::Var(0), Prop::Var(1)), Prop::Var(3)),
+      MakeRule(Prop::Var(2), Prop::Not(Prop::Var(3))),
+  };
+  Gmp90System before(4, base);
+  ASSERT_FALSE(before.RuleStrengths().empty());
+  EXPECT_EQ(before.RuleStrengths()[0], 1);
+
+  std::vector<Rule> extended = base;
+  extended.push_back(MakeRule(Prop::Var(0), Prop::Not(Prop::Var(3))));
+  Gmp90System after(4, extended);
+  ASSERT_FALSE(after.RuleStrengths().empty());
+  EXPECT_EQ(after.RuleStrengths()[0], 2);
+}
+
+TEST(Gmp90Translation, PropToUnaryShape) {
+  std::vector<std::string> names = {"Bird", "Fly"};
+  logic::FormulaPtr f = PropToUnary(
+      Prop::And(Prop::Var(0), Prop::Not(Prop::Var(1))), names,
+      logic::Term::Variable("x"));
+  EXPECT_EQ(logic::ToString(f), "(Bird(x) & !Fly(x))");
+}
+
+TEST(Gmp90Translation, RuleBecomesSharedToleranceDefault) {
+  std::vector<std::string> names = {"Bird", "Fly"};
+  logic::FormulaPtr theta =
+      TranslateRule(MakeRule(Prop::Var(0), Prop::Var(1)), names);
+  EXPECT_EQ(theta->kind(), logic::Formula::Kind::kCompare);
+  EXPECT_EQ(theta->tolerance_index(), 1);
+}
+
+TEST(Gmp90Embedding, Theorem6_1_AgreementWithRandomWorlds) {
+  // Both systems must agree on the penguin triangle queries.
+  std::vector<std::string> names = {"Bird", "Fly", "Penguin"};
+  Gmp90System system(3, {
+      MakeRule(Prop::Var(kBird), Prop::Var(kFly)),
+      MakeRule(Prop::Var(kPenguin), Prop::Not(Prop::Var(kFly))),
+      MakeRule(Prop::Var(kPenguin), Prop::Var(kBird)),
+  });
+
+  struct Case {
+    Rule query;
+    bool expect_plausible;
+  };
+  std::vector<Case> cases = {
+      {MakeRule(Prop::Var(kPenguin), Prop::Not(Prop::Var(kFly))), true},
+      {MakeRule(Prop::Var(kBird), Prop::Var(kFly)), true},
+      {MakeRule(Prop::Var(kPenguin), Prop::Var(kFly)), false},
+  };
+  for (const auto& c : cases) {
+    auto me = system.MePlausible(c.query);
+    EXPECT_EQ(me.plausible, c.expect_plausible);
+
+    RwEmbedding embedding = TranslateQuery(system, c.query, names);
+    InferenceOptions options;
+    options.tolerances = semantics::ToleranceVector::Uniform(0.05);
+    options.limit.domain_sizes = {12, 24, 36};
+    options.limit.tolerance_scales = {1.0, 0.5};
+    Answer answer = DegreeOfBelief(embedding.kb, embedding.query, options);
+    ASSERT_TRUE(answer.status == Answer::Status::kPoint ||
+                answer.status == Answer::Status::kInterval)
+        << StatusToString(answer.status) << " " << answer.explanation;
+    bool rw_plausible = answer.value >= 0.8 || answer.lo >= 0.8;
+    EXPECT_EQ(rw_plausible, c.expect_plausible)
+        << "rw answer " << answer.value << " for ME-plausible="
+        << c.expect_plausible;
+  }
+}
+
+}  // namespace
+}  // namespace rwl::defaults

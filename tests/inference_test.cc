@@ -1,0 +1,192 @@
+#include "src/core/inference.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/knowledge_base.h"
+#include "src/logic/builder.h"
+#include "src/logic/printer.h"
+
+namespace rwl {
+namespace {
+
+TEST(KnowledgeBaseTest, AddRegistersSymbols) {
+  KnowledgeBase kb;
+  kb.Add(logic::P("Bird", logic::C("Tweety")));
+  EXPECT_TRUE(kb.vocabulary().FindPredicate("Bird").has_value());
+  EXPECT_TRUE(kb.vocabulary().FindFunction("Tweety").has_value());
+  EXPECT_EQ(kb.conjuncts().size(), 1u);
+}
+
+TEST(KnowledgeBaseTest, AddFlattensConjunctions) {
+  KnowledgeBase kb;
+  kb.Add(logic::Formula::And(logic::P("A", logic::C("K")),
+                             logic::P("B", logic::C("K"))));
+  EXPECT_EQ(kb.conjuncts().size(), 2u);
+}
+
+TEST(KnowledgeBaseTest, ParseErrorsReported) {
+  KnowledgeBase kb;
+  std::string error;
+  EXPECT_FALSE(kb.AddParsed("Bird(", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(kb.conjuncts().empty());
+}
+
+TEST(KnowledgeBaseTest, ToStringRoundTrips) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddParsed("Bird(Tweety)\n#(Fly(x) ; Bird(x))[x] ~= 0.9\n"));
+  KnowledgeBase copy;
+  ASSERT_TRUE(copy.AddParsed(kb.ToString()));
+  EXPECT_EQ(kb.conjuncts().size(), copy.conjuncts().size());
+  for (size_t i = 0; i < kb.conjuncts().size(); ++i) {
+    EXPECT_TRUE(logic::Formula::StructuralEqual(kb.conjuncts()[i],
+                                                copy.conjuncts()[i]));
+  }
+}
+
+TEST(InferenceTest, RoutesToSymbolicForPointAnswers) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddParsed(
+      "Jaun(Eric)\n#(Hep(x) ; Jaun(x))[x] ~= 0.8\n"));
+  Answer answer = DegreeOfBelief(kb, "Hep(Eric)");
+  ASSERT_EQ(answer.status, Answer::Status::kPoint);
+  EXPECT_NE(answer.method.find("5.6"), std::string::npos);
+}
+
+TEST(InferenceTest, NumericFallbackWhenSymbolicInapplicable) {
+  // Query with no statistics: prior symmetry gives 1/2 by the profile
+  // engine.
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddParsed("Bird(Tweety)\n"));
+  kb.mutable_vocabulary().AddPredicate("Happy", 1);
+  Answer answer = DegreeOfBelief(kb, "Happy(Tweety)");
+  ASSERT_EQ(answer.status, Answer::Status::kPoint) << answer.explanation;
+  EXPECT_NEAR(answer.value, 0.5, 0.01);
+  EXPECT_NE(answer.method.find("profile"), std::string::npos);
+}
+
+TEST(InferenceTest, SeriesRecordedForSweeps) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddParsed("Bird(Tweety)\n"));
+  InferenceOptions options;
+  options.use_symbolic = false;
+  Answer answer = DegreeOfBelief(kb, "Bird(Tweety)", options);
+  ASSERT_EQ(answer.status, Answer::Status::kPoint);
+  EXPECT_FALSE(answer.series.empty());
+  EXPECT_TRUE(answer.converged);
+}
+
+TEST(InferenceTest, UndefinedForUnsatisfiableKb) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddParsed(
+      "(exists x. A(x)) & (forall x. !A(x))\n"));
+  InferenceOptions options;
+  options.use_maxent = false;
+  Answer answer = DegreeOfBelief(kb, "A(K)", options);
+  EXPECT_EQ(answer.status, Answer::Status::kUndefined);
+}
+
+TEST(InferenceTest, NonUnaryFallsBackToExactEnumeration) {
+  // A binary-predicate KB outside every fast engine but tiny enough to
+  // enumerate: Pr(R(A,B)) with no information = 1/2.
+  KnowledgeBase kb;
+  kb.mutable_vocabulary().AddPredicate("R", 2);
+  kb.mutable_vocabulary().AddConstant("A");
+  kb.mutable_vocabulary().AddConstant("B");
+  Answer answer = DegreeOfBelief(kb, "R(A, B)");
+  ASSERT_EQ(answer.status, Answer::Status::kPoint) << answer.explanation;
+  EXPECT_NEAR(answer.value, 0.5, 1e-9);
+  EXPECT_NE(answer.method.find("exact"), std::string::npos);
+}
+
+TEST(InferenceTest, ConditioningOnEvidence) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddParsed("#(Hep(x) ; Jaun(x))[x] ~= 0.8\n"));
+  kb.mutable_vocabulary().AddConstant("Eric");
+  // Without evidence Eric is a stranger; after learning Jaun(Eric) the
+  // direct-inference value appears.
+  Answer before = DegreeOfBelief(kb, "Hep(Eric)");
+  Answer after = ConditionalDegreeOfBelief(
+      kb, logic::P("Hep", logic::C("Eric")),
+      logic::P("Jaun", logic::C("Eric")));
+  ASSERT_EQ(after.status, Answer::Status::kPoint) << after.explanation;
+  EXPECT_NEAR(after.value, 0.8, 0.02);
+  // Before the evidence, Eric is a stranger: his prior reflects the
+  // maximum-entropy pull of the statistics (an E5.29-style value below the
+  // conditional), not the conditional itself.
+  ASSERT_EQ(before.status, Answer::Status::kPoint);
+  EXPECT_GT(before.value, 0.2);
+  EXPECT_LT(before.value, after.value - 0.1);
+}
+
+TEST(InferenceTest, Proposition5_2_ConditioningOnConclusions) {
+  // KB |∼ Fly(Tweety); adding that conclusion leaves other degrees of
+  // belief unchanged (Proposition 5.2, via the public API).
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddParsed(
+      "#(Fly(x) ; Bird(x))[x] ~=_1 1\n"
+      "#(Sings(x) ; Bird(x))[x] ~=_2 0.3\n"
+      "Bird(Tweety)\n"));
+  InferenceOptions options;
+  options.limit.domain_sizes = {24, 48};
+  options.limit.tolerance_scales = {1.0};
+  Answer base = DegreeOfBelief(kb, "Sings(Tweety)", options);
+  Answer conditioned = ConditionalDegreeOfBelief(
+      kb, logic::P("Sings", logic::C("Tweety")),
+      logic::P("Fly", logic::C("Tweety")), options);
+  ASSERT_EQ(base.status, Answer::Status::kPoint) << base.explanation;
+  ASSERT_EQ(conditioned.status, Answer::Status::kPoint)
+      << conditioned.explanation;
+  EXPECT_NEAR(base.value, conditioned.value, 0.02);
+  EXPECT_NEAR(base.value, 0.3, 0.05);
+}
+
+TEST(InferenceTest, FixedDomainSizeComputesAtThatN) {
+  // Footnote 9: a known lottery of N people, no limits taken.
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddParsed(
+      "exists! w. Winner(w)\n"
+      "Ticket(Eric)\n"
+      "forall x. (Winner(x) => Ticket(x))\n"
+      "forall x. Ticket(x)\n"));  // everyone holds a ticket
+  InferenceOptions options;
+  options.fixed_domain_size = 10;
+  Answer answer = DegreeOfBelief(kb, "Winner(Eric)", options);
+  ASSERT_EQ(answer.status, Answer::Status::kPoint) << answer.explanation;
+  EXPECT_NEAR(answer.value, 0.1, 1e-9);
+  EXPECT_NE(answer.method.find("fixed N"), std::string::npos);
+}
+
+TEST(InferenceTest, FixedDomainSizeDetectsUnsatisfiability) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddParsed("(exists x. A(x)) & (forall x. !A(x))\n"));
+  InferenceOptions options;
+  options.fixed_domain_size = 5;
+  Answer answer = DegreeOfBelief(kb, "A(K)", options);
+  EXPECT_EQ(answer.status, Answer::Status::kUndefined);
+}
+
+TEST(InferenceTest, FixedDomainSizeExactForNonUnary) {
+  KnowledgeBase kb;
+  kb.mutable_vocabulary().AddPredicate("R", 2);
+  kb.mutable_vocabulary().AddConstant("A");
+  InferenceOptions options;
+  options.fixed_domain_size = 3;
+  Answer answer = DegreeOfBelief(kb, "R(A, A)", options);
+  ASSERT_EQ(answer.status, Answer::Status::kPoint) << answer.explanation;
+  EXPECT_NEAR(answer.value, 0.5, 1e-9);
+  EXPECT_NE(answer.method.find("exact"), std::string::npos);
+}
+
+TEST(InferenceTest, StatusToStringCoversAll) {
+  EXPECT_EQ(StatusToString(Answer::Status::kPoint), "point");
+  EXPECT_EQ(StatusToString(Answer::Status::kInterval), "interval");
+  EXPECT_EQ(StatusToString(Answer::Status::kNonexistent), "nonexistent");
+  EXPECT_EQ(StatusToString(Answer::Status::kUndefined), "undefined");
+  EXPECT_EQ(StatusToString(Answer::Status::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace rwl

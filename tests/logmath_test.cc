@@ -1,0 +1,106 @@
+#include "src/combinatorics/logmath.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rwl {
+namespace {
+
+TEST(LogFactorial, SmallValues) {
+  EXPECT_DOUBLE_EQ(LogFactorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(LogFactorial(1), 0.0);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-12);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogFactorial, NegativeIsZeroCount) {
+  EXPECT_EQ(LogFactorial(-1), kNegInf);
+}
+
+TEST(LogFactorial, LargeValuesMatchLgamma) {
+  EXPECT_NEAR(LogFactorial(100000), std::lgamma(100001.0), 1e-6);
+}
+
+TEST(LogBinomial, KnownValues) {
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(LogBinomial(52, 5), std::log(2598960.0), 1e-8);
+  EXPECT_DOUBLE_EQ(LogBinomial(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(LogBinomial(5, 5), 0.0);
+}
+
+TEST(LogBinomial, OutOfRangeIsNegInf) {
+  EXPECT_EQ(LogBinomial(5, 6), kNegInf);
+  EXPECT_EQ(LogBinomial(5, -1), kNegInf);
+}
+
+TEST(LogMultinomial, MatchesBinomialForTwoParts) {
+  for (int n = 0; n <= 20; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_NEAR(LogMultinomial(n, {k, n - k}), LogBinomial(n, k), 1e-10)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(LogMultinomial, ThreeParts) {
+  // 6! / (1! 2! 3!) = 60.
+  EXPECT_NEAR(LogMultinomial(6, {1, 2, 3}), std::log(60.0), 1e-12);
+}
+
+TEST(LogMultinomial, NegativePartIsNegInf) {
+  EXPECT_EQ(LogMultinomial(3, {4, -1}), kNegInf);
+}
+
+TEST(LogFallingFactorial, KnownValues) {
+  EXPECT_DOUBLE_EQ(LogFallingFactorial(7, 0), 0.0);
+  EXPECT_NEAR(LogFallingFactorial(7, 2), std::log(42.0), 1e-12);
+  EXPECT_NEAR(LogFallingFactorial(5, 5), LogFactorial(5), 1e-12);
+  EXPECT_EQ(LogFallingFactorial(3, 4), kNegInf);
+}
+
+TEST(LogSumExpTest, EmptyIsZeroSum) {
+  LogSumExp acc;
+  EXPECT_TRUE(acc.IsZero());
+  EXPECT_EQ(acc.Value(), kNegInf);
+}
+
+TEST(LogSumExpTest, SingleTerm) {
+  LogSumExp acc;
+  acc.Add(std::log(3.0));
+  EXPECT_NEAR(acc.Value(), std::log(3.0), 1e-12);
+}
+
+TEST(LogSumExpTest, ManyTerms) {
+  LogSumExp acc;
+  double expected = 0.0;
+  for (int i = 1; i <= 10; ++i) {
+    acc.Add(std::log(static_cast<double>(i)));
+    expected += i;
+  }
+  EXPECT_NEAR(acc.Value(), std::log(expected), 1e-12);
+}
+
+TEST(LogSumExpTest, HugeMagnitudesDoNotOverflow) {
+  LogSumExp acc;
+  acc.Add(1e6);
+  acc.Add(1e6 + std::log(2.0));
+  EXPECT_NEAR(acc.Value(), 1e6 + std::log(3.0), 1e-9);
+}
+
+TEST(LogSumExpTest, ZeroTermsIgnored) {
+  LogSumExp acc;
+  acc.Add(kNegInf);
+  acc.Add(std::log(5.0));
+  acc.Add(kNegInf);
+  EXPECT_NEAR(acc.Value(), std::log(5.0), 1e-12);
+}
+
+TEST(LogAddTest, Commutes) {
+  EXPECT_NEAR(LogAdd(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  EXPECT_NEAR(LogAdd(std::log(3.0), std::log(2.0)), std::log(5.0), 1e-12);
+  EXPECT_NEAR(LogAdd(kNegInf, std::log(2.0)), std::log(2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace rwl

@@ -1,0 +1,121 @@
+#include "src/engines/montecarlo_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/engines/exact_engine.h"
+#include "src/logic/builder.h"
+#include "src/logic/printer.h"
+
+namespace rwl::engines {
+namespace {
+
+using logic::C;
+using logic::Formula;
+using logic::FormulaPtr;
+using logic::P;
+using logic::V;
+
+semantics::ToleranceVector Tol(double v) {
+  return semantics::ToleranceVector::Uniform(v);
+}
+
+MonteCarloEngine::Options FastOptions() {
+  MonteCarloEngine::Options options;
+  options.num_samples = 40'000;
+  return options;
+}
+
+TEST(MonteCarloEngine, MatchesExactOnBinaryPredicateKb) {
+  // A genuinely non-unary KB: a binary relation with a reflexivity fact.
+  logic::Vocabulary vocab;
+  vocab.AddPredicate("R", 2);
+  vocab.AddConstant("A");
+  vocab.AddConstant("B");
+  FormulaPtr kb = Formula::ForAll("x", P("R", V("x"), V("x")));
+  FormulaPtr query = P("R", C("A"), C("B"));
+
+  ExactEngine exact;
+  MonteCarloEngine mc(FastOptions());
+  const int n = 3;
+  FiniteResult truth = exact.DegreeAt(vocab, kb, query, n, Tol(0.1));
+  FiniteResult sampled = mc.DegreeAt(vocab, kb, query, n, Tol(0.1));
+  ASSERT_TRUE(truth.well_defined);
+  ASSERT_TRUE(sampled.well_defined);
+  EXPECT_NEAR(sampled.probability, truth.probability, 0.03);
+}
+
+TEST(MonteCarloEngine, SymmetryGivesHalf) {
+  logic::Vocabulary vocab;
+  vocab.AddPredicate("Likes", 2);
+  vocab.AddConstant("A");
+  vocab.AddConstant("B");
+  MonteCarloEngine mc(FastOptions());
+  FiniteResult r = mc.DegreeAt(vocab, Formula::True(),
+                               P("Likes", C("A"), C("B")), 6, Tol(0.1));
+  ASSERT_TRUE(r.well_defined);
+  EXPECT_NEAR(r.probability, 0.5, 0.02);
+}
+
+TEST(MonteCarloEngine, TransitivityRaisesConditional) {
+  // Pr(R(a,c) | R(a,b) ∧ R(b,c) ∧ "R transitive") = 1.
+  logic::Vocabulary vocab;
+  vocab.AddPredicate("R", 2);
+  vocab.AddConstant("A");
+  vocab.AddConstant("B");
+  vocab.AddConstant("Cc");
+  FormulaPtr transitive = Formula::ForAll(
+      "x",
+      Formula::ForAll(
+          "y", Formula::ForAll(
+                   "z", Formula::Implies(
+                            Formula::And(P("R", V("x"), V("y")),
+                                         P("R", V("y"), V("z"))),
+                            P("R", V("x"), V("z"))))));
+  FormulaPtr kb = Formula::AndAll(
+      {transitive, P("R", C("A"), C("B")), P("R", C("B"), C("Cc"))});
+  MonteCarloEngine::Options options;
+  options.num_samples = 300'000;
+  options.min_accepted = 20;
+  MonteCarloEngine mc(options);
+  FiniteResult r = mc.DegreeAt(vocab, kb, P("R", C("A"), C("Cc")), 3,
+                               Tol(0.1));
+  ASSERT_TRUE(r.well_defined) << "accepted " << mc.last_stats().accepted;
+  EXPECT_NEAR(r.probability, 1.0, 1e-12);
+}
+
+TEST(MonteCarloEngine, ReportsUndefinedForImprobableKb) {
+  logic::Vocabulary vocab;
+  vocab.AddPredicate("A", 1);
+  FormulaPtr kb = Formula::And(
+      Formula::Exists("x", P("A", V("x"))),
+      Formula::ForAll("x", Formula::Not(P("A", V("x")))));
+  MonteCarloEngine mc(FastOptions());
+  FiniteResult r = mc.DegreeAt(vocab, kb, Formula::True(), 6, Tol(0.1));
+  EXPECT_FALSE(r.well_defined);
+  EXPECT_EQ(mc.last_stats().accepted, 0u);
+}
+
+TEST(MonteCarloEngine, DeterministicUnderSeed) {
+  logic::Vocabulary vocab;
+  vocab.AddPredicate("R", 2);
+  vocab.AddConstant("A");
+  MonteCarloEngine mc(FastOptions());
+  FiniteResult a = mc.DegreeAt(vocab, Formula::True(),
+                               P("R", C("A"), C("A")), 4, Tol(0.1));
+  FiniteResult b = mc.DegreeAt(vocab, Formula::True(),
+                               P("R", C("A"), C("A")), 4, Tol(0.1));
+  EXPECT_EQ(a.probability, b.probability);
+}
+
+TEST(MonteCarloEngine, SupportsRefusesHugeWorlds) {
+  logic::Vocabulary vocab;
+  vocab.AddPredicate("R", 3);
+  MonteCarloEngine::Options options;
+  options.max_cells = 1000;
+  MonteCarloEngine mc(options);
+  EXPECT_TRUE(mc.Supports(vocab, Formula::True(), Formula::True(), 10));
+  EXPECT_FALSE(mc.Supports(vocab, Formula::True(), Formula::True(), 11));
+}
+
+}  // namespace
+}  // namespace rwl::engines

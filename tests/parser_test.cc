@@ -1,0 +1,175 @@
+#include "src/logic/parser.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "src/logic/builder.h"
+#include "src/logic/printer.h"
+#include "src/workload/generators.h"
+
+namespace rwl::logic {
+namespace {
+
+FormulaPtr MustParse(const std::string& text) {
+  ParseResult result = ParseFormula(text);
+  EXPECT_TRUE(result.ok()) << text << " : " << result.error << " at "
+                           << result.error_offset;
+  return result.formula;
+}
+
+TEST(Parser, Atom) {
+  FormulaPtr f = MustParse("Bird(Tweety)");
+  EXPECT_EQ(f->kind(), Formula::Kind::kAtom);
+  EXPECT_EQ(f->predicate(), "Bird");
+  EXPECT_TRUE(f->terms()[0]->is_constant());
+}
+
+TEST(Parser, VariableVsConstantCase) {
+  FormulaPtr f = MustParse("Likes(x, Fred)");
+  EXPECT_TRUE(f->terms()[0]->is_variable());
+  EXPECT_TRUE(f->terms()[1]->is_constant());
+}
+
+TEST(Parser, FunctionApplication) {
+  FormulaPtr f = MustParse("RisesLate(alice, NextDay(d))");
+  EXPECT_EQ(f->terms()[1]->name(), "NextDay");
+  EXPECT_EQ(f->terms()[1]->args().size(), 1u);
+}
+
+TEST(Parser, Connectives) {
+  FormulaPtr f = MustParse("(Bird(x) & !Penguin(x)) => Fly(x)");
+  EXPECT_EQ(f->kind(), Formula::Kind::kImplies);
+  EXPECT_EQ(f->left()->kind(), Formula::Kind::kAnd);
+}
+
+TEST(Parser, PrecedenceAndBindsTighterThanOr) {
+  FormulaPtr f = MustParse("A(x) | B(x) & C(x)");
+  EXPECT_EQ(f->kind(), Formula::Kind::kOr);
+  EXPECT_EQ(f->right()->kind(), Formula::Kind::kAnd);
+}
+
+TEST(Parser, Quantifiers) {
+  FormulaPtr f = MustParse("forall x. (Penguin(x) => Bird(x))");
+  EXPECT_EQ(f->kind(), Formula::Kind::kForAll);
+  EXPECT_EQ(f->var(), "x");
+}
+
+TEST(Parser, ExistsUniqueSugar) {
+  FormulaPtr f = MustParse("exists! x. Winner(x)");
+  EXPECT_EQ(f->kind(), Formula::Kind::kExists);
+  EXPECT_EQ(f->body()->kind(), Formula::Kind::kAnd);
+}
+
+TEST(Parser, Equality) {
+  FormulaPtr f = MustParse("Ray = Reiter");
+  EXPECT_EQ(f->kind(), Formula::Kind::kEqual);
+  FormulaPtr g = MustParse("x != y");
+  EXPECT_EQ(g->kind(), Formula::Kind::kNot);
+}
+
+TEST(Parser, ProportionFormula) {
+  FormulaPtr f = MustParse("#(Hep(x) ; Jaun(x))[x] ~= 0.8");
+  EXPECT_EQ(f->kind(), Formula::Kind::kCompare);
+  EXPECT_EQ(f->compare_op(), CompareOp::kApproxEq);
+  EXPECT_EQ(f->expr_left()->kind(), Expr::Kind::kConditional);
+  EXPECT_DOUBLE_EQ(f->expr_right()->value(), 0.8);
+}
+
+TEST(Parser, ToleranceSubscript) {
+  FormulaPtr f = MustParse("#(Fly(x) ; Bird(x))[x] ~=_3 1");
+  EXPECT_EQ(f->tolerance_index(), 3);
+}
+
+TEST(Parser, MultiVariableProportion) {
+  FormulaPtr f = MustParse(
+      "#(Likes(x, y) ; Elephant(x) & Zookeeper(y))[x,y] ~= 1");
+  EXPECT_EQ(f->expr_left()->vars().size(), 2u);
+}
+
+TEST(Parser, ArithmeticInExpressions) {
+  FormulaPtr f = MustParse("(#(A(x))[x] + #(B(x))[x]) <= 0.5");
+  EXPECT_EQ(f->kind(), Formula::Kind::kCompare);
+  EXPECT_EQ(f->expr_left()->kind(), Expr::Kind::kAdd);
+}
+
+TEST(Parser, NestedProportions) {
+  // The Morreau nested default (Example 4.6).
+  FormulaPtr f = MustParse(
+      "#(#(RisesLate(x, y) ; Day(y))[y] ~=_1 1 ; "
+      "#(ToBedLate(x, y) ; Day(y))[y] ~=_2 1)[x] ~=_3 1");
+  EXPECT_EQ(f->kind(), Formula::Kind::kCompare);
+  EXPECT_EQ(f->expr_left()->kind(), Expr::Kind::kConditional);
+  EXPECT_EQ(f->expr_left()->body()->kind(), Formula::Kind::kCompare);
+}
+
+TEST(Parser, ErrorsReportOffsets) {
+  ParseResult result = ParseFormula("Bird(x");
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(Parser, TrailingInputIsError) {
+  ParseResult result = ParseFormula("Bird(x) Bird(y)");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Parser, VariableAsFormulaIsError) {
+  ParseResult result = ParseFormula("x & Bird(x)");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Parser, KnowledgeBaseLinesAndComments) {
+  ParseResult result = ParseKnowledgeBase(
+      "// the hepatitis KB from Example 5.8\n"
+      "Jaun(Eric)\n"
+      "\n"
+      "#(Hep(x) ; Jaun(x))[x] ~= 0.8\n");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.formula->kind(), Formula::Kind::kAnd);
+}
+
+TEST(Parser, RoundTripFixedFormulas) {
+  std::vector<FormulaPtr> formulas = {
+      P("Bird", V("x")),
+      Formula::Not(P("Fly", C("Tweety"))),
+      Formula::ForAll("x", Formula::Implies(P("Penguin", V("x")),
+                                            P("Bird", V("x")))),
+      Default(P("Bird", V("x")), P("Fly", V("x")), {"x"}, 2),
+      ApproxEq(CondProp(P("Hep", V("x")), P("Jaun", V("x")), {"x"}), 0.8, 1),
+      InInterval(0.7, 1, CondProp(P("Chirps", V("x")), P("Bird", V("x")),
+                                  {"x"}),
+                 0.8, 2),
+      Formula::Compare(
+          Expr::Add(Prop(P("A", V("x")), {"x"}), Num(0.25)),
+          CompareOp::kLeq, Num(0.5), 1),
+      ExistsUnique("x", Formula::And(P("Quaker", V("x")),
+                                     P("Republican", V("x")))),
+      Eq(C("Ray"), C("Drew")),
+  };
+  for (const auto& f : formulas) {
+    std::string text = ToString(f);
+    FormulaPtr parsed = MustParse(text);
+    EXPECT_TRUE(Formula::StructuralEqual(f, parsed))
+        << "round-trip failed for: " << text << " -> " << ToString(parsed);
+  }
+}
+
+TEST(Parser, RoundTripGeneratedKbs) {
+  std::mt19937 rng(20260612);
+  for (int trial = 0; trial < 200; ++trial) {
+    workload::UnaryKbParams params;
+    params.num_predicates = 3;
+    params.num_constants = 2;
+    params.num_statements = 3;
+    params.num_facts = 2;
+    FormulaPtr kb = workload::RandomUnaryKb(params, &rng);
+    std::string text = ToString(kb);
+    FormulaPtr parsed = MustParse(text);
+    EXPECT_TRUE(Formula::StructuralEqual(kb, parsed))
+        << "round-trip failed for: " << text;
+  }
+}
+
+}  // namespace
+}  // namespace rwl::logic

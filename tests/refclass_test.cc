@@ -1,0 +1,137 @@
+#include "src/refclass/reference_class.h"
+
+#include <gtest/gtest.h>
+
+#include "src/logic/builder.h"
+
+namespace rwl::refclass {
+namespace {
+
+using logic::C;
+using logic::CondProp;
+using logic::Formula;
+using logic::FormulaPtr;
+using logic::P;
+using logic::V;
+
+TEST(ReferenceClass, BasicReichenbachDirectInference) {
+  FormulaPtr kb = Formula::And(
+      P("Jaun", C("Eric")),
+      logic::ApproxEq(CondProp(P("Hep", V("x")), P("Jaun", V("x")), {"x"}),
+                      0.8, 1));
+  RefClassAnswer answer = Infer(kb, P("Hep", C("Eric")),
+                                Policy::kReichenbach);
+  ASSERT_EQ(answer.status, RefClassAnswer::Status::kInterval)
+      << answer.diagnosis;
+  EXPECT_DOUBLE_EQ(answer.lo, 0.8);
+  EXPECT_DOUBLE_EQ(answer.hi, 0.8);
+}
+
+TEST(ReferenceClass, SpecificityPrefersSubclass) {
+  FormulaPtr kb = Formula::AndAll({
+      logic::ApproxEq(CondProp(P("Fly", V("x")), P("Bird", V("x")), {"x"}),
+                      0.9, 1),
+      logic::ApproxEq(CondProp(P("Fly", V("x")), P("Penguin", V("x")),
+                               {"x"}),
+                      0.0, 2),
+      Formula::ForAll("x", Formula::Implies(P("Penguin", V("x")),
+                                            P("Bird", V("x")))),
+      P("Penguin", C("Tweety")),
+  });
+  RefClassAnswer answer = Infer(kb, P("Fly", C("Tweety")),
+                                Policy::kReichenbach);
+  ASSERT_EQ(answer.status, RefClassAnswer::Status::kInterval);
+  EXPECT_DOUBLE_EQ(answer.hi, 0.0);
+}
+
+TEST(ReferenceClass, IncomparableClassesGoVacuous) {
+  // Section 2.3 / Nixon: competing classes make the baseline give [0,1] —
+  // exactly the failure the paper criticizes (random worlds answers 0.94).
+  FormulaPtr kb = Formula::AndAll({
+      logic::ApproxEq(CondProp(P("Pacifist", V("x")), P("Quaker", V("x")),
+                               {"x"}),
+                      0.8, 1),
+      logic::ApproxEq(CondProp(P("Pacifist", V("x")),
+                               P("Republican", V("x")), {"x"}),
+                      0.8, 2),
+      P("Quaker", C("Nixon")),
+      P("Republican", C("Nixon")),
+  });
+  RefClassAnswer answer = Infer(kb, P("Pacifist", C("Nixon")),
+                                Policy::kReichenbach);
+  EXPECT_EQ(answer.status, RefClassAnswer::Status::kVacuous);
+  EXPECT_DOUBLE_EQ(answer.lo, 0.0);
+  EXPECT_DOUBLE_EQ(answer.hi, 1.0);
+}
+
+TEST(ReferenceClass, HeartDiseaseExampleGoesVacuous) {
+  // Section 2.3: cholesterol (15%) vs smoker (9%) — no single right class.
+  FormulaPtr kb = Formula::AndAll({
+      logic::ApproxEq(CondProp(P("Heart", V("x")), P("Chol", V("x")), {"x"}),
+                      0.15, 1),
+      logic::ApproxEq(CondProp(P("Heart", V("x")), P("Smoker", V("x")),
+                               {"x"}),
+                      0.09, 2),
+      P("Chol", C("Fred")),
+      P("Smoker", C("Fred")),
+  });
+  RefClassAnswer answer = Infer(kb, P("Heart", C("Fred")),
+                                Policy::kKyburgStrength);
+  EXPECT_EQ(answer.status, RefClassAnswer::Status::kVacuous);
+}
+
+TEST(ReferenceClass, StrengthRulePrefersTighterSuperclass) {
+  // Example 5.24 under Kyburg: [0.7, 0.8] from birds beats [0, 0.99] from
+  // magpies.
+  FormulaPtr kb = Formula::AndAll({
+      logic::InInterval(0.7, 1,
+                        CondProp(P("Chirps", V("x")), P("Bird", V("x")),
+                                 {"x"}),
+                        0.8, 2),
+      logic::InInterval(0.0, 3,
+                        CondProp(P("Chirps", V("x")), P("Magpie", V("x")),
+                                 {"x"}),
+                        0.99, 4),
+      Formula::ForAll("x", Formula::Implies(P("Magpie", V("x")),
+                                            P("Bird", V("x")))),
+      P("Magpie", C("Tweety")),
+  });
+  RefClassAnswer kyburg = Infer(kb, P("Chirps", C("Tweety")),
+                                Policy::kKyburgStrength);
+  ASSERT_EQ(kyburg.status, RefClassAnswer::Status::kInterval);
+  EXPECT_DOUBLE_EQ(kyburg.lo, 0.7);
+  EXPECT_DOUBLE_EQ(kyburg.hi, 0.8);
+
+  // Plain Reichenbach sticks with the most specific class.
+  RefClassAnswer reich = Infer(kb, P("Chirps", C("Tweety")),
+                               Policy::kReichenbach);
+  ASSERT_EQ(reich.status, RefClassAnswer::Status::kInterval);
+  EXPECT_DOUBLE_EQ(reich.lo, 0.0);
+  EXPECT_DOUBLE_EQ(reich.hi, 0.99);
+}
+
+TEST(ReferenceClass, MembershipRequired) {
+  // Statistics exist but Eric is not known to be jaundiced.
+  FormulaPtr kb = logic::ApproxEq(
+      CondProp(P("Hep", V("x")), P("Jaun", V("x")), {"x"}), 0.8, 1);
+  RefClassAnswer answer = Infer(kb, P("Hep", C("Eric")),
+                                Policy::kReichenbach);
+  EXPECT_EQ(answer.status, RefClassAnswer::Status::kNoClass);
+}
+
+TEST(ReferenceClass, DisjunctiveClassUsable) {
+  // Tay-Sachs (Example 5.22): the disjunctive class is fine here too.
+  FormulaPtr eej_or_fc =
+      Formula::Or(P("EEJ", V("x")), P("FC", V("x")));
+  FormulaPtr kb = Formula::And(
+      logic::ApproxEq(CondProp(P("TS", V("x")), eej_or_fc, {"x"}), 0.02, 1),
+      P("EEJ", C("Eric")));
+  RefClassAnswer answer = Infer(kb, P("TS", C("Eric")),
+                                Policy::kReichenbach);
+  ASSERT_EQ(answer.status, RefClassAnswer::Status::kInterval)
+      << answer.diagnosis;
+  EXPECT_DOUBLE_EQ(answer.lo, 0.02);
+}
+
+}  // namespace
+}  // namespace rwl::refclass

@@ -1,0 +1,202 @@
+// Negative / robustness tests for the symbolic engine: every theorem
+// matcher must *refuse* when its side conditions fail, rather than return
+// an unsound interval.  Each test perturbs a canonical positive case in
+// exactly one way.
+#include <gtest/gtest.h>
+
+#include "src/engines/symbolic_engine.h"
+#include "src/logic/builder.h"
+#include "src/logic/transform.h"
+
+namespace rwl::engines {
+namespace {
+
+using logic::C;
+using logic::CondProp;
+using logic::Formula;
+using logic::FormulaPtr;
+using logic::P;
+using logic::Prop;
+using logic::V;
+
+class SymbolicNegativeTest : public ::testing::Test {
+ protected:
+  std::optional<SymbolicAnswer> Direct(const FormulaPtr& kb,
+                                       const FormulaPtr& query) {
+    return engine_.TryDirectInference(AnalyzeKb(kb), query);
+  }
+  std::optional<SymbolicAnswer> Minimal(const FormulaPtr& kb,
+                                        const FormulaPtr& query) {
+    return engine_.TryMinimalReferenceClass(AnalyzeKb(kb), query);
+  }
+  std::optional<SymbolicAnswer> Strength(const FormulaPtr& kb,
+                                         const FormulaPtr& query) {
+    return engine_.TryStrengthRule(AnalyzeKb(kb), query);
+  }
+  std::optional<SymbolicAnswer> Dempster(const FormulaPtr& kb,
+                                         const FormulaPtr& query) {
+    return engine_.TryDempster(AnalyzeKb(kb), query);
+  }
+
+  SymbolicEngine engine_;
+};
+
+TEST_F(SymbolicNegativeTest, DirectInferenceNeedsMembershipFact) {
+  FormulaPtr kb = logic::ApproxEq(
+      CondProp(P("Hep", V("x")), P("Jaun", V("x")), {"x"}), 0.8, 1);
+  EXPECT_FALSE(Direct(kb, P("Hep", C("Eric"))).has_value());
+}
+
+TEST_F(SymbolicNegativeTest, DirectInferenceRejectsConstantInRefclass) {
+  // ψ(x) mentions Eric himself: the theorem's hypothesis fails (see the
+  // disjunctive-reference-class discussion, Example 5.11).
+  FormulaPtr spurious_class = Formula::And(
+      P("Jaun", V("x")),
+      Formula::Or(Formula::Not(P("Hep", V("x"))),
+                  logic::Eq(V("x"), C("Eric"))));
+  FormulaPtr kb = Formula::AndAll({
+      logic::SubstituteVariable(spurious_class, "x", C("Eric")),
+      logic::ApproxEq(CondProp(P("Hep", V("x")), spurious_class, {"x"}),
+                      0.0, 1),
+  });
+  EXPECT_FALSE(Direct(kb, P("Hep", C("Eric"))).has_value());
+}
+
+TEST_F(SymbolicNegativeTest, DirectInferenceRejectsRepeatedConstants) {
+  // Pr(Hep(Tom) ∧ ¬Hep(Tom)-style pair queries with coinciding constants:
+  // the ⃗c must be distinct (the Tom = Eric caveat after Theorem 5.16).
+  FormulaPtr kb = logic::ApproxEq(
+      Prop(Formula::And(P("Hep", V("x")),
+                        Formula::Not(P("Hep", V("y")))),
+           {"x", "y"}),
+      0.2, 1);
+  FormulaPtr bad_query = Formula::And(
+      P("Hep", C("Tom")), Formula::Not(P("Hep", C("Tom"))));
+  EXPECT_FALSE(Direct(kb, bad_query).has_value());
+  // With distinct constants it applies (Theorem 5.6 with ψ = true).
+  FormulaPtr good_query = Formula::And(
+      P("Hep", C("Tom")), Formula::Not(P("Hep", C("Eric"))));
+  ASSERT_TRUE(Direct(kb, good_query).has_value());
+  EXPECT_DOUBLE_EQ(Direct(kb, good_query)->lo, 0.2);
+}
+
+TEST_F(SymbolicNegativeTest, MinimalClassRefusesWhenTargetSymbolLeaks) {
+  // A universal conjunct constrains Fly outside the statistics: condition
+  // (c) of Theorem 5.16 fails.
+  FormulaPtr kb = Formula::AndAll({
+      logic::Default(P("Bird", V("x")), P("Fly", V("x")), {"x"}, 1),
+      Formula::ForAll("x", Formula::Implies(P("Angel", V("x")),
+                                            P("Fly", V("x")))),
+      P("Bird", C("Tweety")),
+  });
+  EXPECT_FALSE(Minimal(kb, P("Fly", C("Tweety"))).has_value());
+}
+
+TEST_F(SymbolicNegativeTest, MinimalClassRefusesIncomparableClasses) {
+  // Nixon-style incomparable classes: no unique minimal class.
+  FormulaPtr kb = Formula::AndAll({
+      logic::ApproxEq(CondProp(P("T", V("x")), P("A", V("x")), {"x"}), 0.8,
+                      1),
+      logic::ApproxEq(CondProp(P("T", V("x")), P("B", V("x")), {"x"}), 0.3,
+                      2),
+      P("A", C("K")),
+      P("B", C("K")),
+  });
+  EXPECT_FALSE(Minimal(kb, P("T", C("K"))).has_value());
+}
+
+TEST_F(SymbolicNegativeTest, MinimalClassRefusesWithoutMembership) {
+  FormulaPtr kb = Formula::AndAll({
+      logic::ApproxEq(CondProp(P("T", V("x")), P("A", V("x")), {"x"}), 0.8,
+                      1),
+      P("B", C("K")),  // K is a B, not known to be an A
+  });
+  EXPECT_FALSE(Minimal(kb, P("T", C("K"))).has_value());
+}
+
+TEST_F(SymbolicNegativeTest, StrengthRuleNeedsAChain) {
+  FormulaPtr kb = Formula::AndAll({
+      logic::InInterval(0.4, 1, CondProp(P("T", V("x")), P("A", V("x")),
+                                         {"x"}),
+                        0.6, 2),
+      logic::InInterval(0.1, 3, CondProp(P("T", V("x")), P("B", V("x")),
+                                         {"x"}),
+                        0.9, 4),
+      // A and B incomparable (no taxonomy conjunct).
+      P("A", C("K")),
+      P("B", C("K")),
+  });
+  EXPECT_FALSE(Strength(kb, P("T", C("K"))).has_value());
+}
+
+TEST_F(SymbolicNegativeTest, StrengthRuleNeedsAStrictlyTightestInterval) {
+  // Intervals [0.4, 0.6] ⊂ [0.3, 0.7] but the subclass has the tighter
+  // one — then it's plain specificity, and 5.23's tightest-is-elsewhere
+  // pattern does not produce anything new.  If neither interval is
+  // strictly inside the other, the matcher must refuse.
+  FormulaPtr kb = Formula::AndAll({
+      logic::InInterval(0.3, 1, CondProp(P("T", V("x")), P("A", V("x")),
+                                         {"x"}),
+                        0.5, 2),
+      logic::InInterval(0.4, 3, CondProp(P("T", V("x")), P("B", V("x")),
+                                         {"x"}),
+                        0.6, 4),
+      Formula::ForAll("x", Formula::Implies(P("A", V("x")),
+                                            P("B", V("x")))),
+      P("A", C("K")),
+  });
+  EXPECT_FALSE(Strength(kb, P("T", C("K"))).has_value());
+}
+
+TEST_F(SymbolicNegativeTest, DempsterNeedsDisjointnessWitness) {
+  // No ∃!x(Quaker ∧ Republican) conjunct: the overlap is unknown, the
+  // combination rule must not fire.
+  FormulaPtr kb = Formula::AndAll({
+      logic::ApproxEq(CondProp(P("Pacifist", V("x")), P("Quaker", V("x")),
+                               {"x"}),
+                      0.8, 1),
+      logic::ApproxEq(CondProp(P("Pacifist", V("x")),
+                               P("Republican", V("x")), {"x"}),
+                      0.8, 2),
+      P("Quaker", C("Nixon")),
+      P("Republican", C("Nixon")),
+  });
+  EXPECT_FALSE(Dempster(kb, P("Pacifist", C("Nixon"))).has_value());
+}
+
+TEST_F(SymbolicNegativeTest, DempsterNeedsPointValues) {
+  FormulaPtr kb = Formula::AndAll({
+      logic::InInterval(0.7, 1, CondProp(P("Pacifist", V("x")),
+                                         P("Quaker", V("x")), {"x"}),
+                        0.9, 2),
+      logic::ApproxEq(CondProp(P("Pacifist", V("x")),
+                               P("Republican", V("x")), {"x"}),
+                      0.8, 3),
+      P("Quaker", C("Nixon")),
+      P("Republican", C("Nixon")),
+      logic::ExistsUnique("x", Formula::And(P("Quaker", V("x")),
+                                            P("Republican", V("x")))),
+  });
+  EXPECT_FALSE(Dempster(kb, P("Pacifist", C("Nixon"))).has_value());
+}
+
+TEST_F(SymbolicNegativeTest, DempsterRejectsTargetInsideRefclass) {
+  // P occurs in a reference class: the theorem forbids it.
+  FormulaPtr kb = Formula::AndAll({
+      logic::ApproxEq(CondProp(P("Pacifist", V("x")),
+                               Formula::And(P("Quaker", V("x")),
+                                            P("Pacifist", V("x"))),
+                               {"x"}),
+                      0.8, 1),
+      logic::ApproxEq(CondProp(P("Pacifist", V("x")),
+                               P("Republican", V("x")), {"x"}),
+                      0.8, 2),
+      P("Quaker", C("Nixon")),
+      P("Pacifist", C("Nixon")),
+      P("Republican", C("Nixon")),
+  });
+  EXPECT_FALSE(Dempster(kb, P("Pacifist", C("Nixon"))).has_value());
+}
+
+}  // namespace
+}  // namespace rwl::engines

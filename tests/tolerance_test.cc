@@ -1,0 +1,46 @@
+#include "src/semantics/tolerance.h"
+
+#include <gtest/gtest.h>
+
+namespace rwl::semantics {
+namespace {
+
+TEST(ToleranceVector, DefaultAndOverrides) {
+  ToleranceVector tol(0.05);
+  EXPECT_DOUBLE_EQ(tol.Get(1), 0.05);
+  EXPECT_DOUBLE_EQ(tol.Get(7), 0.05);
+  tol.Set(2, 0.001);
+  EXPECT_DOUBLE_EQ(tol.Get(2), 0.001);
+  EXPECT_DOUBLE_EQ(tol.Get(1), 0.05);
+}
+
+TEST(ToleranceVector, UniformFactory) {
+  ToleranceVector tol = ToleranceVector::Uniform(0.1);
+  EXPECT_DOUBLE_EQ(tol.Get(42), 0.1);
+}
+
+TEST(ToleranceVector, ScaledPreservesRelativeStrengths) {
+  // Section 5.3: the τ → 0 limit must preserve default priorities, i.e.
+  // scaling is uniform across indices.
+  ToleranceVector tol(0.1);
+  tol.Set(1, 0.001);   // a strong default
+  tol.Set(2, 0.2);     // a weak one
+  ToleranceVector scaled = tol.Scaled(0.5);
+  EXPECT_DOUBLE_EQ(scaled.Get(1), 0.0005);
+  EXPECT_DOUBLE_EQ(scaled.Get(2), 0.1);
+  EXPECT_DOUBLE_EQ(scaled.Get(9), 0.05);
+  // Ratios unchanged.
+  EXPECT_DOUBLE_EQ(scaled.Get(2) / scaled.Get(1), tol.Get(2) / tol.Get(1));
+}
+
+TEST(ToleranceVector, ScalingComposes) {
+  ToleranceVector tol(0.08);
+  tol.Set(3, 0.4);
+  ToleranceVector twice = tol.Scaled(0.5).Scaled(0.5);
+  ToleranceVector quarter = tol.Scaled(0.25);
+  EXPECT_DOUBLE_EQ(twice.Get(3), quarter.Get(3));
+  EXPECT_DOUBLE_EQ(twice.Get(1), quarter.Get(1));
+}
+
+}  // namespace
+}  // namespace rwl::semantics

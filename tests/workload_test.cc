@@ -1,0 +1,97 @@
+#include "src/workload/generators.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "src/logic/printer.h"
+#include "src/logic/transform.h"
+
+namespace rwl::workload {
+namespace {
+
+TEST(Generators, DeterministicUnderSeed) {
+  UnaryKbParams params;
+  std::mt19937 rng1(7);
+  std::mt19937 rng2(7);
+  logic::FormulaPtr a = RandomUnaryKb(params, &rng1);
+  logic::FormulaPtr b = RandomUnaryKb(params, &rng2);
+  EXPECT_TRUE(logic::Formula::StructuralEqual(a, b));
+}
+
+TEST(Generators, PredicateAndConstantNaming) {
+  auto preds = GeneratorPredicates(3);
+  ASSERT_EQ(preds.size(), 3u);
+  EXPECT_EQ(preds[0], "P0");
+  EXPECT_EQ(preds[2], "P2");
+  auto consts = GeneratorConstants(2);
+  EXPECT_EQ(consts[1], "K1");
+}
+
+TEST(Generators, KbStaysInsideDeclaredVocabulary) {
+  UnaryKbParams params;
+  params.num_predicates = 3;
+  params.num_constants = 2;
+  params.num_statements = 4;
+  params.num_facts = 3;
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    logic::FormulaPtr kb = RandomUnaryKb(params, &rng);
+    for (const auto& p : logic::PredicatesOf(kb)) {
+      EXPECT_EQ(p[0], 'P') << p;
+      EXPECT_LT(p[1] - '0', params.num_predicates) << p;
+    }
+    for (const auto& c : logic::ConstantsOf(kb)) {
+      EXPECT_EQ(c[0], 'K') << c;
+      EXPECT_LT(c[1] - '0', params.num_constants) << c;
+    }
+    EXPECT_TRUE(logic::FreeVariables(kb).empty())
+        << logic::ToString(kb);
+  }
+}
+
+TEST(Generators, StatementsUseDistinctToleranceIndices) {
+  UnaryKbParams params;
+  params.num_statements = 3;
+  std::mt19937 rng(5);
+  logic::FormulaPtr kb = RandomUnaryKb(params, &rng);
+  std::set<int> indices;
+  for (const auto& conjunct : logic::Conjuncts(kb)) {
+    if (conjunct->kind() == logic::Formula::Kind::kCompare) {
+      indices.insert(conjunct->tolerance_index());
+    }
+  }
+  EXPECT_EQ(indices.size(), 3u);
+}
+
+TEST(Generators, ChainKbHasTightestInsideAllLevels) {
+  std::mt19937 rng(17);
+  for (int depth : {2, 3, 4, 5}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      ChainKb chain = RandomChainKb(depth, &rng);
+      EXPECT_GT(chain.tightest_lo, 0.0);
+      EXPECT_LT(chain.tightest_hi, 1.0);
+      EXPECT_LT(chain.tightest_lo, chain.tightest_hi);
+      // The query is T(K0).
+      EXPECT_EQ(chain.query->kind(), logic::Formula::Kind::kAtom);
+      EXPECT_EQ(chain.query->predicate(), "T");
+    }
+  }
+}
+
+TEST(Generators, RuleSetsHaveRequestedShape) {
+  std::mt19937 rng(23);
+  auto rules = RandomRuleSet(4, 6, &rng);
+  ASSERT_EQ(rules.size(), 6u);
+  for (const auto& rule : rules) {
+    ASSERT_NE(rule.antecedent, nullptr);
+    ASSERT_NE(rule.consequent, nullptr);
+    // Consequent is a literal.
+    auto kind = rule.consequent->kind();
+    EXPECT_TRUE(kind == defaults::Prop::Kind::kVar ||
+                kind == defaults::Prop::Kind::kNot);
+  }
+}
+
+}  // namespace
+}  // namespace rwl::workload

@@ -1,0 +1,177 @@
+// rwlq — command-line degrees of belief.
+//
+// Usage:
+//   rwlq <kb-file> <query> [<query> ...]
+//   rwlq --kb '<inline kb text>' <query> ...
+//
+// The KB file uses the textual L≈ syntax, one sentence per line, with //
+// comments (see README.md).  Each query is parsed, inferred and reported
+// with the method that produced the answer.
+//
+// Options:
+//   --kb TEXT        inline KB instead of a file
+//   --nmax N         largest domain size for numeric sweeps (default 48)
+//   --tol T          base tolerance (default 0.04)
+//   --no-symbolic    disable the theorem engine (numeric only)
+//   --series         print the (N, τ, Pr) convergence series
+//   --json           one JSON object per query on stdout
+//   --fixed-n N      known domain size: compute Pr_N directly (footnote 9)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/inference.h"
+#include "src/core/knowledge_base.h"
+#include "src/logic/parser.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (<kb-file> | --kb TEXT) [options] <query>...\n"
+               "options: --nmax N  --tol T  --no-symbolic  --series\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string kb_text;
+  bool have_kb = false;
+  std::vector<std::string> queries;
+  rwl::InferenceOptions options;
+  options.tolerances = rwl::semantics::ToleranceVector::Uniform(0.04);
+  int nmax = 48;
+  bool print_series = false;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--kb") {
+      if (++i >= argc) return Usage(argv[0]);
+      kb_text = argv[i];
+      have_kb = true;
+    } else if (arg == "--nmax") {
+      if (++i >= argc) return Usage(argv[0]);
+      nmax = std::atoi(argv[i]);
+    } else if (arg == "--tol") {
+      if (++i >= argc) return Usage(argv[0]);
+      options.tolerances =
+          rwl::semantics::ToleranceVector::Uniform(std::atof(argv[i]));
+    } else if (arg == "--no-symbolic") {
+      options.use_symbolic = false;
+    } else if (arg == "--series") {
+      print_series = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--fixed-n") {
+      if (++i >= argc) return Usage(argv[0]);
+      options.fixed_domain_size = std::atoi(argv[i]);
+    } else if (!have_kb) {
+      std::ifstream file(arg);
+      if (!file) {
+        std::fprintf(stderr, "rwlq: cannot open KB file '%s'\n",
+                     arg.c_str());
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      kb_text = buffer.str();
+      have_kb = true;
+    } else {
+      queries.push_back(arg);
+    }
+  }
+  if (!have_kb || queries.empty()) return Usage(argv[0]);
+
+  // Sweep schedule up to nmax.
+  options.limit.domain_sizes.clear();
+  for (int n = 8; n <= nmax; n = n < 16 ? n + 8 : n * 2) {
+    options.limit.domain_sizes.push_back(n);
+  }
+  if (options.limit.domain_sizes.empty() ||
+      options.limit.domain_sizes.back() != nmax) {
+    options.limit.domain_sizes.push_back(nmax);
+  }
+
+  rwl::KnowledgeBase kb;
+  std::string error;
+  if (!kb.AddParsed(kb_text, &error)) {
+    std::fprintf(stderr, "rwlq: KB parse error: %s\n", error.c_str());
+    return 1;
+  }
+
+  int failures = 0;
+  for (const auto& query_text : queries) {
+    rwl::logic::ParseResult parsed = rwl::logic::ParseFormula(query_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "rwlq: query parse error in '%s': %s\n",
+                   query_text.c_str(), parsed.error.c_str());
+      ++failures;
+      continue;
+    }
+    rwl::Answer answer = rwl::DegreeOfBelief(kb, parsed.formula, options);
+    if (json) {
+      // Minimal hand-rolled JSON: all emitted strings are library-internal
+      // (status/method names) except the query, which we escape.
+      std::string escaped;
+      for (char c : query_text) {
+        if (c == '"' || c == '\\') escaped += '\\';
+        escaped += c;
+      }
+      std::printf("{\"query\": \"%s\", \"status\": \"%s\"", escaped.c_str(),
+                  rwl::StatusToString(answer.status).c_str());
+      if (answer.status == rwl::Answer::Status::kPoint) {
+        std::printf(", \"value\": %.9f", answer.value);
+      } else if (answer.status == rwl::Answer::Status::kInterval) {
+        std::printf(", \"lo\": %.9f, \"hi\": %.9f", answer.lo, answer.hi);
+      }
+      std::printf(", \"method\": \"%s\", \"converged\": %s}\n",
+                  answer.method.c_str(),
+                  answer.converged ? "true" : "false");
+      if (answer.status == rwl::Answer::Status::kUnknown) ++failures;
+      continue;
+    }
+    switch (answer.status) {
+      case rwl::Answer::Status::kPoint:
+        std::printf("%s  =  %.6f", query_text.c_str(), answer.value);
+        break;
+      case rwl::Answer::Status::kInterval:
+        std::printf("%s  in  [%.6f, %.6f]", query_text.c_str(), answer.lo,
+                    answer.hi);
+        break;
+      case rwl::Answer::Status::kNonexistent:
+        std::printf("%s  :  limit does not exist (%s)", query_text.c_str(),
+                    answer.explanation.c_str());
+        break;
+      case rwl::Answer::Status::kUndefined:
+        std::printf("%s  :  undefined — the KB has no worlds",
+                    query_text.c_str());
+        break;
+      case rwl::Answer::Status::kUnknown:
+        std::printf("%s  :  no engine applies (%s)", query_text.c_str(),
+                    answer.explanation.c_str());
+        ++failures;
+        break;
+    }
+    if (!answer.method.empty()) {
+      std::printf("   [%s%s]", answer.method.c_str(),
+                  answer.converged ? "" : ", not converged");
+    }
+    std::printf("\n");
+    if (print_series) {
+      for (const auto& point : answer.series) {
+        std::printf("    N=%-5d tau_scale=%-6.3f Pr=%.6f%s\n",
+                    point.domain_size, point.tolerance_scale,
+                    point.probability,
+                    point.well_defined ? "" : "  (undefined)");
+      }
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
