@@ -10,11 +10,114 @@
 #define RWL_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/core/inference.h"
 
 namespace rwl::bench {
+
+// ---------------------------------------------------------------------------
+// Machine-readable output.
+//
+// Every bench emits one JSON object per benchmark row on stdout (prefixed
+// "BENCH_JSON ") so that the perf trajectory can be tracked across PRs by
+// grepping bench logs into BENCH_*.json files:
+//
+//   bench_batch | grep '^BENCH_JSON ' | sed 's/^BENCH_JSON //' > BENCH_batch.json
+//
+// The human-readable rows are unchanged.  Set RWL_BENCH_JSON=0 to silence
+// the JSON lines.
+// ---------------------------------------------------------------------------
+
+inline bool JsonEnabled() {
+  const char* env = std::getenv("RWL_BENCH_JSON");
+  return env == nullptr || std::string(env) != "0";
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+// One JSON line, built field by field.  Numbers print with enough digits
+// to round-trip doubles.
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) {
+    Field("bench", bench);
+  }
+
+  JsonLine& Field(const std::string& key, const std::string& value) {
+    Raw(key, "\"" + JsonEscape(value) + "\"");
+    return *this;
+  }
+  JsonLine& Field(const std::string& key, const char* value) {
+    return Field(key, std::string(value));
+  }
+  JsonLine& Field(const std::string& key, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    Raw(key, buf);
+    return *this;
+  }
+  JsonLine& Field(const std::string& key, int64_t value) {
+    Raw(key, std::to_string(value));
+    return *this;
+  }
+  JsonLine& Field(const std::string& key, int value) {
+    return Field(key, static_cast<int64_t>(value));
+  }
+  JsonLine& Field(const std::string& key, bool value) {
+    Raw(key, value ? "true" : "false");
+    return *this;
+  }
+
+  // Prints "BENCH_JSON {...}\n" (unless RWL_BENCH_JSON=0).
+  void Emit() const {
+    if (!JsonEnabled()) return;
+    std::string line = "BENCH_JSON {";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) line += ", ";
+      line += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    line += "}";
+    std::printf("%s\n", line.c_str());
+  }
+
+ private:
+  void Raw(const std::string& key, std::string value) {
+    fields_.emplace_back(key, std::move(value));
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+inline void EmitAnswerJson(const std::string& bench, const std::string& id,
+                           const Answer& answer) {
+  JsonLine line(bench);
+  line.Field("id", id)
+      .Field("status", StatusToString(answer.status))
+      .Field("value", answer.value)
+      .Field("lo", answer.lo)
+      .Field("hi", answer.hi)
+      .Field("method", answer.method)
+      .Field("converged", answer.converged);
+  line.Emit();
+}
 
 inline void PrintHeader(const char* title) {
   std::printf("\n==== %s ====\n", title);
@@ -45,6 +148,16 @@ inline void PrintRow(const std::string& id, const std::string& what,
               id.c_str(), what.c_str(), paper.c_str(),
               AnswerToString(answer).c_str(),
               answer.method.empty() ? "-" : answer.method.c_str());
+  JsonLine line(id);
+  line.Field("what", what)
+      .Field("paper", paper)
+      .Field("status", StatusToString(answer.status))
+      .Field("value", answer.value)
+      .Field("lo", answer.lo)
+      .Field("hi", answer.hi)
+      .Field("method", answer.method)
+      .Field("converged", answer.converged);
+  line.Emit();
 }
 
 inline void PrintValueRow(const std::string& id, const std::string& what,
@@ -53,6 +166,12 @@ inline void PrintValueRow(const std::string& id, const std::string& what,
   std::printf("  [%-18s] %-46s paper=%-14s measured=%-18.4f via %s\n",
               id.c_str(), what.c_str(), paper.c_str(), measured,
               method.c_str());
+  JsonLine line(id);
+  line.Field("what", what)
+      .Field("paper", paper)
+      .Field("value", measured)
+      .Field("method", method);
+  line.Emit();
 }
 
 }  // namespace rwl::bench

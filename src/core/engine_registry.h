@@ -1,0 +1,80 @@
+// EngineRegistry: the priority-ordered pipeline of inference strategies
+// behind DegreeOfBelief.
+//
+// The seed hard-coded its engine routing as one long function; the registry
+// makes the pipeline data.  A strategy wraps one way of answering a query
+// (a theorem engine, a finite-N sweep, a closed-form limit, ...) behind a
+// uniform three-way contract:
+//
+//   kFinal   — the answer is finalized, stop the pipeline,
+//   kPartial — the answer was improved (e.g. a sound symbolic interval
+//              that a later numeric strategy may sharpen), keep going,
+//   kSkip    — the strategy is disabled or does not apply.
+//
+// The default registry is seeded with the built-in strategies in the
+// paper's preference order: fixed-N (footnote 9), symbolic theorems,
+// profile sweep, maximum entropy, exact-enumeration fallback, and the
+// opt-in Monte-Carlo sweep.  Callers may register additional strategies;
+// registration is thread-safe.
+#ifndef RWL_CORE_ENGINE_REGISTRY_H_
+#define RWL_CORE_ENGINE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/inference.h"
+#include "src/core/query_context.h"
+
+namespace rwl {
+
+class InferenceStrategy {
+ public:
+  enum class Outcome {
+    kFinal,
+    kPartial,
+    kSkip,
+  };
+
+  virtual ~InferenceStrategy() = default;
+
+  virtual std::string name() const = 0;
+
+  // Attempts to answer `query` against the context's KB, reading and
+  // updating the accumulated `answer`.
+  virtual Outcome Run(QueryContext& ctx, const logic::FormulaPtr& query,
+                      const InferenceOptions& options,
+                      Answer* answer) const = 0;
+};
+
+class EngineRegistry {
+ public:
+  // The process-wide registry, pre-seeded with the built-in strategies.
+  static EngineRegistry& Default();
+
+  // An empty registry (for tests and custom pipelines).
+  EngineRegistry() = default;
+
+  // Lower priority runs earlier; equal priorities run in registration
+  // order.
+  void Register(int priority,
+                std::shared_ptr<const InferenceStrategy> strategy);
+
+  // Strategies in execution order.
+  std::vector<std::shared_ptr<const InferenceStrategy>> Ordered() const;
+
+  // Runs the pipeline: strategies in order until one finalizes; a partial
+  // interval survives as the fallback answer, otherwise kUnknown.
+  Answer Infer(QueryContext& ctx, const logic::FormulaPtr& query,
+               const InferenceOptions& options) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::multimap<int, std::shared_ptr<const InferenceStrategy>> strategies_;
+};
+
+}  // namespace rwl
+
+#endif  // RWL_CORE_ENGINE_REGISTRY_H_

@@ -3,9 +3,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <unordered_map>
+#include <utility>
 
+#include "src/core/engine_registry.h"
 #include "src/engines/exact_engine.h"
 #include "src/engines/maxent_engine.h"
+#include "src/engines/montecarlo_engine.h"
 #include "src/engines/profile_engine.h"
 #include "src/engines/symbolic_engine.h"
 #include "src/logic/parser.h"
@@ -29,160 +34,267 @@ std::string StatusToString(Answer::Status status) {
   return "?";
 }
 
-Answer DegreeOfBelief(const KnowledgeBase& kb, const logic::FormulaPtr& query,
-                      const InferenceOptions& options) {
-  // Build a vocabulary covering KB and query symbols.
-  logic::Vocabulary vocabulary = kb.vocabulary();
-  logic::RegisterSymbols(query, &vocabulary);
-  logic::FormulaPtr kb_formula = kb.AsFormula();
+namespace {
 
-  Answer answer;
+// 0. Known domain size (footnote 9): evaluate Pr_N^τ directly at N.
+// Final whenever a fixed N is requested — there is no limit to fall back
+// to.
+class FixedDomainStrategy : public InferenceStrategy {
+ public:
+  std::string name() const override { return "fixed-n"; }
 
-  // 0. Known domain size (footnote 9): evaluate Pr_N^τ directly at N.
-  if (options.fixed_domain_size > 0) {
+  Outcome Run(QueryContext& ctx, const logic::FormulaPtr& query,
+              const InferenceOptions& options, Answer* answer) const override {
+    if (options.fixed_domain_size <= 0) return Outcome::kSkip;
     const int n = options.fixed_domain_size;
     engines::ProfileEngine profile;
     engines::ExactEngine exact;
     const engines::FiniteEngine* engine = nullptr;
-    if (options.use_profile &&
-        profile.Supports(vocabulary, kb_formula, query, n)) {
+    if (options.use_profile && profile.Supports(ctx, query, n)) {
       engine = &profile;
-    } else if (options.use_exact_fallback &&
-               exact.Supports(vocabulary, kb_formula, query, n)) {
+    } else if (options.use_exact_fallback && exact.Supports(ctx, query, n)) {
       engine = &exact;
     }
     if (engine != nullptr) {
-      engines::FiniteResult fr = engine->DegreeAt(
-          vocabulary, kb_formula, query, n, options.tolerances);
+      engines::FiniteResult fr =
+          engine->DegreeAt(ctx, query, n, options.tolerances);
       if (fr.exhausted) {
-        answer.status = Answer::Status::kUnknown;
-        answer.explanation = "work budget exhausted at the fixed N";
-        return answer;
+        answer->status = Answer::Status::kUnknown;
+        answer->explanation = "work budget exhausted at the fixed N";
+        return Outcome::kFinal;
       }
       if (!fr.well_defined) {
-        answer.status = Answer::Status::kUndefined;
-        answer.method = engine == &profile ? "profile @ fixed N"
-                                           : "exact @ fixed N";
-        answer.explanation = "no worlds satisfy the KB at this (N, τ)";
-        return answer;
+        answer->status = Answer::Status::kUndefined;
+        answer->method = engine == &profile ? "profile @ fixed N"
+                                            : "exact @ fixed N";
+        answer->explanation = "no worlds satisfy the KB at this (N, τ)";
+        return Outcome::kFinal;
       }
-      answer.status = Answer::Status::kPoint;
-      answer.value = fr.probability;
-      answer.lo = answer.hi = fr.probability;
-      answer.method = engine == &profile ? "profile @ fixed N"
-                                         : "exact @ fixed N";
-      answer.converged = true;
-      return answer;
+      answer->status = Answer::Status::kPoint;
+      answer->value = fr.probability;
+      answer->lo = answer->hi = fr.probability;
+      answer->method = engine == &profile ? "profile @ fixed N"
+                                          : "exact @ fixed N";
+      answer->converged = true;
+      return Outcome::kFinal;
     }
-    answer.status = Answer::Status::kUnknown;
-    answer.explanation = "no engine supports the fixed domain size";
-    return answer;
+    answer->status = Answer::Status::kUnknown;
+    answer->explanation = "no engine supports the fixed domain size";
+    return Outcome::kFinal;
   }
+};
 
-  // 1. Symbolic theorems: exact Pr_∞, full language.
-  if (options.use_symbolic) {
+// 1. Symbolic theorems: exact Pr_∞, full language.  Points and
+// nonexistence are final; an interval is partial — a numeric strategy may
+// sharpen it to a point.
+class SymbolicStrategy : public InferenceStrategy {
+ public:
+  std::string name() const override { return "symbolic"; }
+
+  Outcome Run(QueryContext& ctx, const logic::FormulaPtr& query,
+              const InferenceOptions& options, Answer* answer) const override {
+    if (!options.use_symbolic) return Outcome::kSkip;
     engines::SymbolicEngine symbolic;
-    engines::SymbolicAnswer sa = symbolic.Infer(kb_formula, query);
+    engines::SymbolicAnswer sa = symbolic.Infer(ctx, query);
     if (sa.status == engines::SymbolicAnswer::Status::kNonexistent) {
-      answer.status = Answer::Status::kNonexistent;
-      answer.method = sa.rule;
-      answer.explanation = sa.explanation;
-      return answer;
+      answer->status = Answer::Status::kNonexistent;
+      answer->method = sa.rule;
+      answer->explanation = sa.explanation;
+      return Outcome::kFinal;
     }
     if (sa.status == engines::SymbolicAnswer::Status::kInterval) {
-      answer.method = sa.rule;
-      answer.explanation = sa.explanation;
-      answer.converged = true;
+      answer->method = sa.rule;
+      answer->explanation = sa.explanation;
+      answer->converged = true;
       if (sa.is_point()) {
-        answer.status = Answer::Status::kPoint;
-        answer.value = sa.lo;
-        answer.lo = answer.hi = sa.lo;
-        return answer;
+        answer->status = Answer::Status::kPoint;
+        answer->value = sa.lo;
+        answer->lo = answer->hi = sa.lo;
+        return Outcome::kFinal;
       }
-      answer.status = Answer::Status::kInterval;
-      answer.lo = sa.lo;
-      answer.hi = sa.hi;
-      // Keep the interval, but fall through: a numeric engine may sharpen
-      // it to a point.
+      answer->status = Answer::Status::kInterval;
+      answer->lo = sa.lo;
+      answer->hi = sa.hi;
+      return Outcome::kPartial;
     }
+    return Outcome::kSkip;
   }
+};
 
-  // 2. Profile engine sweep (unary KBs).
-  if (options.use_profile) {
+// 2. Profile engine sweep (unary KBs).
+class ProfileSweepStrategy : public InferenceStrategy {
+ public:
+  std::string name() const override { return "profile-sweep"; }
+
+  Outcome Run(QueryContext& ctx, const logic::FormulaPtr& query,
+              const InferenceOptions& options, Answer* answer) const override {
+    if (!options.use_profile) return Outcome::kSkip;
     engines::ProfileEngine profile;
     bool any_supported = false;
     for (int n : options.limit.domain_sizes) {
-      any_supported =
-          any_supported || profile.Supports(vocabulary, kb_formula, query, n);
+      any_supported = any_supported || profile.Supports(ctx, query, n);
     }
-    if (any_supported) {
-      engines::LimitResult lr =
-          engines::EstimateLimit(profile, vocabulary, kb_formula, query,
-                                 options.tolerances, options.limit);
-      answer.series = lr.series;
-      if (lr.never_defined) {
-        answer.status = Answer::Status::kUndefined;
-        answer.method = "profile sweep";
-        answer.explanation = "no worlds satisfy the KB at any sampled (N, τ)";
-        return answer;
-      }
-      if (lr.value.has_value()) {
-        answer.status = Answer::Status::kPoint;
-        answer.value = *lr.value;
-        answer.lo = answer.hi = *lr.value;
-        answer.method = answer.method.empty()
-                            ? "profile sweep"
-                            : answer.method + " + profile sweep";
-        answer.converged = lr.converged;
-        return answer;
-      }
+    if (!any_supported) return Outcome::kSkip;
+    engines::LimitResult lr = engines::EstimateLimit(
+        profile, ctx, query, options.tolerances, options.limit);
+    answer->series = lr.series;
+    if (lr.never_defined) {
+      answer->status = Answer::Status::kUndefined;
+      answer->method = "profile sweep";
+      answer->explanation = "no worlds satisfy the KB at any sampled (N, τ)";
+      return Outcome::kFinal;
     }
+    if (lr.value.has_value()) {
+      answer->status = Answer::Status::kPoint;
+      answer->value = *lr.value;
+      answer->lo = answer->hi = *lr.value;
+      answer->method = answer->method.empty()
+                           ? "profile sweep"
+                           : answer->method + " + profile sweep";
+      answer->converged = lr.converged;
+      return Outcome::kFinal;
+    }
+    return Outcome::kPartial;
   }
+};
 
-  // 3. Maximum-entropy limit (unary KBs within the linear fragment).
-  if (options.use_maxent) {
+// 3. Maximum-entropy limit (unary KBs within the linear fragment).
+class MaxEntStrategy : public InferenceStrategy {
+ public:
+  std::string name() const override { return "maxent"; }
+
+  Outcome Run(QueryContext& ctx, const logic::FormulaPtr& query,
+              const InferenceOptions& options, Answer* answer) const override {
+    if (!options.use_maxent) return Outcome::kSkip;
     engines::MaxEntEngine maxent;
-    engines::MaxEntEngine::LimitResultME mr = maxent.InferLimit(
-        vocabulary, kb_formula, query, options.tolerances);
-    if (mr.supported) {
-      answer.status = Answer::Status::kPoint;
-      answer.value = mr.value;
-      answer.lo = answer.hi = mr.value;
-      answer.method = answer.method.empty() ? "maximum entropy"
-                                            : answer.method +
-                                                  " + maximum entropy";
-      answer.converged = mr.converged;
-      return answer;
-    }
+    engines::MaxEntEngine::LimitResultME mr =
+        maxent.InferLimit(ctx, query, options.tolerances);
+    if (!mr.supported) return Outcome::kSkip;
+    answer->status = Answer::Status::kPoint;
+    answer->value = mr.value;
+    answer->lo = answer->hi = mr.value;
+    answer->method = answer->method.empty()
+                         ? "maximum entropy"
+                         : answer->method + " + maximum entropy";
+    answer->converged = mr.converged;
+    return Outcome::kFinal;
   }
+};
 
-  // 4. Exact enumeration fallback for tiny instances.
-  if (options.use_exact_fallback) {
+// 4. Exact enumeration fallback for tiny instances.
+class ExactFallbackStrategy : public InferenceStrategy {
+ public:
+  std::string name() const override { return "exact-fallback"; }
+
+  Outcome Run(QueryContext& ctx, const logic::FormulaPtr& query,
+              const InferenceOptions& options, Answer* answer) const override {
+    if (!options.use_exact_fallback) return Outcome::kSkip;
     engines::ExactEngine exact;
     engines::LimitOptions small;
     small.domain_sizes = {2, 3, 4, 5, 6};
     small.tolerance_scales = options.limit.tolerance_scales;
+    small.num_threads = options.limit.num_threads;
     bool any = false;
     for (int n : small.domain_sizes) {
-      any = any || exact.Supports(vocabulary, kb_formula, query, n);
+      any = any || exact.Supports(ctx, query, n);
     }
-    if (any) {
-      engines::LimitResult lr = engines::EstimateLimit(
-          exact, vocabulary, kb_formula, query, options.tolerances, small);
-      answer.series = lr.series;
-      if (lr.value.has_value()) {
-        answer.status = Answer::Status::kPoint;
-        answer.value = *lr.value;
-        answer.lo = answer.hi = *lr.value;
-        answer.method = answer.method.empty()
-                            ? "exact enumeration (small N)"
-                            : answer.method + " + exact enumeration";
-        answer.converged = lr.converged;
-        return answer;
-      }
+    if (!any) return Outcome::kSkip;
+    engines::LimitResult lr =
+        engines::EstimateLimit(exact, ctx, query, options.tolerances, small);
+    answer->series = lr.series;
+    if (lr.value.has_value()) {
+      answer->status = Answer::Status::kPoint;
+      answer->value = *lr.value;
+      answer->lo = answer->hi = *lr.value;
+      answer->method = answer->method.empty()
+                           ? "exact enumeration (small N)"
+                           : answer->method + " + exact enumeration";
+      answer->converged = lr.converged;
+      return Outcome::kFinal;
+    }
+    return Outcome::kPartial;
+  }
+};
+
+// 5. Monte-Carlo sweep (opt-in): rejection sampling covers vocabularies no
+// other numeric engine reaches (binary predicates at medium N), at the
+// price of sampling error — so it must be requested explicitly.
+class MonteCarloStrategy : public InferenceStrategy {
+ public:
+  std::string name() const override { return "montecarlo-sweep"; }
+
+  Outcome Run(QueryContext& ctx, const logic::FormulaPtr& query,
+              const InferenceOptions& options, Answer* answer) const override {
+    if (!options.use_montecarlo) return Outcome::kSkip;
+    engines::MonteCarloEngine montecarlo;
+    bool any = false;
+    for (int n : options.limit.domain_sizes) {
+      any = any || montecarlo.Supports(ctx, query, n);
+    }
+    if (!any) return Outcome::kSkip;
+    engines::LimitResult lr = engines::EstimateLimit(
+        montecarlo, ctx, query, options.tolerances, options.limit);
+    if (lr.value.has_value()) {
+      // This sweep produced the answer, so its series replaces any earlier
+      // engine's diagnostics.
+      answer->series = lr.series;
+      answer->status = Answer::Status::kPoint;
+      answer->value = *lr.value;
+      answer->lo = answer->hi = *lr.value;
+      answer->method = answer->method.empty()
+                           ? "montecarlo sweep"
+                           : answer->method + " + montecarlo sweep";
+      answer->converged = lr.converged;
+      return Outcome::kFinal;
+    }
+    if (answer->series.empty()) answer->series = lr.series;
+    return Outcome::kPartial;
+  }
+};
+
+}  // namespace
+
+EngineRegistry& EngineRegistry::Default() {
+  static EngineRegistry* registry = [] {
+    auto* r = new EngineRegistry();
+    r->Register(0, std::make_shared<FixedDomainStrategy>());
+    r->Register(10, std::make_shared<SymbolicStrategy>());
+    r->Register(20, std::make_shared<ProfileSweepStrategy>());
+    r->Register(30, std::make_shared<MaxEntStrategy>());
+    r->Register(40, std::make_shared<ExactFallbackStrategy>());
+    r->Register(50, std::make_shared<MonteCarloStrategy>());
+    return r;
+  }();
+  return *registry;
+}
+
+void EngineRegistry::Register(
+    int priority, std::shared_ptr<const InferenceStrategy> strategy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  strategies_.emplace(priority, std::move(strategy));
+}
+
+std::vector<std::shared_ptr<const InferenceStrategy>> EngineRegistry::Ordered()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<const InferenceStrategy>> ordered;
+  ordered.reserve(strategies_.size());
+  for (const auto& [priority, strategy] : strategies_) {
+    ordered.push_back(strategy);
+  }
+  return ordered;
+}
+
+Answer EngineRegistry::Infer(QueryContext& ctx,
+                             const logic::FormulaPtr& query,
+                             const InferenceOptions& options) const {
+  Answer answer;
+  for (const auto& strategy : Ordered()) {
+    if (strategy->Run(ctx, query, options, &answer) ==
+        InferenceStrategy::Outcome::kFinal) {
+      return answer;
     }
   }
-
   // The symbolic interval (if any) is the best we have.
   if (answer.status == Answer::Status::kInterval) return answer;
   answer.status = Answer::Status::kUnknown;
@@ -190,6 +302,105 @@ Answer DegreeOfBelief(const KnowledgeBase& kb, const logic::FormulaPtr& query,
     answer.explanation = "no engine applies to this (KB, query) pair";
   }
   return answer;
+}
+
+Answer DegreeOfBelief(QueryContext& ctx, const logic::FormulaPtr& query,
+                      const InferenceOptions& options) {
+  return EngineRegistry::Default().Infer(ctx, query, options);
+}
+
+Answer DegreeOfBelief(const KnowledgeBase& kb, const logic::FormulaPtr& query,
+                      const InferenceOptions& options) {
+  QueryContext ctx =
+      MakeQueryContext(kb, std::span<const logic::FormulaPtr>(&query, 1),
+                       options);
+  return DegreeOfBelief(ctx, query, options);
+}
+
+QueryContext MakeQueryContext(const KnowledgeBase& kb,
+                              std::span<const logic::FormulaPtr> queries,
+                              const InferenceOptions& options) {
+  logic::Vocabulary vocabulary = kb.vocabulary();
+  for (const auto& query : queries) {
+    logic::RegisterSymbols(query, &vocabulary);
+  }
+  return QueryContext(std::move(vocabulary), kb.AsFormula(),
+                      options.enable_caching);
+}
+
+namespace {
+
+// True when the query mentions no symbol beyond the KB's vocabulary — the
+// condition under which sharing the KB-only context reproduces the
+// per-query vocabulary exactly.
+bool CoveredByKbVocabulary(const KnowledgeBase& kb,
+                           const logic::FormulaPtr& query) {
+  const logic::Vocabulary& vocabulary = kb.vocabulary();
+  for (const auto& predicate : logic::PredicatesOf(query)) {
+    if (!vocabulary.FindPredicate(predicate).has_value()) return false;
+  }
+  for (const auto& function : logic::FunctionsOf(query)) {
+    if (!vocabulary.FindFunction(function).has_value()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Answer> DegreesOfBelief(const KnowledgeBase& kb,
+                                    std::span<const logic::FormulaPtr> queries,
+                                    const InferenceOptions& options) {
+  // Queries share the context only when they add no symbols to the KB's
+  // vocabulary; a query introducing fresh predicates/constants gets its
+  // own context instead.  This keeps every answer identical to the
+  // sequential DegreeOfBelief call: a shared union vocabulary would let
+  // one query's symbols shift another's engine support limits (world
+  // counts grow with the vocabulary, and the profile engine caps atoms
+  // and constants).
+  QueryContext shared = MakeQueryContext(
+      kb, std::span<const logic::FormulaPtr>(), options);
+  // Hash-consing makes duplicate queries pointer-equal: answer each
+  // distinct formula once.
+  std::unordered_map<const logic::Formula*, size_t> first_index;
+  std::vector<Answer> answers(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto [it, inserted] = first_index.emplace(queries[i].get(), i);
+    if (!inserted) {
+      answers[i] = answers[it->second];
+      continue;
+    }
+    if (CoveredByKbVocabulary(kb, queries[i])) {
+      answers[i] = DegreeOfBelief(shared, queries[i], options);
+    } else {
+      answers[i] = DegreeOfBelief(kb, queries[i], options);
+    }
+  }
+  return answers;
+}
+
+std::vector<Answer> DegreesOfBelief(const KnowledgeBase& kb,
+                                    std::span<const std::string> queries,
+                                    const InferenceOptions& options) {
+  std::vector<logic::FormulaPtr> parsed(queries.size());
+  std::vector<Answer> answers(queries.size());
+  std::vector<logic::FormulaPtr> valid;
+  valid.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    logic::ParseResult result = logic::ParseFormula(queries[i]);
+    if (!result.ok()) {
+      answers[i].status = Answer::Status::kUnknown;
+      answers[i].explanation = "query parse error: " + result.error;
+      continue;
+    }
+    parsed[i] = result.formula;
+    valid.push_back(result.formula);
+  }
+  std::vector<Answer> valid_answers = DegreesOfBelief(kb, valid, options);
+  size_t next = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (parsed[i] != nullptr) answers[i] = std::move(valid_answers[next++]);
+  }
+  return answers;
 }
 
 Answer ConditionalDegreeOfBelief(const KnowledgeBase& kb,

@@ -15,10 +15,12 @@
 #ifndef RWL_CORE_INFERENCE_H_
 #define RWL_CORE_INFERENCE_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "src/core/knowledge_base.h"
+#include "src/core/query_context.h"
 #include "src/engines/engine.h"
 #include "src/logic/formula.h"
 #include "src/semantics/tolerance.h"
@@ -33,10 +35,20 @@ struct InferenceOptions {
   bool use_profile = true;
   bool use_maxent = true;
   bool use_exact_fallback = true;
+  // Opt-in: rejection-sampling sweep for instances outside every other
+  // engine's fragment (binary predicates at medium N).  Off by default —
+  // it turns some kUnknown answers into estimates, which callers must
+  // want explicitly.
+  bool use_montecarlo = false;
   // Footnote 9: when the true domain size is known (and small enough to
   // matter), compute Pr_N^τ at exactly this N instead of taking the
   // N → ∞ limit.  0 means unknown (take limits).
   int fixed_domain_size = 0;
+  // Share derived state (KB analyses, satisfying-world lists, per-point
+  // results) inside a query — and across queries when a batch shares one
+  // QueryContext.  Answers are bit-identical either way; disabling is for
+  // tests and measurement.
+  bool enable_caching = true;
 };
 
 struct Answer {
@@ -64,6 +76,39 @@ Answer DegreeOfBelief(const KnowledgeBase& kb, const logic::FormulaPtr& query,
 // errors (tests and examples pass literals).
 Answer DegreeOfBelief(const KnowledgeBase& kb, std::string_view query,
                       const InferenceOptions& options = {});
+
+// Context form: answers against an existing QueryContext (whose vocabulary
+// must already cover the query symbols — see MakeQueryContext).  All
+// engine-derived state accumulates in the context, so repeated calls share
+// work.
+Answer DegreeOfBelief(QueryContext& ctx, const logic::FormulaPtr& query,
+                      const InferenceOptions& options = {});
+
+// Builds a context for a batch: one vocabulary covering the KB and every
+// query.  Proportions are invariant under vocabulary extension (extra
+// constants/predicates multiply world counts uniformly), so answers agree
+// with the per-query form whenever the engines' structural limits do.
+QueryContext MakeQueryContext(const KnowledgeBase& kb,
+                              std::span<const logic::FormulaPtr> queries,
+                              const InferenceOptions& options = {});
+
+// Batch inference: answers many queries over one shared context.  Queries
+// are deduplicated (hash-consing makes duplicates pointer-equal), and the
+// engines reuse each other's per-(N, τ) work — for B queries on one KB the
+// expensive world enumerations run once, not B times.  A query that
+// introduces symbols beyond the KB's vocabulary is answered in its own
+// context (sharing would let it shift the other queries' engine support
+// limits), so every answer equals the sequential DegreeOfBelief call.
+std::vector<Answer> DegreesOfBelief(const KnowledgeBase& kb,
+                                    std::span<const logic::FormulaPtr> queries,
+                                    const InferenceOptions& options = {});
+
+// Textual batch form: parses each query; a parse failure yields a
+// kUnknown answer carrying the parser message (it does not abort — batch
+// callers handle per-query failures).
+std::vector<Answer> DegreesOfBelief(const KnowledgeBase& kb,
+                                    std::span<const std::string> queries,
+                                    const InferenceOptions& options = {});
 
 // Pr(φ | KB ∧ ψ): conditioning on additional evidence ψ.  By Proposition
 // 5.2, when KB |∼rw ψ this equals Pr(φ | KB); in general it is the degree

@@ -1,0 +1,133 @@
+#include "src/core/query_context.h"
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "src/engines/engine.h"
+#include "src/engines/symbolic_engine.h"
+#include "src/logic/transform.h"
+
+namespace rwl {
+
+struct QueryContext::Impl {
+  mutable std::mutex mutex;
+
+  // Lazily computed KB-level analyses.  Guarded by `mutex`; computed at
+  // most once and then immutable.
+  std::optional<std::vector<logic::FormulaPtr>> conjuncts;
+  std::optional<KbSplit> split;
+  std::optional<engines::KbAnalysis> analysis;
+
+  struct BlobEntry {
+    std::shared_ptr<const void> blob;
+    size_t bytes = 0;
+  };
+
+  std::unordered_map<std::string, engines::FiniteResult> finite;
+  std::unordered_map<std::string, BlobEntry> blobs;
+
+  mutable CacheStats stats;
+};
+
+QueryContext::QueryContext(logic::Vocabulary vocabulary, logic::FormulaPtr kb,
+                           bool caching_enabled)
+    : vocabulary_(std::move(vocabulary)),
+      kb_(std::move(kb)),
+      caching_enabled_(caching_enabled),
+      impl_(std::make_unique<Impl>()) {}
+
+QueryContext::~QueryContext() = default;
+QueryContext::QueryContext(QueryContext&&) noexcept = default;
+QueryContext& QueryContext::operator=(QueryContext&&) noexcept = default;
+
+const std::vector<logic::FormulaPtr>& QueryContext::kb_conjuncts() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (!impl_->conjuncts.has_value()) {
+    impl_->conjuncts = logic::Conjuncts(kb_);
+  }
+  return *impl_->conjuncts;
+}
+
+const QueryContext::KbSplit& QueryContext::kb_split() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (!impl_->split.has_value()) {
+    logic::ConstantSplit split = logic::SplitByConstants(kb_);
+    impl_->split = KbSplit{std::move(split.constant_free),
+                           std::move(split.constant_dependent)};
+  }
+  return *impl_->split;
+}
+
+const engines::KbAnalysis& QueryContext::kb_analysis() const {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->analysis.has_value()) return *impl_->analysis;
+  }
+  // AnalyzeKb allocates formulas (arena locks); compute outside our mutex
+  // and racily adopt the first result — the computation is deterministic.
+  engines::KbAnalysis computed = engines::AnalyzeKb(kb_);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (!impl_->analysis.has_value()) impl_->analysis = std::move(computed);
+  return *impl_->analysis;
+}
+
+bool QueryContext::LookupFinite(const std::string& key,
+                                engines::FiniteResult* out) const {
+  if (!caching_enabled_) return false;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->finite.find(key);
+  if (it == impl_->finite.end()) {
+    ++impl_->stats.finite_misses;
+    return false;
+  }
+  ++impl_->stats.finite_hits;
+  *out = it->second;
+  return true;
+}
+
+void QueryContext::StoreFinite(const std::string& key,
+                               const engines::FiniteResult& value) {
+  if (!caching_enabled_) return;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->finite.emplace(key, value);
+}
+
+std::shared_ptr<const void> QueryContext::LookupBlob(
+    const std::string& key) const {
+  if (!caching_enabled_) return nullptr;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->blobs.find(key);
+  if (it == impl_->blobs.end()) {
+    ++impl_->stats.blob_misses;
+    return nullptr;
+  }
+  ++impl_->stats.blob_hits;
+  return it->second.blob;
+}
+
+void QueryContext::StoreBlob(const std::string& key,
+                             std::shared_ptr<const void> blob,
+                             size_t bytes_hint) {
+  if (!caching_enabled_) return;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->blobs.find(key);
+  size_t refund = it != impl_->blobs.end() ? it->second.bytes : 0;
+  if (impl_->stats.blob_bytes - refund + bytes_hint > kBlobBudgetBytes) {
+    ++impl_->stats.blob_stores_dropped;
+    return;
+  }
+  impl_->stats.blob_bytes += bytes_hint - refund;
+  // Overwrite semantics: engines upgrade "seen once" markers to recorded
+  // world lists on the second visit.
+  impl_->blobs.insert_or_assign(key,
+                                Impl::BlobEntry{std::move(blob), bytes_hint});
+}
+
+QueryContext::CacheStats QueryContext::cache_stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->stats;
+}
+
+}  // namespace rwl

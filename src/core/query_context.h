@@ -1,0 +1,118 @@
+// QueryContext: the shared, memoizing state of one inference pipeline.
+//
+// A context pins down the (vocabulary, KB) pair a query — or a batch of
+// queries — is answered against, and owns every piece of derived state the
+// engines would otherwise recompute per call:
+//
+//   * the flattened KB conjunct list and the symbolic engine's KbAnalysis,
+//   * the profile engine's constant-free / constant-dependent split,
+//   * a memo of finite-engine results keyed by (engine, query id, N, ⃗τ)
+//     — node ids come from the hash-consed AST (logic/intern.h), so keys
+//     are dense and exact,
+//   * a type-erased cache of engine-derived state (e.g. the profile
+//     engine's satisfying-world list per (N, ⃗τ), which makes every query
+//     after the first a replay instead of a DFS).
+//
+// All lookups are thread-safe: the limit-sweep worker pool shares one
+// context across its workers.  Caching can be disabled (for testing and
+// for measuring): the engines then recompute everything, and are required
+// to produce bit-identical answers — the caches store only what the
+// uncached path would have computed, in the same order.
+#ifndef RWL_CORE_QUERY_CONTEXT_H_
+#define RWL_CORE_QUERY_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/logic/formula.h"
+#include "src/logic/vocabulary.h"
+
+namespace rwl::engines {
+struct FiniteResult;
+struct KbAnalysis;
+}  // namespace rwl::engines
+
+namespace rwl {
+
+class QueryContext {
+ public:
+  // The vocabulary must already cover the KB and every query that will be
+  // asked through this context (see MakeQueryContext in core/inference.h).
+  QueryContext(logic::Vocabulary vocabulary, logic::FormulaPtr kb,
+               bool caching_enabled = true);
+  ~QueryContext();
+
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+  QueryContext(QueryContext&&) noexcept;
+  QueryContext& operator=(QueryContext&&) noexcept;
+
+  const logic::Vocabulary& vocabulary() const { return vocabulary_; }
+  const logic::FormulaPtr& kb() const { return kb_; }
+  bool caching_enabled() const { return caching_enabled_; }
+
+  // ---- Memoized KB-level analyses (computed once, shared by engines) ----
+
+  // Flattened conjunct list of the KB.
+  const std::vector<logic::FormulaPtr>& kb_conjuncts() const;
+
+  // The profile engine's split: conjuncts mentioning no constant
+  // (evaluated once per profile) vs. the rest (evaluated per placement).
+  struct KbSplit {
+    logic::FormulaPtr constant_free;
+    logic::FormulaPtr constant_dependent;
+  };
+  const KbSplit& kb_split() const;
+
+  // The symbolic engine's flattened statistical view of the KB.
+  const engines::KbAnalysis& kb_analysis() const;
+
+  // ---- Finite-result memo ----
+  //
+  // Keys are exact serializations (engine name + options salt + query id +
+  // N + ⃗τ bits); equality of keys implies equality of the computation.
+  // Lookup returns false (and Store is a no-op) when caching is disabled.
+  bool LookupFinite(const std::string& key, engines::FiniteResult* out) const;
+  void StoreFinite(const std::string& key, const engines::FiniteResult& value);
+
+  // ---- Type-erased derived-state cache ----
+  //
+  // Engines park arbitrary shared state here (profile world lists, maxent
+  // solutions, ...) under the same exact-key discipline.  Returns nullptr
+  // (and Store is a no-op) when caching is disabled.  `bytes_hint` is the
+  // approximate payload size, charged against a per-context aggregate
+  // budget: a store that would exceed it is dropped (callers then simply
+  // recompute — the caches are transparent), so one batch cannot pin
+  // unbounded memory no matter how many sweep points it records.
+  std::shared_ptr<const void> LookupBlob(const std::string& key) const;
+  void StoreBlob(const std::string& key, std::shared_ptr<const void> blob,
+                 size_t bytes_hint = 0);
+
+  // Aggregate budget for sized blobs (world lists); overwriting a key
+  // refunds the old entry's charge.
+  static constexpr size_t kBlobBudgetBytes = 256u << 20;
+
+  struct CacheStats {
+    uint64_t finite_hits = 0;
+    uint64_t finite_misses = 0;
+    uint64_t blob_hits = 0;
+    uint64_t blob_misses = 0;
+    uint64_t blob_bytes = 0;          // charged against kBlobBudgetBytes
+    uint64_t blob_stores_dropped = 0;  // stores rejected over budget
+  };
+  CacheStats cache_stats() const;
+
+ private:
+  struct Impl;
+
+  logic::Vocabulary vocabulary_;
+  logic::FormulaPtr kb_;
+  bool caching_enabled_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rwl
+
+#endif  // RWL_CORE_QUERY_CONTEXT_H_

@@ -1,31 +1,100 @@
 #include "src/engines/engine.h"
 
+#include <atomic>
 #include <cmath>
+#include <optional>
+#include <utility>
+
+#include "src/core/query_context.h"
+#include "src/util/thread_pool.h"
 
 namespace rwl::engines {
+namespace {
 
-LimitResult EstimateLimit(const FiniteEngine& engine,
-                          const logic::Vocabulary& vocabulary,
-                          const logic::FormulaPtr& kb,
-                          const logic::FormulaPtr& query,
-                          const semantics::ToleranceVector& base_tolerances,
-                          const LimitOptions& options) {
+// Shared sweep driver.  `ctx == nullptr` is the legacy, uncontexted form.
+//
+// The (scale, N) grid points are independent; when a worker pool is
+// requested they are all precomputed concurrently and the convergence
+// reduction below replays them in schedule order, which makes the result
+// identical to the serial sweep (the reduction IS the serial algorithm,
+// reading precomputed values).  In serial mode the points are computed
+// lazily inside the reduction, exactly like the seed implementation —
+// including not evaluating points after an engine-exhausted abort.
+LimitResult EstimateLimitImpl(const FiniteEngine& engine, QueryContext* ctx,
+                              const logic::Vocabulary& vocabulary,
+                              const logic::FormulaPtr& kb,
+                              const logic::FormulaPtr& query,
+                              const semantics::ToleranceVector& base_tolerances,
+                              const LimitOptions& options) {
   LimitResult result;
+
+  const int num_scales = static_cast<int>(options.tolerance_scales.size());
+  const int num_sizes = static_cast<int>(options.domain_sizes.size());
+
+  std::vector<semantics::ToleranceVector> scaled;
+  scaled.reserve(num_scales);
+  for (double scale : options.tolerance_scales) {
+    scaled.push_back(base_tolerances.Scaled(scale));
+  }
+
+  // Support is per-N (the engine interface takes no tolerances there).
+  std::vector<char> supported(num_sizes);
+  for (int d = 0; d < num_sizes; ++d) {
+    int n = options.domain_sizes[d];
+    supported[d] = ctx != nullptr ? engine.Supports(*ctx, query, n)
+                                  : engine.Supports(vocabulary, kb, query, n);
+  }
+
+  std::vector<std::optional<FiniteResult>> grid(
+      static_cast<size_t>(num_scales) * num_sizes);
+  auto compute = [&](int s, int d) {
+    int n = options.domain_sizes[d];
+    return ctx != nullptr ? engine.DegreeAt(*ctx, query, n, scaled[s])
+                          : engine.DegreeAt(vocabulary, kb, query, n,
+                                            scaled[s]);
+  };
+
+  int threads = util::EffectiveThreads(options.num_threads,
+                                       num_scales * num_sizes);
+  if (threads > 1) {
+    std::vector<std::pair<int, int>> work;
+    for (int s = 0; s < num_scales; ++s) {
+      for (int d = 0; d < num_sizes; ++d) {
+        if (supported[d]) work.emplace_back(s, d);
+      }
+    }
+    // Mirror the serial path's early abort: once any point reports the
+    // engine exhausted, the reduction discards everything after it, so
+    // workers stop starting new points (the reduction computes lazily any
+    // skipped point it still needs).
+    std::atomic<bool> abort{false};
+    util::ParallelFor(threads, static_cast<int>(work.size()), [&](int i) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      auto [s, d] = work[i];
+      auto& slot = grid[static_cast<size_t>(s) * num_sizes + d];
+      slot = compute(s, d);
+      if (slot->exhausted) abort.store(true, std::memory_order_relaxed);
+    });
+  }
+  auto result_at = [&](int s, int d) -> const FiniteResult& {
+    auto& slot = grid[static_cast<size_t>(s) * num_sizes + d];
+    if (!slot.has_value()) slot = compute(s, d);
+    return *slot;
+  };
 
   // For each tolerance scale, take the largest supported N's value as the
   // N→∞ estimate; then check stability of those estimates as τ shrinks.
   std::vector<double> per_scale_estimates;
   bool engine_exhausted = false;
   bool last_scale_n_converged = false;
-  for (double scale : options.tolerance_scales) {
+  for (int s = 0; s < num_scales; ++s) {
     if (engine_exhausted) break;
-    semantics::ToleranceVector tolerances = base_tolerances.Scaled(scale);
     std::optional<double> last_defined;
     double prev = -1.0;
     bool n_converged = false;
-    for (int n : options.domain_sizes) {
-      if (!engine.Supports(vocabulary, kb, query, n)) continue;
-      FiniteResult fr = engine.DegreeAt(vocabulary, kb, query, n, tolerances);
+    for (int d = 0; d < num_sizes; ++d) {
+      if (!supported[d]) continue;
+      const FiniteResult& fr = result_at(s, d);
       if (fr.exhausted) {
         // The engine hit its work budget: retrying at other tolerance
         // scales can only be slower.  Let the caller fall back.
@@ -33,8 +102,8 @@ LimitResult EstimateLimit(const FiniteEngine& engine,
         break;
       }
       SeriesPoint point;
-      point.domain_size = n;
-      point.tolerance_scale = scale;
+      point.domain_size = options.domain_sizes[d];
+      point.tolerance_scale = options.tolerance_scales[s];
       point.probability = fr.probability;
       point.well_defined = fr.well_defined;
       result.series.push_back(point);
@@ -68,6 +137,58 @@ LimitResult EstimateLimit(const FiniteEngine& engine,
   result.value = final_value;
   result.converged = tau_converged;
   return result;
+}
+
+}  // namespace
+
+bool FiniteEngine::Supports(const QueryContext& ctx,
+                            const logic::FormulaPtr& query,
+                            int domain_size) const {
+  return Supports(ctx.vocabulary(), ctx.kb(), query, domain_size);
+}
+
+FiniteResult FiniteEngine::DegreeAtInContext(
+    QueryContext& ctx, const logic::FormulaPtr& query, int domain_size,
+    const semantics::ToleranceVector& tolerances) const {
+  return DegreeAt(ctx.vocabulary(), ctx.kb(), query, domain_size, tolerances);
+}
+
+FiniteResult FiniteEngine::DegreeAt(
+    QueryContext& ctx, const logic::FormulaPtr& query, int domain_size,
+    const semantics::ToleranceVector& tolerances) const {
+  std::string key = name();
+  key += '|';
+  key += CacheSalt();
+  key += '|';
+  key += std::to_string(query == nullptr ? 0 : query->id());
+  key += '|';
+  key += std::to_string(domain_size);
+  key += '|';
+  key += tolerances.CacheKey();
+
+  FiniteResult cached;
+  if (ctx.LookupFinite(key, &cached)) return cached;
+  FiniteResult result = DegreeAtInContext(ctx, query, domain_size, tolerances);
+  ctx.StoreFinite(key, result);
+  return result;
+}
+
+LimitResult EstimateLimit(const FiniteEngine& engine,
+                          const logic::Vocabulary& vocabulary,
+                          const logic::FormulaPtr& kb,
+                          const logic::FormulaPtr& query,
+                          const semantics::ToleranceVector& base_tolerances,
+                          const LimitOptions& options) {
+  return EstimateLimitImpl(engine, nullptr, vocabulary, kb, query,
+                           base_tolerances, options);
+}
+
+LimitResult EstimateLimit(const FiniteEngine& engine, QueryContext& ctx,
+                          const logic::FormulaPtr& query,
+                          const semantics::ToleranceVector& base_tolerances,
+                          const LimitOptions& options) {
+  return EstimateLimitImpl(engine, &ctx, ctx.vocabulary(), ctx.kb(), query,
+                           base_tolerances, options);
 }
 
 }  // namespace rwl::engines

@@ -17,6 +17,10 @@
 #include "src/logic/vocabulary.h"
 #include "src/semantics/tolerance.h"
 
+namespace rwl {
+class QueryContext;
+}  // namespace rwl
+
 namespace rwl::engines {
 
 // Pr_N^τ(φ | KB), plus diagnostics.
@@ -51,6 +55,31 @@ class FiniteEngine {
                                 int domain_size,
                                 const semantics::ToleranceVector& tolerances)
       const = 0;
+
+  // ---- Context-aware entry points (core/query_context.h) ----
+  //
+  // DegreeAt(ctx, ...) memoizes the result in the context under an exact
+  // (engine, options, query id, N, ⃗τ) key and lets engine subclasses share
+  // KB-level work across queries via DegreeAtInContext.  With caching
+  // disabled on the context, answers are bit-identical to the cached path
+  // (the caches only store what the uncached path computes, in the same
+  // order).
+  FiniteResult DegreeAt(QueryContext& ctx, const logic::FormulaPtr& query,
+                        int domain_size,
+                        const semantics::ToleranceVector& tolerances) const;
+  bool Supports(const QueryContext& ctx, const logic::FormulaPtr& query,
+                int domain_size) const;
+
+  // Extra key material for engines whose options change results (priors,
+  // sample counts, budgets, ...).
+  virtual std::string CacheSalt() const { return ""; }
+
+ protected:
+  // Engine-specific context-aware computation (no memo layer).  The default
+  // delegates to the vocabulary/kb form above.
+  virtual FiniteResult DegreeAtInContext(
+      QueryContext& ctx, const logic::FormulaPtr& query, int domain_size,
+      const semantics::ToleranceVector& tolerances) const;
 };
 
 // One evaluated point of the limit sweep.
@@ -68,6 +97,12 @@ struct LimitOptions {
   std::vector<double> tolerance_scales = {1.0, 0.5, 0.25};
   // |last - previous| below this counts as converged.
   double convergence_epsilon = 5e-3;
+  // Worker-pool size for evaluating the (N, τ-scale) grid: the points are
+  // independent, so they are computed concurrently and the convergence
+  // reduction replays them in schedule order (the result is identical to
+  // the serial sweep, point for point).  1 = serial; 0 = one worker per
+  // hardware thread.
+  int num_threads = 1;
 };
 
 struct LimitResult {
@@ -83,6 +118,15 @@ struct LimitResult {
 LimitResult EstimateLimit(const FiniteEngine& engine,
                           const logic::Vocabulary& vocabulary,
                           const logic::FormulaPtr& kb,
+                          const logic::FormulaPtr& query,
+                          const semantics::ToleranceVector& base_tolerances,
+                          const LimitOptions& options);
+
+// Context-aware sweep: shares the context's caches across points and
+// queries, and evaluates the grid on a worker pool when
+// options.num_threads != 1.  Point-for-point identical to the serial,
+// uncontexted overload above.
+LimitResult EstimateLimit(const FiniteEngine& engine, QueryContext& ctx,
                           const logic::FormulaPtr& query,
                           const semantics::ToleranceVector& base_tolerances,
                           const LimitOptions& options);

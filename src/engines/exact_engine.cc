@@ -1,8 +1,13 @@
 #include "src/engines/exact_engine.h"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
+#include <string>
 
 #include "src/combinatorics/logmath.h"
+#include "src/core/query_context.h"
+#include "src/engines/world_cache.h"
 #include "src/semantics/evaluator.h"
 #include "src/semantics/world.h"
 
@@ -21,37 +26,76 @@ double Log2WorldCount(const logic::Vocabulary& vocabulary, int domain_size) {
   return log2_count;
 }
 
-}  // namespace
+// The KB-satisfying worlds of one (N, ⃗τ) point, flattened cell-by-cell in
+// enumeration order.  Replay restores each world and evaluates only the
+// query; the counts (and hence the probability) are identical to a full
+// enumeration.
+struct ExactWorldList {
+  // Record-and-replay protocol state (see engines/world_cache.h).
+  internal::WorldCacheState state = internal::WorldCacheState::kSeenOnce;
+  bool valid = false;  // recording outcome (maps to kRecorded / kTooBig)
+  int64_t pred_stride = 0;
+  int64_t func_stride = 0;
+  int64_t kb_count = 0;
+  std::vector<uint8_t> pred_cells;  // kb_count × pred_stride
+  std::vector<int> func_cells;      // kb_count × func_stride
 
-bool ExactEngine::Supports(const logic::Vocabulary& vocabulary,
-                           const logic::FormulaPtr& /*kb*/,
-                           const logic::FormulaPtr& /*query*/,
-                           int domain_size) const {
-  if (domain_size <= 0) return false;
-  return Log2WorldCount(vocabulary, domain_size) <= max_log2_worlds_;
-}
+  size_t ByteSize() const {
+    return pred_cells.size() * sizeof(uint8_t) +
+           func_cells.size() * sizeof(int);
+  }
+};
 
-FiniteResult ExactEngine::DegreeAt(
-    const logic::Vocabulary& vocabulary, const logic::FormulaPtr& kb,
-    const logic::FormulaPtr& query, int domain_size,
-    const semantics::ToleranceVector& tolerances) const {
+// Memory cap for one recorded point (~64 MiB of cells).
+constexpr int64_t kMaxRecordedBytes = 64ll << 20;
+
+FiniteResult ComputeExact(const logic::Vocabulary& vocabulary,
+                          const logic::FormulaPtr& kb,
+                          const logic::FormulaPtr& query, int domain_size,
+                          const semantics::ToleranceVector& tolerances,
+                          ExactWorldList* record) {
   semantics::World world(&vocabulary, domain_size);
 
   int64_t kb_count = 0;
   int64_t both_count = 0;
 
-  // Odometer enumeration over all predicate cells (base 2) and all function
-  // cells (base N).
   const int num_predicates = vocabulary.num_predicates();
   const int num_functions = vocabulary.num_functions();
+
+  bool record_overflow = false;
+  int64_t recorded_bytes = 0;
+  if (record != nullptr) {
+    record->pred_stride = world.TotalPredicateCells();
+    record->func_stride = world.TotalFunctionCells();
+  }
 
   auto evaluate_current = [&]() {
     if (!semantics::Evaluate(kb, world, tolerances)) return;
     ++kb_count;
+    if (record != nullptr && !record_overflow) {
+      recorded_bytes += record->pred_stride +
+                        record->func_stride * static_cast<int64_t>(sizeof(int));
+      if (recorded_bytes > kMaxRecordedBytes) {
+        record_overflow = true;
+      } else {
+        for (int p = 0; p < num_predicates; ++p) {
+          const auto& table = world.predicate_table(p);
+          record->pred_cells.insert(record->pred_cells.end(), table.begin(),
+                                    table.end());
+        }
+        for (int f = 0; f < num_functions; ++f) {
+          const auto& table = world.function_table(f);
+          record->func_cells.insert(record->func_cells.end(), table.begin(),
+                                    table.end());
+        }
+        ++record->kb_count;
+      }
+    }
     if (semantics::Evaluate(query, world, tolerances)) ++both_count;
   };
 
-  // Recursive advance: returns false when the odometer wraps around.
+  // Odometer enumeration over all predicate cells (base 2) and all function
+  // cells (base N); returns false when the odometer wraps around.
   auto advance = [&]() -> bool {
     for (int p = 0; p < num_predicates; ++p) {
       auto& table = world.predicate_table(p);
@@ -80,6 +124,15 @@ FiniteResult ExactEngine::DegreeAt(
     evaluate_current();
   } while (advance());
 
+  if (record != nullptr) {
+    record->valid = !record_overflow;
+    if (!record->valid) {
+      record->pred_cells.clear();
+      record->func_cells.clear();
+      record->kb_count = 0;
+    }
+  }
+
   FiniteResult result;
   if (kb_count == 0) return result;
   result.well_defined = true;
@@ -90,6 +143,93 @@ FiniteResult ExactEngine::DegreeAt(
                              : kNegInf;
   result.log_denominator = std::log(static_cast<double>(kb_count));
   return result;
+}
+
+FiniteResult ReplayExact(const logic::Vocabulary& vocabulary,
+                         const ExactWorldList& worlds,
+                         const logic::FormulaPtr& query, int domain_size,
+                         const semantics::ToleranceVector& tolerances) {
+  semantics::World world(&vocabulary, domain_size);
+  const int num_predicates = vocabulary.num_predicates();
+  const int num_functions = vocabulary.num_functions();
+
+  int64_t both_count = 0;
+  int64_t pred_offset = 0;
+  int64_t func_offset = 0;
+  for (int64_t w = 0; w < worlds.kb_count; ++w) {
+    for (int p = 0; p < num_predicates; ++p) {
+      auto& table = world.predicate_table(p);
+      std::copy(worlds.pred_cells.begin() + pred_offset,
+                worlds.pred_cells.begin() + pred_offset +
+                    static_cast<int64_t>(table.size()),
+                table.begin());
+      pred_offset += static_cast<int64_t>(table.size());
+    }
+    for (int f = 0; f < num_functions; ++f) {
+      auto& table = world.function_table(f);
+      std::copy(worlds.func_cells.begin() + func_offset,
+                worlds.func_cells.begin() + func_offset +
+                    static_cast<int64_t>(table.size()),
+                table.begin());
+      func_offset += static_cast<int64_t>(table.size());
+    }
+    if (semantics::Evaluate(query, world, tolerances)) ++both_count;
+  }
+
+  FiniteResult result;
+  if (worlds.kb_count == 0) return result;
+  result.well_defined = true;
+  result.probability = static_cast<double>(both_count) /
+                       static_cast<double>(worlds.kb_count);
+  result.log_numerator = both_count > 0
+                             ? std::log(static_cast<double>(both_count))
+                             : kNegInf;
+  result.log_denominator =
+      std::log(static_cast<double>(worlds.kb_count));
+  return result;
+}
+
+}  // namespace
+
+bool ExactEngine::Supports(const logic::Vocabulary& vocabulary,
+                           const logic::FormulaPtr& /*kb*/,
+                           const logic::FormulaPtr& /*query*/,
+                           int domain_size) const {
+  if (domain_size <= 0) return false;
+  return Log2WorldCount(vocabulary, domain_size) <= max_log2_worlds_;
+}
+
+FiniteResult ExactEngine::DegreeAt(
+    const logic::Vocabulary& vocabulary, const logic::FormulaPtr& kb,
+    const logic::FormulaPtr& query, int domain_size,
+    const semantics::ToleranceVector& tolerances) const {
+  return ComputeExact(vocabulary, kb, query, domain_size, tolerances,
+                      nullptr);
+}
+
+std::string ExactEngine::CacheSalt() const {
+  return "log2worlds=" + std::to_string(max_log2_worlds_);
+}
+
+FiniteResult ExactEngine::DegreeAtInContext(
+    QueryContext& ctx, const logic::FormulaPtr& query, int domain_size,
+    const semantics::ToleranceVector& tolerances) const {
+  if (!ctx.caching_enabled()) {
+    return DegreeAt(ctx.vocabulary(), ctx.kb(), query, domain_size,
+                    tolerances);
+  }
+  std::string blob_key = "exact.worlds|" + std::to_string(domain_size) + "|" +
+                         tolerances.CacheKey();
+  return internal::LazyRecordReplay<ExactWorldList>(
+      ctx, blob_key,
+      [&](ExactWorldList* record) {
+        return ComputeExact(ctx.vocabulary(), ctx.kb(), query, domain_size,
+                            tolerances, record);
+      },
+      [&](const ExactWorldList& worlds) {
+        return ReplayExact(ctx.vocabulary(), worlds, query, domain_size,
+                           tolerances);
+      });
 }
 
 }  // namespace rwl::engines

@@ -22,6 +22,10 @@ class ExactEngine : public FiniteEngine {
 
   std::string name() const override { return "exact"; }
 
+  // Un-hide the context-aware overloads.
+  using FiniteEngine::DegreeAt;
+  using FiniteEngine::Supports;
+
   bool Supports(const logic::Vocabulary& vocabulary,
                 const logic::FormulaPtr& kb, const logic::FormulaPtr& query,
                 int domain_size) const override;
@@ -30,6 +34,19 @@ class ExactEngine : public FiniteEngine {
                         const logic::FormulaPtr& kb,
                         const logic::FormulaPtr& query, int domain_size,
                         const semantics::ToleranceVector& tolerances)
+      const override;
+
+  std::string CacheSalt() const override;
+
+ protected:
+  // Context path: the KB-satisfying worlds at one (N, ⃗τ) are
+  // query-independent, so the first query records them (within a memory
+  // cap) and later queries evaluate only against the recorded worlds
+  // instead of enumerating all of W_N.
+  FiniteResult DegreeAtInContext(QueryContext& ctx,
+                                 const logic::FormulaPtr& query,
+                                 int domain_size,
+                                 const semantics::ToleranceVector& tolerances)
       const override;
 
  private:

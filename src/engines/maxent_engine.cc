@@ -1,8 +1,12 @@
 #include "src/engines/maxent_engine.h"
 
 #include <cmath>
+#include <functional>
+#include <memory>
 #include <set>
+#include <string>
 
+#include "src/core/query_context.h"
 #include "src/logic/classalg.h"
 #include "src/logic/printer.h"
 #include "src/logic/transform.h"
@@ -87,18 +91,39 @@ std::optional<bool> EvaluateAtPoint(const ClassUniverse& universe,
 
 }  // namespace
 
-MaxEntEngine::Result MaxEntEngine::InferAt(
-    const logic::Vocabulary& vocabulary, const logic::FormulaPtr& kb,
-    const logic::FormulaPtr& query,
-    const semantics::ToleranceVector& tolerances) const {
-  Result result;
-  auto extracted = rwl::maxent::ExtractUnaryKb(vocabulary, kb, tolerances);
+// The (KB, ⃗τ)-dependent half of InferAt: extraction + entropy solve.
+// Cached per context (see InferAt(QueryContext&, ...)).
+struct SolvedKb {
+  rwl::maxent::ExtractedKb extracted;
+  rwl::maxent::Solution solution;
+};
+
+namespace {
+
+SolvedKb ExtractAndSolve(const logic::Vocabulary& vocabulary,
+                         const logic::FormulaPtr& kb,
+                         const semantics::ToleranceVector& tolerances) {
+  SolvedKb solved;
+  solved.extracted = rwl::maxent::ExtractUnaryKb(vocabulary, kb, tolerances);
+  if (solved.extracted.ok) {
+    solved.solution = rwl::maxent::Solve(solved.extracted.problem);
+  }
+  return solved;
+}
+
+// The query-dependent half: conditioning at the maxent point.
+MaxEntEngine::Result InferAtSolved(const SolvedKb& solved,
+                                   const logic::FormulaPtr& query,
+                                   const semantics::ToleranceVector&
+                                       tolerances) {
+  MaxEntEngine::Result result;
+  const auto& extracted = solved.extracted;
+  const auto& solution = solved.solution;
   if (!extracted.ok) {
     result.note = extracted.error;
     return result;
   }
   ClassUniverse universe(extracted.predicates);
-  auto solution = rwl::maxent::Solve(extracted.problem);
   if (!solution.feasible) {
     result.supported = true;
     result.note = "S(KB) empty (KB not eventually consistent at this τ)";
@@ -169,19 +194,44 @@ MaxEntEngine::Result MaxEntEngine::InferAt(
   return result;
 }
 
-MaxEntEngine::LimitResultME MaxEntEngine::InferLimit(
+}  // namespace
+
+MaxEntEngine::Result MaxEntEngine::InferAt(
     const logic::Vocabulary& vocabulary, const logic::FormulaPtr& kb,
     const logic::FormulaPtr& query,
+    const semantics::ToleranceVector& tolerances) const {
+  return InferAtSolved(ExtractAndSolve(vocabulary, kb, tolerances), query,
+                       tolerances);
+}
+
+MaxEntEngine::Result MaxEntEngine::InferAt(
+    QueryContext& ctx, const logic::FormulaPtr& query,
+    const semantics::ToleranceVector& tolerances) const {
+  std::string key = "maxent.solved|" + tolerances.CacheKey();
+  auto solved =
+      std::static_pointer_cast<const SolvedKb>(ctx.LookupBlob(key));
+  if (solved == nullptr) {
+    auto computed = std::make_shared<SolvedKb>(
+        ExtractAndSolve(ctx.vocabulary(), ctx.kb(), tolerances));
+    ctx.StoreBlob(key, computed);
+    solved = std::move(computed);
+  }
+  return InferAtSolved(*solved, query, tolerances);
+}
+
+namespace {
+
+// Shared τ → 0 schedule: both InferLimit overloads must run the identical
+// loop for their answers to agree bit for bit.
+MaxEntEngine::LimitResultME InferLimitWith(
+    const std::function<
+        MaxEntEngine::Result(const semantics::ToleranceVector&)>& infer_at,
     const semantics::ToleranceVector& base_tolerances,
-    const std::vector<double>& scales) const {
-  LimitResultME result;
+    const std::vector<double>& scales) {
+  MaxEntEngine::LimitResultME result;
   for (double scale : scales) {
-    Result at = InferAt(vocabulary, kb, query, base_tolerances.Scaled(scale));
-    if (!at.supported) {
-      result.note = at.note;
-      return result;
-    }
-    if (!at.feasible) {
+    MaxEntEngine::Result at = infer_at(base_tolerances.Scaled(scale));
+    if (!at.supported || !at.feasible) {
       result.note = at.note;
       return result;
     }
@@ -196,6 +246,31 @@ MaxEntEngine::LimitResultME MaxEntEngine::InferLimit(
     result.converged = std::fabs(result.value - prev) < 2e-2;
   }
   return result;
+}
+
+}  // namespace
+
+MaxEntEngine::LimitResultME MaxEntEngine::InferLimit(
+    QueryContext& ctx, const logic::FormulaPtr& query,
+    const semantics::ToleranceVector& base_tolerances,
+    const std::vector<double>& scales) const {
+  return InferLimitWith(
+      [&](const semantics::ToleranceVector& tolerances) {
+        return InferAt(ctx, query, tolerances);
+      },
+      base_tolerances, scales);
+}
+
+MaxEntEngine::LimitResultME MaxEntEngine::InferLimit(
+    const logic::Vocabulary& vocabulary, const logic::FormulaPtr& kb,
+    const logic::FormulaPtr& query,
+    const semantics::ToleranceVector& base_tolerances,
+    const std::vector<double>& scales) const {
+  return InferLimitWith(
+      [&](const semantics::ToleranceVector& tolerances) {
+        return InferAt(vocabulary, kb, query, tolerances);
+      },
+      base_tolerances, scales);
 }
 
 std::optional<std::vector<double>> MaxEntEngine::MaxEntPoint(

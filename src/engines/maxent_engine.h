@@ -24,6 +24,10 @@
 #include "src/logic/vocabulary.h"
 #include "src/semantics/tolerance.h"
 
+namespace rwl {
+class QueryContext;
+}  // namespace rwl
+
 namespace rwl::engines {
 
 class MaxEntEngine {
@@ -53,6 +57,18 @@ class MaxEntEngine {
   LimitResultME InferLimit(const logic::Vocabulary& vocabulary,
                            const logic::FormulaPtr& kb,
                            const logic::FormulaPtr& query,
+                           const semantics::ToleranceVector& base_tolerances,
+                           const std::vector<double>& scales = {1.0, 0.3,
+                                                                0.1}) const;
+
+  // Context-aware forms (core/query_context.h): the KB extraction and the
+  // entropy solve depend only on (KB, ⃗τ), so they are cached in the
+  // context and shared across every query of a batch; only the cheap
+  // query-conditioning part runs per query.  Bit-identical to the forms
+  // above (the solver is deterministic).
+  Result InferAt(QueryContext& ctx, const logic::FormulaPtr& query,
+                 const semantics::ToleranceVector& tolerances) const;
+  LimitResultME InferLimit(QueryContext& ctx, const logic::FormulaPtr& query,
                            const semantics::ToleranceVector& base_tolerances,
                            const std::vector<double>& scales = {1.0, 0.3,
                                                                 0.1}) const;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <random>
+#include <string>
 
 #include "src/combinatorics/logmath.h"
 #include "src/semantics/evaluator.h"
@@ -56,8 +57,11 @@ FiniteResult MonteCarloEngine::DegreeAt(
     if (semantics::Evaluate(query, world, tolerances)) ++satisfying;
   }
 
-  stats_.sampled = options_.num_samples;
-  stats_.accepted = accepted;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.sampled = options_.num_samples;
+    stats_.accepted = accepted;
+  }
 
   FiniteResult result;
   if (accepted < options_.min_accepted) return result;
@@ -68,6 +72,13 @@ FiniteResult MonteCarloEngine::DegreeAt(
       satisfying > 0 ? std::log(static_cast<double>(satisfying)) : kNegInf;
   result.log_denominator = std::log(static_cast<double>(accepted));
   return result;
+}
+
+std::string MonteCarloEngine::CacheSalt() const {
+  return "samples=" + std::to_string(options_.num_samples) +
+         ";min=" + std::to_string(options_.min_accepted) +
+         ";seed=" + std::to_string(options_.seed) +
+         ";cells=" + std::to_string(options_.max_cells);
 }
 
 }  // namespace rwl::engines

@@ -14,6 +14,7 @@
 #define RWL_ENGINES_MONTECARLO_ENGINE_H_
 
 #include <cstdint>
+#include <mutex>
 
 #include "src/engines/engine.h"
 
@@ -37,6 +38,10 @@ class MonteCarloEngine : public FiniteEngine {
 
   std::string name() const override { return "montecarlo"; }
 
+  // Un-hide the context-aware overloads.
+  using FiniteEngine::DegreeAt;
+  using FiniteEngine::Supports;
+
   bool Supports(const logic::Vocabulary& vocabulary,
                 const logic::FormulaPtr& kb, const logic::FormulaPtr& query,
                 int domain_size) const override;
@@ -47,15 +52,24 @@ class MonteCarloEngine : public FiniteEngine {
                         const semantics::ToleranceVector& tolerances)
       const override;
 
-  // Diagnostics from the most recent DegreeAt call.
+  // Sampling is deterministic in (options, N, ⃗τ, query), so results are
+  // safe to memoize; the salt pins the options.
+  std::string CacheSalt() const override;
+
+  // Diagnostics from the most recent DegreeAt call (thread-safe: DegreeAt
+  // may run on the limit-sweep worker pool).
   struct Stats {
     uint64_t sampled = 0;
     uint64_t accepted = 0;
   };
-  const Stats& last_stats() const { return stats_; }
+  Stats last_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+  }
 
  private:
   Options options_;
+  mutable std::mutex stats_mutex_;
   mutable Stats stats_;
 };
 

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "src/combinatorics/logmath.h"
+#include "src/core/query_context.h"
+#include "src/engines/world_cache.h"
 #include "src/logic/classalg.h"
 #include "src/logic/transform.h"
 #include "src/semantics/evaluator.h"
@@ -467,34 +469,58 @@ std::optional<PruneConstraint> ExtractConstraint(
   return out;
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Cached world lists (context path).
+// ---------------------------------------------------------------------------
 
-bool ProfileEngine::Supports(const logic::Vocabulary& vocabulary,
-                             const logic::FormulaPtr& /*kb*/,
-                             const logic::FormulaPtr& /*query*/,
-                             int domain_size) const {
-  if (domain_size <= 0) return false;
-  if (!vocabulary.IsUnaryRelational()) return false;
-  int k = vocabulary.num_predicates();
-  if (k > 30 || (1 << k) > options_.max_atoms) return false;
-  if (static_cast<int>(vocabulary.Constants().size()) >
-      options_.max_constants) {
-    return false;
+// The satisfying worlds of one (N, ⃗τ) sweep point, grouped as the DFS
+// emits them: a leaf is an atom-count vector that passed the constant-free
+// KB, an entry is a (leaf, placement) pair that also passed the
+// constant-dependent KB, carrying the world-count log-weight.  Entries are
+// stored in DFS emission order so a replay accumulates the identical
+// LogSumExp sequence.
+struct ProfileWorldList {
+  // Record-and-replay protocol state (see engines/world_cache.h).
+  internal::WorldCacheState state = internal::WorldCacheState::kSeenOnce;
+  // False: recording overflowed the size cap (maps to kTooBig).
+  bool valid = false;
+  std::vector<std::vector<int64_t>> leaf_counts;
+  struct Entry {
+    int32_t leaf = 0;
+    int32_t placement = 0;
+    double log_weight = 0.0;
+  };
+  std::vector<Entry> entries;
+  std::vector<Placement> placements;
+
+  size_t ByteSize() const {
+    size_t bytes = entries.size() * sizeof(Entry);
+    for (const auto& counts : leaf_counts) {
+      bytes += counts.size() * sizeof(int64_t);
+    }
+    for (const auto& p : placements) {
+      bytes += (p.constant_block.size() + p.block_atom.size() +
+                p.blocks_in_atom.size()) *
+               sizeof(int);
+    }
+    return bytes;
   }
-  // Cost heuristic: the raw profile count C(N+A-1, A-1) bounds the DFS;
-  // constraint pruning typically buys two to three orders of magnitude, so
-  // refuse instances more than ~1000× over the leaf budget rather than
-  // burn the budget discovering they are hopeless.
-  double log_raw = LogBinomial(domain_size + (1 << k) - 1, (1 << k) - 1);
-  double log_cap = std::log(static_cast<double>(options_.max_leaves)) +
-                   std::log(1000.0);
-  return log_raw <= log_cap;
-}
+};
 
-FiniteResult ProfileEngine::DegreeAt(
-    const logic::Vocabulary& vocabulary, const logic::FormulaPtr& kb,
-    const logic::FormulaPtr& query, int domain_size,
-    const semantics::ToleranceVector& tolerances) const {
+// Memory cap for one recorded sweep point (entries dominate).
+constexpr size_t kMaxRecordedEntries = 1u << 20;
+constexpr size_t kMaxRecordedLeaves = 1u << 19;
+
+// The full Pr_N^τ computation (the seed's DegreeAt), with an optional
+// recording sink: when `record` is non-null, every world that enters the
+// denominator is appended.  Recording never changes the result.
+FiniteResult ComputeSweepPoint(const ProfileEngine::Options& options,
+                               const logic::Vocabulary& vocabulary,
+                               const FormulaPtr& kb_free,
+                               const FormulaPtr& kb_dep,
+                               const FormulaPtr& query, int domain_size,
+                               const semantics::ToleranceVector& tolerances,
+                               ProfileWorldList* record) {
   const int num_atoms = 1 << vocabulary.num_predicates();
   const int64_t n_total = domain_size;
 
@@ -515,25 +541,11 @@ FiniteResult ProfileEngine::DegreeAt(
   std::vector<Placement> placements =
       EnumeratePlacements(num_constants, num_atoms);
 
-  // Split KB conjuncts into constant-free (evaluated once per profile) and
-  // constant-dependent (evaluated per placement).
-  std::vector<FormulaPtr> const_free;
-  std::vector<FormulaPtr> const_dep;
-  for (const auto& conjunct : logic::Conjuncts(kb)) {
-    if (logic::ConstantsOf(conjunct).empty()) {
-      const_free.push_back(conjunct);
-    } else {
-      const_dep.push_back(conjunct);
-    }
-  }
-  FormulaPtr kb_free = Formula::AndAll(const_free);
-  FormulaPtr kb_dep = Formula::AndAll(const_dep);
-
   // Pruning constraints (from constant-free conjuncts only) and taxonomy
   // zero-atoms.
   std::vector<PruneConstraint> constraints;
   logic::Taxonomy taxonomy(universe);
-  for (const auto& conjunct : const_free) {
+  for (const auto& conjunct : logic::Conjuncts(kb_free)) {
     if (taxonomy.Absorb(conjunct)) continue;
     auto c = ExtractConstraint(universe, conjunct, tolerances);
     if (c.has_value()) constraints.push_back(*c);
@@ -546,6 +558,7 @@ FiniteResult ProfileEngine::DegreeAt(
   LogSumExp numerator;
   uint64_t leaves = 0;
   bool exhausted = false;
+  bool record_overflow = false;
 
   // Partial sums per constraint: body and cond over assigned atoms.
   const int num_constraints = static_cast<int>(constraints.size());
@@ -611,13 +624,13 @@ FiniteResult ProfileEngine::DegreeAt(
   const int num_predicates = vocabulary.num_predicates();
   auto process_leaf = [&]() {
     ++leaves;
-    if (leaves > options_.max_leaves) {
+    if (leaves > options.max_leaves) {
       exhausted = true;
       return;
     }
     double log_multinomial = LogMultinomial(n_total, counts);
     if (log_multinomial == kNegInf) return;
-    if (options_.prior == Prior::kRandomPropensities) {
+    if (options.prior == Prior::kRandomPropensities) {
       // Marginal probability of a world under per-predicate uniform
       // propensities: Π_i c_i!(N-c_i)!/(N+1)!, constant across the worlds
       // of one profile (c_i depends only on ⃗n).
@@ -637,7 +650,9 @@ FiniteResult ProfileEngine::DegreeAt(
                             tolerances);
       if (!eval.Eval(kb_free)) return;
     }
-    for (const Placement& placement : placements) {
+    int32_t recorded_leaf = -1;
+    for (size_t pi = 0; pi < placements.size(); ++pi) {
+      const Placement& placement = placements[pi];
       // Block feasibility: enough elements in each atom.
       double log_falling = 0.0;
       bool feasible = true;
@@ -657,6 +672,24 @@ FiniteResult ProfileEngine::DegreeAt(
       if (!eval.Eval(kb_dep)) continue;
       double log_weight = log_multinomial + log_falling;
       denominator.Add(log_weight);
+      if (record != nullptr && !record_overflow) {
+        if (recorded_leaf < 0) {
+          if (record->leaf_counts.size() >= kMaxRecordedLeaves) {
+            record_overflow = true;
+          } else {
+            recorded_leaf = static_cast<int32_t>(record->leaf_counts.size());
+            record->leaf_counts.push_back(counts);
+          }
+        }
+        if (!record_overflow) {
+          if (record->entries.size() >= kMaxRecordedEntries) {
+            record_overflow = true;
+          } else {
+            record->entries.push_back(ProfileWorldList::Entry{
+                recorded_leaf, static_cast<int32_t>(pi), log_weight});
+          }
+        }
+      }
       if (eval.Eval(query)) numerator.Add(log_weight);
     }
   };
@@ -714,6 +747,16 @@ FiniteResult ProfileEngine::DegreeAt(
     dfs(0, n_total);
   }
 
+  if (record != nullptr) {
+    record->valid = !record_overflow && !exhausted;
+    if (record->valid) {
+      record->placements = std::move(placements);
+    } else {
+      record->leaf_counts.clear();
+      record->entries.clear();
+    }
+  }
+
   FiniteResult result;
   if (exhausted) {
     result.exhausted = true;
@@ -728,6 +771,107 @@ FiniteResult ProfileEngine::DegreeAt(
           ? 0.0
           : std::exp(numerator.Value() - denominator.Value());
   return result;
+}
+
+// Replays a recorded world list for a new query: one evaluation per
+// surviving world, log-weights accumulated in recorded (= DFS) order.
+FiniteResult ReplayWorldList(const logic::Vocabulary& vocabulary,
+                             const ProfileWorldList& worlds,
+                             const FormulaPtr& query,
+                             const semantics::ToleranceVector& tolerances) {
+  std::map<std::string, int> constant_index;
+  {
+    int i = 0;
+    for (const auto& c : vocabulary.Constants()) constant_index[c.name] = i++;
+  }
+  LogSumExp denominator;
+  LogSumExp numerator;
+  for (const auto& entry : worlds.entries) {
+    denominator.Add(entry.log_weight);
+    ProfileEvaluator eval(vocabulary, worlds.leaf_counts[entry.leaf],
+                          &worlds.placements[entry.placement], constant_index,
+                          tolerances);
+    if (eval.Eval(query)) numerator.Add(entry.log_weight);
+  }
+  FiniteResult result;
+  if (denominator.IsZero()) return result;
+  result.well_defined = true;
+  result.log_numerator = numerator.Value();
+  result.log_denominator = denominator.Value();
+  result.probability =
+      numerator.IsZero()
+          ? 0.0
+          : std::exp(numerator.Value() - denominator.Value());
+  return result;
+}
+
+}  // namespace
+
+bool ProfileEngine::Supports(const logic::Vocabulary& vocabulary,
+                             const logic::FormulaPtr& /*kb*/,
+                             const logic::FormulaPtr& /*query*/,
+                             int domain_size) const {
+  if (domain_size <= 0) return false;
+  if (!vocabulary.IsUnaryRelational()) return false;
+  int k = vocabulary.num_predicates();
+  if (k > 30 || (1 << k) > options_.max_atoms) return false;
+  if (static_cast<int>(vocabulary.Constants().size()) >
+      options_.max_constants) {
+    return false;
+  }
+  // Cost heuristic: the raw profile count C(N+A-1, A-1) bounds the DFS;
+  // constraint pruning typically buys two to three orders of magnitude, so
+  // refuse instances more than ~1000× over the leaf budget rather than
+  // burn the budget discovering they are hopeless.
+  double log_raw = LogBinomial(domain_size + (1 << k) - 1, (1 << k) - 1);
+  double log_cap = std::log(static_cast<double>(options_.max_leaves)) +
+                   std::log(1000.0);
+  return log_raw <= log_cap;
+}
+
+FiniteResult ProfileEngine::DegreeAt(
+    const logic::Vocabulary& vocabulary, const logic::FormulaPtr& kb,
+    const logic::FormulaPtr& query, int domain_size,
+    const semantics::ToleranceVector& tolerances) const {
+  // Constant-free conjuncts evaluate once per profile, the rest once per
+  // placement; the same SplitByConstants feeds QueryContext::kb_split.
+  logic::ConstantSplit split = logic::SplitByConstants(kb);
+  return ComputeSweepPoint(options_, vocabulary, split.constant_free,
+                           split.constant_dependent, query, domain_size,
+                           tolerances, nullptr);
+}
+
+std::string ProfileEngine::CacheSalt() const {
+  std::string salt = "leaves=" + std::to_string(options_.max_leaves);
+  salt += ";atoms=" + std::to_string(options_.max_atoms);
+  salt += ";consts=" + std::to_string(options_.max_constants);
+  salt += ";prior=";
+  salt += options_.prior == Prior::kUniformWorlds ? "worlds" : "propensities";
+  return salt;
+}
+
+FiniteResult ProfileEngine::DegreeAtInContext(
+    QueryContext& ctx, const logic::FormulaPtr& query, int domain_size,
+    const semantics::ToleranceVector& tolerances) const {
+  if (!ctx.caching_enabled()) {
+    return DegreeAt(ctx.vocabulary(), ctx.kb(), query, domain_size,
+                    tolerances);
+  }
+  const QueryContext::KbSplit& split = ctx.kb_split();
+  std::string blob_key = "profile.worlds|" + CacheSalt() + "|" +
+                         std::to_string(domain_size) + "|" +
+                         tolerances.CacheKey();
+  return internal::LazyRecordReplay<ProfileWorldList>(
+      ctx, blob_key,
+      [&](ProfileWorldList* record) {
+        return ComputeSweepPoint(options_, ctx.vocabulary(),
+                                 split.constant_free,
+                                 split.constant_dependent, query,
+                                 domain_size, tolerances, record);
+      },
+      [&](const ProfileWorldList& worlds) {
+        return ReplayWorldList(ctx.vocabulary(), worlds, query, tolerances);
+      });
 }
 
 }  // namespace rwl::engines

@@ -60,6 +60,10 @@ class ProfileEngine : public FiniteEngine {
 
   std::string name() const override { return "profile"; }
 
+  // Un-hide the context-aware overloads.
+  using FiniteEngine::DegreeAt;
+  using FiniteEngine::Supports;
+
   bool Supports(const logic::Vocabulary& vocabulary,
                 const logic::FormulaPtr& kb, const logic::FormulaPtr& query,
                 int domain_size) const override;
@@ -68,6 +72,21 @@ class ProfileEngine : public FiniteEngine {
                         const logic::FormulaPtr& kb,
                         const logic::FormulaPtr& query, int domain_size,
                         const semantics::ToleranceVector& tolerances)
+      const override;
+
+  std::string CacheSalt() const override;
+
+ protected:
+  // Context path: the DFS over profiles is query-independent up to the leaf
+  // evaluation, so the first query at each (N, ⃗τ) records the satisfying
+  // (profile, placement) world list into the context and every later query
+  // replays it — an evaluation per surviving world instead of a DFS over
+  // all of them.  Replay accumulates the same log-weights in the same
+  // order, so answers are bit-identical to the uncached computation.
+  FiniteResult DegreeAtInContext(QueryContext& ctx,
+                                 const logic::FormulaPtr& query,
+                                 int domain_size,
+                                 const semantics::ToleranceVector& tolerances)
       const override;
 
  private:

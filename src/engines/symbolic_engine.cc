@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "src/core/query_context.h"
 #include "src/evidence/dempster.h"
 #include "src/logic/classalg.h"
 #include "src/logic/printer.h"
@@ -888,8 +889,12 @@ std::optional<SymbolicAnswer> SymbolicEngine::TryIndependence(
 SymbolicAnswer SymbolicEngine::InferAtDepth(const FormulaPtr& kb,
                                             const FormulaPtr& query,
                                             int depth) const {
-  KbAnalysis analysis = AnalyzeKb(kb);
+  return InferAnalyzed(AnalyzeKb(kb), query, depth);
+}
 
+SymbolicAnswer SymbolicEngine::InferAnalyzed(const KbAnalysis& analysis,
+                                             const FormulaPtr& query,
+                                             int depth) const {
   std::vector<SymbolicAnswer> answers;
   if (auto a = TryDirectInference(analysis, query)) answers.push_back(*a);
   if (auto a = TryMinimalReferenceClass(analysis, query)) {
@@ -933,6 +938,21 @@ SymbolicAnswer SymbolicEngine::InferAtDepth(const FormulaPtr& kb,
 SymbolicAnswer SymbolicEngine::Infer(const FormulaPtr& kb,
                                      const FormulaPtr& query) const {
   return InferAtDepth(kb, query, 0);
+}
+
+SymbolicAnswer SymbolicEngine::Infer(QueryContext& ctx,
+                                     const FormulaPtr& query) const {
+  std::string key = "symbolic.answer|nonempty=";
+  key += options_.assume_reference_classes_nonempty ? '1' : '0';
+  key += ";rec=" + std::to_string(options_.max_recursion);
+  key += '|';
+  key += std::to_string(query == nullptr ? 0 : query->id());
+  auto cached =
+      std::static_pointer_cast<const SymbolicAnswer>(ctx.LookupBlob(key));
+  if (cached != nullptr) return *cached;
+  SymbolicAnswer answer = InferAnalyzed(ctx.kb_analysis(), query, 0);
+  ctx.StoreBlob(key, std::make_shared<SymbolicAnswer>(answer));
+  return answer;
 }
 
 }  // namespace rwl::engines

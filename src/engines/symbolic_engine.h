@@ -25,6 +25,10 @@
 #include "src/logic/formula.h"
 #include "src/logic/vocabulary.h"
 
+namespace rwl {
+class QueryContext;
+}  // namespace rwl
+
 namespace rwl::engines {
 
 // One statistical conjunct  ||target | refclass||_vars ∈ [lo, hi],
@@ -96,6 +100,12 @@ class SymbolicEngine {
   SymbolicAnswer Infer(const logic::FormulaPtr& kb,
                        const logic::FormulaPtr& query) const;
 
+  // Context-aware form (core/query_context.h): reuses the context's cached
+  // KbAnalysis (the flattening is per-KB, not per-query) and memoizes the
+  // answer under the query's node id.  Same answers as Infer above.
+  SymbolicAnswer Infer(QueryContext& ctx,
+                       const logic::FormulaPtr& query) const;
+
   // Individual theorem matchers, exposed for tests.
   std::optional<SymbolicAnswer> TryDirectInference(
       const KbAnalysis& kb, const logic::FormulaPtr& query) const;
@@ -112,6 +122,9 @@ class SymbolicEngine {
   SymbolicAnswer InferAtDepth(const logic::FormulaPtr& kb,
                               const logic::FormulaPtr& query,
                               int depth) const;
+  SymbolicAnswer InferAnalyzed(const KbAnalysis& analysis,
+                               const logic::FormulaPtr& query,
+                               int depth) const;
 
   Options options_;
 };

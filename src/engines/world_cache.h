@@ -1,0 +1,70 @@
+// The lazy record-and-replay protocol shared by the profile and exact
+// engines' per-(N, ⃗τ) world-list caches.
+//
+// The satisfying worlds at one sweep point are query-independent, but
+// recording them costs time and memory that a lone query would waste, so
+// the protocol is three-step:
+//
+//   1st distinct query at a point  → compute plainly, leave a kSeenOnce
+//                                    marker in the context blob cache;
+//   2nd distinct query             → compute with recording, publish the
+//                                    list (or a kTooBig tombstone when it
+//                                    blew the engine's size cap);
+//   later queries                  → replay the recorded list.
+//
+// Identical queries never reach step 2: they hit the FiniteEngine memo
+// layer above this.  Replay implementations must accumulate in recorded
+// order so answers stay bit-identical to the plain computation.
+#ifndef RWL_ENGINES_WORLD_CACHE_H_
+#define RWL_ENGINES_WORLD_CACHE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/core/query_context.h"
+#include "src/engines/engine.h"
+
+namespace rwl::engines::internal {
+
+enum class WorldCacheState { kSeenOnce, kRecorded, kTooBig };
+
+// `List` must provide: `WorldCacheState state`, `bool valid` (set by the
+// recording computation), and `size_t ByteSize() const` (for the context's
+// aggregate cache budget).  `compute(List*)` runs the full computation,
+// recording into the pointer when non-null; `replay(const List&)` answers
+// from a recorded list.
+template <typename List, typename Compute, typename Replay>
+FiniteResult LazyRecordReplay(QueryContext& ctx, const std::string& key,
+                              const Compute& compute, const Replay& replay) {
+  auto worlds =
+      std::static_pointer_cast<const List>(ctx.LookupBlob(key));
+  if (worlds == nullptr) {
+    FiniteResult result = compute(static_cast<List*>(nullptr));
+    // An exhausted point is incomplete; do not mark it (the memo layer
+    // still caches the exhausted FiniteResult).
+    if (!result.exhausted) ctx.StoreBlob(key, std::make_shared<List>());
+    return result;
+  }
+  switch (worlds->state) {
+    case WorldCacheState::kRecorded:
+      return replay(*worlds);
+    case WorldCacheState::kTooBig:
+      return compute(static_cast<List*>(nullptr));
+    case WorldCacheState::kSeenOnce:
+      break;
+  }
+  auto recording = std::make_shared<List>();
+  FiniteResult result = compute(recording.get());
+  if (!result.exhausted) {
+    recording->state = recording->valid ? WorldCacheState::kRecorded
+                                        : WorldCacheState::kTooBig;
+    size_t bytes = recording->ByteSize();
+    ctx.StoreBlob(key, std::move(recording), bytes);
+  }
+  return result;
+}
+
+}  // namespace rwl::engines::internal
+
+#endif  // RWL_ENGINES_WORLD_CACHE_H_

@@ -1,8 +1,124 @@
 #include "src/logic/formula.h"
 
+#include <bit>
+#include <cmath>
 #include <functional>
+#include <mutex>
+#include <unordered_set>
+
+#include "src/logic/intern.h"
 
 namespace rwl::logic {
+namespace {
+
+// Doubles are interned by bit pattern so that NaN payloads behave sanely in
+// the arena; ±0.0 is canonicalized at construction (the seed's Equal used
+// `==`, which identifies the two zeros, while its Hash saw different bits —
+// an Equal/Hash inconsistency this removes).
+uint64_t DoubleBits(double v) { return std::bit_cast<uint64_t>(v); }
+
+size_t ExprStructuralHash(const Expr& e) {
+  size_t h = HashMix(static_cast<size_t>(e.kind()) + 0xE1);
+  switch (e.kind()) {
+    case Expr::Kind::kConstant:
+      h = HashCombine(h, static_cast<size_t>(DoubleBits(e.value())));
+      break;
+    case Expr::Kind::kProportion:
+    case Expr::Kind::kConditional:
+      h = HashCombine(h, Formula::Hash(e.body()));
+      h = HashCombine(h, Formula::Hash(e.cond()));
+      for (const auto& v : e.vars()) {
+        h = HashCombine(h, std::hash<std::string>()(v));
+      }
+      break;
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kSub:
+    case Expr::Kind::kMul:
+      h = HashCombine(h, Expr::Hash(e.lhs()));
+      h = HashCombine(h, Expr::Hash(e.rhs()));
+      break;
+  }
+  return h;
+}
+
+// Shallow structural equality: children are canonical, so they compare by
+// pointer.
+bool ExprShallowEqual(const Expr& a, const Expr& b) {
+  if (a.kind() != b.kind()) return false;
+  return DoubleBits(a.value()) == DoubleBits(b.value()) &&
+         a.body() == b.body() && a.cond() == b.cond() &&
+         a.vars() == b.vars() && a.lhs() == b.lhs() && a.rhs() == b.rhs();
+}
+
+size_t FormulaStructuralHash(const Formula& f) {
+  size_t h = HashMix(static_cast<size_t>(f.kind()) + 0xF1);
+  h = HashCombine(h, std::hash<std::string>()(f.var()));
+  for (const auto& t : f.terms()) h = HashCombine(h, Term::Hash(t));
+  h = HashCombine(h, Formula::Hash(f.left()));
+  h = HashCombine(h, Formula::Hash(f.right()));
+  h = HashCombine(h, Expr::Hash(f.expr_left()));
+  h = HashCombine(h, Expr::Hash(f.expr_right()));
+  h = HashCombine(h, static_cast<size_t>(f.compare_op()));
+  h = HashCombine(h, static_cast<size_t>(f.tolerance_index()));
+  return h;
+}
+
+bool FormulaShallowEqual(const Formula& a, const Formula& b) {
+  if (a.kind() != b.kind()) return false;
+  return a.var() == b.var() && a.terms() == b.terms() &&
+         a.left() == b.left() && a.right() == b.right() &&
+         a.expr_left() == b.expr_left() && a.expr_right() == b.expr_right() &&
+         a.compare_op() == b.compare_op() &&
+         a.tolerance_index() == b.tolerance_index();
+}
+
+// The Expr and Formula arenas are instantiations of the shared
+// internal::NodeArena mechanism (intern.h), like TermArena in term.cc.
+
+}  // namespace
+
+class ExprArena
+    : public internal::NodeArena<ExprArena, Expr, ExprPtr,
+                                 ExprStructuralHash, ExprShallowEqual> {
+ public:
+  static ExprArena& Instance() {
+    static ExprArena* arena = new ExprArena();
+    return *arena;
+  }
+  static void SetIdentity(Expr* node, size_t hash, uint64_t id) {
+    node->hash_ = hash;
+    node->id_ = id;
+  }
+};
+
+class FormulaArena
+    : public internal::NodeArena<FormulaArena, Formula, FormulaPtr,
+                                 FormulaStructuralHash, FormulaShallowEqual> {
+ public:
+  static FormulaArena& Instance() {
+    static FormulaArena* arena = new FormulaArena();
+    return *arena;
+  }
+  static void SetIdentity(Formula* node, size_t hash, uint64_t id) {
+    node->hash_ = hash;
+    node->id_ = id;
+  }
+};
+
+void ExprArenaStats(uint64_t* nodes, uint64_t* hits) {
+  ExprArena::Instance().Stats(nodes, hits);
+}
+void FormulaArenaStats(uint64_t* nodes, uint64_t* hits) {
+  FormulaArena::Instance().Stats(nodes, hits);
+}
+
+InternStats GetInternStats() {
+  InternStats stats;
+  TermArenaStats(&stats.term_nodes, &stats.term_hits);
+  ExprArenaStats(&stats.expr_nodes, &stats.expr_hits);
+  FormulaArenaStats(&stats.formula_nodes, &stats.formula_hits);
+  return stats;
+}
 
 bool IsApproximate(CompareOp op) {
   switch (op) {
@@ -18,170 +134,141 @@ bool IsApproximate(CompareOp op) {
   return false;
 }
 
+ExprPtr Expr::Intern(Expr&& candidate) {
+  return ExprArena::Instance().Intern(std::move(candidate));
+}
+
+FormulaPtr Formula::Intern(Formula&& candidate) {
+  return FormulaArena::Instance().Intern(std::move(candidate));
+}
+
 ExprPtr Expr::Constant(double value) {
-  auto* e = new Expr(Kind::kConstant);
-  e->value_ = value;
-  return ExprPtr(e);
+  Expr e(Kind::kConstant);
+  e.value_ = value == 0.0 ? 0.0 : value;  // canonicalize -0.0
+  return Intern(std::move(e));
 }
 
 ExprPtr Expr::Proportion(FormulaPtr body, std::vector<std::string> vars) {
-  auto* e = new Expr(Kind::kProportion);
-  e->body_ = std::move(body);
-  e->vars_ = std::move(vars);
-  return ExprPtr(e);
+  Expr e(Kind::kProportion);
+  e.body_ = std::move(body);
+  e.vars_ = std::move(vars);
+  return Intern(std::move(e));
 }
 
 ExprPtr Expr::Conditional(FormulaPtr body, FormulaPtr cond,
                           std::vector<std::string> vars) {
-  auto* e = new Expr(Kind::kConditional);
-  e->body_ = std::move(body);
-  e->cond_ = std::move(cond);
-  e->vars_ = std::move(vars);
-  return ExprPtr(e);
+  Expr e(Kind::kConditional);
+  e.body_ = std::move(body);
+  e.cond_ = std::move(cond);
+  e.vars_ = std::move(vars);
+  return Intern(std::move(e));
 }
 
 ExprPtr Expr::Add(ExprPtr lhs, ExprPtr rhs) {
-  auto* e = new Expr(Kind::kAdd);
-  e->lhs_ = std::move(lhs);
-  e->rhs_ = std::move(rhs);
-  return ExprPtr(e);
+  Expr e(Kind::kAdd);
+  e.lhs_ = std::move(lhs);
+  e.rhs_ = std::move(rhs);
+  return Intern(std::move(e));
 }
 
 ExprPtr Expr::Sub(ExprPtr lhs, ExprPtr rhs) {
-  auto* e = new Expr(Kind::kSub);
-  e->lhs_ = std::move(lhs);
-  e->rhs_ = std::move(rhs);
-  return ExprPtr(e);
+  Expr e(Kind::kSub);
+  e.lhs_ = std::move(lhs);
+  e.rhs_ = std::move(rhs);
+  return Intern(std::move(e));
 }
 
 ExprPtr Expr::Mul(ExprPtr lhs, ExprPtr rhs) {
-  auto* e = new Expr(Kind::kMul);
-  e->lhs_ = std::move(lhs);
-  e->rhs_ = std::move(rhs);
-  return ExprPtr(e);
+  Expr e(Kind::kMul);
+  e.lhs_ = std::move(lhs);
+  e.rhs_ = std::move(rhs);
+  return Intern(std::move(e));
 }
 
 bool Expr::Equal(const ExprPtr& a, const ExprPtr& b) {
-  if (a == b) return true;
-  if (a == nullptr || b == nullptr) return false;
-  if (a->kind_ != b->kind_) return false;
-  switch (a->kind_) {
-    case Kind::kConstant:
-      return a->value_ == b->value_;
-    case Kind::kProportion:
-      return a->vars_ == b->vars_ &&
-             Formula::StructuralEqual(a->body_, b->body_);
-    case Kind::kConditional:
-      return a->vars_ == b->vars_ &&
-             Formula::StructuralEqual(a->body_, b->body_) &&
-             Formula::StructuralEqual(a->cond_, b->cond_);
-    case Kind::kAdd:
-    case Kind::kSub:
-    case Kind::kMul:
-      return Equal(a->lhs_, b->lhs_) && Equal(a->rhs_, b->rhs_);
-  }
-  return false;
+  return a == b;  // interning: structural equality is pointer identity
 }
 
-size_t Expr::Hash(const ExprPtr& e) {
-  if (e == nullptr) return 0;
-  size_t h = static_cast<size_t>(e->kind_) * 1000003;
-  switch (e->kind_) {
-    case Kind::kConstant:
-      h ^= std::hash<double>()(e->value_);
-      break;
-    case Kind::kProportion:
-    case Kind::kConditional:
-      h = h * 31 + Formula::Hash(e->body_);
-      h = h * 31 + Formula::Hash(e->cond_);
-      for (const auto& v : e->vars_) h = h * 31 + std::hash<std::string>()(v);
-      break;
-    case Kind::kAdd:
-    case Kind::kSub:
-    case Kind::kMul:
-      h = h * 31 + Hash(e->lhs_);
-      h = h * 31 + Hash(e->rhs_);
-      break;
-  }
-  return h;
-}
+size_t Expr::Hash(const ExprPtr& e) { return e == nullptr ? 0 : e->hash_; }
 
 FormulaPtr Formula::True() {
-  static const FormulaPtr instance(new Formula(Kind::kTrue));
+  static const FormulaPtr instance = Intern(Formula(Kind::kTrue));
   return instance;
 }
 
 FormulaPtr Formula::False() {
-  static const FormulaPtr instance(new Formula(Kind::kFalse));
+  static const FormulaPtr instance = Intern(Formula(Kind::kFalse));
   return instance;
 }
 
 FormulaPtr Formula::Atom(std::string predicate, std::vector<TermPtr> args) {
-  auto* f = new Formula(Kind::kAtom);
-  f->name_ = std::move(predicate);
-  f->terms_ = std::move(args);
-  return FormulaPtr(f);
+  Formula f(Kind::kAtom);
+  f.name_ = std::move(predicate);
+  f.terms_ = std::move(args);
+  return Intern(std::move(f));
 }
 
 FormulaPtr Formula::Equal(TermPtr lhs, TermPtr rhs) {
-  auto* f = new Formula(Kind::kEqual);
-  f->terms_ = {std::move(lhs), std::move(rhs)};
-  return FormulaPtr(f);
+  Formula f(Kind::kEqual);
+  f.terms_ = {std::move(lhs), std::move(rhs)};
+  return Intern(std::move(f));
 }
 
 FormulaPtr Formula::Not(FormulaPtr f) {
-  auto* n = new Formula(Kind::kNot);
-  n->left_ = std::move(f);
-  return FormulaPtr(n);
+  Formula n(Kind::kNot);
+  n.left_ = std::move(f);
+  return Intern(std::move(n));
 }
 
 FormulaPtr Formula::And(FormulaPtr lhs, FormulaPtr rhs) {
-  auto* f = new Formula(Kind::kAnd);
-  f->left_ = std::move(lhs);
-  f->right_ = std::move(rhs);
-  return FormulaPtr(f);
+  Formula f(Kind::kAnd);
+  f.left_ = std::move(lhs);
+  f.right_ = std::move(rhs);
+  return Intern(std::move(f));
 }
 FormulaPtr Formula::Or(FormulaPtr lhs, FormulaPtr rhs) {
-  auto* f = new Formula(Kind::kOr);
-  f->left_ = std::move(lhs);
-  f->right_ = std::move(rhs);
-  return FormulaPtr(f);
+  Formula f(Kind::kOr);
+  f.left_ = std::move(lhs);
+  f.right_ = std::move(rhs);
+  return Intern(std::move(f));
 }
 FormulaPtr Formula::Implies(FormulaPtr lhs, FormulaPtr rhs) {
-  auto* f = new Formula(Kind::kImplies);
-  f->left_ = std::move(lhs);
-  f->right_ = std::move(rhs);
-  return FormulaPtr(f);
+  Formula f(Kind::kImplies);
+  f.left_ = std::move(lhs);
+  f.right_ = std::move(rhs);
+  return Intern(std::move(f));
 }
 FormulaPtr Formula::Iff(FormulaPtr lhs, FormulaPtr rhs) {
-  auto* f = new Formula(Kind::kIff);
-  f->left_ = std::move(lhs);
-  f->right_ = std::move(rhs);
-  return FormulaPtr(f);
+  Formula f(Kind::kIff);
+  f.left_ = std::move(lhs);
+  f.right_ = std::move(rhs);
+  return Intern(std::move(f));
 }
 
 FormulaPtr Formula::ForAll(std::string var, FormulaPtr body) {
-  auto* f = new Formula(Kind::kForAll);
-  f->name_ = std::move(var);
-  f->left_ = std::move(body);
-  return FormulaPtr(f);
+  Formula f(Kind::kForAll);
+  f.name_ = std::move(var);
+  f.left_ = std::move(body);
+  return Intern(std::move(f));
 }
 
 FormulaPtr Formula::Exists(std::string var, FormulaPtr body) {
-  auto* f = new Formula(Kind::kExists);
-  f->name_ = std::move(var);
-  f->left_ = std::move(body);
-  return FormulaPtr(f);
+  Formula f(Kind::kExists);
+  f.name_ = std::move(var);
+  f.left_ = std::move(body);
+  return Intern(std::move(f));
 }
 
 FormulaPtr Formula::Compare(ExprPtr lhs, CompareOp op, ExprPtr rhs,
                             int tolerance_index) {
-  auto* f = new Formula(Kind::kCompare);
-  f->expr_left_ = std::move(lhs);
-  f->expr_right_ = std::move(rhs);
-  f->compare_op_ = op;
-  f->tolerance_index_ = tolerance_index;
-  return FormulaPtr(f);
+  Formula f(Kind::kCompare);
+  f.expr_left_ = std::move(lhs);
+  f.expr_right_ = std::move(rhs);
+  f.compare_op_ = op;
+  // Exact connectives ignore the tolerance vector; canonicalizing their
+  // index makes equal-meaning comparisons one interned node.
+  f.tolerance_index_ = IsApproximate(op) ? tolerance_index : 1;
+  return Intern(std::move(f));
 }
 
 FormulaPtr Formula::AndAll(const std::vector<FormulaPtr>& fs) {
@@ -199,56 +286,11 @@ FormulaPtr Formula::OrAll(const std::vector<FormulaPtr>& fs) {
 }
 
 bool Formula::StructuralEqual(const FormulaPtr& a, const FormulaPtr& b) {
-  if (a == b) return true;
-  if (a == nullptr || b == nullptr) return false;
-  if (a->kind_ != b->kind_) return false;
-  switch (a->kind_) {
-    case Kind::kTrue:
-    case Kind::kFalse:
-      return true;
-    case Kind::kAtom:
-      if (a->name_ != b->name_ || a->terms_.size() != b->terms_.size()) {
-        return false;
-      }
-      for (size_t i = 0; i < a->terms_.size(); ++i) {
-        if (!Term::Equal(a->terms_[i], b->terms_[i])) return false;
-      }
-      return true;
-    case Kind::kEqual:
-      return Term::Equal(a->terms_[0], b->terms_[0]) &&
-             Term::Equal(a->terms_[1], b->terms_[1]);
-    case Kind::kNot:
-      return StructuralEqual(a->left_, b->left_);
-    case Kind::kAnd:
-    case Kind::kOr:
-    case Kind::kImplies:
-    case Kind::kIff:
-      return StructuralEqual(a->left_, b->left_) &&
-             StructuralEqual(a->right_, b->right_);
-    case Kind::kForAll:
-    case Kind::kExists:
-      return a->name_ == b->name_ && StructuralEqual(a->left_, b->left_);
-    case Kind::kCompare:
-      return a->compare_op_ == b->compare_op_ &&
-             a->tolerance_index_ == b->tolerance_index_ &&
-             Expr::Equal(a->expr_left_, b->expr_left_) &&
-             Expr::Equal(a->expr_right_, b->expr_right_);
-  }
-  return false;
+  return a == b;  // interning: structural equality is pointer identity
 }
 
 size_t Formula::Hash(const FormulaPtr& f) {
-  if (f == nullptr) return 0;
-  size_t h = static_cast<size_t>(f->kind_) * 2654435761u;
-  h = h * 31 + std::hash<std::string>()(f->name_);
-  for (const auto& t : f->terms_) h = h * 31 + Term::Hash(t);
-  h = h * 31 + Hash(f->left_);
-  h = h * 31 + Hash(f->right_);
-  h = h * 31 + Expr::Hash(f->expr_left_);
-  h = h * 31 + Expr::Hash(f->expr_right_);
-  h = h * 31 + static_cast<size_t>(f->compare_op_);
-  h = h * 31 + static_cast<size_t>(f->tolerance_index_);
-  return h;
+  return f == nullptr ? 0 : f->hash_;
 }
 
 }  // namespace rwl::logic

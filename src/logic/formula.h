@@ -8,10 +8,15 @@
 // family of approximate connectives ≈_i / ⪯_i (interpreted with tolerance
 // τ_i), or with exact =, ≤ (the language L= of Halpern 1990).
 //
-// Formula and Expr are immutable trees shared by shared_ptr<const T>.
+// Formula and Expr are immutable, hash-consed trees shared by
+// shared_ptr<const T> (see intern.h): the factories return canonical nodes,
+// so structurally identical formulas are the same object.  Equality is
+// pointer identity, Hash is a cached field, and id() is a dense unique id
+// usable as an engine cache key.
 #ifndef RWL_LOGIC_FORMULA_H_
 #define RWL_LOGIC_FORMULA_H_
 
+#include <cstdint>
 #include <memory>
 #include <set>
 #include <string>
@@ -67,11 +72,21 @@ class Expr {
   const ExprPtr& lhs() const { return lhs_; }
   const ExprPtr& rhs() const { return rhs_; }
 
+  // Cached structural hash / dense unique id (ids start at 1).
+  size_t hash() const { return hash_; }
+  uint64_t id() const { return id_; }
+
+  // Interning makes structural equality pointer identity and the hash a
+  // field read; the null-safe static forms are kept for call sites.
   static bool Equal(const ExprPtr& a, const ExprPtr& b);
   static size_t Hash(const ExprPtr& e);
 
  private:
+  friend class ExprArena;
+
   Expr(Kind kind) : kind_(kind) {}
+
+  static ExprPtr Intern(Expr&& candidate);
 
   Kind kind_;
   double value_ = 0.0;
@@ -80,6 +95,8 @@ class Expr {
   std::vector<std::string> vars_;
   ExprPtr lhs_;
   ExprPtr rhs_;
+  size_t hash_ = 0;
+  uint64_t id_ = 0;
 };
 
 // A formula of L≈.
@@ -112,7 +129,10 @@ class Formula {
   static FormulaPtr ForAll(std::string var, FormulaPtr body);
   static FormulaPtr Exists(std::string var, FormulaPtr body);
   // ζ op ζ' with tolerance index i (1-based, as in the paper's ≈_i).
-  // The index is ignored by the exact connectives.
+  // The index is ignored by the exact connectives and canonicalized to 1
+  // for them, so that semantically identical exact comparisons are one
+  // interned node (equal AND hash-equal — the seed treated them as
+  // distinct, inconsistently with this comment).
   static FormulaPtr Compare(ExprPtr lhs, CompareOp op, ExprPtr rhs,
                             int tolerance_index = 1);
 
@@ -132,11 +152,21 @@ class Formula {
   CompareOp compare_op() const { return compare_op_; }
   int tolerance_index() const { return tolerance_index_; }
 
+  // Cached structural hash / dense unique id (ids start at 1).
+  size_t hash() const { return hash_; }
+  uint64_t id() const { return id_; }
+
+  // Interning makes structural equality pointer identity and the hash a
+  // field read; the null-safe static forms are kept for call sites.
   static bool StructuralEqual(const FormulaPtr& a, const FormulaPtr& b);
   static size_t Hash(const FormulaPtr& f);
 
  private:
+  friend class FormulaArena;
+
   Formula(Kind kind) : kind_(kind) {}
+
+  static FormulaPtr Intern(Formula&& candidate);
 
   Kind kind_;
   std::string name_;             // predicate name or bound variable
@@ -147,6 +177,8 @@ class Formula {
   ExprPtr expr_right_;
   CompareOp compare_op_ = CompareOp::kEq;
   int tolerance_index_ = 1;
+  size_t hash_ = 0;
+  uint64_t id_ = 0;
 };
 
 }  // namespace rwl::logic

@@ -1,0 +1,136 @@
+// Hash-consing support for the L≈ AST.
+//
+// Every Term, Expr and Formula is interned: the factory functions consult a
+// process-wide arena keyed by shallow structure (children are already
+// canonical, so child comparison is pointer comparison) and return the
+// canonical node when an identical one exists.  Consequences:
+//
+//   * structural equality IS pointer equality (Term::Equal,
+//     Formula::StructuralEqual and Expr::Equal are O(1)),
+//   * every node carries a cached structural hash and a dense unique id,
+//     usable as a cache key by the engines (see core/query_context.h),
+//   * repeated construction of the same subformula — by the parser, the
+//     builder DSL, or transformations — costs one arena lookup and no
+//     allocation.
+//
+// The arenas hold strong references: canonical nodes live for the lifetime
+// of the process.  This is the standard trade-off for hash-consed logics;
+// formula vocabularies are tiny compared to the engine work they drive.
+// All arena operations are thread-safe (the limit-sweep worker pool builds
+// formulas concurrently).
+#ifndef RWL_LOGIC_INTERN_H_
+#define RWL_LOGIC_INTERN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <utility>
+
+namespace rwl::logic {
+
+// Arena counters, for tests and diagnostics.  A "hit" is a factory call
+// that returned an existing canonical node instead of creating one.
+struct InternStats {
+  uint64_t term_nodes = 0;
+  uint64_t term_hits = 0;
+  uint64_t expr_nodes = 0;
+  uint64_t expr_hits = 0;
+  uint64_t formula_nodes = 0;
+  uint64_t formula_hits = 0;
+
+  uint64_t nodes() const { return term_nodes + expr_nodes + formula_nodes; }
+  uint64_t hits() const { return term_hits + expr_hits + formula_hits; }
+};
+
+InternStats GetInternStats();
+
+// Per-arena counters (implementation detail of GetInternStats).
+void TermArenaStats(uint64_t* nodes, uint64_t* hits);
+void ExprArenaStats(uint64_t* nodes, uint64_t* hits);
+void FormulaArenaStats(uint64_t* nodes, uint64_t* hits);
+
+// 64-bit mix (splitmix64 finalizer) used for all structural hashes.
+inline size_t HashMix(size_t x) {
+  uint64_t z = static_cast<uint64_t>(x) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<size_t>(z ^ (z >> 31));
+}
+
+inline size_t HashCombine(size_t seed, size_t value) {
+  return HashMix(seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                         (seed >> 2)));
+}
+
+namespace internal {
+
+// The one interning-arena mechanism behind the Term, Expr and Formula
+// arenas: candidate nodes built by a factory are hashed shallowly
+// (children are already canonical, so child comparison inside EqFn is
+// pointer comparison) and either matched to the existing canonical node or
+// adopted.  CRTP: `Derived` is the node type's friend and provides
+// `SetIdentity(T*, hash, id)` to write the private cached-hash/id fields.
+template <typename Derived, typename T, typename Ptr,
+          size_t (*HashFn)(const T&), bool (*EqFn)(const T&, const T&)>
+class NodeArena {
+ public:
+  Ptr Intern(T&& candidate) {
+    size_t hash = HashFn(candidate);
+    std::lock_guard<std::mutex> lock(mutex_);
+    Probe probe{&candidate, hash};
+    auto it = nodes_.find(probe);
+    if (it != nodes_.end()) {
+      ++hits_;
+      return it->node;
+    }
+    Ptr node(new T(std::move(candidate)));
+    Derived::SetIdentity(const_cast<T*>(node.get()), hash, next_id_++);
+    nodes_.insert(Entry{node, hash});
+    return node;
+  }
+
+  void Stats(uint64_t* nodes, uint64_t* hits) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    *nodes = nodes_.size();
+    *hits = hits_;
+  }
+
+ private:
+  struct Entry {
+    Ptr node;
+    size_t hash;
+  };
+  struct Probe {
+    const T* node;
+    size_t hash;
+  };
+  struct Hasher {
+    using is_transparent = void;
+    size_t operator()(const Entry& e) const { return e.hash; }
+    size_t operator()(const Probe& p) const { return p.hash; }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.node == b.node || EqFn(*a.node, *b.node);
+    }
+    bool operator()(const Probe& p, const Entry& e) const {
+      return EqFn(*p.node, *e.node);
+    }
+    bool operator()(const Entry& e, const Probe& p) const {
+      return EqFn(*p.node, *e.node);
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_set<Entry, Hasher, Eq> nodes_;
+  uint64_t hits_ = 0;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace internal
+
+}  // namespace rwl::logic
+
+#endif  // RWL_LOGIC_INTERN_H_

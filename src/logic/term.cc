@@ -1,41 +1,68 @@
 #include "src/logic/term.h"
 
 #include <functional>
+#include <mutex>
+#include <unordered_set>
+
+#include "src/logic/intern.h"
 
 namespace rwl::logic {
+namespace {
+
+size_t TermStructuralHash(const Term& t) {
+  size_t h = HashMix(static_cast<size_t>(t.kind()) + 0x51);
+  h = HashCombine(h, std::hash<std::string>()(t.name()));
+  for (const auto& a : t.args()) h = HashCombine(h, a->hash());
+  return h;
+}
+
+// Shallow: argument terms are canonical, so they compare by pointer.
+bool TermShallowEqual(const Term& a, const Term& b) {
+  return a.kind() == b.kind() && a.name() == b.name() && a.args() == b.args();
+}
+
+}  // namespace
+
+class TermArena
+    : public internal::NodeArena<TermArena, Term, TermPtr,
+                                 TermStructuralHash, TermShallowEqual> {
+ public:
+  static TermArena& Instance() {
+    static TermArena* arena = new TermArena();
+    return *arena;
+  }
+  static void SetIdentity(Term* node, size_t hash, uint64_t id) {
+    node->hash_ = hash;
+    node->id_ = id;
+  }
+};
+
+TermPtr Term::Intern(Kind kind, std::string name, std::vector<TermPtr> args) {
+  return TermArena::Instance().Intern(
+      Term(kind, std::move(name), std::move(args)));
+}
+
+void TermArenaStats(uint64_t* nodes, uint64_t* hits) {
+  TermArena::Instance().Stats(nodes, hits);
+}
 
 TermPtr Term::Variable(std::string name) {
-  return TermPtr(new Term(Kind::kVariable, std::move(name), {}));
+  return Intern(Kind::kVariable, std::move(name), {});
 }
 
 TermPtr Term::Constant(std::string name) {
-  return TermPtr(new Term(Kind::kApply, std::move(name), {}));
+  return Intern(Kind::kApply, std::move(name), {});
 }
 
 TermPtr Term::Apply(std::string function, std::vector<TermPtr> args) {
-  return TermPtr(new Term(Kind::kApply, std::move(function), std::move(args)));
+  return Intern(Kind::kApply, std::move(function), std::move(args));
 }
 
 bool Term::Equal(const TermPtr& a, const TermPtr& b) {
-  if (a == b) return true;
-  if (a == nullptr || b == nullptr) return false;
-  if (a->kind_ != b->kind_ || a->name_ != b->name_) return false;
-  if (a->args_.size() != b->args_.size()) return false;
-  for (size_t i = 0; i < a->args_.size(); ++i) {
-    if (!Equal(a->args_[i], b->args_[i])) return false;
-  }
-  return true;
+  return a == b;  // interning: structural equality is pointer identity
 }
 
-size_t Term::Hash(const TermPtr& t) {
-  if (t == nullptr) return 0;
-  size_t h = std::hash<std::string>()(t->name_);
-  h = h * 31 + static_cast<size_t>(t->kind_);
-  for (const auto& a : t->args_) {
-    h = h * 31 + Hash(a);
-  }
-  return h;
-}
+size_t Term::Hash(const TermPtr& t) { return t == nullptr ? 0 : t->hash_; }
 
 void Term::CollectVariables(std::set<std::string>* out) const {
   if (kind_ == Kind::kVariable) {

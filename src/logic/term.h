@@ -1,13 +1,15 @@
 // Terms of the language L≈ (Definition 4.1): variables and function
 // applications.  Constants are arity-0 function applications.
 //
-// All AST nodes in rwl are immutable and shared via shared_ptr<const T>;
-// structural equality and hashing are provided so that formulas can be used
-// as map keys and compared in tests.
+// All AST nodes in rwl are immutable, hash-consed (see intern.h) and shared
+// via shared_ptr<const T>: structurally identical terms are the same object,
+// so equality is pointer comparison, the structural hash is a cached field,
+// and every node carries a dense unique id usable as a cache key.
 #ifndef RWL_LOGIC_TERM_H_
 #define RWL_LOGIC_TERM_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <set>
 #include <string>
@@ -36,7 +38,14 @@ class Term {
   bool is_variable() const { return kind_ == Kind::kVariable; }
   bool is_constant() const { return kind_ == Kind::kApply && args_.empty(); }
 
-  // Structural equality / ordering / hash.
+  // Cached structural hash and dense unique id (ids start at 1; 0 is free
+  // for callers to mean "no term").
+  size_t hash() const { return hash_; }
+  uint64_t id() const { return id_; }
+
+  // Structural equality / hash.  Interning makes these pointer identity and
+  // a field read; the null-safe static forms are kept for call-site
+  // convenience.
   static bool Equal(const TermPtr& a, const TermPtr& b);
   static size_t Hash(const TermPtr& t);
 
@@ -54,12 +63,20 @@ class Term {
       const std::vector<std::pair<std::string, TermPtr>>& subst);
 
  private:
+  friend class TermArena;
+
   Term(Kind kind, std::string name, std::vector<TermPtr> args)
       : kind_(kind), name_(std::move(name)), args_(std::move(args)) {}
+
+  // Arena lookup: returns the canonical node for this structure.
+  static TermPtr Intern(Kind kind, std::string name,
+                        std::vector<TermPtr> args);
 
   Kind kind_;
   std::string name_;
   std::vector<TermPtr> args_;
+  size_t hash_ = 0;
+  uint64_t id_ = 0;
 };
 
 }  // namespace rwl::logic

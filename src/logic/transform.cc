@@ -353,6 +353,22 @@ std::vector<FormulaPtr> Conjuncts(const FormulaPtr& f) {
   return out;
 }
 
+ConstantSplit SplitByConstants(const FormulaPtr& f) {
+  std::vector<FormulaPtr> constant_free;
+  std::vector<FormulaPtr> constant_dependent;
+  for (const auto& conjunct : Conjuncts(f)) {
+    if (ConstantsOf(conjunct).empty()) {
+      constant_free.push_back(conjunct);
+    } else {
+      constant_dependent.push_back(conjunct);
+    }
+  }
+  ConstantSplit split;
+  split.constant_free = Formula::AndAll(constant_free);
+  split.constant_dependent = Formula::AndAll(constant_dependent);
+  return split;
+}
+
 namespace {
 
 void RegisterTermSymbols(const TermPtr& t, Vocabulary* vocabulary) {

@@ -55,6 +55,18 @@ std::string FreshVariable(const FormulaPtr& f, const std::string& hint);
 // reasoner).
 std::vector<FormulaPtr> Conjuncts(const FormulaPtr& f);
 
+// Splits a KB into the conjunction of conjuncts mentioning no constant and
+// the conjunction of the rest, preserving conjunct order.  The profile
+// engine evaluates the first once per profile and the second once per
+// constant placement; QueryContext::kb_split caches this same split, and
+// the two call sites must agree for cached answers to be bit-identical to
+// uncached ones — hence the single implementation.
+struct ConstantSplit {
+  FormulaPtr constant_free;       // True() when no such conjunct
+  FormulaPtr constant_dependent;  // True() when no such conjunct
+};
+ConstantSplit SplitByConstants(const FormulaPtr& f);
+
 // Registers every non-logical symbol of f into the vocabulary, inferring
 // arities from use (atoms declare predicates, applications declare
 // functions/constants).

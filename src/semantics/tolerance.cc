@@ -1,6 +1,22 @@
 #include "src/semantics/tolerance.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
 namespace rwl::semantics {
+namespace {
+
+void AppendBits(double value, std::string* out) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(std::bit_cast<uint64_t>(value)));
+  out->append(buf);
+}
+
+}  // namespace
 
 ToleranceVector ToleranceVector::Uniform(double value) {
   return ToleranceVector(value);
@@ -22,6 +38,23 @@ ToleranceVector ToleranceVector::Scaled(double factor) const {
     out.overrides_[index] = value * factor;
   }
   return out;
+}
+
+std::string ToleranceVector::CacheKey() const {
+  std::string key;
+  AppendBits(default_value_, &key);
+  std::vector<std::pair<int, double>> sorted(overrides_.begin(),
+                                             overrides_.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& [index, value] : sorted) {
+    // Overrides equal to the default do not change Get anywhere.
+    if (value == default_value_) continue;
+    key += ':';
+    key += std::to_string(index);
+    key += '=';
+    AppendBits(value, &key);
+  }
+  return key;
 }
 
 }  // namespace rwl::semantics

@@ -6,6 +6,7 @@
 #ifndef RWL_SEMANTICS_TOLERANCE_H_
 #define RWL_SEMANTICS_TOLERANCE_H_
 
+#include <string>
 #include <unordered_map>
 
 namespace rwl::semantics {
@@ -29,6 +30,11 @@ class ToleranceVector {
   // strengths (Section 5.3: "the magnitude of the tolerance represents the
   // strength of the default").
   ToleranceVector Scaled(double factor) const;
+
+  // An exact (bit-level, sorted) serialization of this vector, used as a
+  // component of engine cache keys (core/query_context.h).  Two vectors
+  // produce the same key iff Get agrees on every index.
+  std::string CacheKey() const;
 
  private:
   double default_value_;

@@ -1,0 +1,71 @@
+// A small worker pool for embarrassingly-parallel sweeps.
+//
+// The limit-sweep evaluator (engines/engine.cc) computes Pr_N^τ at every
+// point of an (N, τ-scale) grid; the points are independent, so they are
+// farmed out to a pool and the serial convergence reduction runs over the
+// precomputed grid afterwards.  The pool is deliberately minimal: spawn,
+// drain an atomic work counter, join.  Exceptions in a task are caught and
+// rethrown on Run's caller thread.
+#ifndef RWL_UTIL_THREAD_POOL_H_
+#define RWL_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rwl::util {
+
+// Number of workers to use for `count` independent tasks when the caller
+// requested `requested` threads (0 = one per hardware thread).
+inline int EffectiveThreads(int requested, int count) {
+  int threads = requested > 0
+                    ? requested
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+  if (threads > count) threads = count;
+  return threads;
+}
+
+// Runs fn(0) .. fn(count-1) on up to `num_threads` workers (0 = auto).
+// Blocks until every task has finished.  With a single worker the tasks run
+// inline on the calling thread, in index order.
+inline void ParallelFor(int num_threads, int count,
+                        const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  int threads = EffectiveThreads(num_threads, count);
+  if (threads <= 1) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  auto worker = [&]() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (int t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& thread : pool) thread.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace rwl::util
+
+#endif  // RWL_UTIL_THREAD_POOL_H_

@@ -1,0 +1,164 @@
+// Batch API: DegreesOfBelief must agree with per-query DegreeOfBelief —
+// including bit-identical values with caching on, off, and across the
+// textual form — and handle duplicates and parse failures gracefully.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/inference.h"
+#include "src/core/knowledge_base.h"
+#include "src/fixtures/paper_kbs.h"
+#include "src/logic/parser.h"
+
+namespace rwl {
+namespace {
+
+KnowledgeBase SpecificityKb() {
+  KnowledgeBase kb;
+  std::string error;
+  bool ok = kb.AddParsed(fixtures::ExampleById("E5.10").kb, &error);
+  EXPECT_TRUE(ok) << error;
+  return kb;
+}
+
+std::vector<logic::FormulaPtr> ParseAll(
+    const std::vector<std::string>& texts) {
+  std::vector<logic::FormulaPtr> out;
+  for (const auto& text : texts) {
+    logic::ParseResult parsed = logic::ParseFormula(text);
+    EXPECT_TRUE(parsed.ok()) << text << ": " << parsed.error;
+    out.push_back(parsed.formula);
+  }
+  return out;
+}
+
+void ExpectSameAnswer(const Answer& a, const Answer& b,
+                      const std::string& what) {
+  EXPECT_EQ(static_cast<int>(a.status), static_cast<int>(b.status)) << what;
+  EXPECT_EQ(a.value, b.value) << what;
+  EXPECT_EQ(a.lo, b.lo) << what;
+  EXPECT_EQ(a.hi, b.hi) << what;
+  EXPECT_EQ(a.method, b.method) << what;
+  EXPECT_EQ(a.converged, b.converged) << what;
+}
+
+TEST(BatchInference, AgreesWithSequentialCalls) {
+  KnowledgeBase kb = SpecificityKb();
+  std::vector<std::string> texts = {
+      "Fly(Tweety)",  "Bird(Tweety)",           "Penguin(Tweety)",
+      "!Fly(Tweety)", "Fly(Tweety) | Bird(Tweety)",
+  };
+  std::vector<logic::FormulaPtr> queries = ParseAll(texts);
+
+  InferenceOptions options;
+  options.limit.domain_sizes = {8, 16, 24};
+
+  std::vector<Answer> batch = DegreesOfBelief(kb, queries, options);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Answer single = DegreeOfBelief(kb, queries[i], options);
+    ExpectSameAnswer(batch[i], single, texts[i]);
+  }
+}
+
+TEST(BatchInference, CachingOnAndOffAreBitIdentical) {
+  KnowledgeBase kb = SpecificityKb();
+  std::vector<logic::FormulaPtr> queries = ParseAll({
+      "Fly(Tweety)",
+      "Bird(Tweety) & !Fly(Tweety)",
+      "#(Fly(x) ; Bird(x))[x] ~= 1",
+      "Penguin(Tweety) => Bird(Tweety)",
+  });
+
+  InferenceOptions cached;
+  cached.use_symbolic = false;  // route everything through the sweeps
+  cached.limit.domain_sizes = {8, 16};
+  InferenceOptions uncached = cached;
+  uncached.enable_caching = false;
+
+  std::vector<Answer> with_cache = DegreesOfBelief(kb, queries, cached);
+  std::vector<Answer> without_cache = DegreesOfBelief(kb, queries, uncached);
+  ASSERT_EQ(with_cache.size(), without_cache.size());
+  for (size_t i = 0; i < with_cache.size(); ++i) {
+    ExpectSameAnswer(with_cache[i], without_cache[i],
+                     "query #" + std::to_string(i));
+    ASSERT_EQ(with_cache[i].series.size(), without_cache[i].series.size());
+    for (size_t j = 0; j < with_cache[i].series.size(); ++j) {
+      EXPECT_EQ(with_cache[i].series[j].probability,
+                without_cache[i].series[j].probability);
+    }
+  }
+}
+
+TEST(BatchInference, DeduplicatesRepeatedQueries) {
+  KnowledgeBase kb = SpecificityKb();
+  // Hash-consing makes the three copies pointer-equal; the batch answers
+  // the formula once and fans the answer out.
+  std::vector<logic::FormulaPtr> queries = ParseAll({
+      "Fly(Tweety)",
+      "Fly(Tweety)",
+      "Bird(Tweety)",
+      "Fly(Tweety)",
+  });
+  ASSERT_EQ(queries[0].get(), queries[1].get());
+  ASSERT_EQ(queries[0].get(), queries[3].get());
+
+  std::vector<Answer> answers = DegreesOfBelief(kb, queries);
+  ASSERT_EQ(answers.size(), 4u);
+  ExpectSameAnswer(answers[0], answers[1], "dup 1");
+  ExpectSameAnswer(answers[0], answers[3], "dup 3");
+}
+
+TEST(BatchInference, QueriesWithFreshSymbolsDoNotPerturbOthers) {
+  // A query introducing predicates/constants absent from the KB must not
+  // change the other queries' answers (a shared union vocabulary would
+  // grow their world space and can flip engine support limits), and must
+  // itself match its sequential answer.
+  KnowledgeBase kb = SpecificityKb();
+  std::vector<logic::FormulaPtr> queries = ParseAll({
+      "Fly(Tweety)",
+      "Extra1(Other) & Extra2(Other) & Extra3(Other)",
+      "Bird(Tweety)",
+  });
+  InferenceOptions options;
+  options.limit.domain_sizes = {8, 16};
+
+  std::vector<Answer> batch = DegreesOfBelief(kb, queries, options);
+  ASSERT_EQ(batch.size(), 3u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Answer single = DegreeOfBelief(kb, queries[i], options);
+    ExpectSameAnswer(batch[i], single, "query #" + std::to_string(i));
+  }
+}
+
+TEST(BatchInference, TextualFormReportsParseErrorsPerQuery) {
+  KnowledgeBase kb = SpecificityKb();
+  std::vector<std::string> texts = {
+      "Fly(Tweety)",
+      "Fly(",  // malformed
+      "Bird(Tweety)",
+  };
+  std::vector<Answer> answers = DegreesOfBelief(kb, texts);
+  ASSERT_EQ(answers.size(), 3u);
+  EXPECT_NE(answers[0].status, Answer::Status::kUnknown);
+  EXPECT_EQ(answers[1].status, Answer::Status::kUnknown);
+  EXPECT_NE(answers[1].explanation.find("parse error"), std::string::npos);
+  EXPECT_NE(answers[2].status, Answer::Status::kUnknown);
+}
+
+TEST(BatchInference, PaperFixtureValuesSurvive) {
+  // The batch path must still reproduce the paper's numbers.
+  const auto& example = fixtures::ExampleById("E5.10");
+  KnowledgeBase kb;
+  std::string error;
+  ASSERT_TRUE(kb.AddParsed(example.kb, &error)) << error;
+  std::vector<std::string> texts = {example.query};
+  std::vector<Answer> answers = DegreesOfBelief(kb, texts);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].status, Answer::Status::kPoint);
+  EXPECT_NEAR(answers[0].value, example.value, example.tolerance);
+}
+
+}  // namespace
+}  // namespace rwl

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/query_context.h"
 #include "src/engines/exact_engine.h"
 #include "src/engines/profile_engine.h"
 #include "src/logic/builder.h"
@@ -76,6 +77,29 @@ TEST_P(EngineAgreementTest, ProfileMatchesExact) {
         << "\nquery: " << logic::ToString(query);
     EXPECT_NEAR(ground_truth.log_denominator, fast.log_denominator, 1e-7)
         << "world counts diverged; KB: " << logic::ToString(kb);
+
+    // Context path: marking (first query at a sweep point), recording
+    // (second) and replay (third) must all be bit-identical to the direct
+    // computation.
+    rwl::QueryContext ctx(vocab, kb, /*caching_enabled=*/true);
+    FiniteResult recorded =
+        profile.DegreeAt(ctx, Formula::True(), param.domain_size, tol);
+    EXPECT_EQ(recorded.well_defined, fast.well_defined);
+    profile.DegreeAt(ctx, Formula::False(), param.domain_size, tol);
+    FiniteResult replayed =
+        profile.DegreeAt(ctx, query, param.domain_size, tol);
+    EXPECT_EQ(replayed.well_defined, fast.well_defined);
+    EXPECT_EQ(replayed.probability, fast.probability)
+        << "cached replay diverged; KB: " << logic::ToString(kb)
+        << "\nquery: " << logic::ToString(query);
+    EXPECT_EQ(replayed.log_numerator, fast.log_numerator);
+    EXPECT_EQ(replayed.log_denominator, fast.log_denominator);
+
+    rwl::QueryContext uncached_ctx(vocab, kb, /*caching_enabled=*/false);
+    FiniteResult uncached =
+        profile.DegreeAt(uncached_ctx, query, param.domain_size, tol);
+    EXPECT_EQ(uncached.probability, fast.probability);
+    EXPECT_EQ(uncached.log_denominator, fast.log_denominator);
   }
   // The sweep must have actually exercised the engines (random KBs with few
   // predicates are often unsatisfiable at this tolerance, so the bound is

@@ -1,0 +1,131 @@
+// Hash-consing invariants (logic/intern.h): structural equality is pointer
+// identity, hashes are cached and agree on equal nodes, ids are unique,
+// and the parser produces shared subtrees.
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/logic/builder.h"
+#include "src/logic/formula.h"
+#include "src/logic/intern.h"
+#include "src/logic/parser.h"
+#include "src/logic/printer.h"
+#include "src/workload/generators.h"
+
+namespace rwl::logic {
+namespace {
+
+TEST(HashConsing, StructurallyEqualTermsArePointerEqual) {
+  EXPECT_EQ(V("x").get(), V("x").get());
+  EXPECT_EQ(C("Tweety").get(), C("Tweety").get());
+  EXPECT_NE(V("x").get(), C("x").get());
+  EXPECT_EQ(Term::Apply("f", {V("x"), C("A")}).get(),
+            Term::Apply("f", {V("x"), C("A")}).get());
+}
+
+TEST(HashConsing, StructurallyEqualFormulasArePointerEqual) {
+  FormulaPtr a = Default(P("Bird", V("x")), P("Fly", V("x")), {"x"});
+  FormulaPtr b = Default(P("Bird", V("x")), P("Fly", V("x")), {"x"});
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a->id(), b->id());
+  EXPECT_EQ(Formula::Hash(a), Formula::Hash(b));
+
+  FormulaPtr c = Default(P("Bird", V("x")), P("Fly", V("x")), {"x"}, 2);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_NE(a->id(), c->id());
+}
+
+TEST(HashConsing, SharedSubtreesAcrossFormulas) {
+  FormulaPtr bird = P("Bird", V("x"));
+  FormulaPtr f = Formula::And(bird, P("Fly", V("x")));
+  FormulaPtr g = Formula::Or(P("Penguin", V("x")), P("Bird", V("x")));
+  // Both connectives reference the one canonical Bird(x) node.
+  EXPECT_EQ(f->left().get(), bird.get());
+  EXPECT_EQ(g->right().get(), bird.get());
+}
+
+TEST(HashConsing, ParserRoundTripsProduceSharedTrees) {
+  const char* text = "#(Hep(x) ; Jaun(x))[x] ~= 0.8";
+  ParseResult first = ParseFormula(text);
+  ParseResult second = ParseFormula(text);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.formula.get(), second.formula.get());
+
+  // The parsed tree also shares nodes with builder-made formulas.
+  ParseResult atom = ParseFormula("Jaun(x)");
+  ASSERT_TRUE(atom.ok());
+  EXPECT_EQ(atom.formula.get(), P("Jaun", V("x")).get());
+}
+
+TEST(HashConsing, ExactCompareToleranceIndexIsCanonicalized) {
+  // ≈ keeps its subscript (distinct defaults have distinct strengths)...
+  FormulaPtr approx1 = ApproxEq(Prop(P("A", V("x")), {"x"}), 0.5, 1);
+  FormulaPtr approx2 = ApproxEq(Prop(P("A", V("x")), {"x"}), 0.5, 2);
+  EXPECT_NE(approx1.get(), approx2.get());
+  // ...but the exact connectives ignore the tolerance vector, so the
+  // subscript is canonicalized away.
+  ExprPtr e = Prop(P("A", V("x")), {"x"});
+  FormulaPtr exact1 = Formula::Compare(e, CompareOp::kEq, Num(0.5), 1);
+  FormulaPtr exact7 = Formula::Compare(e, CompareOp::kEq, Num(0.5), 7);
+  EXPECT_EQ(exact1.get(), exact7.get());
+  EXPECT_EQ(Formula::Hash(exact1), Formula::Hash(exact7));
+}
+
+TEST(HashConsing, NegativeZeroConstantsCoalesce) {
+  EXPECT_EQ(Num(0.0).get(), Num(-0.0).get());
+}
+
+TEST(HashConsing, EqualImpliesHashEqualOnRandomFormulas) {
+  // Property test: two generator runs from identical seeds build the same
+  // formulas; interning must map them to the same node (hence hash and id
+  // agree), and different trials must not collide pointer-wise unless
+  // structurally equal.
+  workload::UnaryKbParams params;
+  params.num_predicates = 3;
+  params.num_constants = 2;
+  params.num_statements = 3;
+  params.num_facts = 2;
+  for (int trial = 0; trial < 25; ++trial) {
+    std::mt19937 rng_a(1000 + trial);
+    std::mt19937 rng_b(1000 + trial);
+    FormulaPtr kb_a = workload::RandomUnaryKb(params, &rng_a);
+    FormulaPtr kb_b = workload::RandomUnaryKb(params, &rng_b);
+    ASSERT_EQ(kb_a.get(), kb_b.get()) << ToString(kb_a);
+    EXPECT_EQ(Formula::Hash(kb_a), Formula::Hash(kb_b));
+    EXPECT_EQ(kb_a->id(), kb_b->id());
+
+    FormulaPtr query_a = workload::RandomQuery(params, &rng_a);
+    FormulaPtr query_b = workload::RandomQuery(params, &rng_b);
+    ASSERT_EQ(query_a.get(), query_b.get());
+
+    // Pointer equality must track StructuralEqual in both directions.
+    EXPECT_EQ(Formula::StructuralEqual(kb_a, query_a),
+              kb_a.get() == query_a.get());
+  }
+}
+
+TEST(HashConsing, IdsAreUniqueAcrossDistinctFormulas) {
+  std::set<uint64_t> ids;
+  std::vector<FormulaPtr> formulas;
+  for (int i = 0; i < 50; ++i) {
+    formulas.push_back(
+        ApproxEq(Prop(P("Q", V("x")), {"x"}), 0.01 * i, 1 + (i % 3)));
+  }
+  for (const auto& f : formulas) ids.insert(f->id());
+  EXPECT_EQ(ids.size(), formulas.size());
+}
+
+TEST(HashConsing, InternStatsCountHits) {
+  InternStats before = GetInternStats();
+  FormulaPtr f = P("FreshPredicateForStats", V("zz_stats"));
+  FormulaPtr g = P("FreshPredicateForStats", V("zz_stats"));
+  InternStats after = GetInternStats();
+  EXPECT_EQ(f.get(), g.get());
+  EXPECT_GT(after.nodes(), before.nodes());   // the new atom was created...
+  EXPECT_GT(after.hits(), before.hits());     // ...and the duplicate hit.
+}
+
+}  // namespace
+}  // namespace rwl::logic

@@ -1,0 +1,200 @@
+// QueryContext invariants: every engine answers identically through a
+// caching context, an uncached context, and the legacy entry points — bit
+// for bit — and the parallel limit sweep reproduces the serial one.
+#include <gtest/gtest.h>
+
+#include "src/core/inference.h"
+#include "src/core/knowledge_base.h"
+#include "src/core/query_context.h"
+#include "src/engines/exact_engine.h"
+#include "src/engines/maxent_engine.h"
+#include "src/engines/montecarlo_engine.h"
+#include "src/engines/profile_engine.h"
+#include "src/engines/symbolic_engine.h"
+#include "src/logic/parser.h"
+#include "src/logic/transform.h"
+
+namespace rwl {
+namespace {
+
+using engines::FiniteResult;
+
+struct Fixture {
+  KnowledgeBase kb;
+  logic::FormulaPtr query;
+  // Two further distinct queries: recording is lazy, so the first query at
+  // a sweep point only marks it, the second records, the third replays.
+  logic::FormulaPtr other_query;
+  logic::FormulaPtr third_query;
+  logic::Vocabulary vocabulary;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  std::string error;
+  bool ok = f.kb.AddParsed(
+      "Jaun(Eric)\n"
+      "#(Hep(x) ; Jaun(x))[x] ~= 0.8\n"
+      "#(Fever(x) ; Hep(x))[x] ~= 0.6\n",
+      &error);
+  EXPECT_TRUE(ok) << error;
+  f.query = logic::ParseFormula("Hep(Eric)").formula;
+  f.other_query = logic::ParseFormula("Fever(Eric)").formula;
+  f.third_query = logic::ParseFormula("Hep(Eric) & Fever(Eric)").formula;
+  f.vocabulary = f.kb.vocabulary();
+  logic::RegisterSymbols(f.query, &f.vocabulary);
+  logic::RegisterSymbols(f.other_query, &f.vocabulary);
+  logic::RegisterSymbols(f.third_query, &f.vocabulary);
+  return f;
+}
+
+void ExpectBitIdentical(const FiniteResult& a, const FiniteResult& b) {
+  EXPECT_EQ(a.well_defined, b.well_defined);
+  EXPECT_EQ(a.exhausted, b.exhausted);
+  EXPECT_EQ(a.probability, b.probability);
+  EXPECT_EQ(a.log_numerator, b.log_numerator);
+  EXPECT_EQ(a.log_denominator, b.log_denominator);
+}
+
+TEST(QueryContextCaching, ProfileRecordReplayMatchesLegacy) {
+  Fixture f = MakeFixture();
+  engines::ProfileEngine profile;
+  semantics::ToleranceVector tol = semantics::ToleranceVector::Uniform(0.05);
+
+  for (int n : {8, 16, 24}) {
+    FiniteResult legacy =
+        profile.DegreeAt(f.vocabulary, f.kb.AsFormula(), f.query, n, tol);
+
+    QueryContext cached(f.vocabulary, f.kb.AsFormula(), true);
+    // First call marks the point, the second records the world list...
+    profile.DegreeAt(cached, f.other_query, n, tol);
+    profile.DegreeAt(cached, f.third_query, n, tol);
+    // ...and the third call replays it for yet another query.
+    FiniteResult replayed = profile.DegreeAt(cached, f.query, n, tol);
+    ExpectBitIdentical(replayed, legacy);
+    // Memo: asking again returns the stored result.
+    FiniteResult memoized = profile.DegreeAt(cached, f.query, n, tol);
+    ExpectBitIdentical(memoized, legacy);
+
+    QueryContext uncached(f.vocabulary, f.kb.AsFormula(), false);
+    ExpectBitIdentical(profile.DegreeAt(uncached, f.query, n, tol), legacy);
+  }
+}
+
+TEST(QueryContextCaching, ExactRecordReplayMatchesLegacy) {
+  Fixture f = MakeFixture();
+  engines::ExactEngine exact;
+  semantics::ToleranceVector tol = semantics::ToleranceVector::Uniform(0.2);
+
+  const int n = 3;
+  ASSERT_TRUE(exact.Supports(f.vocabulary, f.kb.AsFormula(), f.query, n));
+  FiniteResult legacy =
+      exact.DegreeAt(f.vocabulary, f.kb.AsFormula(), f.query, n, tol);
+
+  QueryContext cached(f.vocabulary, f.kb.AsFormula(), true);
+  exact.DegreeAt(cached, f.other_query, n, tol);  // mark
+  exact.DegreeAt(cached, f.third_query, n, tol);  // record
+  ExpectBitIdentical(exact.DegreeAt(cached, f.query, n, tol), legacy);
+
+  QueryContext uncached(f.vocabulary, f.kb.AsFormula(), false);
+  ExpectBitIdentical(exact.DegreeAt(uncached, f.query, n, tol), legacy);
+}
+
+TEST(QueryContextCaching, MonteCarloMemoMatchesLegacy) {
+  Fixture f = MakeFixture();
+  engines::MonteCarloEngine::Options options;
+  options.num_samples = 20'000;
+  engines::MonteCarloEngine montecarlo(options);
+  semantics::ToleranceVector tol = semantics::ToleranceVector::Uniform(0.2);
+
+  const int n = 8;
+  FiniteResult legacy =
+      montecarlo.DegreeAt(f.vocabulary, f.kb.AsFormula(), f.query, n, tol);
+  QueryContext cached(f.vocabulary, f.kb.AsFormula(), true);
+  ExpectBitIdentical(montecarlo.DegreeAt(cached, f.query, n, tol), legacy);
+  ExpectBitIdentical(montecarlo.DegreeAt(cached, f.query, n, tol), legacy);
+}
+
+TEST(QueryContextCaching, MaxEntContextMatchesLegacy) {
+  Fixture f = MakeFixture();
+  engines::MaxEntEngine maxent;
+  semantics::ToleranceVector tol = semantics::ToleranceVector::Uniform(0.05);
+
+  auto legacy =
+      maxent.InferLimit(f.vocabulary, f.kb.AsFormula(), f.query, tol);
+  QueryContext cached(f.vocabulary, f.kb.AsFormula(), true);
+  auto through_ctx = maxent.InferLimit(cached, f.query, tol);
+  EXPECT_EQ(legacy.supported, through_ctx.supported);
+  EXPECT_EQ(legacy.converged, through_ctx.converged);
+  EXPECT_EQ(legacy.value, through_ctx.value);
+  EXPECT_EQ(legacy.per_scale_values, through_ctx.per_scale_values);
+}
+
+TEST(QueryContextCaching, SymbolicContextMatchesLegacy) {
+  Fixture f = MakeFixture();
+  engines::SymbolicEngine symbolic;
+  auto legacy = symbolic.Infer(f.kb.AsFormula(), f.query);
+  QueryContext cached(f.vocabulary, f.kb.AsFormula(), true);
+  auto through_ctx = symbolic.Infer(cached, f.query);
+  EXPECT_EQ(static_cast<int>(legacy.status),
+            static_cast<int>(through_ctx.status));
+  EXPECT_EQ(legacy.lo, through_ctx.lo);
+  EXPECT_EQ(legacy.hi, through_ctx.hi);
+  EXPECT_EQ(legacy.rule, through_ctx.rule);
+  // Memoized second call.
+  auto again = symbolic.Infer(cached, f.query);
+  EXPECT_EQ(legacy.lo, again.lo);
+  EXPECT_EQ(legacy.hi, again.hi);
+}
+
+TEST(QueryContextCaching, CacheStatsRecordHits) {
+  Fixture f = MakeFixture();
+  engines::ProfileEngine profile;
+  semantics::ToleranceVector tol = semantics::ToleranceVector::Uniform(0.05);
+  QueryContext ctx(f.vocabulary, f.kb.AsFormula(), true);
+  profile.DegreeAt(ctx, f.query, 8, tol);
+  profile.DegreeAt(ctx, f.query, 8, tol);
+  QueryContext::CacheStats stats = ctx.cache_stats();
+  EXPECT_GE(stats.finite_hits, 1u);
+  EXPECT_GE(stats.finite_misses, 1u);
+}
+
+TEST(EstimateLimitParallel, MatchesSerialSweepBitwise) {
+  Fixture f = MakeFixture();
+  engines::ProfileEngine profile;
+  semantics::ToleranceVector tol = semantics::ToleranceVector::Uniform(0.05);
+
+  engines::LimitOptions serial;
+  serial.domain_sizes = {4, 8, 12, 16, 24};
+  serial.num_threads = 1;
+  engines::LimitOptions pooled = serial;
+  pooled.num_threads = 4;
+
+  QueryContext ctx_serial(f.vocabulary, f.kb.AsFormula(), false);
+  QueryContext ctx_pooled(f.vocabulary, f.kb.AsFormula(), false);
+  engines::LimitResult a =
+      engines::EstimateLimit(profile, ctx_serial, f.query, tol, serial);
+  engines::LimitResult b =
+      engines::EstimateLimit(profile, ctx_pooled, f.query, tol, pooled);
+
+  EXPECT_EQ(a.value.has_value(), b.value.has_value());
+  if (a.value.has_value()) EXPECT_EQ(*a.value, *b.value);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.never_defined, b.never_defined);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i].domain_size, b.series[i].domain_size);
+    EXPECT_EQ(a.series[i].tolerance_scale, b.series[i].tolerance_scale);
+    EXPECT_EQ(a.series[i].probability, b.series[i].probability);
+    EXPECT_EQ(a.series[i].well_defined, b.series[i].well_defined);
+  }
+
+  // The legacy (vocabulary, kb) overload agrees too.
+  engines::LimitResult legacy = engines::EstimateLimit(
+      profile, f.vocabulary, f.kb.AsFormula(), f.query, tol, serial);
+  EXPECT_EQ(a.value.has_value(), legacy.value.has_value());
+  if (a.value.has_value()) EXPECT_EQ(*a.value, *legacy.value);
+}
+
+}  // namespace
+}  // namespace rwl

@@ -16,6 +16,12 @@
 //   --series         print the (N, τ, Pr) convergence series
 //   --json           one JSON object per query on stdout
 //   --fixed-n N      known domain size: compute Pr_N directly (footnote 9)
+//   --threads N      worker pool for the (N, τ) sweep grid (0 = all cores)
+//   --no-cache       disable the shared QueryContext caches (debugging)
+//
+// Multiple queries are answered as one batch over a shared QueryContext:
+// the KB analyses and per-(N, τ) world enumerations run once, duplicate
+// queries are deduplicated, and answers print in argument order.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,7 +39,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (<kb-file> | --kb TEXT) [options] <query>...\n"
-               "options: --nmax N  --tol T  --no-symbolic  --series\n",
+               "options: --nmax N  --tol T  --no-symbolic  --series\n"
+               "         --json  --fixed-n N  --threads N  --no-cache\n",
                argv0);
   return 2;
 }
@@ -72,6 +79,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--fixed-n") {
       if (++i >= argc) return Usage(argv[0]);
       options.fixed_domain_size = std::atoi(argv[i]);
+    } else if (arg == "--threads") {
+      if (++i >= argc) return Usage(argv[0]);
+      options.limit.num_threads = std::atoi(argv[i]);
+    } else if (arg == "--no-cache") {
+      options.enable_caching = false;
     } else if (!have_kb) {
       std::ifstream file(arg);
       if (!file) {
@@ -106,16 +118,29 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Parse everything up front, then answer the parsed queries as one batch
+  // over a shared QueryContext (deduplicated; per-(N, τ) work runs once).
   int failures = 0;
-  for (const auto& query_text : queries) {
-    rwl::logic::ParseResult parsed = rwl::logic::ParseFormula(query_text);
+  std::vector<rwl::logic::FormulaPtr> parsed_queries(queries.size());
+  std::vector<rwl::logic::FormulaPtr> valid;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    rwl::logic::ParseResult parsed = rwl::logic::ParseFormula(queries[i]);
     if (!parsed.ok()) {
       std::fprintf(stderr, "rwlq: query parse error in '%s': %s\n",
-                   query_text.c_str(), parsed.error.c_str());
+                   queries[i].c_str(), parsed.error.c_str());
       ++failures;
       continue;
     }
-    rwl::Answer answer = rwl::DegreeOfBelief(kb, parsed.formula, options);
+    parsed_queries[i] = parsed.formula;
+    valid.push_back(parsed.formula);
+  }
+  std::vector<rwl::Answer> answers = rwl::DegreesOfBelief(kb, valid, options);
+
+  size_t next_answer = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (parsed_queries[i] == nullptr) continue;
+    const std::string& query_text = queries[i];
+    rwl::Answer answer = std::move(answers[next_answer++]);
     if (json) {
       // Minimal hand-rolled JSON: all emitted strings are library-internal
       // (status/method names) except the query, which we escape.
