@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <optional>
 #include <utility>
 
@@ -140,6 +141,65 @@ LimitResult EstimateLimitImpl(const FiniteEngine& engine, QueryContext* ctx,
 }
 
 }  // namespace
+
+std::string ToString(const FiniteResult& result) {
+  if (result.exhausted) return "exhausted";
+  if (!result.well_defined) return "undefined";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "Pr=%.12g (log_num=%.6g log_den=%.6g)",
+                result.probability, result.log_numerator,
+                result.log_denominator);
+  return buf;
+}
+
+bool ResultsEquivalent(const FiniteResult& a, ResultClass class_a,
+                       const FiniteResult& b, ResultClass class_b,
+                       const ResultTolerance& tolerance, std::string* why) {
+  auto fail = [&](const std::string& message) {
+    if (why != nullptr) {
+      *why = message + "  [" + ToString(a) + " vs " + ToString(b) + "]";
+    }
+    return false;
+  };
+  if (a.exhausted || b.exhausted) return true;
+
+  const bool a_statistical = class_a == ResultClass::kStatistical;
+  const bool b_statistical = class_b == ResultClass::kStatistical;
+  if (a.well_defined != b.well_defined) {
+    // A statistical engine reporting "undefined" only means its sampler
+    // found no accepted worlds; the deterministic side may still know
+    // worlds exist.  An estimator that DID accept worlds of a KB the
+    // deterministic side proves unsatisfiable has evaluated some formula
+    // differently — that is a contradiction, not noise.
+    if (!a.well_defined && a_statistical) return true;
+    if (!b.well_defined && b_statistical) return true;
+    return fail("well-definedness disagrees");
+  }
+  if (!a.well_defined) return true;
+
+  // Sampling-error allowance: z binomial standard deviations per
+  // statistical side, using that side's accepted count (= e^{log #KB
+  // worlds}) and the other side's probability as the success rate when it
+  // is deterministic.
+  double allowed = tolerance.deterministic_epsilon;
+  auto statistical_allowance = [&](const FiniteResult& estimate,
+                                   const FiniteResult& reference) {
+    double accepted = std::exp(estimate.log_denominator);
+    if (accepted < 1.0) accepted = 1.0;
+    double p = reference.probability;
+    double spread = std::sqrt(std::max(p * (1.0 - p), 0.25 / accepted) /
+                              accepted);
+    return tolerance.statistical_z * spread + tolerance.statistical_floor;
+  };
+  if (a_statistical) allowed += statistical_allowance(a, b);
+  if (b_statistical) allowed += statistical_allowance(b, a);
+  if (std::fabs(a.probability - b.probability) > allowed) {
+    return fail("probabilities differ by " +
+                std::to_string(std::fabs(a.probability - b.probability)) +
+                " > allowed " + std::to_string(allowed));
+  }
+  return true;
+}
 
 bool FiniteEngine::Supports(const QueryContext& ctx,
                             const logic::FormulaPtr& query,

@@ -37,6 +37,42 @@ struct FiniteResult {
   bool exhausted = false;
 };
 
+// How a differential comparator must treat an engine's results.
+// Deterministic engines compute the same definitional quantity and must
+// agree to within numerical round-off; statistical estimators carry
+// sampling error proportional to 1/sqrt(accepted), where the accepted
+// count is recoverable as exp(log_denominator).
+enum class ResultClass {
+  kDeterministic,
+  kStatistical,
+};
+
+// Human-readable one-liner for differential-test diagnostics.
+std::string ToString(const FiniteResult& result);
+
+// Tolerance spec for ResultsEquivalent.
+struct ResultTolerance {
+  // Allowed |Δprobability| between two deterministic results.
+  double deterministic_epsilon = 1e-9;
+  // Statistical results are allowed z standard deviations of binomial
+  // sampling error (computed from the deterministic side's probability
+  // when available), plus the floor below.
+  double statistical_z = 6.0;
+  double statistical_floor = 5e-3;
+};
+
+// Tolerance-aware equivalence of two Pr_N^τ results computed by different
+// engines on the SAME (KB, query, N, ⃗τ).  Exhausted results compare as
+// equivalent to anything (no information).  Well-definedness must agree —
+// except that a statistical engine may fail to accept samples on a
+// satisfiable KB (a sampling drought, not a bug); the converse (samples
+// accepted from a KB a deterministic engine proves unsatisfiable) is a
+// genuine contradiction.  On mismatch returns false and describes the
+// failure in *why (may be null).
+bool ResultsEquivalent(const FiniteResult& a, ResultClass class_a,
+                       const FiniteResult& b, ResultClass class_b,
+                       const ResultTolerance& tolerance, std::string* why);
+
 class FiniteEngine {
  public:
   virtual ~FiniteEngine() = default;
@@ -73,6 +109,12 @@ class FiniteEngine {
   // Extra key material for engines whose options change results (priors,
   // sample counts, budgets, ...).
   virtual std::string CacheSalt() const { return ""; }
+
+  // Comparison hook for differential testing (see ResultsEquivalent):
+  // engines whose results carry sampling error override to kStatistical.
+  virtual ResultClass result_class() const {
+    return ResultClass::kDeterministic;
+  }
 
  protected:
   // Engine-specific context-aware computation (no memo layer).  The default

@@ -56,6 +56,12 @@ class MonteCarloEngine : public FiniteEngine {
   // safe to memoize; the salt pins the options.
   std::string CacheSalt() const override;
 
+  // Estimates carry binomial sampling error; differential comparisons must
+  // budget for it.
+  ResultClass result_class() const override {
+    return ResultClass::kStatistical;
+  }
+
   // Diagnostics from the most recent DegreeAt call (thread-safe: DegreeAt
   // may run on the limit-sweep worker pool).
   struct Stats {

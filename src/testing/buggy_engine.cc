@@ -1,0 +1,54 @@
+#include "src/testing/buggy_engine.h"
+
+namespace rwl::testing {
+namespace {
+
+using logic::Expr;
+using logic::ExprPtr;
+using logic::Formula;
+using logic::FormulaPtr;
+
+bool ExprContainsOr(const ExprPtr& e);
+
+bool FormulaContainsOr(const FormulaPtr& f) {
+  if (f == nullptr) return false;
+  switch (f->kind()) {
+    case Formula::Kind::kOr:
+      return true;
+    case Formula::Kind::kNot:
+    case Formula::Kind::kForAll:
+    case Formula::Kind::kExists:
+      return FormulaContainsOr(f->body());
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kImplies:
+    case Formula::Kind::kIff:
+      return FormulaContainsOr(f->left()) || FormulaContainsOr(f->right());
+    case Formula::Kind::kCompare:
+      return ExprContainsOr(f->expr_left()) ||
+             ExprContainsOr(f->expr_right());
+    default:
+      return false;
+  }
+}
+
+bool ExprContainsOr(const ExprPtr& e) {
+  if (e == nullptr) return false;
+  switch (e->kind()) {
+    case Expr::Kind::kProportion:
+      return FormulaContainsOr(e->body());
+    case Expr::Kind::kConditional:
+      return FormulaContainsOr(e->body()) || FormulaContainsOr(e->cond());
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kSub:
+    case Expr::Kind::kMul:
+      return ExprContainsOr(e->lhs()) || ExprContainsOr(e->rhs());
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool ContainsOr(const logic::FormulaPtr& f) { return FormulaContainsOr(f); }
+
+}  // namespace rwl::testing

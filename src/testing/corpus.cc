@@ -1,0 +1,330 @@
+#include "src/testing/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/logic/parser.h"
+#include "src/logic/printer.h"
+#include "src/logic/transform.h"
+
+namespace rwl::testing {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Strict unsigned parse: the whole string must be digits.
+bool ParseUnsigned(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  uint64_t value = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+// Splits "Name/arity"; returns false on malformed input.
+bool ParseSymbolPin(const std::string& text, std::string* name, int* arity) {
+  size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0) return false;
+  *name = text.substr(0, slash);
+  char* end = nullptr;
+  long value = std::strtol(text.c_str() + slash + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || value < 0) return false;
+  *arity = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
+std::string FormatCase(const CorpusCase& corpus_case) {
+  std::ostringstream out;
+  for (const auto& note : corpus_case.notes) {
+    out << "//! note: " << note << "\n";
+  }
+  if (corpus_case.seed != 0) {
+    out << "//! seed: " << corpus_case.seed << "\n";
+  }
+  out << "//! tol: " << FormatDouble(corpus_case.tolerance) << "\n";
+  if (!corpus_case.domain_sizes.empty()) {
+    out << "//! n:";
+    for (int n : corpus_case.domain_sizes) out << " " << n;
+    out << "\n";
+  }
+  if (corpus_case.montecarlo_samples > 0) {
+    out << "//! mc: " << corpus_case.montecarlo_samples << "\n";
+  }
+  if (!corpus_case.check_pipeline || !corpus_case.check_maxent ||
+      !corpus_case.check_batch) {
+    std::string enabled;
+    if (corpus_case.check_pipeline) enabled += " pipeline";
+    if (corpus_case.check_maxent) enabled += " maxent";
+    if (corpus_case.check_batch) enabled += " batch";
+    out << "//! checks:" << (enabled.empty() ? " none" : enabled) << "\n";
+  }
+  if (!corpus_case.pipeline_domain_sizes.empty()) {
+    out << "//! pipeline-n:";
+    for (int n : corpus_case.pipeline_domain_sizes) out << " " << n;
+    out << "\n";
+  }
+  for (const auto& [name, arity] : corpus_case.predicates) {
+    out << "//! predicate: " << name << "/" << arity << "\n";
+  }
+  for (const auto& [name, arity] : corpus_case.functions) {
+    if (arity == 0) {
+      out << "//! constant: " << name << "\n";
+    } else {
+      out << "//! function: " << name << "/" << arity << "\n";
+    }
+  }
+  for (const auto& query : corpus_case.queries) {
+    out << "//! query: " << query << "\n";
+  }
+  std::string kb = corpus_case.kb_text;
+  if (!kb.empty() && kb.back() != '\n') kb += '\n';
+  out << kb;
+  return out.str();
+}
+
+bool ParseCase(const std::string& text, CorpusCase* out,
+               std::string* error) {
+  CorpusCase parsed;
+  std::ostringstream kb;
+  std::istringstream lines(text);
+  std::string line;
+  int line_number = 0;
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_number) + ": " + message;
+    }
+    return false;
+  };
+  while (std::getline(lines, line)) {
+    ++line_number;
+    std::string trimmed = Trim(line);
+    if (trimmed.rfind("//!", 0) != 0) {
+      // KB content (including plain // comments and blank lines) passes
+      // through verbatim.
+      if (!trimmed.empty()) kb << trimmed << "\n";
+      continue;
+    }
+    std::string directive = Trim(trimmed.substr(3));
+    size_t colon = directive.find(':');
+    if (colon == std::string::npos) return fail("directive missing ':'");
+    std::string key = Trim(directive.substr(0, colon));
+    std::string value = Trim(directive.substr(colon + 1));
+    if (key == "note") {
+      parsed.notes.push_back(value);
+    } else if (key == "seed") {
+      if (!ParseUnsigned(value, &parsed.seed)) {
+        return fail("malformed seed '" + value + "'");
+      }
+    } else if (key == "tol") {
+      parsed.tolerance = std::strtod(value.c_str(), nullptr);
+      if (parsed.tolerance <= 0.0) return fail("tol must be positive");
+    } else if (key == "n") {
+      std::istringstream sizes(value);
+      int n = 0;
+      parsed.domain_sizes.clear();
+      while (sizes >> n) {
+        if (n <= 0) return fail("domain sizes must be positive");
+        parsed.domain_sizes.push_back(n);
+      }
+      if (parsed.domain_sizes.empty()) return fail("empty n: directive");
+    } else if (key == "mc") {
+      // Strict: a typo that silently parsed as 0 would drop the Monte
+      // Carlo engine from replay — the very engine the case may guard.
+      if (!ParseUnsigned(value, &parsed.montecarlo_samples)) {
+        return fail("malformed mc sample count '" + value + "'");
+      }
+    } else if (key == "checks") {
+      parsed.check_pipeline = parsed.check_maxent = parsed.check_batch =
+          false;
+      std::istringstream names(value);
+      std::string name;
+      while (names >> name) {
+        if (name == "pipeline") {
+          parsed.check_pipeline = true;
+        } else if (name == "maxent") {
+          parsed.check_maxent = true;
+        } else if (name == "batch") {
+          parsed.check_batch = true;
+        } else if (name != "none") {
+          return fail("unknown check '" + name + "'");
+        }
+      }
+    } else if (key == "pipeline-n") {
+      std::istringstream sizes(value);
+      int n = 0;
+      parsed.pipeline_domain_sizes.clear();
+      while (sizes >> n) {
+        if (n <= 0) return fail("pipeline sizes must be positive");
+        parsed.pipeline_domain_sizes.push_back(n);
+      }
+      if (parsed.pipeline_domain_sizes.empty()) {
+        return fail("empty pipeline-n: directive");
+      }
+    } else if (key == "predicate") {
+      std::string name;
+      int arity = 0;
+      if (!ParseSymbolPin(value, &name, &arity)) {
+        return fail("malformed predicate pin '" + value + "'");
+      }
+      parsed.predicates.emplace_back(name, arity);
+    } else if (key == "constant") {
+      if (value.empty()) return fail("empty constant pin");
+      parsed.functions.emplace_back(value, 0);
+    } else if (key == "function") {
+      std::string name;
+      int arity = 0;
+      if (!ParseSymbolPin(value, &name, &arity)) {
+        return fail("malformed function pin '" + value + "'");
+      }
+      parsed.functions.emplace_back(name, arity);
+    } else if (key == "query") {
+      if (value.empty()) return fail("empty query directive");
+      parsed.queries.push_back(value);
+    } else {
+      return fail("unknown directive '" + key + "'");
+    }
+  }
+  if (parsed.queries.empty()) return fail("no //! query: directive");
+  parsed.kb_text = kb.str();
+  *out = std::move(parsed);
+  return true;
+}
+
+bool LoadCaseFile(const std::string& path, CorpusCase* out,
+                  std::string* error) {
+  std::ifstream file(path);
+  if (!file) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (!ParseCase(buffer.str(), out, error)) {
+    if (error != nullptr) *error = path + ": " + *error;
+    return false;
+  }
+  out->name = std::filesystem::path(path).stem().string();
+  return true;
+}
+
+bool WriteCaseFile(const std::string& path, const CorpusCase& corpus_case,
+                   std::string* error) {
+  std::ofstream file(path);
+  if (!file) {
+    if (error != nullptr) *error = "cannot write '" + path + "'";
+    return false;
+  }
+  file << FormatCase(corpus_case);
+  return file.good();
+}
+
+std::vector<std::string> ListCorpusFiles(const std::string& directory) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory, ec)) {
+    if (entry.path().extension() == ".rwl") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool CaseToScenario(const CorpusCase& corpus_case, Scenario* out,
+                    std::string* error) {
+  Scenario scenario;
+  for (const auto& [name, arity] : corpus_case.predicates) {
+    scenario.vocabulary.AddPredicate(name, arity);
+  }
+  for (const auto& [name, arity] : corpus_case.functions) {
+    scenario.vocabulary.AddFunction(name, arity);
+  }
+  logic::ParseResult kb = logic::ParseKnowledgeBase(corpus_case.kb_text);
+  if (!kb.ok()) {
+    if (error != nullptr) *error = "KB: " + kb.error;
+    return false;
+  }
+  scenario.kb = kb.formula;
+  logic::RegisterSymbols(scenario.kb, &scenario.vocabulary);
+  for (const auto& text : corpus_case.queries) {
+    logic::ParseResult query = logic::ParseFormula(text);
+    if (!query.ok()) {
+      if (error != nullptr) *error = "query '" + text + "': " + query.error;
+      return false;
+    }
+    logic::RegisterSymbols(query.formula, &scenario.vocabulary);
+    scenario.queries.push_back(query.formula);
+  }
+  scenario.provenance = corpus_case.name.empty()
+                            ? std::string("corpus case")
+                            : "corpus:" + corpus_case.name;
+  *out = std::move(scenario);
+  return true;
+}
+
+CorpusCase CaseFromScenario(const Scenario& scenario,
+                            const DifferentialOptions& options,
+                            uint64_t montecarlo_samples) {
+  CorpusCase corpus_case;
+  corpus_case.tolerance = options.tolerances.default_value();
+  corpus_case.domain_sizes = options.domain_sizes;
+  corpus_case.montecarlo_samples = montecarlo_samples;
+  corpus_case.check_pipeline = options.check_pipeline;
+  corpus_case.check_maxent = options.check_maxent;
+  corpus_case.check_batch = options.check_batch;
+  corpus_case.pipeline_domain_sizes = options.pipeline_domain_sizes;
+  for (const auto& predicate : scenario.vocabulary.predicates()) {
+    corpus_case.predicates.emplace_back(predicate.name, predicate.arity);
+  }
+  for (const auto& function : scenario.vocabulary.functions()) {
+    corpus_case.functions.emplace_back(function.name, function.arity);
+  }
+  for (const auto& query : scenario.queries) {
+    corpus_case.queries.push_back(logic::ToString(query));
+  }
+  std::ostringstream kb;
+  for (const auto& conjunct : logic::Conjuncts(scenario.kb)) {
+    kb << logic::ToString(conjunct) << "\n";
+  }
+  corpus_case.kb_text = kb.str();
+  if (!scenario.provenance.empty()) {
+    corpus_case.notes.push_back(scenario.provenance);
+  }
+  return corpus_case;
+}
+
+DifferentialOptions ReplayOptions(const CorpusCase& corpus_case) {
+  DifferentialOptions options;
+  options.tolerances =
+      semantics::ToleranceVector::Uniform(corpus_case.tolerance);
+  if (!corpus_case.domain_sizes.empty()) {
+    options.domain_sizes = corpus_case.domain_sizes;
+  }
+  options.check_pipeline = corpus_case.check_pipeline;
+  options.check_maxent = corpus_case.check_maxent;
+  options.check_batch = corpus_case.check_batch;
+  if (!corpus_case.pipeline_domain_sizes.empty()) {
+    options.pipeline_domain_sizes = corpus_case.pipeline_domain_sizes;
+  }
+  return options;
+}
+
+}  // namespace rwl::testing

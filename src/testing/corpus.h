@@ -1,0 +1,92 @@
+// The golden-corpus case format: fuzzer reproducers as checked-in files.
+//
+// A corpus case is a PLAIN .rwl KNOWLEDGE BASE — every non-comment line is
+// one KB sentence, so `rwlq tests/corpus/foo.rwl '<query>'` reproduces a
+// case with no extra tooling.  Harness metadata rides in `//!` directive
+// comments (ordinary `//` comments to the parser):
+//
+//   //! note: profile vs exact disagreed before PR 2      (free text)
+//   //! seed: 20260730                                    (provenance)
+//   //! tol: 0.2                                          (base tolerance)
+//   //! n: 2 3 4                                          (finite-oracle Ns)
+//   //! mc: 20000                                         (MC samples; 0 = off)
+//   //! checks: pipeline maxent batch                     (enabled limit-level
+//                                                          checks; "none" for
+//                                                          finite-only; absent
+//                                                          = all)
+//   //! pipeline-n: 6 9 12                                (limit-check sweep Ns)
+//   //! predicate: P0/1                                   (vocabulary pin)
+//   //! constant: K0
+//   //! function: F/1
+//   //! query: (P0(K0) | !P1(K0))                         (one per query)
+//   #(P0(x))[x] ~= 0.5                                    (KB sentences...)
+//
+// Vocabulary pins matter: unused symbols change the world space, so a
+// reproducer must re-create the vocabulary the fuzzer generated, not just
+// the symbols the shrunk formulas happen to mention.
+#ifndef RWL_TESTING_CORPUS_H_
+#define RWL_TESTING_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/testing/differential.h"
+#include "src/testing/scenario.h"
+
+namespace rwl::testing {
+
+struct CorpusCase {
+  std::string name;  // file stem; informational
+  std::vector<std::string> notes;
+  uint64_t seed = 0;
+  double tolerance = 0.2;
+  std::vector<int> domain_sizes;  // empty → DifferentialOptions defaults
+  uint64_t montecarlo_samples = 0;
+  // Limit-level check configuration (the finite oracle always runs).
+  bool check_pipeline = true;
+  bool check_maxent = true;
+  bool check_batch = true;
+  std::vector<int> pipeline_domain_sizes;  // empty → defaults
+  // Vocabulary pins (predicates with arity; functions with arity,
+  // constants being arity 0).
+  std::vector<std::pair<std::string, int>> predicates;
+  std::vector<std::pair<std::string, int>> functions;
+  std::vector<std::string> queries;  // textual formulas
+  std::string kb_text;               // the non-directive lines, verbatim
+};
+
+// Serializes a case to the directive-comment format above.
+std::string FormatCase(const CorpusCase& corpus_case);
+
+// Parses the format; returns false with a message on malformed directives
+// (KB/query syntax is validated later, by CaseToScenario).
+bool ParseCase(const std::string& text, CorpusCase* out, std::string* error);
+
+// File I/O.  LoadCaseFile derives `name` from the path's stem.
+bool LoadCaseFile(const std::string& path, CorpusCase* out,
+                  std::string* error);
+bool WriteCaseFile(const std::string& path, const CorpusCase& corpus_case,
+                   std::string* error);
+
+// All `.rwl` files under `directory`, sorted by name (empty when the
+// directory does not exist).
+std::vector<std::string> ListCorpusFiles(const std::string& directory);
+
+// Builds the executable scenario: registers the pinned vocabulary, parses
+// the KB and queries (registering any further symbols they mention).
+bool CaseToScenario(const CorpusCase& corpus_case, Scenario* out,
+                    std::string* error);
+
+// Captures a scenario (typically a shrunk failure) as a corpus case.
+CorpusCase CaseFromScenario(const Scenario& scenario,
+                            const DifferentialOptions& options,
+                            uint64_t montecarlo_samples);
+
+// The oracle configuration a case asks to be replayed under.
+DifferentialOptions ReplayOptions(const CorpusCase& corpus_case);
+
+}  // namespace rwl::testing
+
+#endif  // RWL_TESTING_CORPUS_H_

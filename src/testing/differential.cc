@@ -1,0 +1,290 @@
+#include "src/testing/differential.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/core/query_context.h"
+#include "src/engines/exact_engine.h"
+#include "src/engines/maxent_engine.h"
+#include "src/engines/montecarlo_engine.h"
+#include "src/engines/profile_engine.h"
+#include "src/logic/printer.h"
+
+namespace rwl::testing {
+namespace {
+
+using engines::FiniteEngine;
+using engines::FiniteResult;
+
+// Bit-level equality: the context path (memo / record-replay) is required
+// to reproduce the direct computation exactly, not just approximately.
+bool BitIdentical(const FiniteResult& a, const FiniteResult& b) {
+  return a.well_defined == b.well_defined && a.exhausted == b.exhausted &&
+         a.probability == b.probability &&
+         a.log_numerator == b.log_numerator &&
+         a.log_denominator == b.log_denominator;
+}
+
+std::string AnswerToString(const Answer& answer) {
+  std::ostringstream out;
+  out << StatusToString(answer.status);
+  if (answer.status == Answer::Status::kPoint) {
+    out << " " << answer.value;
+  } else if (answer.status == Answer::Status::kInterval) {
+    out << " [" << answer.lo << ", " << answer.hi << "]";
+  }
+  out << (answer.converged ? " (converged" : " (not converged");
+  if (!answer.method.empty()) out << "; " << answer.method;
+  out << ")";
+  return out.str();
+}
+
+// Limit-level, tolerance-aware comparison of two pipeline answers for the
+// same query.  kUnknown and kNonexistent are uninformative for a numeric
+// cross-check (the sweep sees only a finite prefix of the limit), so those
+// pairs are skipped.  Returns false with an explanation on disagreement;
+// *compared reports whether the pair carried information.
+bool PipelineAnswersAgree(const Answer& a, const Answer& b, double epsilon,
+                          bool* compared, std::string* why) {
+  *compared = false;
+  auto skip = [&] { return true; };
+  if (a.status == Answer::Status::kUnknown ||
+      b.status == Answer::Status::kUnknown ||
+      a.status == Answer::Status::kNonexistent ||
+      b.status == Answer::Status::kNonexistent) {
+    return skip();
+  }
+  auto fail = [&](const std::string& message) {
+    *compared = true;
+    if (why != nullptr) {
+      *why = message + "  [" + AnswerToString(a) + " vs " +
+             AnswerToString(b) + "]";
+    }
+    return false;
+  };
+  if (a.status == Answer::Status::kUndefined ||
+      b.status == Answer::Status::kUndefined) {
+    if (a.status == b.status) {
+      *compared = true;
+      return true;
+    }
+    // Mismatched undefinedness here always means a symbolic theorem
+    // finalized while the numeric sweep saw no worlds in its finite
+    // prefix (both pipelines share the numeric strategies, options and
+    // caches).  Eventual consistency is exactly what a finite prefix
+    // cannot decide, so this is uninformative, not a disagreement.
+    return skip();
+  }
+  // Point / interval cases.  Unconverged numeric points are estimates
+  // without error bars; skip them.
+  if (!a.converged || !b.converged) return skip();
+  double a_lo = a.status == Answer::Status::kPoint ? a.value : a.lo;
+  double a_hi = a.status == Answer::Status::kPoint ? a.value : a.hi;
+  double b_lo = b.status == Answer::Status::kPoint ? b.value : b.lo;
+  double b_hi = b.status == Answer::Status::kPoint ? b.value : b.hi;
+  if (a_lo - epsilon > b_hi || b_lo - epsilon > a_hi) {
+    return fail("answers do not overlap within epsilon " +
+                std::to_string(epsilon));
+  }
+  *compared = true;
+  return true;
+}
+
+// Exact equality of the documented batch invariant: every batch answer
+// equals the sequential DegreeOfBelief call bit for bit.
+bool SameAnswer(const Answer& a, const Answer& b, std::string* why) {
+  if (a.status != b.status || a.value != b.value || a.lo != b.lo ||
+      a.hi != b.hi || a.method != b.method || a.converged != b.converged) {
+    if (why != nullptr) {
+      *why = "batch answer diverged  [" + AnswerToString(a) + " vs " +
+             AnswerToString(b) + "]";
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<const FiniteEngine*> EngineSet::pointers() const {
+  std::vector<const FiniteEngine*> out;
+  out.reserve(owned.size());
+  for (const auto& engine : owned) out.push_back(engine.get());
+  return out;
+}
+
+void EngineSet::Add(std::unique_ptr<FiniteEngine> engine) {
+  owned.push_back(std::move(engine));
+}
+
+EngineSet DefaultEngineSet(uint64_t montecarlo_samples) {
+  EngineSet set;
+  set.Add(std::make_unique<engines::ExactEngine>());
+  set.Add(std::make_unique<engines::ProfileEngine>());
+  if (montecarlo_samples > 0) {
+    engines::MonteCarloEngine::Options options;
+    options.num_samples = montecarlo_samples;
+    set.Add(std::make_unique<engines::MonteCarloEngine>(options));
+  }
+  return set;
+}
+
+std::string DifferentialReport::Summary(const Scenario& scenario) const {
+  std::ostringstream out;
+  out << (scenario.provenance.empty() ? "scenario" : scenario.provenance)
+      << ": " << comparisons << " comparisons, " << disagreements.size()
+      << " disagreement(s)\n";
+  for (const auto& d : disagreements) {
+    out << "  [" << d.check << "] " << d.lhs << " vs " << d.rhs;
+    if (d.domain_size > 0) out << " @ N=" << d.domain_size;
+    if (d.query != nullptr) {
+      out << " on " << logic::ToString(d.query);
+    }
+    out << ": " << d.detail << "\n";
+  }
+  if (!ok()) out << Describe(scenario);
+  return out.str();
+}
+
+DifferentialReport RunDifferential(
+    const Scenario& scenario,
+    const std::vector<const FiniteEngine*>& engines,
+    const DifferentialOptions& options) {
+  DifferentialReport report;
+
+  // ---- finite + context checks ----
+  QueryContext ctx(scenario.vocabulary, scenario.kb,
+                   /*caching_enabled=*/true);
+  for (const auto& query : scenario.queries) {
+    for (int n : options.domain_sizes) {
+      struct Run {
+        const FiniteEngine* engine;
+        FiniteResult direct;
+      };
+      std::vector<Run> runs;
+      for (const FiniteEngine* engine : engines) {
+        if (!engine->Supports(scenario.vocabulary, scenario.kb, query, n)) {
+          continue;
+        }
+        FiniteResult direct = engine->DegreeAt(scenario.vocabulary,
+                                               scenario.kb, query, n,
+                                               options.tolerances);
+        FiniteResult via_context =
+            engine->DegreeAt(ctx, query, n, options.tolerances);
+        ++report.comparisons;
+        if (!BitIdentical(direct, via_context)) {
+          report.disagreements.push_back(Disagreement{
+              "context", engine->name(), engine->name() + "+ctx", query, n,
+              "context path diverged from direct computation  [" +
+                  engines::ToString(direct) + " vs " +
+                  engines::ToString(via_context) + "]"});
+        }
+        runs.push_back(Run{engine, direct});
+      }
+      for (size_t i = 0; i < runs.size(); ++i) {
+        for (size_t j = i + 1; j < runs.size(); ++j) {
+          ++report.comparisons;
+          std::string why;
+          if (!engines::ResultsEquivalent(
+                  runs[i].direct, runs[i].engine->result_class(),
+                  runs[j].direct, runs[j].engine->result_class(),
+                  options.finite_tolerance, &why)) {
+            report.disagreements.push_back(
+                Disagreement{"finite", runs[i].engine->name(),
+                             runs[j].engine->name(), query, n, why});
+          }
+        }
+      }
+    }
+  }
+
+  // ---- pipeline / batch checks (full DegreeOfBelief routing) ----
+  KnowledgeBase kb = ToKnowledgeBase(scenario);
+  InferenceOptions full;
+  full.tolerances = options.tolerances;
+  full.limit.domain_sizes = options.pipeline_domain_sizes;
+  full.limit.tolerance_scales = options.pipeline_tolerance_scales;
+  const bool batch_applicable =
+      options.check_batch && scenario.queries.size() > 1;
+  if (options.check_pipeline || batch_applicable) {
+    std::vector<Answer> sequential;
+    sequential.reserve(scenario.queries.size());
+    for (const auto& query : scenario.queries) {
+      sequential.push_back(DegreeOfBelief(kb, query, full));
+    }
+    if (options.check_pipeline) {
+      InferenceOptions numeric = full;
+      numeric.use_symbolic = false;
+      for (size_t i = 0; i < scenario.queries.size(); ++i) {
+        Answer numeric_answer =
+            DegreeOfBelief(kb, scenario.queries[i], numeric);
+        bool compared = false;
+        std::string why;
+        if (!PipelineAnswersAgree(sequential[i], numeric_answer,
+                                  options.limit_epsilon, &compared, &why)) {
+          report.disagreements.push_back(
+              Disagreement{"pipeline", "symbolic+numeric", "numeric-only",
+                           scenario.queries[i], 0, why});
+        }
+        if (compared) ++report.comparisons;
+      }
+    }
+    if (batch_applicable) {
+      std::vector<Answer> batch =
+          DegreesOfBelief(kb, scenario.queries, full);
+      for (size_t i = 0; i < scenario.queries.size(); ++i) {
+        ++report.comparisons;
+        std::string why;
+        if (!SameAnswer(batch[i], sequential[i], &why)) {
+          report.disagreements.push_back(
+              Disagreement{"batch", "DegreesOfBelief", "DegreeOfBelief",
+                           scenario.queries[i], 0, why});
+        }
+      }
+    }
+  }
+
+  // ---- maxent vs profile sweep (unary scenarios) ----
+  // Bounded to small vocabularies: the profile DFS is combinatorial in
+  // (N, 2^predicates), and the deep sweep this check needs (the finite-N
+  // bias must shrink below limit_epsilon) is only cheap up to 4 atoms.
+  // Larger-vocabulary agreement is covered by the tier-1
+  // maxent_profile_agreement_test.
+  if (options.check_maxent && scenario.vocabulary.IsUnaryRelational() &&
+      scenario.vocabulary.num_predicates() <= 2) {
+    engines::MaxEntEngine maxent;
+    engines::ProfileEngine profile;
+    engines::LimitOptions sweep;
+    sweep.domain_sizes = {8, 16, 32};
+    sweep.tolerance_scales = options.pipeline_tolerance_scales;
+    for (const auto& query : scenario.queries) {
+      // Through the shared context: the entropy solve depends only on
+      // (KB, ⃗τ) and the profile world lists only on (N, ⃗τ), so the whole
+      // check is amortized across the query batch (and stays bit-identical
+      // to the uncontexted forms).
+      engines::MaxEntEngine::LimitResultME limit =
+          maxent.InferLimit(ctx, query, options.tolerances);
+      if (!limit.supported || !limit.converged) continue;
+      engines::LimitResult swept = engines::EstimateLimit(
+          profile, ctx, query, options.tolerances, sweep);
+      if (!swept.converged || !swept.value.has_value()) continue;
+      ++report.comparisons;
+      if (std::fabs(limit.value - *swept.value) > options.limit_epsilon) {
+        report.disagreements.push_back(Disagreement{
+            "maxent", "maxent", "profile-sweep", query, 0,
+            "limits differ: " + std::to_string(limit.value) + " vs " +
+                std::to_string(*swept.value)});
+      }
+    }
+  }
+
+  return report;
+}
+
+DifferentialReport RunDifferential(const Scenario& scenario,
+                                   const DifferentialOptions& options) {
+  EngineSet set = DefaultEngineSet();
+  return RunDifferential(scenario, set.pointers(), options);
+}
+
+}  // namespace rwl::testing

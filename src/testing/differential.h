@@ -1,0 +1,103 @@
+// The cross-engine differential oracle.
+//
+// The paper's central claim is that the degree of belief is ONE
+// well-defined quantity however it is computed.  This oracle operationalizes
+// that claim as executable checks over a Scenario:
+//
+//   finite    — every FiniteEngine that supports the instance computes the
+//               same Pr_N^τ at each sampled (N, ⃗τ), compared through the
+//               tolerance-aware ResultsEquivalent hook (deterministic
+//               engines to 1e-9, statistical estimators within a z-score
+//               sampling allowance);
+//   context   — each engine's answer through a shared caching QueryContext
+//               (mark → record → replay / memo) is bit-identical to its
+//               direct computation;
+//   pipeline  — the full DegreeOfBelief pipeline with the symbolic theorem
+//               engine enabled agrees with the numeric-only pipeline
+//               whenever both converge (intervals must contain the numeric
+//               point);
+//   maxent    — the maximum-entropy limit agrees with the profile engine's
+//               N-sweep estimate on unary scenarios when both converge;
+//   batch     — DegreesOfBelief over the query batch equals the sequential
+//               per-query answers exactly.
+//
+// Any violated check becomes a Disagreement; a scenario with at least one
+// disagreement is a fuzzing failure, to be shrunk (shrinker.h) and checked
+// into tests/corpus/.
+#ifndef RWL_TESTING_DIFFERENTIAL_H_
+#define RWL_TESTING_DIFFERENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/inference.h"
+#include "src/engines/engine.h"
+#include "src/semantics/tolerance.h"
+#include "src/testing/scenario.h"
+
+namespace rwl::testing {
+
+struct DifferentialOptions {
+  // Domain sizes for the finite-N oracle (small: the exact engine must
+  // support them for the crisp comparisons to run).
+  std::vector<int> domain_sizes = {2, 3, 4};
+  semantics::ToleranceVector tolerances =
+      semantics::ToleranceVector::Uniform(0.2);
+  engines::ResultTolerance finite_tolerance;
+
+  // Limit-level checks (pipeline / maxent).  Numeric sweeps estimate the
+  // N → ∞ limit from finite prefixes, so the epsilon is necessarily loose.
+  bool check_pipeline = true;
+  bool check_maxent = true;
+  bool check_batch = true;
+  double limit_epsilon = 0.15;
+  // Sweep schedule for the pipeline checks.  Kept small: the fuzzer runs
+  // thousands of scenarios, and the profile DFS grows combinatorially in
+  // (N, atoms) — at 8 atoms the leaf count at N=24 already exceeds the
+  // engine's work budget, turning every check into a wasted 2M-leaf abort.
+  std::vector<int> pipeline_domain_sizes = {8, 12, 16};
+  std::vector<double> pipeline_tolerance_scales = {1.0, 0.5};
+};
+
+struct Disagreement {
+  std::string check;  // "finite", "context", "pipeline", "maxent", "batch"
+  std::string lhs;    // engine / strategy names
+  std::string rhs;
+  logic::FormulaPtr query;
+  int domain_size = 0;  // 0 for limit-level checks
+  std::string detail;
+};
+
+struct DifferentialReport {
+  int comparisons = 0;
+  std::vector<Disagreement> disagreements;
+
+  bool ok() const { return disagreements.empty(); }
+  std::string Summary(const Scenario& scenario) const;
+};
+
+// An owning set of finite engines for the oracle.  The default set is
+// exact + profile, plus Monte Carlo when `montecarlo_samples` > 0.
+struct EngineSet {
+  std::vector<std::unique_ptr<engines::FiniteEngine>> owned;
+
+  std::vector<const engines::FiniteEngine*> pointers() const;
+  void Add(std::unique_ptr<engines::FiniteEngine> engine);
+};
+
+EngineSet DefaultEngineSet(uint64_t montecarlo_samples = 0);
+
+// Runs every applicable check over the scenario with the given engine set.
+DifferentialReport RunDifferential(
+    const Scenario& scenario,
+    const std::vector<const engines::FiniteEngine*>& engines,
+    const DifferentialOptions& options);
+
+// Convenience: default engine set.
+DifferentialReport RunDifferential(const Scenario& scenario,
+                                   const DifferentialOptions& options);
+
+}  // namespace rwl::testing
+
+#endif  // RWL_TESTING_DIFFERENTIAL_H_

@@ -1,0 +1,79 @@
+#include "src/testing/scenario.h"
+
+#include <sstream>
+
+#include "src/logic/parser.h"
+#include "src/logic/printer.h"
+#include "src/logic/transform.h"
+
+namespace rwl::testing {
+
+bool ScenarioFromTexts(const std::string& kb_text,
+                       const std::vector<std::string>& query_texts,
+                       Scenario* out, std::string* error) {
+  logic::ParseResult kb = logic::ParseKnowledgeBase(kb_text);
+  if (!kb.ok()) {
+    if (error != nullptr) *error = "KB: " + kb.error;
+    return false;
+  }
+  Scenario scenario;
+  scenario.kb = kb.formula;
+  logic::RegisterSymbols(scenario.kb, &scenario.vocabulary);
+  for (const std::string& text : query_texts) {
+    logic::ParseResult query = logic::ParseFormula(text);
+    if (!query.ok()) {
+      if (error != nullptr) *error = "query '" + text + "': " + query.error;
+      return false;
+    }
+    logic::RegisterSymbols(query.formula, &scenario.vocabulary);
+    scenario.queries.push_back(query.formula);
+  }
+  *out = std::move(scenario);
+  return true;
+}
+
+KnowledgeBase ToKnowledgeBase(const Scenario& scenario) {
+  KnowledgeBase kb;
+  for (const auto& predicate : scenario.vocabulary.predicates()) {
+    kb.mutable_vocabulary().AddPredicate(predicate.name, predicate.arity);
+  }
+  for (const auto& function : scenario.vocabulary.functions()) {
+    kb.mutable_vocabulary().AddFunction(function.name, function.arity);
+  }
+  for (const auto& conjunct : logic::Conjuncts(scenario.kb)) {
+    kb.Add(conjunct);
+  }
+  return kb;
+}
+
+Scenario WithMinimalVocabulary(const Scenario& scenario) {
+  Scenario minimal = scenario;
+  minimal.vocabulary = logic::Vocabulary();
+  logic::RegisterSymbols(scenario.kb, &minimal.vocabulary);
+  for (const auto& query : scenario.queries) {
+    logic::RegisterSymbols(query, &minimal.vocabulary);
+  }
+  return minimal;
+}
+
+std::string Describe(const Scenario& scenario) {
+  std::ostringstream out;
+  for (const auto& predicate : scenario.vocabulary.predicates()) {
+    out << "predicate " << predicate.name << "/" << predicate.arity << "\n";
+  }
+  for (const auto& function : scenario.vocabulary.functions()) {
+    out << (function.arity == 0 ? "constant " : "function ")
+        << function.name;
+    if (function.arity != 0) out << "/" << function.arity;
+    out << "\n";
+  }
+  for (const auto& conjunct : logic::Conjuncts(scenario.kb)) {
+    out << "kb: " << logic::ToString(conjunct) << "\n";
+  }
+  for (const auto& query : scenario.queries) {
+    out << "query: " << logic::ToString(query) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace rwl::testing

@@ -1,0 +1,52 @@
+// Scenario: the unit of differential testing — one (vocabulary, KB, query
+// batch) triple, with provenance for reporting.
+//
+// The vocabulary is explicit rather than derived from the formulas because
+// it is semantically load-bearing: unused predicates and constants multiply
+// the world space uniformly, and the fuzzer deliberately generates
+// vocabularies larger than the formulas mention (the engines must agree on
+// that world space too).  Shrinking therefore treats vocabulary symbols as
+// case content (see shrinker.h).
+#ifndef RWL_TESTING_SCENARIO_H_
+#define RWL_TESTING_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/knowledge_base.h"
+#include "src/logic/formula.h"
+#include "src/logic/vocabulary.h"
+
+namespace rwl::testing {
+
+struct Scenario {
+  logic::Vocabulary vocabulary;
+  logic::FormulaPtr kb;  // a conjunction; logic::Conjuncts flattens it
+  std::vector<logic::FormulaPtr> queries;
+  // Where this scenario came from (generator profile, seed, case index, or
+  // corpus file name) — prefixed to every disagreement report.
+  std::string provenance;
+};
+
+// Builds a scenario from textual KB and query syntax, registering all
+// mentioned symbols.  Returns false (with the parser message in *error)
+// on any parse failure.
+bool ScenarioFromTexts(const std::string& kb_text,
+                       const std::vector<std::string>& query_texts,
+                       Scenario* out, std::string* error);
+
+// A KnowledgeBase carrying the scenario's full vocabulary (including
+// symbols no formula mentions), for routing through the DegreeOfBelief
+// pipeline.
+KnowledgeBase ToKnowledgeBase(const Scenario& scenario);
+
+// The scenario with its vocabulary rebuilt from only the symbols the KB
+// and queries actually mention (used by the shrinker's vocabulary pass).
+Scenario WithMinimalVocabulary(const Scenario& scenario);
+
+// One line per KB conjunct, then one per query — for failure reports.
+std::string Describe(const Scenario& scenario);
+
+}  // namespace rwl::testing
+
+#endif  // RWL_TESTING_SCENARIO_H_

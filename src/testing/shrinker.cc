@@ -1,0 +1,176 @@
+#include "src/testing/shrinker.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/logic/transform.h"
+
+namespace rwl::testing {
+namespace {
+
+using logic::Formula;
+using logic::FormulaPtr;
+
+// Closed proper subformulas usable as drop-in replacements: the formula
+// must remain a sentence (no free variables escape).
+std::vector<FormulaPtr> ReplacementCandidates(const FormulaPtr& f) {
+  std::vector<FormulaPtr> candidates;
+  auto add_if_closed = [&](const FormulaPtr& g) {
+    if (g != nullptr && logic::FreeVariables(g).empty()) {
+      candidates.push_back(g);
+    }
+  };
+  switch (f->kind()) {
+    case Formula::Kind::kNot:
+      add_if_closed(f->body());
+      break;
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kImplies:
+    case Formula::Kind::kIff:
+      add_if_closed(f->left());
+      add_if_closed(f->right());
+      break;
+    case Formula::Kind::kForAll:
+    case Formula::Kind::kExists:
+      add_if_closed(f->body());
+      break;
+    default:
+      break;
+  }
+  return candidates;
+}
+
+struct ShrinkState {
+  std::vector<FormulaPtr> conjuncts;
+  std::vector<FormulaPtr> queries;
+  const Scenario* original;
+  const FailurePredicate* still_fails;
+  int evaluations = 0;
+  int max_evaluations = 0;
+
+  Scenario Assemble() const {
+    Scenario scenario = *original;
+    scenario.kb = Formula::AndAll(conjuncts);
+    scenario.queries = queries;
+    return scenario;
+  }
+
+  bool Budget() const { return evaluations < max_evaluations; }
+
+  bool Try(const std::vector<FormulaPtr>& new_conjuncts,
+           const std::vector<FormulaPtr>& new_queries) {
+    if (!Budget()) return false;
+    Scenario candidate = *original;
+    candidate.kb = Formula::AndAll(new_conjuncts);
+    candidate.queries = new_queries;
+    ++evaluations;
+    if (!(*still_fails)(candidate)) return false;
+    conjuncts = new_conjuncts;
+    queries = new_queries;
+    return true;
+  }
+};
+
+// Pass 1/2: drop, then structurally simplify, each KB conjunct.
+bool ShrinkConjuncts(ShrinkState* state) {
+  bool progressed = false;
+  for (size_t i = 0; i < state->conjuncts.size();) {
+    std::vector<FormulaPtr> without = state->conjuncts;
+    without.erase(without.begin() + i);
+    if (state->Try(without, state->queries)) {
+      progressed = true;
+      continue;  // same index now names the next conjunct
+    }
+    ++i;
+  }
+  for (size_t i = 0; i < state->conjuncts.size(); ++i) {
+    bool replaced = true;
+    while (replaced && state->Budget()) {
+      replaced = false;
+      for (const auto& candidate :
+           ReplacementCandidates(state->conjuncts[i])) {
+        std::vector<FormulaPtr> patched = state->conjuncts;
+        patched[i] = candidate;
+        if (state->Try(patched, state->queries)) {
+          progressed = true;
+          replaced = true;
+          break;
+        }
+      }
+    }
+  }
+  return progressed;
+}
+
+// Pass 3: drop queries (keeping one), then simplify each.
+bool ShrinkQueries(ShrinkState* state) {
+  bool progressed = false;
+  for (size_t i = 0; state->queries.size() > 1 && i < state->queries.size();) {
+    std::vector<FormulaPtr> without = state->queries;
+    without.erase(without.begin() + i);
+    if (state->Try(state->conjuncts, without)) {
+      progressed = true;
+      continue;
+    }
+    ++i;
+  }
+  for (size_t i = 0; i < state->queries.size(); ++i) {
+    bool replaced = true;
+    while (replaced && state->Budget()) {
+      replaced = false;
+      for (const auto& candidate :
+           ReplacementCandidates(state->queries[i])) {
+        std::vector<FormulaPtr> patched = state->queries;
+        patched[i] = candidate;
+        if (state->Try(state->conjuncts, patched)) {
+          progressed = true;
+          replaced = true;
+          break;
+        }
+      }
+    }
+  }
+  return progressed;
+}
+
+}  // namespace
+
+ShrinkOutcome Shrink(const Scenario& failing,
+                     const FailurePredicate& still_fails,
+                     const ShrinkOptions& options) {
+  ShrinkState state;
+  state.conjuncts = logic::Conjuncts(failing.kb);
+  state.queries = failing.queries;
+  state.original = &failing;
+  state.still_fails = &still_fails;
+  state.max_evaluations = options.max_evaluations;
+
+  ShrinkOutcome outcome;
+  for (outcome.rounds = 0; outcome.rounds < options.max_rounds;
+       ++outcome.rounds) {
+    bool progressed = ShrinkConjuncts(&state);
+    progressed = ShrinkQueries(&state) || progressed;
+    if (!progressed || !state.Budget()) break;
+  }
+
+  // Pass 4: drop vocabulary symbols nothing mentions — but only when the
+  // failure survives the smaller world space.
+  Scenario shrunk = state.Assemble();
+  Scenario minimal = WithMinimalVocabulary(shrunk);
+  if (minimal.vocabulary.num_predicates() !=
+          shrunk.vocabulary.num_predicates() ||
+      minimal.vocabulary.num_functions() !=
+          shrunk.vocabulary.num_functions()) {
+    ++state.evaluations;
+    if (still_fails(minimal)) shrunk = std::move(minimal);
+  }
+
+  outcome.scenario = std::move(shrunk);
+  outcome.evaluations = state.evaluations;
+  outcome.kb_conjuncts =
+      static_cast<int>(logic::Conjuncts(outcome.scenario.kb).size());
+  return outcome;
+}
+
+}  // namespace rwl::testing

@@ -1,0 +1,51 @@
+// Greedy test-case shrinker: minimizes a failing Scenario while a caller
+// predicate keeps reporting the failure.
+//
+// Passes, applied to a fixpoint (bounded by max_rounds):
+//   1. drop KB conjuncts one at a time,
+//   2. replace KB conjuncts by closed proper subformulas (And → left,
+//      Not φ → φ, quantifier → body when it stays a sentence, ...),
+//   3. drop queries (keeping at least one) and replace queries by closed
+//      subformulas,
+//   4. drop vocabulary symbols no remaining formula mentions.
+//
+// Every candidate is re-validated through the predicate, so the result is
+// guaranteed to still fail; a typical cross-engine disagreement shrinks to
+// a handful of conjuncts, small enough to read and check into
+// tests/corpus/.
+#ifndef RWL_TESTING_SHRINKER_H_
+#define RWL_TESTING_SHRINKER_H_
+
+#include <functional>
+
+#include "src/testing/scenario.h"
+
+namespace rwl::testing {
+
+// True when the scenario still exhibits the failure being minimized.
+using FailurePredicate = std::function<bool(const Scenario&)>;
+
+struct ShrinkOptions {
+  int max_rounds = 6;
+  // Hard cap on predicate evaluations (each typically re-runs the full
+  // differential oracle).
+  int max_evaluations = 2000;
+};
+
+struct ShrinkOutcome {
+  Scenario scenario;
+  int rounds = 0;
+  int evaluations = 0;
+  // Conjunct count of the shrunk KB (the headline minimality metric).
+  int kb_conjuncts = 0;
+};
+
+// Requires predicate(failing) to be true on entry; returns a (weakly)
+// smaller scenario on which it still holds.
+ShrinkOutcome Shrink(const Scenario& failing,
+                     const FailurePredicate& still_fails,
+                     const ShrinkOptions& options = {});
+
+}  // namespace rwl::testing
+
+#endif  // RWL_TESTING_SHRINKER_H_

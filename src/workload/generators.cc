@@ -58,7 +58,8 @@ logic::FormulaPtr RandomUnaryKb(const UnaryKbParams& params,
   TermPtr x = logic::V("x");
 
   for (int i = 0; i < params.num_statements; ++i) {
-    FormulaPtr body = RandomClassExpr(params.num_predicates, x, 1, rng);
+    FormulaPtr body =
+        RandomClassExpr(params.num_predicates, x, params.max_depth, rng);
     double value;
     if (UniformReal(rng, 0.0, 1.0) < params.default_fraction) {
       value = UniformInt(rng, 0, 1) == 0 ? 0.0 : 1.0;
@@ -70,7 +71,8 @@ logic::FormulaPtr RandomUnaryKb(const UnaryKbParams& params,
       conjuncts.push_back(
           logic::ApproxEq(logic::Prop(body, {"x"}), value, tolerance_index));
     } else {
-      FormulaPtr cond = RandomClassExpr(params.num_predicates, x, 1, rng);
+      FormulaPtr cond =
+          RandomClassExpr(params.num_predicates, x, params.max_depth, rng);
       conjuncts.push_back(logic::ApproxEq(logic::CondProp(body, cond, {"x"}),
                                           value, tolerance_index));
     }
@@ -79,7 +81,8 @@ logic::FormulaPtr RandomUnaryKb(const UnaryKbParams& params,
   for (int i = 0; i < params.num_facts; ++i) {
     int which = UniformInt(rng, 0, params.num_constants - 1);
     TermPtr c = logic::C("K" + std::to_string(which));
-    conjuncts.push_back(RandomClassExpr(params.num_predicates, c, 1, rng));
+    conjuncts.push_back(
+        RandomClassExpr(params.num_predicates, c, params.max_depth, rng));
   }
 
   return Formula::AndAll(conjuncts);
@@ -90,12 +93,143 @@ logic::FormulaPtr RandomQuery(const UnaryKbParams& params,
   if (params.num_constants > 0 && UniformInt(rng, 0, 2) != 0) {
     int which = UniformInt(rng, 0, params.num_constants - 1);
     TermPtr c = logic::C("K" + std::to_string(which));
-    return RandomClassExpr(params.num_predicates, c, 1, rng);
+    return RandomClassExpr(params.num_predicates, c, params.max_depth, rng);
   }
   TermPtr x = logic::V("x");
-  FormulaPtr body = RandomClassExpr(params.num_predicates, x, 1, rng);
+  FormulaPtr body =
+      RandomClassExpr(params.num_predicates, x, params.max_depth, rng);
   return logic::ApproxLeq(logic::Prop(body, {"x"}),
                           UniformReal(rng, 0.3, 0.9), 1);
+}
+
+std::vector<logic::FormulaPtr> RandomQueryBatch(const UnaryKbParams& params,
+                                                int count, std::mt19937* rng) {
+  std::vector<logic::FormulaPtr> queries;
+  queries.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    if (!queries.empty() && UniformInt(rng, 0, 3) == 0) {
+      // Exact duplicate of an earlier query (pointer-equal by interning).
+      queries.push_back(queries[UniformInt(
+          rng, 0, static_cast<int>(queries.size()) - 1)]);
+      continue;
+    }
+    queries.push_back(RandomQuery(params, rng));
+  }
+  return queries;
+}
+
+std::vector<std::string> GeneratorBinaryPredicates(int num_binary) {
+  std::vector<std::string> out;
+  for (int i = 0; i < num_binary; ++i) {
+    out.push_back("R" + std::to_string(i));
+  }
+  return out;
+}
+
+namespace {
+
+// A ground literal over a random binary predicate and random constants.
+FormulaPtr RandomBinaryFact(const MixedKbParams& params, std::mt19937* rng) {
+  std::string r = "R" + std::to_string(UniformInt(rng, 0, params.num_binary - 1));
+  TermPtr a =
+      logic::C("K" + std::to_string(UniformInt(rng, 0, params.num_constants - 1)));
+  TermPtr b =
+      logic::C("K" + std::to_string(UniformInt(rng, 0, params.num_constants - 1)));
+  FormulaPtr atom = logic::P(r, a, b);
+  return UniformInt(rng, 0, 1) == 0 ? atom : Formula::Not(atom);
+}
+
+// Quantified axioms drawn from shapes that keep the KB satisfiable under
+// the uniform prior at small N (each constrains without contradicting the
+// ground facts outright).
+FormulaPtr RandomRelationalAxiom(const MixedKbParams& params,
+                                 std::mt19937* rng) {
+  std::string r = "R" + std::to_string(UniformInt(rng, 0, params.num_binary - 1));
+  TermPtr x = logic::V("x");
+  TermPtr y = logic::V("y");
+  switch (UniformInt(rng, 0, 3)) {
+    case 0:  // reflexivity
+      return Formula::ForAll("x", logic::P(r, x, x));
+    case 1:  // symmetry
+      return Formula::ForAll(
+          "x", Formula::ForAll(
+                   "y", Formula::Implies(logic::P(r, x, y),
+                                         logic::P(r, y, x))));
+    case 2:  // seriality
+      return Formula::ForAll("x",
+                             Formula::Exists("y", logic::P(r, x, y)));
+    default:  // a relational default: R-edges usually land on P0-elements
+      if (params.num_unary == 0) {
+        return Formula::Exists(
+            "x", Formula::Exists("y", logic::P(r, x, y)));
+      }
+      return logic::ApproxEq(
+          logic::CondProp(logic::P("P0", y), logic::P(r, x, y), {"x", "y"}),
+          UniformReal(rng, 0.3, 0.8), 1);
+  }
+}
+
+}  // namespace
+
+logic::FormulaPtr RandomMixedKb(const MixedKbParams& params,
+                                std::mt19937* rng) {
+  std::vector<FormulaPtr> conjuncts;
+  TermPtr x = logic::V("x");
+
+  for (int i = 0; i < params.num_statements && params.num_unary > 0; ++i) {
+    FormulaPtr body =
+        RandomClassExpr(params.num_unary, x, params.max_depth, rng);
+    double value = UniformReal(rng, 0.0, 1.0) < params.default_fraction
+                       ? (UniformInt(rng, 0, 1) == 0 ? 0.0 : 1.0)
+                       : UniformReal(rng, 0.15, 0.85);
+    conjuncts.push_back(
+        logic::ApproxEq(logic::Prop(body, {"x"}), value, i + 1));
+  }
+  for (int i = 0; i < params.num_axioms && params.num_binary > 0; ++i) {
+    conjuncts.push_back(RandomRelationalAxiom(params, rng));
+  }
+  for (int i = 0; i < params.num_facts && params.num_constants > 0; ++i) {
+    if (params.num_binary > 0 && UniformInt(rng, 0, 1) == 0) {
+      conjuncts.push_back(RandomBinaryFact(params, rng));
+    } else if (params.num_unary > 0) {
+      TermPtr c = logic::C(
+          "K" + std::to_string(UniformInt(rng, 0, params.num_constants - 1)));
+      conjuncts.push_back(
+          RandomClassExpr(params.num_unary, c, params.max_depth, rng));
+    }
+  }
+  return Formula::AndAll(conjuncts);
+}
+
+logic::FormulaPtr RandomMixedQuery(const MixedKbParams& params,
+                                   std::mt19937* rng) {
+  switch (UniformInt(rng, 0, 2)) {
+    case 0:
+      if (params.num_binary > 0 && params.num_constants > 0) {
+        return RandomBinaryFact(params, rng);
+      }
+      [[fallthrough]];
+    case 1:
+      if (params.num_unary > 0 && params.num_constants > 0) {
+        TermPtr c = logic::C(
+            "K" +
+            std::to_string(UniformInt(rng, 0, params.num_constants - 1)));
+        return RandomClassExpr(params.num_unary, c, params.max_depth, rng);
+      }
+      [[fallthrough]];
+    default: {
+      if (params.num_binary == 0) return Formula::True();
+      std::string r =
+          "R" + std::to_string(UniformInt(rng, 0, params.num_binary - 1));
+      TermPtr x = logic::V("x");
+      TermPtr y = logic::V("y");
+      return UniformInt(rng, 0, 1) == 0
+                 ? Formula::Exists(
+                       "x", Formula::Exists("y", logic::P(r, x, y)))
+                 : Formula::ForAll(
+                       "x", Formula::Exists("y", logic::P(r, x, y)));
+    }
+  }
 }
 
 ChainKb RandomChainKb(int depth, std::mt19937* rng) {

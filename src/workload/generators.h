@@ -25,6 +25,9 @@ struct UnaryKbParams {
   // Probability that a statement is a default (v drawn from {0, 1}) rather
   // than a mid-range statistic.
   double default_fraction = 0.0;
+  // Maximum nesting depth of the generated class expressions (1 reproduces
+  // the historical shallow shapes; the fuzzer drives this to 2-3).
+  int max_depth = 1;
 };
 
 // Predicate names used by the generator: P0..P{k-1}; constants K0..K{m-1}.
@@ -43,6 +46,44 @@ logic::FormulaPtr RandomUnaryKb(const UnaryKbParams& params,
 // A random query formula suited to the generated KBs: a class expression
 // about a random constant, or a proportion comparison.
 logic::FormulaPtr RandomQuery(const UnaryKbParams& params, std::mt19937* rng);
+
+// A batch of queries for the same KB, including occasional exact
+// duplicates (hash-consing makes them pointer-equal, which exercises the
+// batch API's dedup path).
+std::vector<logic::FormulaPtr> RandomQueryBatch(const UnaryKbParams& params,
+                                                int count, std::mt19937* rng);
+
+// ---- Non-unary scenarios (outside the profile/maxent fragment) ----
+//
+// KBs mixing unary statistics with binary-predicate facts and quantified
+// relational axioms: the fragment only the exact and Monte-Carlo engines
+// reach, generated for the differential fuzzer.
+struct MixedKbParams {
+  int num_unary = 2;
+  int num_binary = 1;
+  int num_constants = 2;
+  // Ground relational/class literals about the constants.
+  int num_facts = 2;
+  // Quantified axioms over the binary predicates, drawn from a
+  // satisfiable-by-construction pool (reflexivity, symmetry, seriality,
+  // ground-implication shapes).
+  int num_axioms = 1;
+  // Unary statistical conjuncts (as in UnaryKbParams).
+  int num_statements = 1;
+  double default_fraction = 0.3;
+  int max_depth = 2;
+};
+
+// Binary predicate names used by the generator: R0..R{k-1}.
+std::vector<std::string> GeneratorBinaryPredicates(int num_binary);
+
+logic::FormulaPtr RandomMixedKb(const MixedKbParams& params,
+                                std::mt19937* rng);
+
+// A query for mixed KBs: a ground relational literal, a quantified
+// relational sentence, or a unary class expression about a constant.
+logic::FormulaPtr RandomMixedQuery(const MixedKbParams& params,
+                                   std::mt19937* rng);
 
 // A taxonomy-chain KB for strength-rule experiments: classes
 // C0 ⊆ C1 ⊆ ... ⊆ C{depth-1}, statistics for a target predicate T on each

@@ -1,6 +1,7 @@
 // Batch API: DegreesOfBelief must agree with per-query DegreeOfBelief —
 // including bit-identical values with caching on, off, and across the
 // textual form — and handle duplicates and parse failures gracefully.
+#include <random>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,8 @@
 #include "src/core/knowledge_base.h"
 #include "src/fixtures/paper_kbs.h"
 #include "src/logic/parser.h"
+#include "src/logic/transform.h"
+#include "src/workload/generators.h"
 
 namespace rwl {
 namespace {
@@ -145,6 +148,59 @@ TEST(BatchInference, TextualFormReportsParseErrorsPerQuery) {
   EXPECT_EQ(answers[1].status, Answer::Status::kUnknown);
   EXPECT_NE(answers[1].explanation.find("parse error"), std::string::npos);
   EXPECT_NE(answers[2].status, Answer::Status::kUnknown);
+}
+
+TEST(BatchInference, FuzzGeneratedKbsMatchSequentialBitForBit) {
+  // Beyond the paper fixtures: on randomly generated unary KBs — mixed
+  // statistics and defaults, nested class expressions, duplicate queries,
+  // and an occasional fresh-symbol query — every batch answer (and its
+  // convergence series) must equal the sequential call exactly.
+  std::mt19937 rng(20260730);
+  InferenceOptions options;
+  options.limit.domain_sizes = {6, 9, 12};
+
+  int compared = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    workload::UnaryKbParams params;
+    params.num_predicates = 1 + trial % 3;
+    params.num_constants = 1 + trial % 2;
+    params.num_statements = 1 + trial % 2;
+    params.num_facts = trial % 2;
+    params.default_fraction = (trial % 2) * 0.5;
+    params.max_depth = 1 + trial % 2;
+
+    KnowledgeBase kb;
+    for (const auto& conjunct :
+         logic::Conjuncts(workload::RandomUnaryKb(params, &rng))) {
+      kb.Add(conjunct);
+    }
+    std::vector<logic::FormulaPtr> queries =
+        workload::RandomQueryBatch(params, 4, &rng);
+    if (trial % 3 == 0) {
+      // A query whose symbols the KB has never seen: must be answered in
+      // its own context without perturbing the others.
+      queries.push_back(
+          logic::ParseFormula("(Fresh(Novel) & P0(Novel))").formula);
+    }
+
+    std::vector<Answer> batch = DegreesOfBelief(kb, queries, options);
+    ASSERT_EQ(batch.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      Answer single = DegreeOfBelief(kb, queries[i], options);
+      ExpectSameAnswer(batch[i], single,
+                       "trial " + std::to_string(trial) + " query #" +
+                           std::to_string(i));
+      ASSERT_EQ(batch[i].series.size(), single.series.size());
+      for (size_t j = 0; j < batch[i].series.size(); ++j) {
+        EXPECT_EQ(batch[i].series[j].probability,
+                  single.series[j].probability);
+        EXPECT_EQ(batch[i].series[j].well_defined,
+                  single.series[j].well_defined);
+      }
+      ++compared;
+    }
+  }
+  EXPECT_GE(compared, 32);
 }
 
 TEST(BatchInference, PaperFixtureValuesSurvive) {

@@ -1,0 +1,165 @@
+// The corpus case format: serialization round trips, directive validation,
+// vocabulary pinning, and the property that a corpus file doubles as a
+// plain .rwl knowledge base.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/logic/parser.h"
+#include "src/testing/corpus.h"
+
+namespace rwl::testing {
+namespace {
+
+CorpusCase SampleCase() {
+  CorpusCase corpus_case;
+  corpus_case.notes = {"a note", "another note"};
+  corpus_case.seed = 42;
+  corpus_case.tolerance = 0.125;
+  corpus_case.domain_sizes = {2, 3, 5};
+  corpus_case.montecarlo_samples = 9000;
+  corpus_case.check_pipeline = false;
+  corpus_case.check_maxent = true;
+  corpus_case.check_batch = false;
+  corpus_case.pipeline_domain_sizes = {6, 9};
+  corpus_case.predicates = {{"P0", 1}, {"R", 2}};
+  corpus_case.functions = {{"K0", 0}, {"F", 1}};
+  corpus_case.queries = {"P0(K0)", "(P0(K0) | R(K0, K0))"};
+  corpus_case.kb_text = "#(P0(x))[x] ~= 0.5\nR(K0, K0)\n";
+  return corpus_case;
+}
+
+TEST(CorpusFormat, FormatParseRoundTripsEveryField) {
+  CorpusCase original = SampleCase();
+  CorpusCase reparsed;
+  std::string error;
+  ASSERT_TRUE(ParseCase(FormatCase(original), &reparsed, &error)) << error;
+  EXPECT_EQ(original.notes, reparsed.notes);
+  EXPECT_EQ(original.seed, reparsed.seed);
+  EXPECT_EQ(original.tolerance, reparsed.tolerance);
+  EXPECT_EQ(original.domain_sizes, reparsed.domain_sizes);
+  EXPECT_EQ(original.montecarlo_samples, reparsed.montecarlo_samples);
+  EXPECT_EQ(original.check_pipeline, reparsed.check_pipeline);
+  EXPECT_EQ(original.check_maxent, reparsed.check_maxent);
+  EXPECT_EQ(original.check_batch, reparsed.check_batch);
+  EXPECT_EQ(original.pipeline_domain_sizes, reparsed.pipeline_domain_sizes);
+  EXPECT_EQ(original.predicates, reparsed.predicates);
+  EXPECT_EQ(original.functions, reparsed.functions);
+  EXPECT_EQ(original.queries, reparsed.queries);
+  EXPECT_EQ(original.kb_text, reparsed.kb_text);
+}
+
+TEST(CorpusFormat, FormattedCaseIsAPlainKnowledgeBase) {
+  // The whole file must parse as a KB: //! directives are ordinary
+  // comments to the parser, so `rwlq <corpus-file> '<query>'` just works.
+  std::string text = FormatCase(SampleCase());
+  logic::ParseResult kb = logic::ParseKnowledgeBase(text);
+  ASSERT_TRUE(kb.ok()) << kb.error;
+}
+
+TEST(CorpusFormat, DirectiveErrorsAreReported) {
+  CorpusCase parsed;
+  std::string error;
+  EXPECT_FALSE(ParseCase("//! query: P(K)\n//! frobnicate: 1\n", &parsed,
+                         &error));
+  EXPECT_NE(error.find("unknown directive"), std::string::npos);
+  EXPECT_FALSE(ParseCase("//! predicate: NoArity\n//! query: P(K)\n",
+                         &parsed, &error));
+  EXPECT_NE(error.find("malformed predicate"), std::string::npos);
+  EXPECT_FALSE(ParseCase("//! checks: bogus\n//! query: P(K)\n", &parsed,
+                         &error));
+  EXPECT_NE(error.find("unknown check"), std::string::npos);
+  EXPECT_FALSE(ParseCase("P(K)\n", &parsed, &error));  // no query directive
+  EXPECT_NE(error.find("query"), std::string::npos);
+}
+
+TEST(CorpusFormat, ChecksNoneDisablesAllLimitChecks) {
+  CorpusCase parsed;
+  std::string error;
+  ASSERT_TRUE(ParseCase("//! checks: none\n//! query: P(K)\ntrue\n",
+                        &parsed, &error))
+      << error;
+  EXPECT_FALSE(parsed.check_pipeline);
+  EXPECT_FALSE(parsed.check_maxent);
+  EXPECT_FALSE(parsed.check_batch);
+  DifferentialOptions options = ReplayOptions(parsed);
+  EXPECT_FALSE(options.check_pipeline);
+  EXPECT_FALSE(options.check_maxent);
+  EXPECT_FALSE(options.check_batch);
+}
+
+TEST(CorpusFormat, ScenarioPinsTheDeclaredVocabulary) {
+  CorpusCase parsed;
+  std::string error;
+  ASSERT_TRUE(ParseCase(
+      "//! predicate: Unused/1\n"
+      "//! constant: Spare\n"
+      "//! query: P0(K0)\n"
+      "#(P0(x))[x] ~= 0.5\n",
+      &parsed, &error))
+      << error;
+  Scenario scenario;
+  ASSERT_TRUE(CaseToScenario(parsed, &scenario, &error)) << error;
+  // Pinned symbols exist even though no formula mentions them...
+  EXPECT_TRUE(scenario.vocabulary.FindPredicate("Unused").has_value());
+  EXPECT_TRUE(scenario.vocabulary.FindFunction("Spare").has_value());
+  // ...and the formulas' own symbols are registered on top.
+  EXPECT_TRUE(scenario.vocabulary.FindPredicate("P0").has_value());
+  EXPECT_TRUE(scenario.vocabulary.FindFunction("K0").has_value());
+}
+
+TEST(CorpusFormat, ScenarioCaptureRoundTrips) {
+  // CaseFromScenario(CaseToScenario(c)) preserves the executable content.
+  CorpusCase original = SampleCase();
+  Scenario scenario;
+  std::string error;
+  ASSERT_TRUE(CaseToScenario(original, &scenario, &error)) << error;
+  CorpusCase captured =
+      CaseFromScenario(scenario, ReplayOptions(original),
+                       original.montecarlo_samples);
+  Scenario again;
+  ASSERT_TRUE(CaseToScenario(captured, &again, &error)) << error;
+  // Hash-consing makes semantic equality pointer equality.
+  EXPECT_EQ(scenario.kb.get(), again.kb.get());
+  ASSERT_EQ(scenario.queries.size(), again.queries.size());
+  for (size_t i = 0; i < scenario.queries.size(); ++i) {
+    EXPECT_EQ(scenario.queries[i].get(), again.queries[i].get());
+  }
+  EXPECT_EQ(scenario.vocabulary.num_predicates(),
+            again.vocabulary.num_predicates());
+  EXPECT_EQ(scenario.vocabulary.num_functions(),
+            again.vocabulary.num_functions());
+}
+
+TEST(CorpusFormat, WriteAndLoadRoundTripOnDisk) {
+  std::string path =
+      ::testing::TempDir() + "/corpus_format_roundtrip.rwl";
+  CorpusCase original = SampleCase();
+  std::string error;
+  ASSERT_TRUE(WriteCaseFile(path, original, &error)) << error;
+  CorpusCase loaded;
+  ASSERT_TRUE(LoadCaseFile(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.name, "corpus_format_roundtrip");
+  EXPECT_EQ(original.queries, loaded.queries);
+  EXPECT_EQ(original.kb_text, loaded.kb_text);
+  EXPECT_EQ(original.predicates, loaded.predicates);
+  EXPECT_EQ(original.montecarlo_samples, loaded.montecarlo_samples);
+}
+
+TEST(CorpusFormat, ParseKeepsPlainCommentsOutOfDirectives) {
+  CorpusCase parsed;
+  std::string error;
+  ASSERT_TRUE(ParseCase(
+      "// a plain comment, not a directive\n"
+      "//! query: P(K)\n"
+      "P(K)\n",
+      &parsed, &error))
+      << error;
+  EXPECT_EQ(parsed.queries.size(), 1u);
+  // The plain comment is KB content and survives verbatim for the parser
+  // to skip.
+  EXPECT_NE(parsed.kb_text.find("// a plain comment"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rwl::testing

@@ -1,0 +1,214 @@
+// The differential harness's own correctness: the tolerance-aware result
+// comparison, the oracle's agreement on known-good KBs, the shrinker's
+// minimization, and the end-to-end self-check that a deliberately injected
+// engine bug is caught and shrunk to a tiny reproducer.
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/engines/exact_engine.h"
+#include "src/engines/profile_engine.h"
+#include "src/logic/builder.h"
+#include "src/logic/printer.h"
+#include "src/logic/transform.h"
+#include "src/testing/buggy_engine.h"
+#include "src/testing/differential.h"
+#include "src/testing/shrinker.h"
+#include "src/workload/generators.h"
+
+namespace rwl::testing {
+namespace {
+
+using engines::FiniteResult;
+using engines::ResultClass;
+using engines::ResultTolerance;
+using logic::Formula;
+using logic::FormulaPtr;
+
+FiniteResult Defined(double p, double log_den) {
+  FiniteResult r;
+  r.well_defined = true;
+  r.probability = p;
+  r.log_numerator = 0.0;
+  r.log_denominator = log_den;
+  return r;
+}
+
+TEST(ResultsEquivalent, DeterministicPairUsesTightEpsilon) {
+  ResultTolerance tol;
+  std::string why;
+  EXPECT_TRUE(engines::ResultsEquivalent(
+      Defined(0.5, 3.0), ResultClass::kDeterministic,
+      Defined(0.5 + 5e-10, 3.0), ResultClass::kDeterministic, tol, &why));
+  EXPECT_FALSE(engines::ResultsEquivalent(
+      Defined(0.5, 3.0), ResultClass::kDeterministic,
+      Defined(0.5 + 1e-6, 3.0), ResultClass::kDeterministic, tol, &why));
+  EXPECT_NE(why.find("probabilities differ"), std::string::npos);
+}
+
+TEST(ResultsEquivalent, StatisticalSideGetsSamplingAllowance) {
+  ResultTolerance tol;
+  // 10000 accepted samples → sd(0.5) = 0.005; z=6 plus floor allows ~0.035.
+  FiniteResult estimate = Defined(0.52, std::log(10000.0));
+  EXPECT_TRUE(engines::ResultsEquivalent(
+      Defined(0.5, 3.0), ResultClass::kDeterministic, estimate,
+      ResultClass::kStatistical, tol, nullptr));
+  // A half-probability shift is far outside any sampling allowance.
+  FiniteResult way_off = Defined(0.95, std::log(10000.0));
+  EXPECT_FALSE(engines::ResultsEquivalent(
+      Defined(0.5, 3.0), ResultClass::kDeterministic, way_off,
+      ResultClass::kStatistical, tol, nullptr));
+}
+
+TEST(ResultsEquivalent, WellDefinednessRules) {
+  ResultTolerance tol;
+  FiniteResult undefined;  // default: not well-defined
+  // Statistical drought against a defined deterministic answer: fine.
+  EXPECT_TRUE(engines::ResultsEquivalent(
+      undefined, ResultClass::kStatistical, Defined(0.4, 2.0),
+      ResultClass::kDeterministic, tol, nullptr));
+  // A statistical engine accepting worlds of a provably unsatisfiable KB
+  // is a contradiction.
+  std::string why;
+  EXPECT_FALSE(engines::ResultsEquivalent(
+      Defined(0.4, 2.0), ResultClass::kStatistical, undefined,
+      ResultClass::kDeterministic, tol, &why));
+  // Two deterministic engines must agree on definedness exactly.
+  EXPECT_FALSE(engines::ResultsEquivalent(
+      undefined, ResultClass::kDeterministic, Defined(0.4, 2.0),
+      ResultClass::kDeterministic, tol, nullptr));
+  // Exhausted results are uninformative.
+  FiniteResult exhausted;
+  exhausted.exhausted = true;
+  EXPECT_TRUE(engines::ResultsEquivalent(
+      exhausted, ResultClass::kDeterministic, Defined(0.4, 2.0),
+      ResultClass::kDeterministic, tol, nullptr));
+}
+
+Scenario HepatitisScenario() {
+  Scenario scenario;
+  std::string error;
+  EXPECT_TRUE(ScenarioFromTexts(
+      "Jaun(Eric)\n#(Hep(x) ; Jaun(x))[x] ~= 0.8\n",
+      {"Hep(Eric)", "(Hep(Eric) | Jaun(Eric))", "!Hep(Eric)"}, &scenario,
+      &error))
+      << error;
+  scenario.provenance = "hepatitis fixture";
+  return scenario;
+}
+
+TEST(Differential, AgreesOnTheHepatitisFixture) {
+  DifferentialOptions options;
+  options.tolerances = semantics::ToleranceVector::Uniform(0.1);
+  DifferentialReport report =
+      RunDifferential(HepatitisScenario(), options);
+  EXPECT_TRUE(report.ok()) << report.Summary(HepatitisScenario());
+  EXPECT_GT(report.comparisons, 10);
+}
+
+TEST(Differential, CatchesAnInjectedEngineBug) {
+  engines::ExactEngine exact;
+  engines::ProfileEngine profile;
+  SkewOnOrEngine skewed(&profile);
+  std::vector<const engines::FiniteEngine*> buggy = {&exact, &skewed};
+
+  Scenario scenario = HepatitisScenario();  // has an Or query
+  DifferentialOptions options;
+  options.tolerances = semantics::ToleranceVector::Uniform(0.1);
+  options.check_pipeline = false;
+  options.check_maxent = false;
+  options.check_batch = false;
+  DifferentialReport report =
+      RunDifferential(scenario, buggy, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.disagreements[0].check, "finite");
+}
+
+TEST(Shrinker, MinimizesToThePredicateCore) {
+  // A synthetic failure predicate — "some KB conjunct mentions P0 and some
+  // query contains an Or" — shrinks to one conjunct and one query without
+  // running any engine.
+  Scenario scenario;
+  std::string error;
+  ASSERT_TRUE(ScenarioFromTexts(
+      "P0(K0)\nP1(K0)\n(P2(K0) & P1(K1))\n#(P1(x))[x] ~= 0.4\n",
+      {"(P1(K0) | P2(K0))", "P1(K1)"}, &scenario, &error))
+      << error;
+
+  auto still_fails = [](const Scenario& candidate) {
+    bool kb_mentions_p0 = false;
+    for (const auto& conjunct : logic::Conjuncts(candidate.kb)) {
+      kb_mentions_p0 =
+          kb_mentions_p0 || logic::PredicatesOf(conjunct).count("P0") > 0;
+    }
+    bool query_has_or = false;
+    for (const auto& query : candidate.queries) {
+      query_has_or = query_has_or || ContainsOr(query);
+    }
+    return kb_mentions_p0 && query_has_or;
+  };
+  ASSERT_TRUE(still_fails(scenario));
+
+  ShrinkOutcome outcome = Shrink(scenario, still_fails);
+  EXPECT_TRUE(still_fails(outcome.scenario));
+  EXPECT_EQ(outcome.kb_conjuncts, 1);
+  ASSERT_EQ(outcome.scenario.queries.size(), 1u);
+  EXPECT_TRUE(ContainsOr(outcome.scenario.queries[0]));
+}
+
+// End-to-end self-check, mirroring `rwlfuzz --self-test` phase 2 at test
+// scale: fuzz random unary scenarios against a skewed profile engine until
+// the finite oracle fires, then shrink to a ≤5-conjunct reproducer.
+TEST(Differential, InjectedBugIsCaughtAndShrunkSmall) {
+  engines::ExactEngine exact;
+  engines::ProfileEngine profile;
+  SkewOnOrEngine skewed(&profile);
+  std::vector<const engines::FiniteEngine*> buggy = {&exact, &skewed};
+
+  DifferentialOptions options;
+  options.tolerances = semantics::ToleranceVector::Uniform(0.2);
+  options.domain_sizes = {2, 3};
+  options.check_pipeline = false;
+  options.check_maxent = false;
+  options.check_batch = false;
+
+  std::mt19937 rng(20260730);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    workload::UnaryKbParams params;
+    params.num_predicates = 2;
+    params.num_constants = 1;
+    params.num_statements = 2;
+    params.num_facts = 1;
+    params.max_depth = 2;
+
+    Scenario scenario;
+    scenario.kb = workload::RandomUnaryKb(params, &rng);
+    scenario.queries = workload::RandomQueryBatch(params, 3, &rng);
+    for (const auto& p :
+         workload::GeneratorPredicates(params.num_predicates)) {
+      scenario.vocabulary.AddPredicate(p, 1);
+    }
+    scenario.vocabulary.AddConstant("K0");
+    logic::RegisterSymbols(scenario.kb, &scenario.vocabulary);
+    for (const auto& query : scenario.queries) {
+      logic::RegisterSymbols(query, &scenario.vocabulary);
+    }
+
+    if (RunDifferential(scenario, buggy, options).ok()) continue;
+
+    auto still_fails = [&](const Scenario& candidate) {
+      return !RunDifferential(candidate, buggy, options).ok();
+    };
+    ShrinkOutcome outcome = Shrink(scenario, still_fails);
+    EXPECT_LE(outcome.kb_conjuncts, 5)
+        << Describe(outcome.scenario);
+    EXPECT_FALSE(RunDifferential(outcome.scenario, buggy, options).ok())
+        << "shrunk scenario no longer fails";
+    return;  // caught and shrunk — done
+  }
+  FAIL() << "injected bug never caught in 200 scenarios";
+}
+
+}  // namespace
+}  // namespace rwl::testing

@@ -107,6 +107,49 @@ TEST(MonteCarloEngine, DeterministicUnderSeed) {
   EXPECT_EQ(a.probability, b.probability);
 }
 
+TEST(MonteCarloEngine, BitIdenticalAcrossRunsAndThreadCounts) {
+  // Same Options::seed → bit-identical estimates from independently
+  // constructed engines, and from the limit sweep at any worker-pool
+  // width (each (N, τ) point reseeds from the options, so evaluation
+  // order cannot leak into the results).
+  logic::Vocabulary vocab;
+  vocab.AddPredicate("R", 2);
+  vocab.AddPredicate("A", 1);
+  vocab.AddConstant("K0");
+  vocab.AddConstant("K1");
+  FormulaPtr kb = Formula::And(Formula::ForAll("x", P("R", V("x"), V("x"))),
+                               P("A", C("K0")));
+  FormulaPtr query = P("R", C("K0"), C("K1"));
+
+  MonteCarloEngine first(FastOptions());
+  MonteCarloEngine second(FastOptions());
+  for (int n : {3, 4, 6}) {
+    FiniteResult a = first.DegreeAt(vocab, kb, query, n, Tol(0.1));
+    FiniteResult b = second.DegreeAt(vocab, kb, query, n, Tol(0.1));
+    EXPECT_EQ(a.well_defined, b.well_defined) << "N=" << n;
+    EXPECT_EQ(a.probability, b.probability) << "N=" << n;
+    EXPECT_EQ(a.log_numerator, b.log_numerator) << "N=" << n;
+    EXPECT_EQ(a.log_denominator, b.log_denominator) << "N=" << n;
+  }
+
+  LimitOptions serial;
+  serial.domain_sizes = {3, 4, 6};
+  serial.num_threads = 1;
+  LimitOptions pooled = serial;
+  pooled.num_threads = 4;
+  LimitResult a = EstimateLimit(first, vocab, kb, query, Tol(0.1), serial);
+  LimitResult b = EstimateLimit(second, vocab, kb, query, Tol(0.1), pooled);
+  EXPECT_EQ(a.value.has_value(), b.value.has_value());
+  if (a.value.has_value()) EXPECT_EQ(*a.value, *b.value);
+  EXPECT_EQ(a.converged, b.converged);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i].domain_size, b.series[i].domain_size);
+    EXPECT_EQ(a.series[i].probability, b.series[i].probability);
+    EXPECT_EQ(a.series[i].well_defined, b.series[i].well_defined);
+  }
+}
+
 TEST(MonteCarloEngine, SupportsRefusesHugeWorlds) {
   logic::Vocabulary vocab;
   vocab.AddPredicate("R", 3);

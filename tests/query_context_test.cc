@@ -159,6 +159,55 @@ TEST(QueryContextCaching, CacheStatsRecordHits) {
   EXPECT_GE(stats.finite_misses, 1u);
 }
 
+TEST(QueryContextBudget, OversizedBlobIsDroppedOutright) {
+  Fixture f = MakeFixture();
+  QueryContext ctx(f.vocabulary, f.kb.AsFormula(), true);
+  auto blob = std::make_shared<int>(7);
+  ctx.StoreBlob("oversized", blob, QueryContext::kBlobBudgetBytes + 1);
+  EXPECT_EQ(ctx.LookupBlob("oversized"), nullptr);
+  QueryContext::CacheStats stats = ctx.cache_stats();
+  EXPECT_EQ(stats.blob_stores_dropped, 1u);
+  EXPECT_EQ(stats.blob_bytes, 0u) << "a dropped store must not be charged";
+}
+
+TEST(QueryContextBudget, EngineDegradesGracefullyWhenBudgetIsFull) {
+  // Saturate the 256 MiB blob budget with one (hint-only) entry standing
+  // in for an oversized satisfying-world record, then run the engines:
+  // their world-list stores must be dropped — no cache — while every
+  // answer stays bit-identical to the uncontexted computation.
+  Fixture f = MakeFixture();
+  engines::ProfileEngine profile;
+  engines::ExactEngine exact;
+  semantics::ToleranceVector tol = semantics::ToleranceVector::Uniform(0.1);
+
+  QueryContext ctx(f.vocabulary, f.kb.AsFormula(), true);
+  ctx.StoreBlob("pin", std::make_shared<int>(0),
+                QueryContext::kBlobBudgetBytes);
+  ASSERT_EQ(ctx.cache_stats().blob_bytes, QueryContext::kBlobBudgetBytes);
+
+  for (int n : {8, 16}) {
+    FiniteResult legacy =
+        profile.DegreeAt(f.vocabulary, f.kb.AsFormula(), f.query, n, tol);
+    // Three distinct queries drive the record-replay protocol through
+    // mark → (dropped) record → recompute.
+    profile.DegreeAt(ctx, f.other_query, n, tol);
+    profile.DegreeAt(ctx, f.third_query, n, tol);
+    ExpectBitIdentical(profile.DegreeAt(ctx, f.query, n, tol), legacy);
+  }
+  const int exact_n = 3;
+  FiniteResult legacy =
+      exact.DegreeAt(f.vocabulary, f.kb.AsFormula(), f.query, exact_n, tol);
+  exact.DegreeAt(ctx, f.other_query, exact_n, tol);
+  exact.DegreeAt(ctx, f.third_query, exact_n, tol);
+  ExpectBitIdentical(exact.DegreeAt(ctx, f.query, exact_n, tol), legacy);
+
+  QueryContext::CacheStats stats = ctx.cache_stats();
+  EXPECT_GE(stats.blob_stores_dropped, 3u)
+      << "world-list records should have been rejected over budget";
+  EXPECT_EQ(stats.blob_bytes, QueryContext::kBlobBudgetBytes)
+      << "dropped stores must leave the charge untouched";
+}
+
 TEST(EstimateLimitParallel, MatchesSerialSweepBitwise) {
   Fixture f = MakeFixture();
   engines::ProfileEngine profile;
