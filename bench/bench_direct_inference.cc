@@ -9,6 +9,7 @@
 #include "bench/bench_util.h"
 #include "src/core/inference.h"
 #include "src/core/knowledge_base.h"
+#include "src/engines/exact_engine.h"
 #include "src/engines/profile_engine.h"
 #include "src/logic/parser.h"
 
@@ -113,6 +114,21 @@ void BM_ProfileDirectInference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ProfileDirectInference)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ExactDirectInference(benchmark::State& state) {
+  // The definitional enumeration on the hepatitis KB at exact-engine
+  // reachable N: the world loop is the compiled-VM + sharding hot path.
+  KnowledgeBase kb = HepKb(false);
+  rwl::engines::ExactEngine engine;
+  auto query = rwl::logic::ParseFormula("Hep(Eric)").formula;
+  auto tol = rwl::semantics::ToleranceVector::Uniform(0.1);
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.DegreeAt(kb.vocabulary(), kb.AsFormula(),
+                                             query, n, tol));
+  }
+}
+BENCHMARK(BM_ExactDirectInference)->DenseRange(4, 8, 2);
 
 void BM_MaxEntDirectInference(benchmark::State& state) {
   KnowledgeBase kb = HepKb(false);

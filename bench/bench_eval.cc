@@ -1,0 +1,234 @@
+// Evaluator microbenchmark: compiled bytecode VM vs. the tree-walking
+// interpreter, plus world-loop thread scaling of the sharded exact engine.
+//
+// Emits one BENCH_JSON line per row (grep into BENCH_eval.json — see
+// bench_util.h) so the perf trajectory of the evaluation hot path is
+// tracked across PRs:
+//
+//   bench_eval | grep '^BENCH_JSON ' | sed 's/^BENCH_JSON //' > BENCH_eval.json
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <random>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "src/engines/exact_engine.h"
+#include "src/logic/builder.h"
+#include "src/logic/parser.h"
+#include "src/semantics/compile.h"
+#include "src/semantics/evaluator.h"
+#include "src/semantics/vm.h"
+
+namespace {
+
+using rwl::logic::FormulaPtr;
+using rwl::semantics::CompiledFormula;
+using rwl::semantics::EvalFrame;
+using rwl::semantics::World;
+
+struct Fixture {
+  rwl::logic::Vocabulary vocab;
+  FormulaPtr formula;
+};
+
+// A representative mixed-fragment sentence: quantifiers over a binary
+// relation, a conditional proportion, and arithmetic on proportion terms.
+Fixture MakeFixture() {
+  Fixture f;
+  f.vocab.AddPredicate("P", 1);
+  f.vocab.AddPredicate("Q", 1);
+  f.vocab.AddPredicate("R", 2);
+  f.vocab.AddConstant("K");
+  auto parsed = rwl::logic::ParseFormula(
+      "(forall x. (R(x, x) => P(x))) & "
+      "#(P(x) ; Q(x))[x] <~ #(Q(x))[x] + 0.5 & "
+      "(exists x. R(K, x))");
+  f.formula = parsed.formula;
+  return f;
+}
+
+void RandomizeWorld(World* world, std::mt19937_64* rng) {
+  const auto& vocab = world->vocabulary();
+  for (int p = 0; p < vocab.num_predicates(); ++p) {
+    for (auto& cell : world->predicate_table(p)) {
+      cell = static_cast<uint8_t>((*rng)() & 1);
+    }
+  }
+  std::uniform_int_distribution<int> element(0, world->domain_size() - 1);
+  for (int fn = 0; fn < vocab.num_functions(); ++fn) {
+    for (auto& cell : world->function_table(fn)) cell = element(*rng);
+  }
+}
+
+// ---- manual compile-vs-interpret report (one JSON row per N) ----
+
+void ReportCompileVsInterpret() {
+  rwl::bench::PrintHeader("Evaluator: compiled VM vs tree-walker");
+  Fixture f = MakeFixture();
+  auto tol = rwl::semantics::ToleranceVector::Uniform(0.1);
+  CompiledFormula compiled =
+      rwl::semantics::CompileFormula(f.formula, f.vocab);
+  if (!compiled.ok()) {
+    std::printf("compile failed: %s\n", compiled.error.c_str());
+    return;
+  }
+
+  for (int n : {4, 6, 8}) {
+    World world(&f.vocab, n);
+    std::mt19937_64 rng(99);
+    RandomizeWorld(&world, &rng);
+    EvalFrame frame;
+    frame.Prepare(*compiled.program, tol);
+
+    // Calibrate the iteration count on the VM so each side runs ~0.2s max.
+    const int iters = n <= 4 ? 20000 : n <= 6 ? 4000 : 1000;
+    using Clock = std::chrono::steady_clock;
+
+    bool sink = false;
+    auto walk_start = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+      sink ^= rwl::semantics::Evaluate(f.formula, world, tol);
+    }
+    double walk_ns = std::chrono::duration<double, std::nano>(
+                         Clock::now() - walk_start)
+                         .count() /
+                     iters;
+
+    auto vm_start = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+      sink ^= rwl::semantics::RunProgram(*compiled.program, world, &frame);
+    }
+    double vm_ns = std::chrono::duration<double, std::nano>(
+                       Clock::now() - vm_start)
+                       .count() /
+                   iters;
+    benchmark::DoNotOptimize(sink);
+
+    double speedup = vm_ns > 0 ? walk_ns / vm_ns : 0.0;
+    std::printf("  [eval-N%-2d] walker=%10.0f ns/eval  vm=%10.0f ns/eval  "
+                "speedup=%.2fx\n",
+                n, walk_ns, vm_ns, speedup);
+    rwl::bench::JsonLine line("eval");
+    line.Field("id", "vm_vs_interp_N" + std::to_string(n))
+        .Field("domain_size", n)
+        .Field("walker_ns_per_eval", walk_ns)
+        .Field("vm_ns_per_eval", vm_ns)
+        .Field("speedup", speedup);
+    line.Emit();
+  }
+}
+
+// ---- exact-engine world-loop thread scaling (one JSON row) ----
+
+void ReportThreadScaling() {
+  rwl::bench::PrintHeader("Exact engine: world-loop thread scaling");
+  rwl::logic::Vocabulary vocab;
+  vocab.AddPredicate("P", 1);
+  vocab.AddPredicate("R", 2);
+  FormulaPtr kb = rwl::logic::ParseFormula(
+                      "(forall x. (R(x, x) => P(x)))")
+                      .formula;
+  FormulaPtr query =
+      rwl::logic::ParseFormula("(exists x. R(x, x))").formula;
+  auto tol = rwl::semantics::ToleranceVector::Uniform(0.1);
+  const int n = 4;  // 2^(4 + 16) ≈ 1M worlds
+
+  using Clock = std::chrono::steady_clock;
+  auto time_with = [&](int threads) {
+    rwl::engines::ExactEngine engine(26.0, threads);
+    auto start = Clock::now();
+    benchmark::DoNotOptimize(engine.DegreeAt(vocab, kb, query, n, tol));
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  time_with(1);  // warm-up
+  double serial_s = time_with(1);
+  double pooled_s = time_with(8);
+  double scaling = pooled_s > 0 ? serial_s / pooled_s : 0.0;
+  std::printf("  [world-loop] 1 thread=%.3fs  8 threads=%.3fs  scaling=%.2fx"
+              "  (hardware threads: %u)\n",
+              serial_s, pooled_s, scaling,
+              std::thread::hardware_concurrency());
+  rwl::bench::JsonLine line("eval");
+  line.Field("id", "exact_world_loop_threads")
+      .Field("domain_size", n)
+      .Field("serial_seconds", serial_s)
+      .Field("threads8_seconds", pooled_s)
+      .Field("scaling_8_threads", scaling)
+      .Field("hardware_threads",
+             static_cast<int64_t>(std::thread::hardware_concurrency()));
+  line.Emit();
+}
+
+// ---- google-benchmark timings ----
+
+void BM_TreeWalkerEval(benchmark::State& state) {
+  Fixture f = MakeFixture();
+  auto tol = rwl::semantics::ToleranceVector::Uniform(0.1);
+  World world(&f.vocab, static_cast<int>(state.range(0)));
+  std::mt19937_64 rng(7);
+  RandomizeWorld(&world, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rwl::semantics::Evaluate(f.formula, world, tol));
+  }
+}
+BENCHMARK(BM_TreeWalkerEval)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_CompiledVmEval(benchmark::State& state) {
+  Fixture f = MakeFixture();
+  auto tol = rwl::semantics::ToleranceVector::Uniform(0.1);
+  CompiledFormula compiled =
+      rwl::semantics::CompileFormula(f.formula, f.vocab);
+  World world(&f.vocab, static_cast<int>(state.range(0)));
+  std::mt19937_64 rng(7);
+  RandomizeWorld(&world, &rng);
+  EvalFrame frame;
+  frame.Prepare(*compiled.program, tol);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rwl::semantics::RunProgram(*compiled.program, world, &frame));
+  }
+}
+BENCHMARK(BM_CompiledVmEval)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_CompileFormula(benchmark::State& state) {
+  Fixture f = MakeFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rwl::semantics::CompileFormula(f.formula, f.vocab));
+  }
+}
+BENCHMARK(BM_CompileFormula);
+
+void BM_ExactEngineSharded(benchmark::State& state) {
+  rwl::logic::Vocabulary vocab;
+  vocab.AddPredicate("P", 1);
+  vocab.AddConstant("K");
+  FormulaPtr kb =
+      rwl::logic::ParseFormula("#(P(x))[x] <~ 0.8 & P(K)").formula;
+  FormulaPtr query = rwl::logic::ParseFormula("P(K)").formula;
+  auto tol = rwl::semantics::ToleranceVector::Uniform(0.1);
+  rwl::engines::ExactEngine engine(26.0,
+                                   static_cast<int>(state.range(1)));
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.DegreeAt(vocab, kb, query, n, tol));
+  }
+}
+BENCHMARK(BM_ExactEngineSharded)
+    ->Args({8, 1})
+    ->Args({8, 8})
+    ->Args({16, 1})
+    ->Args({16, 8});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ReportCompileVsInterpret();
+  ReportThreadScaling();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

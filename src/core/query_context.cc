@@ -8,6 +8,7 @@
 #include "src/engines/engine.h"
 #include "src/engines/symbolic_engine.h"
 #include "src/logic/transform.h"
+#include "src/semantics/compile.h"
 
 namespace rwl {
 
@@ -27,6 +28,8 @@ struct QueryContext::Impl {
 
   std::unordered_map<std::string, engines::FiniteResult> finite;
   std::unordered_map<std::string, BlobEntry> blobs;
+  std::unordered_map<uint64_t, std::shared_ptr<const semantics::CompiledFormula>>
+      programs;
 
   mutable CacheStats stats;
 };
@@ -71,6 +74,25 @@ const engines::KbAnalysis& QueryContext::kb_analysis() const {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   if (!impl_->analysis.has_value()) impl_->analysis = std::move(computed);
   return *impl_->analysis;
+}
+
+std::shared_ptr<const semantics::CompiledFormula> QueryContext::Compiled(
+    const logic::FormulaPtr& f) const {
+  const uint64_t id = f == nullptr ? 0 : f->id();
+  if (caching_enabled_) {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto it = impl_->programs.find(id);
+    if (it != impl_->programs.end()) return it->second;
+  }
+  // Compile outside the lock (deterministic, so racing adopters agree).
+  auto compiled = std::make_shared<const semantics::CompiledFormula>(
+      semantics::CompileFormula(f, vocabulary_));
+  if (caching_enabled_) {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto [it, inserted] = impl_->programs.emplace(id, compiled);
+    return it->second;
+  }
+  return compiled;
 }
 
 bool QueryContext::LookupFinite(const std::string& key,

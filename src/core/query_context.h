@@ -34,6 +34,10 @@ struct FiniteResult;
 struct KbAnalysis;
 }  // namespace rwl::engines
 
+namespace rwl::semantics {
+struct CompiledFormula;
+}  // namespace rwl::semantics
+
 namespace rwl {
 
 class QueryContext {
@@ -68,6 +72,18 @@ class QueryContext {
 
   // The symbolic engine's flattened statistical view of the KB.
   const engines::KbAnalysis& kb_analysis() const;
+
+  // ---- Compiled-program cache ----
+  //
+  // The bytecode program (semantics/compile.h) for a formula against this
+  // context's vocabulary, memoized by the formula's dense node id.  A
+  // program depends only on (formula, vocabulary) — compilation is
+  // deterministic and carries no query results — but the memo still honors
+  // caching_enabled() so the uncached measurement mode recompiles from
+  // scratch (bit-identically).  Never returns null; compile failures are
+  // carried inside the CompiledFormula.
+  std::shared_ptr<const semantics::CompiledFormula> Compiled(
+      const logic::FormulaPtr& f) const;
 
   // ---- Finite-result memo ----
   //

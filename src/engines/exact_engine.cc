@@ -1,15 +1,20 @@
 #include "src/engines/exact_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/combinatorics/logmath.h"
 #include "src/core/query_context.h"
 #include "src/engines/world_cache.h"
-#include "src/semantics/evaluator.h"
+#include "src/semantics/compile.h"
+#include "src/semantics/vm.h"
 #include "src/semantics/world.h"
+#include "src/util/thread_pool.h"
 
 namespace rwl::engines {
 namespace {
@@ -49,90 +54,145 @@ struct ExactWorldList {
 // Memory cap for one recorded point (~64 MiB of cells).
 constexpr int64_t kMaxRecordedBytes = 64ll << 20;
 
-FiniteResult ComputeExact(const logic::Vocabulary& vocabulary,
-                          const logic::FormulaPtr& kb,
-                          const logic::FormulaPtr& query, int domain_size,
-                          const semantics::ToleranceVector& tolerances,
-                          ExactWorldList* record) {
-  semantics::World world(&vocabulary, domain_size);
+// Exact number of worlds 2^(predicate cells) × N^(function cells), or -1
+// when it does not fit in an int64 (such instances never pass Supports,
+// but DegreeAt is callable directly).
+int64_t ExactWorldCountOrNegative(const semantics::World& probe,
+                                  int domain_size) {
+  constexpr int64_t kLimit = int64_t{1} << 62;
+  int64_t total = 1;
+  for (int64_t i = 0; i < probe.TotalPredicateCells(); ++i) {
+    if (total > kLimit / 2) return -1;
+    total *= 2;
+  }
+  for (int64_t i = 0; i < probe.TotalFunctionCells(); ++i) {
+    if (domain_size > 1 && total > kLimit / domain_size) return -1;
+    total *= domain_size;
+  }
+  return total;
+}
 
+// Positions the world's cells at world index `index` of the enumeration
+// order used by AdvanceWorld: predicate cells are the low binary digits
+// (table 0, cell 0 first), function cells the high base-N digits.
+void SeekWorld(semantics::World* world, int64_t index) {
+  const auto& vocabulary = world->vocabulary();
+  for (int p = 0; p < vocabulary.num_predicates(); ++p) {
+    for (auto& cell : world->predicate_table(p)) {
+      cell = static_cast<uint8_t>(index & 1);
+      index >>= 1;
+    }
+  }
+  const int n = world->domain_size();
+  for (int f = 0; f < vocabulary.num_functions(); ++f) {
+    for (auto& cell : world->function_table(f)) {
+      cell = static_cast<int>(index % n);
+      index /= n;
+    }
+  }
+}
+
+// Odometer increment over all predicate cells (base 2) and all function
+// cells (base N); returns false when the odometer wraps around.
+bool AdvanceWorld(semantics::World* world) {
+  const auto& vocabulary = world->vocabulary();
+  const int n = world->domain_size();
+  for (int p = 0; p < vocabulary.num_predicates(); ++p) {
+    auto& table = world->predicate_table(p);
+    for (auto& cell : table) {
+      if (cell == 0) {
+        cell = 1;
+        return true;
+      }
+      cell = 0;
+    }
+  }
+  for (int f = 0; f < vocabulary.num_functions(); ++f) {
+    auto& table = world->function_table(f);
+    for (auto& cell : table) {
+      if (cell + 1 < n) {
+        ++cell;
+        return true;
+      }
+      cell = 0;
+    }
+  }
+  return false;
+}
+
+// One shard's contribution to the enumeration: counts, and (when recording)
+// the KB worlds of its contiguous index range in enumeration order.
+struct ShardTally {
   int64_t kb_count = 0;
   int64_t both_count = 0;
+  bool record_overflow = false;
+  int64_t recorded_bytes = 0;
+  int64_t kb_recorded = 0;
+  std::vector<uint8_t> pred_cells;
+  std::vector<int> func_cells;
+};
+
+void RunShard(const logic::Vocabulary& vocabulary,
+              const semantics::Program& kb_program,
+              const semantics::Program& query_program, int domain_size,
+              const semantics::ToleranceVector& tolerances, int64_t start,
+              int64_t count, bool recording,
+              std::atomic<int64_t>* global_recorded_bytes,
+              ShardTally* tally) {
+  semantics::World world(&vocabulary, domain_size);
+  SeekWorld(&world, start);
+  semantics::EvalFrame kb_frame;
+  semantics::EvalFrame query_frame;
+  kb_frame.Prepare(kb_program, tolerances);
+  query_frame.Prepare(query_program, tolerances);
 
   const int num_predicates = vocabulary.num_predicates();
   const int num_functions = vocabulary.num_functions();
+  const int64_t stride_bytes =
+      world.TotalPredicateCells() +
+      world.TotalFunctionCells() * static_cast<int64_t>(sizeof(int));
 
-  bool record_overflow = false;
-  int64_t recorded_bytes = 0;
-  if (record != nullptr) {
-    record->pred_stride = world.TotalPredicateCells();
-    record->func_stride = world.TotalFunctionCells();
+  // `count < 0` means "until the odometer wraps" (instances whose world
+  // count overflows int64; they never pass Supports, but DegreeAt is
+  // callable directly and must keep the serial semantics).
+  for (int64_t w = 0; count < 0 || w < count; ++w) {
+    if (semantics::RunProgram(kb_program, world, &kb_frame)) {
+      ++tally->kb_count;
+      if (recording && !tally->record_overflow) {
+        tally->recorded_bytes += stride_bytes;
+        // The byte cap is shared across shards (an atomic running total),
+        // so the parallel recording path never holds more than ~the cap in
+        // memory before the merge decides validity.  The verdict stays
+        // deterministic: it depends only on whether the total bytes of ALL
+        // KB worlds exceed the cap, not on shard interleaving.
+        if (global_recorded_bytes->fetch_add(
+                stride_bytes, std::memory_order_relaxed) +
+                stride_bytes >
+            kMaxRecordedBytes) {
+          tally->record_overflow = true;
+        } else {
+          for (int p = 0; p < num_predicates; ++p) {
+            const auto& table = world.predicate_table(p);
+            tally->pred_cells.insert(tally->pred_cells.end(), table.begin(),
+                                     table.end());
+          }
+          for (int f = 0; f < num_functions; ++f) {
+            const auto& table = world.function_table(f);
+            tally->func_cells.insert(tally->func_cells.end(), table.begin(),
+                                     table.end());
+          }
+          ++tally->kb_recorded;
+        }
+      }
+      if (semantics::RunProgram(query_program, world, &query_frame)) {
+        ++tally->both_count;
+      }
+    }
+    if (!AdvanceWorld(&world) && count < 0) break;
   }
+}
 
-  auto evaluate_current = [&]() {
-    if (!semantics::Evaluate(kb, world, tolerances)) return;
-    ++kb_count;
-    if (record != nullptr && !record_overflow) {
-      recorded_bytes += record->pred_stride +
-                        record->func_stride * static_cast<int64_t>(sizeof(int));
-      if (recorded_bytes > kMaxRecordedBytes) {
-        record_overflow = true;
-      } else {
-        for (int p = 0; p < num_predicates; ++p) {
-          const auto& table = world.predicate_table(p);
-          record->pred_cells.insert(record->pred_cells.end(), table.begin(),
-                                    table.end());
-        }
-        for (int f = 0; f < num_functions; ++f) {
-          const auto& table = world.function_table(f);
-          record->func_cells.insert(record->func_cells.end(), table.begin(),
-                                    table.end());
-        }
-        ++record->kb_count;
-      }
-    }
-    if (semantics::Evaluate(query, world, tolerances)) ++both_count;
-  };
-
-  // Odometer enumeration over all predicate cells (base 2) and all function
-  // cells (base N); returns false when the odometer wraps around.
-  auto advance = [&]() -> bool {
-    for (int p = 0; p < num_predicates; ++p) {
-      auto& table = world.predicate_table(p);
-      for (auto& cell : table) {
-        if (cell == 0) {
-          cell = 1;
-          return true;
-        }
-        cell = 0;
-      }
-    }
-    for (int f = 0; f < num_functions; ++f) {
-      auto& table = world.function_table(f);
-      for (auto& cell : table) {
-        if (cell + 1 < domain_size) {
-          ++cell;
-          return true;
-        }
-        cell = 0;
-      }
-    }
-    return false;
-  };
-
-  do {
-    evaluate_current();
-  } while (advance());
-
-  if (record != nullptr) {
-    record->valid = !record_overflow;
-    if (!record->valid) {
-      record->pred_cells.clear();
-      record->func_cells.clear();
-      record->kb_count = 0;
-    }
-  }
-
+FiniteResult ResultFromCounts(int64_t kb_count, int64_t both_count) {
   FiniteResult result;
   if (kb_count == 0) return result;
   result.well_defined = true;
@@ -145,11 +205,101 @@ FiniteResult ComputeExact(const logic::Vocabulary& vocabulary,
   return result;
 }
 
+// An instance the compiler rejected (unbound variable, unknown symbol —
+// user-input errors that used to abort inside the tree-walker).  Reported
+// as "engine gave up", which lets the pipeline fall through to other
+// engines instead of killing the process.
+FiniteResult GaveUp() {
+  FiniteResult result;
+  result.exhausted = true;
+  return result;
+}
+
+FiniteResult ComputeExact(const logic::Vocabulary& vocabulary,
+                          const semantics::CompiledFormula& kb,
+                          const semantics::CompiledFormula& query,
+                          int domain_size,
+                          const semantics::ToleranceVector& tolerances,
+                          ExactWorldList* record, int num_threads) {
+  if (!kb.ok() || !query.ok()) return GaveUp();
+
+  semantics::World probe(&vocabulary, domain_size);
+  const int64_t total = ExactWorldCountOrNegative(probe, domain_size);
+  if (record != nullptr) {
+    record->pred_stride = probe.TotalPredicateCells();
+    record->func_stride = probe.TotalFunctionCells();
+  }
+
+  // Shard the contiguous world-index ranges across the pool; the merge
+  // below reads the shards in index order, so counts and recorded cells
+  // are identical to the serial enumeration at every thread count.
+  int shards = 1;
+  if (total > 0) {
+    const int64_t max_shards = std::min<int64_t>(total, 64);
+    shards = util::EffectiveThreads(num_threads,
+                                    static_cast<int>(max_shards));
+  }
+  std::atomic<int64_t> global_recorded_bytes{0};
+  if (shards <= 1 || total < 2048) {
+    ShardTally tally;
+    RunShard(vocabulary, *kb.program, *query.program, domain_size, tolerances,
+             0, total, record != nullptr, &global_recorded_bytes, &tally);
+    if (record != nullptr) {
+      record->valid = !tally.record_overflow;
+      if (record->valid) {
+        record->pred_cells = std::move(tally.pred_cells);
+        record->func_cells = std::move(tally.func_cells);
+        record->kb_count = tally.kb_recorded;
+      }
+    }
+    return ResultFromCounts(tally.kb_count, tally.both_count);
+  }
+
+  std::vector<ShardTally> tallies(shards);
+  util::ParallelFor(shards, shards, [&](int s) {
+    const int64_t start = total * s / shards;
+    const int64_t end = total * (s + 1) / shards;
+    RunShard(vocabulary, *kb.program, *query.program, domain_size, tolerances,
+             start, end - start, record != nullptr, &global_recorded_bytes,
+             &tallies[s]);
+  });
+
+  int64_t kb_count = 0;
+  int64_t both_count = 0;
+  int64_t recorded_bytes = 0;
+  bool record_overflow = false;
+  for (const ShardTally& tally : tallies) {
+    kb_count += tally.kb_count;
+    both_count += tally.both_count;
+    recorded_bytes += tally.recorded_bytes;
+    record_overflow = record_overflow || tally.record_overflow;
+  }
+  if (record != nullptr) {
+    record->valid = !record_overflow && recorded_bytes <= kMaxRecordedBytes;
+    if (record->valid) {
+      for (ShardTally& tally : tallies) {
+        record->pred_cells.insert(record->pred_cells.end(),
+                                  tally.pred_cells.begin(),
+                                  tally.pred_cells.end());
+        record->func_cells.insert(record->func_cells.end(),
+                                  tally.func_cells.begin(),
+                                  tally.func_cells.end());
+        record->kb_count += tally.kb_recorded;
+      }
+    }
+  }
+  return ResultFromCounts(kb_count, both_count);
+}
+
 FiniteResult ReplayExact(const logic::Vocabulary& vocabulary,
                          const ExactWorldList& worlds,
-                         const logic::FormulaPtr& query, int domain_size,
+                         const semantics::CompiledFormula& query,
+                         int domain_size,
                          const semantics::ToleranceVector& tolerances) {
+  if (!query.ok()) return GaveUp();
   semantics::World world(&vocabulary, domain_size);
+  semantics::EvalFrame query_frame;
+  query_frame.Prepare(*query.program, tolerances);
   const int num_predicates = vocabulary.num_predicates();
   const int num_functions = vocabulary.num_functions();
 
@@ -173,20 +323,11 @@ FiniteResult ReplayExact(const logic::Vocabulary& vocabulary,
                 table.begin());
       func_offset += static_cast<int64_t>(table.size());
     }
-    if (semantics::Evaluate(query, world, tolerances)) ++both_count;
+    if (semantics::RunProgram(*query.program, world, &query_frame)) {
+      ++both_count;
+    }
   }
-
-  FiniteResult result;
-  if (worlds.kb_count == 0) return result;
-  result.well_defined = true;
-  result.probability = static_cast<double>(both_count) /
-                       static_cast<double>(worlds.kb_count);
-  result.log_numerator = both_count > 0
-                             ? std::log(static_cast<double>(both_count))
-                             : kNegInf;
-  result.log_denominator =
-      std::log(static_cast<double>(worlds.kb_count));
-  return result;
+  return ResultFromCounts(worlds.kb_count, both_count);
 }
 
 }  // namespace
@@ -203,32 +344,37 @@ FiniteResult ExactEngine::DegreeAt(
     const logic::Vocabulary& vocabulary, const logic::FormulaPtr& kb,
     const logic::FormulaPtr& query, int domain_size,
     const semantics::ToleranceVector& tolerances) const {
-  return ComputeExact(vocabulary, kb, query, domain_size, tolerances,
-                      nullptr);
+  return ComputeExact(vocabulary, semantics::CompileFormula(kb, vocabulary),
+                      semantics::CompileFormula(query, vocabulary),
+                      domain_size, tolerances, nullptr, num_threads_);
 }
 
 std::string ExactEngine::CacheSalt() const {
+  // num_threads is deliberately absent: sharding merges in index order, so
+  // results are bit-identical at every thread count.
   return "log2worlds=" + std::to_string(max_log2_worlds_);
 }
 
 FiniteResult ExactEngine::DegreeAtInContext(
     QueryContext& ctx, const logic::FormulaPtr& query, int domain_size,
     const semantics::ToleranceVector& tolerances) const {
+  auto kb_compiled = ctx.Compiled(ctx.kb());
+  auto query_compiled = ctx.Compiled(query);
   if (!ctx.caching_enabled()) {
-    return DegreeAt(ctx.vocabulary(), ctx.kb(), query, domain_size,
-                    tolerances);
+    return ComputeExact(ctx.vocabulary(), *kb_compiled, *query_compiled,
+                        domain_size, tolerances, nullptr, num_threads_);
   }
   std::string blob_key = "exact.worlds|" + std::to_string(domain_size) + "|" +
                          tolerances.CacheKey();
   return internal::LazyRecordReplay<ExactWorldList>(
       ctx, blob_key,
       [&](ExactWorldList* record) {
-        return ComputeExact(ctx.vocabulary(), ctx.kb(), query, domain_size,
-                            tolerances, record);
+        return ComputeExact(ctx.vocabulary(), *kb_compiled, *query_compiled,
+                            domain_size, tolerances, record, num_threads_);
       },
       [&](const ExactWorldList& worlds) {
-        return ReplayExact(ctx.vocabulary(), worlds, query, domain_size,
-                           tolerances);
+        return ReplayExact(ctx.vocabulary(), worlds, *query_compiled,
+                           domain_size, tolerances);
       });
 }
 

@@ -1,11 +1,14 @@
 // Exact engine: brute-force enumeration of W_N(Φ).
 //
 // Enumerates every world over the vocabulary — all 2^(predicate cells) ×
-// N^(function cells) interpretations — evaluates KB and KB ∧ φ in each, and
-// returns the ratio of counts.  This is the definitional computation of
-// Pr_N^τ (Section 4.2) with no shortcuts, usable only for tiny vocabularies
-// and domain sizes; it serves as the ground-truth oracle that the profile,
-// maximum-entropy and symbolic engines are validated against.
+// N^(function cells) interpretations — evaluates KB and KB ∧ φ in each with
+// compiled bytecode programs (semantics/compile.h + vm.h), and returns the
+// ratio of counts.  The enumeration is sharded over contiguous world-index
+// ranges on a worker pool with deterministic index-order merging.  This is
+// the definitional computation of Pr_N^τ (Section 4.2) with no semantic
+// shortcuts, usable only for tiny vocabularies and domain sizes; it serves
+// as the ground-truth oracle that the profile, maximum-entropy and symbolic
+// engines are validated against.
 #ifndef RWL_ENGINES_EXACT_ENGINE_H_
 #define RWL_ENGINES_EXACT_ENGINE_H_
 
@@ -16,9 +19,13 @@ namespace rwl::engines {
 class ExactEngine : public FiniteEngine {
  public:
   // `max_log2_worlds` caps the enumeration: the engine refuses instances
-  // with more than 2^max_log2_worlds worlds.
-  explicit ExactEngine(double max_log2_worlds = 26.0)
-      : max_log2_worlds_(max_log2_worlds) {}
+  // with more than 2^max_log2_worlds worlds.  `num_threads` shards the
+  // world odometer across a worker pool (0 = one per hardware thread);
+  // shards cover contiguous index ranges and merge in index order, so
+  // counts — and recorded world lists — are bit-identical at every thread
+  // count.
+  explicit ExactEngine(double max_log2_worlds = 26.0, int num_threads = 0)
+      : max_log2_worlds_(max_log2_worlds), num_threads_(num_threads) {}
 
   std::string name() const override { return "exact"; }
 
@@ -51,6 +58,7 @@ class ExactEngine : public FiniteEngine {
 
  private:
   double max_log2_worlds_;
+  int num_threads_;
 };
 
 }  // namespace rwl::engines

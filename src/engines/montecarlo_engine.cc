@@ -3,35 +3,51 @@
 #include <cmath>
 #include <random>
 #include <string>
+#include <vector>
 
 #include "src/combinatorics/logmath.h"
-#include "src/semantics/evaluator.h"
+#include "src/core/query_context.h"
+#include "src/semantics/compile.h"
+#include "src/semantics/vm.h"
 #include "src/semantics/world.h"
+#include "src/util/thread_pool.h"
 
 namespace rwl::engines {
+namespace {
 
-bool MonteCarloEngine::Supports(const logic::Vocabulary& vocabulary,
-                                const logic::FormulaPtr& /*kb*/,
-                                const logic::FormulaPtr& /*query*/,
-                                int domain_size) const {
-  if (domain_size <= 0) return false;
-  semantics::World probe(&vocabulary, domain_size);
-  return probe.TotalPredicateCells() + probe.TotalFunctionCells() <=
-         options_.max_cells;
+// The sample stream is split into a FIXED number of shards regardless of
+// the worker-pool width; each shard derives its own RNG from (seed, shard)
+// and the per-shard counts merge by addition, so estimates are bit-identical
+// across --threads settings (and to a single-threaded run).
+constexpr int kSampleShards = 32;
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
 }
 
-FiniteResult MonteCarloEngine::DegreeAt(
-    const logic::Vocabulary& vocabulary, const logic::FormulaPtr& kb,
-    const logic::FormulaPtr& query, int domain_size,
-    const semantics::ToleranceVector& tolerances) const {
-  std::mt19937_64 rng(options_.seed);
+struct ShardCounts {
+  uint64_t accepted = 0;
+  uint64_t satisfying = 0;
+};
+
+void SampleShard(const logic::Vocabulary& vocabulary,
+                 const semantics::Program& kb_program,
+                 const semantics::Program& query_program, int domain_size,
+                 const semantics::ToleranceVector& tolerances, uint64_t seed,
+                 int shard, uint64_t num_samples, ShardCounts* counts) {
+  std::mt19937_64 rng(SplitMix64(seed + static_cast<uint64_t>(shard)));
   std::uniform_int_distribution<int> element(0, domain_size - 1);
 
   semantics::World world(&vocabulary, domain_size);
-  uint64_t accepted = 0;
-  uint64_t satisfying = 0;
+  semantics::EvalFrame kb_frame;
+  semantics::EvalFrame query_frame;
+  kb_frame.Prepare(kb_program, tolerances);
+  query_frame.Prepare(query_program, tolerances);
 
-  for (uint64_t s = 0; s < options_.num_samples; ++s) {
+  for (uint64_t s = 0; s < num_samples; ++s) {
     // Resample every cell uniformly: 64 predicate cells per draw.
     for (int p = 0; p < vocabulary.num_predicates(); ++p) {
       auto& table = world.predicate_table(p);
@@ -52,9 +68,60 @@ FiniteResult MonteCarloEngine::DegreeAt(
         cell = element(rng);
       }
     }
-    if (!semantics::Evaluate(kb, world, tolerances)) continue;
-    ++accepted;
-    if (semantics::Evaluate(query, world, tolerances)) ++satisfying;
+    if (!semantics::RunProgram(kb_program, world, &kb_frame)) continue;
+    ++counts->accepted;
+    if (semantics::RunProgram(query_program, world, &query_frame)) {
+      ++counts->satisfying;
+    }
+  }
+}
+
+}  // namespace
+
+bool MonteCarloEngine::Supports(const logic::Vocabulary& vocabulary,
+                                const logic::FormulaPtr& /*kb*/,
+                                const logic::FormulaPtr& /*query*/,
+                                int domain_size) const {
+  if (domain_size <= 0) return false;
+  semantics::World probe(&vocabulary, domain_size);
+  return probe.TotalPredicateCells() + probe.TotalFunctionCells() <=
+         options_.max_cells;
+}
+
+FiniteResult MonteCarloEngine::Sample(
+    const logic::Vocabulary& vocabulary,
+    const semantics::CompiledFormula& kb,
+    const semantics::CompiledFormula& query, int domain_size,
+    const semantics::ToleranceVector& tolerances) const {
+  if (!kb.ok() || !query.ok()) {
+    // Compile failure (user-input error): the engine gives up instead of
+    // the process aborting inside the evaluator.
+    FiniteResult result;
+    result.exhausted = true;
+    return result;
+  }
+
+  const int shards =
+      static_cast<int>(std::min<uint64_t>(kSampleShards,
+                                          std::max<uint64_t>(
+                                              options_.num_samples, 1)));
+  std::vector<ShardCounts> counts(shards);
+  const uint64_t base = options_.num_samples / shards;
+  const uint64_t remainder = options_.num_samples % shards;
+  util::ParallelFor(
+      util::EffectiveThreads(options_.num_threads, shards), shards,
+      [&](int s) {
+        const uint64_t shard_samples =
+            base + (static_cast<uint64_t>(s) < remainder ? 1 : 0);
+        SampleShard(vocabulary, *kb.program, *query.program, domain_size,
+                    tolerances, options_.seed, s, shard_samples, &counts[s]);
+      });
+
+  uint64_t accepted = 0;
+  uint64_t satisfying = 0;
+  for (const ShardCounts& c : counts) {
+    accepted += c.accepted;
+    satisfying += c.satisfying;
   }
 
   {
@@ -74,7 +141,25 @@ FiniteResult MonteCarloEngine::DegreeAt(
   return result;
 }
 
+FiniteResult MonteCarloEngine::DegreeAt(
+    const logic::Vocabulary& vocabulary, const logic::FormulaPtr& kb,
+    const logic::FormulaPtr& query, int domain_size,
+    const semantics::ToleranceVector& tolerances) const {
+  return Sample(vocabulary, semantics::CompileFormula(kb, vocabulary),
+                semantics::CompileFormula(query, vocabulary), domain_size,
+                tolerances);
+}
+
+FiniteResult MonteCarloEngine::DegreeAtInContext(
+    QueryContext& ctx, const logic::FormulaPtr& query, int domain_size,
+    const semantics::ToleranceVector& tolerances) const {
+  return Sample(ctx.vocabulary(), *ctx.Compiled(ctx.kb()),
+                *ctx.Compiled(query), domain_size, tolerances);
+}
+
 std::string MonteCarloEngine::CacheSalt() const {
+  // num_threads is deliberately absent: the fixed shard→seed derivation
+  // makes estimates bit-identical at every worker-pool width.
   return "samples=" + std::to_string(options_.num_samples) +
          ";min=" + std::to_string(options_.min_accepted) +
          ";seed=" + std::to_string(options_.seed) +

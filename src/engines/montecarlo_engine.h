@@ -18,6 +18,10 @@
 
 #include "src/engines/engine.h"
 
+namespace rwl::semantics {
+struct CompiledFormula;
+}  // namespace rwl::semantics
+
 namespace rwl::engines {
 
 class MonteCarloEngine : public FiniteEngine {
@@ -31,6 +35,10 @@ class MonteCarloEngine : public FiniteEngine {
     // Refuse instances whose world representation exceeds this many cells
     // (sampling time is linear in it).
     int64_t max_cells = 1'000'000;
+    // Worker-pool width for the sample loop (0 = one per hardware thread).
+    // The stream is split into a fixed number of shards with per-shard
+    // derived seeds, so estimates are bit-identical at every setting.
+    int num_threads = 0;
   };
 
   MonteCarloEngine() = default;
@@ -73,7 +81,22 @@ class MonteCarloEngine : public FiniteEngine {
     return stats_;
   }
 
+ protected:
+  // Context path: reuses the context's compiled programs for the KB and
+  // query instead of recompiling per (N, ⃗τ) point.
+  FiniteResult DegreeAtInContext(QueryContext& ctx,
+                                 const logic::FormulaPtr& query,
+                                 int domain_size,
+                                 const semantics::ToleranceVector& tolerances)
+      const override;
+
  private:
+  FiniteResult Sample(const logic::Vocabulary& vocabulary,
+                      const semantics::CompiledFormula& kb,
+                      const semantics::CompiledFormula& query,
+                      int domain_size,
+                      const semantics::ToleranceVector& tolerances) const;
+
   Options options_;
   mutable std::mutex stats_mutex_;
   mutable Stats stats_;

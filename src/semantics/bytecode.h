@@ -1,0 +1,108 @@
+// Flat bytecode for L≈ evaluation (the compiled form of semantics::Evaluate).
+//
+// A Program is a one-pass lowering of an interned Formula/Expr/Term tree in
+// which every variable occurrence has been resolved to a dense *frame slot*
+// at compile time (zero string lookups at run time), every predicate and
+// function symbol to its vocabulary id, and the proportion / quantifier
+// nodes to explicit odometer loop ops over pre-sized slot ranges.  The VM
+// (vm.h) executes a Program non-recursively over one World per call; the
+// tree-walker in evaluator.h remains the reference implementation the
+// compiled pipeline is differentially tested against.
+//
+// Value discipline (mirrors the walker exactly):
+//   * terms evaluate to domain elements on an int stack;
+//   * formulas evaluate to booleans, expressions to {double, defined} pairs,
+//     both on one value stack (booleans are 0.0 / 1.0 with defined == true);
+//   * each in-flight proportion keeps a {body, cond} counter pair on a
+//     dedicated counts stack, so proportions nest without recursion.
+#ifndef RWL_SEMANTICS_BYTECODE_H_
+#define RWL_SEMANTICS_BYTECODE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rwl::semantics {
+
+enum class Op : uint8_t {
+  // ---- terms (int stack) ----
+  kLoadSlot,    // a = slot               push frame slot value
+  kApplyFunc,   // a = function id, b = arity
+                //                        pop b args, push table lookup
+  // ---- formulas (value stack, booleans) ----
+  kPushBool,    // a = 0 / 1              push constant boolean
+  kPred,        // a = predicate id, b = arity
+                //                        pop b args, push table lookup
+  kPred1,       // a = predicate id, b = slot
+                //                        fused unary atom on a variable
+  kPred2,       // a = predicate id, b = slot1, c = slot2
+                //                        fused binary atom on two variables
+  kTermEq,      // pop two ints, push their equality
+  kBoolEq,      // pop two booleans, push their equality (Iff)
+  kNot,         // negate the top boolean
+  kJump,        // a = target
+  kJumpIfFalse, // a = target             pop; jump when false
+  kJumpIfTrue,  // a = target             pop; jump when true
+  // ---- quantifier loops ----
+  kQuantInit,   // a = slot, b = end target
+                //                        slot = 0; empty domain jumps to end
+                //                        pushing the identity (c = is_forall)
+  kQuantStep,   // a = slot, b = loop target, c = is_forall
+                //                        pop body bool; short-circuit exit or
+                //                        advance slot and loop
+  // ---- proportion loops ----
+  kPropInit,    // a = base slot, b = arity k
+                //                        zero slots, push a fresh counter pair
+  kCondTrue,    // unconditional proportion: count the tuple as condition-true
+  kCondCheck,   // a = skip target        pop cond bool; false skips the body,
+                //                        true counts the tuple
+  kBodyCount,   // pop body bool; count when true
+  kPropStep,    // a = base slot, b = arity k, c = loop target
+                //                        odometer over the k slots
+  kPropEndTotal,// a = arity k            pop counters, push body / N^k
+  kPropEndCond, // pop counters, push body / cond (undefined when cond == 0)
+  kPropUnary,   // a = body predicate id, b = cond predicate id (-1: none)
+                //                        fused ||B(x)||_x / ||B(x)|C(x)||_x:
+                //                        one pass over the unary tables,
+                //                        push the proportion value directly
+  // ---- proportion expressions (value stack) ----
+  kPushConst,   // a = constant pool index
+  kAdd,         // pop rhs, lhs; push sum       (defined = both defined)
+  kSub,         // pop rhs, lhs; push difference
+  kMul,         // pop rhs, lhs; push product
+  kCompare,     // a = CompareOp, b = tau slot
+                //                        pop rhs, lhs; push comparison bool
+                //                        (an undefined side makes it true)
+  kHalt,        // top of the value stack is the program result
+};
+
+struct Instruction {
+  Op op;
+  int32_t a = 0;
+  int32_t b = 0;
+  int32_t c = 0;
+};
+
+// A {double, defined} expression value; booleans are 0.0 / 1.0.
+struct Value {
+  double v = 0.0;
+  bool defined = true;
+};
+
+struct Program {
+  std::vector<Instruction> code;
+  std::vector<double> constants;
+  // Tolerance indices used by kCompare, deduplicated; instruction operand b
+  // indexes this vector (the frame pre-resolves them against a
+  // ToleranceVector once, not once per world).
+  std::vector<int> tolerance_indices;
+  // Frame sizing, computed at compile time so the VM never allocates after
+  // the frame is prepared.
+  int num_slots = 0;
+  int max_ints = 0;
+  int max_values = 0;
+  int max_counts = 0;
+};
+
+}  // namespace rwl::semantics
+
+#endif  // RWL_SEMANTICS_BYTECODE_H_

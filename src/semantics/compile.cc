@@ -1,0 +1,396 @@
+#include "src/semantics/compile.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace rwl::semantics {
+namespace {
+
+using logic::Expr;
+using logic::ExprPtr;
+using logic::Formula;
+using logic::FormulaPtr;
+using logic::TermPtr;
+
+class Compiler {
+ public:
+  explicit Compiler(const logic::Vocabulary& vocabulary)
+      : vocabulary_(vocabulary) {}
+
+  CompiledFormula Run(const FormulaPtr& f) {
+    if (f == nullptr) {
+      return Fail("null formula");
+    }
+    if (!CompileBool(f)) return {nullptr, error_};
+    Emit(Op::kHalt);
+    auto program = std::make_shared<Program>(std::move(program_));
+    return {std::move(program), ""};
+  }
+
+ private:
+  CompiledFormula Fail(std::string message) {
+    return {nullptr, std::move(message)};
+  }
+
+  bool Error(const std::string& message) {
+    if (error_.empty()) error_ = message;
+    return false;
+  }
+
+  int Emit(Op op, int32_t a = 0, int32_t b = 0, int32_t c = 0) {
+    program_.code.push_back(Instruction{op, a, b, c});
+    return static_cast<int>(program_.code.size()) - 1;
+  }
+
+  int Here() const { return static_cast<int>(program_.code.size()); }
+
+  // ---- stack accounting (exact bounds, so the VM never reallocates) ----
+
+  void PushVal(int n = 1) {
+    val_depth_ += n;
+    program_.max_values = std::max(program_.max_values, val_depth_);
+  }
+  void PopVal(int n = 1) { val_depth_ -= n; }
+  void PushInt(int n = 1) {
+    int_depth_ += n;
+    program_.max_ints = std::max(program_.max_ints, int_depth_);
+  }
+  void PopInt(int n = 1) { int_depth_ -= n; }
+
+  // ---- slot-scoped variable environment ----
+
+  int BindSlot(const std::string& name) {
+    int slot = next_slot_++;
+    program_.num_slots = std::max(program_.num_slots, next_slot_);
+    scopes_[name].push_back(slot);
+    return slot;
+  }
+
+  void ReleaseSlot(const std::string& name) {
+    scopes_[name].pop_back();
+    --next_slot_;
+  }
+
+  int TauSlot(int tolerance_index) {
+    auto& indices = program_.tolerance_indices;
+    for (size_t i = 0; i < indices.size(); ++i) {
+      if (indices[i] == tolerance_index) return static_cast<int>(i);
+    }
+    indices.push_back(tolerance_index);
+    return static_cast<int>(indices.size()) - 1;
+  }
+
+  int ConstSlot(double value) {
+    program_.constants.push_back(value);
+    return static_cast<int>(program_.constants.size()) - 1;
+  }
+
+  // ---- terms → int stack ----
+
+  bool CompileTerm(const TermPtr& t) {
+    if (t->is_variable()) {
+      auto it = scopes_.find(t->name());
+      if (it == scopes_.end() || it->second.empty()) {
+        return Error("unbound variable " + t->name());
+      }
+      Emit(Op::kLoadSlot, it->second.back());
+      PushInt();
+      return true;
+    }
+    auto sym = vocabulary_.FindFunction(t->name());
+    if (!sym.has_value()) {
+      return Error("unknown function symbol " + t->name());
+    }
+    if (sym->arity != static_cast<int>(t->args().size())) {
+      return Error("function " + t->name() + " expects " +
+                   std::to_string(sym->arity) + " argument(s), got " +
+                   std::to_string(t->args().size()));
+    }
+    for (const auto& a : t->args()) {
+      if (!CompileTerm(a)) return false;
+    }
+    Emit(Op::kApplyFunc, sym->id, sym->arity);
+    PopInt(sym->arity);
+    PushInt();
+    return true;
+  }
+
+  // Resolves a variable occurrence to its slot, or -1 when unbound.
+  int SlotOf(const std::string& name) const {
+    auto it = scopes_.find(name);
+    if (it == scopes_.end() || it->second.empty()) return -1;
+    return it->second.back();
+  }
+
+  // ---- proportion loop body, shared by ||ψ||_X and ||ψ | θ||_X ----
+
+  // True when `f` is a unary atom P(v) on exactly the variable `var`;
+  // *predicate receives P's id.  The shape behind every fused
+  // single-variable proportion scan.
+  bool IsUnaryAtomOn(const FormulaPtr& f, const std::string& var,
+                     int* predicate) const {
+    if (f == nullptr || f->kind() != Formula::Kind::kAtom) return false;
+    if (f->terms().size() != 1) return false;
+    const TermPtr& t = f->terms()[0];
+    if (!t->is_variable() || t->name() != var) return false;
+    auto sym = vocabulary_.FindPredicate(f->predicate());
+    if (!sym.has_value() || sym->arity != 1) return false;
+    *predicate = sym->id;
+    return true;
+  }
+
+  bool CompileProportionLoop(const ExprPtr& e) {
+    const auto& vars = e->vars();
+    const int k = static_cast<int>(vars.size());
+
+    // Fused fast path for the dominant statistical-KB shape: a
+    // single-variable proportion over plain unary atoms turns into one
+    // linear scan of the predicate tables (no per-tuple dispatch).  The
+    // counting — and hence the resulting double — is identical to the
+    // generic loop.
+    if (k == 1) {
+      int body_pred = -1;
+      int cond_pred = -1;
+      const bool body_fusable = IsUnaryAtomOn(e->body(), vars[0], &body_pred);
+      const bool cond_fusable =
+          e->cond() == nullptr || IsUnaryAtomOn(e->cond(), vars[0], &cond_pred);
+      if (body_fusable && cond_fusable) {
+        Emit(Op::kPropUnary, body_pred, e->cond() == nullptr ? -1 : cond_pred);
+        PushVal();
+        return true;
+      }
+    }
+    // Tuple slots are contiguous; the odometer advances the first variable
+    // fastest, matching the tree-walker's tuple order.  Binding in list
+    // order makes a repeated variable resolve to its last occurrence,
+    // which is the occurrence the walker's valuation writes last.
+    const int base = next_slot_;
+    for (const auto& v : vars) BindSlot(v);
+
+    Emit(Op::kPropInit, base, k);
+    counts_depth_ += 1;
+    program_.max_counts = std::max(program_.max_counts, counts_depth_);
+
+    const int loop = Here();
+    int skip_patch = -1;
+    if (e->cond() != nullptr) {
+      if (!CompileBool(e->cond())) return false;
+      skip_patch = Emit(Op::kCondCheck);
+      PopVal();
+    } else {
+      Emit(Op::kCondTrue);
+    }
+    if (!CompileBool(e->body())) return false;
+    Emit(Op::kBodyCount);
+    PopVal();
+    if (skip_patch >= 0) program_.code[skip_patch].a = Here();
+    Emit(Op::kPropStep, base, k, loop);
+
+    Emit(e->cond() != nullptr ? Op::kPropEndCond : Op::kPropEndTotal, k);
+    counts_depth_ -= 1;
+    PushVal();
+
+    for (auto it = vars.rbegin(); it != vars.rend(); ++it) ReleaseSlot(*it);
+    return true;
+  }
+
+  // True when the expression is world-independent; *value receives the
+  // folded constant.  Proportions always depend on the world, so only
+  // constants and their sums/products fold.
+  bool FoldConstant(const ExprPtr& e, double* value) const {
+    switch (e->kind()) {
+      case Expr::Kind::kConstant:
+        *value = e->value();
+        return true;
+      case Expr::Kind::kAdd:
+      case Expr::Kind::kSub:
+      case Expr::Kind::kMul: {
+        double lhs = 0.0;
+        double rhs = 0.0;
+        if (!FoldConstant(e->lhs(), &lhs) || !FoldConstant(e->rhs(), &rhs)) {
+          return false;
+        }
+        *value = e->kind() == Expr::Kind::kAdd   ? lhs + rhs
+                 : e->kind() == Expr::Kind::kSub ? lhs - rhs
+                                                 : lhs * rhs;
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+
+  // ---- proportion expressions → value stack ----
+
+  bool CompileExpr(const ExprPtr& e) {
+    double folded = 0.0;
+    if (FoldConstant(e, &folded)) {
+      Emit(Op::kPushConst, ConstSlot(folded));
+      PushVal();
+      return true;
+    }
+    switch (e->kind()) {
+      case Expr::Kind::kConstant:
+        // Handled by the fold above.
+        return Error("unreachable constant");
+      case Expr::Kind::kProportion:
+      case Expr::Kind::kConditional:
+        return CompileProportionLoop(e);
+      case Expr::Kind::kAdd:
+      case Expr::Kind::kSub:
+      case Expr::Kind::kMul: {
+        if (!CompileExpr(e->lhs()) || !CompileExpr(e->rhs())) return false;
+        Emit(e->kind() == Expr::Kind::kAdd   ? Op::kAdd
+             : e->kind() == Expr::Kind::kSub ? Op::kSub
+                                             : Op::kMul);
+        PopVal(2);
+        PushVal();
+        return true;
+      }
+    }
+    return Error("unreachable expression kind");
+  }
+
+  // ---- formulas → boolean on the value stack ----
+
+  bool CompileBool(const FormulaPtr& f) {
+    switch (f->kind()) {
+      case Formula::Kind::kTrue:
+      case Formula::Kind::kFalse: {
+        Emit(Op::kPushBool, f->kind() == Formula::Kind::kTrue ? 1 : 0);
+        PushVal();
+        return true;
+      }
+      case Formula::Kind::kAtom: {
+        auto sym = vocabulary_.FindPredicate(f->predicate());
+        if (!sym.has_value()) {
+          return Error("unknown predicate " + f->predicate());
+        }
+        if (sym->arity != static_cast<int>(f->terms().size())) {
+          return Error("predicate " + f->predicate() + " expects " +
+                       std::to_string(sym->arity) + " argument(s), got " +
+                       std::to_string(f->terms().size()));
+        }
+        // Fused forms for atoms whose arguments are plain bound variables
+        // (the common case inside quantifier and proportion loops).
+        if (sym->arity == 1 && f->terms()[0]->is_variable()) {
+          int slot = SlotOf(f->terms()[0]->name());
+          if (slot < 0) {
+            return Error("unbound variable " + f->terms()[0]->name());
+          }
+          Emit(Op::kPred1, sym->id, slot);
+          PushVal();
+          return true;
+        }
+        if (sym->arity == 2 && f->terms()[0]->is_variable() &&
+            f->terms()[1]->is_variable()) {
+          int slot0 = SlotOf(f->terms()[0]->name());
+          int slot1 = SlotOf(f->terms()[1]->name());
+          if (slot0 < 0) {
+            return Error("unbound variable " + f->terms()[0]->name());
+          }
+          if (slot1 < 0) {
+            return Error("unbound variable " + f->terms()[1]->name());
+          }
+          Emit(Op::kPred2, sym->id, slot0, slot1);
+          PushVal();
+          return true;
+        }
+        for (const auto& t : f->terms()) {
+          if (!CompileTerm(t)) return false;
+        }
+        Emit(Op::kPred, sym->id, sym->arity);
+        PopInt(sym->arity);
+        PushVal();
+        return true;
+      }
+      case Formula::Kind::kEqual: {
+        if (!CompileTerm(f->terms()[0]) || !CompileTerm(f->terms()[1])) {
+          return false;
+        }
+        Emit(Op::kTermEq);
+        PopInt(2);
+        PushVal();
+        return true;
+      }
+      case Formula::Kind::kNot: {
+        if (!CompileBool(f->body())) return false;
+        Emit(Op::kNot);
+        return true;
+      }
+      case Formula::Kind::kAnd:
+      case Formula::Kind::kOr:
+      case Formula::Kind::kImplies: {
+        // Short-circuit lowering.  And: a false lhs decides the result;
+        // Or / Implies: a true / false lhs decides it as true.
+        const bool decide_on_true = f->kind() == Formula::Kind::kOr;
+        const int decided = f->kind() == Formula::Kind::kAnd ? 0 : 1;
+        if (!CompileBool(f->left())) return false;
+        int exit_patch =
+            Emit(decide_on_true ? Op::kJumpIfTrue : Op::kJumpIfFalse);
+        PopVal();
+        if (!CompileBool(f->right())) return false;
+        int end_patch = Emit(Op::kJump);
+        program_.code[exit_patch].a = Here();
+        // The decided branch re-pushes its constant; depth already counted
+        // by the rhs push above.
+        Emit(Op::kPushBool, decided);
+        program_.code[end_patch].a = Here();
+        return true;
+      }
+      case Formula::Kind::kIff: {
+        if (!CompileBool(f->left()) || !CompileBool(f->right())) return false;
+        Emit(Op::kBoolEq);
+        PopVal(2);
+        PushVal();
+        return true;
+      }
+      case Formula::Kind::kForAll:
+      case Formula::Kind::kExists: {
+        const bool is_forall = f->kind() == Formula::Kind::kForAll;
+        const int slot = BindSlot(f->var());
+        int init = Emit(Op::kQuantInit, slot, 0, is_forall ? 1 : 0);
+        const int loop = Here();
+        if (!CompileBool(f->body())) return false;
+        Emit(Op::kQuantStep, slot, loop, is_forall ? 1 : 0);
+        program_.code[init].b = Here();
+        // kQuantStep pops the body bool and pushes the result: net zero
+        // against the body's push.
+        ReleaseSlot(f->var());
+        return true;
+      }
+      case Formula::Kind::kCompare: {
+        if (!CompileExpr(f->expr_left()) || !CompileExpr(f->expr_right())) {
+          return false;
+        }
+        Emit(Op::kCompare, static_cast<int32_t>(f->compare_op()),
+             TauSlot(f->tolerance_index()));
+        PopVal(2);
+        PushVal();
+        return true;
+      }
+    }
+    return Error("unreachable formula kind");
+  }
+
+  const logic::Vocabulary& vocabulary_;
+  Program program_;
+  std::string error_;
+  std::unordered_map<std::string, std::vector<int>> scopes_;
+  int next_slot_ = 0;
+  int val_depth_ = 0;
+  int int_depth_ = 0;
+  int counts_depth_ = 0;
+};
+
+}  // namespace
+
+CompiledFormula CompileFormula(const logic::FormulaPtr& f,
+                               const logic::Vocabulary& vocabulary) {
+  Compiler compiler(vocabulary);
+  return compiler.Run(f);
+}
+
+}  // namespace rwl::semantics

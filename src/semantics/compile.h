@@ -1,0 +1,42 @@
+// One-pass compiler from interned L≈ formulas to slot-indexed bytecode.
+//
+// Compilation resolves every variable to a frame slot (binding structure is
+// static, so shadowing is decided here, not by runtime save/restore), every
+// symbol to its vocabulary id, folds constant arithmetic subexpressions, and
+// computes exact stack-depth bounds for allocation-free execution (vm.h).
+//
+// Errors that the tree-walking evaluator handled by Die()/std::abort —
+// unbound variables, unknown symbols, arity mismatches — are compile-time
+// failures here, reported as a message instead of killing the process; no
+// abort is reachable from user-supplied `.rwl` input through the compiled
+// pipeline.  Programs depend only on (formula, vocabulary), so they are
+// cached per formula id in QueryContext and shared across worlds, domain
+// sizes, tolerance vectors and threads.
+#ifndef RWL_SEMANTICS_COMPILE_H_
+#define RWL_SEMANTICS_COMPILE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/logic/formula.h"
+#include "src/logic/vocabulary.h"
+#include "src/semantics/bytecode.h"
+
+namespace rwl::semantics {
+
+// A compiled formula: either a program or a diagnostic.
+struct CompiledFormula {
+  std::shared_ptr<const Program> program;  // null on error
+  std::string error;
+
+  bool ok() const { return program != nullptr; }
+};
+
+// Compiles a sentence (no free variables) against the vocabulary.  Never
+// aborts: ill-formed input yields ok() == false with a message.
+CompiledFormula CompileFormula(const logic::FormulaPtr& f,
+                               const logic::Vocabulary& vocabulary);
+
+}  // namespace rwl::semantics
+
+#endif  // RWL_SEMANTICS_COMPILE_H_

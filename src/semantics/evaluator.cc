@@ -22,25 +22,46 @@ struct Counts {
   int64_t cond = 0;
 };
 
+// Shadow-binding save/restore and odometer scratch, reused across
+// CountTuples calls instead of per-call vector construction.  The buffers
+// are used as stacks (base offsets captured per call) because nested
+// proportions re-enter CountTuples through Evaluate; thread_local keeps the
+// worker pools safe.  The saved names point into the interned Expr's vars
+// list, which outlives the evaluation.
+struct ShadowScratch {
+  struct SavedBinding {
+    const std::string* name;
+    std::optional<int> old;
+  };
+  std::vector<SavedBinding> saved;
+  std::vector<int> tuple;
+};
+
+thread_local ShadowScratch shadow_scratch;
+
 Counts CountTuples(const logic::ExprPtr& e, const World& world,
                    const ToleranceVector& tolerances, Valuation* valuation) {
   const auto& vars = e->vars();
   const int n = world.domain_size();
   Counts counts;
 
+  ShadowScratch& scratch = shadow_scratch;
+  const size_t saved_base = scratch.saved.size();
+  const size_t tuple_base = scratch.tuple.size();
+
   // Save shadowed bindings.
-  std::vector<std::pair<std::string, std::optional<int>>> saved;
-  saved.reserve(vars.size());
   for (const auto& v : vars) {
     auto it = valuation->find(v);
-    saved.emplace_back(v, it == valuation->end()
-                              ? std::nullopt
-                              : std::optional<int>(it->second));
+    scratch.saved.push_back({&v, it == valuation->end()
+                                     ? std::nullopt
+                                     : std::optional<int>(it->second)});
   }
 
-  std::vector<int> tuple(vars.size(), 0);
+  scratch.tuple.resize(tuple_base + vars.size(), 0);
   while (true) {
-    for (size_t i = 0; i < vars.size(); ++i) (*valuation)[vars[i]] = tuple[i];
+    for (size_t i = 0; i < vars.size(); ++i) {
+      (*valuation)[vars[i]] = scratch.tuple[tuple_base + i];
+    }
     bool cond_holds = true;
     if (e->cond() != nullptr) {
       cond_holds = Evaluate(e->cond(), world, tolerances, valuation);
@@ -51,21 +72,24 @@ Counts CountTuples(const logic::ExprPtr& e, const World& world,
     }
     // Odometer increment.
     size_t i = 0;
-    for (; i < tuple.size(); ++i) {
-      if (++tuple[i] < n) break;
-      tuple[i] = 0;
+    for (; i < vars.size(); ++i) {
+      if (++scratch.tuple[tuple_base + i] < n) break;
+      scratch.tuple[tuple_base + i] = 0;
     }
-    if (i == tuple.size()) break;
+    if (i == vars.size()) break;
   }
 
-  // Restore shadowed bindings.
-  for (const auto& [v, old] : saved) {
-    if (old.has_value()) {
-      (*valuation)[v] = *old;
+  // Restore shadowed bindings and release the scratch frames.
+  for (size_t i = 0; i < vars.size(); ++i) {
+    const ShadowScratch::SavedBinding& binding = scratch.saved[saved_base + i];
+    if (binding.old.has_value()) {
+      (*valuation)[*binding.name] = *binding.old;
     } else {
-      valuation->erase(v);
+      valuation->erase(*binding.name);
     }
   }
+  scratch.saved.resize(saved_base);
+  scratch.tuple.resize(tuple_base);
   return counts;
 }
 

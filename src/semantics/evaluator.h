@@ -4,6 +4,12 @@
 // variables by the valuation, the approximate connectives by the tolerance
 // vector.  Proportion terms are computed by exhaustive tuple counting.
 //
+// This recursive tree-walker is the REFERENCE implementation: the engines'
+// hot paths run the compiled bytecode pipeline (compile.h + vm.h) instead,
+// and the walker serves as the oracle it is differentially tested against
+// (tests/compiled_vm_test.cc, the fuzzer's `vm` check).  Keep the two in
+// lockstep when changing the semantics.
+//
 // Conditional proportions ||ψ | θ||_X are primitives.  A comparison formula
 // in which some conditional proportion has an empty condition (||θ||_X = 0)
 // is TRUE by convention — this matches the multiply-out-after-splitting

@@ -1,0 +1,57 @@
+// Non-recursive stack VM for compiled L≈ programs (bytecode.h).
+//
+// One RunProgram call evaluates a program in one world.  All scratch state
+// lives in an EvalFrame whose vectors are sized once by Prepare from the
+// program's compile-time bounds — the inner world loops of the engines run
+// with zero allocations.  Frames are not shared between threads; each
+// worker prepares its own.
+//
+// RunProgram is bit-identical to semantics::Evaluate on every world (the
+// tree-walker is kept as the reference oracle; compiled_vm_test and the
+// fuzzer's vm check enforce the equivalence).  Precondition: the world's
+// domain is non-empty, as for the tree-walker.
+#ifndef RWL_SEMANTICS_VM_H_
+#define RWL_SEMANTICS_VM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/semantics/bytecode.h"
+#include "src/semantics/tolerance.h"
+#include "src/semantics/world.h"
+
+namespace rwl::semantics {
+
+struct EvalFrame {
+  struct Counts {
+    int64_t body = 0;
+    int64_t cond = 0;
+  };
+
+  std::vector<int> slots;    // variable frame (dense, compile-time indexed)
+  std::vector<int> ints;     // term stack
+  std::vector<Value> vals;   // formula / expression stack
+  std::vector<Counts> counts;  // in-flight proportion counters
+  std::vector<double> taus;  // pre-resolved tolerances, one per tau slot
+
+  // Cached raw table pointers for the world most recently run against.
+  // Cell values mutate between runs (odometer / sampling), but the tables
+  // never resize, so the pointers stay valid for the lifetime of the World
+  // object; Run rebinds automatically when it sees a different world.
+  const World* bound_world = nullptr;
+  std::vector<const uint8_t*> pred_tables;
+  std::vector<const int*> func_tables;
+
+  // Sizes the frame for `program` and resolves its tolerance slots.  Call
+  // once per (program, tolerance vector); Run may then be called for any
+  // number of worlds without allocating.
+  void Prepare(const Program& program, const ToleranceVector& tolerances);
+};
+
+// Executes the program in `world`; returns the root formula's truth value.
+// The frame must have been Prepared for this program.
+bool RunProgram(const Program& program, const World& world, EvalFrame* frame);
+
+}  // namespace rwl::semantics
+
+#endif  // RWL_SEMANTICS_VM_H_

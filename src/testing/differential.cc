@@ -1,6 +1,7 @@
 #include "src/testing/differential.h"
 
 #include <cmath>
+#include <random>
 #include <sstream>
 
 #include "src/core/query_context.h"
@@ -9,6 +10,9 @@
 #include "src/engines/montecarlo_engine.h"
 #include "src/engines/profile_engine.h"
 #include "src/logic/printer.h"
+#include "src/semantics/compile.h"
+#include "src/semantics/evaluator.h"
+#include "src/semantics/vm.h"
 
 namespace rwl::testing {
 namespace {
@@ -104,6 +108,62 @@ bool SameAnswer(const Answer& a, const Answer& b, std::string* why) {
   return true;
 }
 
+// vm-vs-interp: the compiled VM must reproduce the tree-walking oracle bit
+// for bit on every formula over pseudo-random worlds.  World seeds derive
+// from the (formula position, N) pair alone, so a replay of the same case
+// file exercises the same worlds.
+void RunVmCheck(const Scenario& scenario, const DifferentialOptions& options,
+                DifferentialReport* report) {
+  std::vector<logic::FormulaPtr> formulas;
+  formulas.push_back(scenario.kb);
+  for (const auto& query : scenario.queries) formulas.push_back(query);
+
+  for (size_t fi = 0; fi < formulas.size(); ++fi) {
+    const logic::FormulaPtr& f = formulas[fi];
+    semantics::CompiledFormula compiled =
+        semantics::CompileFormula(f, scenario.vocabulary);
+    if (!compiled.ok()) {
+      report->disagreements.push_back(
+          Disagreement{"vm", "compiler", "tree-walker", f, 0,
+                       "compile failed: " + compiled.error});
+      continue;
+    }
+    for (int n : options.domain_sizes) {
+      if (n <= 0) continue;
+      std::mt19937_64 rng(0x5eed0000ull + static_cast<uint64_t>(n) * 1009 +
+                          fi);
+      semantics::World world(&scenario.vocabulary, n);
+      semantics::EvalFrame frame;
+      frame.Prepare(*compiled.program, options.tolerances);
+      ++report->comparisons;
+      for (int w = 0; w < options.vm_worlds; ++w) {
+        for (int p = 0; p < scenario.vocabulary.num_predicates(); ++p) {
+          for (auto& cell : world.predicate_table(p)) {
+            cell = static_cast<uint8_t>(rng() & 1);
+          }
+        }
+        std::uniform_int_distribution<int> element(0, n - 1);
+        for (int fn = 0; fn < scenario.vocabulary.num_functions(); ++fn) {
+          for (auto& cell : world.function_table(fn)) cell = element(rng);
+        }
+        const bool walked =
+            semantics::Evaluate(f, world, options.tolerances);
+        const bool compiled_result =
+            semantics::RunProgram(*compiled.program, world, &frame);
+        if (walked != compiled_result) {
+          report->disagreements.push_back(Disagreement{
+              "vm", "compiled-vm", "tree-walker", f, n,
+              std::string("evaluations differ on world ") +
+                  std::to_string(w) + ": vm=" +
+                  (compiled_result ? "true" : "false") + " interp=" +
+                  (walked ? "true" : "false")});
+          break;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<const FiniteEngine*> EngineSet::pointers() const {
@@ -151,6 +211,9 @@ DifferentialReport RunDifferential(
     const std::vector<const FiniteEngine*>& engines,
     const DifferentialOptions& options) {
   DifferentialReport report;
+
+  // ---- vm-vs-interp check (compiled pipeline vs. reference walker) ----
+  if (options.check_vm) RunVmCheck(scenario, options, &report);
 
   // ---- finite + context checks ----
   QueryContext ctx(scenario.vocabulary, scenario.kb,

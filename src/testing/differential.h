@@ -46,6 +46,14 @@ struct DifferentialOptions {
       semantics::ToleranceVector::Uniform(0.2);
   engines::ResultTolerance finite_tolerance;
 
+  // vm — the compiled bytecode VM (semantics/compile.h + vm.h) must agree
+  // with the tree-walking evaluator bit for bit on every formula of the
+  // scenario, over `vm_worlds` pseudo-random worlds per domain size
+  // (deterministically seeded).  Cheap, so on by default everywhere,
+  // including corpus replay.
+  bool check_vm = true;
+  int vm_worlds = 8;
+
   // Limit-level checks (pipeline / maxent).  Numeric sweeps estimate the
   // N → ∞ limit from finite prefixes, so the epsilon is necessarily loose.
   bool check_pipeline = true;
@@ -61,7 +69,8 @@ struct DifferentialOptions {
 };
 
 struct Disagreement {
-  std::string check;  // "finite", "context", "pipeline", "maxent", "batch"
+  std::string check;  // "vm", "finite", "context", "pipeline", "maxent",
+                      // "batch"
   std::string lhs;    // engine / strategy names
   std::string rhs;
   logic::FormulaPtr query;

@@ -66,8 +66,8 @@ struct Config {
   bool verbose = false;
   std::string replay_path;
   bool self_test = false;
-  // Comma-separated subset of {finite,pipeline,maxent,batch}; empty = the
-  // per-profile defaults.
+  // Comma-separated subset of {finite,pipeline,maxent,batch,vm}; empty =
+  // the per-profile defaults.
   std::string checks;
 };
 
@@ -82,7 +82,7 @@ bool ValidCheckList(const std::string& checks) {
       continue;
     }
     if (token != "finite" && token != "pipeline" && token != "maxent" &&
-        token != "batch") {
+        token != "batch" && token != "vm") {
       std::fprintf(stderr, "rwlfuzz: unknown check '%s'\n", token.c_str());
       return false;
     }
@@ -101,6 +101,7 @@ void ApplyCheckFilter(const std::string& checks,
   options->check_pipeline = options->check_pipeline && enabled("pipeline");
   options->check_maxent = options->check_maxent && enabled("maxent");
   options->check_batch = options->check_batch && enabled("batch");
+  options->check_vm = options->check_vm && enabled("vm");
 }
 
 int Usage(const char* argv0) {

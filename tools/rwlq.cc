@@ -18,6 +18,9 @@
 //   --fixed-n N      known domain size: compute Pr_N directly (footnote 9)
 //   --threads N      worker pool for the (N, τ) sweep grid (0 = all cores)
 //   --no-cache       disable the shared QueryContext caches (debugging)
+//   --rate-exit      rate-aware early exit in the N-sweep (skip the largest
+//                    N points once successive degrees contract within the
+//                    convergence tolerance)
 //
 // Multiple queries are answered as one batch over a shared QueryContext:
 // the KB analyses and per-(N, τ) world enumerations run once, duplicate
@@ -40,7 +43,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (<kb-file> | --kb TEXT) [options] <query>...\n"
                "options: --nmax N  --tol T  --no-symbolic  --series\n"
-               "         --json  --fixed-n N  --threads N  --no-cache\n",
+               "         --json  --fixed-n N  --threads N  --no-cache\n"
+               "         --rate-exit\n",
                argv0);
   return 2;
 }
@@ -84,6 +88,8 @@ int main(int argc, char** argv) {
       options.limit.num_threads = std::atoi(argv[i]);
     } else if (arg == "--no-cache") {
       options.enable_caching = false;
+    } else if (arg == "--rate-exit") {
+      options.limit.rate_aware_early_exit = true;
     } else if (!have_kb) {
       std::ifstream file(arg);
       if (!file) {
