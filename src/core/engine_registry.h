@@ -1,17 +1,27 @@
-// EngineRegistry: the priority-ordered pipeline of inference strategies
-// behind DegreeOfBelief.
+// EngineRegistry: the registered inference strategies behind
+// DegreeOfBelief, routed by the cost-based planner (core/planner.h).
 //
-// The seed hard-coded its engine routing as one long function; the registry
-// makes the pipeline data.  A strategy wraps one way of answering a query
+// The seed hard-coded its engine routing as one long function; PR 1 made
+// the pipeline data (a priority-ordered strategy list); this revision makes
+// the routing a *decision*.  A strategy wraps one way of answering a query
 // (a theorem engine, a finite-N sweep, a closed-form limit, ...) behind a
 // uniform three-way contract:
 //
-//   kFinal   — the answer is finalized, stop the pipeline,
+//   kFinal   — the answer is finalized, stop,
 //   kPartial — the answer was improved (e.g. a sound symbolic interval
 //              that a later numeric strategy may sharpen), keep going,
 //   kSkip    — the strategy is disabled or does not apply.
 //
-// The default registry is seeded with the built-in strategies in the
+// and additionally reports, per (KB, query), a Capability (can it apply at
+// all?) and a CostEstimate (how much work would an answer take?).  The
+// planner assesses every registered strategy, orders the applicable ones —
+// by the paper's fidelity preference or by predicted cost — executes under
+// the per-query deadline/work budget of InferenceOptions, falls back
+// adaptively when an engine exhausts its budget, and caches the plan in
+// the QueryContext for repeated traffic.
+//
+// Registration priority doubles as the fidelity rank: lower priority =
+// preferred at equal applicability.  The default registry is seeded in the
 // paper's preference order: fixed-N (footnote 9), symbolic theorems,
 // profile sweep, maximum entropy, exact-enumeration fallback, and the
 // opt-in Monte-Carlo sweep.  Callers may register additional strategies;
@@ -40,6 +50,8 @@ class InferenceStrategy {
 
   virtual ~InferenceStrategy() = default;
 
+  // Stable identifier: the planner's cache entries, rwlq --engine and the
+  // plan trace all refer to strategies by this name.
   virtual std::string name() const = 0;
 
   // Attempts to answer `query` against the context's KB, reading and
@@ -47,6 +59,34 @@ class InferenceStrategy {
   virtual Outcome Run(QueryContext& ctx, const logic::FormulaPtr& query,
                       const InferenceOptions& options,
                       Answer* answer) const = 0;
+
+  // ---- Planner hooks (core/planner.h) ----
+
+  // Cheap applicability pre-check: may this strategy produce an answer for
+  // this (KB, query) under these options?  Must be a superset of Run's own
+  // skip conditions (a strategy assessed applicable may still return kSkip
+  // at runtime; the planner falls through).  The default claims
+  // applicability with no structural facts.
+  virtual engines::Capability Assess(QueryContext& ctx,
+                                     const logic::FormulaPtr& query,
+                                     const InferenceOptions& options) const;
+
+  // Predicted work/accuracy of running this strategy to completion (sweep
+  // strategies aggregate their engine's per-point estimates over the
+  // (N, ⃗τ) schedule).  The default is an uninformative high cost.
+  virtual engines::CostEstimate EstimateCost(
+      QueryContext& ctx, const logic::FormulaPtr& query,
+      const InferenceOptions& options) const;
+
+  // How a differential comparator must treat this strategy's answers
+  // (statistical estimators carry sampling error).
+  virtual engines::ResultClass result_class() const {
+    return engines::ResultClass::kDeterministic;
+  }
+
+  // Preemptive strategies run before every other candidate regardless of
+  // cost ordering (fixed-N: a known domain size replaces limit taking).
+  virtual bool preemptive() const { return false; }
 };
 
 class EngineRegistry {
@@ -57,16 +97,24 @@ class EngineRegistry {
   // An empty registry (for tests and custom pipelines).
   EngineRegistry() = default;
 
-  // Lower priority runs earlier; equal priorities run in registration
-  // order.
+  // Lower priority ranks earlier in fidelity order; equal priorities rank
+  // in registration order.
   void Register(int priority,
                 std::shared_ptr<const InferenceStrategy> strategy);
 
-  // Strategies in execution order.
+  // Strategies in fidelity (registration-priority) order.
   std::vector<std::shared_ptr<const InferenceStrategy>> Ordered() const;
 
-  // Runs the pipeline: strategies in order until one finalizes; a partial
-  // interval survives as the fallback answer, otherwise kUnknown.
+  // The strategy registered under `name`, or null (rwlq --engine).
+  std::shared_ptr<const InferenceStrategy> Find(const std::string& name)
+      const;
+
+  // Plans and executes: assesses capability and cost of every registered
+  // strategy, orders candidates (paper preference or predicted cost),
+  // honors options.deadline_ms / work_budget / force_engine, reuses cached
+  // plans from the context, and attaches a structured plan trace to the
+  // answer.  A partial interval survives as the fallback answer, otherwise
+  // kUnknown.
   Answer Infer(QueryContext& ctx, const logic::FormulaPtr& query,
                const InferenceOptions& options) const;
 

@@ -1,5 +1,6 @@
 #include "src/core/inference.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -8,6 +9,7 @@
 #include <utility>
 
 #include "src/core/engine_registry.h"
+#include "src/core/planner.h"
 #include "src/engines/exact_engine.h"
 #include "src/engines/maxent_engine.h"
 #include "src/engines/montecarlo_engine.h"
@@ -36,12 +38,86 @@ std::string StatusToString(Answer::Status status) {
 
 namespace {
 
+// Shared by the sweep strategies: is the engine capable at any N of the
+// schedule?  Goes through the engine's AssessCapability hook so engine
+// subclasses can refine applicability beyond Supports.
+template <typename Engine>
+bool AnySupported(const Engine& engine, const QueryContext& ctx,
+                  const logic::FormulaPtr& query,
+                  const std::vector<int>& domain_sizes) {
+  for (int n : domain_sizes) {
+    if (engine.AssessCapability(ctx, query, n).applicable) return true;
+  }
+  return false;
+}
+
+// Shared by the sweep strategies: per-point engine cost summed over the
+// (N, ⃗τ-scale) schedule.
+template <typename Engine>
+engines::CostEstimate SweepCost(const Engine& engine, QueryContext& ctx,
+                                const logic::FormulaPtr& query,
+                                const std::vector<int>& domain_sizes,
+                                size_t num_scales, double limit_error) {
+  engines::CostEstimate total;
+  total.error = limit_error;
+  // The basis describes the dominant (most expensive) probe — the one a
+  // reader should reconcile the work figure against.
+  double dominant_work = -1.0;
+  for (int n : domain_sizes) {
+    if (!engine.Supports(ctx, query, n)) continue;
+    engines::CostEstimate point = engine.EstimateCost(ctx, query, n);
+    total.work += point.work * static_cast<double>(num_scales);
+    total.error = std::max(total.error, point.error);
+    if (point.work > dominant_work) {
+      dominant_work = point.work;
+      total.basis = point.basis;
+    }
+  }
+  if (!total.basis.empty()) {
+    total.basis += " at the largest N; work summed over the sweep schedule";
+  }
+  return total;
+}
+
 // 0. Known domain size (footnote 9): evaluate Pr_N^τ directly at N.
 // Final whenever a fixed N is requested — there is no limit to fall back
 // to.
 class FixedDomainStrategy : public InferenceStrategy {
  public:
   std::string name() const override { return "fixed-n"; }
+
+  bool preemptive() const override { return true; }
+
+  engines::Capability Assess(QueryContext& ctx,
+                             const logic::FormulaPtr& query,
+                             const InferenceOptions& options) const override {
+    engines::Capability cap =
+        engines::DescribeInstance(ctx.vocabulary(), query);
+    cap.applicable = options.fixed_domain_size > 0;
+    cap.reason = cap.applicable
+                     ? "fixed domain size N=" +
+                           std::to_string(options.fixed_domain_size) +
+                           " requested"
+                     : "no fixed domain size requested";
+    return cap;
+  }
+
+  engines::CostEstimate EstimateCost(
+      QueryContext& ctx, const logic::FormulaPtr& query,
+      const InferenceOptions& options) const override {
+    const int n = options.fixed_domain_size;
+    engines::ProfileEngine profile;
+    engines::ExactEngine exact;
+    if (options.use_profile && profile.Supports(ctx, query, n)) {
+      return profile.EstimateCost(ctx, query, n);
+    }
+    if (options.use_exact_fallback && exact.Supports(ctx, query, n)) {
+      return exact.EstimateCost(ctx, query, n);
+    }
+    engines::CostEstimate none;
+    none.basis = "no engine supports the fixed domain size";
+    return none;
+  }
 
   Outcome Run(QueryContext& ctx, const logic::FormulaPtr& query,
               const InferenceOptions& options, Answer* answer) const override {
@@ -91,6 +167,25 @@ class SymbolicStrategy : public InferenceStrategy {
  public:
   std::string name() const override { return "symbolic"; }
 
+  engines::Capability Assess(QueryContext& ctx,
+                             const logic::FormulaPtr& query,
+                             const InferenceOptions& options) const override {
+    engines::SymbolicEngine symbolic;
+    engines::Capability cap = symbolic.Assess(ctx, query);
+    if (!options.use_symbolic) {
+      cap.applicable = false;
+      cap.reason = "disabled (--no-symbolic)";
+    }
+    return cap;
+  }
+
+  engines::CostEstimate EstimateCost(
+      QueryContext& ctx, const logic::FormulaPtr& query,
+      const InferenceOptions& /*options*/) const override {
+    engines::SymbolicEngine symbolic;
+    return symbolic.EstimateCost(ctx, query);
+  }
+
   Outcome Run(QueryContext& ctx, const logic::FormulaPtr& query,
               const InferenceOptions& options, Answer* answer) const override {
     if (!options.use_symbolic) return Outcome::kSkip;
@@ -124,7 +219,35 @@ class SymbolicStrategy : public InferenceStrategy {
 // 2. Profile engine sweep (unary KBs).
 class ProfileSweepStrategy : public InferenceStrategy {
  public:
-  std::string name() const override { return "profile-sweep"; }
+  std::string name() const override { return "profile"; }
+
+  engines::Capability Assess(QueryContext& ctx,
+                             const logic::FormulaPtr& query,
+                             const InferenceOptions& options) const override {
+    engines::ProfileEngine profile;
+    engines::Capability cap =
+        engines::DescribeInstance(ctx.vocabulary(), query);
+    if (!options.use_profile) {
+      cap.reason = "disabled";
+      return cap;
+    }
+    cap.applicable =
+        AnySupported(profile, ctx, query, options.limit.domain_sizes);
+    cap.reason = cap.applicable
+                     ? "unary fragment within the leaf budget"
+                     : "no schedule N within the engine's structural "
+                       "limits (unary fragment, atom/constant caps)";
+    return cap;
+  }
+
+  engines::CostEstimate EstimateCost(
+      QueryContext& ctx, const logic::FormulaPtr& query,
+      const InferenceOptions& options) const override {
+    engines::ProfileEngine profile;
+    return SweepCost(profile, ctx, query, options.limit.domain_sizes,
+                     options.limit.tolerance_scales.size(),
+                     options.limit.convergence_epsilon);
+  }
 
   Outcome Run(QueryContext& ctx, const logic::FormulaPtr& query,
               const InferenceOptions& options, Answer* answer) const override {
@@ -138,7 +261,20 @@ class ProfileSweepStrategy : public InferenceStrategy {
     engines::LimitResult lr = engines::EstimateLimit(
         profile, ctx, query, options.tolerances, options.limit);
     answer->series = lr.series;
+    if (lr.exhausted && answer->explanation.empty()) {
+      answer->explanation = "profile engine exhausted its leaf budget";
+    }
+    if (lr.deadline_hit && answer->explanation.empty()) {
+      answer->explanation = "profile sweep cut short by the deadline";
+    }
     if (lr.never_defined) {
+      // Only a sweep that actually evaluated its points may claim the KB
+      // has no worlds.  A sweep cut short by the work budget or the
+      // deadline has no information — fall through so the planner can try
+      // the next candidate.
+      if (lr.series.empty() || lr.exhausted || lr.deadline_hit) {
+        return Outcome::kPartial;
+      }
       answer->status = Answer::Status::kUndefined;
       answer->method = "profile sweep";
       answer->explanation = "no worlds satisfy the KB at any sampled (N, τ)";
@@ -163,6 +299,25 @@ class MaxEntStrategy : public InferenceStrategy {
  public:
   std::string name() const override { return "maxent"; }
 
+  engines::Capability Assess(QueryContext& ctx,
+                             const logic::FormulaPtr& query,
+                             const InferenceOptions& options) const override {
+    engines::MaxEntEngine maxent;
+    engines::Capability cap = maxent.Assess(ctx, query);
+    if (!options.use_maxent) {
+      cap.applicable = false;
+      cap.reason = "disabled";
+    }
+    return cap;
+  }
+
+  engines::CostEstimate EstimateCost(
+      QueryContext& ctx, const logic::FormulaPtr& query,
+      const InferenceOptions& /*options*/) const override {
+    engines::MaxEntEngine maxent;
+    return maxent.EstimateCost(ctx, query);
+  }
+
   Outcome Run(QueryContext& ctx, const logic::FormulaPtr& query,
               const InferenceOptions& options, Answer* answer) const override {
     if (!options.use_maxent) return Outcome::kSkip;
@@ -184,16 +339,52 @@ class MaxEntStrategy : public InferenceStrategy {
 // 4. Exact enumeration fallback for tiny instances.
 class ExactFallbackStrategy : public InferenceStrategy {
  public:
-  std::string name() const override { return "exact-fallback"; }
+  std::string name() const override { return "exact"; }
+
+  // The sweep schedule is fixed small: enumeration is hopeless beyond
+  // tiny N, and the limit is extrapolated from the prefix.
+  static std::vector<int> SmallSizes() { return {2, 3, 4, 5, 6}; }
+
+  engines::Capability Assess(QueryContext& ctx,
+                             const logic::FormulaPtr& query,
+                             const InferenceOptions& options) const override {
+    engines::ExactEngine exact;
+    engines::Capability cap =
+        engines::DescribeInstance(ctx.vocabulary(), query);
+    if (!options.use_exact_fallback) {
+      cap.reason = "disabled";
+      return cap;
+    }
+    cap.applicable = AnySupported(exact, ctx, query, SmallSizes());
+    cap.reason = cap.applicable
+                     ? "world odometer fits at small N"
+                     : "world count exceeds the enumeration cap at every "
+                       "small N";
+    return cap;
+  }
+
+  engines::CostEstimate EstimateCost(
+      QueryContext& ctx, const logic::FormulaPtr& query,
+      const InferenceOptions& options) const override {
+    engines::ExactEngine exact;
+    engines::CostEstimate cost =
+        SweepCost(exact, ctx, query, SmallSizes(),
+                  options.limit.tolerance_scales.size(),
+                  options.limit.convergence_epsilon);
+    // Extrapolating Pr_∞ from N ≤ 6 carries real finite-size bias.
+    cost.error = std::max(cost.error, 0.05);
+    return cost;
+  }
 
   Outcome Run(QueryContext& ctx, const logic::FormulaPtr& query,
               const InferenceOptions& options, Answer* answer) const override {
     if (!options.use_exact_fallback) return Outcome::kSkip;
     engines::ExactEngine exact;
     engines::LimitOptions small;
-    small.domain_sizes = {2, 3, 4, 5, 6};
+    small.domain_sizes = SmallSizes();
     small.tolerance_scales = options.limit.tolerance_scales;
     small.num_threads = options.limit.num_threads;
+    small.deadline = options.limit.deadline;
     bool any = false;
     for (int n : small.domain_sizes) {
       any = any || exact.Supports(ctx, query, n);
@@ -202,6 +393,9 @@ class ExactFallbackStrategy : public InferenceStrategy {
     engines::LimitResult lr =
         engines::EstimateLimit(exact, ctx, query, options.tolerances, small);
     answer->series = lr.series;
+    if (lr.deadline_hit && answer->explanation.empty()) {
+      answer->explanation = "exact sweep cut short by the deadline";
+    }
     if (lr.value.has_value()) {
       answer->status = Answer::Status::kPoint;
       answer->value = *lr.value;
@@ -221,12 +415,56 @@ class ExactFallbackStrategy : public InferenceStrategy {
 // price of sampling error — so it must be requested explicitly.
 class MonteCarloStrategy : public InferenceStrategy {
  public:
-  std::string name() const override { return "montecarlo-sweep"; }
+  std::string name() const override { return "montecarlo"; }
+
+  // The sampling-error budget of InferenceOptions maps onto the engine's
+  // sample count; everything else stays at the engine defaults (and is
+  // pinned into the memo key by the engine's CacheSalt).
+  static engines::MonteCarloEngine MakeEngine(
+      const InferenceOptions& options) {
+    engines::MonteCarloEngine::Options mc;
+    if (options.montecarlo_samples > 0) {
+      mc.num_samples = options.montecarlo_samples;
+    }
+    return engines::MonteCarloEngine(mc);
+  }
+
+  engines::ResultClass result_class() const override {
+    return engines::ResultClass::kStatistical;
+  }
+
+  engines::Capability Assess(QueryContext& ctx,
+                             const logic::FormulaPtr& query,
+                             const InferenceOptions& options) const override {
+    engines::MonteCarloEngine montecarlo = MakeEngine(options);
+    engines::Capability cap =
+        engines::DescribeInstance(ctx.vocabulary(), query);
+    if (!options.use_montecarlo) {
+      cap.reason = "disabled (opt-in: sampling error; --montecarlo)";
+      return cap;
+    }
+    cap.applicable =
+        AnySupported(montecarlo, ctx, query, options.limit.domain_sizes);
+    cap.reason = cap.applicable
+                     ? "world representation within the cell cap"
+                     : "world representation exceeds the cell cap at "
+                       "every schedule N";
+    return cap;
+  }
+
+  engines::CostEstimate EstimateCost(
+      QueryContext& ctx, const logic::FormulaPtr& query,
+      const InferenceOptions& options) const override {
+    engines::MonteCarloEngine montecarlo = MakeEngine(options);
+    return SweepCost(montecarlo, ctx, query, options.limit.domain_sizes,
+                     options.limit.tolerance_scales.size(),
+                     options.limit.convergence_epsilon);
+  }
 
   Outcome Run(QueryContext& ctx, const logic::FormulaPtr& query,
               const InferenceOptions& options, Answer* answer) const override {
     if (!options.use_montecarlo) return Outcome::kSkip;
-    engines::MonteCarloEngine montecarlo;
+    engines::MonteCarloEngine montecarlo = MakeEngine(options);
     bool any = false;
     for (int n : options.limit.domain_sizes) {
       any = any || montecarlo.Supports(ctx, query, n);
@@ -234,6 +472,9 @@ class MonteCarloStrategy : public InferenceStrategy {
     if (!any) return Outcome::kSkip;
     engines::LimitResult lr = engines::EstimateLimit(
         montecarlo, ctx, query, options.tolerances, options.limit);
+    if (lr.deadline_hit && answer->explanation.empty()) {
+      answer->explanation = "montecarlo sweep cut short by the deadline";
+    }
     if (lr.value.has_value()) {
       // This sweep produced the answer, so its series replaces any earlier
       // engine's diagnostics.
@@ -253,6 +494,24 @@ class MonteCarloStrategy : public InferenceStrategy {
 };
 
 }  // namespace
+
+engines::Capability InferenceStrategy::Assess(
+    QueryContext& ctx, const logic::FormulaPtr& query,
+    const InferenceOptions& /*options*/) const {
+  engines::Capability cap = engines::DescribeInstance(ctx.vocabulary(), query);
+  cap.applicable = true;
+  cap.reason = "no capability model; assumed applicable";
+  return cap;
+}
+
+engines::CostEstimate InferenceStrategy::EstimateCost(
+    QueryContext& /*ctx*/, const logic::FormulaPtr& /*query*/,
+    const InferenceOptions& /*options*/) const {
+  engines::CostEstimate cost;
+  cost.work = 1e9;
+  cost.basis = "no cost model";
+  return cost;
+}
 
 EngineRegistry& EngineRegistry::Default() {
   static EngineRegistry* registry = [] {
@@ -285,23 +544,19 @@ std::vector<std::shared_ptr<const InferenceStrategy>> EngineRegistry::Ordered()
   return ordered;
 }
 
+std::shared_ptr<const InferenceStrategy> EngineRegistry::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [priority, strategy] : strategies_) {
+    if (strategy->name() == name) return strategy;
+  }
+  return nullptr;
+}
+
 Answer EngineRegistry::Infer(QueryContext& ctx,
                              const logic::FormulaPtr& query,
                              const InferenceOptions& options) const {
-  Answer answer;
-  for (const auto& strategy : Ordered()) {
-    if (strategy->Run(ctx, query, options, &answer) ==
-        InferenceStrategy::Outcome::kFinal) {
-      return answer;
-    }
-  }
-  // The symbolic interval (if any) is the best we have.
-  if (answer.status == Answer::Status::kInterval) return answer;
-  answer.status = Answer::Status::kUnknown;
-  if (answer.explanation.empty()) {
-    answer.explanation = "no engine applies to this (KB, query) pair";
-  }
-  return answer;
+  return PlanAndExecute(*this, ctx, query, options);
 }
 
 Answer DegreeOfBelief(QueryContext& ctx, const logic::FormulaPtr& query,

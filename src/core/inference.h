@@ -15,6 +15,7 @@
 #ifndef RWL_CORE_INFERENCE_H_
 #define RWL_CORE_INFERENCE_H_
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -26,6 +27,20 @@
 #include "src/semantics/tolerance.h"
 
 namespace rwl {
+
+struct PlanTrace;  // core/planner.h
+
+// How the planner orders applicable strategies (core/planner.h).
+enum class PlanMode {
+  // The paper's preference order (symbolic theorems, profile counting,
+  // maximum entropy, enumeration): highest-fidelity candidate first, with
+  // cost estimates used for capability gating, deadlines and budgets.
+  kFidelity,
+  // Cheapest predicted applicable candidate first — the service mode for
+  // heavy traffic, where every engine estimates the same limit and the
+  // planner's job is to spend the least work that yields an answer.
+  kMinCost,
+};
 
 struct InferenceOptions {
   // Base tolerance vector (scaled down during the τ → 0 sweep).
@@ -40,6 +55,10 @@ struct InferenceOptions {
   // it turns some kUnknown answers into estimates, which callers must
   // want explicitly.
   bool use_montecarlo = false;
+  // Sampling-error budget for the Monte-Carlo sweep: number of samples
+  // per (N, ⃗τ) point (0 = the engine default).  Smaller budgets trade
+  // accuracy for latency; the planner's cost model accounts for it.
+  uint64_t montecarlo_samples = 0;
   // Footnote 9: when the true domain size is known (and small enough to
   // matter), compute Pr_N^τ at exactly this N instead of taking the
   // N → ∞ limit.  0 means unknown (take limits).
@@ -49,6 +68,23 @@ struct InferenceOptions {
   // QueryContext.  Answers are bit-identical either way; disabling is for
   // tests and measurement.
   bool enable_caching = true;
+
+  // ---- Planner controls (core/planner.h) ----
+
+  PlanMode plan_mode = PlanMode::kFidelity;
+  // Per-query wall-clock deadline in milliseconds (0 = none).  The planner
+  // stops starting candidates once the deadline passes, and sweeps stop
+  // between grid points, so a query overshoots by at most one engine
+  // probe.  Deadline-limited answers are wall-clock-dependent by nature.
+  double deadline_ms = 0.0;
+  // Per-candidate predicted-work budget in abstract engine work units
+  // (engines::CostEstimate::work; 0 = none): candidates predicted over
+  // budget are skipped, recorded in the plan trace.
+  double work_budget = 0.0;
+  // Force a single strategy by name, bypassing the planner (rwlq
+  // --engine).  The forced strategy runs with its use_* switch enabled;
+  // an inapplicable forced strategy yields kUnknown.
+  std::string force_engine;
 };
 
 struct Answer {
@@ -67,6 +103,11 @@ struct Answer {
   std::string explanation;
   bool converged = false;
   std::vector<engines::SeriesPoint> series;
+  // Structured plan trace: strategies assessed/tried, predicted vs
+  // observed costs, skips and fallbacks (core/planner.h; rwlq --explain).
+  // Shared, immutable; null only for answers produced outside the planner
+  // (e.g. parse failures).
+  std::shared_ptr<const PlanTrace> plan;
 };
 
 Answer DegreeOfBelief(const KnowledgeBase& kb, const logic::FormulaPtr& query,

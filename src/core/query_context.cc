@@ -95,6 +95,15 @@ std::shared_ptr<const semantics::CompiledFormula> QueryContext::Compiled(
   return compiled;
 }
 
+std::shared_ptr<const semantics::CompiledFormula>
+QueryContext::CompiledIfCached(const logic::FormulaPtr& f) const {
+  if (!caching_enabled_) return nullptr;
+  const uint64_t id = f == nullptr ? 0 : f->id();
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->programs.find(id);
+  return it != impl_->programs.end() ? it->second : nullptr;
+}
+
 bool QueryContext::LookupFinite(const std::string& key,
                                 engines::FiniteResult* out) const {
   if (!caching_enabled_) return false;
@@ -112,6 +121,11 @@ bool QueryContext::LookupFinite(const std::string& key,
 void QueryContext::StoreFinite(const std::string& key,
                                const engines::FiniteResult& value) {
   if (!caching_enabled_) return;
+  // Never memoize a budget-exhausted result: exhaustion reflects the
+  // execution environment (work budgets, deadlines), not the semantics of
+  // the key.  A failure at a small budget must not poison a later retry
+  // that could afford the computation.
+  if (value.exhausted) return;
   std::lock_guard<std::mutex> lock(impl_->mutex);
   impl_->finite.emplace(key, value);
 }

@@ -85,11 +85,21 @@ class QueryContext {
   std::shared_ptr<const semantics::CompiledFormula> Compiled(
       const logic::FormulaPtr& f) const;
 
+  // The cached program if one exists, else null — never compiles.  The
+  // planner's cost models peek here: an exact program length when an
+  // engine already compiled the formula, a cheap structural estimate
+  // otherwise (compiling everything up front would make planning cost
+  // more than small queries themselves).
+  std::shared_ptr<const semantics::CompiledFormula> CompiledIfCached(
+      const logic::FormulaPtr& f) const;
+
   // ---- Finite-result memo ----
   //
   // Keys are exact serializations (engine name + options salt + query id +
   // N + ⃗τ bits); equality of keys implies equality of the computation.
   // Lookup returns false (and Store is a no-op) when caching is disabled.
+  // Results with exhausted = true are never stored: exhaustion reflects
+  // the execution environment (budgets, deadlines), not the key.
   bool LookupFinite(const std::string& key, engines::FiniteResult* out) const;
   void StoreFinite(const std::string& key, const engines::FiniteResult& value);
 

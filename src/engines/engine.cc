@@ -1,5 +1,6 @@
 #include "src/engines/engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -7,6 +8,7 @@
 #include <utility>
 
 #include "src/core/query_context.h"
+#include "src/semantics/compile.h"
 #include "src/util/thread_pool.h"
 
 namespace rwl::engines {
@@ -28,6 +30,11 @@ LimitResult EstimateLimitImpl(const FiniteEngine& engine, QueryContext* ctx,
                               const semantics::ToleranceVector& base_tolerances,
                               const LimitOptions& options) {
   LimitResult result;
+
+  const bool deadline_set = options.deadline.time_since_epoch().count() != 0;
+  auto past_deadline = [&] {
+    return deadline_set && std::chrono::steady_clock::now() > options.deadline;
+  };
 
   const int num_scales = static_cast<int>(options.tolerance_scales.size());
   const int num_sizes = static_cast<int>(options.domain_sizes.size());
@@ -71,16 +78,28 @@ LimitResult EstimateLimitImpl(const FiniteEngine& engine, QueryContext* ctx,
     std::atomic<bool> abort{false};
     util::ParallelFor(threads, static_cast<int>(work.size()), [&](int i) {
       if (abort.load(std::memory_order_relaxed)) return;
+      if (past_deadline()) {
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
       auto [s, d] = work[i];
       auto& slot = grid[static_cast<size_t>(s) * num_sizes + d];
       slot = compute(s, d);
       if (slot->exhausted) abort.store(true, std::memory_order_relaxed);
     });
   }
-  auto result_at = [&](int s, int d) -> const FiniteResult& {
+  auto result_at = [&](int s, int d) -> const FiniteResult* {
     auto& slot = grid[static_cast<size_t>(s) * num_sizes + d];
-    if (!slot.has_value()) slot = compute(s, d);
-    return *slot;
+    if (!slot.has_value()) {
+      // The deadline is checked before a point is computed, never inside
+      // one: a sweep overshoots by at most one probe.
+      if (past_deadline()) {
+        result.deadline_hit = true;
+        return nullptr;
+      }
+      slot = compute(s, d);
+    }
+    return &*slot;
   };
 
   // For each tolerance scale, take the largest supported N's value as the
@@ -96,11 +115,19 @@ LimitResult EstimateLimitImpl(const FiniteEngine& engine, QueryContext* ctx,
     bool n_converged = false;
     for (int d = 0; d < num_sizes; ++d) {
       if (!supported[d]) continue;
-      const FiniteResult& fr = result_at(s, d);
+      const FiniteResult* computed = result_at(s, d);
+      if (computed == nullptr) {
+        // Deadline: stop evaluating; whatever has been accumulated so far
+        // stands (the planner falls back like for an exhausted engine).
+        engine_exhausted = true;
+        break;
+      }
+      const FiniteResult& fr = *computed;
       if (fr.exhausted) {
         // The engine hit its work budget: retrying at other tolerance
         // scales can only be slower.  Let the caller fall back.
         engine_exhausted = true;
+        result.exhausted = true;
         break;
       }
       SeriesPoint point;
@@ -158,7 +185,10 @@ LimitResult EstimateLimitImpl(const FiniteEngine& engine, QueryContext* ctx,
                         options.convergence_epsilon;
   }
   result.value = final_value;
-  result.converged = tau_converged;
+  // A deadline-truncated schedule must not present its estimate with the
+  // confidence of a completed sweep: the τ-stability check (the second
+  // limit of Definition 4.3) may not have run.
+  result.converged = tau_converged && !result.deadline_hit;
   return result;
 }
 
@@ -223,10 +253,161 @@ bool ResultsEquivalent(const FiniteResult& a, ResultClass class_a,
   return true;
 }
 
+namespace {
+
+int ExprNestingDepth(const logic::ExprPtr& e);
+
+int FormulaNestingDepth(const logic::FormulaPtr& f) {
+  if (f == nullptr) return 0;
+  using K = logic::Formula::Kind;
+  switch (f->kind()) {
+    case K::kTrue:
+    case K::kFalse:
+    case K::kAtom:
+    case K::kEqual:
+      return 1;
+    case K::kNot:
+    case K::kForAll:
+    case K::kExists:
+      return 1 + FormulaNestingDepth(f->body());
+    case K::kAnd:
+    case K::kOr:
+    case K::kImplies:
+    case K::kIff:
+      return 1 + std::max(FormulaNestingDepth(f->left()),
+                          FormulaNestingDepth(f->right()));
+    case K::kCompare:
+      return 1 + std::max(ExprNestingDepth(f->expr_left()),
+                          ExprNestingDepth(f->expr_right()));
+  }
+  return 1;
+}
+
+int ExprNestingDepth(const logic::ExprPtr& e) {
+  if (e == nullptr) return 0;
+  using K = logic::Expr::Kind;
+  switch (e->kind()) {
+    case K::kConstant:
+      return 1;
+    case K::kProportion:
+      return 1 + FormulaNestingDepth(e->body());
+    case K::kConditional:
+      return 1 + std::max(FormulaNestingDepth(e->body()),
+                          FormulaNestingDepth(e->cond()));
+    case K::kAdd:
+    case K::kSub:
+    case K::kMul:
+      return 1 + std::max(ExprNestingDepth(e->lhs()),
+                          ExprNestingDepth(e->rhs()));
+  }
+  return 1;
+}
+
+int ExprNodeCount(const logic::ExprPtr& e);
+
+int FormulaNodeCount(const logic::FormulaPtr& f) {
+  if (f == nullptr) return 0;
+  using K = logic::Formula::Kind;
+  switch (f->kind()) {
+    case K::kTrue:
+    case K::kFalse:
+      return 1;
+    case K::kAtom:
+    case K::kEqual:
+      return 1 + static_cast<int>(f->terms().size());
+    case K::kNot:
+    case K::kForAll:
+    case K::kExists:
+      return 1 + FormulaNodeCount(f->body());
+    case K::kAnd:
+    case K::kOr:
+    case K::kImplies:
+    case K::kIff:
+      return 1 + FormulaNodeCount(f->left()) + FormulaNodeCount(f->right());
+    case K::kCompare:
+      return 1 + ExprNodeCount(f->expr_left()) +
+             ExprNodeCount(f->expr_right());
+  }
+  return 1;
+}
+
+int ExprNodeCount(const logic::ExprPtr& e) {
+  if (e == nullptr) return 0;
+  using K = logic::Expr::Kind;
+  switch (e->kind()) {
+    case K::kConstant:
+      return 1;
+    case K::kProportion:
+      return 1 + FormulaNodeCount(e->body());
+    case K::kConditional:
+      return 1 + FormulaNodeCount(e->body()) + FormulaNodeCount(e->cond());
+    case K::kAdd:
+    case K::kSub:
+    case K::kMul:
+      return 1 + ExprNodeCount(e->lhs()) + ExprNodeCount(e->rhs());
+  }
+  return 1;
+}
+
+}  // namespace
+
+double ApproximateProgramLength(const QueryContext& ctx,
+                                const logic::FormulaPtr& f) {
+  auto compiled = ctx.CompiledIfCached(f);
+  if (compiled != nullptr) {
+    semantics::ProgramStats stats = semantics::StatsOf(*compiled);
+    if (stats.ok) return static_cast<double>(stats.length);
+  }
+  // Programs average slightly over one instruction per AST node (loop
+  // setup, comparisons); 1.5 keeps the estimate on the same scale.
+  return 1.5 * std::max(FormulaNodeCount(f), 1);
+}
+
+Capability DescribeInstance(const logic::Vocabulary& vocabulary,
+                            const logic::FormulaPtr& query) {
+  Capability cap;
+  for (const auto& p : vocabulary.predicates()) {
+    cap.max_predicate_arity = std::max(cap.max_predicate_arity, p.arity);
+  }
+  cap.num_constants = static_cast<int>(vocabulary.Constants().size());
+  if (vocabulary.IsUnaryRelational() && vocabulary.num_predicates() <= 30) {
+    cap.num_atoms = 1 << vocabulary.num_predicates();
+  }
+  cap.query_depth = FormulaNestingDepth(query);
+  return cap;
+}
+
 bool FiniteEngine::Supports(const QueryContext& ctx,
                             const logic::FormulaPtr& query,
                             int domain_size) const {
   return Supports(ctx.vocabulary(), ctx.kb(), query, domain_size);
+}
+
+Capability FiniteEngine::AssessCapability(const QueryContext& ctx,
+                                          const logic::FormulaPtr& query,
+                                          int domain_size) const {
+  Capability cap = DescribeInstance(ctx.vocabulary(), query);
+  cap.applicable = Supports(ctx, query, domain_size);
+  cap.reason = cap.applicable
+                   ? "supported at N=" + std::to_string(domain_size)
+                   : "outside the engine's structural limits at N=" +
+                         std::to_string(domain_size);
+  return cap;
+}
+
+CostEstimate FiniteEngine::EstimateCost(const QueryContext& ctx,
+                                        const logic::FormulaPtr& query,
+                                        int domain_size) const {
+  (void)ctx;
+  (void)query;
+  (void)domain_size;
+  // Uninformative default: engines without a model rank after engines
+  // with one at equal fidelity, never before.
+  CostEstimate cost;
+  cost.work = 1e9;
+  cost.error = result_class() == ResultClass::kStatistical ? 0.05 : 0.0;
+  cost.basis = "no engine-specific cost model";
+  return cost;
 }
 
 FiniteResult FiniteEngine::DegreeAtInContext(

@@ -9,6 +9,7 @@
 #ifndef RWL_ENGINES_ENGINE_H_
 #define RWL_ENGINES_ENGINE_H_
 
+#include <chrono>
 #include <optional>
 #include <string>
 #include <vector>
@@ -49,6 +50,54 @@ enum class ResultClass {
 
 // Human-readable one-liner for differential-test diagnostics.
 std::string ToString(const FiniteResult& result);
+
+// ---- Planner contract (core/planner.h) ----
+//
+// Every engine reports, per (KB, query) pair, whether it applies at all
+// (Capability) and a prediction of how much work an answer would take and
+// how accurate it would be (CostEstimate).  The planner scores candidate
+// strategies from these instead of trying engines in a hard-coded order.
+
+// Applicability of an engine on one (KB, query) pair, with the structural
+// facts the decision was derived from.  Derived from the KB analyses cached
+// in QueryContext where possible, so assessment is cheap enough to run per
+// query.
+struct Capability {
+  bool applicable = false;
+  // Why not (or under what caps), for --list-engines / EXPLAIN output.
+  std::string reason;
+  // Structural facts behind the decision.
+  int max_predicate_arity = 0;   // over the context vocabulary
+  int num_constants = 0;         // arity-0 functions in the vocabulary
+  int num_atoms = 0;             // 2^k for the unary fragment; 0 when n/a
+  int query_depth = 0;           // connective nesting depth of the query
+};
+
+// Predicted work and accuracy of running an engine on one (KB, query)
+// pair.  `work` is in abstract units — roughly one compiled-program
+// evaluation of one world — comparable across engines; `error` is the
+// expected |Pr̂ - Pr| of the produced answer (0 for exact engines).
+struct CostEstimate {
+  double work = 0.0;
+  double error = 0.0;
+  // What the prediction was derived from (leaf counts, world-odometer
+  // size, program length, acceptance-rate estimate, ...).
+  std::string basis;
+};
+
+// Structural facts shared by every engine's capability assessment:
+// vocabulary arity/constant/atom counts and the query's connective
+// nesting depth (applicable/reason are left for the engine to fill).
+Capability DescribeInstance(const logic::Vocabulary& vocabulary,
+                            const logic::FormulaPtr& query);
+
+// Per-world evaluation cost proxy for the planner's models: the compiled
+// program's instruction count when the context already holds the program
+// (semantics/compile.h via QueryContext::CompiledIfCached), otherwise a
+// structural node count — planning must stay far cheaper than the
+// cheapest engine, so cost models never trigger compilation themselves.
+double ApproximateProgramLength(const QueryContext& ctx,
+                                const logic::FormulaPtr& f);
 
 // Tolerance spec for ResultsEquivalent.
 struct ResultTolerance {
@@ -116,6 +165,21 @@ class FiniteEngine {
     return ResultClass::kDeterministic;
   }
 
+  // ---- Planner hooks ----
+  //
+  // Applicability and predicted cost of one DegreeAt probe at `domain_size`
+  // (sweep strategies sum probes over their schedule).  The defaults derive
+  // applicability from Supports and an uninformative cost; the concrete
+  // engines override with predictions from the context's cached KB
+  // analyses (profile leaf counts, world-odometer size, compiled-program
+  // length, acceptance-rate estimates).
+  virtual Capability AssessCapability(const QueryContext& ctx,
+                                      const logic::FormulaPtr& query,
+                                      int domain_size) const;
+  virtual CostEstimate EstimateCost(const QueryContext& ctx,
+                                    const logic::FormulaPtr& query,
+                                    int domain_size) const;
+
  protected:
   // Engine-specific context-aware computation (no memo layer).  The default
   // delegates to the vocabulary/kb form above.
@@ -156,6 +220,13 @@ struct LimitOptions {
   // the serial sweep, point for point).  1 = serial; 0 = one worker per
   // hardware thread.
   int num_threads = 1;
+  // Per-query deadline (epoch time_point{} = none).  Checked between grid
+  // points, never inside one, so a sweep overshoots the deadline by at
+  // most one DegreeAt probe; points past the deadline are not evaluated
+  // and the sweep reports deadline_hit.  Deadline-limited results are
+  // inherently wall-clock-dependent — the planner treats them like an
+  // exhausted engine and falls back.
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 struct LimitResult {
@@ -165,6 +236,11 @@ struct LimitResult {
   // True when Pr_N^τ was undefined at every evaluated point (KB not
   // eventually consistent as far as the sweep can see).
   bool never_defined = true;
+  // True when the sweep stopped early because the engine hit its work
+  // budget (FiniteResult::exhausted) — the planner's cue to fall back.
+  bool exhausted = false;
+  // True when LimitOptions::deadline cut the sweep short.
+  bool deadline_hit = false;
   std::vector<SeriesPoint> series;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <utility>
@@ -347,6 +348,24 @@ FiniteResult ExactEngine::DegreeAt(
   return ComputeExact(vocabulary, semantics::CompileFormula(kb, vocabulary),
                       semantics::CompileFormula(query, vocabulary),
                       domain_size, tolerances, nullptr, num_threads_);
+}
+
+CostEstimate ExactEngine::EstimateCost(const QueryContext& ctx,
+                                       const logic::FormulaPtr& query,
+                                       int domain_size) const {
+  CostEstimate cost;
+  const double log2_worlds = Log2WorldCount(ctx.vocabulary(), domain_size);
+  const double length = ApproximateProgramLength(ctx, ctx.kb()) +
+                        ApproximateProgramLength(ctx, query);
+  // Two evaluations (KB, then query on KB-worlds) per enumerated world.
+  cost.work = log2_worlds >= 60.0 ? 1e20 : std::exp2(log2_worlds) * length;
+  cost.error = 0.0;  // definitional computation
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "world odometer 2^%.1f x program length %.0f", log2_worlds,
+                length);
+  cost.basis = buf;
+  return cost;
 }
 
 std::string ExactEngine::CacheSalt() const {

@@ -45,6 +45,12 @@ class ExactEngine : public FiniteEngine {
 
   std::string CacheSalt() const override;
 
+  // Planner cost model: world-odometer size 2^(predicate cells) ×
+  // N^(function cells), times the compiled KB+query program length.
+  CostEstimate EstimateCost(const QueryContext& ctx,
+                            const logic::FormulaPtr& query,
+                            int domain_size) const override;
+
  protected:
   // Context path: the KB-satisfying worlds at one (N, ⃗τ) are
   // query-independent, so the first query records them (within a memory

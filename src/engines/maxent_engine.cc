@@ -1,5 +1,6 @@
 #include "src/engines/maxent_engine.h"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <memory>
@@ -281,6 +282,42 @@ std::optional<std::vector<double>> MaxEntEngine::MaxEntPoint(
   auto solution = rwl::maxent::Solve(extracted.problem);
   if (!solution.feasible) return std::nullopt;
   return solution.p;
+}
+
+Capability MaxEntEngine::Assess(const QueryContext& ctx,
+                                const logic::FormulaPtr& query) const {
+  Capability cap = DescribeInstance(ctx.vocabulary(), query);
+  cap.applicable =
+      ctx.vocabulary().IsUnaryRelational() && cap.num_atoms > 0;
+  cap.reason = cap.applicable
+                   ? "unary fragment (linear-fragment check happens in the "
+                     "solve)"
+                   : "outside the unary fragment";
+  return cap;
+}
+
+CostEstimate MaxEntEngine::EstimateCost(const QueryContext& ctx,
+                                        const logic::FormulaPtr& query) const {
+  (void)query;
+  CostEstimate cost;
+  const int k = std::min(ctx.vocabulary().num_predicates(), 30);
+  const double atoms = std::exp2(static_cast<double>(k));
+  // Iterative entropy maximization over the atom simplex, re-solved per
+  // tolerance scale of InferLimit's own τ → 0 schedule (its default
+  // three scales — the solve does not follow the sweep engines'
+  // LimitOptions schedule).  The per-atom weight is
+  // calibrated against the profile engine's leaf-evaluation unit: one
+  // solve costs hundreds of projected-gradient iterations with
+  // exponential updates per atom, which measures ~10^4-10^5 profile-leaf
+  // equivalents per atom — so the solve only wins once the sweep's leaf
+  // count outgrows it (wide vocabularies, large N), matching observed
+  // wall time.
+  cost.work = atoms * 3.0e4 * 3.0;
+  cost.error = 0.0;  // the true N → ∞ limit, solved to tolerance
+  cost.basis = "entropy solve over " +
+               std::to_string(static_cast<long long>(atoms)) +
+               " atoms x 3 tolerance scales";
+  return cost;
 }
 
 }  // namespace rwl::engines

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/engines/engine.h"
 #include "src/logic/formula.h"
 #include "src/logic/vocabulary.h"
 #include "src/semantics/tolerance.h"
@@ -78,6 +79,14 @@ class MaxEntEngine {
   std::optional<std::vector<double>> MaxEntPoint(
       const logic::Vocabulary& vocabulary, const logic::FormulaPtr& kb,
       const semantics::ToleranceVector& tolerances) const;
+
+  // Planner hooks.  Applicability is the unary fragment (the linear-
+  // fragment check happens inside the solve); predicted work is the
+  // entropy optimization over 2^k atom proportions per tolerance scale.
+  Capability Assess(const QueryContext& ctx,
+                    const logic::FormulaPtr& query) const;
+  CostEstimate EstimateCost(const QueryContext& ctx,
+                            const logic::FormulaPtr& query) const;
 };
 
 }  // namespace rwl::engines

@@ -1,12 +1,15 @@
 #include "src/engines/montecarlo_engine.h"
 
 #include <cmath>
+#include <cstdio>
+#include <memory>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "src/combinatorics/logmath.h"
 #include "src/core/query_context.h"
+#include "src/engines/symbolic_engine.h"
 #include "src/semantics/compile.h"
 #include "src/semantics/vm.h"
 #include "src/semantics/world.h"
@@ -153,8 +156,62 @@ FiniteResult MonteCarloEngine::DegreeAt(
 FiniteResult MonteCarloEngine::DegreeAtInContext(
     QueryContext& ctx, const logic::FormulaPtr& query, int domain_size,
     const semantics::ToleranceVector& tolerances) const {
-  return Sample(ctx.vocabulary(), *ctx.Compiled(ctx.kb()),
-                *ctx.Compiled(query), domain_size, tolerances);
+  FiniteResult result = Sample(ctx.vocabulary(), *ctx.Compiled(ctx.kb()),
+                               *ctx.Compiled(query), domain_size, tolerances);
+  // Feed the observed acceptance rate back to the planner's cost model
+  // (advisory only: it sharpens later cost predictions in this context,
+  // never the results themselves).
+  Stats stats = last_stats();
+  if (stats.sampled > 0) {
+    ctx.StoreBlob("planner.mc.acceptance|" + CacheSalt(),
+                  std::make_shared<const double>(
+                      static_cast<double>(stats.accepted) /
+                      static_cast<double>(stats.sampled)),
+                  sizeof(double));
+  }
+  return result;
+}
+
+CostEstimate MonteCarloEngine::EstimateCost(const QueryContext& ctx,
+                                            const logic::FormulaPtr& query,
+                                            int domain_size) const {
+  (void)query;
+  CostEstimate cost;
+  semantics::World probe(&ctx.vocabulary(), domain_size);
+  const double cells = static_cast<double>(probe.TotalPredicateCells() +
+                                           probe.TotalFunctionCells());
+  const double samples = static_cast<double>(options_.num_samples);
+  // Each sample fills every cell, then evaluates the KB (and, on
+  // acceptance, the query); cell filling dominates at realistic N.
+  cost.work = samples * std::max(cells * 0.1, 1.0);
+
+  // Acceptance-rate estimate: prefer the rate observed earlier in this
+  // context; otherwise a prior from the KB's statistical conjuncts — each
+  // ≈-constraint of width w keeps roughly a w-fraction of uniform worlds
+  // (binomial concentration makes tight defaults expensive to hit).
+  double acceptance = 0.0;
+  std::string acceptance_basis;
+  auto observed = std::static_pointer_cast<const double>(
+      ctx.LookupBlob("planner.mc.acceptance|" + CacheSalt()));
+  if (observed != nullptr) {
+    acceptance = *observed;
+    acceptance_basis = "observed acceptance";
+  } else {
+    acceptance = 1.0;
+    for (const StatStatement& stat : ctx.kb_analysis().stats) {
+      double width = std::max(stat.hi - stat.lo, 0.05);
+      acceptance *= std::min(width + 0.1, 1.0);
+    }
+    acceptance_basis = "prior acceptance from KB constraint widths";
+  }
+  acceptance = std::max(acceptance, 1e-6);
+  const double accepted = std::max(samples * acceptance, 1.0);
+  cost.error = 0.5 / std::sqrt(accepted);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%.3g samples x %.0f cells; %s %.3g",
+                samples, cells, acceptance_basis.c_str(), acceptance);
+  cost.basis = buf;
+  return cost;
 }
 
 std::string MonteCarloEngine::CacheSalt() const {

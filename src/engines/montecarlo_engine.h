@@ -70,6 +70,14 @@ class MonteCarloEngine : public FiniteEngine {
     return ResultClass::kStatistical;
   }
 
+  // Planner cost model: samples × world cells, with the predicted error
+  // from the KB acceptance rate — observed from an earlier run in this
+  // context when available, otherwise a prior from the KB's statistical
+  // conjuncts (rejection sampling degrades as Pr(KB) shrinks).
+  CostEstimate EstimateCost(const QueryContext& ctx,
+                            const logic::FormulaPtr& query,
+                            int domain_size) const override;
+
   // Diagnostics from the most recent DegreeAt call (thread-safe: DegreeAt
   // may run on the limit-sweep worker pool).
   struct Stats {

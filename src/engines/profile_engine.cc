@@ -16,6 +16,7 @@
 #include "src/engines/world_cache.h"
 #include "src/logic/classalg.h"
 #include "src/logic/transform.h"
+#include "src/semantics/compile.h"
 #include "src/semantics/evaluator.h"
 
 namespace rwl::engines {
@@ -839,6 +840,39 @@ FiniteResult ProfileEngine::DegreeAt(
   return ComputeSweepPoint(options_, vocabulary, split.constant_free,
                            split.constant_dependent, query, domain_size,
                            tolerances, nullptr);
+}
+
+CostEstimate ProfileEngine::EstimateCost(const QueryContext& ctx,
+                                         const logic::FormulaPtr& query,
+                                         int domain_size) const {
+  CostEstimate cost;
+  const logic::Vocabulary& vocabulary = ctx.vocabulary();
+  const int k = std::min(vocabulary.num_predicates(), 30);
+  const double atoms = std::exp2(static_cast<double>(k));
+  const double log_raw = LogBinomial(
+      domain_size + (1 << k) - 1, (1 << k) - 1);
+  // The DFS aborts at the leaf budget, so predicted leaves are capped
+  // there; constraint pruning typically lands well below the raw count,
+  // making this a (useful) overestimate.
+  const double leaves =
+      std::min(std::exp(std::min(log_raw, 60.0 * 0.6931471805599453)),
+               static_cast<double>(options_.max_leaves));
+  const double num_constants =
+      static_cast<double>(vocabulary.Constants().size());
+  const double placements =
+      std::min(std::pow(atoms, num_constants), 1e6);
+  const double length = ApproximateProgramLength(ctx, ctx.kb()) +
+                        ApproximateProgramLength(ctx, query);
+  // Profile-leaf evaluation works over element classes, not N elements —
+  // per-leaf cost scales with the program length alone.
+  cost.work = leaves * std::max(placements, 1.0) * length * 0.25;
+  cost.error = 0.0;  // exact at each (N, τ) point
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%.3g profile leaves x %.0f placements x length %.0f",
+                leaves, std::max(placements, 1.0), length);
+  cost.basis = buf;
+  return cost;
 }
 
 std::string ProfileEngine::CacheSalt() const {

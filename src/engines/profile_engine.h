@@ -76,6 +76,13 @@ class ProfileEngine : public FiniteEngine {
 
   std::string CacheSalt() const override;
 
+  // Planner cost model: raw profile count C(N+A-1, A-1) (capped at the
+  // leaf budget — the DFS aborts there) × constant placements × the
+  // compiled KB+query program length.
+  CostEstimate EstimateCost(const QueryContext& ctx,
+                            const logic::FormulaPtr& query,
+                            int domain_size) const override;
+
  protected:
   // Context path: the DFS over profiles is query-independent up to the leaf
   // evaluation, so the first query at each (N, ⃗τ) records the satisfying

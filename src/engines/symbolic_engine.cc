@@ -955,4 +955,30 @@ SymbolicAnswer SymbolicEngine::Infer(QueryContext& ctx,
   return answer;
 }
 
+Capability SymbolicEngine::Assess(const QueryContext& ctx,
+                                  const FormulaPtr& query) const {
+  Capability cap = DescribeInstance(ctx.vocabulary(), query);
+  cap.applicable = true;
+  cap.reason = "theorem matchers cover the full language; a theorem may "
+               "still fail to match this (KB, query) pair";
+  return cap;
+}
+
+CostEstimate SymbolicEngine::EstimateCost(const QueryContext& ctx,
+                                          const FormulaPtr& query) const {
+  (void)query;
+  const KbAnalysis& analysis = ctx.kb_analysis();
+  CostEstimate cost;
+  // Matching is a syntactic pass over the conjunct list per theorem, plus
+  // class-algebra checks per statistical statement pair.
+  const double conjuncts = static_cast<double>(analysis.conjuncts.size());
+  const double stats = static_cast<double>(analysis.stats.size());
+  cost.work = 8.0 * (conjuncts + stats * stats + 1.0);
+  cost.error = 0.0;  // closed-form theorem output
+  cost.basis = std::to_string(analysis.conjuncts.size()) + " conjuncts, " +
+               std::to_string(analysis.stats.size()) +
+               " statistical statements";
+  return cost;
+}
+
 }  // namespace rwl::engines

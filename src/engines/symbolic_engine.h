@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/engines/engine.h"
 #include "src/logic/formula.h"
 #include "src/logic/vocabulary.h"
 
@@ -105,6 +106,15 @@ class SymbolicEngine {
   // answer under the query's node id.  Same answers as Infer above.
   SymbolicAnswer Infer(QueryContext& ctx,
                        const logic::FormulaPtr& query) const;
+
+  // Planner hooks.  The theorem matchers cover the full language and
+  // whether one applies is only decidable by running them, so capability
+  // is "always worth trying" plus structural facts; predicted work is the
+  // (tiny) matcher pass over the KB's statistical conjuncts.
+  Capability Assess(const QueryContext& ctx,
+                    const logic::FormulaPtr& query) const;
+  CostEstimate EstimateCost(const QueryContext& ctx,
+                            const logic::FormulaPtr& query) const;
 
   // Individual theorem matchers, exposed for tests.
   std::optional<SymbolicAnswer> TryDirectInference(

@@ -393,4 +393,14 @@ CompiledFormula CompileFormula(const logic::FormulaPtr& f,
   return compiler.Run(f);
 }
 
+ProgramStats StatsOf(const CompiledFormula& compiled) {
+  ProgramStats stats;
+  if (!compiled.ok()) return stats;
+  stats.ok = true;
+  stats.length = static_cast<int>(compiled.program->code.size());
+  stats.num_slots = compiled.program->num_slots;
+  stats.max_stack = compiled.program->max_values;
+  return stats;
+}
+
 }  // namespace rwl::semantics

@@ -37,6 +37,18 @@ struct CompiledFormula {
 CompiledFormula CompileFormula(const logic::FormulaPtr& f,
                                const logic::Vocabulary& vocabulary);
 
+// Size statistics of a compiled program, used by the planner's cost
+// models: per-world evaluation time is roughly proportional to `length`
+// (loop ops multiply, but instruction count is the comparable first-order
+// proxy across formulas of one workload).
+struct ProgramStats {
+  bool ok = false;
+  int length = 0;     // instruction count
+  int num_slots = 0;  // quantifier/proportion variable slots
+  int max_stack = 0;  // peak value-stack depth
+};
+ProgramStats StatsOf(const CompiledFormula& compiled);
+
 }  // namespace rwl::semantics
 
 #endif  // RWL_SEMANTICS_COMPILE_H_

@@ -1,9 +1,11 @@
 #include "src/testing/differential.h"
 
+#include <algorithm>
 #include <cmath>
 #include <random>
 #include <sstream>
 
+#include "src/core/planner.h"
 #include "src/core/query_context.h"
 #include "src/engines/exact_engine.h"
 #include "src/engines/maxent_engine.h"
@@ -92,6 +94,75 @@ bool PipelineAnswersAgree(const Answer& a, const Answer& b, double epsilon,
   }
   *compared = true;
   return true;
+}
+
+// Limit-level equivalence of two planner/forced-strategy answers, routed
+// through the engines' ResultsEquivalent hook so statistical strategies
+// get a sampling-error allowance.  Status handling (skips for unknown /
+// nonexistent / unconverged answers, undefinedness pairing) mirrors
+// PipelineAnswersAgree; interval answers compare by overlap.
+bool PlannerAnswersAgree(const Answer& a, engines::ResultClass class_a,
+                         const Answer& b, engines::ResultClass class_b,
+                         double epsilon, bool* compared, std::string* why) {
+  *compared = false;
+  if (a.status == Answer::Status::kUnknown ||
+      b.status == Answer::Status::kUnknown ||
+      a.status == Answer::Status::kNonexistent ||
+      b.status == Answer::Status::kNonexistent) {
+    return true;
+  }
+  if (a.status == Answer::Status::kUndefined ||
+      b.status == Answer::Status::kUndefined) {
+    if (a.status == b.status) {
+      *compared = true;
+      return true;
+    }
+    // A symbolic theorem can finalize where a numeric strategy's finite
+    // prefix sees no worlds; uninformative (as in the pipeline check).
+    return true;
+  }
+  if (!a.converged || !b.converged) return true;
+  if (a.status == Answer::Status::kInterval ||
+      b.status == Answer::Status::kInterval) {
+    double a_lo = a.status == Answer::Status::kPoint ? a.value : a.lo;
+    double a_hi = a.status == Answer::Status::kPoint ? a.value : a.hi;
+    double b_lo = b.status == Answer::Status::kPoint ? b.value : b.lo;
+    double b_hi = b.status == Answer::Status::kPoint ? b.value : b.hi;
+    *compared = true;
+    if (a_lo - epsilon > b_hi || b_lo - epsilon > a_hi) {
+      if (why != nullptr) {
+        *why = "intervals do not overlap within epsilon " +
+               std::to_string(epsilon) + "  [" + AnswerToString(a) +
+               " vs " + AnswerToString(b) + "]";
+      }
+      return false;
+    }
+    return true;
+  }
+  // Point vs point: ResultsEquivalent with a limit-level tolerance — the
+  // epsilon absorbs finite-prefix extrapolation bias, and statistical
+  // sides get the same epsilon again as their sampling floor.
+  engines::FiniteResult fa;
+  fa.well_defined = true;
+  fa.probability = a.value;
+  engines::FiniteResult fb;
+  fb.well_defined = true;
+  fb.probability = b.value;
+  engines::ResultTolerance tolerance;
+  tolerance.deterministic_epsilon = epsilon;
+  tolerance.statistical_z = 0.0;
+  tolerance.statistical_floor = epsilon;
+  *compared = true;
+  return engines::ResultsEquivalent(fa, class_a, fb, class_b, tolerance,
+                                    why);
+}
+
+// A planner answer produced by the Monte-Carlo sweep carries sampling
+// error; everything else is deterministic.
+engines::ResultClass AnswerClass(const Answer& answer) {
+  return answer.method.find("montecarlo") != std::string::npos
+             ? engines::ResultClass::kStatistical
+             : engines::ResultClass::kDeterministic;
 }
 
 // Exact equality of the documented batch invariant: every batch answer
@@ -334,9 +405,108 @@ DifferentialReport RunDifferential(
       ++report.comparisons;
       if (std::fabs(limit.value - *swept.value) > options.limit_epsilon) {
         report.disagreements.push_back(Disagreement{
-            "maxent", "maxent", "profile-sweep", query, 0,
+            "maxent", "maxent", "profile", query, 0,
             "limits differ: " + std::to_string(limit.value) + " vs " +
                 std::to_string(*swept.value)});
+      }
+    }
+  }
+
+  // ---- planner vs forced strategies / plan-cache bit-identity ----
+  //
+  // The cost-based planner must be equivalent to every strategy it could
+  // have chosen: whatever engine the plan picks, the paper's claim is that
+  // the degree of belief is one quantity.  Bounded to the first queries of
+  // the batch — each comparison reruns the full routing several times.
+  if (options.check_planner) {
+    InferenceOptions planner_options;
+    planner_options.tolerances = options.tolerances;
+    planner_options.limit.domain_sizes = options.pipeline_domain_sizes;
+    planner_options.limit.tolerance_scales =
+        options.pipeline_tolerance_scales;
+    // Keep fuzz loops affordable: candidates predicted over this budget
+    // are skipped (yielding kUnknown, which the comparison treats as
+    // uninformative) — the exact odometer at N=6 on a 4-predicate
+    // vocabulary alone is ~2^24 worlds per point.
+    planner_options.work_budget = 3e7;
+    const size_t planner_queries =
+        std::min<size_t>(scenario.queries.size(), 2);
+    static const char* kForced[] = {"symbolic", "profile", "maxent",
+                                    "exact", "montecarlo"};
+    KnowledgeBase planner_kb = ToKnowledgeBase(scenario);
+    // One shared caching context for the planner and forced runs: the
+    // finite-result memo dedups the sweeps across them (answers are
+    // bit-identical either way — the context checks above pin that).
+    QueryContext shared_ctx = MakeQueryContext(
+        planner_kb,
+        std::span<const logic::FormulaPtr>(scenario.queries.data(),
+                                           planner_queries),
+        planner_options);
+    for (size_t qi = 0; qi < planner_queries; ++qi) {
+      const logic::FormulaPtr& query = scenario.queries[qi];
+      Answer planned = DegreeOfBelief(shared_ctx, query, planner_options);
+
+      // The cost-ordered plan answers the same question.
+      InferenceOptions cost_options = planner_options;
+      cost_options.plan_mode = PlanMode::kMinCost;
+      Answer cost_planned = DegreeOfBelief(shared_ctx, query, cost_options);
+      bool compared = false;
+      std::string why;
+      if (!PlannerAnswersAgree(planned, AnswerClass(planned), cost_planned,
+                               AnswerClass(cost_planned),
+                               options.limit_epsilon, &compared, &why)) {
+        report.disagreements.push_back(Disagreement{
+            "planner", "planner:fidelity", "planner:cost", query, 0, why});
+      }
+      if (compared) ++report.comparisons;
+
+      // Every forced applicable strategy.
+      for (const char* forced_name : kForced) {
+        const bool is_montecarlo =
+            std::string(forced_name) == "montecarlo";
+        if (is_montecarlo && options.planner_montecarlo_samples == 0) {
+          continue;
+        }
+        InferenceOptions forced_options = planner_options;
+        forced_options.force_engine = forced_name;
+        if (is_montecarlo) {
+          forced_options.montecarlo_samples =
+              options.planner_montecarlo_samples;
+        }
+        Answer forced =
+            DegreeOfBelief(shared_ctx, query, forced_options);
+        compared = false;
+        why.clear();
+        engines::ResultClass forced_class =
+            is_montecarlo ? engines::ResultClass::kStatistical
+                          : engines::ResultClass::kDeterministic;
+        if (!PlannerAnswersAgree(planned, AnswerClass(planned), forced,
+                                 forced_class, options.limit_epsilon,
+                                 &compared, &why)) {
+          report.disagreements.push_back(
+              Disagreement{"planner", "planner",
+                           std::string("forced:") + forced_name, query, 0,
+                           why});
+        }
+        if (compared) ++report.comparisons;
+      }
+
+      // Plan-cache hit ≡ cold plan, bit for bit: the second identical
+      // query through one context executes the cached candidate order.
+      QueryContext planner_ctx = MakeQueryContext(
+          planner_kb, std::span<const logic::FormulaPtr>(&query, 1),
+          planner_options);
+      Answer cold = DegreeOfBelief(planner_ctx, query, planner_options);
+      Answer warm = DegreeOfBelief(planner_ctx, query, planner_options);
+      ++report.comparisons;
+      why.clear();
+      if (!SameAnswer(warm, cold, &why)) {
+        report.disagreements.push_back(Disagreement{
+            "plan-cache", "cached plan", "cold plan", query, 0, why});
+      } else if (warm.plan == nullptr || !warm.plan->from_cache) {
+        report.disagreements.push_back(Disagreement{
+            "plan-cache", "cached plan", "cold plan", query, 0,
+            "second identical query did not hit the plan cache"});
       }
     }
   }

@@ -60,6 +60,17 @@ struct DifferentialOptions {
   bool check_maxent = true;
   bool check_batch = true;
   double limit_epsilon = 0.15;
+
+  // planner — the cost-based planner's answer (core/planner.h) must be
+  // differentially equivalent, via ResultsEquivalent at the limit level,
+  // to the answer of every forced applicable strategy (rwlq --engine
+  // semantics), and to its own cost-ordered mode; a repeated query through
+  // one context (a plan-cache hit) must be bit-identical to the cold
+  // plan's answer.
+  bool check_planner = true;
+  // Sample budget for the forced Monte-Carlo strategy (0 disables forcing
+  // montecarlo — the full default budget is too slow for fuzz loops).
+  uint64_t planner_montecarlo_samples = 4000;
   // Sweep schedule for the pipeline checks.  Kept small: the fuzzer runs
   // thousands of scenarios, and the profile DFS grows combinatorially in
   // (N, atoms) — at 8 atoms the leaf count at N=24 already exceeds the
@@ -70,7 +81,7 @@ struct DifferentialOptions {
 
 struct Disagreement {
   std::string check;  // "vm", "finite", "context", "pipeline", "maxent",
-                      // "batch"
+                      // "batch", "planner", "plan-cache"
   std::string lhs;    // engine / strategy names
   std::string rhs;
   logic::FormulaPtr query;

@@ -1,0 +1,122 @@
+// Regression test: FiniteResults with exhausted = true must never enter
+// the QueryContext finite-result memo.  Exhaustion reflects an execution
+// resource (a work budget, a deadline) rather than the semantics of the
+// memo key, so a budget-limited failure at a small budget must not poison
+// a later call made with a larger budget.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/query_context.h"
+#include "src/engines/engine.h"
+#include "src/logic/parser.h"
+#include "src/logic/vocabulary.h"
+#include "src/semantics/tolerance.h"
+
+namespace rwl {
+namespace {
+
+// A stub engine whose work budget is an execution resource — like the
+// planner's deadlines, it is deliberately NOT part of the cache salt, so
+// two calls at different budgets share a memo key.
+class BudgetedStubEngine : public engines::FiniteEngine {
+ public:
+  std::string name() const override { return "budgeted-stub"; }
+
+  using engines::FiniteEngine::DegreeAt;
+  using engines::FiniteEngine::Supports;
+
+  bool Supports(const logic::Vocabulary&, const logic::FormulaPtr&,
+                const logic::FormulaPtr&, int) const override {
+    return true;
+  }
+
+  engines::FiniteResult DegreeAt(
+      const logic::Vocabulary&, const logic::FormulaPtr&,
+      const logic::FormulaPtr&, int,
+      const semantics::ToleranceVector&) const override {
+    ++calls;
+    engines::FiniteResult result;
+    if (budget < 10) {
+      result.exhausted = true;
+      return result;
+    }
+    result.well_defined = true;
+    result.probability = 0.25;
+    result.log_numerator = -1.0;
+    result.log_denominator = 0.0;
+    return result;
+  }
+
+  mutable int calls = 0;
+  int budget = 1;
+};
+
+struct Fixture {
+  logic::Vocabulary vocabulary;
+  logic::FormulaPtr query;
+
+  Fixture() {
+    vocabulary.AddPredicate("P", 1);
+    vocabulary.AddFunction("c", 0);
+    query = logic::ParseFormula("P(c)").formula;
+  }
+};
+
+TEST(FiniteMemoTest, ExhaustedResultIsNotMemoized) {
+  Fixture f;
+  QueryContext ctx(f.vocabulary, logic::Formula::True(),
+                   /*caching_enabled=*/true);
+  semantics::ToleranceVector tolerances =
+      semantics::ToleranceVector::Uniform(0.1);
+
+  BudgetedStubEngine engine;
+  engines::FiniteResult starved = engine.DegreeAt(ctx, f.query, 4, tolerances);
+  EXPECT_TRUE(starved.exhausted);
+  EXPECT_EQ(engine.calls, 1);
+
+  // With a larger budget the same key must recompute, not replay the
+  // starved failure.
+  engine.budget = 100;
+  engines::FiniteResult retried = engine.DegreeAt(ctx, f.query, 4, tolerances);
+  EXPECT_FALSE(retried.exhausted);
+  EXPECT_TRUE(retried.well_defined);
+  EXPECT_DOUBLE_EQ(retried.probability, 0.25);
+  EXPECT_EQ(engine.calls, 2);
+}
+
+TEST(FiniteMemoTest, SuccessfulResultStillMemoizes) {
+  Fixture f;
+  QueryContext ctx(f.vocabulary, logic::Formula::True(),
+                   /*caching_enabled=*/true);
+  semantics::ToleranceVector tolerances =
+      semantics::ToleranceVector::Uniform(0.1);
+
+  BudgetedStubEngine engine;
+  engine.budget = 100;
+  engines::FiniteResult first = engine.DegreeAt(ctx, f.query, 4, tolerances);
+  engines::FiniteResult second = engine.DegreeAt(ctx, f.query, 4, tolerances);
+  EXPECT_EQ(engine.calls, 1) << "well-defined results must still be cached";
+  EXPECT_DOUBLE_EQ(first.probability, second.probability);
+
+  QueryContext::CacheStats stats = ctx.cache_stats();
+  EXPECT_EQ(stats.finite_hits, 1u);
+}
+
+TEST(FiniteMemoTest, ExhaustedStaysUncachedAcrossRepeats) {
+  Fixture f;
+  QueryContext ctx(f.vocabulary, logic::Formula::True(),
+                   /*caching_enabled=*/true);
+  semantics::ToleranceVector tolerances =
+      semantics::ToleranceVector::Uniform(0.1);
+
+  BudgetedStubEngine engine;
+  engine.DegreeAt(ctx, f.query, 4, tolerances);
+  engine.DegreeAt(ctx, f.query, 4, tolerances);
+  // Both starved calls recomputed: the memo holds nothing for this key.
+  EXPECT_EQ(engine.calls, 2);
+  EXPECT_EQ(ctx.cache_stats().finite_hits, 0u);
+}
+
+}  // namespace
+}  // namespace rwl

@@ -1,0 +1,381 @@
+// The cost-based query planner (core/planner.h): capability gating, plan
+// traces, plan-cache bit-identity, deadlines, work budgets, forced
+// strategies, and differential equivalence of planner answers against
+// every forced applicable engine on generated workloads.
+#include <chrono>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine_registry.h"
+#include "src/core/inference.h"
+#include "src/core/knowledge_base.h"
+#include "src/core/planner.h"
+#include "src/engines/profile_engine.h"
+#include "src/logic/parser.h"
+#include "src/logic/transform.h"
+#include "src/testing/differential.h"
+#include "src/testing/scenario.h"
+#include "src/workload/generators.h"
+
+namespace rwl {
+namespace {
+
+KnowledgeBase HepatitisKb() {
+  KnowledgeBase kb;
+  std::string error;
+  EXPECT_TRUE(kb.AddParsed("Jaun(Eric)\n"
+                           "#(Hep(x) ; Jaun(x))[x] ~= 0.8\n",
+                           &error))
+      << error;
+  return kb;
+}
+
+InferenceOptions FastOptions() {
+  InferenceOptions options;
+  options.tolerances = semantics::ToleranceVector::Uniform(0.04);
+  options.limit.domain_sizes = {8, 12, 16};
+  options.limit.tolerance_scales = {1.0, 0.5};
+  return options;
+}
+
+const PlanStep* FindStep(const Answer& answer, const std::string& strategy) {
+  if (answer.plan == nullptr) return nullptr;
+  for (const PlanStep& step : answer.plan->steps) {
+    if (step.strategy == strategy) return &step;
+  }
+  return nullptr;
+}
+
+int CountRan(const Answer& answer) {
+  int ran = 0;
+  for (const PlanStep& step : answer.plan->steps) {
+    if (step.action == PlanStep::Action::kRan) ++ran;
+  }
+  return ran;
+}
+
+bool BitIdentical(const Answer& a, const Answer& b) {
+  return a.status == b.status && a.value == b.value && a.lo == b.lo &&
+         a.hi == b.hi && a.method == b.method &&
+         a.converged == b.converged && a.series.size() == b.series.size();
+}
+
+TEST(PlannerTest, TraceRecordsAssessmentAndExecution) {
+  KnowledgeBase kb = HepatitisKb();
+  Answer answer = DegreeOfBelief(kb, "Hep(Eric)", FastOptions());
+  ASSERT_EQ(answer.status, Answer::Status::kPoint);
+  EXPECT_NEAR(answer.value, 0.8, 0.01);
+
+  ASSERT_NE(answer.plan, nullptr);
+  EXPECT_EQ(answer.plan->mode, "fidelity");
+  EXPECT_FALSE(answer.plan->from_cache);
+  // Every registered strategy was assessed.
+  EXPECT_EQ(answer.plan->steps.size(),
+            EngineRegistry::Default().Ordered().size());
+  // The symbolic theorems answered; later candidates were not reached.
+  const PlanStep* symbolic = FindStep(answer, "symbolic");
+  ASSERT_NE(symbolic, nullptr);
+  EXPECT_EQ(symbolic->action, PlanStep::Action::kRan);
+  EXPECT_EQ(symbolic->outcome, "final");
+  EXPECT_GT(symbolic->predicted.work, 0.0);
+  const PlanStep* profile = FindStep(answer, "profile");
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->action, PlanStep::Action::kNotReached);
+  EXPECT_TRUE(profile->capability.applicable);
+  const PlanStep* montecarlo = FindStep(answer, "montecarlo");
+  ASSERT_NE(montecarlo, nullptr);
+  EXPECT_EQ(montecarlo->action, PlanStep::Action::kSkippedInapplicable);
+}
+
+TEST(PlannerTest, PlanCacheHitIsBitIdenticalToColdPlan) {
+  KnowledgeBase kb = HepatitisKb();
+  InferenceOptions options = FastOptions();
+  logic::FormulaPtr query = logic::ParseFormula("Hep(Eric)").formula;
+  QueryContext ctx = MakeQueryContext(
+      kb, std::span<const logic::FormulaPtr>(&query, 1), options);
+
+  Answer cold = DegreeOfBelief(ctx, query, options);
+  Answer warm = DegreeOfBelief(ctx, query, options);
+  ASSERT_NE(cold.plan, nullptr);
+  ASSERT_NE(warm.plan, nullptr);
+  EXPECT_FALSE(cold.plan->from_cache);
+  EXPECT_TRUE(warm.plan->from_cache);
+  EXPECT_EQ(warm.plan->planning_ms, 0.0);
+  EXPECT_TRUE(BitIdentical(cold, warm));
+}
+
+TEST(PlannerTest, SameShapeQueriesShareACachedPlan) {
+  KnowledgeBase kb;
+  std::string error;
+  ASSERT_TRUE(kb.AddParsed("Jaun(Eric)\nJaun(Tom)\n"
+                           "#(Hep(x) ; Jaun(x))[x] ~= 0.8\n",
+                           &error))
+      << error;
+  InferenceOptions options = FastOptions();
+  logic::FormulaPtr eric = logic::ParseFormula("Hep(Eric)").formula;
+  logic::FormulaPtr tom = logic::ParseFormula("Hep(Tom)").formula;
+  ASSERT_NE(eric, tom);
+  EXPECT_EQ(PlanShapeFingerprint(eric), PlanShapeFingerprint(tom));
+
+  std::vector<logic::FormulaPtr> queries = {eric, tom};
+  QueryContext ctx = MakeQueryContext(kb, queries, options);
+  Answer first = DegreeOfBelief(ctx, eric, options);
+  Answer second = DegreeOfBelief(ctx, tom, options);
+  EXPECT_FALSE(first.plan->from_cache);
+  EXPECT_TRUE(second.plan->from_cache)
+      << "a different constant with the same query shape must reuse the "
+         "cached plan";
+}
+
+TEST(PlannerTest, ShapeFingerprintDistinguishesStructure) {
+  logic::FormulaPtr hep = logic::ParseFormula("Hep(Eric)").formula;
+  logic::FormulaPtr jaun = logic::ParseFormula("Jaun(Eric)").formula;
+  logic::FormulaPtr both =
+      logic::ParseFormula("Hep(Eric) & Jaun(Eric)").formula;
+  EXPECT_NE(PlanShapeFingerprint(hep), PlanShapeFingerprint(jaun));
+  EXPECT_NE(PlanShapeFingerprint(hep), PlanShapeFingerprint(both));
+}
+
+TEST(PlannerTest, ForcedEngineBypassesPlanner) {
+  KnowledgeBase kb = HepatitisKb();
+  InferenceOptions options = FastOptions();
+
+  options.force_engine = "profile";
+  Answer profile = DegreeOfBelief(kb, "Hep(Eric)", options);
+  ASSERT_EQ(profile.status, Answer::Status::kPoint);
+  EXPECT_NEAR(profile.value, 0.8, 0.02);
+  EXPECT_NE(profile.method.find("profile"), std::string::npos);
+  ASSERT_NE(profile.plan, nullptr);
+  EXPECT_EQ(profile.plan->mode, "forced:profile");
+  EXPECT_EQ(profile.plan->steps.size(), 1u);
+
+  options.force_engine = "maxent";
+  Answer maxent = DegreeOfBelief(kb, "Hep(Eric)", options);
+  ASSERT_EQ(maxent.status, Answer::Status::kPoint);
+  EXPECT_NEAR(maxent.value, 0.8, 0.02);
+
+  // Forcing implies enabling: montecarlo answers though use_montecarlo
+  // stays false, with the requested sampling budget.
+  options.force_engine = "montecarlo";
+  options.montecarlo_samples = 20000;
+  Answer mc = DegreeOfBelief(kb, "Hep(Eric)", options);
+  ASSERT_EQ(mc.status, Answer::Status::kPoint);
+  EXPECT_NEAR(mc.value, 0.8, 0.05);
+
+  options.force_engine = "no-such-engine";
+  Answer bogus = DegreeOfBelief(kb, "Hep(Eric)", options);
+  EXPECT_EQ(bogus.status, Answer::Status::kUnknown);
+  EXPECT_NE(bogus.explanation.find("registered"), std::string::npos);
+}
+
+TEST(PlannerTest, ForcedAnswersMatchPlannerAnswer) {
+  KnowledgeBase kb = HepatitisKb();
+  InferenceOptions options = FastOptions();
+  Answer planned = DegreeOfBelief(kb, "Hep(Eric)", options);
+  ASSERT_EQ(planned.status, Answer::Status::kPoint);
+  for (const char* name : {"profile", "maxent", "exact"}) {
+    InferenceOptions forced_options = options;
+    forced_options.force_engine = name;
+    Answer forced = DegreeOfBelief(kb, "Hep(Eric)", forced_options);
+    ASSERT_EQ(forced.status, Answer::Status::kPoint) << name;
+    EXPECT_NEAR(forced.value, planned.value, 0.06) << name;
+  }
+}
+
+TEST(PlannerTest, WorkBudgetSkipsExpensiveCandidates) {
+  KnowledgeBase kb = HepatitisKb();
+  InferenceOptions options = FastOptions();
+  options.use_symbolic = false;
+
+  // A budget below every numeric candidate: nothing may run.
+  options.work_budget = 1e3;
+  Answer starved = DegreeOfBelief(kb, "Hep(Eric)", options);
+  EXPECT_EQ(starved.status, Answer::Status::kUnknown);
+  for (const char* name : {"profile", "maxent", "exact"}) {
+    const PlanStep* step = FindStep(starved, name);
+    ASSERT_NE(step, nullptr) << name;
+    EXPECT_EQ(step->action, PlanStep::Action::kSkippedBudget) << name;
+  }
+
+  // A budget the profile sweep fits but the entropy solve and the exact
+  // odometer exceed: the planner answers with the affordable candidate.
+  options.work_budget = 1.5e5;
+  Answer answer = DegreeOfBelief(kb, "Hep(Eric)", options);
+  ASSERT_EQ(answer.status, Answer::Status::kPoint);
+  EXPECT_NE(answer.method.find("profile"), std::string::npos);
+  EXPECT_NEAR(answer.value, 0.8, 0.02);
+}
+
+TEST(PlannerTest, WorkBudgetAppliesToForcedStrategies) {
+  KnowledgeBase kb = HepatitisKb();
+  InferenceOptions options = FastOptions();
+  options.force_engine = "profile";
+  options.work_budget = 1.0;
+  Answer answer = DegreeOfBelief(kb, "Hep(Eric)", options);
+  EXPECT_EQ(answer.status, Answer::Status::kUnknown);
+  ASSERT_EQ(answer.plan->steps.size(), 1u);
+  EXPECT_EQ(answer.plan->steps[0].action, PlanStep::Action::kSkippedBudget);
+}
+
+TEST(PlannerTest, ExpiredDeadlineRunsOnlyTheCheapestCandidate) {
+  KnowledgeBase kb = HepatitisKb();
+  InferenceOptions options = FastOptions();
+  options.use_symbolic = false;
+  // Effectively already expired when execution starts; the planner still
+  // runs exactly one candidate — the cheapest (the profile sweep on this
+  // small KB) — so a late query gets its bounded-overshoot answer.
+  options.deadline_ms = 1e-6;
+  Answer answer = DegreeOfBelief(kb, "Hep(Eric)", options);
+  ASSERT_NE(answer.plan, nullptr);
+  EXPECT_TRUE(answer.plan->deadline_hit);
+  EXPECT_EQ(CountRan(answer), 1);
+  const PlanStep* profile = FindStep(answer, "profile");
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->action, PlanStep::Action::kRan);
+  // Candidates after the finalizing one read "not reached"; candidates
+  // the deadline skipped never ran.
+  const PlanStep* maxent = FindStep(answer, "maxent");
+  ASSERT_NE(maxent, nullptr);
+  EXPECT_NE(maxent->action, PlanStep::Action::kRan);
+}
+
+TEST(PlannerTest, ExpiredDeadlineCutsSweepBetweenProbes) {
+  KnowledgeBase kb = HepatitisKb();
+  InferenceOptions options = FastOptions();
+  logic::FormulaPtr query = logic::ParseFormula("Hep(Eric)").formula;
+  QueryContext ctx = MakeQueryContext(
+      kb, std::span<const logic::FormulaPtr>(&query, 1), options);
+  engines::ProfileEngine profile;
+  engines::LimitOptions sweep;
+  sweep.domain_sizes = {8, 12, 16};
+  sweep.deadline = std::chrono::steady_clock::now() -
+                   std::chrono::seconds(1);
+  engines::LimitResult result = engines::EstimateLimit(
+      profile, ctx, query, options.tolerances, sweep);
+  EXPECT_TRUE(result.deadline_hit);
+  EXPECT_FALSE(result.value.has_value());
+  EXPECT_TRUE(result.series.empty());
+}
+
+TEST(PlannerTest, FixedNRunsDespiteExpiredDeadline) {
+  // Regression: fixed-N defines the question (Pr_N, footnote 9) — an
+  // expired deadline must not substitute a cheaper engine's Pr_∞ answer.
+  KnowledgeBase kb = HepatitisKb();
+  InferenceOptions options = FastOptions();
+  options.fixed_domain_size = 8;
+  options.deadline_ms = 1e-6;
+  Answer answer = DegreeOfBelief(kb, "Hep(Eric)", options);
+  ASSERT_EQ(answer.status, Answer::Status::kPoint);
+  EXPECT_NE(answer.method.find("fixed N"), std::string::npos)
+      << answer.method;
+  const PlanStep* fixed_n = FindStep(answer, "fixed-n");
+  ASSERT_NE(fixed_n, nullptr);
+  EXPECT_EQ(fixed_n->action, PlanStep::Action::kRan);
+  EXPECT_TRUE(fixed_n->preemptive);
+}
+
+TEST(PlannerTest, DeadlineCutSweepDoesNotClaimUndefined) {
+  // Regression: a sweep whose deadline fired before any point was
+  // evaluated has zero information — it must not finalize kUndefined
+  // ("the KB has no worlds") on a satisfiable KB.
+  KnowledgeBase kb = HepatitisKb();
+  InferenceOptions options = FastOptions();
+  options.force_engine = "profile";
+  options.deadline_ms = 1e-6;
+  Answer answer = DegreeOfBelief(kb, "Hep(Eric)", options);
+  EXPECT_NE(answer.status, Answer::Status::kUndefined);
+  EXPECT_EQ(answer.status, Answer::Status::kUnknown);
+  // And a deadline-truncated sweep must never claim convergence.
+  EXPECT_FALSE(answer.converged);
+}
+
+TEST(PlannerTest, CostModePicksCheapestApplicable) {
+  KnowledgeBase kb = HepatitisKb();
+  InferenceOptions options = FastOptions();
+  options.use_symbolic = false;
+  options.plan_mode = PlanMode::kMinCost;
+  Answer answer = DegreeOfBelief(kb, "Hep(Eric)", options);
+  ASSERT_EQ(answer.status, Answer::Status::kPoint);
+  // On this small KB the profile sweep is the cheapest candidate (the
+  // entropy solve's per-atom cost only wins on wide vocabularies).
+  EXPECT_NE(answer.method.find("profile"), std::string::npos);
+  EXPECT_EQ(answer.plan->mode, "cost");
+  ASSERT_GE(answer.plan->steps.size(), 2u);
+  EXPECT_EQ(answer.plan->steps[0].strategy, "profile");
+  EXPECT_NEAR(answer.value, 0.8, 0.02);
+}
+
+TEST(PlannerTest, RegistryFindLooksUpByName) {
+  EngineRegistry& registry = EngineRegistry::Default();
+  EXPECT_NE(registry.Find("symbolic"), nullptr);
+  EXPECT_NE(registry.Find("montecarlo"), nullptr);
+  EXPECT_EQ(registry.Find("montecarlo")->result_class(),
+            engines::ResultClass::kStatistical);
+  EXPECT_EQ(registry.Find("no-such-engine"), nullptr);
+}
+
+TEST(PlannerTest, ExplainRenderingMentionsEveryStrategy) {
+  KnowledgeBase kb = HepatitisKb();
+  Answer answer = DegreeOfBelief(kb, "Hep(Eric)", FastOptions());
+  std::string rendered = FormatPlanTrace(*answer.plan);
+  EXPECT_NE(rendered.find("mode=fidelity"), std::string::npos);
+  EXPECT_NE(rendered.find("symbolic"), std::string::npos);
+  EXPECT_NE(rendered.find("predicted work="), std::string::npos);
+  EXPECT_NE(rendered.find("montecarlo"), std::string::npos);
+}
+
+// Differential equivalence on generated workloads: the planner's answer
+// agrees with every forced applicable engine, the cost-ordered mode, and
+// plan-cache hits are bit-identical (testing/differential.cc check).
+TEST(PlannerTest, MiniFuzzPlannerDifferential) {
+  std::mt19937 rng(20260730);
+  for (int i = 0; i < 20; ++i) {
+    workload::UnaryKbParams params;
+    params.num_predicates = 2 + static_cast<int>(rng() % 2);
+    params.num_constants = 1 + static_cast<int>(rng() % 2);
+    params.num_statements = 1 + static_cast<int>(rng() % 2);
+    params.num_facts = 1;
+    params.max_depth = 2;
+
+    testing::Scenario scenario;
+    for (const auto& name :
+         workload::GeneratorPredicates(params.num_predicates)) {
+      scenario.vocabulary.AddPredicate(name, 1);
+    }
+    for (const auto& name :
+         workload::GeneratorConstants(params.num_constants)) {
+      scenario.vocabulary.AddFunction(name, 0);
+    }
+    scenario.kb = workload::RandomUnaryKb(params, &rng);
+    scenario.queries = workload::RandomQueryBatch(params, 2, &rng);
+    logic::RegisterSymbols(scenario.kb, &scenario.vocabulary);
+    for (const auto& query : scenario.queries) {
+      logic::RegisterSymbols(query, &scenario.vocabulary);
+    }
+    scenario.provenance = "planner_test case " + std::to_string(i);
+
+    testing::DifferentialOptions options;
+    options.tolerances = semantics::ToleranceVector::Uniform(0.2);
+    options.domain_sizes.clear();  // finite oracle covered elsewhere
+    options.check_vm = false;
+    options.check_pipeline = false;
+    options.check_maxent = false;
+    options.check_batch = false;
+    options.check_planner = true;
+    options.pipeline_domain_sizes = {6, 9, 12};
+    options.pipeline_tolerance_scales = {1.0, 0.5};
+    options.planner_montecarlo_samples = 4000;
+
+    testing::DifferentialReport report =
+        testing::RunDifferential(scenario, options);
+    EXPECT_TRUE(report.ok()) << report.Summary(scenario);
+    EXPECT_GT(report.comparisons, 0);
+  }
+}
+
+}  // namespace
+}  // namespace rwl

@@ -82,7 +82,7 @@ bool ValidCheckList(const std::string& checks) {
       continue;
     }
     if (token != "finite" && token != "pipeline" && token != "maxent" &&
-        token != "batch" && token != "vm") {
+        token != "batch" && token != "vm" && token != "planner") {
       std::fprintf(stderr, "rwlfuzz: unknown check '%s'\n", token.c_str());
       return false;
     }
@@ -102,6 +102,7 @@ void ApplyCheckFilter(const std::string& checks,
   options->check_maxent = options->check_maxent && enabled("maxent");
   options->check_batch = options->check_batch && enabled("batch");
   options->check_vm = options->check_vm && enabled("vm");
+  options->check_planner = options->check_planner && enabled("planner");
 }
 
 int Usage(const char* argv0) {
@@ -268,6 +269,9 @@ GeneratedCase GenerateCase(const std::string& profile, uint64_t seed,
   generated.scenario.provenance = "seed=" + std::to_string(seed) +
                                   " case=" + std::to_string(index) +
                                   " profile=" + *chosen_profile;
+  // The sampling budget governs every Monte-Carlo comparison, including
+  // the planner check's forced-montecarlo run (0 disables it).
+  generated.options.planner_montecarlo_samples = config.mc_samples;
   ApplyCheckFilter(config.checks, &generated.options);
   return generated;
 }

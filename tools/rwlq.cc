@@ -21,10 +21,26 @@
 //   --rate-exit      rate-aware early exit in the N-sweep (skip the largest
 //                    N points once successive degrees contract within the
 //                    convergence tolerance)
+//   --explain        print the planner's plan trace per query (strategies
+//                    assessed/tried, predicted vs observed costs, skips);
+//                    with --json, adds a "plan" object per query
+//   --engine NAME    force a single strategy, bypassing the planner
+//                    (fixed-n, symbolic, profile, maxent, exact,
+//                    montecarlo)
+//   --list-engines   print each engine's name, result class and
+//                    capability on the loaded KB, then exit
+//   --plan MODE      candidate order: fidelity (paper preference, the
+//                    default) or cost (cheapest predicted engine first)
+//   --deadline-ms D  per-query wall-clock deadline (engines stop between
+//                    probes; overshoot is at most one probe)
+//   --budget W       per-candidate predicted-work budget (abstract engine
+//                    work units; over-budget candidates are skipped)
+//   --montecarlo     enable the opt-in Monte-Carlo sweep as a candidate
 //
 // Multiple queries are answered as one batch over a shared QueryContext:
 // the KB analyses and per-(N, τ) world enumerations run once, duplicate
-// queries are deduplicated, and answers print in argument order.
+// queries are deduplicated, repeated query shapes reuse cached plans, and
+// answers print in argument order.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,8 +49,10 @@
 #include <string>
 #include <vector>
 
+#include "src/core/engine_registry.h"
 #include "src/core/inference.h"
 #include "src/core/knowledge_base.h"
+#include "src/core/planner.h"
 #include "src/logic/parser.h"
 
 namespace {
@@ -44,9 +62,110 @@ int Usage(const char* argv0) {
                "usage: %s (<kb-file> | --kb TEXT) [options] <query>...\n"
                "options: --nmax N  --tol T  --no-symbolic  --series\n"
                "         --json  --fixed-n N  --threads N  --no-cache\n"
-               "         --rate-exit\n",
+               "         --rate-exit  --explain  --engine NAME\n"
+               "         --list-engines  --plan fidelity|cost\n"
+               "         --deadline-ms D  --budget W  --montecarlo\n",
                argv0);
   return 2;
+}
+
+const char* ResultClassName(rwl::engines::ResultClass result_class) {
+  return result_class == rwl::engines::ResultClass::kStatistical
+             ? "statistical"
+             : "deterministic";
+}
+
+// --list-engines: every registered strategy's identity and capability on
+// the loaded KB (probed with the trivial query ⊤ — capability is a
+// (KB, vocabulary) property for every engine except the theorem matchers,
+// which accept the full language anyway).
+int ListEngines(const rwl::KnowledgeBase& kb,
+                const rwl::InferenceOptions& options) {
+  rwl::QueryContext ctx = rwl::MakeQueryContext(
+      kb, std::span<const rwl::logic::FormulaPtr>(), options);
+  std::printf("%-11s %-14s %-11s %s\n", "engine", "class", "applicable",
+              "capability on this KB");
+  for (const auto& strategy : rwl::EngineRegistry::Default().Ordered()) {
+    rwl::engines::Capability cap =
+        strategy->Assess(ctx, rwl::logic::Formula::True(), options);
+    std::string detail = cap.reason;
+    if (cap.applicable) {
+      rwl::engines::CostEstimate cost =
+          strategy->EstimateCost(ctx, rwl::logic::Formula::True(), options);
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "; predicted work=%.3g", cost.work);
+      detail += buf;
+    }
+    std::printf("%-11s %-14s %-11s %s\n", strategy->name().c_str(),
+                ResultClassName(strategy->result_class()),
+                cap.applicable ? "yes" : "no", detail.c_str());
+  }
+  std::printf(
+      "(vocabulary: max arity %d, %d constants%s)\n",
+      rwl::engines::DescribeInstance(ctx.vocabulary(), nullptr)
+          .max_predicate_arity,
+      static_cast<int>(ctx.vocabulary().Constants().size()),
+      ctx.vocabulary().IsUnaryRelational() ? ", unary fragment" : "");
+  return 0;
+}
+
+const char* StepActionName(rwl::PlanStep::Action action) {
+  switch (action) {
+    case rwl::PlanStep::Action::kRan:
+      return "ran";
+    case rwl::PlanStep::Action::kSkippedInapplicable:
+      return "inapplicable";
+    case rwl::PlanStep::Action::kSkippedBudget:
+      return "over-budget";
+    case rwl::PlanStep::Action::kSkippedDeadline:
+      return "deadline";
+    case rwl::PlanStep::Action::kNotReached:
+      return "not-reached";
+  }
+  return "?";
+}
+
+// Backslash-escapes quotes/backslashes and hides control bytes; the mode
+// string embeds the user-supplied --engine name, so it cannot be printed
+// verbatim into JSON.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+void PrintPlanJson(const rwl::PlanTrace& trace) {
+  std::printf(", \"plan\": {\"mode\": \"%s\", \"cache\": %s, "
+              "\"deadline_hit\": %s, \"planning_ms\": %.3f, "
+              "\"total_ms\": %.3f, \"steps\": [",
+              JsonEscape(trace.mode).c_str(),
+              trace.from_cache ? "true" : "false",
+              trace.deadline_hit ? "true" : "false", trace.planning_ms,
+              trace.total_ms);
+  for (size_t i = 0; i < trace.steps.size(); ++i) {
+    const rwl::PlanStep& step = trace.steps[i];
+    std::printf("%s{\"strategy\": \"%s\", \"action\": \"%s\"",
+                i > 0 ? ", " : "", JsonEscape(step.strategy).c_str(),
+                StepActionName(step.action));
+    if (step.action == rwl::PlanStep::Action::kRan) {
+      std::printf(", \"outcome\": \"%s\", \"observed_ms\": %.3f",
+                  JsonEscape(step.outcome).c_str(), step.observed_ms);
+    }
+    if (step.capability.applicable) {
+      std::printf(", \"predicted_work\": %.6g, \"predicted_error\": %.6g",
+                  step.predicted.work, step.predicted.error);
+    }
+    std::printf("}");
+  }
+  std::printf("]}");
 }
 
 }  // namespace
@@ -60,6 +179,8 @@ int main(int argc, char** argv) {
   int nmax = 48;
   bool print_series = false;
   bool json = false;
+  bool explain = false;
+  bool list_engines = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -90,6 +211,31 @@ int main(int argc, char** argv) {
       options.enable_caching = false;
     } else if (arg == "--rate-exit") {
       options.limit.rate_aware_early_exit = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--engine") {
+      if (++i >= argc) return Usage(argv[0]);
+      options.force_engine = argv[i];
+    } else if (arg == "--list-engines") {
+      list_engines = true;
+    } else if (arg == "--plan") {
+      if (++i >= argc) return Usage(argv[0]);
+      std::string mode = argv[i];
+      if (mode == "fidelity") {
+        options.plan_mode = rwl::PlanMode::kFidelity;
+      } else if (mode == "cost") {
+        options.plan_mode = rwl::PlanMode::kMinCost;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--deadline-ms") {
+      if (++i >= argc) return Usage(argv[0]);
+      options.deadline_ms = std::atof(argv[i]);
+    } else if (arg == "--budget") {
+      if (++i >= argc) return Usage(argv[0]);
+      options.work_budget = std::atof(argv[i]);
+    } else if (arg == "--montecarlo") {
+      options.use_montecarlo = true;
     } else if (!have_kb) {
       std::ifstream file(arg);
       if (!file) {
@@ -105,7 +251,7 @@ int main(int argc, char** argv) {
       queries.push_back(arg);
     }
   }
-  if (!have_kb || queries.empty()) return Usage(argv[0]);
+  if (!have_kb || (queries.empty() && !list_engines)) return Usage(argv[0]);
 
   // Sweep schedule up to nmax.
   options.limit.domain_sizes.clear();
@@ -123,6 +269,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "rwlq: KB parse error: %s\n", error.c_str());
     return 1;
   }
+
+  if (list_engines) return ListEngines(kb, options);
 
   // Parse everything up front, then answer the parsed queries as one batch
   // over a shared QueryContext (deduplicated; per-(N, τ) work runs once).
@@ -162,9 +310,11 @@ int main(int argc, char** argv) {
       } else if (answer.status == rwl::Answer::Status::kInterval) {
         std::printf(", \"lo\": %.9f, \"hi\": %.9f", answer.lo, answer.hi);
       }
-      std::printf(", \"method\": \"%s\", \"converged\": %s}\n",
+      std::printf(", \"method\": \"%s\", \"converged\": %s",
                   answer.method.c_str(),
                   answer.converged ? "true" : "false");
+      if (explain && answer.plan != nullptr) PrintPlanJson(*answer.plan);
+      std::printf("}\n");
       if (answer.status == rwl::Answer::Status::kUnknown) ++failures;
       continue;
     }
@@ -202,6 +352,9 @@ int main(int argc, char** argv) {
                     point.probability,
                     point.well_defined ? "" : "  (undefined)");
       }
+    }
+    if (explain && answer.plan != nullptr) {
+      std::printf("%s", rwl::FormatPlanTrace(*answer.plan).c_str());
     }
   }
   return failures == 0 ? 0 : 1;
