@@ -583,14 +583,8 @@ QueryContext MakeQueryContext(const KnowledgeBase& kb,
                       options.enable_caching);
 }
 
-namespace {
-
-// True when the query mentions no symbol beyond the KB's vocabulary — the
-// condition under which sharing the KB-only context reproduces the
-// per-query vocabulary exactly.
-bool CoveredByKbVocabulary(const KnowledgeBase& kb,
-                           const logic::FormulaPtr& query) {
-  const logic::Vocabulary& vocabulary = kb.vocabulary();
+bool QueryCoveredByVocabulary(const logic::Vocabulary& vocabulary,
+                              const logic::FormulaPtr& query) {
   for (const auto& predicate : logic::PredicatesOf(query)) {
     if (!vocabulary.FindPredicate(predicate).has_value()) return false;
   }
@@ -599,8 +593,6 @@ bool CoveredByKbVocabulary(const KnowledgeBase& kb,
   }
   return true;
 }
-
-}  // namespace
 
 std::vector<Answer> DegreesOfBelief(const KnowledgeBase& kb,
                                     std::span<const logic::FormulaPtr> queries,
@@ -624,7 +616,7 @@ std::vector<Answer> DegreesOfBelief(const KnowledgeBase& kb,
       answers[i] = answers[it->second];
       continue;
     }
-    if (CoveredByKbVocabulary(kb, queries[i])) {
+    if (QueryCoveredByVocabulary(kb.vocabulary(), queries[i])) {
       answers[i] = DegreeOfBelief(shared, queries[i], options);
     } else {
       answers[i] = DegreeOfBelief(kb, queries[i], options);

@@ -151,6 +151,14 @@ std::vector<Answer> DegreesOfBelief(const KnowledgeBase& kb,
                                     std::span<const std::string> queries,
                                     const InferenceOptions& options = {});
 
+// True when the query mentions no predicate/function symbol beyond
+// `vocabulary` — the condition under which answering through a shared
+// KB-level context reproduces the per-query vocabulary exactly.  Used by
+// the batch API above and by the service layer's snapshot routing
+// (service/catalog.h).
+bool QueryCoveredByVocabulary(const logic::Vocabulary& vocabulary,
+                              const logic::FormulaPtr& query);
+
 // Pr(φ | KB ∧ ψ): conditioning on additional evidence ψ.  By Proposition
 // 5.2, when KB |∼rw ψ this equals Pr(φ | KB); in general it is the degree
 // of belief after learning ψ.

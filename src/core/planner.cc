@@ -119,16 +119,16 @@ struct CachedPlan {
   std::vector<PlanStep> steps;
 };
 
-std::string PlanCacheKey(const QueryContext& ctx,
-                         const logic::FormulaPtr& query,
-                         const InferenceOptions& options,
-                         uint64_t shape, uint64_t registry_fingerprint) {
+std::string PlanCacheKey(const InferenceOptions& options, uint64_t shape,
+                         uint64_t registry_fingerprint) {
   std::string key = "planner.plan|r=";
   key += std::to_string(registry_fingerprint);
   key += "|m=";
   key += options.plan_mode == PlanMode::kMinCost ? "cost" : "fid";
-  key += "|kb=";
-  key += std::to_string(ctx.kb() == nullptr ? 0 : ctx.kb()->id());
+  // No KB component: QueryContext::StoreBlob/LookupBlob transparently
+  // qualify every key with the context's version_salt() (KB formula id +
+  // vocabulary fingerprint), which is what keeps an adopted plan from
+  // surviving a KB mutation or a signature change.
   key += "|q=";
   key += std::to_string(shape);
   key += "|n=";
@@ -384,7 +384,7 @@ Answer PlanAndExecute(const EngineRegistry& registry, QueryContext& ctx,
         Mix(registry_fingerprint, HashString(strategy->name()));
   }
   const std::string cache_key = PlanCacheKey(
-      ctx, query, options, trace->shape_fingerprint, registry_fingerprint);
+      options, trace->shape_fingerprint, registry_fingerprint);
   std::shared_ptr<const CachedPlan> cached =
       std::static_pointer_cast<const CachedPlan>(ctx.LookupBlob(cache_key));
   std::vector<PlanStep> steps;

@@ -7,12 +7,38 @@
 
 #include "src/engines/engine.h"
 #include "src/engines/symbolic_engine.h"
+#include "src/logic/intern.h"
 #include "src/logic/transform.h"
 #include "src/semantics/compile.h"
 
 namespace rwl {
+namespace {
+
+// "<salt>\x1f": '\x1f' (unit separator) cannot appear in the numeric
+// salt, so a qualified key splits unambiguously.
+std::string SaltPrefix(uint64_t salt) {
+  std::string prefix = std::to_string(salt);
+  prefix += '\x1f';
+  return prefix;
+}
+
+// Qualifies an engine-supplied key with a precomputed salt prefix (one
+// concatenation; the prefix itself is built once per context — the cache
+// paths run on every query of the service's hot loop).
+std::string QualifiedKey(const std::string& salt_prefix,
+                         const std::string& key) {
+  std::string qualified;
+  qualified.reserve(salt_prefix.size() + key.size());
+  qualified += salt_prefix;
+  qualified += key;
+  return qualified;
+}
+
+}  // namespace
 
 struct QueryContext::Impl {
+  // The version_salt() rendered once for key qualification.
+  std::string salt_prefix;
   mutable std::mutex mutex;
 
   // Lazily computed KB-level analyses.  Guarded by `mutex`; computed at
@@ -39,7 +65,12 @@ QueryContext::QueryContext(logic::Vocabulary vocabulary, logic::FormulaPtr kb,
     : vocabulary_(std::move(vocabulary)),
       kb_(std::move(kb)),
       caching_enabled_(caching_enabled),
-      impl_(std::make_unique<Impl>()) {}
+      impl_(std::make_unique<Impl>()) {
+  version_salt_ = logic::HashCombine(
+      logic::HashMix(kb_ == nullptr ? 0 : kb_->id()),
+      vocabulary_.Fingerprint());
+  impl_->salt_prefix = SaltPrefix(version_salt_);
+}
 
 QueryContext::~QueryContext() = default;
 QueryContext::QueryContext(QueryContext&&) noexcept = default;
@@ -107,8 +138,12 @@ QueryContext::CompiledIfCached(const logic::FormulaPtr& f) const {
 bool QueryContext::LookupFinite(const std::string& key,
                                 engines::FiniteResult* out) const {
   if (!caching_enabled_) return false;
+  // Key qualification allocates; keep it (like every qualification below)
+  // outside the critical section — these paths run on every query of the
+  // service's hot loop, with many threads sharing one context.
+  const std::string qualified = QualifiedKey(impl_->salt_prefix, key);
   std::lock_guard<std::mutex> lock(impl_->mutex);
-  auto it = impl_->finite.find(key);
+  auto it = impl_->finite.find(qualified);
   if (it == impl_->finite.end()) {
     ++impl_->stats.finite_misses;
     return false;
@@ -126,15 +161,17 @@ void QueryContext::StoreFinite(const std::string& key,
   // the key.  A failure at a small budget must not poison a later retry
   // that could afford the computation.
   if (value.exhausted) return;
+  std::string qualified = QualifiedKey(impl_->salt_prefix, key);
   std::lock_guard<std::mutex> lock(impl_->mutex);
-  impl_->finite.emplace(key, value);
+  impl_->finite.emplace(std::move(qualified), value);
 }
 
 std::shared_ptr<const void> QueryContext::LookupBlob(
     const std::string& key) const {
   if (!caching_enabled_) return nullptr;
+  const std::string qualified = QualifiedKey(impl_->salt_prefix, key);
   std::lock_guard<std::mutex> lock(impl_->mutex);
-  auto it = impl_->blobs.find(key);
+  auto it = impl_->blobs.find(qualified);
   if (it == impl_->blobs.end()) {
     ++impl_->stats.blob_misses;
     return nullptr;
@@ -147,8 +184,9 @@ void QueryContext::StoreBlob(const std::string& key,
                              std::shared_ptr<const void> blob,
                              size_t bytes_hint) {
   if (!caching_enabled_) return;
+  const std::string qualified = QualifiedKey(impl_->salt_prefix, key);
   std::lock_guard<std::mutex> lock(impl_->mutex);
-  auto it = impl_->blobs.find(key);
+  auto it = impl_->blobs.find(qualified);
   size_t refund = it != impl_->blobs.end() ? it->second.bytes : 0;
   if (impl_->stats.blob_bytes - refund + bytes_hint > kBlobBudgetBytes) {
     ++impl_->stats.blob_stores_dropped;
@@ -157,8 +195,49 @@ void QueryContext::StoreBlob(const std::string& key,
   impl_->stats.blob_bytes += bytes_hint - refund;
   // Overwrite semantics: engines upgrade "seen once" markers to recorded
   // world lists on the second visit.
-  impl_->blobs.insert_or_assign(key,
+  impl_->blobs.insert_or_assign(qualified,
                                 Impl::BlobEntry{std::move(blob), bytes_hint});
+}
+
+void QueryContext::AdoptCachesFrom(const QueryContext& prior) {
+  if (!caching_enabled_ || !prior.caching_enabled_) return;
+  if (&prior == this) return;
+  // Generational GC along the version chain: only entries salted for the
+  // predecessor's KB version or for THIS version (a mutation that reverts
+  // to an earlier KB — the assert/retract round trip) are carried
+  // forward.  Entries for older versions are dead weight: without this
+  // filter a long-lived mutating tenant would copy an ever-growing map on
+  // every mutation and pin memory for versions that can never be read
+  // again except through this same two-salt window.
+  const std::string& keep_prior = prior.impl_->salt_prefix;
+  const std::string& keep_self = impl_->salt_prefix;
+  auto live = [&](const std::string& key) {
+    return key.compare(0, keep_prior.size(), keep_prior) == 0 ||
+           key.compare(0, keep_self.size(), keep_self) == 0;
+  };
+  // Only the predecessor's lock is taken: this context is still private to
+  // its constructor's thread (the catalog installs it after adoption).
+  std::lock_guard<std::mutex> lock(prior.impl_->mutex);
+  for (const auto& [key, value] : prior.impl_->finite) {
+    if (!live(key)) continue;
+    impl_->finite.emplace(key, value);
+  }
+  for (const auto& [key, entry] : prior.impl_->blobs) {
+    if (!live(key)) continue;
+    if (impl_->stats.blob_bytes + entry.bytes > kBlobBudgetBytes) {
+      ++impl_->stats.blob_stores_dropped;
+      continue;
+    }
+    impl_->stats.blob_bytes += entry.bytes;
+    impl_->blobs.emplace(key, entry);
+  }
+  // Programs are keyed by formula id alone and depend on the vocabulary:
+  // adoptable exactly when the signatures resolve symbols identically.
+  if (vocabulary_.Fingerprint() == prior.vocabulary_.Fingerprint()) {
+    for (const auto& [id, program] : prior.impl_->programs) {
+      impl_->programs.emplace(id, program);
+    }
+  }
 }
 
 QueryContext::CacheStats QueryContext::cache_stats() const {

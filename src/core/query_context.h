@@ -14,10 +14,23 @@
 //     after the first a replay instead of a DFS).
 //
 // All lookups are thread-safe: the limit-sweep worker pool shares one
-// context across its workers.  Caching can be disabled (for testing and
-// for measuring): the engines then recompute everything, and are required
-// to produce bit-identical answers — the caches store only what the
-// uncached path would have computed, in the same order.
+// context across its workers, and the service layer (src/service/) runs
+// many concurrent queries against one context.  Caching can be disabled
+// (for testing and for measuring): the engines then recompute everything,
+// and are required to produce bit-identical answers — the caches store
+// only what the uncached path would have computed, in the same order.
+//
+// KB-version keying.  Every finite-memo and blob key is transparently
+// prefixed with the context's version_salt() — a hash of the KB formula's
+// dense hash-consed id and the vocabulary fingerprint — before it touches
+// the underlying maps.  Within one context the prefix is a constant (a
+// context pins one (vocabulary, KB) pair), but it makes entries portable:
+// AdoptCachesFrom() can seed a successor context (a new KB version in the
+// service catalog) with a predecessor's entries, and a stale hit against
+// the old KB is impossible by construction — the old entries are keyed by
+// the old salt and become reachable again only if a later mutation
+// produces the identical (vocabulary, KB) pair, in which case they are
+// exactly right.
 #ifndef RWL_CORE_QUERY_CONTEXT_H_
 #define RWL_CORE_QUERY_CONTEXT_H_
 
@@ -56,6 +69,34 @@ class QueryContext {
   const logic::Vocabulary& vocabulary() const { return vocabulary_; }
   const logic::FormulaPtr& kb() const { return kb_; }
   bool caching_enabled() const { return caching_enabled_; }
+
+  // The KB-version salt every finite/blob key is qualified with: a hash of
+  // (KB formula id, vocabulary fingerprint).  Equal salts mean cached
+  // results are interchangeable; unequal salts mean they cannot collide.
+  uint64_t version_salt() const { return version_salt_; }
+
+  // Seeds this context's caches from a predecessor's (the copy-on-write
+  // path of the service catalog: an ASSERT/RETRACT builds the successor
+  // version's context and adopts what is still valid).
+  //
+  //   * finite-memo and blob entries salted for the predecessor's
+  //     version or for THIS version (a mutation reverting to an earlier
+  //     KB — the assert/retract round trip) are copied verbatim; entries
+  //     for older versions are dropped (generational GC: without it a
+  //     long-lived mutating tenant copies an ever-growing map per
+  //     mutation).  Old-salted entries are unreachable from this context
+  //     unless the salts match, in which case replaying them is exact;
+  //   * compiled programs (keyed by formula id, valid per vocabulary) are
+  //     adopted only when the vocabulary fingerprints agree;
+  //   * KB-level analyses (conjuncts/split/analysis) are never adopted —
+  //     they describe the predecessor's KB.
+  //
+  // Blob copies are charged against this context's budget; entries that
+  // would exceed it are dropped (counted in blob_stores_dropped).  Must be
+  // called before this context is shared across threads (the predecessor
+  // may be live and is only read under its own lock).  No-op when either
+  // context has caching disabled.
+  void AdoptCachesFrom(const QueryContext& prior);
 
   // ---- Memoized KB-level analyses (computed once, shared by engines) ----
 
@@ -136,6 +177,7 @@ class QueryContext {
   logic::Vocabulary vocabulary_;
   logic::FormulaPtr kb_;
   bool caching_enabled_;
+  uint64_t version_salt_ = 0;
   std::unique_ptr<Impl> impl_;
 };
 

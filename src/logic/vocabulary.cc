@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+
+#include "src/logic/intern.h"
 
 namespace rwl::logic {
 namespace {
@@ -73,6 +76,19 @@ std::vector<FunctionSymbol> Vocabulary::Constants() const {
     if (f.arity == 0) result.push_back(f);
   }
   return result;
+}
+
+uint64_t Vocabulary::Fingerprint() const {
+  uint64_t h = HashMix(predicates_.size() * 31 + functions_.size());
+  for (const auto& p : predicates_) {
+    h = HashCombine(h, std::hash<std::string>{}(p.name));
+    h = HashCombine(h, static_cast<uint64_t>(p.arity));
+  }
+  for (const auto& f : functions_) {
+    h = HashCombine(h, std::hash<std::string>{}(f.name));
+    h = HashCombine(h, static_cast<uint64_t>(f.arity) + 0x80000000ull);
+  }
+  return h;
 }
 
 bool Vocabulary::IsUnaryRelational() const {

@@ -7,6 +7,7 @@
 #ifndef RWL_LOGIC_VOCABULARY_H_
 #define RWL_LOGIC_VOCABULARY_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -58,6 +59,13 @@ class Vocabulary {
 
   int num_predicates() const { return static_cast<int>(predicates_.size()); }
   int num_functions() const { return static_cast<int>(functions_.size()); }
+
+  // Order-sensitive structural hash of the signature (names, arities, id
+  // assignment).  Two vocabularies with equal fingerprints resolve every
+  // symbol to the same id, so derived state keyed on symbol ids — compiled
+  // programs, world tables — is interchangeable between them.  Used by the
+  // QueryContext version salt and the service catalog's cache adoption.
+  uint64_t Fingerprint() const;
 
  private:
   std::vector<PredicateSymbol> predicates_;

@@ -1,0 +1,150 @@
+#include "src/service/catalog.h"
+
+#include <utility>
+
+namespace rwl::service {
+
+KbCatalog::KbCatalog(const CatalogOptions& options) : options_(options) {}
+
+std::shared_ptr<KbSnapshot> KbCatalog::BuildSnapshot(
+    const std::string& name, KnowledgeBase kb, const QueryContext* prior,
+    bool caching_enabled) {
+  auto snapshot = std::make_shared<KbSnapshot>();
+  snapshot->name = name;
+  snapshot->kb = std::move(kb);
+  snapshot->context = std::make_shared<QueryContext>(
+      snapshot->kb.vocabulary(), snapshot->kb.AsFormula(), caching_enabled);
+  if (prior != nullptr) snapshot->context->AdoptCachesFrom(*prior);
+  return snapshot;
+}
+
+void KbCatalog::InstallLocked(Chain* chain,
+                              std::shared_ptr<KbSnapshot> snapshot) {
+  snapshot->version = next_version_++;
+  chain->versions.emplace(snapshot->version, std::move(snapshot));
+  while (chain->versions.size() > options_.retained_versions &&
+         options_.retained_versions > 0) {
+    chain->versions.erase(chain->versions.begin());
+  }
+}
+
+std::shared_ptr<const KbSnapshot> KbCatalog::Load(const std::string& name,
+                                                  KnowledgeBase kb) {
+  std::shared_ptr<KbSnapshot> snapshot =
+      BuildSnapshot(name, std::move(kb), nullptr, options_.caching_enabled);
+  std::lock_guard<std::mutex> lock(mutex_);
+  chains_.erase(name);  // a re-load starts a fresh chain
+  InstallLocked(&chains_[name], snapshot);
+  return snapshot;
+}
+
+std::shared_ptr<const KbSnapshot> KbCatalog::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = chains_.find(name);
+  if (it == chains_.end() || it->second.versions.empty()) return nullptr;
+  return it->second.versions.rbegin()->second;
+}
+
+std::shared_ptr<const KbSnapshot> KbCatalog::GetVersion(
+    const std::string& name, uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = chains_.find(name);
+  if (it == chains_.end()) return nullptr;
+  auto vit = it->second.versions.find(version);
+  return vit == it->second.versions.end() ? nullptr : vit->second;
+}
+
+std::shared_ptr<const KbSnapshot> KbCatalog::Mutate(
+    const std::string& name,
+    const std::function<bool(KnowledgeBase*, std::string*)>& edit,
+    std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return nullptr;
+  };
+  // Serialize writers on this tenant only; the catalog-wide mutex_ is
+  // held just long enough to read the head and to install the successor,
+  // so other tenants' Get() admissions never wait on this build.
+  std::shared_ptr<std::mutex> write_mutex;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = chains_.find(name);
+    if (it == chains_.end() || it->second.versions.empty()) {
+      return fail("no knowledge base named '" + name + "'");
+    }
+    write_mutex = it->second.write_mutex;
+  }
+  std::lock_guard<std::mutex> write_lock(*write_mutex);
+  std::shared_ptr<const KbSnapshot> head;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = chains_.find(name);
+    if (it == chains_.end() || it->second.write_mutex != write_mutex) {
+      return fail("knowledge base '" + name + "' was dropped or reloaded");
+    }
+    head = it->second.versions.rbegin()->second;
+  }
+
+  KnowledgeBase next = head->kb;  // copy-on-write, outside every lock
+  std::string edit_error;
+  if (!edit(&next, &edit_error)) return fail(edit_error);
+  std::shared_ptr<KbSnapshot> snapshot =
+      BuildSnapshot(name, std::move(next), head->context.get(),
+                    options_.caching_enabled);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = chains_.find(name);
+  if (it == chains_.end() || it->second.write_mutex != write_mutex) {
+    return fail("knowledge base '" + name + "' was dropped or reloaded");
+  }
+  InstallLocked(&it->second, snapshot);
+  return snapshot;
+}
+
+bool KbCatalog::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return chains_.erase(name) > 0;
+}
+
+std::vector<std::shared_ptr<const KbSnapshot>> KbCatalog::Heads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<const KbSnapshot>> heads;
+  heads.reserve(chains_.size());
+  for (const auto& [name, chain] : chains_) {
+    if (!chain.versions.empty()) {
+      heads.push_back(chain.versions.rbegin()->second);
+    }
+  }
+  return heads;
+}
+
+size_t RetractConjuncts(
+    KnowledgeBase* kb,
+    const std::function<bool(size_t, const logic::FormulaPtr&)>& drop) {
+  KnowledgeBase next;
+  next.mutable_vocabulary() = kb->vocabulary();
+  size_t removed = 0;
+  for (size_t i = 0; i < kb->conjuncts().size(); ++i) {
+    if (drop(i, kb->conjuncts()[i])) {
+      ++removed;
+      continue;
+    }
+    next.Add(kb->conjuncts()[i]);
+  }
+  *kb = std::move(next);
+  return removed;
+}
+
+Answer AnswerOnSnapshot(const KbSnapshot& snapshot,
+                        const logic::FormulaPtr& query,
+                        const InferenceOptions& options) {
+  if (QueryCoveredByVocabulary(snapshot.kb.vocabulary(), query)) {
+    return DegreeOfBelief(*snapshot.context, query, options);
+  }
+  // Fresh query symbols: a private context over the pinned KB (the shared
+  // context's vocabulary cannot cover them) — the batch API's rule.
+  return DegreeOfBelief(snapshot.kb, query, options);
+}
+
+}  // namespace rwl::service

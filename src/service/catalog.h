@@ -1,0 +1,147 @@
+// KbCatalog: named, versioned knowledge bases with copy-on-write snapshot
+// isolation — the storage layer of the rwld service.
+//
+// Every named KB is a chain of immutable KbSnapshot versions.  A reader
+// pins the head snapshot (a shared_ptr) and keeps answering against that
+// version for the whole query, no matter how many ASSERT/RETRACTs land
+// concurrently; the snapshot — its KnowledgeBase and its shared
+// QueryContext full of derived caches — stays alive until the last pinned
+// reader drops it.
+//
+// A mutation copies the head KnowledgeBase, applies the edit, and installs
+// a successor snapshot with a fresh QueryContext that ADOPTS the
+// predecessor's caches (QueryContext::AdoptCachesFrom).  Invalidation is
+// selective by keying, not by flushing: every cached entry is qualified
+// with the version salt of the KB it was computed against, so entries for
+// the old KB id are unreachable from the new version — except when a
+// mutation sequence reproduces an identical (vocabulary, KB) pair, in
+// which case the hash-consed KB formula gets the same id, the salts agree,
+// and the old entries are valid hits again.  Compiled programs, which
+// depend only on (formula, vocabulary), survive every mutation that leaves
+// the signature unchanged.
+#ifndef RWL_SERVICE_CATALOG_H_
+#define RWL_SERVICE_CATALOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/inference.h"
+#include "src/core/knowledge_base.h"
+#include "src/core/query_context.h"
+
+namespace rwl::service {
+
+// One immutable KB version.  `context` carries the version's shared caches
+// and is safe for concurrent queries (QueryContext is internally locked);
+// everything else is read-only after construction.
+struct KbSnapshot {
+  std::string name;
+  // Catalog-wide monotone counter: a tenant's successive versions are
+  // strictly increasing but NOT consecutive (versions interleave across
+  // tenants, and numbers never reuse — a pinned reader of a dropped chain
+  // can never alias a later version).
+  uint64_t version = 0;
+  KnowledgeBase kb;
+  std::shared_ptr<QueryContext> context;
+};
+
+struct CatalogOptions {
+  // Snapshot caches replay derived state across queries and adopted
+  // versions.  Off is for tests and measurement only — the differential
+  // `service` check deliberately runs with caching ON and compares
+  // against cache-free from-scratch rebuilds, which is exactly what
+  // proves the adopted caches never change an answer.
+  bool caching_enabled = true;
+  // Old versions retained for GetVersion lookups (pinned readers keep
+  // their snapshots alive regardless; this only bounds the catalog's own
+  // history index).
+  size_t retained_versions = 4;
+};
+
+class KbCatalog {
+ public:
+  explicit KbCatalog(const CatalogOptions& options = {});
+
+  // Installs `kb` as version 1 of `name` (or re-loads: the version chain
+  // restarts and the version number keeps growing, so pinned readers of
+  // the old chain stay consistent and never alias a new version number).
+  // Returns the installed snapshot.
+  std::shared_ptr<const KbSnapshot> Load(const std::string& name,
+                                         KnowledgeBase kb);
+
+  // The head snapshot, or null when `name` is unknown.
+  std::shared_ptr<const KbSnapshot> Get(const std::string& name) const;
+
+  // A retained historical version, or null when unknown / already trimmed.
+  std::shared_ptr<const KbSnapshot> GetVersion(const std::string& name,
+                                               uint64_t version) const;
+
+  // Copy-on-write mutation: copies the head KnowledgeBase, applies `edit`,
+  // and on success installs the result as the next version (adopting the
+  // predecessor's caches).  When `edit` returns false nothing changes and
+  // its *error is propagated.  Returns the new snapshot, or null on error
+  // (unknown name, or edit failure).
+  std::shared_ptr<const KbSnapshot> Mutate(
+      const std::string& name,
+      const std::function<bool(KnowledgeBase*, std::string*)>& edit,
+      std::string* error);
+
+  // Removes a KB outright.  Pinned readers keep their snapshots.
+  bool Drop(const std::string& name);
+
+  std::vector<std::shared_ptr<const KbSnapshot>> Heads() const;
+
+ private:
+  struct Chain {
+    // version -> snapshot; the last entry is the head.
+    std::map<uint64_t, std::shared_ptr<const KbSnapshot>> versions;
+    // Serializes writers per tenant so the expensive copy-on-write build
+    // (KB copy, edit, context construction, cache adoption) runs OUTSIDE
+    // the catalog-wide mutex_ — one tenant's mutation must not stall
+    // other tenants' snapshot pins.  The pointer identity doubles as the
+    // chain token: a concurrent re-Load mints a new chain (and mutex),
+    // which an in-flight mutation detects at install time.
+    std::shared_ptr<std::mutex> write_mutex = std::make_shared<std::mutex>();
+  };
+
+  // Builds a snapshot (version assigned at install).  Lock-free.
+  static std::shared_ptr<KbSnapshot> BuildSnapshot(
+      const std::string& name, KnowledgeBase kb, const QueryContext* prior,
+      bool caching_enabled);
+
+  void InstallLocked(Chain* chain, std::shared_ptr<KbSnapshot> snapshot);
+
+  CatalogOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Chain> chains_;
+  uint64_t next_version_ = 1;  // catalog-wide: version numbers never reuse
+};
+
+// RETRACT semantics, shared by KbService::Retract and the differential
+// `service` check: rebuilds *kb without the conjuncts selected by
+// `drop(index, conjunct)`, PRESERVING the vocabulary — retraction removes
+// knowledge, not symbols, so the world space (and every other degree of
+// belief) is unchanged by retract-then-reassert round trips.  Returns the
+// number of conjuncts dropped.
+size_t RetractConjuncts(
+    KnowledgeBase* kb,
+    const std::function<bool(size_t, const logic::FormulaPtr&)>& drop);
+
+// Shared by KbService and the differential `service` check: answers one
+// query against a pinned snapshot.  Queries covered by the snapshot's
+// vocabulary run through the shared context (cache hits across queries and
+// adopted versions); a query introducing fresh symbols gets a private
+// context derived from the snapshot's KB — same rule, and bit-identical
+// answers, as the batch API (core/inference.cc).
+Answer AnswerOnSnapshot(const KbSnapshot& snapshot,
+                        const logic::FormulaPtr& query,
+                        const InferenceOptions& options);
+
+}  // namespace rwl::service
+
+#endif  // RWL_SERVICE_CATALOG_H_

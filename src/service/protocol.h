@@ -1,0 +1,99 @@
+// The rwld wire protocol: newline-delimited JSON, one request or response
+// object per line.
+//
+// Requests (fields beyond `op` are op-specific; `id` is echoed back):
+//
+//   {"id":1,"op":"LOAD","kb":"med","text":"#(Hep(x)|Jaun(x))[x] ~= 0.8",
+//    "declare":["Eric"]}
+//   {"id":2,"op":"ASSERT","kb":"med","text":"Jaun(Eric)"}
+//   {"id":3,"op":"RETRACT","kb":"med","text":"Jaun(Eric)"}
+//   {"id":4,"op":"QUERY","kb":"med","q":"Hep(Eric)",
+//    "deadline_ms":50,"budget":1e7,"plan":"cost"}        (options optional)
+//   {"id":5,"op":"BATCH","kb":"med","queries":["Hep(Eric)","Jaun(Eric)"]}
+//   {"id":6,"op":"STATS"}
+//   {"id":7,"op":"SHUTDOWN"}
+//
+// Responses:
+//
+//   {"id":1,"ok":true,"kb":"med","version":12}                 (mutations)
+//   {"id":4,"ok":true,"kb":"med","version":12,"status":"point",
+//    "value":0.8,"method":"...","converged":true,"latency_ms":0.41}
+//   {"id":5,"ok":true,"answers":[{...},{...}]}                 (batch)
+//   {"id":6,"ok":true,"kbs":[...],"scheduler":{...}}           (stats)
+//   {"id":4,"ok":false,"error":"..."}                          (any failure)
+//
+// The parser accepts exactly the JSON this protocol needs (flat objects,
+// string arrays, numbers, bools, null, string escapes) — no dependency.
+#ifndef RWL_SERVICE_PROTOCOL_H_
+#define RWL_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/service/service.h"
+
+namespace rwl::service {
+
+// A parsed JSON value (object keys keep insertion order irrelevant — the
+// protocol looks fields up by name).
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> items;                           // kArray
+  std::vector<std::pair<std::string, Json>> fields;  // kObject
+
+  // Field lookup on an object; null when absent or not an object.
+  const Json* Find(const std::string& key) const;
+};
+
+// Parses one complete JSON value; trailing non-whitespace is an error.
+bool ParseJson(const std::string& text, Json* out, std::string* error);
+
+std::string JsonEscape(const std::string& s);
+
+struct Request {
+  enum class Op {
+    kLoad,
+    kAssert,
+    kRetract,
+    kQuery,
+    kBatch,
+    kStats,
+    kShutdown,
+  };
+  Op op = Op::kStats;
+  int64_t id = 0;
+  std::string kb;
+  std::string text;                  // LOAD/ASSERT/RETRACT payload
+  std::vector<std::string> declare;  // LOAD extra constants
+  std::string query;                 // QUERY
+  std::vector<std::string> queries;  // BATCH
+  RequestOptions options;            // deadline_ms / budget / plan / fixed_n
+};
+
+// Parses one request line.  On failure *error carries a message suitable
+// for an error response.
+bool ParseRequest(const std::string& line, Request* out, std::string* error);
+
+// ---- response serialization ----
+
+std::string ErrorResponse(int64_t id, const std::string& error);
+std::string MutationResponse(int64_t id, const std::string& kb,
+                             const KbService::MutationResult& result);
+// One answer object (used standalone for QUERY, nested for BATCH).
+std::string AnswerJson(const KbService::QueryResult& result);
+std::string QueryResponse(int64_t id, const KbService::QueryResult& result);
+std::string BatchResponse(int64_t id,
+                          const std::vector<KbService::QueryResult>& results);
+std::string StatsResponse(int64_t id, const KbService& service);
+std::string ShutdownResponse(int64_t id);
+
+}  // namespace rwl::service
+
+#endif  // RWL_SERVICE_PROTOCOL_H_

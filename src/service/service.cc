@@ -1,0 +1,222 @@
+#include "src/service/service.h"
+
+#include <chrono>
+#include <exception>
+#include <future>
+#include <set>
+#include <utility>
+
+#include "src/logic/parser.h"
+#include "src/logic/transform.h"
+
+namespace rwl::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// The engines treat an unbound variable as a programming error and abort
+// the process; at the service boundary a formula comes off the wire, so
+// open formulas must be rejected at admission instead.
+bool CheckClosed(const logic::FormulaPtr& formula, const char* what,
+                 std::string* error) {
+  std::set<std::string> free_variables = logic::FreeVariables(formula);
+  if (free_variables.empty()) return true;
+  *error = std::string(what) + " has free variables:";
+  for (const auto& name : free_variables) *error += " " + name;
+  *error += " (lowercase-initial terms are variables; constants start "
+            "uppercase)";
+  return false;
+}
+
+}  // namespace
+
+KbService::KbService(const ServiceOptions& options)
+    : options_(options),
+      catalog_(options.catalog),
+      scheduler_(options.scheduler) {}
+
+InferenceOptions KbService::EffectiveOptions(
+    const RequestOptions& request) const {
+  InferenceOptions options = options_.inference;
+  if (request.deadline_ms > 0.0) options.deadline_ms = request.deadline_ms;
+  if (request.work_budget > 0.0) options.work_budget = request.work_budget;
+  if (request.fixed_domain_size > 0) {
+    options.fixed_domain_size = request.fixed_domain_size;
+  }
+  if (request.plan == "cost") {
+    options.plan_mode = PlanMode::kMinCost;
+  } else if (request.plan == "fidelity") {
+    options.plan_mode = PlanMode::kFidelity;
+  }
+  return options;
+}
+
+KbService::MutationResult KbService::Load(
+    const std::string& name, const std::string& kb_text,
+    const std::vector<std::string>& declare) {
+  MutationResult result;
+  KnowledgeBase kb;
+  if (!kb.AddParsed(kb_text, &result.error)) return result;
+  if (!CheckClosed(kb.AsFormula(), "knowledge base", &result.error)) {
+    return result;
+  }
+  for (const std::string& constant : declare) {
+    if (constant.empty()) {
+      result.error = "empty constant declaration";
+      return result;
+    }
+    // Validate before AddConstant: the vocabulary treats a cross-kind
+    // re-declaration as a fatal programming error, but here the name
+    // comes off the wire.
+    if (kb.vocabulary().FindPredicate(constant).has_value()) {
+      result.error =
+          "cannot declare constant '" + constant + "': already a predicate";
+      return result;
+    }
+    auto existing = kb.vocabulary().FindFunction(constant);
+    if (existing.has_value() && existing->arity != 0) {
+      result.error =
+          "cannot declare constant '" + constant + "': already a function";
+      return result;
+    }
+    kb.mutable_vocabulary().AddConstant(constant);
+  }
+  std::shared_ptr<const KbSnapshot> snapshot =
+      catalog_.Load(name, std::move(kb));
+  result.ok = true;
+  result.version = snapshot->version;
+  return result;
+}
+
+KbService::MutationResult KbService::Assert(const std::string& name,
+                                            const std::string& text) {
+  MutationResult result;
+  std::shared_ptr<const KbSnapshot> snapshot = catalog_.Mutate(
+      name,
+      [&](KnowledgeBase* kb, std::string* error) {
+        if (!kb->AddParsed(text, error)) return false;
+        return CheckClosed(kb->AsFormula(), "asserted sentence", error);
+      },
+      &result.error);
+  if (snapshot == nullptr) return result;
+  result.ok = true;
+  result.version = snapshot->version;
+  return result;
+}
+
+KbService::MutationResult KbService::Retract(const std::string& name,
+                                             const std::string& text) {
+  MutationResult result;
+  logic::ParseResult parsed = logic::ParseFormula(text);
+  if (!parsed.ok()) {
+    result.error = "retract parse error: " + parsed.error;
+    return result;
+  }
+  std::shared_ptr<const KbSnapshot> snapshot = catalog_.Mutate(
+      name,
+      [&](KnowledgeBase* kb, std::string* error) {
+        // Hash-consing: structural equality is pointer equality.
+        size_t removed =
+            RetractConjuncts(kb, [&](size_t, const logic::FormulaPtr& c) {
+              return c == parsed.formula;
+            });
+        if (removed == 0) {
+          *error = "no conjunct matches '" + text + "'";
+          return false;
+        }
+        return true;
+      },
+      &result.error);
+  if (snapshot == nullptr) return result;
+  result.ok = true;
+  result.version = snapshot->version;
+  return result;
+}
+
+bool KbService::Drop(const std::string& name) { return catalog_.Drop(name); }
+
+// Parses and admits one query against a pinned snapshot.  On admission the
+// returned future completes when the job has filled *result (which must
+// outlive it); an invalid future means *result already carries the error.
+std::future<void> KbService::SubmitOnSnapshot(
+    std::shared_ptr<const KbSnapshot> snapshot, const std::string& query_text,
+    const InferenceOptions& options, QueryResult* result) {
+  result->snapshot = snapshot;
+  logic::ParseResult parsed = logic::ParseFormula(query_text);
+  if (!parsed.ok()) {
+    result->error = "query parse error: " + parsed.error;
+    return {};
+  }
+  if (!CheckClosed(parsed.formula, "query", &result->error)) return {};
+  auto done = std::make_shared<std::promise<void>>();
+  std::future<void> future = done->get_future();
+  const Clock::time_point admitted = Clock::now();
+  const bool admitted_ok = scheduler_.Submit(
+      snapshot->name,
+      [result, snapshot, query = parsed.formula, options, admitted, done]() {
+        try {
+          result->answer = AnswerOnSnapshot(*snapshot, query, options);
+          result->ok = true;
+        } catch (const std::exception& e) {
+          result->error = std::string("engine failure: ") + e.what();
+        } catch (...) {
+          result->error = "engine failure";
+        }
+        result->latency_ms = MillisSince(admitted);
+        done->set_value();
+      });
+  if (!admitted_ok) {
+    result->error = "overloaded: tenant queue is full";
+    return {};
+  }
+  return future;
+}
+
+KbService::QueryResult KbService::Query(const std::string& name,
+                                        const std::string& query_text,
+                                        const RequestOptions& request) {
+  QueryResult result;
+  std::shared_ptr<const KbSnapshot> snapshot = catalog_.Get(name);
+  if (snapshot == nullptr) {
+    result.error = "no knowledge base named '" + name + "'";
+    return result;
+  }
+  std::future<void> future = SubmitOnSnapshot(
+      std::move(snapshot), query_text, EffectiveOptions(request), &result);
+  if (future.valid()) future.wait();
+  return result;
+}
+
+std::vector<KbService::QueryResult> KbService::Batch(
+    const std::string& name, const std::vector<std::string>& queries,
+    const RequestOptions& request) {
+  std::vector<QueryResult> results(queries.size());
+  std::shared_ptr<const KbSnapshot> snapshot = catalog_.Get(name);
+  if (snapshot == nullptr) {
+    for (auto& result : results) {
+      result.error = "no knowledge base named '" + name + "'";
+    }
+    return results;
+  }
+  // One pinned snapshot for the whole batch; all queries are admitted
+  // before the first wait, so they run concurrently on the pool, and the
+  // shared snapshot context dedups the per-(N, τ) work across them
+  // exactly like DegreesOfBelief.
+  const InferenceOptions options = EffectiveOptions(request);
+  std::vector<std::future<void>> futures(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    futures[i] =
+        SubmitOnSnapshot(snapshot, queries[i], options, &results[i]);
+  }
+  for (auto& future : futures) {
+    if (future.valid()) future.wait();
+  }
+  return results;
+}
+
+}  // namespace rwl::service

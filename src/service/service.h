@@ -1,0 +1,124 @@
+// KbService: the embeddable core of the rwld daemon — a KbCatalog of
+// versioned KBs behind a fair multi-tenant QueryScheduler.
+//
+// Contract (the snapshot-isolation guarantee rwld documents):
+//
+//   * a mutation (LOAD/ASSERT/RETRACT) is applied synchronously; when the
+//     call returns, the new version is the head and its number is the ack;
+//   * a query pins the head snapshot at admission time and answers
+//     against that version no matter what lands while it waits or runs —
+//     the answer is bit-identical to a fresh single-threaded query
+//     against that version (service_stress_test holds this under 8
+//     writers × 32 readers);
+//   * a BATCH pins one snapshot for all its queries;
+//   * admission control: a tenant whose queue is full gets an immediate
+//     "overloaded" rejection, and queries on other tenants are served
+//     round-robin regardless.
+//
+// Per-query deadlines and work budgets ride into the planner through
+// InferenceOptions; the scheduler never preempts a running query.
+#ifndef RWL_SERVICE_SERVICE_H_
+#define RWL_SERVICE_SERVICE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/inference.h"
+#include "src/service/catalog.h"
+#include "src/service/scheduler.h"
+
+namespace rwl::service {
+
+struct ServiceOptions {
+  SchedulerOptions scheduler;
+  CatalogOptions catalog;
+  // Defaults for every query; per-request options override deadline,
+  // budget and plan mode.
+  InferenceOptions inference;
+};
+
+// Per-request overrides (the protocol's optional QUERY fields).
+struct RequestOptions {
+  double deadline_ms = 0.0;  // 0 = service default
+  double work_budget = 0.0;  // 0 = service default
+  std::string plan;          // "", "fidelity" or "cost"
+  int fixed_domain_size = 0;  // 0 = service default
+};
+
+class KbService {
+ public:
+  explicit KbService(const ServiceOptions& options = {});
+
+  struct MutationResult {
+    bool ok = false;
+    std::string error;
+    uint64_t version = 0;  // the acked head version when ok
+  };
+
+  // Parses `kb_text` (one sentence per line) and installs it as a new KB.
+  // `declare` registers extra constants the KB text does not mention
+  // (query-only individuals; see README "Running as a service").
+  MutationResult Load(const std::string& name, const std::string& kb_text,
+                      const std::vector<std::string>& declare = {});
+
+  // Parses and asserts sentences; produces the successor version.
+  MutationResult Assert(const std::string& name, const std::string& text);
+
+  // Parses one sentence and retracts every structurally identical
+  // conjunct; an absent conjunct is an error (no version is produced).
+  // Retraction keeps the vocabulary: symbols stay registered, so the
+  // world space — and therefore every other degree of belief — is
+  // unchanged by retract-then-reassert round trips.
+  MutationResult Retract(const std::string& name, const std::string& text);
+
+  bool Drop(const std::string& name);
+
+  struct QueryResult {
+    bool ok = false;
+    std::string error;  // parse error / unknown KB / "overloaded"
+    Answer answer;
+    // The pinned version the answer was computed against (null on error
+    // before admission).
+    std::shared_ptr<const KbSnapshot> snapshot;
+    double latency_ms = 0.0;  // admission to completion, queue wait included
+  };
+
+  // Synchronous: admits, waits for the scheduler, returns the answer.
+  QueryResult Query(const std::string& name, const std::string& query_text,
+                    const RequestOptions& request = {});
+
+  // One pinned snapshot for the whole batch; answers in argument order.
+  std::vector<QueryResult> Batch(const std::string& name,
+                                 const std::vector<std::string>& queries,
+                                 const RequestOptions& request = {});
+
+  QueryScheduler::Stats scheduler_stats() const { return scheduler_.stats(); }
+  std::vector<std::shared_ptr<const KbSnapshot>> Heads() const {
+    return catalog_.Heads();
+  }
+  std::shared_ptr<const KbSnapshot> Snapshot(const std::string& name) const {
+    return catalog_.Get(name);
+  }
+  const ServiceOptions& options() const { return options_; }
+
+  // The effective InferenceOptions a request runs under (exposed so tests
+  // can reproduce a service answer with a fresh single-threaded call).
+  InferenceOptions EffectiveOptions(const RequestOptions& request) const;
+
+ private:
+  std::future<void> SubmitOnSnapshot(
+      std::shared_ptr<const KbSnapshot> snapshot,
+      const std::string& query_text, const InferenceOptions& options,
+      QueryResult* result);
+
+  ServiceOptions options_;
+  KbCatalog catalog_;
+  QueryScheduler scheduler_;  // last: workers stop before the catalog dies
+};
+
+}  // namespace rwl::service
+
+#endif  // RWL_SERVICE_SERVICE_H_

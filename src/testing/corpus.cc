@@ -68,11 +68,12 @@ std::string FormatCase(const CorpusCase& corpus_case) {
     out << "//! mc: " << corpus_case.montecarlo_samples << "\n";
   }
   if (!corpus_case.check_pipeline || !corpus_case.check_maxent ||
-      !corpus_case.check_batch) {
+      !corpus_case.check_batch || !corpus_case.check_service) {
     std::string enabled;
     if (corpus_case.check_pipeline) enabled += " pipeline";
     if (corpus_case.check_maxent) enabled += " maxent";
     if (corpus_case.check_batch) enabled += " batch";
+    if (corpus_case.check_service) enabled += " service";
     out << "//! checks:" << (enabled.empty() ? " none" : enabled) << "\n";
   }
   if (!corpus_case.pipeline_domain_sizes.empty()) {
@@ -152,7 +153,7 @@ bool ParseCase(const std::string& text, CorpusCase* out,
       }
     } else if (key == "checks") {
       parsed.check_pipeline = parsed.check_maxent = parsed.check_batch =
-          false;
+          parsed.check_service = false;
       std::istringstream names(value);
       std::string name;
       while (names >> name) {
@@ -162,6 +163,8 @@ bool ParseCase(const std::string& text, CorpusCase* out,
           parsed.check_maxent = true;
         } else if (name == "batch") {
           parsed.check_batch = true;
+        } else if (name == "service") {
+          parsed.check_service = true;
         } else if (name != "none") {
           return fail("unknown check '" + name + "'");
         }
@@ -290,6 +293,7 @@ CorpusCase CaseFromScenario(const Scenario& scenario,
   corpus_case.check_pipeline = options.check_pipeline;
   corpus_case.check_maxent = options.check_maxent;
   corpus_case.check_batch = options.check_batch;
+  corpus_case.check_service = options.check_service;
   corpus_case.pipeline_domain_sizes = options.pipeline_domain_sizes;
   for (const auto& predicate : scenario.vocabulary.predicates()) {
     corpus_case.predicates.emplace_back(predicate.name, predicate.arity);
@@ -321,6 +325,7 @@ DifferentialOptions ReplayOptions(const CorpusCase& corpus_case) {
   options.check_pipeline = corpus_case.check_pipeline;
   options.check_maxent = corpus_case.check_maxent;
   options.check_batch = corpus_case.check_batch;
+  options.check_service = corpus_case.check_service;
   if (!corpus_case.pipeline_domain_sizes.empty()) {
     options.pipeline_domain_sizes = corpus_case.pipeline_domain_sizes;
   }

@@ -48,6 +48,7 @@ struct CorpusCase {
   bool check_pipeline = true;
   bool check_maxent = true;
   bool check_batch = true;
+  bool check_service = true;
   std::vector<int> pipeline_domain_sizes;  // empty → defaults
   // Vocabulary pins (predicates with arity; functions with arity,
   // constants being arity 0).

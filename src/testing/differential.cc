@@ -8,6 +8,7 @@
 #include "src/core/planner.h"
 #include "src/core/query_context.h"
 #include "src/engines/exact_engine.h"
+#include "src/service/catalog.h"
 #include "src/engines/maxent_engine.h"
 #include "src/engines/montecarlo_engine.h"
 #include "src/engines/profile_engine.h"
@@ -235,6 +236,139 @@ void RunVmCheck(const Scenario& scenario, const DifferentialOptions& options,
   }
 }
 
+// service: incremental maintenance vs rebuild-from-scratch.
+//
+// Loads the scenario KB into a service catalog, applies a deterministic
+// pseudo-random mutation sequence (retract a conjunct / re-assert a
+// retracted one / assert a vocabulary-extending fresh fact), then checks
+// that the incrementally-maintained head — whose QueryContext was seeded
+// by AdoptCachesFrom across every version — answers each query
+// BIT-IDENTICALLY to a KnowledgeBase rebuilt from scratch with the same
+// conjuncts and vocabulary.  A version pinned mid-sequence is checked the
+// same way: its caches must not have leaked entries from any other
+// version.  The mutation RNG seeds from the scenario text, so a corpus
+// replay exercises the same sequence forever.
+void RunServiceCheck(const Scenario& scenario,
+                     const DifferentialOptions& options,
+                     DifferentialReport* report) {
+  if (options.service_mutations <= 0) return;
+
+  KnowledgeBase base = ToKnowledgeBase(scenario);
+  service::KbCatalog catalog;
+  catalog.Load("diff", base);
+
+  InferenceOptions inference;
+  inference.tolerances = options.tolerances;
+  inference.limit.domain_sizes = options.service_domain_sizes;
+  inference.limit.tolerance_scales = options.pipeline_tolerance_scales;
+
+  // Scenario-text seed: stable across processes (formula ids are not).
+  std::string text = Describe(scenario);
+  std::mt19937_64 rng(std::hash<std::string>{}(text));
+
+  std::vector<logic::FormulaPtr> retracted;
+  std::shared_ptr<const service::KbSnapshot> pinned;
+  bool asserted_fresh = false;
+  for (int step = 0; step < options.service_mutations; ++step) {
+    std::shared_ptr<const service::KbSnapshot> head = catalog.Get("diff");
+    const size_t num_conjuncts = head->kb.conjuncts().size();
+    // Op choice: retract when possible, re-assert when possible, and one
+    // vocabulary-extending fresh fact per sequence.
+    int op = static_cast<int>(rng() % 3);
+    if (op == 0 && num_conjuncts == 0) op = 1;
+    if (op == 1 && retracted.empty()) op = 2;
+    if (op == 2 && asserted_fresh) op = num_conjuncts > 0 ? 0 : 1;
+
+    std::string error;
+    if (op == 0 && num_conjuncts > 0) {
+      const size_t victim = rng() % num_conjuncts;
+      logic::FormulaPtr formula = head->kb.conjuncts()[victim];
+      catalog.Mutate(
+          "diff",
+          [&](KnowledgeBase* kb, std::string*) {
+            // The service's RETRACT semantics (vocabulary preserved),
+            // through the same shared helper KbService::Retract uses.
+            service::RetractConjuncts(
+                kb, [&](size_t i, const logic::FormulaPtr&) {
+                  return i == victim;
+                });
+            return true;
+          },
+          &error);
+      retracted.push_back(formula);
+    } else if (op == 1 && !retracted.empty()) {
+      const size_t index = rng() % retracted.size();
+      logic::FormulaPtr formula = retracted[index];
+      retracted.erase(retracted.begin() + static_cast<long>(index));
+      catalog.Mutate(
+          "diff",
+          [&](KnowledgeBase* kb, std::string*) {
+            kb->Add(formula);
+            return true;
+          },
+          &error);
+    } else if (op == 2 && !asserted_fresh) {
+      // A fact about a fresh CONSTANT over an existing unary predicate:
+      // the successor vocabulary fingerprint changes, so compiled
+      // programs must not be adopted across this step.  (A fresh
+      // predicate would double the profile engine's atom classes and
+      // blow up the from-scratch rebuilds; a constant grows placements
+      // linearly.)  Scenarios with no unary predicate skip the op.
+      asserted_fresh = true;
+      std::string unary;
+      for (const auto& predicate : head->kb.vocabulary().predicates()) {
+        if (predicate.arity == 1) {
+          unary = predicate.name;
+          break;
+        }
+      }
+      if (!unary.empty()) {
+        catalog.Mutate(
+            "diff",
+            [&](KnowledgeBase* kb, std::string* edit_error) {
+              return kb->AddParsed(unary + "(ZzSvcC)", edit_error);
+            },
+            &error);
+      }
+    }
+    if (step == 0) pinned = catalog.Get("diff");
+  }
+
+  auto compare_snapshot = [&](const service::KbSnapshot& snapshot,
+                              const std::string& label) {
+    // Rebuild from scratch: same conjuncts, same vocabulary (same symbol
+    // ids), fresh caches.
+    KnowledgeBase scratch;
+    scratch.mutable_vocabulary() = snapshot.kb.vocabulary();
+    for (const auto& conjunct : snapshot.kb.conjuncts()) {
+      scratch.Add(conjunct);
+    }
+    // Bounded like the planner check: each query pays two full cold
+    // pipelines per compared snapshot.
+    const size_t num_queries = std::min<size_t>(scenario.queries.size(), 2);
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      const logic::FormulaPtr& query = scenario.queries[qi];
+      Answer incremental =
+          service::AnswerOnSnapshot(snapshot, query, inference);
+      Answer rebuilt = DegreeOfBelief(scratch, query, inference);
+      ++report->comparisons;
+      std::string why;
+      if (!SameAnswer(incremental, rebuilt, &why)) {
+        report->disagreements.push_back(Disagreement{
+            "service", label, "rebuilt-from-scratch", query, 0, why});
+      }
+    }
+  };
+
+  std::shared_ptr<const service::KbSnapshot> head = catalog.Get("diff");
+  compare_snapshot(*head, "incremental-head@v" +
+                              std::to_string(head->version));
+  if (pinned != nullptr && pinned->version != head->version) {
+    compare_snapshot(*pinned, "incremental-pinned@v" +
+                                  std::to_string(pinned->version));
+  }
+}
+
 }  // namespace
 
 std::vector<const FiniteEngine*> EngineSet::pointers() const {
@@ -411,6 +545,9 @@ DifferentialReport RunDifferential(
       }
     }
   }
+
+  // ---- service: incremental maintenance vs rebuild-from-scratch ----
+  if (options.check_service) RunServiceCheck(scenario, options, &report);
 
   // ---- planner vs forced strategies / plan-cache bit-identity ----
   //

@@ -19,7 +19,14 @@
 //   maxent    — the maximum-entropy limit agrees with the profile engine's
 //               N-sweep estimate on unary scenarios when both converge;
 //   batch     — DegreesOfBelief over the query batch equals the sequential
-//               per-query answers exactly.
+//               per-query answers exactly;
+//   service   — after a deterministic pseudo-random ASSERT/RETRACT
+//               sequence through the service catalog (copy-on-write
+//               snapshots, version-salted cache adoption), the
+//               incrementally-maintained head KB answers every query
+//               bit-identically to a KB rebuilt from scratch — and so
+//               does a version pinned mid-sequence (no cross-version
+//               cache leaks).
 //
 // Any violated check becomes a Disagreement; a scenario with at least one
 // disagreement is a fuzzing failure, to be shrunk (shrinker.h) and checked
@@ -61,6 +68,20 @@ struct DifferentialOptions {
   bool check_batch = true;
   double limit_epsilon = 0.15;
 
+  // service — incremental maintenance through the service catalog: a
+  // mutation sequence (retracts, re-asserts, a vocabulary-extending fresh
+  // fact) derived deterministically from the scenario text must leave the
+  // head — and a mid-sequence pinned version — answering bit-identically
+  // to a from-scratch rebuild of the same conjuncts and vocabulary.
+  bool check_service = true;
+  // Mutation steps (bounded by the conjunct count; 0 disables).
+  int service_mutations = 6;
+  // The check's own sweep schedule, deliberately shallow: a stale cache
+  // replay shows up at any N, and every from-scratch rebuild pays a
+  // cold full sweep — deep schedules would dominate fuzzing wall-clock
+  // without adding discrimination.
+  std::vector<int> service_domain_sizes = {4, 6};
+
   // planner — the cost-based planner's answer (core/planner.h) must be
   // differentially equivalent, via ResultsEquivalent at the limit level,
   // to the answer of every forced applicable strategy (rwlq --engine
@@ -81,7 +102,7 @@ struct DifferentialOptions {
 
 struct Disagreement {
   std::string check;  // "vm", "finite", "context", "pipeline", "maxent",
-                      // "batch", "planner", "plan-cache"
+                      // "batch", "planner", "plan-cache", "service"
   std::string lhs;    // engine / strategy names
   std::string rhs;
   logic::FormulaPtr query;

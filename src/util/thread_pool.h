@@ -1,15 +1,22 @@
-// A small worker pool for embarrassingly-parallel sweeps.
+// Worker pools for parallel sweeps and the long-lived service layer.
 //
-// The limit-sweep evaluator (engines/engine.cc) computes Pr_N^τ at every
-// point of an (N, τ-scale) grid; the points are independent, so they are
-// farmed out to a pool and the serial convergence reduction runs over the
-// precomputed grid afterwards.  The pool is deliberately minimal: spawn,
-// drain an atomic work counter, join.  Exceptions in a task are caught and
-// rethrown on Run's caller thread.
+// ParallelFor: the limit-sweep evaluator (engines/engine.cc) computes
+// Pr_N^τ at every point of an (N, τ-scale) grid; the points are
+// independent, so they are farmed out to a transient pool and the serial
+// convergence reduction runs over the precomputed grid afterwards.  The
+// pool is deliberately minimal: spawn, drain an atomic work counter, join.
+// Exceptions in a task are caught and rethrown on Run's caller thread.
+//
+// WorkerPool: a persistent pool for the query scheduler
+// (service/scheduler.h) — tasks are submitted continuously over the
+// process lifetime instead of batched, so the threads are spawned once
+// and parked on a condition variable between tasks.
 #ifndef RWL_UTIL_THREAD_POOL_H_
 #define RWL_UTIL_THREAD_POOL_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -65,6 +72,68 @@ inline void ParallelFor(int num_threads, int count,
   for (auto& thread : pool) thread.join();
   if (error) std::rethrow_exception(error);
 }
+
+// A persistent FIFO worker pool.  Submit() never blocks; the destructor
+// drains every queued task before joining (submitters that must observe
+// completion wait on their own promise/future — see service/service.cc).
+// Tasks must not throw: the service layer converts failures into error
+// responses before they reach the pool.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int num_threads) {
+    int threads = num_threads > 0
+                      ? num_threads
+                      : static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+    workers_.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+  }
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;  // shutdown with a drained queue
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> tasks_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
 
 }  // namespace rwl::util
 

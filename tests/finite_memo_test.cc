@@ -1,8 +1,17 @@
-// Regression test: FiniteResults with exhausted = true must never enter
-// the QueryContext finite-result memo.  Exhaustion reflects an execution
-// resource (a work budget, a deadline) rather than the semantics of the
-// memo key, so a budget-limited failure at a small budget must not poison
-// a later call made with a larger budget.
+// Regression tests for the QueryContext finite-result memo.
+//
+// 1. FiniteResults with exhausted = true must never enter the memo:
+//    exhaustion reflects an execution resource (a work budget, a
+//    deadline) rather than the semantics of the memo key, so a
+//    budget-limited failure at a small budget must not poison a later
+//    call made with a larger budget.
+//
+// 2. Memo keys must include the KB VERSION (the version_salt over the KB
+//    formula id and vocabulary fingerprint): when the service catalog
+//    adopts a predecessor context's caches across an ASSERT/RETRACT, a
+//    stale post-mutation hit — replaying the old KB's Pr_N^τ against the
+//    new KB — must be impossible, while a mutation sequence that reverts
+//    to an identical KB must make the adopted entries valid hits again.
 #include <string>
 
 #include <gtest/gtest.h>
@@ -11,6 +20,7 @@
 #include "src/engines/engine.h"
 #include "src/logic/parser.h"
 #include "src/logic/vocabulary.h"
+#include "src/semantics/compile.h"
 #include "src/semantics/tolerance.h"
 
 namespace rwl {
@@ -116,6 +126,103 @@ TEST(FiniteMemoTest, ExhaustedStaysUncachedAcrossRepeats) {
   // Both starved calls recomputed: the memo holds nothing for this key.
   EXPECT_EQ(engine.calls, 2);
   EXPECT_EQ(ctx.cache_stats().finite_hits, 0u);
+}
+
+// A stub whose Pr_N^τ depends on the KB formula, so replaying a memo
+// entry against the wrong KB version is detectable in the probability.
+class KbDependentStubEngine : public engines::FiniteEngine {
+ public:
+  std::string name() const override { return "kb-stub"; }
+
+  using engines::FiniteEngine::DegreeAt;
+  using engines::FiniteEngine::Supports;
+
+  bool Supports(const logic::Vocabulary&, const logic::FormulaPtr&,
+                const logic::FormulaPtr&, int) const override {
+    return true;
+  }
+
+  engines::FiniteResult DegreeAt(
+      const logic::Vocabulary&, const logic::FormulaPtr& kb,
+      const logic::FormulaPtr&, int,
+      const semantics::ToleranceVector&) const override {
+    ++calls;
+    engines::FiniteResult result;
+    result.well_defined = true;
+    result.probability =
+        kb != nullptr && kb->kind() == logic::Formula::Kind::kAtom ? 0.25
+                                                                   : 0.75;
+    return result;
+  }
+
+  mutable int calls = 0;
+};
+
+TEST(FiniteMemoTest, StaleHitImpossibleAfterMutationWithAdoptedCaches) {
+  Fixture f;
+  semantics::ToleranceVector tolerances =
+      semantics::ToleranceVector::Uniform(0.1);
+  logic::FormulaPtr kb_v1 = logic::ParseFormula("P(c)").formula;   // atom
+  logic::FormulaPtr kb_v2 = logic::ParseFormula("!P(c)").formula;  // not
+
+  KbDependentStubEngine engine;
+  QueryContext v1(f.vocabulary, kb_v1, /*caching_enabled=*/true);
+  engines::FiniteResult r1 = engine.DegreeAt(v1, f.query, 4, tolerances);
+  EXPECT_DOUBLE_EQ(r1.probability, 0.25);
+  EXPECT_EQ(engine.calls, 1);
+
+  // The service catalog's copy-on-write path: the successor version's
+  // context adopts EVERY cache entry of its predecessor.  The memo key's
+  // KB-version salt is the only thing standing between the new KB and a
+  // stale replay of the old result.
+  QueryContext v2(f.vocabulary, kb_v2, /*caching_enabled=*/true);
+  v2.AdoptCachesFrom(v1);
+  ASSERT_NE(v1.version_salt(), v2.version_salt());
+  engines::FiniteResult r2 = engine.DegreeAt(v2, f.query, 4, tolerances);
+  EXPECT_DOUBLE_EQ(r2.probability, 0.75)
+      << "post-mutation lookup replayed the pre-mutation result";
+  EXPECT_EQ(engine.calls, 2) << "the new KB version must recompute";
+
+  // A further mutation reverting to the original KB produces the original
+  // (formula id, vocabulary) pair — hash-consing guarantees the same
+  // formula id — so the entries adopted through the whole chain become
+  // valid hits again: incremental maintenance reuses, never leaks.
+  QueryContext v3(f.vocabulary, kb_v1, /*caching_enabled=*/true);
+  v3.AdoptCachesFrom(v2);
+  ASSERT_EQ(v3.version_salt(), v1.version_salt());
+  engines::FiniteResult r3 = engine.DegreeAt(v3, f.query, 4, tolerances);
+  EXPECT_DOUBLE_EQ(r3.probability, 0.25);
+  EXPECT_EQ(engine.calls, 2) << "identical KB version must hit the memo";
+  EXPECT_EQ(v3.cache_stats().finite_hits, 1u);
+}
+
+TEST(FiniteMemoTest, VocabularyChangeAlsoChangesTheVersionSalt) {
+  Fixture f;
+  logic::FormulaPtr kb = logic::ParseFormula("P(c)").formula;
+  QueryContext original(f.vocabulary, kb, /*caching_enabled=*/true);
+
+  // Same KB formula, extended vocabulary: world spaces differ, so the
+  // salt must differ even though the formula id is unchanged — and
+  // compiled programs (slot layouts depend on the signature) must not be
+  // adopted across the change.
+  std::shared_ptr<const semantics::CompiledFormula> compiled =
+      original.Compiled(f.query);
+  ASSERT_NE(compiled, nullptr);
+  ASSERT_NE(original.CompiledIfCached(f.query), nullptr);
+
+  logic::Vocabulary extended = f.vocabulary;
+  extended.AddPredicate("Extra", 1);
+  QueryContext widened(extended, kb, /*caching_enabled=*/true);
+  widened.AdoptCachesFrom(original);
+  EXPECT_NE(widened.version_salt(), original.version_salt());
+  EXPECT_EQ(widened.CompiledIfCached(f.query), nullptr)
+      << "programs compiled for a different signature were adopted";
+
+  // Same vocabulary: programs ARE adopted.
+  QueryContext same(f.vocabulary, kb, /*caching_enabled=*/true);
+  same.AdoptCachesFrom(original);
+  EXPECT_EQ(same.version_salt(), original.version_salt());
+  EXPECT_NE(same.CompiledIfCached(f.query), nullptr);
 }
 
 }  // namespace

@@ -1,0 +1,320 @@
+// rwld — the random-worlds knowledge-base daemon.
+//
+// Serves a KbCatalog of named, versioned KBs over a newline-delimited JSON
+// protocol (src/service/protocol.h): LOAD / ASSERT / RETRACT / QUERY /
+// BATCH / STATS / SHUTDOWN, one request per line, one response per line.
+//
+// Concurrency model: one in-flight request per connection, answered in
+// order (open more connections for parallelism — rwlload opens one per
+// client thread).  Mutations are applied synchronously; queries pin the
+// KB version at admission and run on the shared scheduler, so a slow
+// query on one connection never blocks another connection's traffic and
+// never sees a later version than its admission point (snapshot
+// isolation; see README "Running as a service").
+//
+// Usage:
+//   rwld --port P [--threads N] [--queue-depth D] [--nmax N]
+//   rwld --stdio  [--threads N] ...
+//
+//   --port P        listen on 127.0.0.1:P (TCP, one thread per connection)
+//   --stdio         serve a single session on stdin/stdout (transcripts,
+//                   CI smoke tests:  rwld --stdio < script.ndjson)
+//   --threads N     scheduler worker threads (default: hardware threads)
+//   --queue-depth D per-tenant admission cap (default 256)
+//   --nmax N        largest sweep domain size (default 48, as rwlq)
+//   --plan MODE     default plan mode: fidelity | cost (default fidelity)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/select.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/protocol.h"
+#include "src/service/service.h"
+
+namespace {
+
+using rwl::service::KbService;
+using rwl::service::Request;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--port P | --stdio) [--threads N]\n"
+               "          [--queue-depth D] [--nmax N] [--plan fidelity|cost]\n",
+               argv0);
+  return 2;
+}
+
+// Largest accepted request line.  On the TCP path this bounds
+// per-connection buffering (the connection is dropped before `buffer`
+// exceeds it); on the local --stdio pipe std::getline has already read
+// the line, so the cap only rejects it post-hoc — stdio serves the
+// operator's own transcripts, not untrusted peers.
+constexpr size_t kMaxLineBytes = 8u << 20;
+
+struct Daemon {
+  KbService service;
+  std::atomic<bool> shutdown{false};
+
+  explicit Daemon(const rwl::service::ServiceOptions& options)
+      : service(options) {}
+
+  // Handles one request line; returns the response line (no newline).
+  std::string Handle(const std::string& line) {
+    Request request;
+    std::string error;
+    if (!rwl::service::ParseRequest(line, &request, &error)) {
+      // ParseRequest fills the id before validating the rest, so a
+      // validation failure still correlates with the client's request;
+      // id 0 only when the JSON itself was unparseable.
+      return rwl::service::ErrorResponse(request.id, error);
+    }
+    switch (request.op) {
+      case Request::Op::kLoad:
+        return rwl::service::MutationResponse(
+            request.id, request.kb,
+            service.Load(request.kb, request.text, request.declare));
+      case Request::Op::kAssert:
+        return rwl::service::MutationResponse(
+            request.id, request.kb,
+            service.Assert(request.kb, request.text));
+      case Request::Op::kRetract:
+        return rwl::service::MutationResponse(
+            request.id, request.kb,
+            service.Retract(request.kb, request.text));
+      case Request::Op::kQuery:
+        return rwl::service::QueryResponse(
+            request.id,
+            service.Query(request.kb, request.query, request.options));
+      case Request::Op::kBatch:
+        return rwl::service::BatchResponse(
+            request.id,
+            service.Batch(request.kb, request.queries, request.options));
+      case Request::Op::kStats:
+        return rwl::service::StatsResponse(request.id, service);
+      case Request::Op::kShutdown:
+        shutdown.store(true, std::memory_order_relaxed);
+        return rwl::service::ShutdownResponse(request.id);
+    }
+    return rwl::service::ErrorResponse(request.id, "unreachable");
+  }
+};
+
+int ServeStdio(Daemon* daemon) {
+  // std::getline, not a fixed buffer: a LOAD payload can exceed any fixed
+  // line size, and a truncated read would desync the response stream.
+  std::string line;
+  while (!daemon->shutdown.load(std::memory_order_relaxed) &&
+         std::getline(std::cin, line)) {
+    while (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line.size() > kMaxLineBytes) {
+      std::printf("%s\n",
+                  rwl::service::ErrorResponse(0, "request line too large")
+                      .c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    std::string response = daemon->Handle(line);
+    std::printf("%s\n", response.c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+// One live connection thread, registered with the daemon so shutdown can
+// unblock its recv() and the accept loop can reap it once finished.
+struct Connection {
+  std::thread thread;
+  int fd = -1;
+  std::atomic<bool> finished{false};
+};
+
+void ServeConnection(Daemon* daemon, Connection* connection) {
+  const int fd = connection->fd;
+  std::string buffer;
+  char chunk[1 << 14];
+  for (;;) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    if (buffer.size() > kMaxLineBytes) {
+      // No newline within the cap: drop the connection rather than
+      // buffer an unbounded line.
+      break;
+    }
+    size_t start = 0;
+    for (;;) {
+      size_t newline = buffer.find('\n', start);
+      if (newline == std::string::npos) break;
+      std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::string response = daemon->Handle(line);
+      response += '\n';
+      size_t sent = 0;
+      bool write_failed = false;
+      while (sent < response.size()) {
+        // MSG_NOSIGNAL: a peer that closed mid-response must surface as
+        // a send error on this connection, not SIGPIPE-kill the daemon.
+        ssize_t w = ::send(fd, response.data() + sent,
+                           response.size() - sent, MSG_NOSIGNAL);
+        if (w <= 0) {
+          write_failed = true;
+          break;
+        }
+        sent += static_cast<size_t>(w);
+      }
+      if (write_failed || daemon->shutdown.load(std::memory_order_relaxed)) {
+        ::close(fd);
+        connection->finished.store(true, std::memory_order_release);
+        return;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+  connection->finished.store(true, std::memory_order_release);
+}
+
+int ServeTcp(Daemon* daemon, int port) {
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("rwld: socket");
+    return 1;
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = ::htonl(INADDR_LOOPBACK);
+  addr.sin_port = ::htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    std::perror("rwld: bind");
+    ::close(listen_fd);
+    return 1;
+  }
+  if (::listen(listen_fd, 64) < 0) {
+    std::perror("rwld: listen");
+    ::close(listen_fd);
+    return 1;
+  }
+  std::fprintf(stderr, "rwld: listening on 127.0.0.1:%d\n", port);
+
+  std::vector<std::unique_ptr<Connection>> connections;
+  auto reap_finished = [&connections] {
+    for (auto it = connections.begin(); it != connections.end();) {
+      if ((*it)->finished.load(std::memory_order_acquire)) {
+        (*it)->thread.join();
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  while (!daemon->shutdown.load(std::memory_order_relaxed)) {
+    // Poll with a timeout so a SHUTDOWN request (handled on a connection
+    // thread) stops the accept loop promptly; each tick also reaps
+    // finished connection threads so a long-lived daemon stays bounded.
+    fd_set read_fds;
+    FD_ZERO(&read_fds);
+    FD_SET(listen_fd, &read_fds);
+    timeval timeout{0, 200000};  // 200 ms
+    int ready = ::select(listen_fd + 1, &read_fds, nullptr, nullptr,
+                         &timeout);
+    reap_finished();
+    if (ready <= 0) continue;
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    Connection* raw = connection.get();
+    connection->thread = std::thread(ServeConnection, daemon, raw);
+    connections.push_back(std::move(connection));
+  }
+  ::close(listen_fd);
+  // Unblock every idle connection's recv() so shutdown never waits on a
+  // client that simply stays connected.
+  for (auto& connection : connections) {
+    if (!connection->finished.load(std::memory_order_acquire)) {
+      ::shutdown(connection->fd, SHUT_RDWR);
+    }
+  }
+  for (auto& connection : connections) connection->thread.join();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  bool stdio = false;
+  rwl::service::ServiceOptions options;
+  options.inference.tolerances =
+      rwl::semantics::ToleranceVector::Uniform(0.04);
+  int nmax = 48;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      port = std::atoi(v);
+    } else if (arg == "--stdio") {
+      stdio = true;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.scheduler.num_threads = std::atoi(v);
+    } else if (arg == "--queue-depth") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.scheduler.max_queue_depth =
+          static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--nmax") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      nmax = std::atoi(v);
+    } else if (arg == "--plan") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      std::string mode = v;
+      if (mode == "cost") {
+        options.inference.plan_mode = rwl::PlanMode::kMinCost;
+      } else if (mode != "fidelity") {
+        return Usage(argv[0]);
+      }
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (stdio == (port > 0)) return Usage(argv[0]);  // exactly one mode
+
+  // The rwlq sweep schedule, so a service answer matches the CLI's.
+  options.inference.limit.domain_sizes.clear();
+  for (int n = 8; n <= nmax; n = n < 16 ? n + 8 : n * 2) {
+    options.inference.limit.domain_sizes.push_back(n);
+  }
+  if (options.inference.limit.domain_sizes.empty() ||
+      options.inference.limit.domain_sizes.back() != nmax) {
+    options.inference.limit.domain_sizes.push_back(nmax);
+  }
+
+  Daemon daemon(options);
+  return stdio ? ServeStdio(&daemon) : ServeTcp(&daemon, port);
+}

@@ -16,6 +16,8 @@
 //                    must be caught and shrunk to a tiny reproducer
 //
 // Options:
+//   --checks LIST    comma-separated subset of {finite,pipeline,maxent,
+//                    batch,vm,planner,service}; empty = profile defaults
 //   --seed S         master seed (default 20260730); every case derives its
 //                    own RNG from (seed, case index), so any single case
 //                    reproduces from the pair alone
@@ -66,8 +68,8 @@ struct Config {
   bool verbose = false;
   std::string replay_path;
   bool self_test = false;
-  // Comma-separated subset of {finite,pipeline,maxent,batch,vm}; empty =
-  // the per-profile defaults.
+  // Comma-separated subset of {finite,pipeline,maxent,batch,vm,planner,
+  // service}; empty = the per-profile defaults.
   std::string checks;
 };
 
@@ -82,7 +84,8 @@ bool ValidCheckList(const std::string& checks) {
       continue;
     }
     if (token != "finite" && token != "pipeline" && token != "maxent" &&
-        token != "batch" && token != "vm" && token != "planner") {
+        token != "batch" && token != "vm" && token != "planner" &&
+        token != "service") {
       std::fprintf(stderr, "rwlfuzz: unknown check '%s'\n", token.c_str());
       return false;
     }
@@ -103,6 +106,7 @@ void ApplyCheckFilter(const std::string& checks,
   options->check_batch = options->check_batch && enabled("batch");
   options->check_vm = options->check_vm && enabled("vm");
   options->check_planner = options->check_planner && enabled("planner");
+  options->check_service = options->check_service && enabled("service");
 }
 
 int Usage(const char* argv0) {
@@ -237,6 +241,9 @@ GeneratedCase GenerateNonUnary(std::mt19937* rng, bool mixed,
   generated.options.check_pipeline = false;
   generated.options.check_batch = false;
   generated.options.check_maxent = false;
+  // Like the other limit-level checks: binary predicates route the
+  // service rebuilds through expensive exact sweeps for little signal.
+  generated.options.check_service = false;
   generated.mc_samples = config.mc_samples;
   return generated;
 }
@@ -433,6 +440,7 @@ int SelfTestMain(const Config& config) {
   finite_only.check_pipeline = false;
   finite_only.check_batch = false;
   finite_only.check_maxent = false;
+  finite_only.check_service = false;
 
   for (int index = 0; index < 400; ++index) {
     std::string chosen;

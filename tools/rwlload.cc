@@ -1,0 +1,533 @@
+// rwlload — load generator and latency harness for the rwld service.
+//
+// Drives N client threads against the service and reports throughput and
+// latency percentiles, writing machine-readable rows to BENCH_service.json
+// (same BENCH_JSON line format as the bench/ suite).
+//
+// Workload: the paper-KB corpus (src/fixtures/paper_kbs.h) — every worked
+// example becomes a tenant KB, loaded with its query-only constants
+// declared, and the clients round-robin the example queries across
+// tenants.  Two timed phases:
+//
+//   readonly — pure QUERY traffic on warmed caches (the headline
+//              queries/s number: plan-cache + finite-memo replay);
+//   mixed    — every --mutate-every'th request toggles an ASSERT/RETRACT
+//              on the tenant, exercising copy-on-write snapshots and
+//              selective cache invalidation under load.
+//
+// Modes:
+//   (default)        in-process: a KbService in this process (measures the
+//                    catalog + scheduler + engines, no socket overhead)
+//   --connect PORT   NDJSON over TCP against a running `rwld --port PORT`
+//                    (measures the full daemon round trip; one connection
+//                    per client thread)
+//
+// Options:
+//   --threads N       client threads (default 16)
+//   --seconds S       timed seconds per phase (default 3)
+//   --server-threads  scheduler workers for in-process mode (default: hw)
+//   --mutate-every K  mixed-phase mutation period (default 64; 0 disables
+//                     the mixed phase)
+//   --nmax N          sweep domain cap (default 32)
+//   --json-out PATH   where the JSON rows go (default BENCH_service.json)
+//   --min-qps Q       exit nonzero when readonly qps < Q (CI gate)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/fixtures/paper_kbs.h"
+#include "src/service/protocol.h"
+#include "src/service/service.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using rwl::service::KbService;
+
+struct Config {
+  int threads = 16;
+  double seconds = 3.0;
+  int server_threads = 0;
+  int mutate_every = 64;
+  int nmax = 32;
+  int connect_port = 0;
+  std::string json_out = "BENCH_service.json";
+  double min_qps = 0.0;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threads N] [--seconds S] [--server-threads M]\n"
+               "          [--mutate-every K] [--nmax N] [--connect PORT]\n"
+               "          [--json-out PATH] [--min-qps Q]\n",
+               argv0);
+  return 2;
+}
+
+// One (tenant, query) work item.  `marker` is the tenant's mixed-phase
+// toggle fact: the tenant's first unary predicate applied to a
+// load-generator-private constant.  Asserting it forces the full
+// copy-on-write path — a new version, cache adoption, a version-salt
+// change — while growing the world space only linearly (a fresh
+// PREDICATE would double the profile engine's atom classes and turn the
+// first post-mutation sweep into seconds of recompute); the retract leg
+// restores the previous KB formula, whose adopted caches become valid
+// hits again.  Empty when the tenant has no unary predicate (no
+// mutations for it).
+struct WorkItem {
+  std::string kb;
+  std::string query;
+  std::string marker;
+};
+
+// ---- client transports ----
+
+// Abstracts "send one query, get one answer" so the measurement loop is
+// transport-independent.
+class Client {
+ public:
+  virtual ~Client() = default;
+  virtual bool Query(const WorkItem& item) = 0;          // true = ok answer
+  virtual bool Mutate(const WorkItem& item, bool assert_phase) = 0;
+};
+
+class InProcessClient : public Client {
+ public:
+  explicit InProcessClient(KbService* service) : service_(service) {}
+
+  bool Query(const WorkItem& item) override {
+    KbService::QueryResult result = service_->Query(item.kb, item.query);
+    return result.ok;
+  }
+
+  bool Mutate(const WorkItem& item, bool assert_phase) override {
+    KbService::MutationResult result =
+        assert_phase ? service_->Assert(item.kb, item.marker)
+                     : service_->Retract(item.kb, item.marker);
+    return result.ok;
+  }
+
+ private:
+  KbService* service_;
+};
+
+class TcpClient : public Client {
+ public:
+  static std::unique_ptr<TcpClient> Connect(int port) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return nullptr;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = ::htonl(INADDR_LOOPBACK);
+    addr.sin_port = ::htons(static_cast<uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ::close(fd);
+      return nullptr;
+    }
+    return std::unique_ptr<TcpClient>(new TcpClient(fd));
+  }
+
+  ~TcpClient() override { ::close(fd_); }
+
+  bool Query(const WorkItem& item) override {
+    std::string line = "{\"id\":1,\"op\":\"QUERY\",\"kb\":\"" +
+                       rwl::service::JsonEscape(item.kb) + "\",\"q\":\"" +
+                       rwl::service::JsonEscape(item.query) + "\"}\n";
+    std::string response;
+    if (!RoundTrip(line, &response)) return false;
+    return response.find("\"ok\":true") != std::string::npos;
+  }
+
+  bool Mutate(const WorkItem& item, bool assert_phase) override {
+    std::string line = std::string("{\"id\":1,\"op\":\"") +
+                       (assert_phase ? "ASSERT" : "RETRACT") +
+                       "\",\"kb\":\"" + rwl::service::JsonEscape(item.kb) +
+                       "\",\"text\":\"" +
+                       rwl::service::JsonEscape(item.marker) + "\"}\n";
+    std::string response;
+    if (!RoundTrip(line, &response)) return false;
+    return response.find("\"ok\":true") != std::string::npos;
+  }
+
+  bool RoundTrip(const std::string& line, std::string* response) {
+    size_t sent = 0;
+    while (sent < line.size()) {
+      // MSG_NOSIGNAL: a daemon that closed first must fail this client's
+      // round trip, not SIGPIPE-kill the load generator.
+      ssize_t w = ::send(fd_, line.data() + sent, line.size() - sent,
+                         MSG_NOSIGNAL);
+      if (w <= 0) return false;
+      sent += static_cast<size_t>(w);
+    }
+    for (;;) {
+      size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        *response = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[1 << 12];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  explicit TcpClient(int fd) : fd_(fd) {}
+  int fd_;
+  std::string buffer_;
+};
+
+// ---- measurement ----
+
+struct PhaseResult {
+  std::string phase;
+  double duration_s = 0.0;
+  uint64_t ops = 0;  // queries + mutations
+  uint64_t errors = 0;
+  uint64_t mutations = 0;
+  double qps = 0.0;
+  // Query latencies only — mutations pay copy-on-write rebuild cost and
+  // are reported separately so the query tail is not misread.
+  double p50_us = 0.0, p90_us = 0.0, p95_us = 0.0, p99_us = 0.0;
+  double max_us = 0.0;
+  double mut_p50_us = 0.0, mut_max_us = 0.0;
+};
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  double index = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(index);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = index - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+PhaseResult RunPhase(const std::string& phase, const Config& config,
+                     const std::vector<WorkItem>& work,
+                     const std::vector<std::unique_ptr<Client>>& clients,
+                     int mutate_every) {
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> latencies(clients.size());
+  std::vector<std::vector<double>> mutation_latencies(clients.size());
+  std::vector<uint64_t> errors(clients.size(), 0);
+  std::vector<uint64_t> mutations(clients.size(), 0);
+
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients.size());
+  for (size_t t = 0; t < clients.size(); ++t) {
+    threads.emplace_back([&, t] {
+      Client* client = clients[t].get();
+      std::vector<double>& lat = latencies[t];
+      lat.reserve(1 << 16);
+      // Stagger starting offsets so threads spread across tenants.
+      size_t index = (t * 7919) % work.size();
+      // One writer thread (t == 0) mutates; the rest are pure readers —
+      // outstanding-assert bookkeeping keeps every retract valid.
+      const bool writer = mutate_every > 0 && t == 0;
+      std::map<std::string, int> outstanding;
+      uint64_t ops = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const WorkItem& item = work[index];
+        index = (index + 1) % work.size();
+        ++ops;
+        if (writer && !item.marker.empty() &&
+            ops % static_cast<uint64_t>(mutate_every) == 0) {
+          int& pending = outstanding[item.kb];
+          const bool assert_phase = pending == 0;
+          Clock::time_point t0 = Clock::now();
+          bool ok = client->Mutate(item, assert_phase);
+          // Only successful mutations flip the toggle state: a transport
+          // hiccup must not desync the assert/retract cadence from the
+          // actual KB state.
+          if (ok) {
+            pending += assert_phase ? 1 : -1;
+          } else {
+            ++errors[t];
+          }
+          ++mutations[t];
+          mutation_latencies[t].push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                  .count());
+          continue;
+        }
+        Clock::time_point t0 = Clock::now();
+        bool ok = client->Query(item);
+        if (!ok) ++errors[t];
+        lat.push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                .count());
+      }
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(config.seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& thread : threads) thread.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  PhaseResult result;
+  result.phase = phase;
+  result.duration_s = elapsed;
+  std::vector<double> queries;
+  std::vector<double> writes;
+  for (size_t t = 0; t < clients.size(); ++t) {
+    queries.insert(queries.end(), latencies[t].begin(), latencies[t].end());
+    writes.insert(writes.end(), mutation_latencies[t].begin(),
+                  mutation_latencies[t].end());
+    result.errors += errors[t];
+    result.mutations += mutations[t];
+  }
+  result.ops = queries.size() + writes.size();
+  result.qps = static_cast<double>(result.ops) / elapsed;
+  std::sort(queries.begin(), queries.end());
+  result.p50_us = Percentile(queries, 0.50);
+  result.p90_us = Percentile(queries, 0.90);
+  result.p95_us = Percentile(queries, 0.95);
+  result.p99_us = Percentile(queries, 0.99);
+  result.max_us = queries.empty() ? 0.0 : queries.back();
+  std::sort(writes.begin(), writes.end());
+  result.mut_p50_us = Percentile(writes, 0.50);
+  result.mut_max_us = writes.empty() ? 0.0 : writes.back();
+  return result;
+}
+
+std::string PhaseJson(const Config& config, const PhaseResult& result) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"bench\": \"service\", \"phase\": \"%s\", \"mode\": \"%s\", "
+      "\"threads\": %d, \"duration_s\": %.3f, \"ops\": %llu, "
+      "\"mutations\": %llu, \"errors\": %llu, \"qps\": %.1f, "
+      "\"p50_us\": %.1f, \"p90_us\": %.1f, \"p95_us\": %.1f, "
+      "\"p99_us\": %.1f, \"max_us\": %.1f, \"mut_p50_us\": %.1f, "
+      "\"mut_max_us\": %.1f}",
+      result.phase.c_str(),
+      config.connect_port > 0 ? "tcp" : "in-process", config.threads,
+      result.duration_s, static_cast<unsigned long long>(result.ops),
+      static_cast<unsigned long long>(result.mutations),
+      static_cast<unsigned long long>(result.errors), result.qps,
+      result.p50_us, result.p90_us, result.p95_us, result.p99_us,
+      result.max_us, result.mut_p50_us, result.mut_max_us);
+  return buf;
+}
+
+void PrintPhase(const PhaseResult& result) {
+  std::printf(
+      "%-9s %8.1f qps   %llu ops (%llu mutations, %llu errors) in %.2fs\n"
+      "          query latency p50=%.0fus p90=%.0fus p95=%.0fus "
+      "p99=%.0fus max=%.0fus\n",
+      result.phase.c_str(), result.qps,
+      static_cast<unsigned long long>(result.ops),
+      static_cast<unsigned long long>(result.mutations),
+      static_cast<unsigned long long>(result.errors), result.duration_s,
+      result.p50_us, result.p90_us, result.p95_us, result.p99_us,
+      result.max_us);
+  if (result.mutations > 0) {
+    std::printf("          mutation latency p50=%.0fus max=%.0fus\n",
+                result.mut_p50_us, result.mut_max_us);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--threads" && (v = next())) config.threads = std::atoi(v);
+    else if (arg == "--seconds" && (v = next())) config.seconds = std::atof(v);
+    else if (arg == "--server-threads" && (v = next()))
+      config.server_threads = std::atoi(v);
+    else if (arg == "--mutate-every" && (v = next()))
+      config.mutate_every = std::atoi(v);
+    else if (arg == "--nmax" && (v = next())) config.nmax = std::atoi(v);
+    else if (arg == "--connect" && (v = next()))
+      config.connect_port = std::atoi(v);
+    else if (arg == "--json-out" && (v = next())) config.json_out = v;
+    else if (arg == "--min-qps" && (v = next())) config.min_qps = std::atof(v);
+    else return Usage(argv[0]);
+  }
+  if (config.threads < 1 || config.seconds <= 0.0) return Usage(argv[0]);
+
+  // ---- the paper-KB workload ----
+  rwl::service::ServiceOptions options;
+  options.scheduler.num_threads = config.server_threads;
+  options.inference.tolerances =
+      rwl::semantics::ToleranceVector::Uniform(0.04);
+  options.inference.limit.domain_sizes.clear();
+  for (int n = 8; n <= config.nmax; n = n < 16 ? n + 8 : n * 2) {
+    options.inference.limit.domain_sizes.push_back(n);
+  }
+  if (options.inference.limit.domain_sizes.empty() ||
+      options.inference.limit.domain_sizes.back() != config.nmax) {
+    options.inference.limit.domain_sizes.push_back(config.nmax);
+  }
+
+  // In-process server — only when we are the server: in --connect mode
+  // the daemon under test owns the KBs, and constructing a KbService here
+  // would park an idle scheduler pool on the measurement host.
+  std::optional<KbService> service;
+  std::unique_ptr<TcpClient> control;
+  if (config.connect_port > 0) {
+    control = TcpClient::Connect(config.connect_port);
+    if (control == nullptr) {
+      std::fprintf(stderr, "rwlload: cannot connect to 127.0.0.1:%d\n",
+                   config.connect_port);
+      return 1;
+    }
+  } else {
+    service.emplace(options);
+  }
+
+  std::vector<WorkItem> work;
+  int loaded = 0;
+  for (const auto& example : rwl::fixtures::AllPaperExamples()) {
+    if (config.connect_port > 0) {
+      // Load over the wire so the daemon owns the KBs.
+      std::string line = "{\"id\":1,\"op\":\"LOAD\",\"kb\":\"" +
+                         rwl::service::JsonEscape(example.id) +
+                         "\",\"text\":\"" +
+                         rwl::service::JsonEscape(example.kb) + "\"";
+      if (!example.extra_constants.empty()) {
+        line += ",\"declare\":[";
+        for (size_t i = 0; i < example.extra_constants.size(); ++i) {
+          if (i > 0) line += ",";
+          line += "\"" +
+                  rwl::service::JsonEscape(example.extra_constants[i]) +
+                  "\"";
+        }
+        line += "]";
+      }
+      line += "}\n";
+      std::string response;
+      if (!control->RoundTrip(line, &response) ||
+          response.find("\"ok\":true") == std::string::npos) {
+        std::fprintf(stderr, "rwlload: LOAD %s failed: %s\n",
+                     example.id.c_str(), response.c_str());
+        continue;
+      }
+    } else {
+      KbService::MutationResult load = service->Load(
+          example.id, example.kb, example.extra_constants);
+      if (!load.ok) {
+        std::fprintf(stderr, "rwlload: LOAD %s failed: %s\n",
+                     example.id.c_str(), load.error.c_str());
+        continue;
+      }
+    }
+    ++loaded;
+    // The tenant's mixed-phase marker: its first unary predicate over a
+    // private fresh constant (parsed locally, so TCP mode needs no
+    // introspection op).
+    std::string marker;
+    {
+      rwl::KnowledgeBase probe;
+      std::string probe_error;
+      if (probe.AddParsed(example.kb, &probe_error)) {
+        for (const auto& predicate : probe.vocabulary().predicates()) {
+          if (predicate.arity == 1) {
+            marker = predicate.name + "(RwlLoadC)";
+            break;
+          }
+        }
+      }
+    }
+    work.push_back(WorkItem{example.id, example.query, marker});
+  }
+  if (work.empty()) {
+    std::fprintf(stderr, "rwlload: no workload\n");
+    return 1;
+  }
+
+  // ---- clients ----
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int t = 0; t < config.threads; ++t) {
+    if (config.connect_port > 0) {
+      auto client = TcpClient::Connect(config.connect_port);
+      if (client == nullptr) {
+        std::fprintf(stderr, "rwlload: client connect failed\n");
+        return 1;
+      }
+      clients.push_back(std::move(client));
+    } else {
+      clients.push_back(std::make_unique<InProcessClient>(&*service));
+    }
+  }
+
+  // ---- warmup: answer every work item once, sequentially ----
+  // Populates each tenant's snapshot caches (plans, finite memos, world
+  // lists) and drops work items no engine can answer, so the timed phases
+  // measure answers, not error paths.
+  const Clock::time_point warm_start = Clock::now();
+  std::vector<WorkItem> answerable;
+  for (const WorkItem& item : work) {
+    if (clients[0]->Query(item)) answerable.push_back(item);
+  }
+  const double warm_s =
+      std::chrono::duration<double>(Clock::now() - warm_start).count();
+  if (answerable.empty()) {
+    std::fprintf(stderr, "rwlload: no answerable queries in the corpus\n");
+    return 1;
+  }
+  std::printf(
+      "rwlload: %d KBs loaded, %zu/%zu queries answerable, warmup %.2fs, "
+      "%d client threads (%s)\n",
+      loaded, answerable.size(), work.size(), warm_s, config.threads,
+      config.connect_port > 0 ? "tcp" : "in-process");
+
+  // ---- timed phases ----
+  std::vector<std::string> json_rows;
+  PhaseResult readonly =
+      RunPhase("readonly", config, answerable, clients, /*mutate_every=*/0);
+  PrintPhase(readonly);
+  json_rows.push_back(PhaseJson(config, readonly));
+
+  if (config.mutate_every > 0) {
+    PhaseResult mixed = RunPhase("mixed", config, answerable, clients,
+                                 config.mutate_every);
+    PrintPhase(mixed);
+    json_rows.push_back(PhaseJson(config, mixed));
+  }
+
+  // ---- report ----
+  for (const std::string& row : json_rows) {
+    std::printf("BENCH_JSON %s\n", row.c_str());
+  }
+  if (!config.json_out.empty()) {
+    std::ofstream out(config.json_out);
+    for (const std::string& row : json_rows) out << row << "\n";
+    std::printf("rwlload: wrote %s\n", config.json_out.c_str());
+  }
+
+  if (config.min_qps > 0.0 && readonly.qps < config.min_qps) {
+    std::fprintf(stderr,
+                 "rwlload: FAIL readonly qps %.1f < required %.1f\n",
+                 readonly.qps, config.min_qps);
+    return 1;
+  }
+  return 0;
+}
