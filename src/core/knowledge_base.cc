@@ -11,6 +11,12 @@ namespace rwl {
 void KnowledgeBase::Add(const logic::FormulaPtr& formula) {
   for (const auto& conjunct : logic::Conjuncts(formula)) {
     logic::RegisterSymbols(conjunct, &vocabulary_);
+    // The same left fold as Formula::AndAll over the full list: the
+    // incremental formula hash-conses to the identical node, so the KB
+    // formula id (and every version salt derived from it) is independent
+    // of how the conjuncts arrived.
+    formula_ = conjuncts_.empty() ? conjunct
+                                  : logic::Formula::And(formula_, conjunct);
     conjuncts_.push_back(conjunct);
   }
 }
@@ -34,7 +40,7 @@ void KnowledgeBase::RegisterQuerySymbols(const logic::FormulaPtr& query) {
 }
 
 logic::FormulaPtr KnowledgeBase::AsFormula() const {
-  return logic::Formula::AndAll(conjuncts_);
+  return conjuncts_.empty() ? logic::Formula::True() : formula_;
 }
 
 std::string KnowledgeBase::ToString() const {

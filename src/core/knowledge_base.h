@@ -4,15 +4,22 @@
 // added programmatically (via the builder DSL) or parsed from the textual
 // syntax; symbol registration (predicates, constants, functions, with
 // arities inferred from use) is automatic.
+//
+// The conjunct list is a persistent (structurally shared) vector: copying
+// a KnowledgeBase shares every stored formula chunk with the original, so
+// the service catalog's copy-on-write mutation path costs O(delta), not
+// O(KB).  The conjunction formula is maintained incrementally as the same
+// left fold logic::Formula::AndAll performs, so AsFormula() is O(1) and
+// hash-conses to the identical node.
 #ifndef RWL_CORE_KNOWLEDGE_BASE_H_
 #define RWL_CORE_KNOWLEDGE_BASE_H_
 
 #include <string>
 #include <string_view>
-#include <vector>
 
 #include "src/logic/formula.h"
 #include "src/logic/vocabulary.h"
+#include "src/util/persistent_vector.h"
 
 namespace rwl {
 
@@ -34,7 +41,7 @@ class KnowledgeBase {
   // The conjunction of everything added (logic::Formula::True() if empty).
   logic::FormulaPtr AsFormula() const;
 
-  const std::vector<logic::FormulaPtr>& conjuncts() const {
+  const util::PersistentVector<logic::FormulaPtr>& conjuncts() const {
     return conjuncts_;
   }
   const logic::Vocabulary& vocabulary() const { return vocabulary_; }
@@ -45,7 +52,10 @@ class KnowledgeBase {
 
  private:
   logic::Vocabulary vocabulary_;
-  std::vector<logic::FormulaPtr> conjuncts_;
+  util::PersistentVector<logic::FormulaPtr> conjuncts_;
+  // Left fold of conjuncts_ (null when empty), kept in lockstep by Add so
+  // AsFormula never re-folds the whole list.
+  logic::FormulaPtr formula_;
 };
 
 }  // namespace rwl

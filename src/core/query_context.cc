@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "src/engines/engine.h"
+#include "src/engines/exact_engine.h"
+#include "src/engines/profile_engine.h"
 #include "src/engines/symbolic_engine.h"
 #include "src/logic/intern.h"
 #include "src/logic/transform.h"
@@ -35,6 +37,22 @@ std::string QualifiedKey(const std::string& salt_prefix,
 }
 
 }  // namespace
+
+KbDelta ComputeKbDelta(const KnowledgeBase& from, const KnowledgeBase& to) {
+  KbDelta delta;
+  delta.signature_preserving =
+      from.vocabulary().Fingerprint() == to.vocabulary().Fingerprint();
+  // Formulas are hash-consed, so prefix detection is pointer equality —
+  // and the persistent vector short-circuits whole shared chunks.
+  if (to.conjuncts().size() >= from.conjuncts().size() &&
+      to.conjuncts().StartsWith(from.conjuncts())) {
+    delta.is_append = true;
+    for (size_t i = from.conjuncts().size(); i < to.conjuncts().size(); ++i) {
+      delta.appended.push_back(to.conjuncts()[i]);
+    }
+  }
+  return delta;
+}
 
 struct QueryContext::Impl {
   // The version_salt() rendered once for key qualification.
@@ -238,6 +256,81 @@ void QueryContext::AdoptCachesFrom(const QueryContext& prior) {
       impl_->programs.emplace(id, program);
     }
   }
+}
+
+void QueryContext::PrewarmAnalyses() const {
+  if (!caching_enabled_) return;
+  // Drive the exact lazy accessors a query would hit: whatever they
+  // compute is by construction bit-identical to what the first
+  // post-mutation query would have computed on the request path.
+  kb_conjuncts();
+  kb_split();
+  kb_analysis();
+  Compiled(kb_);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  ++impl_->stats.analyses_prewarmed;
+}
+
+bool QueryContext::ApplyDelta(const QueryContext& prior, const KbDelta& delta) {
+  if (!caching_enabled_ || !prior.caching_enabled_) return false;
+  PrewarmAnalyses();
+  if (!delta.patchable()) {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    ++impl_->stats.deltas_rebuilt;
+    return false;
+  }
+  if (version_salt_ == prior.version_salt_) {
+    // The mutation reproduced the predecessor's (vocabulary, KB) pair;
+    // every entry AdoptCachesFrom carried over is already keyed for this
+    // context.  Nothing to re-salt.
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    ++impl_->stats.deltas_patched;
+    return true;
+  }
+  // Collect the predecessor-salted world lists adopted above.  Entries
+  // keep their old keys (the two-salt revert window of AdoptCachesFrom);
+  // survivors are re-stored under THIS context's salt.
+  const std::string& old_prefix = prior.impl_->salt_prefix;
+  struct Candidate {
+    std::string suffix;
+    std::shared_ptr<const void> blob;
+  };
+  std::vector<Candidate> candidates;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (const auto& [key, entry] : impl_->blobs) {
+      if (key.compare(0, old_prefix.size(), old_prefix) != 0) continue;
+      candidates.push_back({key.substr(old_prefix.size()), entry.blob});
+    }
+  }
+  uint64_t patched = 0;
+  uint64_t dropped = 0;
+  for (const Candidate& candidate : candidates) {
+    std::shared_ptr<const void> result;
+    size_t bytes = 0;
+    if (candidate.suffix.compare(0, 15, "profile.worlds|") == 0) {
+      result = engines::PatchProfileWorlds(candidate.blob, vocabulary_,
+                                           delta.appended, &bytes);
+    } else if (candidate.suffix.compare(0, 13, "exact.worlds|") == 0) {
+      result = engines::PatchExactWorlds(candidate.blob, vocabulary_,
+                                         delta.appended, &bytes);
+    } else {
+      // Every other engine's blobs (planner plans, maxent solutions, ...)
+      // recompute lazily under the new salt; salting makes that correct.
+      continue;
+    }
+    if (result == nullptr) {
+      ++dropped;  // marker or tombstone — the point recomputes lazily
+      continue;
+    }
+    StoreBlob(candidate.suffix, std::move(result), bytes);
+    ++patched;
+  }
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  ++impl_->stats.deltas_patched;
+  impl_->stats.world_lists_patched += patched;
+  impl_->stats.world_lists_dropped += dropped;
+  return true;
 }
 
 QueryContext::CacheStats QueryContext::cache_stats() const {

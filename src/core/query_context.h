@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/knowledge_base.h"
 #include "src/logic/formula.h"
 #include "src/logic/vocabulary.h"
 
@@ -52,6 +53,29 @@ struct CompiledFormula;
 }  // namespace rwl::semantics
 
 namespace rwl {
+
+// The shape of one KB mutation, as seen by the incremental-maintenance
+// path (QueryContext::ApplyDelta and the service catalog's background
+// minting worker).  Computed by diffing predecessor and successor KBs —
+// cheap, because the persistent conjunct vector recognizes shared prefixes
+// by node pointer.
+struct KbDelta {
+  // No new symbols: the vocabulary fingerprints agree, so compiled
+  // programs (and everything keyed per-vocabulary) stay valid.
+  bool signature_preserving = false;
+  // The successor is the predecessor plus `appended` (ASSERT).  False for
+  // retractions and rewrites — those cannot be patched by filtering, only
+  // adopted (salt revert) or rebuilt lazily.
+  bool is_append = false;
+  std::vector<logic::FormulaPtr> appended;
+
+  bool patchable() const {
+    return signature_preserving && is_append && !appended.empty();
+  }
+};
+
+// Diffs two KB versions into the delta ApplyDelta consumes.
+KbDelta ComputeKbDelta(const KnowledgeBase& from, const KnowledgeBase& to);
 
 class QueryContext {
  public:
@@ -97,6 +121,42 @@ class QueryContext {
   // may be live and is only read under its own lock).  No-op when either
   // context has caching disabled.
   void AdoptCachesFrom(const QueryContext& prior);
+
+  // Incremental cache patching for a signature-preserving append mutation
+  // (the service catalog's ASSERT fast path).  Call after AdoptCachesFrom
+  // and before this context is shared across threads.  When the delta is
+  // patchable this
+  //
+  //   * re-salts the predecessor's recorded world lists (profile and
+  //     exact engines) to THIS version after filtering each recorded
+  //     world through the appended conjuncts — O(worlds × |delta|)
+  //     instead of a fresh DFS/odometer sweep, and bit-identical to one:
+  //     the survivors are exactly the new KB's worlds, in the same
+  //     enumeration order, with unchanged log-weights;
+  //   * pre-computes the KB-level analyses (conjuncts/split/analysis)
+  //     through the exact code paths the lazy accessors use, so the first
+  //     post-mutation query finds them warm.
+  //
+  // Returns true when the delta was patched; false when it forces the
+  // rebuild path (vocabulary-extending mutation, retraction to a novel
+  // state) — the caches then repopulate lazily, which the two-salt
+  // adoption window above already makes correct.  Counted in
+  // cache_stats().deltas_patched / deltas_rebuilt.
+  bool ApplyDelta(const QueryContext& prior, const KbDelta& delta);
+
+  // Pre-computes the lazily-derived KB analyses (used by the maintenance
+  // worker on the rebuild path, so even an unpatchable mutation pays its
+  // O(KB) analysis cost off the request path).
+  void PrewarmAnalyses() const;
+
+  // Eager world-list recording: record on the FIRST computation at each
+  // sweep point instead of the second (see engines/world_cache.h).  The
+  // service catalog enables this on snapshot contexts — a recorded list
+  // is what ApplyDelta patches, and service tenants re-ask the same sweep
+  // points for the lifetime of the KB, so recording up front is the right
+  // trade there.  Must be set before the context is shared.
+  void set_eager_world_recording(bool eager) { eager_world_recording_ = eager; }
+  bool eager_world_recording() const { return eager_world_recording_; }
 
   // ---- Memoized KB-level analyses (computed once, shared by engines) ----
 
@@ -168,6 +228,12 @@ class QueryContext {
     uint64_t blob_misses = 0;
     uint64_t blob_bytes = 0;          // charged against kBlobBudgetBytes
     uint64_t blob_stores_dropped = 0;  // stores rejected over budget
+    // Incremental-maintenance counters (ApplyDelta / PrewarmAnalyses).
+    uint64_t deltas_patched = 0;       // ApplyDelta took the patch path
+    uint64_t deltas_rebuilt = 0;       // delta forced the rebuild path
+    uint64_t world_lists_patched = 0;  // recorded lists re-salted by filter
+    uint64_t world_lists_dropped = 0;  // adopted lists a patch could not carry
+    uint64_t analyses_prewarmed = 0;   // KB analyses computed off-request-path
   };
   CacheStats cache_stats() const;
 
@@ -177,6 +243,7 @@ class QueryContext {
   logic::Vocabulary vocabulary_;
   logic::FormulaPtr kb_;
   bool caching_enabled_;
+  bool eager_world_recording_ = false;
   uint64_t version_salt_ = 0;
   std::unique_ptr<Impl> impl_;
 };

@@ -45,6 +45,10 @@ struct ExactWorldList {
   int64_t kb_count = 0;
   std::vector<uint8_t> pred_cells;  // kb_count × pred_stride
   std::vector<int> func_cells;      // kb_count × func_stride
+  // The (N, ⃗τ) the list was recorded at (part of the blob key, but carried
+  // here too so PatchExactWorlds can re-run worlds without parsing keys).
+  int domain_size = 0;
+  semantics::ToleranceVector tolerances;
 
   size_t ByteSize() const {
     return pred_cells.size() * sizeof(uint8_t) +
@@ -229,6 +233,8 @@ FiniteResult ComputeExact(const logic::Vocabulary& vocabulary,
   if (record != nullptr) {
     record->pred_stride = probe.TotalPredicateCells();
     record->func_stride = probe.TotalFunctionCells();
+    record->domain_size = domain_size;
+    record->tolerances = tolerances;
   }
 
   // Shard the contiguous world-index ranges across the pool; the merge
@@ -332,6 +338,74 @@ FiniteResult ReplayExact(const logic::Vocabulary& vocabulary,
 }
 
 }  // namespace
+
+std::shared_ptr<const void> PatchExactWorlds(
+    const std::shared_ptr<const void>& blob,
+    const logic::Vocabulary& vocabulary,
+    const std::vector<logic::FormulaPtr>& appended, size_t* bytes_out) {
+  auto worlds = std::static_pointer_cast<const ExactWorldList>(blob);
+  if (worlds == nullptr ||
+      worlds->state != internal::WorldCacheState::kRecorded ||
+      !worlds->valid) {
+    return nullptr;
+  }
+  // The new KB is (old KB ∧ appended) and every recorded world satisfies
+  // the old KB, so running just the appended conjunction over the recorded
+  // worlds keeps exactly the worlds a fresh enumeration of the new KB
+  // would record — in the same index order, hence identical counts.
+  semantics::CompiledFormula delta = semantics::CompileFormula(
+      logic::Formula::AndAll(appended), vocabulary);
+  if (!delta.ok()) return nullptr;
+  semantics::World world(&vocabulary, worlds->domain_size);
+  semantics::EvalFrame frame;
+  frame.Prepare(*delta.program, worlds->tolerances);
+  const int num_predicates = vocabulary.num_predicates();
+  const int num_functions = vocabulary.num_functions();
+
+  auto patched = std::make_shared<ExactWorldList>();
+  patched->state = internal::WorldCacheState::kRecorded;
+  patched->valid = true;
+  patched->pred_stride = worlds->pred_stride;
+  patched->func_stride = worlds->func_stride;
+  patched->domain_size = worlds->domain_size;
+  patched->tolerances = worlds->tolerances;
+
+  int64_t pred_offset = 0;
+  int64_t func_offset = 0;
+  for (int64_t w = 0; w < worlds->kb_count; ++w) {
+    int64_t p_off = pred_offset;
+    for (int p = 0; p < num_predicates; ++p) {
+      auto& table = world.predicate_table(p);
+      std::copy(worlds->pred_cells.begin() + p_off,
+                worlds->pred_cells.begin() + p_off +
+                    static_cast<int64_t>(table.size()),
+                table.begin());
+      p_off += static_cast<int64_t>(table.size());
+    }
+    int64_t f_off = func_offset;
+    for (int f = 0; f < num_functions; ++f) {
+      auto& table = world.function_table(f);
+      std::copy(worlds->func_cells.begin() + f_off,
+                worlds->func_cells.begin() + f_off +
+                    static_cast<int64_t>(table.size()),
+                table.begin());
+      f_off += static_cast<int64_t>(table.size());
+    }
+    if (semantics::RunProgram(*delta.program, world, &frame)) {
+      patched->pred_cells.insert(
+          patched->pred_cells.end(), worlds->pred_cells.begin() + pred_offset,
+          worlds->pred_cells.begin() + pred_offset + worlds->pred_stride);
+      patched->func_cells.insert(
+          patched->func_cells.end(), worlds->func_cells.begin() + func_offset,
+          worlds->func_cells.begin() + func_offset + worlds->func_stride);
+      ++patched->kb_count;
+    }
+    pred_offset += worlds->pred_stride;
+    func_offset += worlds->func_stride;
+  }
+  if (bytes_out != nullptr) *bytes_out = patched->ByteSize();
+  return patched;
+}
 
 bool ExactEngine::Supports(const logic::Vocabulary& vocabulary,
                            const logic::FormulaPtr& /*kb*/,

@@ -12,9 +12,29 @@
 #ifndef RWL_ENGINES_EXACT_ENGINE_H_
 #define RWL_ENGINES_EXACT_ENGINE_H_
 
+#include <cstddef>
+#include <memory>
+#include <vector>
+
 #include "src/engines/engine.h"
+#include "src/logic/formula.h"
+#include "src/logic/vocabulary.h"
 
 namespace rwl::engines {
+
+// Filter-patches one recorded exact world list (a type-erased context blob
+// stored under an "exact.worlds|..." key) for a signature-preserving
+// append mutation: each recorded world's cells are restored and run
+// through the compiled conjunction of the appended formulas; survivors
+// keep their recorded order, so replaying the patched list is
+// bit-identical to a fresh odometer sweep under the new KB.  Returns the
+// patched list with *bytes_out set to its ByteSize, or null when the blob
+// is not a valid recorded list or the appended conjunction fails to
+// compile — the caller then lets the point recompute lazily.
+std::shared_ptr<const void> PatchExactWorlds(
+    const std::shared_ptr<const void>& blob,
+    const logic::Vocabulary& vocabulary,
+    const std::vector<logic::FormulaPtr>& appended, size_t* bytes_out);
 
 class ExactEngine : public FiniteEngine {
  public:

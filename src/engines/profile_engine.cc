@@ -493,6 +493,10 @@ struct ProfileWorldList {
   };
   std::vector<Entry> entries;
   std::vector<Placement> placements;
+  // The ⃗τ the list was recorded at (part of the blob key, but carried here
+  // too so PatchProfileWorlds can re-run the leaf evaluator without
+  // parsing the key back).
+  semantics::ToleranceVector tolerances;
 
   size_t ByteSize() const {
     size_t bytes = entries.size() * sizeof(Entry);
@@ -752,6 +756,7 @@ FiniteResult ComputeSweepPoint(const ProfileEngine::Options& options,
     record->valid = !record_overflow && !exhausted;
     if (record->valid) {
       record->placements = std::move(placements);
+      record->tolerances = tolerances;
     } else {
       record->leaf_counts.clear();
       record->entries.clear();
@@ -807,6 +812,79 @@ FiniteResult ReplayWorldList(const logic::Vocabulary& vocabulary,
 }
 
 }  // namespace
+
+std::shared_ptr<const void> PatchProfileWorlds(
+    const std::shared_ptr<const void>& blob,
+    const logic::Vocabulary& vocabulary,
+    const std::vector<logic::FormulaPtr>& appended, size_t* bytes_out) {
+  auto worlds = std::static_pointer_cast<const ProfileWorldList>(blob);
+  if (worlds == nullptr ||
+      worlds->state != internal::WorldCacheState::kRecorded ||
+      !worlds->valid) {
+    return nullptr;
+  }
+  // Split the appended conjuncts the way ComputeSweepPoint splits the KB:
+  // constant-free conjuncts gate a whole leaf (evaluated placement-free),
+  // constant-dependent ones gate each (leaf, placement) entry.  The
+  // evaluations are exactly the ones a fresh sweep of the new KB would
+  // run, so survivors — in unchanged order, with unchanged log-weights —
+  // replay bit-identically to a fresh recording.
+  std::vector<FormulaPtr> appended_free;
+  std::vector<FormulaPtr> appended_dep;
+  for (const auto& conjunct : appended) {
+    (logic::ConstantsOf(conjunct).empty() ? appended_free : appended_dep)
+        .push_back(conjunct);
+  }
+  std::map<std::string, int> constant_index;
+  {
+    int i = 0;
+    for (const auto& c : vocabulary.Constants()) constant_index[c.name] = i++;
+  }
+  auto patched = std::make_shared<ProfileWorldList>();
+  patched->state = internal::WorldCacheState::kRecorded;
+  patched->valid = true;
+  patched->leaf_counts = worlds->leaf_counts;
+  patched->placements = worlds->placements;
+  patched->tolerances = worlds->tolerances;
+  patched->entries.reserve(worlds->entries.size());
+  // Per-leaf memo of the constant-free verdict (-1 unknown, else 0/1):
+  // consecutive entries share leaves, and the fresh sweep, too, evaluates
+  // the constant-free part once per leaf.
+  std::vector<int8_t> leaf_pass(worlds->leaf_counts.size(), -1);
+  for (const auto& entry : worlds->entries) {
+    if (!appended_free.empty()) {
+      int8_t& verdict = leaf_pass[entry.leaf];
+      if (verdict < 0) {
+        ProfileEvaluator eval(vocabulary, worlds->leaf_counts[entry.leaf],
+                              nullptr, constant_index, worlds->tolerances);
+        verdict = 1;
+        for (const auto& conjunct : appended_free) {
+          if (!eval.Eval(conjunct)) {
+            verdict = 0;
+            break;
+          }
+        }
+      }
+      if (verdict == 0) continue;
+    }
+    if (!appended_dep.empty()) {
+      ProfileEvaluator eval(vocabulary, worlds->leaf_counts[entry.leaf],
+                            &worlds->placements[entry.placement],
+                            constant_index, worlds->tolerances);
+      bool pass = true;
+      for (const auto& conjunct : appended_dep) {
+        if (!eval.Eval(conjunct)) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+    }
+    patched->entries.push_back(entry);
+  }
+  if (bytes_out != nullptr) *bytes_out = patched->ByteSize();
+  return patched;
+}
 
 bool ProfileEngine::Supports(const logic::Vocabulary& vocabulary,
                              const logic::FormulaPtr& /*kb*/,

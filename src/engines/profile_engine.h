@@ -22,11 +22,30 @@
 #ifndef RWL_ENGINES_PROFILE_ENGINE_H_
 #define RWL_ENGINES_PROFILE_ENGINE_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "src/engines/engine.h"
+#include "src/logic/formula.h"
+#include "src/logic/vocabulary.h"
 
 namespace rwl::engines {
+
+// Filter-patches one recorded profile world list (a type-erased context
+// blob stored under a "profile.worlds|..." key) for a signature-preserving
+// append mutation: every recorded (profile, placement) world is re-checked
+// against the appended conjuncts and survivors keep their order and
+// log-weights, so replaying the patched list is bit-identical to a fresh
+// DFS under the new KB (new worlds ⊆ old worlds, same enumeration order).
+// Returns the patched list with *bytes_out set to its ByteSize, or null
+// when the blob is not a valid recorded list (marker or tombstone) — the
+// caller then lets the point recompute lazily under the new salt.
+std::shared_ptr<const void> PatchProfileWorlds(
+    const std::shared_ptr<const void>& blob,
+    const logic::Vocabulary& vocabulary,
+    const std::vector<logic::FormulaPtr>& appended, size_t* bytes_out);
 
 // Prior over worlds (Section 7.3).
 enum class Prior {

@@ -15,6 +15,14 @@
 // Identical queries never reach step 2: they hit the FiniteEngine memo
 // layer above this.  Replay implementations must accumulate in recorded
 // order so answers stay bit-identical to the plain computation.
+//
+// Contexts with eager_world_recording() skip the marker step and record
+// on the FIRST computation.  The service catalog enables this on snapshot
+// contexts: a recorded list is the unit QueryContext::ApplyDelta patches
+// across versions, and a tenant KB answers the same sweep points for its
+// whole lifetime, so the lone-query-wastes-memory concern behind the lazy
+// protocol does not apply there.  Recording never changes the result, so
+// either mode stays bit-identical to the plain computation.
 #ifndef RWL_ENGINES_WORLD_CACHE_H_
 #define RWL_ENGINES_WORLD_CACHE_H_
 
@@ -40,19 +48,23 @@ FiniteResult LazyRecordReplay(QueryContext& ctx, const std::string& key,
   auto worlds =
       std::static_pointer_cast<const List>(ctx.LookupBlob(key));
   if (worlds == nullptr) {
-    FiniteResult result = compute(static_cast<List*>(nullptr));
-    // An exhausted point is incomplete; do not mark it (the memo layer
-    // still caches the exhausted FiniteResult).
-    if (!result.exhausted) ctx.StoreBlob(key, std::make_shared<List>());
-    return result;
-  }
-  switch (worlds->state) {
-    case WorldCacheState::kRecorded:
-      return replay(*worlds);
-    case WorldCacheState::kTooBig:
-      return compute(static_cast<List*>(nullptr));
-    case WorldCacheState::kSeenOnce:
-      break;
+    if (!ctx.eager_world_recording()) {
+      FiniteResult result = compute(static_cast<List*>(nullptr));
+      // An exhausted point is incomplete; do not mark it (the memo layer
+      // still caches the exhausted FiniteResult).
+      if (!result.exhausted) ctx.StoreBlob(key, std::make_shared<List>());
+      return result;
+    }
+    // Eager mode: fall through and record on the first computation.
+  } else {
+    switch (worlds->state) {
+      case WorldCacheState::kRecorded:
+        return replay(*worlds);
+      case WorldCacheState::kTooBig:
+        return compute(static_cast<List*>(nullptr));
+      case WorldCacheState::kSeenOnce:
+        break;
+    }
   }
   auto recording = std::make_shared<List>();
   FiniteResult result = compute(recording.get());

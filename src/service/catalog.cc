@@ -2,9 +2,48 @@
 
 #include <utility>
 
+#if defined(__linux__)
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
 namespace rwl::service {
 
-KbCatalog::KbCatalog(const CatalogOptions& options) : options_(options) {}
+void KbSnapshot::RecordQuery(const logic::FormulaPtr& query,
+                             const InferenceOptions& options) const {
+  // Only queries the shared context answered are worth replaying; a query
+  // with fresh symbols runs in a private context either way.
+  if (!QueryCoveredByVocabulary(kb.vocabulary(), query)) return;
+  std::lock_guard<std::mutex> lock(query_log_mutex_);
+  if (query_log_.size() >= kMaxLoggedQueries) return;
+  for (const auto& logged : query_log_) {
+    // Formulas are hash-consed: pointer equality is formula identity.
+    if (logged.first == query) return;
+  }
+  query_log_.emplace_back(query, options);
+}
+
+std::vector<std::pair<logic::FormulaPtr, InferenceOptions>>
+KbSnapshot::LoggedQueries() const {
+  std::lock_guard<std::mutex> lock(query_log_mutex_);
+  return query_log_;
+}
+
+KbCatalog::KbCatalog(const CatalogOptions& options) : options_(options) {
+  if (options_.background_maintenance) {
+    maintenance_thread_ = std::thread(&KbCatalog::MaintenanceLoop, this);
+  }
+}
+
+KbCatalog::~KbCatalog() {
+  {
+    std::lock_guard<std::mutex> lock(maintenance_mutex_);
+    stopping_ = true;
+  }
+  maintenance_cv_.notify_all();
+  if (maintenance_thread_.joinable()) maintenance_thread_.join();
+}
 
 std::shared_ptr<KbSnapshot> KbCatalog::BuildSnapshot(
     const std::string& name, KnowledgeBase kb, const QueryContext* prior,
@@ -14,18 +53,56 @@ std::shared_ptr<KbSnapshot> KbCatalog::BuildSnapshot(
   snapshot->kb = std::move(kb);
   snapshot->context = std::make_shared<QueryContext>(
       snapshot->kb.vocabulary(), snapshot->kb.AsFormula(), caching_enabled);
+  // Service tenants re-ask the same sweep points for the KB's lifetime,
+  // and a recorded world list is the unit ApplyDelta patches across
+  // versions — record on first computation instead of second (never
+  // changes an answer; see engines/world_cache.h).
+  snapshot->context->set_eager_world_recording(caching_enabled);
   if (prior != nullptr) snapshot->context->AdoptCachesFrom(*prior);
+  return snapshot;
+}
+
+std::shared_ptr<KbSnapshot> KbCatalog::MintSuccessor(const std::string& name,
+                                                     KnowledgeBase kb,
+                                                     const KbSnapshot& prior) {
+  std::shared_ptr<KbSnapshot> snapshot = BuildSnapshot(
+      name, std::move(kb), prior.context.get(), options_.caching_enabled);
+  if (options_.caching_enabled) {
+    KbDelta delta = ComputeKbDelta(prior.kb, snapshot->kb);
+    if (snapshot->context->ApplyDelta(*prior.context, delta)) {
+      patched_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rebuilt_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Publish-when-warm: replay the predecessor's query log so everything
+    // those queries will need on the new version — including work the old
+    // version never did, like a sweep for a query the mutation knocked off
+    // a symbolic fast path — is computed HERE, before readers can pin this
+    // snapshot, not on the first post-mutation request.  Answers are
+    // discarded; the caches the replay fills are transparent, so the first
+    // real query is a hit with a bit-identical result.  The log carries
+    // forward so the next successor warms the same working set.
+    for (const auto& [query, opts] : prior.LoggedQueries()) {
+      try {
+        AnswerOnSnapshot(*snapshot, query, opts);
+      } catch (...) {
+        // Best-effort: a query that fails here fails identically (and
+        // reports its own error) when a client re-asks it.
+      }
+      snapshot->RecordQuery(query, opts);
+    }
+  }
   return snapshot;
 }
 
 void KbCatalog::InstallLocked(Chain* chain,
                               std::shared_ptr<KbSnapshot> snapshot) {
-  snapshot->version = next_version_++;
   chain->versions.emplace(snapshot->version, std::move(snapshot));
   while (chain->versions.size() > options_.retained_versions &&
          options_.retained_versions > 0) {
     chain->versions.erase(chain->versions.begin());
   }
+  install_cv_.notify_all();
 }
 
 std::shared_ptr<const KbSnapshot> KbCatalog::Load(const std::string& name,
@@ -34,7 +111,11 @@ std::shared_ptr<const KbSnapshot> KbCatalog::Load(const std::string& name,
       BuildSnapshot(name, std::move(kb), nullptr, options_.caching_enabled);
   std::lock_guard<std::mutex> lock(mutex_);
   chains_.erase(name);  // a re-load starts a fresh chain
-  InstallLocked(&chains_[name], snapshot);
+  snapshot->version = next_version_++;
+  Chain& chain = chains_[name];
+  chain.staged_kb = snapshot->kb;
+  chain.staged_version = snapshot->version;
+  InstallLocked(&chain, snapshot);
   return snapshot;
 }
 
@@ -55,17 +136,17 @@ std::shared_ptr<const KbSnapshot> KbCatalog::GetVersion(
   return vit == it->second.versions.end() ? nullptr : vit->second;
 }
 
-std::shared_ptr<const KbSnapshot> KbCatalog::Mutate(
+MutationTicket KbCatalog::Mutate(
     const std::string& name,
-    const std::function<bool(KnowledgeBase*, std::string*)>& edit,
-    std::string* error) {
+    const std::function<bool(KnowledgeBase*, std::string*)>& edit) {
+  MutationTicket ticket;
   auto fail = [&](const std::string& message) {
-    if (error != nullptr) *error = message;
-    return nullptr;
+    ticket.error = message;
+    return ticket;
   };
   // Serialize writers on this tenant only; the catalog-wide mutex_ is
-  // held just long enough to read the head and to install the successor,
-  // so other tenants' Get() admissions never wait on this build.
+  // held just long enough to read and update chain state, so other
+  // tenants' Get() admissions never wait on this edit or build.
   std::shared_ptr<std::mutex> write_mutex;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -76,35 +157,90 @@ std::shared_ptr<const KbSnapshot> KbCatalog::Mutate(
     write_mutex = it->second.write_mutex;
   }
   std::lock_guard<std::mutex> write_lock(*write_mutex);
-  std::shared_ptr<const KbSnapshot> head;
+  // Edit against the STAGED tail, not the published head: in background
+  // mode the head may lag acked mutations, and a later mutation must see
+  // every earlier ack (WAL order).  The copy is O(delta) — the conjunct
+  // list is a persistent vector.
+  KnowledgeBase next;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = chains_.find(name);
     if (it == chains_.end() || it->second.write_mutex != write_mutex) {
       return fail("knowledge base '" + name + "' was dropped or reloaded");
     }
-    head = it->second.versions.rbegin()->second;
+    next = it->second.staged_kb;
   }
-
-  KnowledgeBase next = head->kb;  // copy-on-write, outside every lock
   std::string edit_error;
   if (!edit(&next, &edit_error)) return fail(edit_error);
-  std::shared_ptr<KbSnapshot> snapshot =
-      BuildSnapshot(name, std::move(next), head->context.get(),
-                    options_.caching_enabled);
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = chains_.find(name);
-  if (it == chains_.end() || it->second.write_mutex != write_mutex) {
-    return fail("knowledge base '" + name + "' was dropped or reloaded");
+  if (!options_.background_maintenance) {
+    // Synchronous: build and publish the successor before acking.
+    std::shared_ptr<const KbSnapshot> head;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = chains_.find(name);
+      if (it == chains_.end() || it->second.write_mutex != write_mutex) {
+        return fail("knowledge base '" + name + "' was dropped or reloaded");
+      }
+      head = it->second.versions.rbegin()->second;
+    }
+    std::shared_ptr<KbSnapshot> snapshot =
+        MintSuccessor(name, std::move(next), *head);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = chains_.find(name);
+    if (it == chains_.end() || it->second.write_mutex != write_mutex) {
+      return fail("knowledge base '" + name + "' was dropped or reloaded");
+    }
+    snapshot->version = next_version_++;
+    it->second.staged_kb = snapshot->kb;
+    it->second.staged_version = snapshot->version;
+    ticket.ok = true;
+    ticket.version = snapshot->version;
+    InstallLocked(&it->second, std::move(snapshot));
+    return ticket;
   }
-  InstallLocked(&it->second, snapshot);
-  return snapshot;
+
+  // Background: fix the WAL order now (assign the version, advance the
+  // staged tail), hand the expensive successor build to the maintenance
+  // worker, and return.  Readers keep serving the published head until
+  // the warm successor is installed.
+  uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = chains_.find(name);
+    if (it == chains_.end() || it->second.write_mutex != write_mutex) {
+      return fail("knowledge base '" + name + "' was dropped or reloaded");
+    }
+    version = next_version_++;
+    it->second.staged_kb = next;
+    it->second.staged_version = version;
+  }
+  {
+    std::unique_lock<std::mutex> lock(maintenance_mutex_);
+    maintenance_cv_.wait(lock, [&] {
+      return stopping_ || queue_.size() < options_.maintenance_queue_cap;
+    });
+    if (!stopping_) {
+      queue_.push_back(
+          MaintenanceTask{name, write_mutex, std::move(next), version});
+    }
+  }
+  maintenance_cv_.notify_all();
+  ticket.ok = true;
+  ticket.version = version;
+  return ticket;
 }
 
 bool KbCatalog::Drop(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return chains_.erase(name) > 0;
+  bool dropped;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dropped = chains_.erase(name) > 0;
+  }
+  // Queued maintenance for the dropped chain is discarded by the worker
+  // (its token no longer matches); waiters must re-check now.
+  install_cv_.notify_all();
+  return dropped;
 }
 
 std::vector<std::shared_ptr<const KbSnapshot>> KbCatalog::Heads() const {
@@ -117,6 +253,109 @@ std::vector<std::shared_ptr<const KbSnapshot>> KbCatalog::Heads() const {
     }
   }
   return heads;
+}
+
+bool KbCatalog::WaitForVersion(const std::string& name,
+                               uint64_t version) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = chains_.find(name);
+    if (it == chains_.end() || it->second.versions.empty()) return false;
+    if (it->second.versions.rbegin()->second->version >= version) return true;
+    install_cv_.wait(lock);
+  }
+}
+
+void KbCatalog::DrainMaintenance() {
+  std::unique_lock<std::mutex> lock(maintenance_mutex_);
+  maintenance_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void KbCatalog::PauseMaintenance() {
+  std::unique_lock<std::mutex> lock(maintenance_mutex_);
+  paused_ = true;
+  maintenance_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+void KbCatalog::ResumeMaintenance() {
+  {
+    std::lock_guard<std::mutex> lock(maintenance_mutex_);
+    paused_ = false;
+  }
+  maintenance_cv_.notify_all();
+}
+
+KbCatalog::MaintenanceStats KbCatalog::maintenance_stats() const {
+  MaintenanceStats stats;
+  {
+    std::lock_guard<std::mutex> lock(maintenance_mutex_);
+    stats.queue_depth = queue_.size() + in_flight_;
+  }
+  stats.minted = minted_.load(std::memory_order_relaxed);
+  stats.patched = patched_.load(std::memory_order_relaxed);
+  stats.rebuilt = rebuilt_.load(std::memory_order_relaxed);
+  stats.discarded = discarded_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void KbCatalog::MaintenanceLoop() {
+#if defined(__linux__)
+  // Successor builds (and their warming replays) can burn hundreds of
+  // milliseconds of CPU; on a saturated machine that time must come out
+  // of idle cycles, not out of foreground query latency.  Lowest niceness
+  // for this thread only: queries preempt maintenance, publication just
+  // lags a little longer — readers keep the warm predecessor meanwhile.
+  ::setpriority(PRIO_PROCESS, static_cast<id_t>(::syscall(SYS_gettid)), 19);
+#endif
+  std::unique_lock<std::mutex> lock(maintenance_mutex_);
+  for (;;) {
+    maintenance_cv_.wait(
+        lock, [&] { return stopping_ || (!paused_ && !queue_.empty()); });
+    if (queue_.empty()) {
+      if (stopping_) return;  // fully drained
+      continue;
+    }
+    // On shutdown the queue is drained regardless of pause: every acked
+    // mutation is published within the catalog's lifetime.
+    if (paused_ && !stopping_) continue;
+    MaintenanceTask task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    maintenance_cv_.notify_all();  // a backpressured Mutate sees the slot
+    ProcessTask(std::move(task));
+    lock.lock();
+    --in_flight_;
+    maintenance_cv_.notify_all();  // Drain / Pause waiters re-check
+  }
+}
+
+void KbCatalog::ProcessTask(MaintenanceTask task) {
+  // The predecessor is the published head at processing time: the queue
+  // is FIFO and this worker is the only publisher of successors, so for a
+  // run of queued mutations on one chain each build adopts (and patches
+  // against) exactly the version acked before it.
+  std::shared_ptr<const KbSnapshot> head;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = chains_.find(task.name);
+    if (it == chains_.end() || it->second.write_mutex != task.token) {
+      discarded_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    head = it->second.versions.rbegin()->second;
+  }
+  std::shared_ptr<KbSnapshot> snapshot =
+      MintSuccessor(task.name, std::move(task.kb), *head);
+  snapshot->version = task.version;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = chains_.find(task.name);
+  if (it == chains_.end() || it->second.write_mutex != task.token) {
+    discarded_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  minted_.fetch_add(1, std::memory_order_relaxed);
+  InstallLocked(&it->second, std::move(snapshot));
 }
 
 size_t RetractConjuncts(

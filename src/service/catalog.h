@@ -8,26 +8,45 @@
 // QueryContext full of derived caches — stays alive until the last pinned
 // reader drops it.
 //
-// A mutation copies the head KnowledgeBase, applies the edit, and installs
-// a successor snapshot with a fresh QueryContext that ADOPTS the
-// predecessor's caches (QueryContext::AdoptCachesFrom).  Invalidation is
-// selective by keying, not by flushing: every cached entry is qualified
-// with the version salt of the KB it was computed against, so entries for
-// the old KB id are unreachable from the new version — except when a
-// mutation sequence reproduces an identical (vocabulary, KB) pair, in
-// which case the hash-consed KB formula gets the same id, the salts agree,
-// and the old entries are valid hits again.  Compiled programs, which
-// depend only on (formula, vocabulary), survive every mutation that leaves
-// the signature unchanged.
+// A mutation copies the head KnowledgeBase (O(delta): the conjunct list is
+// a persistent vector), applies the edit, and installs a successor
+// snapshot with a fresh QueryContext that ADOPTS the predecessor's caches
+// (QueryContext::AdoptCachesFrom) and, for signature-preserving appends,
+// PATCHES the expensive recorded world lists instead of letting them
+// rebuild (QueryContext::ApplyDelta).  Invalidation is selective by
+// keying, not by flushing: every cached entry is qualified with the
+// version salt of the KB it was computed against, so entries for the old
+// KB id are unreachable from the new version — except when a mutation
+// sequence reproduces an identical (vocabulary, KB) pair, in which case
+// the hash-consed KB formula gets the same id, the salts agree, and the
+// old entries are valid hits again.  Compiled programs, which depend only
+// on (formula, vocabulary), survive every mutation that leaves the
+// signature unchanged.
+//
+// Maintenance modes.  In the default synchronous mode a mutation builds
+// and publishes its successor before returning.  With
+// CatalogOptions::background_maintenance the expensive part — context
+// construction, cache adoption and delta patching — moves off the request
+// path: Mutate applies the edit to the chain's STAGED tail (the
+// authoritative post-ack state), assigns the version number (fixing the
+// WAL order), enqueues the build for the maintenance worker, and returns.
+// Readers keep serving the published head until the warm successor is
+// installed atomically; a query that must observe an acked version waits
+// with WaitForVersion.  Answers stay bit-identical to fresh
+// single-threaded queries against whichever snapshot a reader pinned.
 #ifndef RWL_SERVICE_CATALOG_H_
 #define RWL_SERVICE_CATALOG_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/inference.h"
@@ -48,6 +67,25 @@ struct KbSnapshot {
   uint64_t version = 0;
   KnowledgeBase kb;
   std::shared_ptr<QueryContext> context;
+
+  // Best-effort log of distinct queries answered on this version (capped;
+  // first options seen win; queries outside the snapshot's vocabulary are
+  // skipped — they never touch the shared context).  The maintenance
+  // worker replays the predecessor's log against a successor BEFORE
+  // publishing it, so compute a mutation forces back onto the query path —
+  // a symbolic fast path the new conjunct breaks, a sweep the old version
+  // never needed — happens off the request path while readers keep the
+  // warm predecessor.  Thread-safe.
+  static constexpr size_t kMaxLoggedQueries = 32;
+  void RecordQuery(const logic::FormulaPtr& query,
+                   const InferenceOptions& options) const;
+  std::vector<std::pair<logic::FormulaPtr, InferenceOptions>> LoggedQueries()
+      const;
+
+ private:
+  mutable std::mutex query_log_mutex_;
+  mutable std::vector<std::pair<logic::FormulaPtr, InferenceOptions>>
+      query_log_;
 };
 
 struct CatalogOptions {
@@ -61,15 +99,38 @@ struct CatalogOptions {
   // their snapshots alive regardless; this only bounds the catalog's own
   // history index).
   size_t retained_versions = 4;
+  // Build mutation successors on a background maintenance worker instead
+  // of on the mutating caller's thread (see the header comment).  The
+  // default is synchronous: embedders that never mutate under load — and
+  // the differential check, whose value is comparing the PUBLISHED state
+  // right after an ack — keep the simple model.  KbService turns this on.
+  bool background_maintenance = false;
+  // Acked-but-unbuilt mutations the maintenance queue holds before
+  // Mutate blocks (backpressure; also bounds how far the published heads
+  // can lag the staged tails).
+  size_t maintenance_queue_cap = 64;
+};
+
+// The ack of a mutation: `version` is fixed (WAL order) even when the
+// successor snapshot is still being built in the background.
+struct MutationTicket {
+  bool ok = false;
+  uint64_t version = 0;
+  std::string error;
 };
 
 class KbCatalog {
  public:
   explicit KbCatalog(const CatalogOptions& options = {});
+  ~KbCatalog();
+
+  KbCatalog(const KbCatalog&) = delete;
+  KbCatalog& operator=(const KbCatalog&) = delete;
 
   // Installs `kb` as version 1 of `name` (or re-loads: the version chain
   // restarts and the version number keeps growing, so pinned readers of
   // the old chain stay consistent and never alias a new version number).
+  // Always synchronous (a load has no predecessor to serve meanwhile).
   // Returns the installed snapshot.
   std::shared_ptr<const KbSnapshot> Load(const std::string& name,
                                          KnowledgeBase kb);
@@ -81,45 +142,113 @@ class KbCatalog {
   std::shared_ptr<const KbSnapshot> GetVersion(const std::string& name,
                                                uint64_t version) const;
 
-  // Copy-on-write mutation: copies the head KnowledgeBase, applies `edit`,
-  // and on success installs the result as the next version (adopting the
-  // predecessor's caches).  When `edit` returns false nothing changes and
-  // its *error is propagated.  Returns the new snapshot, or null on error
-  // (unknown name, or edit failure).
-  std::shared_ptr<const KbSnapshot> Mutate(
+  // Copy-on-write mutation: copies the staged KnowledgeBase, applies
+  // `edit`, and on success acks the next version.  When `edit` returns
+  // false nothing changes and the error rides back in the ticket.
+  //
+  // Synchronous mode publishes the successor before returning: on ok the
+  // ticket's version IS the head.  Background mode returns once the edit
+  // is applied and the version assigned; the successor is published by the
+  // maintenance worker (WaitForVersion to observe it).  Either way later
+  // mutations see this one: edits run against the staged tail, serialized
+  // per tenant.
+  MutationTicket Mutate(
       const std::string& name,
-      const std::function<bool(KnowledgeBase*, std::string*)>& edit,
-      std::string* error);
+      const std::function<bool(KnowledgeBase*, std::string*)>& edit);
 
-  // Removes a KB outright.  Pinned readers keep their snapshots.
+  // Removes a KB outright.  Pinned readers keep their snapshots; queued
+  // maintenance for the dropped chain is discarded.
   bool Drop(const std::string& name);
 
   std::vector<std::shared_ptr<const KbSnapshot>> Heads() const;
 
+  // Blocks until the published head of `name` reaches `version`; returns
+  // false when the chain is dropped (or never existed).  Never hangs on a
+  // discarded in-flight mutation: a re-Load publishes a strictly higher
+  // version than every previously acked one.
+  bool WaitForVersion(const std::string& name, uint64_t version) const;
+
+  // Blocks until the maintenance queue is empty and the worker idle.
+  // (Do not call while paused with work still queued — that never ends.)
+  void DrainMaintenance();
+
+  // Deterministically holds the async publication window open for tests:
+  // Pause returns once the worker is idle and keeps it from starting the
+  // next build; Resume lets it continue.
+  void PauseMaintenance();
+  void ResumeMaintenance();
+
+  struct MaintenanceStats {
+    size_t queue_depth = 0;   // acked mutations not yet published
+    uint64_t minted = 0;      // successors published by the worker
+    uint64_t patched = 0;     // successors whose delta was patched in place
+    uint64_t rebuilt = 0;     // successors left to rebuild caches lazily
+    uint64_t discarded = 0;   // queued builds dropped (tenant drop/reload)
+  };
+  MaintenanceStats maintenance_stats() const;
+
  private:
   struct Chain {
-    // version -> snapshot; the last entry is the head.
+    // version -> snapshot; the last entry is the published head.
     std::map<uint64_t, std::shared_ptr<const KbSnapshot>> versions;
-    // Serializes writers per tenant so the expensive copy-on-write build
-    // (KB copy, edit, context construction, cache adoption) runs OUTSIDE
-    // the catalog-wide mutex_ — one tenant's mutation must not stall
-    // other tenants' snapshot pins.  The pointer identity doubles as the
-    // chain token: a concurrent re-Load mints a new chain (and mutex),
-    // which an in-flight mutation detects at install time.
+    // The authoritative post-ack state: every acked mutation is applied
+    // here immediately, even while its snapshot build is still queued.
+    // Written only at chain creation and under write_mutex.
+    KnowledgeBase staged_kb;
+    uint64_t staged_version = 0;
+    // Serializes writers per tenant so the copy-on-write edit (and, in
+    // synchronous mode, the whole successor build) runs OUTSIDE the
+    // catalog-wide mutex_ — one tenant's mutation must not stall other
+    // tenants' snapshot pins.  The pointer identity doubles as the chain
+    // token: a concurrent re-Load mints a new chain (and mutex), which an
+    // in-flight mutation or queued maintenance task detects and discards.
     std::shared_ptr<std::mutex> write_mutex = std::make_shared<std::mutex>();
   };
 
-  // Builds a snapshot (version assigned at install).  Lock-free.
+  // One acked mutation awaiting its successor build.
+  struct MaintenanceTask {
+    std::string name;
+    std::shared_ptr<std::mutex> token;  // the chain's write_mutex identity
+    KnowledgeBase kb;
+    uint64_t version = 0;  // preassigned at ack time
+  };
+
+  // Builds a snapshot (version assigned by the caller).  Lock-free.
   static std::shared_ptr<KbSnapshot> BuildSnapshot(
       const std::string& name, KnowledgeBase kb, const QueryContext* prior,
       bool caching_enabled);
 
+  // BuildSnapshot + delta patching against the predecessor (the successor
+  // minting both modes share).
+  std::shared_ptr<KbSnapshot> MintSuccessor(const std::string& name,
+                                            KnowledgeBase kb,
+                                            const KbSnapshot& prior);
+
+  // Publishes an already-versioned snapshot and wakes WaitForVersion.
   void InstallLocked(Chain* chain, std::shared_ptr<KbSnapshot> snapshot);
+
+  void MaintenanceLoop();
+  void ProcessTask(MaintenanceTask task);
 
   CatalogOptions options_;
   mutable std::mutex mutex_;
+  mutable std::condition_variable install_cv_;  // with mutex_: publications
   std::map<std::string, Chain> chains_;
   uint64_t next_version_ = 1;  // catalog-wide: version numbers never reuse
+
+  // Maintenance worker state (guarded by maintenance_mutex_ except the
+  // counters, which are read lock-free by maintenance_stats).
+  mutable std::mutex maintenance_mutex_;
+  std::condition_variable maintenance_cv_;
+  std::deque<MaintenanceTask> queue_;
+  size_t in_flight_ = 0;
+  bool paused_ = false;
+  bool stopping_ = false;
+  std::atomic<uint64_t> minted_{0};
+  std::atomic<uint64_t> patched_{0};
+  std::atomic<uint64_t> rebuilt_{0};
+  std::atomic<uint64_t> discarded_{0};
+  std::thread maintenance_thread_;  // last: joins before members die
 };
 
 // RETRACT semantics, shared by KbService::Retract and the differential

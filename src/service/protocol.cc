@@ -382,6 +382,8 @@ bool ParseRequest(const std::string& line, Request* out, std::string* error) {
 
   out->options.deadline_ms = NumberOr(json, "deadline_ms", 0.0);
   out->options.work_budget = NumberOr(json, "budget", 0.0);
+  out->options.min_version =
+      static_cast<uint64_t>(NumberOr(json, "min_version", 0.0));
   out->options.fixed_domain_size =
       static_cast<int>(NumberOr(json, "fixed_n", 0.0));
   const Json* plan = json.Find("plan");
@@ -475,15 +477,26 @@ std::string StatsResponse(int64_t id, const KbService& service) {
         << ",\"conjuncts\":" << snapshot->kb.conjuncts().size()
         << ",\"finite_hits\":" << cache.finite_hits
         << ",\"finite_misses\":" << cache.finite_misses
-        << ",\"blob_bytes\":" << cache.blob_bytes << "}";
+        << ",\"blob_hits\":" << cache.blob_hits
+        << ",\"blob_bytes\":" << cache.blob_bytes
+        << ",\"deltas_patched\":" << cache.deltas_patched
+        << ",\"deltas_rebuilt\":" << cache.deltas_rebuilt
+        << ",\"world_lists_patched\":" << cache.world_lists_patched
+        << ",\"world_lists_dropped\":" << cache.world_lists_dropped
+        << ",\"analyses_prewarmed\":" << cache.analyses_prewarmed << "}";
   }
   QueryScheduler::Stats stats = service.scheduler_stats();
+  KbCatalog::MaintenanceStats maintenance = service.maintenance_stats();
   out << "],\"scheduler\":{\"threads\":" << stats.threads
       << ",\"submitted\":" << stats.submitted
       << ",\"rejected\":" << stats.rejected
       << ",\"completed\":" << stats.completed
       << ",\"queued\":" << stats.queued << ",\"running\":" << stats.running
-      << "}}";
+      << "},\"maintenance\":{\"queue_depth\":" << maintenance.queue_depth
+      << ",\"minted\":" << maintenance.minted
+      << ",\"patched\":" << maintenance.patched
+      << ",\"rebuilt\":" << maintenance.rebuilt
+      << ",\"discarded\":" << maintenance.discarded << "}}";
   return out.str();
 }
 

@@ -8,10 +8,19 @@
 //   {"id":2,"op":"ASSERT","kb":"med","text":"Jaun(Eric)"}
 //   {"id":3,"op":"RETRACT","kb":"med","text":"Jaun(Eric)"}
 //   {"id":4,"op":"QUERY","kb":"med","q":"Hep(Eric)",
-//    "deadline_ms":50,"budget":1e7,"plan":"cost"}        (options optional)
+//    "deadline_ms":50,"budget":1e7,"plan":"cost",
+//    "min_version":12}                                   (options optional)
 //   {"id":5,"op":"BATCH","kb":"med","queries":["Hep(Eric)","Jaun(Eric)"]}
 //   {"id":6,"op":"STATS"}
 //   {"id":7,"op":"SHUTDOWN"}
+//
+// Read-your-writes: mutations ack as soon as their WAL order is fixed;
+// the successor snapshot publishes asynchronously.  The daemon tracks the
+// highest acked version per KB per connection (SessionState below) and
+// floors every QUERY/BATCH's min_version with it, so a connection always
+// observes its own mutations even mid-publication.  The optional
+// "min_version" request field raises the floor further (e.g. to read a
+// version acked on another connection).
 //
 // Responses:
 //
@@ -80,6 +89,24 @@ struct Request {
 // Parses one request line.  On failure *error carries a message suitable
 // for an error response.
 bool ParseRequest(const std::string& line, Request* out, std::string* error);
+
+// Per-connection read-your-writes state: the highest acked mutation
+// version per KB seen on this connection.  The daemon records every
+// successful mutation ack and floors QUERY/BATCH min_version with it
+// before dispatch (each connection serves one request at a time, so no
+// locking).
+struct SessionState {
+  std::map<std::string, uint64_t> acked_versions;
+
+  void RecordAck(const std::string& kb, uint64_t version) {
+    uint64_t& acked = acked_versions[kb];
+    if (version > acked) acked = version;
+  }
+  uint64_t AckedVersion(const std::string& kb) const {
+    auto it = acked_versions.find(kb);
+    return it == acked_versions.end() ? 0 : it->second;
+  }
+};
 
 // ---- response serialization ----
 

@@ -96,16 +96,14 @@ KbService::MutationResult KbService::Load(
 KbService::MutationResult KbService::Assert(const std::string& name,
                                             const std::string& text) {
   MutationResult result;
-  std::shared_ptr<const KbSnapshot> snapshot = catalog_.Mutate(
-      name,
-      [&](KnowledgeBase* kb, std::string* error) {
+  MutationTicket ticket = catalog_.Mutate(
+      name, [&](KnowledgeBase* kb, std::string* error) {
         if (!kb->AddParsed(text, error)) return false;
         return CheckClosed(kb->AsFormula(), "asserted sentence", error);
-      },
-      &result.error);
-  if (snapshot == nullptr) return result;
-  result.ok = true;
-  result.version = snapshot->version;
+      });
+  result.ok = ticket.ok;
+  result.error = std::move(ticket.error);
+  result.version = ticket.version;
   return result;
 }
 
@@ -117,9 +115,8 @@ KbService::MutationResult KbService::Retract(const std::string& name,
     result.error = "retract parse error: " + parsed.error;
     return result;
   }
-  std::shared_ptr<const KbSnapshot> snapshot = catalog_.Mutate(
-      name,
-      [&](KnowledgeBase* kb, std::string* error) {
+  MutationTicket ticket = catalog_.Mutate(
+      name, [&](KnowledgeBase* kb, std::string* error) {
         // Hash-consing: structural equality is pointer equality.
         size_t removed =
             RetractConjuncts(kb, [&](size_t, const logic::FormulaPtr& c) {
@@ -130,11 +127,10 @@ KbService::MutationResult KbService::Retract(const std::string& name,
           return false;
         }
         return true;
-      },
-      &result.error);
-  if (snapshot == nullptr) return result;
-  result.ok = true;
-  result.version = snapshot->version;
+      });
+  result.ok = ticket.ok;
+  result.error = std::move(ticket.error);
+  result.version = ticket.version;
   return result;
 }
 
@@ -153,6 +149,10 @@ std::future<void> KbService::SubmitOnSnapshot(
     return {};
   }
   if (!CheckClosed(parsed.formula, "query", &result->error)) return {};
+  // Feed the snapshot's query log: the maintenance worker replays it when
+  // minting this version's successor, so the working set is warm before a
+  // post-mutation snapshot is ever published (catalog.h).
+  snapshot->RecordQuery(parsed.formula, options);
   auto done = std::make_shared<std::promise<void>>();
   std::future<void> future = done->get_future();
   const Clock::time_point admitted = Clock::now();
@@ -181,6 +181,11 @@ KbService::QueryResult KbService::Query(const std::string& name,
                                         const std::string& query_text,
                                         const RequestOptions& request) {
   QueryResult result;
+  // Read-your-writes: a request carrying the caller's last acked mutation
+  // version waits for that version to publish before pinning.
+  if (request.min_version > 0) {
+    catalog_.WaitForVersion(name, request.min_version);
+  }
   std::shared_ptr<const KbSnapshot> snapshot = catalog_.Get(name);
   if (snapshot == nullptr) {
     result.error = "no knowledge base named '" + name + "'";
@@ -196,6 +201,9 @@ std::vector<KbService::QueryResult> KbService::Batch(
     const std::string& name, const std::vector<std::string>& queries,
     const RequestOptions& request) {
   std::vector<QueryResult> results(queries.size());
+  if (request.min_version > 0) {
+    catalog_.WaitForVersion(name, request.min_version);
+  }
   std::shared_ptr<const KbSnapshot> snapshot = catalog_.Get(name);
   if (snapshot == nullptr) {
     for (auto& result : results) {

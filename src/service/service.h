@@ -3,13 +3,20 @@
 //
 // Contract (the snapshot-isolation guarantee rwld documents):
 //
-//   * a mutation (LOAD/ASSERT/RETRACT) is applied synchronously; when the
-//     call returns, the new version is the head and its number is the ack;
-//   * a query pins the head snapshot at admission time and answers
-//     against that version no matter what lands while it waits or runs —
-//     the answer is bit-identical to a fresh single-threaded query
-//     against that version (service_stress_test holds this under 8
-//     writers × 32 readers);
+//   * a mutation (LOAD/ASSERT/RETRACT) is durable when the call returns:
+//     its version number is the ack, the WAL order is fixed, and every
+//     later mutation builds on it.  The successor snapshot itself is
+//     minted on a background maintenance worker (incremental cache
+//     patching included) and published atomically once warm — readers
+//     keep serving the previous head during that window;
+//   * a query pins a snapshot at admission time and answers against that
+//     version no matter what lands while it waits or runs — the answer is
+//     bit-identical to a fresh single-threaded query against that version
+//     (service_stress_test holds this under 8 writers × 32 readers,
+//     including the async publication window);
+//   * a query carrying RequestOptions::min_version (the protocol layer's
+//     read-your-writes: a connection's own acked mutations) waits for
+//     that version to publish before pinning;
 //   * a BATCH pins one snapshot for all its queries;
 //   * admission control: a tenant whose queue is full gets an immediate
 //     "overloaded" rejection, and queries on other tenants are served
@@ -34,7 +41,15 @@ namespace rwl::service {
 
 struct ServiceOptions {
   SchedulerOptions scheduler;
-  CatalogOptions catalog;
+  // The service defaults to background maintenance: mutations ack after
+  // the WAL-order edit and the successor snapshot is minted off the
+  // request path (flip catalog.background_maintenance off to get the
+  // synchronous build back).
+  CatalogOptions catalog = [] {
+    CatalogOptions defaults;
+    defaults.background_maintenance = true;
+    return defaults;
+  }();
   // Defaults for every query; per-request options override deadline,
   // budget and plan mode.
   InferenceOptions inference;
@@ -46,6 +61,11 @@ struct RequestOptions {
   double work_budget = 0.0;  // 0 = service default
   std::string plan;          // "", "fidelity" or "cost"
   int fixed_domain_size = 0;  // 0 = service default
+  // Waits for this version to publish before pinning (0 = pin the current
+  // head).  The protocol layer sets a connection's last acked mutation
+  // version here so a client always reads its own writes even while the
+  // successor snapshot is still minting in the background.
+  uint64_t min_version = 0;
 };
 
 class KbService {
@@ -101,6 +121,19 @@ class KbService {
   }
   std::shared_ptr<const KbSnapshot> Snapshot(const std::string& name) const {
     return catalog_.Get(name);
+  }
+
+  // Background-maintenance surface (see KbCatalog): observing an acked
+  // version, draining the mint queue, and holding the publication window
+  // open deterministically in tests.
+  bool WaitForVersion(const std::string& name, uint64_t version) const {
+    return catalog_.WaitForVersion(name, version);
+  }
+  void DrainMaintenance() { catalog_.DrainMaintenance(); }
+  void PauseMaintenance() { catalog_.PauseMaintenance(); }
+  void ResumeMaintenance() { catalog_.ResumeMaintenance(); }
+  KbCatalog::MaintenanceStats maintenance_stats() const {
+    return catalog_.maintenance_stats();
   }
   const ServiceOptions& options() const { return options_; }
 

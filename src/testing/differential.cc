@@ -279,13 +279,11 @@ void RunServiceCheck(const Scenario& scenario,
     if (op == 1 && retracted.empty()) op = 2;
     if (op == 2 && asserted_fresh) op = num_conjuncts > 0 ? 0 : 1;
 
-    std::string error;
     if (op == 0 && num_conjuncts > 0) {
       const size_t victim = rng() % num_conjuncts;
       logic::FormulaPtr formula = head->kb.conjuncts()[victim];
       catalog.Mutate(
-          "diff",
-          [&](KnowledgeBase* kb, std::string*) {
+          "diff", [&](KnowledgeBase* kb, std::string*) {
             // The service's RETRACT semantics (vocabulary preserved),
             // through the same shared helper KbService::Retract uses.
             service::RetractConjuncts(
@@ -293,20 +291,17 @@ void RunServiceCheck(const Scenario& scenario,
                   return i == victim;
                 });
             return true;
-          },
-          &error);
+          });
       retracted.push_back(formula);
     } else if (op == 1 && !retracted.empty()) {
       const size_t index = rng() % retracted.size();
       logic::FormulaPtr formula = retracted[index];
       retracted.erase(retracted.begin() + static_cast<long>(index));
       catalog.Mutate(
-          "diff",
-          [&](KnowledgeBase* kb, std::string*) {
+          "diff", [&](KnowledgeBase* kb, std::string*) {
             kb->Add(formula);
             return true;
-          },
-          &error);
+          });
     } else if (op == 2 && !asserted_fresh) {
       // A fact about a fresh CONSTANT over an existing unary predicate:
       // the successor vocabulary fingerprint changes, so compiled
@@ -324,11 +319,9 @@ void RunServiceCheck(const Scenario& scenario,
       }
       if (!unary.empty()) {
         catalog.Mutate(
-            "diff",
-            [&](KnowledgeBase* kb, std::string* edit_error) {
+            "diff", [&](KnowledgeBase* kb, std::string* edit_error) {
               return kb->AddParsed(unary + "(ZzSvcC)", edit_error);
-            },
-            &error);
+            });
       }
     }
     if (step == 0) pinned = catalog.Get("diff");
@@ -366,6 +359,44 @@ void RunServiceCheck(const Scenario& scenario,
   if (pinned != nullptr && pinned->version != head->version) {
     compare_snapshot(*pinned, "incremental-pinned@v" +
                                   std::to_string(pinned->version));
+  }
+
+  // Async publication window: with background maintenance on and the
+  // worker paused, an acked signature-preserving append must leave
+  // readers on the OLD published head — still bit-identical to that KB's
+  // from-scratch rebuild — and the successor, once published, must be
+  // bit-identical to the new KB's rebuild (its caches were adopted AND
+  // delta-patched off the request path).
+  if (!base.conjuncts().empty()) {
+    service::CatalogOptions async_options;
+    async_options.background_maintenance = true;
+    service::KbCatalog async_catalog(async_options);
+    async_catalog.Load("diff", base);
+    async_catalog.PauseMaintenance();
+    std::shared_ptr<const service::KbSnapshot> loaded =
+        async_catalog.Get("diff");
+    service::MutationTicket ticket = async_catalog.Mutate(
+        "diff", [&](KnowledgeBase* kb, std::string*) {
+          kb->Add(base.conjuncts()[0]);  // signature-preserving append
+          return true;
+        });
+    std::shared_ptr<const service::KbSnapshot> during =
+        async_catalog.Get("diff");
+    if (!ticket.ok || during->version != loaded->version) {
+      report->disagreements.push_back(Disagreement{
+          "service", "async-window", "published-head", nullptr, 0,
+          "acked mutation visible before the maintenance worker published "
+          "it (or ack failed)"});
+    } else {
+      compare_snapshot(*during, "async-window@v" +
+                                    std::to_string(during->version));
+    }
+    async_catalog.ResumeMaintenance();
+    async_catalog.WaitForVersion("diff", ticket.version);
+    std::shared_ptr<const service::KbSnapshot> published =
+        async_catalog.Get("diff");
+    compare_snapshot(*published, "async-published@v" +
+                                     std::to_string(published->version));
   }
 }
 

@@ -1,0 +1,195 @@
+// PersistentVector: an immutable-structure vector with structural sharing.
+//
+// A 32-ary trie (the classic Clojure/Scala persistent vector) plus a small
+// tail buffer.  Copying a PersistentVector copies one shared_ptr and at
+// most 31 tail elements, and the copies share every filled trie node —
+// push_back path-copies O(log32 n) nodes and never touches the shared
+// ones.  This is what makes the service catalog's copy-on-write mutation
+// path O(delta): `KnowledgeBase next = head->kb` no longer duplicates the
+// whole conjunct list, only the tail, and the successor KB shares every
+// untouched formula chunk with its predecessor.
+//
+// The API is the read-mostly subset the KB needs: push_back, operator[],
+// size, iteration.  There is no erase — retraction rebuilds (see
+// service::RetractConjuncts), which keeps the invariant that a vector's
+// contents never change after they are observable through a copy.
+#ifndef RWL_UTIL_PERSISTENT_VECTOR_H_
+#define RWL_UTIL_PERSISTENT_VECTOR_H_
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace rwl::util {
+
+template <typename T>
+class PersistentVector {
+ public:
+  PersistentVector() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T& operator[](size_t i) const {
+    const size_t tail_start = size_ - tail_.size();
+    if (i >= tail_start) return tail_[i - tail_start];
+    const Node* node = root_.get();
+    for (int level = shift_; level > 0; level -= kBits) {
+      node = node->children[(i >> level) & kMask].get();
+    }
+    return node->items[i & kMask];
+  }
+
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(T value) {
+    tail_.push_back(std::move(value));
+    ++size_;
+    if (tail_.size() == kWidth) FlushTail();
+  }
+
+  // True when this vector begins with exactly the elements of `base`
+  // (compared with operator==).  Shared trie nodes are recognized by
+  // pointer, so on the copy-then-append path this costs O(n/32 + delta)
+  // pointer compares instead of O(n) element compares.
+  bool StartsWith(const PersistentVector& base) const {
+    if (base.size_ > size_) return false;
+    size_t i = 0;
+    while (i < base.size_) {
+      if ((i & kMask) == 0 && i + kWidth <= base.size_ - base.tail_.size() &&
+          i + kWidth <= size_ - tail_.size() &&
+          LeafAt(i) == base.LeafAt(i)) {
+        i += kWidth;  // whole chunk shared
+        continue;
+      }
+      if (!((*this)[i] == base[i])) return false;
+      ++i;
+    }
+    return true;
+  }
+
+  class Iterator {
+   public:
+    using value_type = T;
+    using reference = const T&;
+    using pointer = const T*;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    Iterator(const PersistentVector* owner, size_t index)
+        : owner_(owner), index_(index) {}
+    reference operator*() const { return (*owner_)[index_]; }
+    pointer operator->() const { return &(*owner_)[index_]; }
+    Iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    Iterator operator++(int) {
+      Iterator old = *this;
+      ++index_;
+      return old;
+    }
+    bool operator==(const Iterator& other) const {
+      return index_ == other.index_;
+    }
+    bool operator!=(const Iterator& other) const {
+      return index_ != other.index_;
+    }
+
+   private:
+    const PersistentVector* owner_;
+    size_t index_;
+  };
+
+  Iterator begin() const { return Iterator(this, 0); }
+  Iterator end() const { return Iterator(this, size_); }
+
+ private:
+  static constexpr int kBits = 5;
+  static constexpr size_t kWidth = size_t{1} << kBits;
+  static constexpr size_t kMask = kWidth - 1;
+
+  struct Node {
+    std::vector<std::shared_ptr<const Node>> children;  // internal node
+    std::vector<T> items;                               // leaf node
+  };
+  using NodePtr = std::shared_ptr<const Node>;
+
+  // The leaf node covering index i, or null when i falls in the tail.
+  // Used only for shared-chunk detection; callers pass chunk-aligned i.
+  NodePtr LeafAt(size_t i) const {
+    if (i >= size_ - tail_.size()) return nullptr;
+    if (shift_ == 0) return root_;
+    NodePtr node = root_;
+    for (int level = shift_; level > 0; level -= kBits) {
+      node = node->children[(i >> level) & kMask];
+    }
+    return node;
+  }
+
+  // A path of internal nodes from `level` down to the leaf.
+  static NodePtr NewPath(int level, NodePtr leaf) {
+    while (level > 0) {
+      auto node = std::make_shared<Node>();
+      node->children.push_back(std::move(leaf));
+      leaf = std::move(node);
+      level -= kBits;
+    }
+    return leaf;
+  }
+
+  // Path-copies the spine from `parent` down and hangs `leaf` at `index`
+  // (the trie index of the leaf's first element).
+  static NodePtr PushTailRec(int level, const Node* parent, NodePtr leaf,
+                             size_t index) {
+    auto node = std::make_shared<Node>();
+    if (parent != nullptr) node->children = parent->children;
+    const size_t sub = (index >> level) & kMask;
+    if (node->children.size() <= sub) node->children.resize(sub + 1);
+    if (level == kBits) {
+      node->children[sub] = std::move(leaf);
+    } else {
+      const Node* child =
+          sub < (parent ? parent->children.size() : 0) && parent != nullptr
+              ? parent->children[sub].get()
+              : nullptr;
+      node->children[sub] =
+          PushTailRec(level - kBits, child, std::move(leaf), index);
+    }
+    return node;
+  }
+
+  void FlushTail() {
+    auto leaf = std::make_shared<Node>();
+    leaf->items = std::move(tail_);
+    tail_.clear();
+    const size_t trie_count = size_ - kWidth;  // trie size before this flush
+    if (root_ == nullptr) {
+      root_ = std::move(leaf);
+      shift_ = 0;
+      return;
+    }
+    if (trie_count == (size_t{1} << (shift_ + kBits))) {
+      // Root is full: grow a level.
+      auto new_root = std::make_shared<Node>();
+      new_root->children.push_back(root_);
+      new_root->children.push_back(NewPath(shift_, std::move(leaf)));
+      root_ = std::move(new_root);
+      shift_ += kBits;
+      return;
+    }
+    root_ = PushTailRec(shift_ == 0 ? kBits : shift_, root_.get(),
+                        std::move(leaf), trie_count);
+    if (shift_ == 0) shift_ = kBits;
+  }
+
+  NodePtr root_;
+  std::vector<T> tail_;  // the last size_ mod 32 elements (< kWidth of them)
+  size_t size_ = 0;
+  int shift_ = 0;  // trie depth: root level (0 = root is a leaf)
+};
+
+}  // namespace rwl::util
+
+#endif  // RWL_UTIL_PERSISTENT_VECTOR_H_

@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/knowledge_base.h"
 #include "src/core/query_context.h"
 #include "src/engines/engine.h"
 #include "src/logic/parser.h"
@@ -194,6 +195,54 @@ TEST(FiniteMemoTest, StaleHitImpossibleAfterMutationWithAdoptedCaches) {
   EXPECT_DOUBLE_EQ(r3.probability, 0.25);
   EXPECT_EQ(engine.calls, 2) << "identical KB version must hit the memo";
   EXPECT_EQ(v3.cache_stats().finite_hits, 1u);
+}
+
+TEST(FiniteMemoTest, VocabularyExtendingMutationRebuildsInsteadOfPatching) {
+  // The incremental-maintenance fast path (ApplyDelta) may only re-salt
+  // recorded state when the mutation preserves the signature.  A mutation
+  // that introduces a new symbol must diff as unpatchable, take the
+  // rebuild path, and leave the predecessor's memo entries unreachable —
+  // while a signature-preserving append diffs as patchable.
+  std::string error;
+  KnowledgeBase base;
+  ASSERT_TRUE(base.AddParsed("P(C)\n", &error)) << error;
+
+  KnowledgeBase widened = base;  // persistent copy
+  ASSERT_TRUE(widened.AddParsed("Q(C)\n", &error)) << error;  // new predicate
+  KbDelta widening = ComputeKbDelta(base, widened);
+  EXPECT_FALSE(widening.signature_preserving);
+  EXPECT_FALSE(widening.patchable());
+
+  KnowledgeBase appended = base;
+  ASSERT_TRUE(appended.AddParsed("!P(C)\n", &error)) << error;  // no new symbol
+  KbDelta append = ComputeKbDelta(base, appended);
+  EXPECT_TRUE(append.signature_preserving);
+  EXPECT_TRUE(append.patchable());
+
+  // Seed the predecessor's memo, then mutate across the signature change.
+  semantics::ToleranceVector tolerances =
+      semantics::ToleranceVector::Uniform(0.1);
+  logic::FormulaPtr query = logic::ParseFormula("P(C)").formula;
+  KbDependentStubEngine engine;
+  QueryContext v1(base.vocabulary(), base.AsFormula(),
+                  /*caching_enabled=*/true);
+  engine.DegreeAt(v1, query, 4, tolerances);
+  EXPECT_EQ(engine.calls, 1);
+
+  QueryContext v2(widened.vocabulary(), widened.AsFormula(),
+                  /*caching_enabled=*/true);
+  v2.AdoptCachesFrom(v1);
+  EXPECT_FALSE(v2.ApplyDelta(v1, widening)) << "unpatchable delta was patched";
+  QueryContext::CacheStats stats = v2.cache_stats();
+  EXPECT_EQ(stats.deltas_rebuilt, 1u);
+  EXPECT_EQ(stats.deltas_patched, 0u);
+  EXPECT_EQ(stats.world_lists_patched, 0u);
+
+  // The adopted entry is salted for the old (KB, vocabulary) pair: the
+  // widened context recomputes instead of replaying it.
+  engine.DegreeAt(v2, query, 4, tolerances);
+  EXPECT_EQ(engine.calls, 2) << "stale memo hit across a signature change";
+  EXPECT_EQ(v2.cache_stats().finite_hits, 0u);
 }
 
 TEST(FiniteMemoTest, VocabularyChangeAlsoChangesTheVersionSalt) {

@@ -159,6 +159,88 @@ TEST(QueryContextCaching, CacheStatsRecordHits) {
   EXPECT_GE(stats.finite_misses, 1u);
 }
 
+TEST(QueryContextIncremental, FirstQueryAfterPatchedAssertReplaysWorldLists) {
+  // The service catalog's ASSERT fast path: a signature-preserving append
+  // must leave the successor context warm — patched world lists, prewarmed
+  // analyses — so the FIRST post-mutation query is a replay, not a DFS.
+  Fixture f = MakeFixture();
+  engines::ProfileEngine profile;
+  semantics::ToleranceVector tol = semantics::ToleranceVector::Uniform(0.05);
+  const int n = 8;
+
+  QueryContext v1(f.vocabulary, f.kb.AsFormula(), true);
+  v1.set_eager_world_recording(true);
+  profile.DegreeAt(v1, f.query, n, tol);  // eager mode records on first call
+
+  KnowledgeBase mutated = f.kb;  // persistent copy: shares the conjuncts
+  std::string error;
+  ASSERT_TRUE(mutated.AddParsed("Fever(Eric)\n", &error)) << error;
+  KbDelta delta = ComputeKbDelta(f.kb, mutated);
+  EXPECT_TRUE(delta.signature_preserving);
+  EXPECT_TRUE(delta.is_append);
+  ASSERT_TRUE(delta.patchable());
+
+  QueryContext v2(f.vocabulary, mutated.AsFormula(), true);
+  v2.set_eager_world_recording(true);
+  v2.AdoptCachesFrom(v1);
+  EXPECT_TRUE(v2.ApplyDelta(v1, delta));
+
+  QueryContext::CacheStats patched_stats = v2.cache_stats();
+  EXPECT_EQ(patched_stats.deltas_patched, 1u);
+  EXPECT_EQ(patched_stats.deltas_rebuilt, 0u);
+  EXPECT_GE(patched_stats.world_lists_patched, 1u);
+  EXPECT_GE(patched_stats.analyses_prewarmed, 1u);
+
+  // First post-mutation query: a blob hit on the patched list, and the
+  // answer is bit-identical to an uncontexted computation on the new KB.
+  FiniteResult fresh =
+      profile.DegreeAt(f.vocabulary, mutated.AsFormula(), f.query, n, tol);
+  FiniteResult replayed = profile.DegreeAt(v2, f.query, n, tol);
+  ExpectBitIdentical(replayed, fresh);
+  QueryContext::CacheStats queried_stats = v2.cache_stats();
+  EXPECT_GT(queried_stats.blob_hits, patched_stats.blob_hits)
+      << "the first post-mutation query should replay the patched list";
+}
+
+TEST(QueryContextIncremental, VocabularyExtendingAssertForcesRebuild) {
+  // A mutation introducing a new symbol changes the world space: nothing
+  // recorded under the old signature may be patched forward.  ApplyDelta
+  // must take the rebuild path (the caches repopulate lazily, which the
+  // version salt already makes correct) while still prewarming analyses.
+  Fixture f = MakeFixture();
+  engines::ProfileEngine profile;
+  semantics::ToleranceVector tol = semantics::ToleranceVector::Uniform(0.05);
+  const int n = 8;
+
+  QueryContext v1(f.vocabulary, f.kb.AsFormula(), true);
+  v1.set_eager_world_recording(true);
+  profile.DegreeAt(v1, f.query, n, tol);
+
+  KnowledgeBase mutated = f.kb;
+  std::string error;
+  ASSERT_TRUE(mutated.AddParsed("Jaun(Maria)\n", &error)) << error;  // new C
+  KbDelta delta = ComputeKbDelta(f.kb, mutated);
+  EXPECT_FALSE(delta.signature_preserving);
+  EXPECT_FALSE(delta.patchable());
+
+  QueryContext v2(mutated.vocabulary(), mutated.AsFormula(), true);
+  v2.set_eager_world_recording(true);
+  v2.AdoptCachesFrom(v1);
+  EXPECT_FALSE(v2.ApplyDelta(v1, delta));
+
+  QueryContext::CacheStats stats = v2.cache_stats();
+  EXPECT_EQ(stats.deltas_rebuilt, 1u);
+  EXPECT_EQ(stats.deltas_patched, 0u);
+  EXPECT_EQ(stats.world_lists_patched, 0u);
+  EXPECT_GE(stats.analyses_prewarmed, 1u)
+      << "the rebuild path still pays the KB analyses off the request path";
+
+  // Correctness is unaffected: the rebuilt context recomputes from scratch.
+  FiniteResult fresh = profile.DegreeAt(mutated.vocabulary(),
+                                        mutated.AsFormula(), f.query, n, tol);
+  ExpectBitIdentical(profile.DegreeAt(v2, f.query, n, tol), fresh);
+}
+
 TEST(QueryContextBudget, OversizedBlobIsDroppedOutright) {
   Fixture f = MakeFixture();
   QueryContext ctx(f.vocabulary, f.kb.AsFormula(), true);

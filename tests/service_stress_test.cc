@@ -197,10 +197,78 @@ TEST(ServiceStressTest, SnapshotIsolationUnderConcurrentMutation) {
   }
   EXPECT_EQ(mismatches.load(), 0);
 
-  // The storm actually exercised mutation: the head moved past version 1.
+  // The storm actually exercised mutation: once background minting
+  // drains, the head has moved past version 1.
+  kb_service.DrainMaintenance();
   std::shared_ptr<const KbSnapshot> head = kb_service.Snapshot("tenant");
   ASSERT_NE(head, nullptr);
   EXPECT_GT(head->version, loaded.version);
+}
+
+TEST(ServiceStressTest, AsyncMintingWindowKeepsReadersConsistent) {
+  // Holds the publication window open deterministically: an acked
+  // mutation must leave concurrent readers on the old published head
+  // (bit-identical to a fresh query against that version), become
+  // readable through RequestOptions::min_version the moment it publishes,
+  // and the patched successor must answer bit-identically to a fresh
+  // single-threaded query against the new KB.
+  KbService kb_service(StressServiceOptions());
+  KbService::MutationResult loaded =
+      kb_service.Load("tenant", kBaseKb, {"C2", "C3"});
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  const InferenceOptions fresh_options = kb_service.EffectiveOptions({});
+  std::atomic<int> mismatches{0};
+
+  kb_service.PauseMaintenance();
+  KbService::MutationResult acked = kb_service.Assert("tenant", "P(C1)");
+  ASSERT_TRUE(acked.ok) << acked.error;
+  EXPECT_GT(acked.version, loaded.version);
+
+  // Window open: the published head is still the load version...
+  KbService::QueryResult during = kb_service.Query("tenant", "P(C0)");
+  ASSERT_TRUE(during.ok) << during.error;
+  EXPECT_EQ(during.snapshot->version, loaded.version);
+  {
+    logic::ParseResult parsed = logic::ParseFormula("P(C0)");
+    ASSERT_TRUE(parsed.ok());
+    Answer fresh =
+        DegreeOfBelief(during.snapshot->kb, parsed.formula, fresh_options);
+    ExpectIdenticalAnswers(during.answer, fresh, "P(C0)",
+                           during.snapshot->version, &mismatches);
+  }
+  // ...but a second mutation builds on the acked one (WAL order), even
+  // though neither has published yet.
+  KbService::MutationResult acked2 = kb_service.Assert("tenant", "Q(C0)");
+  ASSERT_TRUE(acked2.ok) << acked2.error;
+  EXPECT_GT(acked2.version, acked.version);
+  EXPECT_EQ(kb_service.maintenance_stats().queue_depth, 2u);
+
+  kb_service.ResumeMaintenance();
+  // Read-your-writes: min_version pins at (or after) the acked version.
+  service::RequestOptions read_own;
+  read_own.min_version = acked2.version;
+  KbService::QueryResult after = kb_service.Query("tenant", "P(C1)", read_own);
+  ASSERT_TRUE(after.ok) << after.error;
+  EXPECT_GE(after.snapshot->version, acked2.version);
+  EXPECT_EQ(after.snapshot->kb.conjuncts().size(),
+            during.snapshot->kb.conjuncts().size() + 2);
+  {
+    logic::ParseResult parsed = logic::ParseFormula("P(C1)");
+    ASSERT_TRUE(parsed.ok());
+    Answer fresh =
+        DegreeOfBelief(after.snapshot->kb, parsed.formula, fresh_options);
+    ExpectIdenticalAnswers(after.answer, fresh, "P(C1)",
+                           after.snapshot->version, &mismatches);
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+
+  kb_service.DrainMaintenance();
+  const auto stats = kb_service.maintenance_stats();
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.minted, 2u);
+  // Both asserts were signature-preserving appends: patched, not rebuilt.
+  EXPECT_EQ(stats.patched, 2u);
+  EXPECT_EQ(stats.rebuilt, 0u);
 }
 
 TEST(ServiceStressTest, BatchPinsOneVersionForAllQueries) {
@@ -366,6 +434,8 @@ TEST(ServiceStressTest, VersionChainAndRetractSemantics) {
   KbService::MutationResult v2 = kb_service.Assert("kb", "P(C0)");
   ASSERT_TRUE(v2.ok);
   EXPECT_GT(v2.version, v1.version);
+  // The ack fixes the version; the successor publishes asynchronously.
+  ASSERT_TRUE(kb_service.WaitForVersion("kb", v2.version));
 
   // Unknown conjunct: no version is minted.
   KbService::MutationResult bad = kb_service.Retract("kb", "P(C1)");
@@ -377,6 +447,7 @@ TEST(ServiceStressTest, VersionChainAndRetractSemantics) {
   // extended with C0, not version 1 itself.
   KbService::MutationResult v3 = kb_service.Retract("kb", "P(C0)");
   ASSERT_TRUE(v3.ok);
+  ASSERT_TRUE(kb_service.WaitForVersion("kb", v3.version));
   std::shared_ptr<const KbSnapshot> head = kb_service.Snapshot("kb");
   EXPECT_EQ(head->version, v3.version);
   EXPECT_EQ(head->kb.conjuncts().size(), 1u);

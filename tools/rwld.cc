@@ -6,11 +6,15 @@
 //
 // Concurrency model: one in-flight request per connection, answered in
 // order (open more connections for parallelism — rwlload opens one per
-// client thread).  Mutations are applied synchronously; queries pin the
-// KB version at admission and run on the shared scheduler, so a slow
-// query on one connection never blocks another connection's traffic and
-// never sees a later version than its admission point (snapshot
-// isolation; see README "Running as a service").
+// client thread).  Mutations ack once their WAL order is fixed; the
+// successor snapshot is minted on the catalog's background maintenance
+// worker and published atomically.  Queries pin the KB version at
+// admission and run on the shared scheduler, so a slow query on one
+// connection never blocks another connection's traffic and never sees a
+// later version than its admission point (snapshot isolation).  Each
+// connection floors its queries' min_version at its own highest mutation
+// ack, so clients read their own writes even mid-publication (see README
+// "Running as a service").
 //
 // Usage:
 //   rwld --port P [--threads N] [--queue-depth D] [--nmax N]
@@ -29,6 +33,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -70,7 +75,11 @@ struct Daemon {
       : service(options) {}
 
   // Handles one request line; returns the response line (no newline).
-  std::string Handle(const std::string& line) {
+  // `session` carries the connection's read-your-writes state: mutation
+  // acks are recorded there, and queries wait for the connection's own
+  // acked version before pinning a snapshot.
+  std::string Handle(const std::string& line,
+                     rwl::service::SessionState* session) {
     Request request;
     std::string error;
     if (!rwl::service::ParseRequest(line, &request, &error)) {
@@ -79,24 +88,26 @@ struct Daemon {
       // id 0 only when the JSON itself was unparseable.
       return rwl::service::ErrorResponse(request.id, error);
     }
+    auto ack = [&](const KbService::MutationResult& result) {
+      if (result.ok) session->RecordAck(request.kb, result.version);
+      return rwl::service::MutationResponse(request.id, request.kb, result);
+    };
     switch (request.op) {
       case Request::Op::kLoad:
-        return rwl::service::MutationResponse(
-            request.id, request.kb,
-            service.Load(request.kb, request.text, request.declare));
+        return ack(service.Load(request.kb, request.text, request.declare));
       case Request::Op::kAssert:
-        return rwl::service::MutationResponse(
-            request.id, request.kb,
-            service.Assert(request.kb, request.text));
+        return ack(service.Assert(request.kb, request.text));
       case Request::Op::kRetract:
-        return rwl::service::MutationResponse(
-            request.id, request.kb,
-            service.Retract(request.kb, request.text));
+        return ack(service.Retract(request.kb, request.text));
       case Request::Op::kQuery:
+        request.options.min_version = std::max(
+            request.options.min_version, session->AckedVersion(request.kb));
         return rwl::service::QueryResponse(
             request.id,
             service.Query(request.kb, request.query, request.options));
       case Request::Op::kBatch:
+        request.options.min_version = std::max(
+            request.options.min_version, session->AckedVersion(request.kb));
         return rwl::service::BatchResponse(
             request.id,
             service.Batch(request.kb, request.queries, request.options));
@@ -113,6 +124,7 @@ struct Daemon {
 int ServeStdio(Daemon* daemon) {
   // std::getline, not a fixed buffer: a LOAD payload can exceed any fixed
   // line size, and a truncated read would desync the response stream.
+  rwl::service::SessionState session;
   std::string line;
   while (!daemon->shutdown.load(std::memory_order_relaxed) &&
          std::getline(std::cin, line)) {
@@ -125,7 +137,7 @@ int ServeStdio(Daemon* daemon) {
       std::fflush(stdout);
       continue;
     }
-    std::string response = daemon->Handle(line);
+    std::string response = daemon->Handle(line, &session);
     std::printf("%s\n", response.c_str());
     std::fflush(stdout);
   }
@@ -142,6 +154,7 @@ struct Connection {
 
 void ServeConnection(Daemon* daemon, Connection* connection) {
   const int fd = connection->fd;
+  rwl::service::SessionState session;
   std::string buffer;
   char chunk[1 << 14];
   for (;;) {
@@ -161,7 +174,7 @@ void ServeConnection(Daemon* daemon, Connection* connection) {
       start = newline + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      std::string response = daemon->Handle(line);
+      std::string response = daemon->Handle(line, &session);
       response += '\n';
       size_t sent = 0;
       bool write_failed = false;

@@ -31,6 +31,11 @@
 //   --nmax N          sweep domain cap (default 32)
 //   --json-out PATH   where the JSON rows go (default BENCH_service.json)
 //   --min-qps Q       exit nonzero when readonly qps < Q (CI gate)
+//   --mixed-min-qps Q exit nonzero when mixed qps < Q (CI gate)
+//   --mixed-max-p999-us U
+//                     exit nonzero when mixed query p99.9 > U µs (CI gate
+//                     for the incremental-maintenance path: mutations must
+//                     not stall the query tail)
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -68,13 +73,16 @@ struct Config {
   int connect_port = 0;
   std::string json_out = "BENCH_service.json";
   double min_qps = 0.0;
+  double mixed_min_qps = 0.0;
+  double mixed_max_p999_us = 0.0;
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--seconds S] [--server-threads M]\n"
                "          [--mutate-every K] [--nmax N] [--connect PORT]\n"
-               "          [--json-out PATH] [--min-qps Q]\n",
+               "          [--json-out PATH] [--min-qps Q]\n"
+               "          [--mixed-min-qps Q] [--mixed-max-p999-us U]\n",
                argv0);
   return 2;
 }
@@ -197,6 +205,20 @@ class TcpClient : public Client {
 
 // ---- measurement ----
 
+// The first kPostMutationWindow queries (across all threads) after each
+// mutation land in a separate "window" histogram: this is exactly where a
+// cold successor snapshot would stall, so the window tail is the direct
+// measurement of incremental maintenance doing its job.
+constexpr uint64_t kPostMutationWindow = 64;
+
+// Upper bounds (µs) of the window histogram buckets; a final overflow
+// bucket catches everything above the last bound.
+constexpr double kWindowBucketsUs[] = {50,    100,   200,    500,    1000,
+                                       2000,  5000,  10000,  50000,  100000,
+                                       1000000};
+constexpr size_t kWindowBucketCount =
+    sizeof(kWindowBucketsUs) / sizeof(kWindowBucketsUs[0]) + 1;
+
 struct PhaseResult {
   std::string phase;
   double duration_s = 0.0;
@@ -207,8 +229,14 @@ struct PhaseResult {
   // Query latencies only — mutations pay copy-on-write rebuild cost and
   // are reported separately so the query tail is not misread.
   double p50_us = 0.0, p90_us = 0.0, p95_us = 0.0, p99_us = 0.0;
+  double p999_us = 0.0;
   double max_us = 0.0;
-  double mut_p50_us = 0.0, mut_max_us = 0.0;
+  double mut_p50_us = 0.0, mut_p99_us = 0.0, mut_max_us = 0.0;
+  // Post-mutation window (see kPostMutationWindow).
+  uint64_t window_count = 0;
+  double window_p50_us = 0.0, window_p99_us = 0.0, window_max_us = 0.0;
+  std::vector<uint64_t> window_hist = std::vector<uint64_t>(
+      kWindowBucketCount, 0);
 };
 
 double Percentile(const std::vector<double>& sorted, double q) {
@@ -227,8 +255,14 @@ PhaseResult RunPhase(const std::string& phase, const Config& config,
   std::atomic<bool> stop{false};
   std::vector<std::vector<double>> latencies(clients.size());
   std::vector<std::vector<double>> mutation_latencies(clients.size());
+  std::vector<std::vector<double>> window_latencies(clients.size());
   std::vector<uint64_t> errors(clients.size(), 0);
   std::vector<uint64_t> mutations(clients.size(), 0);
+  // Queries since the last mutation, shared across threads; the writer
+  // zeroes it after each mutation and readers sample-and-increment, so
+  // the first kPostMutationWindow queries after a mutation are tagged.
+  // Starts saturated: queries before the first mutation are not a window.
+  std::atomic<uint64_t> since_mutation{uint64_t{1} << 40};
 
   const Clock::time_point start = Clock::now();
   std::vector<std::thread> threads;
@@ -267,14 +301,20 @@ PhaseResult RunPhase(const std::string& phase, const Config& config,
           mutation_latencies[t].push_back(
               std::chrono::duration<double, std::micro>(Clock::now() - t0)
                   .count());
+          if (ok) since_mutation.store(0, std::memory_order_relaxed);
           continue;
         }
         Clock::time_point t0 = Clock::now();
         bool ok = client->Query(item);
         if (!ok) ++errors[t];
-        lat.push_back(
+        const double us =
             std::chrono::duration<double, std::micro>(Clock::now() - t0)
-                .count());
+                .count();
+        lat.push_back(us);
+        if (since_mutation.fetch_add(1, std::memory_order_relaxed) <
+            kPostMutationWindow) {
+          window_latencies[t].push_back(us);
+        }
       }
     });
   }
@@ -290,10 +330,13 @@ PhaseResult RunPhase(const std::string& phase, const Config& config,
   result.duration_s = elapsed;
   std::vector<double> queries;
   std::vector<double> writes;
+  std::vector<double> window;
   for (size_t t = 0; t < clients.size(); ++t) {
     queries.insert(queries.end(), latencies[t].begin(), latencies[t].end());
     writes.insert(writes.end(), mutation_latencies[t].begin(),
                   mutation_latencies[t].end());
+    window.insert(window.end(), window_latencies[t].begin(),
+                  window_latencies[t].end());
     result.errors += errors[t];
     result.mutations += mutations[t];
   }
@@ -304,47 +347,93 @@ PhaseResult RunPhase(const std::string& phase, const Config& config,
   result.p90_us = Percentile(queries, 0.90);
   result.p95_us = Percentile(queries, 0.95);
   result.p99_us = Percentile(queries, 0.99);
+  result.p999_us = Percentile(queries, 0.999);
   result.max_us = queries.empty() ? 0.0 : queries.back();
   std::sort(writes.begin(), writes.end());
   result.mut_p50_us = Percentile(writes, 0.50);
+  result.mut_p99_us = Percentile(writes, 0.99);
   result.mut_max_us = writes.empty() ? 0.0 : writes.back();
+  std::sort(window.begin(), window.end());
+  result.window_count = window.size();
+  result.window_p50_us = Percentile(window, 0.50);
+  result.window_p99_us = Percentile(window, 0.99);
+  result.window_max_us = window.empty() ? 0.0 : window.back();
+  for (double us : window) {
+    size_t bucket = 0;
+    while (bucket < kWindowBucketCount - 1 && us > kWindowBucketsUs[bucket]) {
+      ++bucket;
+    }
+    ++result.window_hist[bucket];
+  }
   return result;
 }
 
 std::string PhaseJson(const Config& config, const PhaseResult& result) {
-  char buf[512];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "{\"bench\": \"service\", \"phase\": \"%s\", \"mode\": \"%s\", "
       "\"threads\": %d, \"duration_s\": %.3f, \"ops\": %llu, "
       "\"mutations\": %llu, \"errors\": %llu, \"qps\": %.1f, "
       "\"p50_us\": %.1f, \"p90_us\": %.1f, \"p95_us\": %.1f, "
-      "\"p99_us\": %.1f, \"max_us\": %.1f, \"mut_p50_us\": %.1f, "
-      "\"mut_max_us\": %.1f}",
+      "\"p99_us\": %.1f, \"p999_us\": %.1f, \"max_us\": %.1f, "
+      "\"mut_p50_us\": %.1f, \"mut_p99_us\": %.1f, \"mut_max_us\": %.1f",
       result.phase.c_str(),
       config.connect_port > 0 ? "tcp" : "in-process", config.threads,
       result.duration_s, static_cast<unsigned long long>(result.ops),
       static_cast<unsigned long long>(result.mutations),
       static_cast<unsigned long long>(result.errors), result.qps,
       result.p50_us, result.p90_us, result.p95_us, result.p99_us,
-      result.max_us, result.mut_p50_us, result.mut_max_us);
-  return buf;
+      result.p999_us, result.max_us, result.mut_p50_us, result.mut_p99_us,
+      result.mut_max_us);
+  std::string row = buf;
+  if (result.mutations > 0) {
+    // Post-mutation window: [upper_bound_us, count] buckets (the last
+    // bucket is the overflow above the largest bound).
+    std::snprintf(buf, sizeof(buf),
+                  ", \"window_count\": %llu, \"window_p50_us\": %.1f, "
+                  "\"window_p99_us\": %.1f, \"window_max_us\": %.1f, "
+                  "\"window_hist_us\": [",
+                  static_cast<unsigned long long>(result.window_count),
+                  result.window_p50_us, result.window_p99_us,
+                  result.window_max_us);
+    row += buf;
+    for (size_t i = 0; i < result.window_hist.size(); ++i) {
+      if (i + 1 < kWindowBucketCount) {
+        std::snprintf(buf, sizeof(buf), "%s[%.0f, %llu]", i > 0 ? ", " : "",
+                      kWindowBucketsUs[i],
+                      static_cast<unsigned long long>(result.window_hist[i]));
+      } else {
+        std::snprintf(buf, sizeof(buf), ", [null, %llu]",
+                      static_cast<unsigned long long>(result.window_hist[i]));
+      }
+      row += buf;
+    }
+    row += "]";
+  }
+  row += "}";
+  return row;
 }
 
 void PrintPhase(const PhaseResult& result) {
   std::printf(
       "%-9s %8.1f qps   %llu ops (%llu mutations, %llu errors) in %.2fs\n"
       "          query latency p50=%.0fus p90=%.0fus p95=%.0fus "
-      "p99=%.0fus max=%.0fus\n",
+      "p99=%.0fus p99.9=%.0fus max=%.0fus\n",
       result.phase.c_str(), result.qps,
       static_cast<unsigned long long>(result.ops),
       static_cast<unsigned long long>(result.mutations),
       static_cast<unsigned long long>(result.errors), result.duration_s,
       result.p50_us, result.p90_us, result.p95_us, result.p99_us,
-      result.max_us);
+      result.p999_us, result.max_us);
   if (result.mutations > 0) {
-    std::printf("          mutation latency p50=%.0fus max=%.0fus\n",
-                result.mut_p50_us, result.mut_max_us);
+    std::printf(
+        "          mutation latency p50=%.0fus p99=%.0fus max=%.0fus\n"
+        "          post-mutation window (%llu queries) p50=%.0fus "
+        "p99=%.0fus max=%.0fus\n",
+        result.mut_p50_us, result.mut_p99_us, result.mut_max_us,
+        static_cast<unsigned long long>(result.window_count),
+        result.window_p50_us, result.window_p99_us, result.window_max_us);
   }
 }
 
@@ -369,6 +458,10 @@ int main(int argc, char** argv) {
       config.connect_port = std::atoi(v);
     else if (arg == "--json-out" && (v = next())) config.json_out = v;
     else if (arg == "--min-qps" && (v = next())) config.min_qps = std::atof(v);
+    else if (arg == "--mixed-min-qps" && (v = next()))
+      config.mixed_min_qps = std::atof(v);
+    else if (arg == "--mixed-max-p999-us" && (v = next()))
+      config.mixed_max_p999_us = std::atof(v);
     else return Usage(argv[0]);
   }
   if (config.threads < 1 || config.seconds <= 0.0) return Usage(argv[0]);
@@ -406,43 +499,13 @@ int main(int argc, char** argv) {
   std::vector<WorkItem> work;
   int loaded = 0;
   for (const auto& example : rwl::fixtures::AllPaperExamples()) {
-    if (config.connect_port > 0) {
-      // Load over the wire so the daemon owns the KBs.
-      std::string line = "{\"id\":1,\"op\":\"LOAD\",\"kb\":\"" +
-                         rwl::service::JsonEscape(example.id) +
-                         "\",\"text\":\"" +
-                         rwl::service::JsonEscape(example.kb) + "\"";
-      if (!example.extra_constants.empty()) {
-        line += ",\"declare\":[";
-        for (size_t i = 0; i < example.extra_constants.size(); ++i) {
-          if (i > 0) line += ",";
-          line += "\"" +
-                  rwl::service::JsonEscape(example.extra_constants[i]) +
-                  "\"";
-        }
-        line += "]";
-      }
-      line += "}\n";
-      std::string response;
-      if (!control->RoundTrip(line, &response) ||
-          response.find("\"ok\":true") == std::string::npos) {
-        std::fprintf(stderr, "rwlload: LOAD %s failed: %s\n",
-                     example.id.c_str(), response.c_str());
-        continue;
-      }
-    } else {
-      KbService::MutationResult load = service->Load(
-          example.id, example.kb, example.extra_constants);
-      if (!load.ok) {
-        std::fprintf(stderr, "rwlload: LOAD %s failed: %s\n",
-                     example.id.c_str(), load.error.c_str());
-        continue;
-      }
-    }
-    ++loaded;
     // The tenant's mixed-phase marker: its first unary predicate over a
-    // private fresh constant (parsed locally, so TCP mode needs no
-    // introspection op).
+    // load-generator-private constant (parsed locally, so TCP mode needs
+    // no introspection op).  Computed BEFORE the load so RwlLoadC can be
+    // declared up front: were the first ASSERT to introduce it as a fresh
+    // constant, the mutation would extend the vocabulary, change the
+    // signature fingerprint, and force the full rebuild path on a toggle
+    // that is supposed to exercise incremental patching.
     std::string marker;
     {
       rwl::KnowledgeBase probe;
@@ -456,6 +519,40 @@ int main(int argc, char** argv) {
         }
       }
     }
+    std::vector<std::string> declare = example.extra_constants;
+    if (!marker.empty()) declare.push_back("RwlLoadC");
+    if (config.connect_port > 0) {
+      // Load over the wire so the daemon owns the KBs.
+      std::string line = "{\"id\":1,\"op\":\"LOAD\",\"kb\":\"" +
+                         rwl::service::JsonEscape(example.id) +
+                         "\",\"text\":\"" +
+                         rwl::service::JsonEscape(example.kb) + "\"";
+      if (!declare.empty()) {
+        line += ",\"declare\":[";
+        for (size_t i = 0; i < declare.size(); ++i) {
+          if (i > 0) line += ",";
+          line += "\"" + rwl::service::JsonEscape(declare[i]) + "\"";
+        }
+        line += "]";
+      }
+      line += "}\n";
+      std::string response;
+      if (!control->RoundTrip(line, &response) ||
+          response.find("\"ok\":true") == std::string::npos) {
+        std::fprintf(stderr, "rwlload: LOAD %s failed: %s\n",
+                     example.id.c_str(), response.c_str());
+        continue;
+      }
+    } else {
+      KbService::MutationResult load =
+          service->Load(example.id, example.kb, declare);
+      if (!load.ok) {
+        std::fprintf(stderr, "rwlload: LOAD %s failed: %s\n",
+                     example.id.c_str(), load.error.c_str());
+        continue;
+      }
+    }
+    ++loaded;
     work.push_back(WorkItem{example.id, example.query, marker});
   }
   if (work.empty()) {
@@ -506,11 +603,12 @@ int main(int argc, char** argv) {
   PrintPhase(readonly);
   json_rows.push_back(PhaseJson(config, readonly));
 
+  std::optional<PhaseResult> mixed;
   if (config.mutate_every > 0) {
-    PhaseResult mixed = RunPhase("mixed", config, answerable, clients,
-                                 config.mutate_every);
-    PrintPhase(mixed);
-    json_rows.push_back(PhaseJson(config, mixed));
+    mixed = RunPhase("mixed", config, answerable, clients,
+                     config.mutate_every);
+    PrintPhase(*mixed);
+    json_rows.push_back(PhaseJson(config, *mixed));
   }
 
   // ---- report ----
@@ -523,11 +621,25 @@ int main(int argc, char** argv) {
     std::printf("rwlload: wrote %s\n", config.json_out.c_str());
   }
 
+  bool failed = false;
   if (config.min_qps > 0.0 && readonly.qps < config.min_qps) {
     std::fprintf(stderr,
                  "rwlload: FAIL readonly qps %.1f < required %.1f\n",
                  readonly.qps, config.min_qps);
-    return 1;
+    failed = true;
   }
-  return 0;
+  if (config.mixed_min_qps > 0.0 && mixed.has_value() &&
+      mixed->qps < config.mixed_min_qps) {
+    std::fprintf(stderr, "rwlload: FAIL mixed qps %.1f < required %.1f\n",
+                 mixed->qps, config.mixed_min_qps);
+    failed = true;
+  }
+  if (config.mixed_max_p999_us > 0.0 && mixed.has_value() &&
+      mixed->p999_us > config.mixed_max_p999_us) {
+    std::fprintf(stderr,
+                 "rwlload: FAIL mixed query p99.9 %.1fus > allowed %.1fus\n",
+                 mixed->p999_us, config.mixed_max_p999_us);
+    failed = true;
+  }
+  return failed ? 1 : 0;
 }
