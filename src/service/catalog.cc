@@ -1,5 +1,6 @@
 #include "src/service/catalog.h"
 
+#include <chrono>
 #include <utility>
 
 #if defined(__linux__)
@@ -105,8 +106,8 @@ void KbCatalog::InstallLocked(Chain* chain,
   install_cv_.notify_all();
 }
 
-std::shared_ptr<const KbSnapshot> KbCatalog::Load(const std::string& name,
-                                                  KnowledgeBase kb) {
+std::shared_ptr<const KbSnapshot> KbCatalog::Load(
+    const std::string& name, KnowledgeBase kb, const VersionHook& on_version) {
   std::shared_ptr<KbSnapshot> snapshot =
       BuildSnapshot(name, std::move(kb), nullptr, options_.caching_enabled);
   std::lock_guard<std::mutex> lock(mutex_);
@@ -115,6 +116,7 @@ std::shared_ptr<const KbSnapshot> KbCatalog::Load(const std::string& name,
   Chain& chain = chains_[name];
   chain.staged_kb = snapshot->kb;
   chain.staged_version = snapshot->version;
+  if (on_version) on_version(snapshot->version);
   InstallLocked(&chain, snapshot);
   return snapshot;
 }
@@ -138,7 +140,8 @@ std::shared_ptr<const KbSnapshot> KbCatalog::GetVersion(
 
 MutationTicket KbCatalog::Mutate(
     const std::string& name,
-    const std::function<bool(KnowledgeBase*, std::string*)>& edit) {
+    const std::function<bool(KnowledgeBase*, std::string*)>& edit,
+    const VersionHook& on_version) {
   MutationTicket ticket;
   auto fail = [&](const std::string& message) {
     ticket.error = message;
@@ -196,14 +199,15 @@ MutationTicket KbCatalog::Mutate(
     it->second.staged_version = snapshot->version;
     ticket.ok = true;
     ticket.version = snapshot->version;
+    if (on_version) on_version(snapshot->version);
     InstallLocked(&it->second, std::move(snapshot));
     return ticket;
   }
 
   // Background: fix the WAL order now (assign the version, advance the
-  // staged tail), hand the expensive successor build to the maintenance
-  // worker, and return.  Readers keep serving the published head until
-  // the warm successor is installed.
+  // staged tail, journal/ship via the hook), hand the expensive successor
+  // build to the maintenance worker, and return.  Readers keep serving
+  // the published head until the warm successor is installed.
   uint64_t version = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -214,15 +218,32 @@ MutationTicket KbCatalog::Mutate(
     version = next_version_++;
     it->second.staged_kb = next;
     it->second.staged_version = version;
+    if (on_version) on_version(version);
   }
   {
+    // Never block the ack on the worker: a run of mutations on one chain
+    // coalesces into the single queued task, which the worker always
+    // builds from the NEWEST acked state (skipped versions still satisfy
+    // WaitForVersion — it waits for `head >= v`, and the coalesced
+    // publication carries the highest v of the run).  This replaces the
+    // old bounded-queue backpressure that stalled acks for the length of
+    // a successor build (the 775 ms mixed-phase mutation p99).
     std::unique_lock<std::mutex> lock(maintenance_mutex_);
-    maintenance_cv_.wait(lock, [&] {
-      return stopping_ || queue_.size() < options_.maintenance_queue_cap;
-    });
     if (!stopping_) {
-      queue_.push_back(
-          MaintenanceTask{name, write_mutex, std::move(next), version});
+      bool folded = false;
+      for (MaintenanceTask& task : queue_) {
+        if (task.name == name && task.token == write_mutex) {
+          task.kb = std::move(next);
+          task.version = version;
+          folded = true;
+          coalesced_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
+      if (!folded) {
+        queue_.push_back(
+            MaintenanceTask{name, write_mutex, std::move(next), version});
+      }
     }
   }
   maintenance_cv_.notify_all();
@@ -231,16 +252,66 @@ MutationTicket KbCatalog::Mutate(
   return ticket;
 }
 
-bool KbCatalog::Drop(const std::string& name) {
+bool KbCatalog::Drop(const std::string& name,
+                     const std::function<void()>& on_drop) {
   bool dropped;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     dropped = chains_.erase(name) > 0;
+    if (dropped && on_drop) on_drop();
   }
   // Queued maintenance for the dropped chain is discarded by the worker
   // (its token no longer matches); waiters must re-check now.
   install_cv_.notify_all();
   return dropped;
+}
+
+KbCatalog::StagedState KbCatalog::Staged(const std::string& name) const {
+  StagedState state;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = chains_.find(name);
+  if (it == chains_.end()) return state;
+  state.ok = true;
+  state.kb = it->second.staged_kb;  // O(delta): persistent conjunct vector
+  state.version = it->second.staged_version;
+  return state;
+}
+
+std::shared_ptr<const KbSnapshot> KbCatalog::StagedSnapshot(
+    const std::string& name) const {
+  StagedState staged;
+  std::shared_ptr<const KbSnapshot> prior;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = chains_.find(name);
+    if (it == chains_.end()) return nullptr;
+    staged.kb = it->second.staged_kb;  // O(delta) persistent-vector copy
+    staged.version = it->second.staged_version;
+    if (!it->second.versions.empty()) {
+      prior = it->second.versions.rbegin()->second;
+    }
+  }
+  // Same warm path as the worker's mint — adopt the published head's
+  // caches and patch the delta — minus the query-log replay: the caller
+  // has one concrete query to answer, so warming the rest of the working
+  // set here would put exactly the work this fallback exists to avoid
+  // back on the request path.  The service differential check covers the
+  // adopt+patch path's bit-identity.
+  std::shared_ptr<KbSnapshot> snapshot = BuildSnapshot(
+      name, std::move(staged.kb),
+      prior != nullptr ? prior->context.get() : nullptr,
+      options_.caching_enabled);
+  snapshot->version = staged.version;
+  if (prior != nullptr && options_.caching_enabled) {
+    KbDelta delta = ComputeKbDelta(prior->kb, snapshot->kb);
+    snapshot->context->ApplyDelta(*prior->context, delta);  // best effort
+  }
+  return snapshot;
+}
+
+void KbCatalog::EnsureVersionFloor(uint64_t floor) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (next_version_ <= floor) next_version_ = floor + 1;
 }
 
 std::vector<std::shared_ptr<const KbSnapshot>> KbCatalog::Heads() const {
@@ -255,20 +326,45 @@ std::vector<std::shared_ptr<const KbSnapshot>> KbCatalog::Heads() const {
   return heads;
 }
 
-bool KbCatalog::WaitForVersion(const std::string& name,
-                               uint64_t version) const {
+bool KbCatalog::WaitForVersion(const std::string& name, uint64_t version,
+                               double timeout_ms) const {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              timeout_ms < 0 ? 0.0 : timeout_ms));
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     auto it = chains_.find(name);
     if (it == chains_.end() || it->second.versions.empty()) return false;
     if (it->second.versions.rbegin()->second->version >= version) return true;
-    install_cv_.wait(lock);
+    if (timeout_ms < 0) {
+      install_cv_.wait(lock);
+    } else if (install_cv_.wait_until(lock, deadline) ==
+               std::cv_status::timeout) {
+      auto again = chains_.find(name);
+      return again != chains_.end() && !again->second.versions.empty() &&
+             again->second.versions.rbegin()->second->version >= version;
+    }
   }
 }
 
-void KbCatalog::DrainMaintenance() {
+bool KbCatalog::DrainMaintenance(double timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              timeout_ms < 0 ? 0.0 : timeout_ms));
   std::unique_lock<std::mutex> lock(maintenance_mutex_);
-  maintenance_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+  auto drained = [&] { return queue_.empty() && in_flight_ == 0; };
+  if (timeout_ms < 0) {
+    maintenance_cv_.wait(lock, drained);
+    return true;
+  }
+  // A deadline instead of the old deadlock: draining while PAUSED with
+  // work queued (catalog.h used to document this as a footgun) now just
+  // reports false when the clock runs out.
+  return maintenance_cv_.wait_until(lock, deadline, drained);
 }
 
 void KbCatalog::PauseMaintenance() {
@@ -295,6 +391,7 @@ KbCatalog::MaintenanceStats KbCatalog::maintenance_stats() const {
   stats.patched = patched_.load(std::memory_order_relaxed);
   stats.rebuilt = rebuilt_.load(std::memory_order_relaxed);
   stats.discarded = discarded_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -322,7 +419,6 @@ void KbCatalog::MaintenanceLoop() {
     queue_.pop_front();
     ++in_flight_;
     lock.unlock();
-    maintenance_cv_.notify_all();  // a backpressured Mutate sees the slot
     ProcessTask(std::move(task));
     lock.lock();
     --in_flight_;
@@ -331,10 +427,12 @@ void KbCatalog::MaintenanceLoop() {
 }
 
 void KbCatalog::ProcessTask(MaintenanceTask task) {
-  // The predecessor is the published head at processing time: the queue
-  // is FIFO and this worker is the only publisher of successors, so for a
-  // run of queued mutations on one chain each build adopts (and patches
-  // against) exactly the version acked before it.
+  // The predecessor is the published head at processing time: this worker
+  // is the only publisher of successors, so the build adopts (and patches
+  // against) the newest published version.  With coalescing the task may
+  // fold several acked mutations into one mint — the delta is then
+  // multi-op, and ApplyDelta falls back to a lazy rebuild when it cannot
+  // patch; answers are unaffected either way.
   std::shared_ptr<const KbSnapshot> head;
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -104,11 +104,13 @@ struct CatalogOptions {
   // default is synchronous: embedders that never mutate under load — and
   // the differential check, whose value is comparing the PUBLISHED state
   // right after an ack — keep the simple model.  KbService turns this on.
+  //
+  // Ack never waits on the worker: a run of queued mutations on one chain
+  // COALESCES into a single successor mint from the newest staged state
+  // (the queue holds at most one task per chain), so the queue depth is
+  // bounded by the tenant count and acking is O(edit) regardless of write
+  // pressure.  Durability is the WAL's job (wal.h), not the queue's.
   bool background_maintenance = false;
-  // Acked-but-unbuilt mutations the maintenance queue holds before
-  // Mutate blocks (backpressure; also bounds how far the published heads
-  // can lag the staged tails).
-  size_t maintenance_queue_cap = 64;
 };
 
 // The ack of a mutation: `version` is fixed (WAL order) even when the
@@ -121,6 +123,14 @@ struct MutationTicket {
 
 class KbCatalog {
  public:
+  // Runs inside the catalog's version-assignment critical section, right
+  // after the op's version is fixed and the staged tail updated — the one
+  // place where "this version number, in this global order" is certain.
+  // KbService journals (WAL append) and publishes (replica hub) here so
+  // file order and ship order are version order.  Must be fast and must
+  // not re-enter the catalog.
+  using VersionHook = std::function<void(uint64_t version)>;
+
   explicit KbCatalog(const CatalogOptions& options = {});
   ~KbCatalog();
 
@@ -133,7 +143,8 @@ class KbCatalog {
   // Always synchronous (a load has no predecessor to serve meanwhile).
   // Returns the installed snapshot.
   std::shared_ptr<const KbSnapshot> Load(const std::string& name,
-                                         KnowledgeBase kb);
+                                         KnowledgeBase kb,
+                                         const VersionHook& on_version = {});
 
   // The head snapshot, or null when `name` is unknown.
   std::shared_ptr<const KbSnapshot> Get(const std::string& name) const;
@@ -154,23 +165,59 @@ class KbCatalog {
   // per tenant.
   MutationTicket Mutate(
       const std::string& name,
-      const std::function<bool(KnowledgeBase*, std::string*)>& edit);
+      const std::function<bool(KnowledgeBase*, std::string*)>& edit,
+      const VersionHook& on_version = {});
 
   // Removes a KB outright.  Pinned readers keep their snapshots; queued
-  // maintenance for the dropped chain is discarded.
-  bool Drop(const std::string& name);
+  // maintenance for the dropped chain is discarded.  `on_drop` runs under
+  // the catalog mutex only when something was actually dropped (the
+  // version-hook slot of a DROP: replica shipping stays in global order).
+  bool Drop(const std::string& name,
+            const std::function<void()>& on_drop = {});
 
   std::vector<std::shared_ptr<const KbSnapshot>> Heads() const;
 
+  // The authoritative post-ack state of `name`: the staged tail KB (an
+  // O(delta) persistent-vector copy) and its acked version — ahead of the
+  // published head whenever builds are queued.  This is what WAL
+  // snapshots and replica bootstraps serialize.
+  struct StagedState {
+    bool ok = false;
+    KnowledgeBase kb;
+    uint64_t version = 0;
+  };
+  StagedState Staged(const std::string& name) const;
+
+  // Read-your-writes fallback: a TRANSIENT cold snapshot of the staged
+  // tail — the acked state at Staged().version — built on the caller's
+  // thread and never published into the chain.  Answers on it are
+  // bit-identical (a cold context is exactly the from-scratch baseline)
+  // but unwarmed, so callers prefer the published head and reach for
+  // this only after a bounded WaitForVersion expires — a backlogged or
+  // CPU-starved maintenance worker must bound a min_version read's
+  // latency, not gate it on cache warming.  Null when `name` is unknown.
+  std::shared_ptr<const KbSnapshot> StagedSnapshot(
+      const std::string& name) const;
+
+  // Raises the catalog's next version above `floor` so every version
+  // assigned from now on exceeds it.  Recovery calls this with the
+  // highest journaled version BEFORE re-loading recovered KBs: fresh
+  // version numbers never collide with ones already on disk.
+  void EnsureVersionFloor(uint64_t floor);
+
   // Blocks until the published head of `name` reaches `version`; returns
-  // false when the chain is dropped (or never existed).  Never hangs on a
-  // discarded in-flight mutation: a re-Load publishes a strictly higher
-  // version than every previously acked one.
-  bool WaitForVersion(const std::string& name, uint64_t version) const;
+  // false when the chain is dropped (or never existed) or — with a
+  // non-negative `timeout_ms` — when the deadline expires first.  Never
+  // hangs on a discarded in-flight mutation: a re-Load publishes a
+  // strictly higher version than every previously acked one.
+  bool WaitForVersion(const std::string& name, uint64_t version,
+                      double timeout_ms = -1.0) const;
 
   // Blocks until the maintenance queue is empty and the worker idle.
-  // (Do not call while paused with work still queued — that never ends.)
-  void DrainMaintenance();
+  // Returns false on deadline expiry (`timeout_ms` >= 0) — including the
+  // once-deadlocking footgun of draining while PAUSED with work still
+  // queued, which now simply times out.
+  bool DrainMaintenance(double timeout_ms = -1.0);
 
   // Deterministically holds the async publication window open for tests:
   // Pause returns once the worker is idle and keeps it from starting the
@@ -179,11 +226,12 @@ class KbCatalog {
   void ResumeMaintenance();
 
   struct MaintenanceStats {
-    size_t queue_depth = 0;   // acked mutations not yet published
+    size_t queue_depth = 0;   // chains with an acked-but-unpublished build
     uint64_t minted = 0;      // successors published by the worker
     uint64_t patched = 0;     // successors whose delta was patched in place
     uint64_t rebuilt = 0;     // successors left to rebuild caches lazily
     uint64_t discarded = 0;   // queued builds dropped (tenant drop/reload)
+    uint64_t coalesced = 0;   // acked mutations folded into a queued build
   };
   MaintenanceStats maintenance_stats() const;
 
@@ -248,6 +296,7 @@ class KbCatalog {
   std::atomic<uint64_t> patched_{0};
   std::atomic<uint64_t> rebuilt_{0};
   std::atomic<uint64_t> discarded_{0};
+  std::atomic<uint64_t> coalesced_{0};
   std::thread maintenance_thread_;  // last: joins before members die
 };
 

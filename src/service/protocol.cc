@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "src/core/planner.h"
+#include "src/service/replica.h"
 
 namespace rwl::service {
 namespace {
@@ -344,6 +345,8 @@ bool ParseRequest(const std::string& line, Request* out, std::string* error) {
   else if (op == "BATCH") out->op = Request::Op::kBatch;
   else if (op == "STATS") out->op = Request::Op::kStats;
   else if (op == "SHUTDOWN") out->op = Request::Op::kShutdown;
+  else if (op == "TAIL") out->op = Request::Op::kTail;
+  else if (op == "WAIT") out->op = Request::Op::kWait;
   else {
     *error = "unknown op '" + op + "'";
     return false;
@@ -375,8 +378,16 @@ bool ParseRequest(const std::string& line, Request* out, std::string* error) {
       if (!StringArray(json, "queries", &out->queries, error)) return false;
       break;
     }
+    case Request::Op::kWait:
+      if (!WantString(json, "kb", &out->kb, error)) return false;
+      if (json.Find("min_version") == nullptr) {
+        *error = "WAIT needs 'min_version'";
+        return false;
+      }
+      break;
     case Request::Op::kStats:
     case Request::Op::kShutdown:
+    case Request::Op::kTail:
       break;
   }
 
@@ -464,7 +475,8 @@ std::string BatchResponse(
   return out.str();
 }
 
-std::string StatsResponse(int64_t id, const KbService& service) {
+std::string StatsResponse(int64_t id, const KbService& service,
+                          const ReplicaApplier* replica) {
   std::ostringstream out;
   out << "{\"id\":" << id << ",\"ok\":true,\"kbs\":[";
   bool first = true;
@@ -496,13 +508,52 @@ std::string StatsResponse(int64_t id, const KbService& service) {
       << ",\"minted\":" << maintenance.minted
       << ",\"patched\":" << maintenance.patched
       << ",\"rebuilt\":" << maintenance.rebuilt
-      << ",\"discarded\":" << maintenance.discarded << "}}";
+      << ",\"discarded\":" << maintenance.discarded
+      << ",\"coalesced\":" << maintenance.coalesced << "}";
+  if (const KbWal* wal = service.wal()) {
+    WalStats ws = wal->stats();
+    out << ",\"wal\":{\"appends\":" << ws.appends
+        << ",\"fsyncs\":" << ws.fsyncs << ",\"snapshots\":" << ws.snapshots
+        << ",\"segments_deleted\":" << ws.segments_deleted
+        << ",\"fsync_p50_us\":" << FormatDouble(ws.fsync_p50_us)
+        << ",\"fsync_p99_us\":" << FormatDouble(ws.fsync_p99_us)
+        << ",\"fsync_max_us\":" << FormatDouble(ws.fsync_max_us) << "}";
+  }
+  if (replica != nullptr) {
+    out << ",\"replica\":{\"records_applied\":" << replica->records_applied()
+        << ",\"records_skipped\":" << replica->records_skipped()
+        << ",\"applied\":[";
+    bool first_kb = true;
+    for (const auto& [name, versions] : replica->AppliedVersions()) {
+      if (!first_kb) out << ",";
+      first_kb = false;
+      out << "{\"name\":\"" << JsonEscape(name)
+          << "\",\"primary_version\":" << versions.primary
+          << ",\"local_version\":" << versions.local << "}";
+    }
+    out << "]}";
+  }
+  out << "}";
   return out.str();
 }
 
 std::string ShutdownResponse(int64_t id) {
   std::ostringstream out;
   out << "{\"id\":" << id << ",\"ok\":true,\"shutdown\":true}";
+  return out.str();
+}
+
+std::string TailAckResponse(int64_t id) {
+  std::ostringstream out;
+  out << "{\"id\":" << id << ",\"ok\":true,\"tail\":true}";
+  return out.str();
+}
+
+std::string WaitResponse(int64_t id, const std::string& kb,
+                         uint64_t version) {
+  std::ostringstream out;
+  out << "{\"id\":" << id << ",\"ok\":true,\"kb\":\"" << JsonEscape(kb)
+      << "\",\"version\":" << version << "}";
   return out.str();
 }
 

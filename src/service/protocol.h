@@ -13,6 +13,14 @@
 //   {"id":5,"op":"BATCH","kb":"med","queries":["Hep(Eric)","Jaun(Eric)"]}
 //   {"id":6,"op":"STATS"}
 //   {"id":7,"op":"SHUTDOWN"}
+//   {"id":8,"op":"TAIL"}
+//   {"id":9,"op":"WAIT","kb":"med","min_version":12}
+//
+// TAIL turns the connection into a replication feed: the daemon replies
+// {"id":8,"ok":true,"tail":true}, then streams one WAL record per line
+// (wal.h format) — first a SNAPSHOT bootstrap per live KB, then every
+// mutation as it acks — until the connection closes.  A replica rwld
+// started with --replica-of consumes this feed (replica.h).
 //
 // Read-your-writes: mutations ack as soon as their WAL order is fixed;
 // the successor snapshot publishes asynchronously.  The daemon tracks the
@@ -21,6 +29,13 @@
 // observes its own mutations even mid-publication.  The optional
 // "min_version" request field raises the floor further (e.g. to read a
 // version acked on another connection).
+//
+// WAIT blocks until the daemon holds the named version — on a replica,
+// until the feed has applied that PRIMARY version (the response carries
+// the mapped local version); on a primary, until it publishes.  It runs
+// no query, so its round trip is pure replication/publication lag —
+// rwlload's replica-lag probe — independent of how expensive the
+// tenant's queries happen to be on the new version.
 //
 // Responses:
 //
@@ -75,6 +90,8 @@ struct Request {
     kBatch,
     kStats,
     kShutdown,
+    kTail,
+    kWait,
   };
   Op op = Op::kStats;
   int64_t id = 0;
@@ -118,8 +135,17 @@ std::string AnswerJson(const KbService::QueryResult& result);
 std::string QueryResponse(int64_t id, const KbService::QueryResult& result);
 std::string BatchResponse(int64_t id,
                           const std::vector<KbService::QueryResult>& results);
-std::string StatsResponse(int64_t id, const KbService& service);
+// `replica` (optional) adds the replica's applied version vector — set by
+// a --replica-of daemon so clients can observe lag.
+class ReplicaApplier;
+std::string StatsResponse(int64_t id, const KbService& service,
+                          const ReplicaApplier* replica = nullptr);
 std::string ShutdownResponse(int64_t id);
+std::string TailAckResponse(int64_t id);
+// WAIT success: `version` is the version now held locally (on a replica,
+// the local version the requested primary version mapped to).
+std::string WaitResponse(int64_t id, const std::string& kb,
+                         uint64_t version);
 
 }  // namespace rwl::service
 

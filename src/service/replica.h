@@ -1,0 +1,130 @@
+// Log-shipping replication for the KB service.
+//
+// The primary publishes every journaled WAL record (already encoded as
+// one NDJSON line) to a ReplicationHub from inside the catalog's
+// version-assignment critical section, so the ship order IS the version
+// order.  A replica process connects over the ordinary NDJSON transport,
+// sends {"op":"TAIL"}, receives one SNAPSHOT record per live KB as a
+// bootstrap (serialized from the primary's staged tails AFTER the
+// subscription is registered — any mutation that races the bootstrap is
+// also in the stream and deduplicated by version), then applies the live
+// tail through ReplicaApplier: the same ApplyWalRecord path crash
+// recovery uses, through the same KbCatalog the primary runs, so replica
+// answers are bit-identical to primary answers at the same version.
+//
+// Version-vector handoff: primary version numbers are NOT replica catalog
+// versions (the replica's catalog assigns its own), so the applier keeps
+// a per-KB map {primary_version -> local_version}.  A client that acked
+// version V on the primary sends min_version=V to the replica; the
+// replica waits until applied_primary >= V and pins the mapped local
+// version — read-your-writes holds across the handoff.
+//
+// Shipping is asynchronous and deliberately so: the hub publishes at ack
+// time (WAL order fixed) while the primary's own fsync may still be in
+// flight, so a replica can briefly lead the primary's durable state.  A
+// primary crash + recovery can therefore lose a suffix the replica saw;
+// the replica re-bootstraps from the recovered primary on reconnect.
+#ifndef RWL_SERVICE_REPLICA_H_
+#define RWL_SERVICE_REPLICA_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/service/catalog.h"
+#include "src/service/wal.h"
+
+namespace rwl::service {
+
+// One replica's live feed.  The hub pushes encoded lines; the serving
+// thread pops them with Next.  Bounded: a replica that cannot keep up is
+// closed (it reconnects and re-bootstraps) rather than letting the
+// primary buffer without limit.
+class ReplicationSubscription {
+ public:
+  static constexpr size_t kMaxQueuedLines = 65536;
+
+  // Pops the next line, waiting up to timeout_ms.  False on timeout (out
+  // stays untouched — poll again) or when closed with the queue drained.
+  bool Next(std::string* line, double timeout_ms);
+
+  // True once the hub dropped this subscription (overflow or shutdown)
+  // AND every queued line has been consumed.
+  bool closed() const;
+
+ private:
+  friend class ReplicationHub;
+  bool Push(const std::string& line);  // false = overflow (now closed)
+  void Close();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::string> lines_;
+  bool closed_ = false;
+};
+
+// Fan-out point on the primary.  Publish is called under the catalog
+// mutex (the version hook), so it must stay cheap: one string copy per
+// subscriber onto an in-memory queue.
+class ReplicationHub {
+ public:
+  std::shared_ptr<ReplicationSubscription> Subscribe();
+  void Unsubscribe(const std::shared_ptr<ReplicationSubscription>& sub);
+  void Publish(const std::string& line);
+  // Subscribers currently attached (drops overflowed ones on the way).
+  size_t active() const;
+  // True when at least one subscriber is attached — lets the publish
+  // hook skip record encoding entirely on a replica-less primary.
+  bool HasSubscribers() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<ReplicationSubscription>> subs_;
+};
+
+// The replica side: applies shipped lines to a local catalog and tracks
+// the primary->local version vector.
+class ReplicaApplier {
+ public:
+  explicit ReplicaApplier(KbCatalog* catalog) : catalog_(catalog) {}
+
+  // Decodes and applies one shipped line.  Records with a version at or
+  // below the KB's applied primary version are skipped (bootstrap overlap
+  // dedup); DROP always applies.  Returns false on a decode/apply error
+  // (the tailer logs and drops the connection to re-bootstrap).
+  bool ApplyLine(const std::string& line, std::string* error);
+
+  // Waits until `kb` has applied primary version >= `version`; on success
+  // *local_version is the mapped local catalog version to pin (the local
+  // version of the newest applied record, which is >= the mapping of
+  // `version` — pinning it preserves read-your-writes).  False on timeout
+  // or when the KB vanished (dropped on the primary).
+  bool WaitForPrimaryVersion(const std::string& kb, uint64_t version,
+                             double timeout_ms, uint64_t* local_version) const;
+
+  struct KbVersions {
+    uint64_t primary = 0;  // newest applied primary version
+    uint64_t local = 0;    // its local catalog version
+  };
+  std::map<std::string, KbVersions> AppliedVersions() const;
+
+  uint64_t records_applied() const;
+  uint64_t records_skipped() const;
+
+ private:
+  KbCatalog* catalog_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  std::map<std::string, KbVersions> applied_;
+  uint64_t records_applied_ = 0;
+  uint64_t records_skipped_ = 0;
+};
+
+}  // namespace rwl::service
+
+#endif  // RWL_SERVICE_REPLICA_H_

@@ -1,5 +1,6 @@
 #include "src/service/service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <future>
@@ -8,6 +9,7 @@
 
 #include "src/logic/parser.h"
 #include "src/logic/transform.h"
+#include "src/service/replica.h"
 
 namespace rwl::service {
 namespace {
@@ -38,7 +40,129 @@ bool CheckClosed(const logic::FormulaPtr& formula, const char* what,
 KbService::KbService(const ServiceOptions& options)
     : options_(options),
       catalog_(options.catalog),
-      scheduler_(options.scheduler) {}
+      scheduler_(options.scheduler) {
+  if (!options_.wal.dir.empty()) {
+    wal_ = std::make_unique<KbWal>(options_.wal);
+    snapshot_thread_ = std::thread(&KbService::SnapshotLoop, this);
+  }
+}
+
+KbService::~KbService() {
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_stop_ = true;
+  }
+  snapshot_cv_.notify_all();
+  if (snapshot_thread_.joinable()) snapshot_thread_.join();
+}
+
+bool KbService::Recover(std::vector<std::string>* warnings,
+                        std::string* error) {
+  if (wal_ == nullptr) return true;
+  if (!wal_->ok()) {
+    *error = wal_->init_error();
+    return false;
+  }
+  std::vector<KbWal::RecoveredKb> recovered;
+  uint64_t max_version = 0;
+  if (!KbWal::Recover(options_.wal.dir, &recovered, &max_version, warnings,
+                      error)) {
+    return false;
+  }
+  // New versions must exceed every journaled one BEFORE any re-load, so
+  // old and new version spaces never collide in a segment.
+  catalog_.EnsureVersionFloor(max_version);
+  for (KbWal::RecoveredKb& kb : recovered) {
+    std::shared_ptr<const KbSnapshot> snapshot =
+        catalog_.Load(kb.name, std::move(kb.kb));
+    // Compact immediately: a durable snapshot at the NEW version covers
+    // (and truncates) everything journaled in the old version space.
+    std::string snap_error;
+    if (!wal_->WriteSnapshot(kb.name, snapshot->version, snapshot->kb,
+                             &snap_error)) {
+      if (warnings) {
+        warnings->push_back("post-recovery snapshot of '" + kb.name +
+                            "': " + snap_error);
+      }
+    }
+  }
+  return true;
+}
+
+KbCatalog::VersionHook KbService::JournalHook(WalRecord record,
+                                              uint64_t* seq) {
+  *seq = 0;
+  ReplicationHub* hub = options_.replication;
+  // With a hub configured the hook must run even while no subscriber is
+  // attached: a TAIL bootstrap subscribes BEFORE serializing the staged
+  // state, so a record the bootstrap misses is guaranteed to be in the
+  // stream only if every version assignment publishes.
+  if (wal_ == nullptr && hub == nullptr) return {};
+  // Runs inside the catalog's version-assignment critical section: the
+  // version is final here, and appending/publishing under the lock makes
+  // journal order and ship order equal to version order.  Append only
+  // buffers (the fsync happens in FinishDurable, outside the lock).
+  return [this, hub, record = std::move(record), seq](uint64_t version) {
+    WalRecord versioned = record;
+    versioned.version = version;
+    const std::string line = EncodeWalRecord(versioned);
+    if (wal_ != nullptr) *seq = wal_->Append(versioned.kb, line);
+    if (hub != nullptr) hub->Publish(line);
+  };
+}
+
+void KbService::FinishDurable(const std::string& name, uint64_t seq,
+                              MutationResult* result) {
+  if (wal_ == nullptr || !result->ok) return;
+  if (seq == 0) {
+    result->ok = false;
+    result->error = "durability failure: could not journal mutation";
+    return;
+  }
+  std::string sync_error;
+  if (!wal_->Sync(name, seq, &sync_error)) {
+    // The op is applied in memory but its durability is indeterminate —
+    // surfaced as a failure so the client treats the ack as unsafe.
+    result->ok = false;
+    result->error = "durability failure: " + sync_error;
+    return;
+  }
+  if (wal_->SnapshotDue(name)) {
+    bool notify = false;
+    {
+      std::lock_guard<std::mutex> lock(snapshot_mutex_);
+      if (std::find(snapshot_queue_.begin(), snapshot_queue_.end(), name) ==
+          snapshot_queue_.end()) {
+        snapshot_queue_.push_back(name);
+        notify = true;
+      }
+    }
+    if (notify) snapshot_cv_.notify_all();
+  }
+}
+
+void KbService::SnapshotLoop() {
+  std::unique_lock<std::mutex> lock(snapshot_mutex_);
+  for (;;) {
+    snapshot_cv_.wait(lock,
+                      [&] { return snapshot_stop_ || !snapshot_queue_.empty(); });
+    if (snapshot_queue_.empty()) {
+      if (snapshot_stop_) return;
+      continue;
+    }
+    std::string name = std::move(snapshot_queue_.front());
+    snapshot_queue_.pop_front();
+    lock.unlock();
+    // The staged tail is the authoritative post-ack state; its version
+    // bounds every record in the closed segments WriteSnapshot truncates.
+    KbCatalog::StagedState staged = catalog_.Staged(name);
+    if (staged.ok) {
+      std::string snap_error;
+      (void)wal_->WriteSnapshot(name, staged.version, staged.kb, &snap_error);
+    }
+    lock.lock();
+  }
+}
 
 InferenceOptions KbService::EffectiveOptions(
     const RequestOptions& request) const {
@@ -86,24 +210,39 @@ KbService::MutationResult KbService::Load(
     }
     kb.mutable_vocabulary().AddConstant(constant);
   }
+  WalRecord record;
+  record.op = WalRecord::Op::kLoad;
+  record.kb = name;
+  record.text = kb_text;
+  record.declare = declare;
+  uint64_t seq = 0;
   std::shared_ptr<const KbSnapshot> snapshot =
-      catalog_.Load(name, std::move(kb));
+      catalog_.Load(name, std::move(kb), JournalHook(std::move(record), &seq));
   result.ok = true;
   result.version = snapshot->version;
+  FinishDurable(name, seq, &result);
   return result;
 }
 
 KbService::MutationResult KbService::Assert(const std::string& name,
                                             const std::string& text) {
   MutationResult result;
+  WalRecord record;
+  record.op = WalRecord::Op::kAssert;
+  record.kb = name;
+  record.text = text;
+  uint64_t seq = 0;
   MutationTicket ticket = catalog_.Mutate(
-      name, [&](KnowledgeBase* kb, std::string* error) {
+      name,
+      [&](KnowledgeBase* kb, std::string* error) {
         if (!kb->AddParsed(text, error)) return false;
         return CheckClosed(kb->AsFormula(), "asserted sentence", error);
-      });
+      },
+      JournalHook(std::move(record), &seq));
   result.ok = ticket.ok;
   result.error = std::move(ticket.error);
   result.version = ticket.version;
+  FinishDurable(name, seq, &result);
   return result;
 }
 
@@ -115,8 +254,14 @@ KbService::MutationResult KbService::Retract(const std::string& name,
     result.error = "retract parse error: " + parsed.error;
     return result;
   }
+  WalRecord record;
+  record.op = WalRecord::Op::kRetract;
+  record.kb = name;
+  record.text = text;
+  uint64_t seq = 0;
   MutationTicket ticket = catalog_.Mutate(
-      name, [&](KnowledgeBase* kb, std::string* error) {
+      name,
+      [&](KnowledgeBase* kb, std::string* error) {
         // Hash-consing: structural equality is pointer equality.
         size_t removed =
             RetractConjuncts(kb, [&](size_t, const logic::FormulaPtr& c) {
@@ -127,14 +272,29 @@ KbService::MutationResult KbService::Retract(const std::string& name,
           return false;
         }
         return true;
-      });
+      },
+      JournalHook(std::move(record), &seq));
   result.ok = ticket.ok;
   result.error = std::move(ticket.error);
   result.version = ticket.version;
+  FinishDurable(name, seq, &result);
   return result;
 }
 
-bool KbService::Drop(const std::string& name) { return catalog_.Drop(name); }
+bool KbService::Drop(const std::string& name) {
+  ReplicationHub* hub = options_.replication;
+  const bool dropped = catalog_.Drop(name, [&] {
+    // Under the catalog mutex: the DROP ships in global version order.
+    if (hub != nullptr && hub->HasSubscribers()) {
+      WalRecord record;
+      record.op = WalRecord::Op::kDrop;
+      record.kb = name;
+      hub->Publish(EncodeWalRecord(record));
+    }
+  });
+  if (dropped && wal_ != nullptr) wal_->Remove(name);
+  return dropped;
+}
 
 // Parses and admits one query against a pinned snapshot.  On admission the
 // returned future completes when the job has filled *result (which must
@@ -177,16 +337,35 @@ std::future<void> KbService::SubmitOnSnapshot(
   return future;
 }
 
+// How long a min_version read waits for the warm successor to publish
+// before answering on a cold transient snapshot of the staged tail
+// instead.  Publication normally lands within a few milliseconds of the
+// ack; the bound matters when the maintenance worker is backlogged or
+// CPU-starved (an oversubscribed host, a replica applying a busy feed) —
+// read-your-writes promises the acked STATE, not warmed caches, so a
+// bounded wait plus the bit-identical cold fallback beats queueing the
+// read behind cache warming.
+constexpr double kPublishGraceMs = 20.0;
+
+// Read-your-writes pin: the published head once it reaches min_version,
+// or the staged-tail fallback (see kPublishGraceMs).  Null when the KB is
+// unknown.
+std::shared_ptr<const KbSnapshot> KbService::PinForRead(
+    const std::string& name, uint64_t min_version) {
+  if (min_version > 0 &&
+      !catalog_.WaitForVersion(name, min_version, kPublishGraceMs)) {
+    std::shared_ptr<const KbSnapshot> staged = catalog_.StagedSnapshot(name);
+    if (staged != nullptr && staged->version >= min_version) return staged;
+  }
+  return catalog_.Get(name);
+}
+
 KbService::QueryResult KbService::Query(const std::string& name,
                                         const std::string& query_text,
                                         const RequestOptions& request) {
   QueryResult result;
-  // Read-your-writes: a request carrying the caller's last acked mutation
-  // version waits for that version to publish before pinning.
-  if (request.min_version > 0) {
-    catalog_.WaitForVersion(name, request.min_version);
-  }
-  std::shared_ptr<const KbSnapshot> snapshot = catalog_.Get(name);
+  std::shared_ptr<const KbSnapshot> snapshot =
+      PinForRead(name, request.min_version);
   if (snapshot == nullptr) {
     result.error = "no knowledge base named '" + name + "'";
     return result;
@@ -201,10 +380,8 @@ std::vector<KbService::QueryResult> KbService::Batch(
     const std::string& name, const std::vector<std::string>& queries,
     const RequestOptions& request) {
   std::vector<QueryResult> results(queries.size());
-  if (request.min_version > 0) {
-    catalog_.WaitForVersion(name, request.min_version);
-  }
-  std::shared_ptr<const KbSnapshot> snapshot = catalog_.Get(name);
+  std::shared_ptr<const KbSnapshot> snapshot =
+      PinForRead(name, request.min_version);
   if (snapshot == nullptr) {
     for (auto& result : results) {
       result.error = "no knowledge base named '" + name + "'";

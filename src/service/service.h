@@ -4,11 +4,14 @@
 // Contract (the snapshot-isolation guarantee rwld documents):
 //
 //   * a mutation (LOAD/ASSERT/RETRACT) is durable when the call returns:
-//     its version number is the ack, the WAL order is fixed, and every
+//     its version number is the ack, the WAL order is fixed, and — with a
+//     WAL configured — its journal record is fsync'd (group commit)
+//     before the ack, so Recover() reproduces it after a crash.  Every
 //     later mutation builds on it.  The successor snapshot itself is
 //     minted on a background maintenance worker (incremental cache
 //     patching included) and published atomically once warm — readers
-//     keep serving the previous head during that window;
+//     keep serving the previous head during that window, and the ack
+//     never waits for a build (same-KB builds coalesce);
 //   * a query pins a snapshot at admission time and answers against that
 //     version no matter what lands while it waits or runs — the answer is
 //     bit-identical to a fresh single-threaded query against that version
@@ -27,17 +30,24 @@
 #ifndef RWL_SERVICE_SERVICE_H_
 #define RWL_SERVICE_SERVICE_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/inference.h"
 #include "src/service/catalog.h"
 #include "src/service/scheduler.h"
+#include "src/service/wal.h"
 
 namespace rwl::service {
+
+class ReplicationHub;  // replica.h
 
 struct ServiceOptions {
   SchedulerOptions scheduler;
@@ -53,6 +63,16 @@ struct ServiceOptions {
   // Defaults for every query; per-request options override deadline,
   // budget and plan mode.
   InferenceOptions inference;
+  // Durability: with a non-empty wal.dir every LOAD/ASSERT/RETRACT is
+  // journaled and fsync'd (group commit) before its ack returns, KB
+  // snapshots are written off the ack path every wal.snapshot_every
+  // mutations (truncating the log), and Recover() rebuilds the catalog
+  // after a crash.  Empty dir = in-memory only (the old behavior).
+  WalOptions wal;
+  // Log shipping: when set, every journaled record is also published to
+  // this hub (inside the version-assignment critical section, so ship
+  // order is version order) for TAIL subscribers.  Not owned.
+  ReplicationHub* replication = nullptr;
 };
 
 // Per-request overrides (the protocol's optional QUERY fields).
@@ -71,6 +91,15 @@ struct RequestOptions {
 class KbService {
  public:
   explicit KbService(const ServiceOptions& options = {});
+  ~KbService();
+
+  // Crash recovery: scans the WAL directory and reinstalls every
+  // journaled KB (newest snapshot + replay), raises the catalog version
+  // floor above every journaled version, and re-snapshots each recovered
+  // KB (compacting the log into the new version space).  Call once,
+  // before serving.  No-op without a WAL.  Non-fatal per-KB problems ride
+  // back as warnings; false only when the WAL root is unreadable.
+  bool Recover(std::vector<std::string>* warnings, std::string* error);
 
   struct MutationResult {
     bool ok = false;
@@ -126,16 +155,23 @@ class KbService {
   // Background-maintenance surface (see KbCatalog): observing an acked
   // version, draining the mint queue, and holding the publication window
   // open deterministically in tests.
-  bool WaitForVersion(const std::string& name, uint64_t version) const {
-    return catalog_.WaitForVersion(name, version);
+  bool WaitForVersion(const std::string& name, uint64_t version,
+                      double timeout_ms = -1.0) const {
+    return catalog_.WaitForVersion(name, version, timeout_ms);
   }
-  void DrainMaintenance() { catalog_.DrainMaintenance(); }
+  bool DrainMaintenance(double timeout_ms = -1.0) {
+    return catalog_.DrainMaintenance(timeout_ms);
+  }
   void PauseMaintenance() { catalog_.PauseMaintenance(); }
   void ResumeMaintenance() { catalog_.ResumeMaintenance(); }
   KbCatalog::MaintenanceStats maintenance_stats() const {
     return catalog_.maintenance_stats();
   }
   const ServiceOptions& options() const { return options_; }
+
+  // Null when durability is off.  Exposed for STATS and the bench fields.
+  const KbWal* wal() const { return wal_.get(); }
+  KbCatalog* catalog() { return &catalog_; }
 
   // The effective InferenceOptions a request runs under (exposed so tests
   // can reproduce a service answer with a fresh single-threaded call).
@@ -147,9 +183,35 @@ class KbService {
       const std::string& query_text, const InferenceOptions& options,
       QueryResult* result);
 
+  // The read-side snapshot pin shared by Query and Batch: the published
+  // head once it reaches `min_version`, or — after a bounded wait on a
+  // backlogged maintenance worker — a cold transient snapshot of the
+  // staged tail (bit-identical answers, unwarmed caches).
+  std::shared_ptr<const KbSnapshot> PinForRead(const std::string& name,
+                                               uint64_t min_version);
+
+  // The version hook shared by Load/Assert/Retract: journals `record`
+  // (version filled in) and ships it to the replication hub.  Returns the
+  // WAL sequence to Sync on (0 = nothing journaled).
+  KbCatalog::VersionHook JournalHook(WalRecord record, uint64_t* seq);
+  // Finishes a mutation: group-commit fsync of `seq`, then snapshot
+  // scheduling.  Flips result->ok to false on a durability failure.
+  void FinishDurable(const std::string& name, uint64_t seq,
+                     MutationResult* result);
+
+  void SnapshotLoop();
+
   ServiceOptions options_;
+  std::unique_ptr<KbWal> wal_;  // null = durability off
   KbCatalog catalog_;
-  QueryScheduler scheduler_;  // last: workers stop before the catalog dies
+  QueryScheduler scheduler_;  // workers stop before the catalog dies
+
+  // Off-ack-path snapshot writer (one KB name queued at most once).
+  std::mutex snapshot_mutex_;
+  std::condition_variable snapshot_cv_;
+  std::deque<std::string> snapshot_queue_;
+  bool snapshot_stop_ = false;
+  std::thread snapshot_thread_;  // last: joined first in ~KbService
 };
 
 }  // namespace rwl::service

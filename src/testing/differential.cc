@@ -9,6 +9,8 @@
 #include "src/core/query_context.h"
 #include "src/engines/exact_engine.h"
 #include "src/service/catalog.h"
+#include "src/service/replica.h"
+#include "src/service/wal.h"
 #include "src/engines/maxent_engine.h"
 #include "src/engines/montecarlo_engine.h"
 #include "src/engines/profile_engine.h"
@@ -400,6 +402,181 @@ void RunServiceCheck(const Scenario& scenario,
   }
 }
 
+// replica: log-shipping bit-identity.
+//
+// Ships a deterministic mutation sequence through the real replication
+// pipeline in-process: every mutation is a WAL record applied to the
+// PRIMARY catalog via ApplyWalRecord (the routing crash recovery and a
+// live replica share), published to a ReplicationHub from where the
+// record's version is known, consumed off the subscription queue, and
+// applied to a REPLICA catalog by ReplicaApplier — after a SNAPSHOT
+// bootstrap record exactly like rwld's TAIL handshake.  The replica head
+// must answer every query BIT-IDENTICALLY to the primary head, and the
+// primary->local version-vector handoff must map a version pinned
+// mid-sequence to a replica snapshot that answers bit-identically to the
+// primary's pin of the same primary version.  The record texts round-trip
+// through the NDJSON encoding (encode -> line -> decode), so this also
+// pins the wire format against semantic drift.
+void RunReplicaCheck(const Scenario& scenario,
+                     const DifferentialOptions& options,
+                     DifferentialReport* report) {
+  if (options.service_mutations <= 0) return;
+
+  KnowledgeBase base = ToKnowledgeBase(scenario);
+  service::KbCatalog primary;
+  primary.Load("diff", base);
+
+  service::ReplicationHub hub;
+  service::KbCatalog replica_kbs;
+  service::ReplicaApplier applier(&replica_kbs);
+  std::shared_ptr<service::ReplicationSubscription> sub = hub.Subscribe();
+
+  auto fail = [&](const std::string& stage, const std::string& why) {
+    report->disagreements.push_back(
+        Disagreement{"replica", stage, "primary", nullptr, 0, why});
+  };
+
+  // TAIL bootstrap: one SNAPSHOT record serialized from the primary head.
+  {
+    std::shared_ptr<const service::KbSnapshot> head = primary.Get("diff");
+    std::string line = service::EncodeWalRecord(
+        service::MakeSnapshotRecord("diff", head->version, head->kb));
+    std::string apply_error;
+    if (!applier.ApplyLine(line, &apply_error)) {
+      fail("bootstrap", "snapshot record rejected: " + apply_error);
+      return;
+    }
+  }
+
+  // One mutation = one record: apply to the primary, stamp the
+  // primary-assigned version, publish, pop off the subscription, apply to
+  // the replica.  Same op mix as RunServiceCheck, but expressed as record
+  // text (the only form replication can carry).
+  std::string text = Describe(scenario);
+  // Distinct stream from RunServiceCheck's so the two checks exercise
+  // different sequences over the same scenario.
+  std::mt19937_64 rng(std::hash<std::string>{}(text) ^ 0x5E971CA5ull);
+  std::vector<std::string> retracted;
+  uint64_t pinned_primary_version = 0;
+  std::shared_ptr<const service::KbSnapshot> pinned_primary;
+  std::shared_ptr<const service::KbSnapshot> pinned_replica;
+  bool asserted_fresh = false;
+  for (int step = 0; step < options.service_mutations; ++step) {
+    std::shared_ptr<const service::KbSnapshot> head = primary.Get("diff");
+    const size_t num_conjuncts = head->kb.conjuncts().size();
+    int op = static_cast<int>(rng() % 3);
+    if (op == 0 && num_conjuncts == 0) op = 1;
+    if (op == 1 && retracted.empty()) op = 2;
+    if (op == 2 && asserted_fresh) op = num_conjuncts > 0 ? 0 : 1;
+
+    service::WalRecord record;
+    record.kb = "diff";
+    if (op == 0 && num_conjuncts > 0) {
+      const size_t victim = rng() % num_conjuncts;
+      record.op = service::WalRecord::Op::kRetract;
+      record.text = logic::ToString(head->kb.conjuncts()[victim]);
+      retracted.push_back(record.text);
+    } else if (op == 1 && !retracted.empty()) {
+      const size_t index = rng() % retracted.size();
+      record.op = service::WalRecord::Op::kAssert;
+      record.text = retracted[index];
+      retracted.erase(retracted.begin() + static_cast<long>(index));
+    } else {
+      asserted_fresh = true;
+      std::string unary;
+      for (const auto& predicate : head->kb.vocabulary().predicates()) {
+        if (predicate.arity == 1) {
+          unary = predicate.name;
+          break;
+        }
+      }
+      if (unary.empty()) continue;  // no unary predicate: skip the op
+      record.op = service::WalRecord::Op::kAssert;
+      record.text = unary + "(ZzRepC)";
+    }
+
+    uint64_t primary_version = 0;
+    std::string apply_error;
+    if (!service::ApplyWalRecord(&primary, record, &primary_version,
+                                 &apply_error)) {
+      fail("primary-apply", "record {" + service::EncodeWalRecord(record) +
+                                "} failed: " + apply_error);
+      return;
+    }
+    record.version = primary_version;
+    hub.Publish(service::EncodeWalRecord(record));
+
+    std::string line;
+    if (!sub->Next(&line, /*timeout_ms=*/1000.0)) {
+      fail("ship", "published record never reached the subscription");
+      return;
+    }
+    if (!applier.ApplyLine(line, &apply_error)) {
+      fail("replica-apply", "shipped record {" + line +
+                                "} rejected: " + apply_error);
+      return;
+    }
+
+    if (step == 0) {
+      // Version-vector handoff for the mid-sequence pin: a client that
+      // acked `primary_version` pins the replica's mapped local version.
+      pinned_primary_version = primary_version;
+      pinned_primary = primary.Get("diff");
+      uint64_t local_version = 0;
+      if (!applier.WaitForPrimaryVersion("diff", primary_version,
+                                         /*timeout_ms=*/1000.0,
+                                         &local_version)) {
+        fail("handoff", "WaitForPrimaryVersion timed out for an already "
+                        "applied version");
+        return;
+      }
+      pinned_replica = replica_kbs.GetVersion("diff", local_version);
+    }
+  }
+
+  InferenceOptions inference;
+  inference.tolerances = options.tolerances;
+  inference.limit.domain_sizes = options.service_domain_sizes;
+  inference.limit.tolerance_scales = options.pipeline_tolerance_scales;
+
+  auto compare_pair = [&](const service::KbSnapshot& primary_snapshot,
+                          const service::KbSnapshot& replica_snapshot,
+                          const std::string& label) {
+    const size_t num_queries = std::min<size_t>(scenario.queries.size(), 2);
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      const logic::FormulaPtr& query = scenario.queries[qi];
+      Answer on_primary =
+          service::AnswerOnSnapshot(primary_snapshot, query, inference);
+      Answer on_replica =
+          service::AnswerOnSnapshot(replica_snapshot, query, inference);
+      ++report->comparisons;
+      std::string why;
+      if (!SameAnswer(on_primary, on_replica, &why)) {
+        report->disagreements.push_back(Disagreement{
+            "replica", label, "primary@v" +
+                std::to_string(primary_snapshot.version), query, 0, why});
+      }
+    }
+  };
+
+  std::shared_ptr<const service::KbSnapshot> primary_head =
+      primary.Get("diff");
+  std::shared_ptr<const service::KbSnapshot> replica_head =
+      replica_kbs.Get("diff");
+  if (replica_head == nullptr) {
+    fail("head", "replica catalog has no head after the sequence");
+    return;
+  }
+  compare_pair(*primary_head, *replica_head,
+               "replica-head@v" + std::to_string(replica_head->version));
+  if (pinned_primary != nullptr && pinned_replica != nullptr &&
+      pinned_primary_version != primary_head->version) {
+    compare_pair(*pinned_primary, *pinned_replica,
+                 "replica-pinned@primary-v" +
+                     std::to_string(pinned_primary_version));
+  }
+}
+
 }  // namespace
 
 std::vector<const FiniteEngine*> EngineSet::pointers() const {
@@ -579,6 +756,9 @@ DifferentialReport RunDifferential(
 
   // ---- service: incremental maintenance vs rebuild-from-scratch ----
   if (options.check_service) RunServiceCheck(scenario, options, &report);
+
+  // ---- replica: log-shipping bit-identity ----
+  if (options.check_replica) RunReplicaCheck(scenario, options, &report);
 
   // ---- planner vs forced strategies / plan-cache bit-identity ----
   //

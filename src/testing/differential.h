@@ -26,7 +26,12 @@
 //               incrementally-maintained head KB answers every query
 //               bit-identically to a KB rebuilt from scratch — and so
 //               does a version pinned mid-sequence (no cross-version
-//               cache leaks).
+//               cache leaks);
+//   replica   — the same kind of sequence shipped as WAL records through
+//               the replication pipeline (hub -> subscription -> applier,
+//               SNAPSHOT bootstrap first) leaves a replica catalog
+//               answering bit-identically to the primary, head and
+//               pinned-version alike.
 //
 // Any violated check becomes a Disagreement; a scenario with at least one
 // disagreement is a fuzzing failure, to be shrunk (shrinker.h) and checked
@@ -74,6 +79,12 @@ struct DifferentialOptions {
   // head — and a mid-sequence pinned version — answering bit-identically
   // to a from-scratch rebuild of the same conjuncts and vocabulary.
   bool check_service = true;
+  // replica — a second mutation sequence shipped through the replication
+  // pipeline (WAL record encode -> ReplicationHub -> ReplicaApplier, with
+  // a SNAPSHOT bootstrap like rwld's TAIL handshake): the replica catalog
+  // must answer bit-identically to the primary at the head AND at a
+  // mid-sequence pin mapped through the primary->local version vector.
+  bool check_replica = true;
   // Mutation steps (bounded by the conjunct count; 0 disables).
   int service_mutations = 6;
   // The check's own sweep schedule, deliberately shallow: a stale cache
@@ -102,7 +113,8 @@ struct DifferentialOptions {
 
 struct Disagreement {
   std::string check;  // "vm", "finite", "context", "pipeline", "maxent",
-                      // "batch", "planner", "plan-cache", "service"
+                      // "batch", "planner", "plan-cache", "service",
+                      // "replica"
   std::string lhs;    // engine / strategy names
   std::string rhs;
   logic::FormulaPtr query;

@@ -69,7 +69,7 @@ struct Config {
   std::string replay_path;
   bool self_test = false;
   // Comma-separated subset of {finite,pipeline,maxent,batch,vm,planner,
-  // service}; empty = the per-profile defaults.
+  // service, replica}; empty = the per-profile defaults.
   std::string checks;
 };
 
@@ -85,7 +85,7 @@ bool ValidCheckList(const std::string& checks) {
     }
     if (token != "finite" && token != "pipeline" && token != "maxent" &&
         token != "batch" && token != "vm" && token != "planner" &&
-        token != "service") {
+        token != "service" && token != "replica") {
       std::fprintf(stderr, "rwlfuzz: unknown check '%s'\n", token.c_str());
       return false;
     }
@@ -107,6 +107,7 @@ void ApplyCheckFilter(const std::string& checks,
   options->check_vm = options->check_vm && enabled("vm");
   options->check_planner = options->check_planner && enabled("planner");
   options->check_service = options->check_service && enabled("service");
+  options->check_replica = options->check_replica && enabled("replica");
 }
 
 int Usage(const char* argv0) {
@@ -244,6 +245,7 @@ GeneratedCase GenerateNonUnary(std::mt19937* rng, bool mixed,
   // Like the other limit-level checks: binary predicates route the
   // service rebuilds through expensive exact sweeps for little signal.
   generated.options.check_service = false;
+  generated.options.check_replica = false;
   generated.mc_samples = config.mc_samples;
   return generated;
 }
@@ -441,6 +443,7 @@ int SelfTestMain(const Config& config) {
   finite_only.check_batch = false;
   finite_only.check_maxent = false;
   finite_only.check_service = false;
+  finite_only.check_replica = false;
 
   for (int index = 0; index < 400; ++index) {
     std::string chosen;

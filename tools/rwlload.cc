@@ -36,6 +36,17 @@
 //                     exit nonzero when mixed query p99.9 > U µs (CI gate
 //                     for the incremental-maintenance path: mutations must
 //                     not stall the query tail)
+//   --mut-max-p99-us U
+//                     exit nonzero when mixed MUTATION p99 > U µs (CI gate
+//                     for the WAL-fsync ack path: acks must not wait on
+//                     maintenance builds)
+//   --wal-dir DIR     in-process mode only: run the service with a WAL so
+//                     the measured mutation ack includes the fsync
+//   --replica PORT    with --connect: after every mutation ack, time a
+//                     min_version read-your-writes query against the
+//                     replica rwld at 127.0.0.1:PORT (replica lag)
+//   --replica-max-lag-p99-us U
+//                     exit nonzero when replica lag p99 > U µs (CI gate)
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -72,9 +83,13 @@ struct Config {
   int nmax = 32;
   int connect_port = 0;
   std::string json_out = "BENCH_service.json";
+  std::string wal_dir;
+  int replica_port = 0;
   double min_qps = 0.0;
   double mixed_min_qps = 0.0;
   double mixed_max_p999_us = 0.0;
+  double mut_max_p99_us = 0.0;
+  double replica_max_lag_p99_us = 0.0;
 };
 
 int Usage(const char* argv0) {
@@ -82,7 +97,9 @@ int Usage(const char* argv0) {
                "usage: %s [--threads N] [--seconds S] [--server-threads M]\n"
                "          [--mutate-every K] [--nmax N] [--connect PORT]\n"
                "          [--json-out PATH] [--min-qps Q]\n"
-               "          [--mixed-min-qps Q] [--mixed-max-p999-us U]\n",
+               "          [--mixed-min-qps Q] [--mixed-max-p999-us U]\n"
+               "          [--mut-max-p99-us U] [--wal-dir DIR]\n"
+               "          [--replica PORT] [--replica-max-lag-p99-us U]\n",
                argv0);
   return 2;
 }
@@ -111,7 +128,16 @@ class Client {
  public:
   virtual ~Client() = default;
   virtual bool Query(const WorkItem& item) = 0;          // true = ok answer
-  virtual bool Mutate(const WorkItem& item, bool assert_phase) = 0;
+  // On success *version (optional) is the acked version — the primary
+  // version a replica-lag probe hands to QueryMinVersion.
+  virtual bool Mutate(const WorkItem& item, bool assert_phase,
+                      uint64_t* version = nullptr) = 0;
+  // Query with a read-your-writes floor (replica probes: min_version is
+  // a PRIMARY version when aimed at a --replica-of daemon).
+  virtual bool QueryMinVersion(const WorkItem& item, uint64_t min_version) = 0;
+  // Block until the daemon holds min_version (WAIT op) without running a
+  // query — the timed replica-lag probe, free of tenant query cost.
+  virtual bool WaitVersion(const WorkItem& item, uint64_t min_version) = 0;
 };
 
 class InProcessClient : public Client {
@@ -123,11 +149,23 @@ class InProcessClient : public Client {
     return result.ok;
   }
 
-  bool Mutate(const WorkItem& item, bool assert_phase) override {
+  bool Mutate(const WorkItem& item, bool assert_phase,
+              uint64_t* version) override {
     KbService::MutationResult result =
         assert_phase ? service_->Assert(item.kb, item.marker)
                      : service_->Retract(item.kb, item.marker);
+    if (result.ok && version != nullptr) *version = result.version;
     return result.ok;
+  }
+
+  bool QueryMinVersion(const WorkItem& item, uint64_t min_version) override {
+    rwl::service::RequestOptions request;
+    request.min_version = min_version;
+    return service_->Query(item.kb, item.query, request).ok;
+  }
+
+  bool WaitVersion(const WorkItem& item, uint64_t min_version) override {
+    return service_->WaitForVersion(item.kb, min_version, 30000.0);
   }
 
  private:
@@ -162,12 +200,43 @@ class TcpClient : public Client {
     return response.find("\"ok\":true") != std::string::npos;
   }
 
-  bool Mutate(const WorkItem& item, bool assert_phase) override {
+  bool Mutate(const WorkItem& item, bool assert_phase,
+              uint64_t* version) override {
     std::string line = std::string("{\"id\":1,\"op\":\"") +
                        (assert_phase ? "ASSERT" : "RETRACT") +
                        "\",\"kb\":\"" + rwl::service::JsonEscape(item.kb) +
                        "\",\"text\":\"" +
                        rwl::service::JsonEscape(item.marker) + "\"}\n";
+    std::string response;
+    if (!RoundTrip(line, &response)) return false;
+    if (response.find("\"ok\":true") == std::string::npos) return false;
+    if (version != nullptr) {
+      size_t at = response.find("\"version\":");
+      *version = at == std::string::npos
+                     ? 0
+                     : std::strtoull(response.c_str() + at + 10, nullptr, 10);
+    }
+    return true;
+  }
+
+  bool QueryMinVersion(const WorkItem& item, uint64_t min_version) override {
+    char floor[48];
+    std::snprintf(floor, sizeof(floor), ",\"min_version\":%llu}\n",
+                  static_cast<unsigned long long>(min_version));
+    std::string line = "{\"id\":1,\"op\":\"QUERY\",\"kb\":\"" +
+                       rwl::service::JsonEscape(item.kb) + "\",\"q\":\"" +
+                       rwl::service::JsonEscape(item.query) + "\"" + floor;
+    std::string response;
+    if (!RoundTrip(line, &response)) return false;
+    return response.find("\"ok\":true") != std::string::npos;
+  }
+
+  bool WaitVersion(const WorkItem& item, uint64_t min_version) override {
+    char floor[48];
+    std::snprintf(floor, sizeof(floor), ",\"min_version\":%llu}\n",
+                  static_cast<unsigned long long>(min_version));
+    std::string line = "{\"id\":1,\"op\":\"WAIT\",\"kb\":\"" +
+                       rwl::service::JsonEscape(item.kb) + "\"" + floor;
     std::string response;
     if (!RoundTrip(line, &response)) return false;
     return response.find("\"ok\":true") != std::string::npos;
@@ -237,6 +306,21 @@ struct PhaseResult {
   double window_p50_us = 0.0, window_p99_us = 0.0, window_max_us = 0.0;
   std::vector<uint64_t> window_hist = std::vector<uint64_t>(
       kWindowBucketCount, 0);
+  // Replica lag (--replica): WAIT round-trip time against the replica
+  // immediately after each mutation ack — how long the acked version
+  // takes to be applied there (replay lag).  Errors also count failures
+  // of the untimed read-your-writes query that follows each WAIT.
+  uint64_t replica_probes = 0;
+  uint64_t replica_errors = 0;
+  double replica_lag_p50_us = 0.0, replica_lag_p99_us = 0.0;
+  double replica_lag_max_us = 0.0;
+  // WAL fsync percentiles over the service lifetime, stamped onto the
+  // mixed row by main() when durability is on (in-process --wal-dir, or
+  // read from the daemon's STATS in --connect mode).
+  bool has_wal = false;
+  uint64_t wal_appends = 0, wal_fsyncs = 0;
+  double wal_fsync_p50_us = 0.0, wal_fsync_p99_us = 0.0;
+  double wal_fsync_max_us = 0.0;
 };
 
 double Percentile(const std::vector<double>& sorted, double q) {
@@ -251,13 +335,16 @@ double Percentile(const std::vector<double>& sorted, double q) {
 PhaseResult RunPhase(const std::string& phase, const Config& config,
                      const std::vector<WorkItem>& work,
                      const std::vector<std::unique_ptr<Client>>& clients,
-                     int mutate_every) {
+                     int mutate_every, Client* replica = nullptr) {
   std::atomic<bool> stop{false};
   std::vector<std::vector<double>> latencies(clients.size());
   std::vector<std::vector<double>> mutation_latencies(clients.size());
   std::vector<std::vector<double>> window_latencies(clients.size());
   std::vector<uint64_t> errors(clients.size(), 0);
   std::vector<uint64_t> mutations(clients.size(), 0);
+  // Only the writer thread (t == 0) probes the replica, so plain members.
+  std::vector<double> replica_lag;
+  uint64_t replica_probe_errors = 0;
   // Queries since the last mutation, shared across threads; the writer
   // zeroes it after each mutation and readers sample-and-increment, so
   // the first kPostMutationWindow queries after a mutation are tagged.
@@ -287,8 +374,9 @@ PhaseResult RunPhase(const std::string& phase, const Config& config,
             ops % static_cast<uint64_t>(mutate_every) == 0) {
           int& pending = outstanding[item.kb];
           const bool assert_phase = pending == 0;
+          uint64_t acked_version = 0;
           Clock::time_point t0 = Clock::now();
-          bool ok = client->Mutate(item, assert_phase);
+          bool ok = client->Mutate(item, assert_phase, &acked_version);
           // Only successful mutations flip the toggle state: a transport
           // hiccup must not desync the assert/retract cadence from the
           // actual KB state.
@@ -302,6 +390,24 @@ PhaseResult RunPhase(const std::string& phase, const Config& config,
               std::chrono::duration<double, std::micro>(Clock::now() - t0)
                   .count());
           if (ok) since_mutation.store(0, std::memory_order_relaxed);
+          // Replica lag probe, in two parts.  Timed: a WAIT round trip
+          // for the acked PRIMARY version — how long until the replica
+          // has applied it (true replay lag; runs no query, so tenant
+          // query cost can't pollute the histogram).  Untimed: a
+          // min_version read-your-writes query through the same
+          // version-vector handoff — the correctness leg; a wrong or
+          // refused answer counts as a probe error.
+          if (ok && replica != nullptr && acked_version > 0) {
+            Clock::time_point r0 = Clock::now();
+            bool applied = replica->WaitVersion(item, acked_version);
+            replica_lag.push_back(
+                std::chrono::duration<double, std::micro>(Clock::now() - r0)
+                    .count());
+            if (!applied ||
+                !replica->QueryMinVersion(item, acked_version)) {
+              ++replica_probe_errors;
+            }
+          }
           continue;
         }
         Clock::time_point t0 = Clock::now();
@@ -358,6 +464,12 @@ PhaseResult RunPhase(const std::string& phase, const Config& config,
   result.window_p50_us = Percentile(window, 0.50);
   result.window_p99_us = Percentile(window, 0.99);
   result.window_max_us = window.empty() ? 0.0 : window.back();
+  std::sort(replica_lag.begin(), replica_lag.end());
+  result.replica_probes = replica_lag.size();
+  result.replica_errors = replica_probe_errors;
+  result.replica_lag_p50_us = Percentile(replica_lag, 0.50);
+  result.replica_lag_p99_us = Percentile(replica_lag, 0.99);
+  result.replica_lag_max_us = replica_lag.empty() ? 0.0 : replica_lag.back();
   for (double us : window) {
     size_t bucket = 0;
     while (bucket < kWindowBucketCount - 1 && us > kWindowBucketsUs[bucket]) {
@@ -411,6 +523,29 @@ std::string PhaseJson(const Config& config, const PhaseResult& result) {
     }
     row += "]";
   }
+  if (result.has_wal) {
+    std::snprintf(buf, sizeof(buf),
+                  ", \"wal_appends\": %llu, \"wal_fsyncs\": %llu, "
+                  "\"wal_fsync_p50_us\": %.1f, \"wal_fsync_p99_us\": %.1f, "
+                  "\"wal_fsync_max_us\": %.1f",
+                  static_cast<unsigned long long>(result.wal_appends),
+                  static_cast<unsigned long long>(result.wal_fsyncs),
+                  result.wal_fsync_p50_us, result.wal_fsync_p99_us,
+                  result.wal_fsync_max_us);
+    row += buf;
+  }
+  if (result.replica_probes > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ", \"replica_probes\": %llu, \"replica_errors\": %llu, "
+                  "\"replica_lag_p50_us\": %.1f, "
+                  "\"replica_lag_p99_us\": %.1f, "
+                  "\"replica_lag_max_us\": %.1f",
+                  static_cast<unsigned long long>(result.replica_probes),
+                  static_cast<unsigned long long>(result.replica_errors),
+                  result.replica_lag_p50_us, result.replica_lag_p99_us,
+                  result.replica_lag_max_us);
+    row += buf;
+  }
   row += "}";
   return row;
 }
@@ -434,6 +569,24 @@ void PrintPhase(const PhaseResult& result) {
         result.mut_p50_us, result.mut_p99_us, result.mut_max_us,
         static_cast<unsigned long long>(result.window_count),
         result.window_p50_us, result.window_p99_us, result.window_max_us);
+  }
+  if (result.has_wal) {
+    std::printf(
+        "          wal %llu appends / %llu fsyncs, fsync p50=%.0fus "
+        "p99=%.0fus max=%.0fus\n",
+        static_cast<unsigned long long>(result.wal_appends),
+        static_cast<unsigned long long>(result.wal_fsyncs),
+        result.wal_fsync_p50_us, result.wal_fsync_p99_us,
+        result.wal_fsync_max_us);
+  }
+  if (result.replica_probes > 0) {
+    std::printf(
+        "          replica lag (%llu probes, %llu errors) p50=%.0fus "
+        "p99=%.0fus max=%.0fus\n",
+        static_cast<unsigned long long>(result.replica_probes),
+        static_cast<unsigned long long>(result.replica_errors),
+        result.replica_lag_p50_us, result.replica_lag_p99_us,
+        result.replica_lag_max_us);
   }
 }
 
@@ -462,9 +615,28 @@ int main(int argc, char** argv) {
       config.mixed_min_qps = std::atof(v);
     else if (arg == "--mixed-max-p999-us" && (v = next()))
       config.mixed_max_p999_us = std::atof(v);
+    else if (arg == "--mut-max-p99-us" && (v = next()))
+      config.mut_max_p99_us = std::atof(v);
+    else if (arg == "--wal-dir" && (v = next())) config.wal_dir = v;
+    else if (arg == "--replica" && (v = next()))
+      config.replica_port = std::atoi(v);
+    else if (arg == "--replica-max-lag-p99-us" && (v = next()))
+      config.replica_max_lag_p99_us = std::atof(v);
     else return Usage(argv[0]);
   }
   if (config.threads < 1 || config.seconds <= 0.0) return Usage(argv[0]);
+  if (config.replica_port > 0 && config.connect_port <= 0) {
+    std::fprintf(stderr,
+                 "rwlload: --replica requires --connect (the replica tails "
+                 "a primary daemon, not an in-process service)\n");
+    return 2;
+  }
+  if (!config.wal_dir.empty() && config.connect_port > 0) {
+    std::fprintf(stderr,
+                 "rwlload: --wal-dir is in-process only; in --connect mode "
+                 "start rwld itself with --wal-dir\n");
+    return 2;
+  }
 
   // ---- the paper-KB workload ----
   rwl::service::ServiceOptions options;
@@ -479,6 +651,7 @@ int main(int argc, char** argv) {
       options.inference.limit.domain_sizes.back() != config.nmax) {
     options.inference.limit.domain_sizes.push_back(config.nmax);
   }
+  options.wal.dir = config.wal_dir;
 
   // In-process server — only when we are the server: in --connect mode
   // the daemon under test owns the KBs, and constructing a KbService here
@@ -597,6 +770,37 @@ int main(int argc, char** argv) {
       config.connect_port > 0 ? "tcp" : "in-process");
 
   // ---- timed phases ----
+  std::unique_ptr<TcpClient> replica_client;
+  if (config.replica_port > 0) {
+    replica_client = TcpClient::Connect(config.replica_port);
+    if (replica_client == nullptr) {
+      std::fprintf(stderr,
+                   "rwlload: cannot connect to replica 127.0.0.1:%d\n",
+                   config.replica_port);
+      return 1;
+    }
+    // The replica bootstraps by replaying the primary's feed — one KB
+    // build per shipped LOAD record — in its tailer thread.  Until that
+    // backlog drains, a min_version probe measures bootstrap catch-up,
+    // not steady-state replication lag.  Block until every loaded KB
+    // answers on the replica so the timed phases measure the latter.
+    const Clock::time_point catchup_start = Clock::now();
+    for (const WorkItem& item : answerable) {
+      while (!replica_client->Query(item)) {
+        if (std::chrono::duration<double>(Clock::now() - catchup_start)
+                .count() > 60.0) {
+          std::fprintf(stderr,
+                       "rwlload: replica failed to catch up within 60s\n");
+          return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    }
+    std::printf("rwlload: replica caught up in %.2fs\n",
+                std::chrono::duration<double>(Clock::now() - catchup_start)
+                    .count());
+  }
+
   std::vector<std::string> json_rows;
   PhaseResult readonly =
       RunPhase("readonly", config, answerable, clients, /*mutate_every=*/0);
@@ -606,7 +810,37 @@ int main(int argc, char** argv) {
   std::optional<PhaseResult> mixed;
   if (config.mutate_every > 0) {
     mixed = RunPhase("mixed", config, answerable, clients,
-                     config.mutate_every);
+                     config.mutate_every, replica_client.get());
+    // Stamp the service's WAL fsync percentiles onto the mixed row: the
+    // mixed phase is where the fsync-before-ack path runs hot.
+    if (service.has_value() && service->wal() != nullptr) {
+      rwl::service::WalStats wal = service->wal()->stats();
+      mixed->has_wal = true;
+      mixed->wal_appends = wal.appends;
+      mixed->wal_fsyncs = wal.fsyncs;
+      mixed->wal_fsync_p50_us = wal.fsync_p50_us;
+      mixed->wal_fsync_p99_us = wal.fsync_p99_us;
+      mixed->wal_fsync_max_us = wal.fsync_max_us;
+    } else if (control != nullptr) {
+      // --connect: best-effort read of the daemon's WAL counters.
+      std::string response, parse_error;
+      rwl::service::Json stats;
+      if (control->RoundTrip("{\"id\":1,\"op\":\"STATS\"}\n", &response) &&
+          rwl::service::ParseJson(response, &stats, &parse_error)) {
+        if (const rwl::service::Json* wal = stats.Find("wal")) {
+          auto number = [&](const char* key) {
+            const rwl::service::Json* field = wal->Find(key);
+            return field == nullptr ? 0.0 : field->number;
+          };
+          mixed->has_wal = true;
+          mixed->wal_appends = static_cast<uint64_t>(number("appends"));
+          mixed->wal_fsyncs = static_cast<uint64_t>(number("fsyncs"));
+          mixed->wal_fsync_p50_us = number("fsync_p50_us");
+          mixed->wal_fsync_p99_us = number("fsync_p99_us");
+          mixed->wal_fsync_max_us = number("fsync_max_us");
+        }
+      }
+    }
     PrintPhase(*mixed);
     json_rows.push_back(PhaseJson(config, *mixed));
   }
@@ -640,6 +874,28 @@ int main(int argc, char** argv) {
                  "rwlload: FAIL mixed query p99.9 %.1fus > allowed %.1fus\n",
                  mixed->p999_us, config.mixed_max_p999_us);
     failed = true;
+  }
+  if (config.mut_max_p99_us > 0.0 && mixed.has_value() &&
+      mixed->mut_p99_us > config.mut_max_p99_us) {
+    std::fprintf(stderr,
+                 "rwlload: FAIL mixed mutation p99 %.1fus > allowed %.1fus\n",
+                 mixed->mut_p99_us, config.mut_max_p99_us);
+    failed = true;
+  }
+  if (config.replica_max_lag_p99_us > 0.0 && mixed.has_value()) {
+    if (mixed->replica_probes == 0 || mixed->replica_errors > 0) {
+      std::fprintf(stderr,
+                   "rwlload: FAIL replica probes=%llu errors=%llu (want "
+                   ">0 probes, 0 errors)\n",
+                   static_cast<unsigned long long>(mixed->replica_probes),
+                   static_cast<unsigned long long>(mixed->replica_errors));
+      failed = true;
+    } else if (mixed->replica_lag_p99_us > config.replica_max_lag_p99_us) {
+      std::fprintf(stderr,
+                   "rwlload: FAIL replica lag p99 %.1fus > allowed %.1fus\n",
+                   mixed->replica_lag_p99_us, config.replica_max_lag_p99_us);
+      failed = true;
+    }
   }
   return failed ? 1 : 0;
 }
