@@ -51,6 +51,12 @@ Fixture MakeFixture() {
 void RandomizeWorld(World* world, std::mt19937_64* rng) {
   const auto& vocab = world->vocabulary();
   for (int p = 0; p < vocab.num_predicates(); ++p) {
+    if (world->predicate_arity(p) == 1) {
+      for (int d = 0; d < world->domain_size(); ++d) {
+        world->SetUnaryBit(p, d, ((*rng)() & 1) != 0);
+      }
+      continue;
+    }
     for (auto& cell : world->predicate_table(p)) {
       cell = static_cast<uint8_t>((*rng)() & 1);
     }
@@ -119,6 +125,134 @@ void ReportCompileVsInterpret() {
   }
 }
 
+// ---- proportion-heavy rows: popcount kernels at large N ----
+
+// Every proportion is a fused kPropUnary, so the VM side runs pure
+// popcount-over-words kernels while the walker scans element by element.
+void ReportProportionHeavy() {
+  rwl::bench::PrintHeader(
+      "Evaluator: proportion-heavy formula (popcount kernels)");
+  rwl::logic::Vocabulary vocab;
+  vocab.AddPredicate("P0", 1);
+  vocab.AddPredicate("P1", 1);
+  vocab.AddPredicate("P2", 1);
+  FormulaPtr formula = rwl::logic::ParseFormula(
+                           "#(P0(x))[x] <~ 0.7 & "
+                           "#(P0(x) ; P1(x))[x] <~ 0.6 & "
+                           "#(P2(x) ; P0(x))[x] <~ 0.4")
+                           .formula;
+  auto tol = rwl::semantics::ToleranceVector::Uniform(0.1);
+  CompiledFormula compiled = rwl::semantics::CompileFormula(formula, vocab);
+  if (!compiled.ok()) {
+    std::printf("compile failed: %s\n", compiled.error.c_str());
+    return;
+  }
+
+  for (int n : {32, 64, 127}) {
+    World world(&vocab, n);
+    std::mt19937_64 rng(101);
+    RandomizeWorld(&world, &rng);
+    EvalFrame frame;
+    frame.Prepare(*compiled.program, tol);
+    using Clock = std::chrono::steady_clock;
+
+    const int walk_iters = 2000;
+    bool sink = false;
+    auto walk_start = Clock::now();
+    for (int i = 0; i < walk_iters; ++i) {
+      sink ^= rwl::semantics::Evaluate(formula, world, tol);
+    }
+    double walk_ns = std::chrono::duration<double, std::nano>(
+                         Clock::now() - walk_start)
+                         .count() /
+                     walk_iters;
+
+    const int vm_iters = 200000;
+    auto vm_start = Clock::now();
+    for (int i = 0; i < vm_iters; ++i) {
+      sink ^= rwl::semantics::RunProgram(*compiled.program, world, &frame);
+    }
+    double vm_ns = std::chrono::duration<double, std::nano>(
+                       Clock::now() - vm_start)
+                       .count() /
+                   vm_iters;
+    benchmark::DoNotOptimize(sink);
+
+    double speedup = vm_ns > 0 ? walk_ns / vm_ns : 0.0;
+    std::printf("  [prop-N%-3d] walker=%10.0f ns/eval  vm=%8.1f ns/eval  "
+                "speedup=%.1fx\n",
+                n, walk_ns, vm_ns, speedup);
+    rwl::bench::JsonLine line("eval");
+    line.Field("id", "prop_vm_N" + std::to_string(n))
+        .Field("domain_size", n)
+        .Field("walker_ns_per_eval", walk_ns)
+        .Field("vm_ns_per_eval", vm_ns)
+        .Field("speedup", speedup);
+    line.Emit();
+  }
+}
+
+// ---- counting-loop collapse vs forced enumeration (one JSON row) ----
+
+// Aggregate-only KB and query: the engine takes the counting loop over
+// compositions of N.  Conjoining a quantified tautology to the KB changes
+// no world but forces the odometer enumeration, so the same answer is
+// timed both ways (bit-identity is asserted — it is the tentpole claim).
+void ReportCountingCollapse() {
+  rwl::bench::PrintHeader("Exact engine: counting-loop collapse");
+  rwl::logic::Vocabulary vocab;
+  vocab.AddPredicate("P0", 1);
+  vocab.AddPredicate("P1", 1);
+  FormulaPtr kb =
+      rwl::logic::ParseFormula("#(P0(x))[x] <~ 0.6").formula;
+  FormulaPtr kb_enum = rwl::logic::ParseFormula(
+                           "#(P0(x))[x] <~ 0.6 & "
+                           "(forall x. (P0(x) | !P0(x)))")
+                           .formula;
+  FormulaPtr query =
+      rwl::logic::ParseFormula("#(P1(x) ; P0(x))[x] <~ 0.5").formula;
+  auto tol = rwl::semantics::ToleranceVector::Uniform(0.1);
+  const int n = 11;  // 2^22 worlds enumerated vs C(14,3) = 364 compositions
+  rwl::engines::ExactEngine engine;
+  using Clock = std::chrono::steady_clock;
+
+  auto enum_start = Clock::now();
+  auto enumerated = engine.DegreeAt(vocab, kb_enum, query, n, tol);
+  double enum_s =
+      std::chrono::duration<double>(Clock::now() - enum_start).count();
+
+  // The counting loop is microseconds; repeat it to get a stable timing.
+  const int count_iters = 200;
+  auto count_start = Clock::now();
+  rwl::engines::FiniteResult counted;
+  for (int i = 0; i < count_iters; ++i) {
+    counted = engine.DegreeAt(vocab, kb, query, n, tol);
+    benchmark::DoNotOptimize(counted);
+  }
+  double count_s =
+      std::chrono::duration<double>(Clock::now() - count_start).count() /
+      count_iters;
+
+  if (counted.probability != enumerated.probability ||
+      counted.log_numerator != enumerated.log_numerator ||
+      counted.log_denominator != enumerated.log_denominator) {
+    std::printf("  BIT-IDENTITY VIOLATION: counting %-.17g vs enumeration "
+                "%-.17g\n",
+                counted.probability, enumerated.probability);
+  }
+  double speedup = count_s > 0 ? enum_s / count_s : 0.0;
+  std::printf("  [counting-N%d] enumeration=%.3fs  counting=%.6fs  "
+              "speedup=%.0fx\n",
+              n, enum_s, count_s, speedup);
+  rwl::bench::JsonLine line("eval");
+  line.Field("id", "exact_counting_collapse_N" + std::to_string(n))
+      .Field("domain_size", n)
+      .Field("enumeration_seconds", enum_s)
+      .Field("counting_seconds", count_s)
+      .Field("speedup", speedup);
+  line.Emit();
+}
+
 // ---- exact-engine world-loop thread scaling (one JSON row) ----
 
 void ReportThreadScaling() {
@@ -146,16 +280,78 @@ void ReportThreadScaling() {
   double serial_s = time_with(1);
   double pooled_s = time_with(8);
   double scaling = pooled_s > 0 ? serial_s / pooled_s : 0.0;
-  std::printf("  [world-loop] 1 thread=%.3fs  8 threads=%.3fs  scaling=%.2fx"
+  const double total_worlds = std::exp2(4 + 16);  // P: 4 cells, R: 16
+  const double serial_ns_per_world = serial_s / total_worlds * 1e9;
+  const double pooled_ns_per_world = pooled_s / total_worlds * 1e9;
+
+  // Block VM vs per-world scalar loop over the same enumeration: the
+  // scalar side clears the frame binding each world, costing the per-world
+  // pointer rebinding the byte-table representation used to pay.
+  CompiledFormula ckb = rwl::semantics::CompileFormula(kb, vocab);
+  CompiledFormula cq = rwl::semantics::CompileFormula(query, vocab);
+  EvalFrame kb_frame;
+  EvalFrame q_frame;
+  kb_frame.Prepare(*ckb.program, tol);
+  q_frame.Prepare(*cq.program, tol);
+  const int64_t count = int64_t{1} << 20;
+
+  World scalar_world(&vocab, n);
+  auto scalar_start = Clock::now();
+  rwl::semantics::BlockCounts scalar_counts;
+  for (int64_t w = 0; w < count; ++w) {
+    kb_frame.bound_world = nullptr;
+    q_frame.bound_world = nullptr;
+    if (rwl::semantics::RunProgram(*ckb.program, scalar_world, &kb_frame)) {
+      ++scalar_counts.first;
+      if (rwl::semantics::RunProgram(*cq.program, scalar_world, &q_frame)) {
+        ++scalar_counts.both;
+      }
+    }
+    scalar_world.AdvanceOdometer();
+  }
+  double scalar_ns = std::chrono::duration<double, std::nano>(
+                         Clock::now() - scalar_start)
+                         .count() /
+                     count;
+
+  World block_world(&vocab, n);
+  auto block_start = Clock::now();
+  rwl::semantics::BlockCounts block_counts = rwl::semantics::RunProgramBlock(
+      *ckb.program, cq.program.get(), &block_world, &kb_frame, &q_frame,
+      count);
+  double block_ns = std::chrono::duration<double, std::nano>(
+                        Clock::now() - block_start)
+                        .count() /
+                    count;
+  if (block_counts.first != scalar_counts.first ||
+      block_counts.both != scalar_counts.both) {
+    std::printf("  BLOCK/SCALAR COUNT MISMATCH: %lld/%lld vs %lld/%lld\n",
+                static_cast<long long>(block_counts.first),
+                static_cast<long long>(block_counts.both),
+                static_cast<long long>(scalar_counts.first),
+                static_cast<long long>(scalar_counts.both));
+  }
+  double block_speedup = block_ns > 0 ? scalar_ns / block_ns : 0.0;
+
+  std::printf("  [world-loop] 1 thread=%.3fs (%.0f ns/world)  "
+              "8 threads=%.3fs (%.0f ns/world)  scaling=%.2fx"
               "  (hardware threads: %u)\n",
-              serial_s, pooled_s, scaling,
-              std::thread::hardware_concurrency());
+              serial_s, serial_ns_per_world, pooled_s, pooled_ns_per_world,
+              scaling, std::thread::hardware_concurrency());
+  std::printf("  [world-loop] scalar=%.0f ns/world  block=%.0f ns/world  "
+              "block-vs-scalar=%.2fx\n",
+              scalar_ns, block_ns, block_speedup);
   rwl::bench::JsonLine line("eval");
   line.Field("id", "exact_world_loop_threads")
       .Field("domain_size", n)
       .Field("serial_seconds", serial_s)
+      .Field("serial_ns_per_world", serial_ns_per_world)
       .Field("threads8_seconds", pooled_s)
+      .Field("threads8_ns_per_world", pooled_ns_per_world)
       .Field("scaling_8_threads", scaling)
+      .Field("scalar_ns_per_world", scalar_ns)
+      .Field("block_ns_per_world", block_ns)
+      .Field("block_vs_scalar_speedup", block_speedup)
       .Field("hardware_threads",
              static_cast<int64_t>(std::thread::hardware_concurrency()));
   line.Emit();
@@ -227,6 +423,8 @@ BENCHMARK(BM_ExactEngineSharded)
 
 int main(int argc, char** argv) {
   ReportCompileVsInterpret();
+  ReportProportionHeavy();
+  ReportCountingCollapse();
   ReportThreadScaling();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

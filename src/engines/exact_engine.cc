@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -35,7 +36,9 @@ double Log2WorldCount(const logic::Vocabulary& vocabulary, int domain_size) {
 // The KB-satisfying worlds of one (N, ⃗τ) point, flattened cell-by-cell in
 // enumeration order.  Replay restores each world and evaluates only the
 // query; the counts (and hence the probability) are identical to a full
-// enumeration.
+// enumeration.  Cells are stored as bytes in predicate-id order (packed
+// unary columns are widened to their legacy byte view), so the blob layout
+// is independent of the in-memory packing.
 struct ExactWorldList {
   // Record-and-replay protocol state (see engines/world_cache.h).
   internal::WorldCacheState state = internal::WorldCacheState::kSeenOnce;
@@ -60,8 +63,8 @@ struct ExactWorldList {
 constexpr int64_t kMaxRecordedBytes = 64ll << 20;
 
 // Exact number of worlds 2^(predicate cells) × N^(function cells), or -1
-// when it does not fit in an int64 (such instances never pass Supports,
-// but DegreeAt is callable directly).
+// when it does not fit in an int64 (such instances never pass the
+// enumeration cap of Supports, but DegreeAt is callable directly).
 int64_t ExactWorldCountOrNegative(const semantics::World& probe,
                                   int domain_size) {
   constexpr int64_t kLimit = int64_t{1} << 62;
@@ -77,52 +80,47 @@ int64_t ExactWorldCountOrNegative(const semantics::World& probe,
   return total;
 }
 
-// Positions the world's cells at world index `index` of the enumeration
-// order used by AdvanceWorld: predicate cells are the low binary digits
-// (table 0, cell 0 first), function cells the high base-N digits.
-void SeekWorld(semantics::World* world, int64_t index) {
-  const auto& vocabulary = world->vocabulary();
+// Appends every predicate cell of the world as bytes in enumeration order
+// (the ExactWorldList layout).
+void AppendPredicateCells(const semantics::World& world,
+                          std::vector<uint8_t>* out) {
+  const auto& vocabulary = world.vocabulary();
+  const int n = world.domain_size();
   for (int p = 0; p < vocabulary.num_predicates(); ++p) {
-    for (auto& cell : world->predicate_table(p)) {
-      cell = static_cast<uint8_t>(index & 1);
-      index >>= 1;
-    }
-  }
-  const int n = world->domain_size();
-  for (int f = 0; f < vocabulary.num_functions(); ++f) {
-    for (auto& cell : world->function_table(f)) {
-      cell = static_cast<int>(index % n);
-      index /= n;
+    if (world.predicate_arity(p) == 1) {
+      const size_t base = out->size();
+      out->resize(base + n);
+      world.CopyUnaryColumnToBytes(p, out->data() + base);
+    } else {
+      const auto& table = world.predicate_table(p);
+      out->insert(out->end(), table.begin(), table.end());
     }
   }
 }
 
-// Odometer increment over all predicate cells (base 2) and all function
-// cells (base N); returns false when the odometer wraps around.
-bool AdvanceWorld(semantics::World* world) {
+// Restores all predicate cells of the world from one recorded stride.
+void LoadPredicateCells(semantics::World* world, const uint8_t* cells) {
   const auto& vocabulary = world->vocabulary();
   const int n = world->domain_size();
   for (int p = 0; p < vocabulary.num_predicates(); ++p) {
-    auto& table = world->predicate_table(p);
-    for (auto& cell : table) {
-      if (cell == 0) {
-        cell = 1;
-        return true;
-      }
-      cell = 0;
+    if (world->predicate_arity(p) == 1) {
+      world->LoadUnaryColumnFromBytes(p, cells);
+      cells += n;
+    } else {
+      auto& table = world->predicate_table(p);
+      std::copy(cells, cells + table.size(), table.begin());
+      cells += table.size();
     }
   }
+}
+
+void LoadFunctionCells(semantics::World* world, const int* cells) {
+  const auto& vocabulary = world->vocabulary();
   for (int f = 0; f < vocabulary.num_functions(); ++f) {
     auto& table = world->function_table(f);
-    for (auto& cell : table) {
-      if (cell + 1 < n) {
-        ++cell;
-        return true;
-      }
-      cell = 0;
-    }
+    std::copy(cells, cells + table.size(), table.begin());
+    cells += table.size();
   }
-  return false;
 }
 
 // One shard's contribution to the enumeration: counts, and (when recording)
@@ -145,25 +143,33 @@ void RunShard(const logic::Vocabulary& vocabulary,
               std::atomic<int64_t>* global_recorded_bytes,
               ShardTally* tally) {
   semantics::World world(&vocabulary, domain_size);
-  SeekWorld(&world, start);
+  world.SeekToIndex(start);
   semantics::EvalFrame kb_frame;
   semantics::EvalFrame query_frame;
   kb_frame.Prepare(kb_program, tolerances);
   query_frame.Prepare(query_program, tolerances);
 
-  const int num_predicates = vocabulary.num_predicates();
+  if (!recording) {
+    // Batch path: the block VM advances the packed columns in place.
+    // `count < 0` means "until the odometer wraps" (instances whose world
+    // count overflows int64; they never pass the enumeration cap, but
+    // DegreeAt is callable directly and must keep the serial semantics).
+    const semantics::BlockCounts counts = semantics::RunProgramBlock(
+        kb_program, &query_program, &world, &kb_frame, &query_frame, count);
+    tally->kb_count = counts.first;
+    tally->both_count = counts.both;
+    return;
+  }
+
   const int num_functions = vocabulary.num_functions();
   const int64_t stride_bytes =
       world.TotalPredicateCells() +
       world.TotalFunctionCells() * static_cast<int64_t>(sizeof(int));
 
-  // `count < 0` means "until the odometer wraps" (instances whose world
-  // count overflows int64; they never pass Supports, but DegreeAt is
-  // callable directly and must keep the serial semantics).
   for (int64_t w = 0; count < 0 || w < count; ++w) {
     if (semantics::RunProgram(kb_program, world, &kb_frame)) {
       ++tally->kb_count;
-      if (recording && !tally->record_overflow) {
+      if (!tally->record_overflow) {
         tally->recorded_bytes += stride_bytes;
         // The byte cap is shared across shards (an atomic running total),
         // so the parallel recording path never holds more than ~the cap in
@@ -176,11 +182,7 @@ void RunShard(const logic::Vocabulary& vocabulary,
             kMaxRecordedBytes) {
           tally->record_overflow = true;
         } else {
-          for (int p = 0; p < num_predicates; ++p) {
-            const auto& table = world.predicate_table(p);
-            tally->pred_cells.insert(tally->pred_cells.end(), table.begin(),
-                                     table.end());
-          }
+          AppendPredicateCells(world, &tally->pred_cells);
           for (int f = 0; f < num_functions; ++f) {
             const auto& table = world.function_table(f);
             tally->func_cells.insert(tally->func_cells.end(), table.begin(),
@@ -193,7 +195,7 @@ void RunShard(const logic::Vocabulary& vocabulary,
         ++tally->both_count;
       }
     }
-    if (!AdvanceWorld(&world) && count < 0) break;
+    if (!world.AdvanceOdometer() && count < 0) break;
   }
 }
 
@@ -220,6 +222,177 @@ FiniteResult GaveUp() {
   return result;
 }
 
+// ---- counting-loop collapse --------------------------------------------
+//
+// When KB and query are both aggregate-only (compile.h AnalyzeAggregate),
+// a world matters only through the cardinalities of the m involved unary
+// predicates.  Partition the domain into the 2^m classes of those
+// predicates' joint truth table: every assignment of the N elements to
+// classes with counts (c_0, ..., c_{2^m - 1}) realizes the same program
+// results, and exactly multinomial(N; c) column choices produce it.  The
+// loop below enumerates the compositions of N — C(N + 2^m - 1, 2^m - 1)
+// of them, polynomial in N — instead of the 2^(mN) worlds, and multiplies
+// the cells the programs never observe back in as a free factor.  When the
+// full world count fits int64 the weights are exact integers, so the
+// resulting FiniteResult is bit-identical to a full enumeration.
+
+constexpr int kMaxCountingPreds = 3;
+constexpr double kMaxCompositions = 2e6;
+
+struct CountingPlan {
+  bool eligible = false;
+  std::vector<int> preds;     // involved unary predicate ids, sorted
+  double compositions = 0.0;  // C(N + 2^m - 1, 2^m - 1)
+};
+
+CountingPlan PlanCounting(const semantics::Program& kb_program,
+                          const semantics::Program& query_program,
+                          int domain_size) {
+  CountingPlan plan;
+  if (domain_size <= 0) return plan;
+  semantics::AggregateAnalysis kb_agg =
+      semantics::AnalyzeAggregate(kb_program);
+  semantics::AggregateAnalysis query_agg =
+      semantics::AnalyzeAggregate(query_program);
+  if (!kb_agg.aggregate_only || !query_agg.aggregate_only) return plan;
+  std::vector<int> preds = std::move(kb_agg.predicates);
+  preds.insert(preds.end(), query_agg.predicates.begin(),
+               query_agg.predicates.end());
+  std::sort(preds.begin(), preds.end());
+  preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+  const int m = static_cast<int>(preds.size());
+  if (m > kMaxCountingPreds) return plan;
+  // Composition weights sum to 2^(mN); keep that inside double range for
+  // the beyond-int64 instances.
+  if (static_cast<int64_t>(m) * domain_size > 900) return plan;
+  const int num_classes = 1 << m;
+  plan.compositions =
+      std::exp(LogBinomial(domain_size + num_classes - 1, num_classes - 1));
+  if (!(plan.compositions <= kMaxCompositions)) return plan;
+  plan.preds = std::move(preds);
+  plan.eligible = true;
+  return plan;
+}
+
+FiniteResult ComputeByCounting(const logic::Vocabulary& vocabulary,
+                               const semantics::Program& kb_program,
+                               const semantics::Program& query_program,
+                               int domain_size,
+                               const semantics::ToleranceVector& tolerances,
+                               const CountingPlan& plan) {
+  const int n = domain_size;
+  const int m = static_cast<int>(plan.preds.size());
+  const int num_classes = 1 << m;
+  const int np = vocabulary.num_predicates();
+
+  semantics::EvalFrame kb_frame;
+  semantics::EvalFrame query_frame;
+  kb_frame.Prepare(kb_program, tolerances);
+  query_frame.Prepare(query_program, tolerances);
+
+  std::vector<int64_t> single(np, 0);
+  std::vector<int64_t> pair(static_cast<size_t>(np) * np, 0);
+  const semantics::UnaryCountsView view{n, np, single.data(), pair.data()};
+
+  semantics::World probe(&vocabulary, n);
+  const int64_t exact_total = ExactWorldCountOrNegative(probe, n);
+  const bool exact_mode = exact_total >= 0;
+
+  // Binomial table up to N.  In exact mode every partial product of
+  // binomials is a prefix multinomial ≤ 2^(mN) ≤ the int64 world count, so
+  // uint64 arithmetic is exact; otherwise doubles carry the weights (and
+  // only the beyond-enumeration instances ever take that path).
+  std::vector<std::vector<uint64_t>> binom_u;
+  std::vector<std::vector<double>> binom_d(n + 1,
+                                           std::vector<double>(n + 1, 0.0));
+  if (exact_mode) {
+    binom_u.assign(n + 1, std::vector<uint64_t>(n + 1, 0));
+  }
+  for (int i = 0; i <= n; ++i) {
+    binom_d[i][0] = 1.0;
+    if (exact_mode) binom_u[i][0] = 1;
+    for (int j = 1; j <= i; ++j) {
+      binom_d[i][j] = binom_d[i - 1][j - 1] + binom_d[i - 1][j];
+      if (exact_mode) binom_u[i][j] = binom_u[i - 1][j - 1] + binom_u[i - 1][j];
+    }
+  }
+
+  uint64_t kb_u = 0;
+  uint64_t both_u = 0;
+  double kb_d = 0.0;
+  double both_d = 0.0;
+
+  // Adds (or removes) one class's element count to the cardinality view.
+  auto apply = [&](int cls, int64_t c, int64_t sign) {
+    for (int i = 0; i < m; ++i) {
+      if (((cls >> i) & 1) == 0) continue;
+      single[plan.preds[i]] += sign * c;
+      for (int j = 0; j < m; ++j) {
+        if (((cls >> j) & 1) == 0) continue;
+        pair[static_cast<size_t>(plan.preds[i]) * np + plan.preds[j]] +=
+            sign * c;
+      }
+    }
+  };
+
+  std::function<void(int, int64_t, uint64_t, double)> enumerate =
+      [&](int cls, int64_t remaining, uint64_t weight_u, double weight_d) {
+        if (cls == num_classes - 1) {
+          apply(cls, remaining, +1);
+          if (semantics::RunProgramOnCounts(kb_program, view, &kb_frame)) {
+            if (exact_mode) {
+              kb_u += weight_u;
+            } else {
+              kb_d += weight_d;
+            }
+            if (semantics::RunProgramOnCounts(query_program, view,
+                                              &query_frame)) {
+              if (exact_mode) {
+                both_u += weight_u;
+              } else {
+                both_d += weight_d;
+              }
+            }
+          }
+          apply(cls, remaining, -1);
+          return;
+        }
+        for (int64_t c = 0; c <= remaining; ++c) {
+          apply(cls, c, +1);
+          enumerate(cls + 1, remaining - c,
+                    exact_mode ? weight_u * binom_u[remaining][c] : 0,
+                    exact_mode ? 0.0 : weight_d * binom_d[remaining][c]);
+          apply(cls, c, -1);
+        }
+      };
+  enumerate(0, n, 1, 1.0);
+
+  if (exact_mode) {
+    // Cells the programs never observe multiply every class count by the
+    // same free factor; restoring it makes the counts — and the resulting
+    // FiniteResult — bit-identical to the full odometer enumeration.
+    const int64_t involved = int64_t{1} << (m * n);
+    const int64_t free_factor = exact_total / involved;
+    return ResultFromCounts(static_cast<int64_t>(kb_u) * free_factor,
+                            static_cast<int64_t>(both_u) * free_factor);
+  }
+
+  FiniteResult result;
+  if (kb_d <= 0.0) return result;
+  const double log_free =
+      (static_cast<double>(probe.TotalPredicateCells()) -
+       static_cast<double>(m) * n) *
+          std::log(2.0) +
+      static_cast<double>(probe.TotalFunctionCells()) *
+          std::log(static_cast<double>(n));
+  result.well_defined = true;
+  result.probability = both_d / kb_d;
+  result.log_numerator =
+      both_d > 0.0 ? std::log(both_d) + log_free : kNegInf;
+  result.log_denominator = std::log(kb_d) + log_free;
+  return result;
+}
+
 FiniteResult ComputeExact(const logic::Vocabulary& vocabulary,
                           const semantics::CompiledFormula& kb,
                           const semantics::CompiledFormula& query,
@@ -227,6 +400,18 @@ FiniteResult ComputeExact(const logic::Vocabulary& vocabulary,
                           const semantics::ToleranceVector& tolerances,
                           ExactWorldList* record, int num_threads) {
   if (!kb.ok() || !query.ok()) return GaveUp();
+
+  // Aggregate-only instances collapse to the counting loop (recording
+  // requests keep the enumeration: the world list is query-independent
+  // state other queries may replay against).
+  if (record == nullptr) {
+    const CountingPlan plan =
+        PlanCounting(*kb.program, *query.program, domain_size);
+    if (plan.eligible) {
+      return ComputeByCounting(vocabulary, *kb.program, *query.program,
+                               domain_size, tolerances, plan);
+    }
+  }
 
   semantics::World probe(&vocabulary, domain_size);
   const int64_t total = ExactWorldCountOrNegative(probe, domain_size);
@@ -307,29 +492,15 @@ FiniteResult ReplayExact(const logic::Vocabulary& vocabulary,
   semantics::World world(&vocabulary, domain_size);
   semantics::EvalFrame query_frame;
   query_frame.Prepare(*query.program, tolerances);
-  const int num_predicates = vocabulary.num_predicates();
-  const int num_functions = vocabulary.num_functions();
 
   int64_t both_count = 0;
   int64_t pred_offset = 0;
   int64_t func_offset = 0;
   for (int64_t w = 0; w < worlds.kb_count; ++w) {
-    for (int p = 0; p < num_predicates; ++p) {
-      auto& table = world.predicate_table(p);
-      std::copy(worlds.pred_cells.begin() + pred_offset,
-                worlds.pred_cells.begin() + pred_offset +
-                    static_cast<int64_t>(table.size()),
-                table.begin());
-      pred_offset += static_cast<int64_t>(table.size());
-    }
-    for (int f = 0; f < num_functions; ++f) {
-      auto& table = world.function_table(f);
-      std::copy(worlds.func_cells.begin() + func_offset,
-                worlds.func_cells.begin() + func_offset +
-                    static_cast<int64_t>(table.size()),
-                table.begin());
-      func_offset += static_cast<int64_t>(table.size());
-    }
+    LoadPredicateCells(&world, worlds.pred_cells.data() + pred_offset);
+    LoadFunctionCells(&world, worlds.func_cells.data() + func_offset);
+    pred_offset += worlds.pred_stride;
+    func_offset += worlds.func_stride;
     if (semantics::RunProgram(*query.program, world, &query_frame)) {
       ++both_count;
     }
@@ -359,8 +530,6 @@ std::shared_ptr<const void> PatchExactWorlds(
   semantics::World world(&vocabulary, worlds->domain_size);
   semantics::EvalFrame frame;
   frame.Prepare(*delta.program, worlds->tolerances);
-  const int num_predicates = vocabulary.num_predicates();
-  const int num_functions = vocabulary.num_functions();
 
   auto patched = std::make_shared<ExactWorldList>();
   patched->state = internal::WorldCacheState::kRecorded;
@@ -373,24 +542,8 @@ std::shared_ptr<const void> PatchExactWorlds(
   int64_t pred_offset = 0;
   int64_t func_offset = 0;
   for (int64_t w = 0; w < worlds->kb_count; ++w) {
-    int64_t p_off = pred_offset;
-    for (int p = 0; p < num_predicates; ++p) {
-      auto& table = world.predicate_table(p);
-      std::copy(worlds->pred_cells.begin() + p_off,
-                worlds->pred_cells.begin() + p_off +
-                    static_cast<int64_t>(table.size()),
-                table.begin());
-      p_off += static_cast<int64_t>(table.size());
-    }
-    int64_t f_off = func_offset;
-    for (int f = 0; f < num_functions; ++f) {
-      auto& table = world.function_table(f);
-      std::copy(worlds->func_cells.begin() + f_off,
-                worlds->func_cells.begin() + f_off +
-                    static_cast<int64_t>(table.size()),
-                table.begin());
-      f_off += static_cast<int64_t>(table.size());
-    }
+    LoadPredicateCells(&world, worlds->pred_cells.data() + pred_offset);
+    LoadFunctionCells(&world, worlds->func_cells.data() + func_offset);
     if (semantics::RunProgram(*delta.program, world, &frame)) {
       patched->pred_cells.insert(
           patched->pred_cells.end(), worlds->pred_cells.begin() + pred_offset,
@@ -408,11 +561,23 @@ std::shared_ptr<const void> PatchExactWorlds(
 }
 
 bool ExactEngine::Supports(const logic::Vocabulary& vocabulary,
-                           const logic::FormulaPtr& /*kb*/,
-                           const logic::FormulaPtr& /*query*/,
+                           const logic::FormulaPtr& kb,
+                           const logic::FormulaPtr& query,
                            int domain_size) const {
   if (domain_size <= 0) return false;
-  return Log2WorldCount(vocabulary, domain_size) <= max_log2_worlds_;
+  if (Log2WorldCount(vocabulary, domain_size) <= max_log2_worlds_) {
+    return true;
+  }
+  // Beyond the enumeration cap, aggregate-only instances still collapse to
+  // the polynomial counting loop.
+  semantics::CompiledFormula kb_compiled =
+      semantics::CompileFormula(kb, vocabulary);
+  semantics::CompiledFormula query_compiled =
+      semantics::CompileFormula(query, vocabulary);
+  if (!kb_compiled.ok() || !query_compiled.ok()) return false;
+  return PlanCounting(*kb_compiled.program, *query_compiled.program,
+                      domain_size)
+      .eligible;
 }
 
 FiniteResult ExactEngine::DegreeAt(
@@ -431,6 +596,46 @@ CostEstimate ExactEngine::EstimateCost(const QueryContext& ctx,
   const double log2_worlds = Log2WorldCount(ctx.vocabulary(), domain_size);
   const double length = ApproximateProgramLength(ctx, ctx.kb()) +
                         ApproximateProgramLength(ctx, query);
+
+  // Counting-loop plans are near-free and must be preferred: the loop runs
+  // over compositions of N, not worlds.  Detecting eligibility needs the
+  // compiled programs; reuse the context's cache and compile locally (a few
+  // microseconds, uncached) only on a miss.
+  auto kb_cached = ctx.CompiledIfCached(ctx.kb());
+  auto query_cached = ctx.CompiledIfCached(query);
+  semantics::CompiledFormula kb_local;
+  semantics::CompiledFormula query_local;
+  const semantics::Program* kb_program =
+      kb_cached != nullptr && kb_cached->ok() ? kb_cached->program.get()
+                                              : nullptr;
+  if (kb_program == nullptr) {
+    kb_local = semantics::CompileFormula(ctx.kb(), ctx.vocabulary());
+    if (kb_local.ok()) kb_program = kb_local.program.get();
+  }
+  const semantics::Program* query_program =
+      query_cached != nullptr && query_cached->ok()
+          ? query_cached->program.get()
+          : nullptr;
+  if (query_program == nullptr) {
+    query_local = semantics::CompileFormula(query, ctx.vocabulary());
+    if (query_local.ok()) query_program = query_local.program.get();
+  }
+  if (kb_program != nullptr && query_program != nullptr) {
+    const CountingPlan plan =
+        PlanCounting(*kb_program, *query_program, domain_size);
+    if (plan.eligible) {
+      cost.work = plan.compositions * length;
+      cost.error = 0.0;
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "counting loop over %.3g compositions (%d predicates)",
+                    plan.compositions,
+                    static_cast<int>(plan.preds.size()));
+      cost.basis = buf;
+      return cost;
+    }
+  }
+
   // Two evaluations (KB, then query on KB-worlds) per enumerated world.
   cost.work = log2_worlds >= 60.0 ? 1e20 : std::exp2(log2_worlds) * length;
   cost.error = 0.0;  // definitional computation
@@ -453,6 +658,19 @@ FiniteResult ExactEngine::DegreeAtInContext(
     const semantics::ToleranceVector& tolerances) const {
   auto kb_compiled = ctx.Compiled(ctx.kb());
   auto query_compiled = ctx.Compiled(query);
+  // Counting-eligible queries bypass the record-and-replay protocol
+  // entirely (checked BEFORE the blob lookup, so the recorded world list
+  // stays query-independent): the counting loop is cheaper than a replay
+  // and bit-identical to it.
+  if (kb_compiled->ok() && query_compiled->ok()) {
+    const CountingPlan plan = PlanCounting(
+        *kb_compiled->program, *query_compiled->program, domain_size);
+    if (plan.eligible) {
+      return ComputeByCounting(ctx.vocabulary(), *kb_compiled->program,
+                               *query_compiled->program, domain_size,
+                               tolerances, plan);
+    }
+  }
   if (!ctx.caching_enabled()) {
     return ComputeExact(ctx.vocabulary(), *kb_compiled, *query_compiled,
                         domain_size, tolerances, nullptr, num_threads_);

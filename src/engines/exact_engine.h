@@ -9,6 +9,13 @@
 // shortcuts, usable only for tiny vocabularies and domain sizes; it serves
 // as the ground-truth oracle that the profile, maximum-entropy and symbolic
 // engines are validated against.
+//
+// One shortcut preserves bit-identity: when KB and query are both
+// aggregate-only (compile.h AnalyzeAggregate — they observe a world only
+// through unary predicate cardinalities), the enumeration collapses to a
+// counting loop over compositions of N into the 2^m predicate classes,
+// weighting each by its multinomial.  That is polynomial in N, so such
+// instances are supported at domain sizes far beyond the enumeration cap.
 #ifndef RWL_ENGINES_EXACT_ENGINE_H_
 #define RWL_ENGINES_EXACT_ENGINE_H_
 
@@ -67,6 +74,8 @@ class ExactEngine : public FiniteEngine {
 
   // Planner cost model: world-odometer size 2^(predicate cells) ×
   // N^(function cells), times the compiled KB+query program length.
+  // Aggregate-only instances instead report the composition count of the
+  // counting loop — near-free, so min-cost planning prefers this engine.
   CostEstimate EstimateCost(const QueryContext& ctx,
                             const logic::FormulaPtr& query,
                             int domain_size) const override;

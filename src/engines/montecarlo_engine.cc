@@ -50,9 +50,22 @@ void SampleShard(const logic::Vocabulary& vocabulary,
   kb_frame.Prepare(kb_program, tolerances);
   query_frame.Prepare(query_program, tolerances);
 
+  const int unary_words = world.unary_words();
+  const uint64_t tail_mask = world.unary_tail_mask();
+
   for (uint64_t s = 0; s < num_samples; ++s) {
-    // Resample every cell uniformly: 64 predicate cells per draw.
+    // Resample every cell uniformly: 64 predicate cells per draw, LSB
+    // first, leftover bits of a table's last draw discarded.  For packed
+    // unary columns that is exactly one masked draw per word, so the
+    // stream of worlds is bit-identical to the legacy byte-table fill.
     for (int p = 0; p < vocabulary.num_predicates(); ++p) {
+      if (world.predicate_arity(p) == 1) {
+        uint64_t* column = world.unary_column(p);
+        for (int i = 0; i < unary_words; ++i) {
+          column[i] = rng() & (i == unary_words - 1 ? tail_mask : ~uint64_t{0});
+        }
+        continue;
+      }
       auto& table = world.predicate_table(p);
       uint64_t bits = 0;
       int have = 0;

@@ -403,4 +403,41 @@ ProgramStats StatsOf(const CompiledFormula& compiled) {
   return stats;
 }
 
+AggregateAnalysis AnalyzeAggregate(const Program& program) {
+  AggregateAnalysis analysis;
+  std::vector<int> predicates;
+  for (const Instruction& ins : program.code) {
+    switch (ins.op) {
+      case Op::kPropUnary:
+        predicates.push_back(ins.a);
+        if (ins.b >= 0) predicates.push_back(ins.b);
+        break;
+      // World-independent arithmetic and control flow.
+      case Op::kPushBool:
+      case Op::kBoolEq:
+      case Op::kNot:
+      case Op::kJump:
+      case Op::kJumpIfFalse:
+      case Op::kJumpIfTrue:
+      case Op::kPushConst:
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kCompare:
+      case Op::kHalt:
+        break;
+      default:
+        // Any op that reads individual cells (atoms, equalities, function
+        // applications) or loops over tuples: not aggregate-only.
+        return analysis;
+    }
+  }
+  std::sort(predicates.begin(), predicates.end());
+  predicates.erase(std::unique(predicates.begin(), predicates.end()),
+                   predicates.end());
+  analysis.aggregate_only = true;
+  analysis.predicates = std::move(predicates);
+  return analysis;
+}
+
 }  // namespace rwl::semantics

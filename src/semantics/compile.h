@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/logic/formula.h"
 #include "src/logic/vocabulary.h"
@@ -48,6 +49,21 @@ struct ProgramStats {
   int max_stack = 0;  // peak value-stack depth
 };
 ProgramStats StatsOf(const CompiledFormula& compiled);
+
+// Aggregate-only analysis: does the program observe a world ONLY through
+// unary predicate cardinalities?  True exactly when every instruction is a
+// fused unary proportion (kPropUnary) or world-independent arithmetic /
+// boolean control flow — no atoms, equalities, quantifier loops, generic
+// proportion loops or function applications.  Such a program evaluates
+// identically in every world with the same per-predicate (and pairwise)
+// counts, so the exact engine can run it over predicate cardinalities
+// directly (vm.h RunProgramOnCounts) instead of materializing worlds.
+struct AggregateAnalysis {
+  bool aggregate_only = false;
+  // Unary predicate ids the program's proportions observe, sorted unique.
+  std::vector<int> predicates;
+};
+AggregateAnalysis AnalyzeAggregate(const Program& program);
 
 }  // namespace rwl::semantics
 

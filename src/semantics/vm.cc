@@ -3,6 +3,24 @@
 #include "src/semantics/evaluator.h"
 
 namespace rwl::semantics {
+namespace {
+
+// Population count of one packed word.  The scalar build (RWL_SCALAR_KERNELS)
+// is the portable reference the popcount path is proven bit-identical to in
+// CI; both compute the exact bit count, so every downstream double is the
+// same either way.
+inline int PopcountWord(uint64_t x) {
+#if defined(RWL_SCALAR_KERNELS)
+  x = x - ((x >> 1) & 0x5555555555555555ull);
+  x = (x & 0x3333333333333333ull) + ((x >> 2) & 0x3333333333333333ull);
+  x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0full;
+  return static_cast<int>((x * 0x0101010101010101ull) >> 56);
+#else
+  return __builtin_popcountll(x);
+#endif
+}
+
+}  // namespace
 
 void EvalFrame::Prepare(const Program& program,
                         const ToleranceVector& tolerances) {
@@ -21,8 +39,10 @@ namespace {
 
 void BindWorld(const World& world, EvalFrame* frame) {
   const auto& vocabulary = world.vocabulary();
+  frame->packed_tables.resize(vocabulary.num_predicates());
   frame->pred_tables.resize(vocabulary.num_predicates());
   for (int p = 0; p < vocabulary.num_predicates(); ++p) {
+    frame->packed_tables[p] = world.unary_column(p);
     frame->pred_tables[p] = world.predicate_table(p).data();
   }
   frame->func_tables.resize(vocabulary.num_functions());
@@ -39,9 +59,11 @@ bool RunProgram(const Program& program, const World& world, EvalFrame* frame) {
   const Instruction* code = program.code.data();
   const double* consts = program.constants.data();
   const double* taus = frame->taus.data();
+  const uint64_t* const* packed_tables = frame->packed_tables.data();
   const uint8_t* const* pred_tables = frame->pred_tables.data();
   const int* const* func_tables = frame->func_tables.data();
   const int n = world.domain_size();
+  const int words = world.unary_words();
 
   int* slots = frame->slots.data();
   int* ints = frame->ints.data();
@@ -69,15 +91,27 @@ bool RunProgram(const Program& program, const World& world, EvalFrame* frame) {
         break;
       case Op::kPred: {
         it -= ins.b;
+        if (ins.b == 1) {
+          // Arity-1 predicates live in the packed columns.
+          const int d = ints[it];
+          vals[vt++] = {(packed_tables[ins.a][d >> 6] >> (d & 63)) & 1
+                            ? 1.0
+                            : 0.0,
+                        true};
+          break;
+        }
         int64_t index = 0;
         for (int j = 0; j < ins.b; ++j) index = index * n + ints[it + j];
         vals[vt++] = {pred_tables[ins.a][index] != 0 ? 1.0 : 0.0, true};
         break;
       }
-      case Op::kPred1:
-        vals[vt++] = {pred_tables[ins.a][slots[ins.b]] != 0 ? 1.0 : 0.0,
+      case Op::kPred1: {
+        const int d = slots[ins.b];
+        vals[vt++] = {(packed_tables[ins.a][d >> 6] >> (d & 63)) & 1 ? 1.0
+                                                                     : 0.0,
                       true};
         break;
+      }
       case Op::kPred2:
         vals[vt++] = {pred_tables[ins.a][static_cast<int64_t>(slots[ins.b]) *
                                              n +
@@ -172,23 +206,25 @@ bool RunProgram(const Program& program, const World& world, EvalFrame* frame) {
         break;
       }
       case Op::kPropUnary: {
-        // Fused single-variable proportion over unary atoms: one pass over
-        // the predicate tables, counting exactly as the generic loop does.
-        const uint8_t* body = pred_tables[ins.a];
+        // Fused single-variable proportion over unary atoms: popcount over
+        // the packed columns.  Tail bits above the domain are zero by the
+        // World invariant, so no re-masking is needed, and the counts — and
+        // hence the resulting doubles — are identical to the generic loop.
+        const uint64_t* body = packed_tables[ins.a];
         int64_t body_count = 0;
         if (ins.b < 0) {
-          for (int d = 0; d < n; ++d) body_count += body[d] != 0;
+          for (int i = 0; i < words; ++i) {
+            body_count += PopcountWord(body[i]);
+          }
           double total = 1.0;
           total *= n;
           vals[vt++] = {static_cast<double>(body_count) / total, true};
         } else {
-          const uint8_t* cond = pred_tables[ins.b];
+          const uint64_t* cond = packed_tables[ins.b];
           int64_t cond_count = 0;
-          for (int d = 0; d < n; ++d) {
-            if (cond[d] != 0) {
-              ++cond_count;
-              body_count += body[d] != 0;
-            }
+          for (int i = 0; i < words; ++i) {
+            cond_count += PopcountWord(cond[i]);
+            body_count += PopcountWord(cond[i] & body[i]);
           }
           if (cond_count == 0) {
             vals[vt++] = {0.0, false};
@@ -230,6 +266,117 @@ bool RunProgram(const Program& program, const World& world, EvalFrame* frame) {
       }
       case Op::kHalt:
         return vals[vt - 1].v != 0.0;
+    }
+  }
+}
+
+BlockCounts RunProgramBlock(const Program& first, const Program* second,
+                            World* world, EvalFrame* first_frame,
+                            EvalFrame* second_frame, int64_t count) {
+  BlockCounts out;
+  for (int64_t w = 0; count < 0 || w < count; ++w) {
+    if (RunProgram(first, *world, first_frame)) {
+      ++out.first;
+      if (second != nullptr &&
+          RunProgram(*second, *world, second_frame)) {
+        ++out.both;
+      }
+    }
+    if (!world->AdvanceOdometer() && count < 0) break;
+  }
+  return out;
+}
+
+bool RunProgramOnCounts(const Program& program, const UnaryCountsView& counts,
+                        EvalFrame* frame) {
+  const Instruction* code = program.code.data();
+  const double* consts = program.constants.data();
+  const double* taus = frame->taus.data();
+  const int n = counts.domain_size;
+  const int np = counts.num_predicates;
+
+  Value* vals = frame->vals.data();
+  int vt = 0;
+
+  for (int pc = 0;; ++pc) {
+    const Instruction& ins = code[pc];
+    switch (ins.op) {
+      case Op::kPushBool:
+        vals[vt++] = {static_cast<double>(ins.a), true};
+        break;
+      case Op::kBoolEq:
+        vt -= 2;
+        vals[vt] = {(vals[vt].v != 0.0) == (vals[vt + 1].v != 0.0) ? 1.0 : 0.0,
+                    true};
+        ++vt;
+        break;
+      case Op::kNot:
+        vals[vt - 1].v = vals[vt - 1].v != 0.0 ? 0.0 : 1.0;
+        break;
+      case Op::kJump:
+        pc = ins.a - 1;
+        break;
+      case Op::kJumpIfFalse:
+        if (vals[--vt].v == 0.0) pc = ins.a - 1;
+        break;
+      case Op::kJumpIfTrue:
+        if (vals[--vt].v != 0.0) pc = ins.a - 1;
+        break;
+      case Op::kPropUnary: {
+        // Same division (and 0-denominator convention) as the world kernel,
+        // with the counts read from the cardinality view instead of being
+        // popcounted: bit-identical doubles for every world in the class.
+        if (ins.b < 0) {
+          const int64_t body_count = counts.single[ins.a];
+          double total = 1.0;
+          total *= n;
+          vals[vt++] = {static_cast<double>(body_count) / total, true};
+        } else {
+          const int64_t cond_count = counts.single[ins.b];
+          const int64_t body_count = counts.pair[ins.a * np + ins.b];
+          if (cond_count == 0) {
+            vals[vt++] = {0.0, false};
+          } else {
+            vals[vt++] = {static_cast<double>(body_count) /
+                              static_cast<double>(cond_count),
+                          true};
+          }
+        }
+        break;
+      }
+      case Op::kPushConst:
+        vals[vt++] = {consts[ins.a], true};
+        break;
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul: {
+        vt -= 2;
+        const Value lhs = vals[vt];
+        const Value rhs = vals[vt + 1];
+        double v = ins.op == Op::kAdd   ? lhs.v + rhs.v
+                   : ins.op == Op::kSub ? lhs.v - rhs.v
+                                        : lhs.v * rhs.v;
+        vals[vt++] = {v, lhs.defined && rhs.defined};
+        break;
+      }
+      case Op::kCompare: {
+        vt -= 2;
+        const Value lhs = vals[vt];
+        const Value rhs = vals[vt + 1];
+        bool result = true;
+        if (lhs.defined && rhs.defined) {
+          result = CompareValues(lhs.v, static_cast<logic::CompareOp>(ins.a),
+                                 rhs.v, taus[ins.b]);
+        }
+        vals[vt++] = {result ? 1.0 : 0.0, true};
+        break;
+      }
+      case Op::kHalt:
+        return vals[vt - 1].v != 0.0;
+      default:
+        // Not an aggregate-only op: AnalyzeAggregate gates callers, so this
+        // is unreachable; refuse instead of reading world state.
+        return false;
     }
   }
 }

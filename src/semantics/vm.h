@@ -10,6 +10,13 @@
 // tree-walker is kept as the reference oracle; compiled_vm_test and the
 // fuzzer's vm check enforce the equivalence).  Precondition: the world's
 // domain is non-empty, as for the tree-walker.
+//
+// Unary predicates are read from the world's packed bitset columns
+// (world.h): fused unary atoms test single bits and the fused kPropUnary
+// proportion scans run as popcount-over-words kernels.
+// __builtin_popcountll is used by default; building with
+// -DRWL_SCALAR_KERNELS selects a portable scalar popcount that is
+// bit-identical by construction (CI proves it against the full suite).
 #ifndef RWL_SEMANTICS_VM_H_
 #define RWL_SEMANTICS_VM_H_
 
@@ -39,7 +46,8 @@ struct EvalFrame {
   // never resize, so the pointers stay valid for the lifetime of the World
   // object; Run rebinds automatically when it sees a different world.
   const World* bound_world = nullptr;
-  std::vector<const uint8_t*> pred_tables;
+  std::vector<const uint64_t*> packed_tables;  // unary predicate columns
+  std::vector<const uint8_t*> pred_tables;     // arity != 1 byte tables
   std::vector<const int*> func_tables;
 
   // Sizes the frame for `program` and resolves its tolerance slots.  Call
@@ -51,6 +59,48 @@ struct EvalFrame {
 // Executes the program in `world`; returns the root formula's truth value.
 // The frame must have been Prepared for this program.
 bool RunProgram(const Program& program, const World& world, EvalFrame* frame);
+
+// ---- batch evaluation over a block of odometer worlds ----
+
+struct BlockCounts {
+  int64_t first = 0;  // worlds where `first` held
+  int64_t both = 0;   // worlds where `first` and `second` both held
+};
+
+// Evaluates `first` (and, in the worlds where it holds, `second`) across
+// `count` consecutive enumeration worlds starting at the world's current
+// cells, advancing the odometer's packed columns in place between worlds
+// (no per-world pointer rebinding).  `second` may be null (only `first` is
+// counted).  `count < 0` runs until the odometer wraps.  The world is left
+// positioned after the block, and the counts are exactly those of the
+// equivalent per-world RunProgram / AdvanceOdometer loop.
+BlockCounts RunProgramBlock(const Program& first, const Program* second,
+                            World* world, EvalFrame* first_frame,
+                            EvalFrame* second_frame, int64_t count);
+
+// ---- counting-loop collapse (aggregate-only programs) ----
+
+// Predicate-cardinality view of a class of worlds: how many domain
+// elements satisfy each unary predicate, and each pairwise conjunction.
+// Programs that pass AnalyzeAggregate (compile.h) only observe a world
+// through these statistics, so the exact engine can run them over counts
+// directly — never materializing the worlds.
+struct UnaryCountsView {
+  int domain_size = 0;
+  int num_predicates = 0;
+  const int64_t* single = nullptr;  // [num_predicates]
+  // [num_predicates * num_predicates]: pair[a * num_predicates + b] is the
+  // number of elements satisfying both a and b (symmetric).
+  const int64_t* pair = nullptr;
+};
+
+// Executes an aggregate-only program against predicate cardinalities;
+// kPropUnary reads the counts and every other instruction behaves exactly
+// as in RunProgram, so the result is bit-identical to running the program
+// in any world realizing those counts.  Precondition: the program passed
+// AnalyzeAggregate (a non-aggregate op returns false defensively).
+bool RunProgramOnCounts(const Program& program, const UnaryCountsView& counts,
+                        EvalFrame* frame);
 
 }  // namespace rwl::semantics
 

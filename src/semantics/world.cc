@@ -15,10 +15,20 @@ int64_t Power(int64_t base, int exponent) {
 
 World::World(const logic::Vocabulary* vocabulary, int domain_size)
     : vocabulary_(vocabulary), domain_size_(domain_size) {
+  unary_words_ = (domain_size + 63) >> 6;
+  const int rem = domain_size & 63;
+  tail_mask_ = rem == 0 ? ~uint64_t{0} : (uint64_t{1} << rem) - 1;
+
+  pred_arities_.assign(vocabulary->num_predicates(), 0);
   predicate_tables_.resize(vocabulary->num_predicates());
   for (const auto& p : vocabulary->predicates()) {
-    predicate_tables_[p.id].assign(Power(domain_size, p.arity), 0);
+    pred_arities_[p.id] = p.arity;
+    if (p.arity != 1) {
+      predicate_tables_[p.id].assign(Power(domain_size, p.arity), 0);
+    }
   }
+  unary_bits_.assign(
+      static_cast<size_t>(vocabulary->num_predicates()) * unary_words_, 0);
   function_tables_.resize(vocabulary->num_functions());
   for (const auto& f : vocabulary->functions()) {
     function_tables_[f.id].assign(Power(domain_size, f.arity), 0);
@@ -32,11 +42,18 @@ int64_t World::TableIndex(const std::vector<int>& args) const {
 }
 
 bool World::Holds(int predicate_id, const std::vector<int>& args) const {
+  if (pred_arities_[predicate_id] == 1) {
+    return GetUnaryBit(predicate_id, args[0]);
+  }
   return predicate_tables_[predicate_id][TableIndex(args)] != 0;
 }
 
 void World::SetHolds(int predicate_id, const std::vector<int>& args,
                      bool value) {
+  if (pred_arities_[predicate_id] == 1) {
+    SetUnaryBit(predicate_id, args[0], value);
+    return;
+  }
   predicate_tables_[predicate_id][TableIndex(args)] = value ? 1 : 0;
 }
 
@@ -49,9 +66,28 @@ void World::SetApply(int function_id, const std::vector<int>& args,
   function_tables_[function_id][TableIndex(args)] = value;
 }
 
+void World::CopyUnaryColumnToBytes(int predicate_id, uint8_t* out) const {
+  const uint64_t* col = unary_column(predicate_id);
+  for (int d = 0; d < domain_size_; ++d) {
+    out[d] = static_cast<uint8_t>((col[d >> 6] >> (d & 63)) & 1);
+  }
+}
+
+void World::LoadUnaryColumnFromBytes(int predicate_id, const uint8_t* in) {
+  uint64_t* col = unary_column(predicate_id);
+  for (int i = 0; i < unary_words_; ++i) col[i] = 0;
+  for (int d = 0; d < domain_size_; ++d) {
+    if (in[d] != 0) col[d >> 6] |= uint64_t{1} << (d & 63);
+  }
+}
+
 int64_t World::TotalPredicateCells() const {
   int64_t total = 0;
-  for (const auto& t : predicate_tables_) total += t.size();
+  for (size_t p = 0; p < pred_arities_.size(); ++p) {
+    total += pred_arities_[p] == 1
+                 ? domain_size_
+                 : static_cast<int64_t>(predicate_tables_[p].size());
+  }
   return total;
 }
 
@@ -59,6 +95,83 @@ int64_t World::TotalFunctionCells() const {
   int64_t total = 0;
   for (const auto& t : function_tables_) total += t.size();
   return total;
+}
+
+void World::SeekToIndex(int64_t index) {
+  const int num_predicates = vocabulary_->num_predicates();
+  for (int p = 0; p < num_predicates; ++p) {
+    if (pred_arities_[p] == 1) {
+      // Consume the column's N low bits of `index`, word by word.  The
+      // index never carries more than 62 meaningful bits (larger world
+      // spaces are only ever seeked to index 0), so a full word consumes
+      // everything that is left.
+      uint64_t* col = unary_column(p);
+      int remaining = domain_size_;
+      for (int i = 0; i < unary_words_; ++i) {
+        const int bits = remaining < 64 ? remaining : 64;
+        if (bits == 64) {
+          col[i] = static_cast<uint64_t>(index);
+          index = 0;
+        } else {
+          col[i] = static_cast<uint64_t>(index) & ((uint64_t{1} << bits) - 1);
+          index >>= bits;
+        }
+        remaining -= bits;
+      }
+    } else {
+      for (auto& cell : predicate_tables_[p]) {
+        cell = static_cast<uint8_t>(index & 1);
+        index >>= 1;
+      }
+    }
+  }
+  const int n = domain_size_;
+  for (int f = 0; f < vocabulary_->num_functions(); ++f) {
+    for (auto& cell : function_tables_[f]) {
+      cell = static_cast<int>(index % n);
+      index /= n;
+    }
+  }
+}
+
+bool World::AdvanceOdometer() {
+  const int num_predicates = vocabulary_->num_predicates();
+  for (int p = 0; p < num_predicates; ++p) {
+    if (pred_arities_[p] == 1) {
+      // Binary increment over the packed column: adding 1 to a word
+      // propagates the intra-word carry for free; a word at its maximum
+      // (all valid bits set) clears and carries into the next word.
+      uint64_t* col = unary_column(p);
+      for (int i = 0; i < unary_words_; ++i) {
+        const uint64_t full =
+            i == unary_words_ - 1 ? tail_mask_ : ~uint64_t{0};
+        if (col[i] != full) {
+          ++col[i];
+          return true;
+        }
+        col[i] = 0;
+      }
+    } else {
+      for (auto& cell : predicate_tables_[p]) {
+        if (cell == 0) {
+          cell = 1;
+          return true;
+        }
+        cell = 0;
+      }
+    }
+  }
+  const int n = domain_size_;
+  for (int f = 0; f < vocabulary_->num_functions(); ++f) {
+    for (auto& cell : function_tables_[f]) {
+      if (cell + 1 < n) {
+        ++cell;
+        return true;
+      }
+      cell = 0;
+    }
+  }
+  return false;
 }
 
 }  // namespace rwl::semantics

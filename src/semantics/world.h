@@ -5,6 +5,23 @@
 // as a function (constants are arity-0 functions, i.e. a single element).
 // Worlds are the unit of counting for the exact engine and the unit of
 // evaluation for the L≈ evaluator.
+//
+// Storage layout (structure-of-arrays):
+//   * UNARY predicates are packed bitset columns: one contiguous run of
+//     64-bit words per predicate, element d of predicate p at bit (d & 63)
+//     of word (d >> 6).  Bits above the domain size in the tail word are
+//     ALWAYS zero (every writer maintains the invariant), so the VM's
+//     popcount kernels never need to re-mask.
+//   * predicates of any other arity keep byte-per-cell tables;
+//   * functions keep int-per-cell tables.
+// The packed columns are the only storage for unary predicates — the
+// legacy byte view is available through Holds/CopyUnaryColumnToBytes.
+//
+// The world-enumeration odometer (SeekToIndex / AdvanceOdometer) lives here
+// too, so the exact engine and the block VM share one definition of the
+// enumeration order: predicate cells are the low binary digits (predicate 0,
+// cell 0 first — i.e. bit 0 of the first packed column), function cells the
+// high base-N digits.
 #ifndef RWL_SEMANTICS_WORLD_H_
 #define RWL_SEMANTICS_WORLD_H_
 
@@ -33,7 +50,45 @@ class World {
   int Apply(int function_id, const std::vector<int>& args) const;
   void SetApply(int function_id, const std::vector<int>& args, int value);
 
-  // Raw-table access used by the exact engine's odometer enumeration.
+  // ---- packed unary columns ----
+
+  int predicate_arity(int predicate_id) const {
+    return pred_arities_[predicate_id];
+  }
+  // Words per packed column (ceil(N / 64)); identical for every unary
+  // predicate of this world.
+  int unary_words() const { return unary_words_; }
+  // Mask of the valid bits in the last word of a column (all-ones when N is
+  // a multiple of 64).
+  uint64_t unary_tail_mask() const { return tail_mask_; }
+  const uint64_t* unary_column(int predicate_id) const {
+    return unary_bits_.data() +
+           static_cast<size_t>(predicate_id) * unary_words_;
+  }
+  uint64_t* unary_column(int predicate_id) {
+    return unary_bits_.data() +
+           static_cast<size_t>(predicate_id) * unary_words_;
+  }
+  bool GetUnaryBit(int predicate_id, int element) const {
+    return (unary_column(predicate_id)[element >> 6] >>
+            (element & 63)) & 1;
+  }
+  void SetUnaryBit(int predicate_id, int element, bool value) {
+    uint64_t* word = unary_column(predicate_id) + (element >> 6);
+    const uint64_t bit = uint64_t{1} << (element & 63);
+    if (value) {
+      *word |= bit;
+    } else {
+      *word &= ~bit;
+    }
+  }
+  // Legacy byte view of one packed column: `out` receives N bytes (0/1) in
+  // element order; Load expects the same format.
+  void CopyUnaryColumnToBytes(int predicate_id, uint8_t* out) const;
+  void LoadUnaryColumnFromBytes(int predicate_id, const uint8_t* in);
+
+  // Raw-table access for predicates of arity != 1 (unary predicates are
+  // packed; their byte tables are intentionally empty) and for functions.
   std::vector<uint8_t>& predicate_table(int predicate_id) {
     return predicate_tables_[predicate_id];
   }
@@ -52,11 +107,28 @@ class World {
   // Total number of function cells.
   int64_t TotalFunctionCells() const;
 
+  // ---- world odometer ----
+
+  // Positions every cell at world index `index` of the enumeration order:
+  // predicate cells are the low binary digits (predicate 0, cell 0 first),
+  // function cells the high base-N digits.
+  void SeekToIndex(int64_t index);
+  // Odometer increment over all predicate cells (base 2, packed columns
+  // advance a word at a time) and all function cells (base N); returns
+  // false when the odometer wraps around to the all-zero world.
+  bool AdvanceOdometer();
+
  private:
   int64_t TableIndex(const std::vector<int>& args) const;
 
   const logic::Vocabulary* vocabulary_;
   int domain_size_;
+  int unary_words_ = 0;
+  uint64_t tail_mask_ = ~uint64_t{0};
+  std::vector<int> pred_arities_;
+  // num_predicates × unary_words_ words; rows of non-unary predicate ids
+  // are unused (kept so columns index directly by predicate id).
+  std::vector<uint64_t> unary_bits_;
   std::vector<std::vector<uint8_t>> predicate_tables_;
   std::vector<std::vector<int>> function_tables_;
 };

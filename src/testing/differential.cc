@@ -202,7 +202,15 @@ void RunVmCheck(const Scenario& scenario, const DifferentialOptions& options,
                        "compile failed: " + compiled.error});
       continue;
     }
-    for (int n : options.domain_sizes) {
+    std::vector<int> domain_sizes = options.domain_sizes;
+    if (scenario.vocabulary.IsUnaryRelational()) {
+      // Word-boundary sizes exercise the packed columns' tail masks; the
+      // tree-walker stays affordable on unary vocabularies.
+      domain_sizes.insert(domain_sizes.end(),
+                          options.vm_extra_domain_sizes.begin(),
+                          options.vm_extra_domain_sizes.end());
+    }
+    for (int n : domain_sizes) {
       if (n <= 0) continue;
       std::mt19937_64 rng(0x5eed0000ull + static_cast<uint64_t>(n) * 1009 +
                           fi);
@@ -211,7 +219,15 @@ void RunVmCheck(const Scenario& scenario, const DifferentialOptions& options,
       frame.Prepare(*compiled.program, options.tolerances);
       ++report->comparisons;
       for (int w = 0; w < options.vm_worlds; ++w) {
+        // Per-cell draws (NOT word-wise) keep the RNG stream — and hence
+        // the replayed corpus worlds — identical to the byte-table era.
         for (int p = 0; p < scenario.vocabulary.num_predicates(); ++p) {
+          if (world.predicate_arity(p) == 1) {
+            for (int d = 0; d < n; ++d) {
+              world.SetUnaryBit(p, d, (rng() & 1) != 0);
+            }
+            continue;
+          }
           for (auto& cell : world.predicate_table(p)) {
             cell = static_cast<uint8_t>(rng() & 1);
           }

@@ -65,6 +65,12 @@ struct DifferentialOptions {
   // including corpus replay.
   bool check_vm = true;
   int vm_worlds = 8;
+  // Extra vm-check domain sizes around the 64-bit word boundary of the
+  // packed unary world representation (world.h): tail-word masking bugs in
+  // the popcount kernels only show at N near multiples of 64.  Applied
+  // only to unary-relational vocabularies — the tree-walking oracle is
+  // O(N^depth) per world on relations of higher arity.
+  std::vector<int> vm_extra_domain_sizes = {63, 64, 65, 127};
 
   // Limit-level checks (pipeline / maxent).  Numeric sweeps estimate the
   // N → ∞ limit from finite prefixes, so the epsilon is necessarily loose.

@@ -88,9 +88,23 @@ logic::FormulaPtr RandomUnaryKb(const UnaryKbParams& params,
   return Formula::AndAll(conjuncts);
 }
 
+namespace {
+
+// At the default bias (exactly 1/3) this must consume the RNG identically
+// to the historical `UniformInt(rng, 0, 2) == 0` draw, so seeded workloads
+// (tests, shrunk corpus cases) regenerate the same formulas.
+bool DrawProportionQuery(const UnaryKbParams& params, std::mt19937* rng) {
+  if (params.proportion_query_bias == 1.0 / 3.0) {
+    return UniformInt(rng, 0, 2) == 0;
+  }
+  return UniformReal(rng, 0.0, 1.0) < params.proportion_query_bias;
+}
+
+}  // namespace
+
 logic::FormulaPtr RandomQuery(const UnaryKbParams& params,
                               std::mt19937* rng) {
-  if (params.num_constants > 0 && UniformInt(rng, 0, 2) != 0) {
+  if (params.num_constants > 0 && !DrawProportionQuery(params, rng)) {
     int which = UniformInt(rng, 0, params.num_constants - 1);
     TermPtr c = logic::C("K" + std::to_string(which));
     return RandomClassExpr(params.num_predicates, c, params.max_depth, rng);

@@ -28,6 +28,11 @@ struct UnaryKbParams {
   // Maximum nesting depth of the generated class expressions (1 reproduces
   // the historical shallow shapes; the fuzzer drives this to 2-3).
   int max_depth = 1;
+  // Probability that RandomQuery produces a proportion comparison instead
+  // of a class expression about a constant.  The fuzzer raises this to
+  // stress the VM's fused-proportion popcount kernels and the exact
+  // engine's counting-loop collapse.
+  double proportion_query_bias = 1.0 / 3.0;
 };
 
 // Predicate names used by the generator: P0..P{k-1}; constants K0..K{m-1}.

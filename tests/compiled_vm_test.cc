@@ -32,6 +32,12 @@ ToleranceVector Tol(double v) { return ToleranceVector::Uniform(v); }
 void RandomizeWorld(World* world, std::mt19937_64* rng) {
   const auto& vocabulary = world->vocabulary();
   for (int p = 0; p < vocabulary.num_predicates(); ++p) {
+    if (world->predicate_arity(p) == 1) {
+      for (int d = 0; d < world->domain_size(); ++d) {
+        world->SetUnaryBit(p, d, ((*rng)() & 1) != 0);
+      }
+      continue;
+    }
     for (auto& cell : world->predicate_table(p)) {
       cell = static_cast<uint8_t>((*rng)() & 1);
     }

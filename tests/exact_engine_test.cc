@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/query_context.h"
 #include "src/logic/builder.h"
 
 namespace rwl::engines {
@@ -145,8 +146,56 @@ TEST(ExactEngine, SupportsRefusesHugeInstances) {
   logic::Vocabulary vocab;
   vocab.AddPredicate("R", 2);
   ExactEngine engine(/*max_log2_worlds=*/20.0);
-  EXPECT_TRUE(engine.Supports(vocab, Formula::True(), Formula::True(), 4));
-  EXPECT_FALSE(engine.Supports(vocab, Formula::True(), Formula::True(), 8));
+  // A query that actually observes the binary relation keeps the engine on
+  // the world odometer, so the enumeration cap applies.
+  FormulaPtr query = Formula::Exists("x", P("R", V("x"), V("x")));
+  EXPECT_TRUE(engine.Supports(vocab, Formula::True(), query, 4));
+  EXPECT_FALSE(engine.Supports(vocab, Formula::True(), query, 8));
+}
+
+TEST(ExactEngine, CostModelReportsCountingPlansAsNearFree) {
+  // The planner's min-cost mode must prefer the counting loop: for an
+  // aggregate-only instance EstimateCost reports the composition count,
+  // not the 2^N world odometer, and says so in the basis string.
+  logic::Vocabulary vocab;
+  vocab.AddPredicate("A", 1);
+  FormulaPtr kb = logic::ApproxLeq(logic::Prop(P("A", V("x")), {"x"}), 0.7, 1);
+  FormulaPtr query =
+      logic::ApproxLeq(logic::Prop(P("A", V("x")), {"x"}), 0.4, 1);
+  QueryContext ctx(vocab, kb, /*caching_enabled=*/true);
+  ExactEngine engine;
+  CostEstimate counting = engine.EstimateCost(ctx, query, 64);
+  EXPECT_NE(counting.basis.find("counting loop"), std::string::npos)
+      << counting.basis;
+  EXPECT_EQ(counting.error, 0.0);
+  // 65 compositions at N=64, times program length — nowhere near 2^64.
+  EXPECT_LT(counting.work, 1e5);
+
+  // A non-aggregate query (it names a constant) falls back to the
+  // odometer model and is astronomically more expensive.
+  vocab.AddConstant("B");
+  QueryContext ctx2(vocab, kb, /*caching_enabled=*/true);
+  CostEstimate odometer = engine.EstimateCost(ctx2, P("A", C("B")), 64);
+  EXPECT_NE(odometer.basis.find("odometer"), std::string::npos)
+      << odometer.basis;
+  EXPECT_GT(odometer.work, 1e15);
+}
+
+TEST(ExactEngine, CountingCollapseSupportsHugeAggregateInstances) {
+  // Aggregate-only KB and query collapse to the counting loop: supported —
+  // and answered exactly — at 2^64 worlds and beyond.
+  logic::Vocabulary vocab;
+  vocab.AddPredicate("A", 1);
+  ExactEngine engine(/*max_log2_worlds=*/20.0);
+  FormulaPtr kb = logic::ApproxLeq(logic::Prop(P("A", V("x")), {"x"}), 0.7, 1);
+  FormulaPtr query =
+      logic::ApproxLeq(logic::Prop(P("A", V("x")), {"x"}), 0.4, 1);
+  ASSERT_TRUE(engine.Supports(vocab, kb, query, 500));
+  FiniteResult r = engine.DegreeAt(vocab, kb, query, 500, Tol(0.1));
+  ASSERT_TRUE(r.well_defined);
+  // Pr(#A/N <= 0.5 | #A/N <= 0.8) at N=500: binomial mass ratio.
+  EXPECT_GT(r.probability, 0.5);
+  EXPECT_LE(r.probability, 1.0);
 }
 
 TEST(ExactEngine, StatisticalConjunctRestrictsWorlds) {

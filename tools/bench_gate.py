@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Perf regression gate over BENCH_*.json line files.
+
+Compares one numeric field across benchmark rows (matched by their "id")
+between a checked-in baseline and the current run:
+
+    bench_gate.py --baseline bench/baselines/BENCH_eval.json \
+                  --current bench-json/BENCH_eval.json \
+                  --field vm_ns_per_eval --max-ratio 1.5
+
+Fails (exit 1) when any row regresses more than --max-ratio over the
+baseline, or when a baseline row with the field is missing from the current
+run (a silently dropped benchmark is a coverage regression, not a perf
+win).  Rows present only in the current run are reported as new; they pass,
+and should be added to the baseline in the same change that introduces
+them.  Both files hold one JSON object per line (the BENCH_JSON format of
+bench/bench_util.h).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path, field):
+    rows = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise SystemExit(f"{path}:{line_no}: bad JSON: {e}")
+            if not isinstance(row, dict) or "id" not in row:
+                continue
+            if field in row and isinstance(row[field], (int, float)):
+                rows[row["id"]] = float(row[field])
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--field", required=True)
+    parser.add_argument("--max-ratio", type=float, default=1.5)
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline, args.field)
+    current = load_rows(args.current, args.field)
+    if not baseline:
+        raise SystemExit(
+            f"no baseline rows with field '{args.field}' in {args.baseline}")
+
+    failures = []
+    for row_id, base_value in sorted(baseline.items()):
+        if row_id not in current:
+            failures.append(f"{row_id}: missing from current run")
+            continue
+        value = current[row_id]
+        ratio = value / base_value if base_value > 0 else float("inf")
+        status = "FAIL" if ratio > args.max_ratio else "ok"
+        print(f"{status:4} {row_id}: {args.field} {base_value:.1f} -> "
+              f"{value:.1f} ({ratio:.2f}x, limit {args.max_ratio:.2f}x)")
+        if ratio > args.max_ratio:
+            failures.append(
+                f"{row_id}: {ratio:.2f}x > {args.max_ratio:.2f}x")
+    for row_id in sorted(set(current) - set(baseline)):
+        print(f"new  {row_id}: {args.field} {current[row_id]:.1f} "
+              f"(no baseline; add it to {args.baseline})")
+
+    if failures:
+        print(f"\nbench_gate: {len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbench_gate: {len(baseline)} row(s) within "
+          f"{args.max_ratio:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

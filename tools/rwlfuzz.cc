@@ -157,6 +157,10 @@ GeneratedCase GenerateUnary(std::mt19937* rng, bool defaults_heavy,
   params.num_facts = UniformInt(rng, 0, 2);
   params.default_fraction = defaults_heavy ? 0.8 : 0.3;
   params.max_depth = UniformInt(rng, 1, 2);
+  // Proportion-heavy queries stress the popcount proportion kernels and
+  // the counting-loop collapse; the vm check exercises their tail masks at
+  // word-boundary domain sizes (DifferentialOptions.vm_extra_domain_sizes).
+  params.proportion_query_bias = 0.6;
 
   GeneratedCase generated;
   generated.scenario.kb = rwl::workload::RandomUnaryKb(params, rng);
