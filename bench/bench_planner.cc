@@ -29,9 +29,11 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/core/engine_registry.h"
 #include "src/core/inference.h"
 #include "src/core/knowledge_base.h"
 #include "src/core/planner.h"
+#include "src/logic/parser.h"
 #include "src/logic/transform.h"
 #include "src/workload/generators.h"
 
@@ -345,6 +347,94 @@ int main() {
       .Field("agreement_failures", total_failures)
       .Field("deadline_violations", total_deadline_violations);
   summary.Emit();
+
+  // ---- cost-model rows for the closed-form strategies ----
+  //
+  // EstimateCost is a pure function of the KB shape, so these rows are
+  // bit-deterministic run to run — bench_gate.py compares them against
+  // bench/baselines/BENCH_planner.json with a tight ratio.  A cost-model
+  // change that would silently reorder cost-mode plans shows up here as a
+  // predicted_work jump before it shows up as a planner regression.
+  {
+    struct CostProbe {
+      const char* strategy;
+      const char* kb_text;
+      const char* query;
+    };
+    static const CostProbe kProbes[] = {
+        {"epsilon_semantics",
+         "#(Bird(x) ; Penguin(x))[x] ~= 1\n"
+         "#(Fly(x) ; Bird(x))[x] ~= 1\n"
+         "#(Fly(x) ; Penguin(x))[x] ~= 0\n"
+         "Penguin(Opus)\n",
+         "Fly(Opus)"},
+        {"klm",
+         "#(Bird(x) ; Penguin(x))[x] ~= 1\n"
+         "#(Fly(x) ; Bird(x))[x] ~= 1\n"
+         "#(Fly(x) ; Penguin(x))[x] ~= 0\n"
+         "Penguin(Opus)\n",
+         "Fly(Opus)"},
+        {"gmp90",
+         "#(Bird(x) ; Penguin(x))[x] ~= 1\n"
+         "#(Fly(x) ; Bird(x))[x] ~= 1\n"
+         "#(Fly(x) ; Penguin(x))[x] ~= 0\n"
+         "Penguin(Opus)\n",
+         "Fly(Opus)"},
+        {"evidence",
+         "#(Hep(x) ; Jaun(x))[x] ~=_1 0.8\n"
+         "#(Hep(x) ; Pos(x))[x] ~=_2 0.75\n"
+         "Jaun(Eric)\nPos(Eric)\n"
+         "(exists! x. (Jaun(x) & Pos(x)))\n",
+         "Hep(Eric)"},
+        {"calibrated",
+         "Jaun(Eric)\n#(Hep(x) ; Jaun(x))[x] ~= 0.8\n",
+         "Hep(Eric)"},
+    };
+    std::printf("\n  cost-model probes (deterministic; gated vs baseline):\n");
+    int cost_model_failures = 0;
+    for (const CostProbe& probe : kProbes) {
+      auto strategy = rwl::EngineRegistry::Default().Find(probe.strategy);
+      if (strategy == nullptr) {
+        ++cost_model_failures;
+        std::printf("  FAIL: strategy '%s' not registered\n", probe.strategy);
+        continue;
+      }
+      rwl::KnowledgeBase kb;
+      std::string error;
+      if (!kb.AddParsed(probe.kb_text, &error)) {
+        ++cost_model_failures;
+        std::printf("  FAIL: cost probe KB for '%s': %s\n", probe.strategy,
+                    error.c_str());
+        continue;
+      }
+      rwl::InferenceOptions options = BaseOptions();
+      if (std::string(probe.strategy) == "calibrated") {
+        options.interval_confidence = 0.9;
+      }
+      rwl::logic::FormulaPtr query =
+          rwl::logic::ParseFormula(probe.query).formula;
+      rwl::QueryContext ctx = rwl::MakeQueryContext(
+          kb, std::span<const rwl::logic::FormulaPtr>(&query, 1), options);
+      rwl::engines::Capability cap = strategy->Assess(ctx, query, options);
+      if (!cap.applicable) {
+        ++cost_model_failures;
+        std::printf("  FAIL: '%s' inapplicable on its canonical probe (%s)\n",
+                    probe.strategy, cap.reason.c_str());
+        continue;
+      }
+      rwl::engines::CostEstimate cost =
+          strategy->EstimateCost(ctx, query, options);
+      std::printf("  [%-17s] predicted work=%-12.6g error=%.3g\n",
+                  probe.strategy, cost.work, cost.error);
+      rwl::bench::JsonLine line("planner");
+      line.Field("id", std::string("cost_model_") + probe.strategy)
+          .Field("strategy", probe.strategy)
+          .Field("predicted_work", cost.work)
+          .Field("predicted_error", cost.error);
+      line.Emit();
+    }
+    total_failures += cost_model_failures;
+  }
 
   if (total_failures > 0) {
     std::printf("  FAIL: planner answers disagree with forced engines\n");

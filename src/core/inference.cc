@@ -10,11 +10,15 @@
 
 #include "src/core/engine_registry.h"
 #include "src/core/planner.h"
+#include "src/defaults/fragment.h"
+#include "src/defaults/gmp90.h"
 #include "src/engines/exact_engine.h"
 #include "src/engines/maxent_engine.h"
 #include "src/engines/montecarlo_engine.h"
 #include "src/engines/profile_engine.h"
 #include "src/engines/symbolic_engine.h"
+#include "src/evidence/combination.h"
+#include "src/evidence/dempster.h"
 #include "src/logic/parser.h"
 #include "src/logic/transform.h"
 
@@ -493,6 +497,509 @@ class MonteCarloStrategy : public InferenceStrategy {
   }
 };
 
+// ---- The defaults family (Section 6) ----
+//
+// Three strategies over the propositional-defaults fragment
+// (defaults/fragment.h).  All are sound for the random-worlds limit:
+// p-entailment is a conservative part of the GMP90 maximum-entropy system,
+// and Theorem 6.1 identifies ME-plausible consequence with Pr_∞ = 1 under
+// the unary translation.  epsilon_semantics and klm decide the *same*
+// relation by two independent algorithms (greedy peel vs subset
+// enumeration) — the differential `defaults` check leans on that.
+
+// A p-entailment decider differing only in caps and the underlying
+// algorithm.
+class PEntailmentStrategy : public InferenceStrategy {
+ public:
+  engines::Capability Assess(QueryContext& ctx,
+                             const logic::FormulaPtr& query,
+                             const InferenceOptions& options) const override {
+    engines::Capability cap =
+        engines::DescribeInstance(ctx.vocabulary(), query);
+    if (!options.use_defaults) {
+      cap.applicable = false;
+      cap.reason = "disabled (defaults family off)";
+      return cap;
+    }
+    defaults::DefaultsInstance instance = defaults::AnalyzeDefaultsInstance(
+        ctx.kb_conjuncts(), query, limits());
+    cap.applicable = instance.ok;
+    cap.reason = instance.ok
+                     ? "propositional-defaults fragment: " +
+                           std::to_string(instance.rules.size()) +
+                           " rules over " +
+                           std::to_string(instance.num_vars) + " classes"
+                     : instance.reason;
+    return cap;
+  }
+
+  Outcome Run(QueryContext& ctx, const logic::FormulaPtr& query,
+              const InferenceOptions& options, Answer* answer) const override {
+    if (!options.use_defaults) return Outcome::kSkip;
+    defaults::DefaultsInstance instance = defaults::AnalyzeDefaultsInstance(
+        ctx.kb_conjuncts(), query, limits());
+    if (!instance.ok) return Outcome::kSkip;
+    const defaults::Rule negated{
+        instance.query.antecedent,
+        defaults::Prop::Not(instance.query.consequent)};
+    const bool entails_query =
+        Entails(instance.rules, instance.query, instance.num_vars);
+    const bool entails_negation =
+        Entails(instance.rules, negated, instance.num_vars);
+    if (entails_query == entails_negation) {
+      // Neither: p-entailment is silent (it is incomplete for random
+      // worlds).  Both: the evidence is negligible under the rules and
+      // conditioning degenerates — the numeric sweeps decide.
+      return Outcome::kSkip;
+    }
+    answer->status = Answer::Status::kPoint;
+    answer->value = entails_query ? 1.0 : 0.0;
+    answer->lo = answer->hi = answer->value;
+    answer->method = answer->method.empty()
+                         ? method_label()
+                         : answer->method + " + " + method_label();
+    answer->explanation = entails_query
+                              ? "the rules p-entail evidence → query"
+                              : "the rules p-entail evidence → ¬query";
+    answer->converged = true;
+    return Outcome::kFinal;
+  }
+
+ protected:
+  virtual defaults::FragmentLimits limits() const = 0;
+  virtual std::string method_label() const = 0;
+  virtual bool Entails(const std::vector<defaults::Rule>& rules,
+                       const defaults::Rule& query, int num_vars) const = 0;
+};
+
+// 6. ε-semantics p-entailment via the Goldszmidt–Pearl greedy peel.
+class EpsilonSemanticsStrategy : public PEntailmentStrategy {
+ public:
+  std::string name() const override { return "epsilon_semantics"; }
+
+  engines::CostEstimate EstimateCost(
+      QueryContext& ctx, const logic::FormulaPtr& query,
+      const InferenceOptions& /*options*/) const override {
+    engines::CostEstimate cost;
+    defaults::DefaultsInstance instance = defaults::AnalyzeDefaultsInstance(
+        ctx.kb_conjuncts(), query, limits());
+    const double rules = static_cast<double>(instance.rules.size()) + 1.0;
+    const double worlds =
+        static_cast<double>(uint64_t{1} << std::max(instance.num_vars, 1));
+    // Two greedy peels (query and negation): peel rounds × toleration
+    // probes × worlds × material checks.
+    cost.work = 2.0 * rules * rules * rules * worlds;
+    cost.error = 0.0;
+    cost.basis = "greedy tolerance peel over 2^classes worlds, both query "
+                 "directions";
+    return cost;
+  }
+
+ protected:
+  defaults::FragmentLimits limits() const override {
+    defaults::FragmentLimits limits;
+    limits.max_vars = 10;
+    limits.max_rules = 16;
+    return limits;
+  }
+  std::string method_label() const override {
+    return "epsilon-semantics p-entailment";
+  }
+  bool Entails(const std::vector<defaults::Rule>& rules,
+               const defaults::Rule& query, int num_vars) const override {
+    return defaults::PEntails(rules, query, num_vars);
+  }
+};
+
+// 7. KLM preferential entailment — for this fragment the same relation as
+// p-entailment (System P), decided by the definitional subset enumeration.
+// Deliberately an independent implementation: the fuzzer compares it
+// against epsilon_semantics' greedy peel.
+class KlmStrategy : public PEntailmentStrategy {
+ public:
+  std::string name() const override { return "klm"; }
+
+  engines::CostEstimate EstimateCost(
+      QueryContext& ctx, const logic::FormulaPtr& query,
+      const InferenceOptions& /*options*/) const override {
+    engines::CostEstimate cost;
+    defaults::DefaultsInstance instance = defaults::AnalyzeDefaultsInstance(
+        ctx.kb_conjuncts(), query, limits());
+    const double rules = static_cast<double>(instance.rules.size()) + 1.0;
+    const double worlds =
+        static_cast<double>(uint64_t{1} << std::max(instance.num_vars, 1));
+    cost.work = 2.0 * std::pow(2.0, rules) * rules * worlds;
+    cost.error = 0.0;
+    cost.basis = "tolerated-rule test over all 2^rules subsets, both query "
+                 "directions";
+    return cost;
+  }
+
+ protected:
+  defaults::FragmentLimits limits() const override {
+    defaults::FragmentLimits limits;
+    limits.max_vars = 8;
+    limits.max_rules = 11;
+    return limits;
+  }
+  std::string method_label() const override { return "klm p-entailment"; }
+  bool Entails(const std::vector<defaults::Rule>& rules,
+               const defaults::Rule& query, int num_vars) const override {
+    return defaults::PEntailsBySubsets(rules, query, num_vars);
+  }
+};
+
+// 8. GMP90 maximum-entropy defaults: the κ-strength comparison decides
+// specificity beyond p-entailment; exponent-level ties fall through to the
+// numeric µ*_ε series.  Exact for the fragment by Theorem 6.1.
+class Gmp90Strategy : public InferenceStrategy {
+ public:
+  std::string name() const override { return "gmp90"; }
+
+  static defaults::FragmentLimits Limits() {
+    defaults::FragmentLimits limits;
+    limits.max_vars = 8;
+    limits.max_rules = 12;
+    return limits;
+  }
+
+  engines::Capability Assess(QueryContext& ctx,
+                             const logic::FormulaPtr& query,
+                             const InferenceOptions& options) const override {
+    engines::Capability cap =
+        engines::DescribeInstance(ctx.vocabulary(), query);
+    if (!options.use_defaults) {
+      cap.applicable = false;
+      cap.reason = "disabled (defaults family off)";
+      return cap;
+    }
+    defaults::DefaultsInstance instance = defaults::AnalyzeDefaultsInstance(
+        ctx.kb_conjuncts(), query, Limits());
+    cap.applicable = instance.ok;
+    cap.reason = instance.ok
+                     ? "propositional-defaults fragment: " +
+                           std::to_string(instance.rules.size()) +
+                           " rules over " +
+                           std::to_string(instance.num_vars) + " classes"
+                     : instance.reason;
+    return cap;
+  }
+
+  engines::CostEstimate EstimateCost(
+      QueryContext& ctx, const logic::FormulaPtr& query,
+      const InferenceOptions& /*options*/) const override {
+    engines::CostEstimate cost;
+    defaults::DefaultsInstance instance = defaults::AnalyzeDefaultsInstance(
+        ctx.kb_conjuncts(), query, Limits());
+    const double rules = static_cast<double>(instance.rules.size()) + 1.0;
+    const double worlds =
+        static_cast<double>(uint64_t{1} << std::max(instance.num_vars, 1));
+    // Strength fixed point (rounds × rules × worlds × rules) plus up to
+    // six entropy solves on ties (~200 iterations each).
+    cost.work = rules * rules * rules * worlds + 1200.0 * worlds;
+    cost.error = 0.0;
+    cost.basis = "κ-strength fixed point over 2^classes worlds (+ µ*_ε "
+                 "series on exponent ties)";
+    return cost;
+  }
+
+  Outcome Run(QueryContext& ctx, const logic::FormulaPtr& query,
+              const InferenceOptions& options, Answer* answer) const override {
+    if (!options.use_defaults) return Outcome::kSkip;
+    defaults::DefaultsInstance instance = defaults::AnalyzeDefaultsInstance(
+        ctx.kb_conjuncts(), query, Limits());
+    if (!instance.ok) return Outcome::kSkip;
+    // The evidence must be propositionally satisfiable: facts are hard, so
+    // contradictory evidence means no worlds at all — the sweeps' call
+    // (kUndefined), not a defaults verdict.
+    const uint32_t num_worlds = uint32_t{1} << instance.num_vars;
+    bool evidence_satisfiable = false;
+    for (uint32_t w = 0; w < num_worlds && !evidence_satisfiable; ++w) {
+      evidence_satisfiable =
+          defaults::EvalProp(instance.query.antecedent, w);
+    }
+    if (!evidence_satisfiable) return Outcome::kSkip;
+
+    defaults::Gmp90System system(instance.num_vars, instance.rules);
+    if (system.RuleStrengths().empty()) {
+      // Fixed point diverged: ε-inconsistent rules.  CompareByStrengths
+      // would report an indistinguishable "tie"; bow out instead.
+      return Outcome::kSkip;
+    }
+    const int comparison = system.CompareByStrengths(instance.query);
+    double value = -1.0;
+    std::string how;
+    if (comparison > 0) {
+      value = 1.0;
+      how = "cheapest evidence∧query world strictly cheaper (κ-strengths)";
+    } else if (comparison < 0) {
+      value = 0.0;
+      how = "cheapest evidence∧¬query world strictly cheaper (κ-strengths)";
+    } else {
+      // Exponent-level tie: second-order terms may still decide — ask the
+      // numeric µ*_ε series for both directions.
+      defaults::MePlausibleResult plausible =
+          system.MePlausible(instance.query);
+      if (plausible.feasible && plausible.plausible) {
+        value = 1.0;
+        how = "µ*_ε(query|evidence) → 1 (maximum-entropy series)";
+      } else {
+        const defaults::Rule negated{
+            instance.query.antecedent,
+            defaults::Prop::Not(instance.query.consequent)};
+        defaults::MePlausibleResult anti = system.MePlausible(negated);
+        if (anti.feasible && anti.plausible) {
+          value = 0.0;
+          how = "µ*_ε(¬query|evidence) → 1 (maximum-entropy series)";
+        }
+      }
+    }
+    if (value < 0.0) return Outcome::kSkip;
+    answer->status = Answer::Status::kPoint;
+    answer->value = value;
+    answer->lo = answer->hi = value;
+    answer->method = answer->method.empty()
+                         ? "gmp90 maximum-entropy defaults"
+                         : answer->method + " + gmp90 maximum-entropy "
+                                            "defaults";
+    answer->explanation = how;
+    answer->converged = true;
+    return Outcome::kFinal;
+  }
+};
+
+// 9. Dempster evidence combination (Theorem 5.26): exact limit for
+// essentially-disjoint competing reference classes.
+class EvidenceStrategy : public InferenceStrategy {
+ public:
+  std::string name() const override { return "evidence"; }
+
+  engines::Capability Assess(QueryContext& ctx,
+                             const logic::FormulaPtr& query,
+                             const InferenceOptions& options) const override {
+    engines::Capability cap =
+        engines::DescribeInstance(ctx.vocabulary(), query);
+    if (!options.use_evidence) {
+      cap.applicable = false;
+      cap.reason = "disabled (evidence combination off)";
+      return cap;
+    }
+    evidence::EvidenceInstance instance =
+        evidence::AnalyzeEvidenceInstance(ctx.kb_conjuncts(), query);
+    cap.applicable = instance.ok;
+    cap.reason = instance.ok
+                     ? "Theorem 5.26 shape: " +
+                           std::to_string(instance.alphas.size()) +
+                           " essentially-disjoint mass assignments"
+                     : instance.reason;
+    return cap;
+  }
+
+  engines::CostEstimate EstimateCost(
+      QueryContext& ctx, const logic::FormulaPtr& query,
+      const InferenceOptions& /*options*/) const override {
+    engines::CostEstimate cost;
+    evidence::EvidenceInstance instance =
+        evidence::AnalyzeEvidenceInstance(ctx.kb_conjuncts(), query);
+    cost.work = static_cast<double>(
+        instance.alphas.empty() ? 1 : instance.alphas.size());
+    cost.error = 0.0;
+    cost.basis = "closed-form product over the mass assignments";
+    return cost;
+  }
+
+  Outcome Run(QueryContext& ctx, const logic::FormulaPtr& query,
+              const InferenceOptions& options, Answer* answer) const override {
+    if (!options.use_evidence) return Outcome::kSkip;
+    evidence::EvidenceInstance instance =
+        evidence::AnalyzeEvidenceInstance(ctx.kb_conjuncts(), query);
+    if (!instance.ok) return Outcome::kSkip;
+    bool any_one = false;
+    bool any_zero = false;
+    for (double alpha : instance.alphas) {
+      any_one = any_one || alpha >= 1.0;
+      any_zero = any_zero || alpha <= 0.0;
+    }
+    if (any_one && any_zero) {
+      // Conflicting hard defaults (mirrors the symbolic TryDempster):
+      // equal strength — identical tolerance subscripts, exactly two
+      // classes — resolves to 1/2; otherwise the limit does not exist.
+      if (instance.alphas.size() == 2 &&
+          instance.tolerance_indices[0] == instance.tolerance_indices[1]) {
+        answer->status = Answer::Status::kPoint;
+        answer->value = 0.5;
+        answer->lo = answer->hi = 0.5;
+        answer->method = answer->method.empty()
+                             ? "dempster evidence combination"
+                             : answer->method +
+                                   " + dempster evidence combination";
+        answer->explanation =
+            "equal-strength conflicting hard defaults resolve to 1/2";
+        answer->converged = true;
+        return Outcome::kFinal;
+      }
+      answer->status = Answer::Status::kNonexistent;
+      answer->method = "dempster evidence combination";
+      answer->explanation = "conflicting hard defaults of differing "
+                            "strengths: the limit does not exist "
+                            "(Section 5.3)";
+      return Outcome::kFinal;
+    }
+    const double combined = evidence::DempsterCombine(instance.alphas);
+    answer->status = Answer::Status::kPoint;
+    answer->value = combined;
+    answer->lo = answer->hi = combined;
+    answer->method = answer->method.empty()
+                         ? "dempster evidence combination"
+                         : answer->method + " + dempster evidence "
+                                            "combination";
+    answer->explanation =
+        "Theorem 5.26 over " + std::to_string(instance.alphas.size()) +
+        " essentially-disjoint reference classes";
+    answer->converged = true;
+    return Outcome::kFinal;
+  }
+};
+
+// 10. Calibrated-interval mode (preemptive, like fixed-N: the caller asked
+// a different question).  The numeric sweep runs as usual; the answer is
+// the empirical quantile interval leaving out at most a δ = 1-confidence
+// fraction of the well-defined sweep values, widened to cover a symbolic
+// point/interval when one exists (widening can only improve coverage).
+// The differential `coverage` check replays the schedule on the exact
+// engine and verifies empirical coverage ≥ confidence - tolerance.
+class CalibratedStrategy : public InferenceStrategy {
+ public:
+  std::string name() const override { return "calibrated"; }
+
+  bool preemptive() const override { return true; }
+
+  static bool Requested(const InferenceOptions& options) {
+    return options.interval_confidence > 0.0 &&
+           options.interval_confidence < 1.0;
+  }
+
+  engines::Capability Assess(QueryContext& ctx,
+                             const logic::FormulaPtr& query,
+                             const InferenceOptions& options) const override {
+    engines::Capability cap =
+        engines::DescribeInstance(ctx.vocabulary(), query);
+    if (!Requested(options)) {
+      cap.applicable = false;
+      cap.reason = options.interval_confidence == 0.0
+                       ? "no interval confidence requested"
+                       : "interval confidence outside (0, 1)";
+      return cap;
+    }
+    engines::ProfileEngine profile;
+    engines::ExactEngine exact;
+    cap.applicable =
+        (options.use_profile &&
+         AnySupported(profile, ctx, query, options.limit.domain_sizes)) ||
+        (options.use_exact_fallback &&
+         AnySupported(exact, ctx, query, ExactFallbackStrategy::SmallSizes()));
+    cap.reason = cap.applicable
+                     ? "interval at confidence requested; a numeric sweep "
+                       "engine covers the schedule"
+                     : "no numeric sweep engine covers this instance";
+    return cap;
+  }
+
+  engines::CostEstimate EstimateCost(
+      QueryContext& ctx, const logic::FormulaPtr& query,
+      const InferenceOptions& options) const override {
+    engines::ProfileEngine profile;
+    if (options.use_profile &&
+        AnySupported(profile, ctx, query, options.limit.domain_sizes)) {
+      return SweepCost(profile, ctx, query, options.limit.domain_sizes,
+                       options.limit.tolerance_scales.size(),
+                       options.limit.convergence_epsilon);
+    }
+    engines::ExactEngine exact;
+    return SweepCost(exact, ctx, query, ExactFallbackStrategy::SmallSizes(),
+                     options.limit.tolerance_scales.size(),
+                     options.limit.convergence_epsilon);
+  }
+
+  Outcome Run(QueryContext& ctx, const logic::FormulaPtr& query,
+              const InferenceOptions& options, Answer* answer) const override {
+    if (!Requested(options)) return Outcome::kSkip;
+    engines::ProfileEngine profile;
+    engines::ExactEngine exact;
+    engines::LimitResult lr;
+    std::string sweep_label;
+    if (options.use_profile &&
+        AnySupported(profile, ctx, query, options.limit.domain_sizes)) {
+      lr = engines::EstimateLimit(profile, ctx, query, options.tolerances,
+                                  options.limit);
+      sweep_label = "profile sweep";
+    } else if (options.use_exact_fallback &&
+               AnySupported(exact, ctx, query,
+                            ExactFallbackStrategy::SmallSizes())) {
+      engines::LimitOptions small = options.limit;
+      small.domain_sizes = ExactFallbackStrategy::SmallSizes();
+      lr = engines::EstimateLimit(exact, ctx, query, options.tolerances,
+                                  small);
+      sweep_label = "exact sweep (small N)";
+    } else {
+      return Outcome::kSkip;
+    }
+
+    std::vector<double> values;
+    for (const engines::SeriesPoint& point : lr.series) {
+      if (point.well_defined) values.push_back(point.probability);
+    }
+    if (values.empty()) {
+      // Nothing to calibrate against: fall through to the normal
+      // strategies (the answer simply won't carry a coverage guarantee).
+      if (answer->series.empty()) answer->series = lr.series;
+      return Outcome::kSkip;
+    }
+    std::sort(values.begin(), values.end());
+
+    // Leave out at most floor(n·δ) points, split between the two tails.
+    const double delta = 1.0 - options.interval_confidence;
+    const size_t n = values.size();
+    const size_t allowed_out =
+        static_cast<size_t>(static_cast<double>(n) * delta);
+    const size_t out_lo = allowed_out / 2;
+    const size_t out_hi = allowed_out - out_lo;
+    double lo = values[out_lo];
+    double hi = values[n - 1 - out_hi];
+
+    // Hull with the symbolic kPartial path: a sound Pr_∞ point or
+    // interval, when a theorem applies, must stay inside the answer.
+    std::string hull_note;
+    if (options.use_symbolic) {
+      engines::SymbolicEngine symbolic;
+      engines::SymbolicAnswer sa = symbolic.Infer(ctx, query);
+      if (sa.status == engines::SymbolicAnswer::Status::kInterval) {
+        if (sa.lo < lo || sa.hi > hi) {
+          lo = std::min(lo, sa.lo);
+          hi = std::max(hi, sa.hi);
+          hull_note = "; widened to cover the symbolic " +
+                      std::string(sa.is_point() ? "point" : "interval");
+        }
+      }
+    }
+
+    answer->status = Answer::Status::kInterval;
+    answer->lo = lo;
+    answer->hi = hi;
+    answer->value = (lo + hi) / 2.0;
+    answer->series = lr.series;
+    answer->converged = lr.converged;
+    answer->method = "calibrated quantile interval (" + sweep_label + ")";
+    char detail[160];
+    std::snprintf(detail, sizeof(detail),
+                  "confidence %.3g: %zu of %zu well-defined sweep values "
+                  "inside by construction",
+                  options.interval_confidence, n - allowed_out, n);
+    answer->explanation = detail + hull_note;
+    return Outcome::kFinal;
+  }
+};
+
 }  // namespace
 
 engines::Capability InferenceStrategy::Assess(
@@ -517,8 +1024,18 @@ EngineRegistry& EngineRegistry::Default() {
   static EngineRegistry* registry = [] {
     auto* r = new EngineRegistry();
     r->Register(0, std::make_shared<FixedDomainStrategy>());
+    r->Register(1, std::make_shared<CalibratedStrategy>());
     r->Register(10, std::make_shared<SymbolicStrategy>());
     r->Register(20, std::make_shared<ProfileSweepStrategy>());
+    // The closed-form fragment strategies rank after profile in fidelity
+    // order: on their fragments they are exact, but profile's finite
+    // sweeps remain the default oracle so answers outside forced/cost
+    // runs are unchanged.  In kMinCost mode their tiny predicted work
+    // puts them first whenever they apply.
+    r->Register(22, std::make_shared<EpsilonSemanticsStrategy>());
+    r->Register(23, std::make_shared<KlmStrategy>());
+    r->Register(24, std::make_shared<Gmp90Strategy>());
+    r->Register(26, std::make_shared<EvidenceStrategy>());
     r->Register(30, std::make_shared<MaxEntStrategy>());
     r->Register(40, std::make_shared<ExactFallbackStrategy>());
     r->Register(50, std::make_shared<MonteCarloStrategy>());

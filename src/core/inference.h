@@ -59,6 +59,21 @@ struct InferenceOptions {
   // per (N, ⃗τ) point (0 = the engine default).  Smaller budgets trade
   // accuracy for latency; the planner's cost model accounts for it.
   uint64_t montecarlo_samples = 0;
+  // The defaults family (epsilon_semantics, klm, gmp90): exact limits for
+  // KBs in the propositional-defaults fragment (defaults/fragment.h).
+  bool use_defaults = true;
+  // Dempster evidence combination for Theorem 5.26 instances
+  // (evidence/combination.h).
+  bool use_evidence = true;
+  // Calibrated-interval mode (conformal-style): a value in (0, 1) asks
+  // for an interval answer at confidence 1-δ with δ = 1-interval_confidence:
+  // the preemptive `calibrated` strategy sweeps the numeric schedule and
+  // returns the empirical quantile interval leaving out at most a δ
+  // fraction of the well-defined sweep values (widened to include a
+  // symbolic point when one exists).  0 (the default) disables the mode;
+  // the differential `coverage` check verifies empirical coverage against
+  // ground-truth enumeration over the same schedule.
+  double interval_confidence = 0.0;
   // Footnote 9: when the true domain size is known (and small enough to
   // matter), compute Pr_N^τ at exactly this N instead of taking the
   // N → ∞ limit.  0 means unknown (take limits).

@@ -150,6 +150,14 @@ std::string PlanCacheKey(const InferenceOptions& options, uint64_t shape,
   key += options.use_maxent ? '1' : '0';
   key += options.use_exact_fallback ? '1' : '0';
   key += options.use_montecarlo ? '1' : '0';
+  key += options.use_defaults ? '1' : '0';
+  key += options.use_evidence ? '1' : '0';
+  key += "|ic=";
+  {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", options.interval_confidence);
+    key += buf;
+  }
   key += "|fx=";
   key += std::to_string(options.fixed_domain_size);
   key += "|mc=";
@@ -324,6 +332,8 @@ Answer PlanAndExecute(const EngineRegistry& registry, QueryContext& ctx,
     forced.use_maxent = true;
     forced.use_exact_fallback = true;
     forced.use_montecarlo = true;
+    forced.use_defaults = true;
+    forced.use_evidence = true;
     if (options.deadline_ms > 0.0) {
       forced.limit.deadline =
           start + std::chrono::duration_cast<Clock::duration>(

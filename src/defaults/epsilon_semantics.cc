@@ -99,6 +99,57 @@ bool PEntails(const std::vector<Rule>& rules, const Rule& query,
   return !EpsilonConsistent(augmented, num_vars);
 }
 
+bool EpsilonConsistentBySubsets(const std::vector<Rule>& rules,
+                                int num_vars) {
+  const size_t n = rules.size();
+  if (n == 0) return true;
+  if (n >= 31) return EpsilonConsistent(rules, num_vars);
+
+  // Per world w: the bitmask of rules materially satisfied at w; per rule
+  // r: the masks of the worlds verifying r (w ⊨ B ∧ C).  Rule r is
+  // tolerated by subset S iff some verifying world materially satisfies
+  // all of S: S ⊆ materials(w).
+  const uint32_t num_worlds = uint32_t{1} << num_vars;
+  std::vector<std::vector<uint32_t>> verifier_materials(n);
+  for (uint32_t w = 0; w < num_worlds; ++w) {
+    uint32_t materials = 0;
+    for (size_t r = 0; r < n; ++r) {
+      if (!EvalProp(rules[r].antecedent, w) ||
+          EvalProp(rules[r].consequent, w)) {
+        materials |= uint32_t{1} << r;
+      }
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (EvalProp(rules[r].antecedent, w) &&
+          EvalProp(rules[r].consequent, w)) {
+        verifier_materials[r].push_back(materials);
+      }
+    }
+  }
+
+  for (uint32_t subset = 1; subset < (uint32_t{1} << n); ++subset) {
+    bool tolerated = false;
+    for (size_t r = 0; r < n && !tolerated; ++r) {
+      if (((subset >> r) & 1) == 0) continue;
+      for (uint32_t materials : verifier_materials[r]) {
+        if ((subset & materials) == subset) {
+          tolerated = true;
+          break;
+        }
+      }
+    }
+    if (!tolerated) return false;
+  }
+  return true;
+}
+
+bool PEntailsBySubsets(const std::vector<Rule>& rules, const Rule& query,
+                       int num_vars) {
+  std::vector<Rule> augmented = rules;
+  augmented.push_back(Rule{query.antecedent, Prop::Not(query.consequent)});
+  return !EpsilonConsistentBySubsets(augmented, num_vars);
+}
+
 std::string PropToString(const PropPtr& f,
                          const std::vector<std::string>& names) {
   switch (f->kind()) {

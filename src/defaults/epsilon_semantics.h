@@ -72,6 +72,19 @@ bool EpsilonConsistent(const std::vector<Rule>& rules, int num_vars);
 bool PEntails(const std::vector<Rule>& rules, const Rule& query,
               int num_vars);
 
+// The same relations decided by the definitional characterization — every
+// nonempty R' ⊆ R must contain a tolerated rule — enumerating all 2^|R|
+// subsets over precomputed world masks instead of peeling greedily.  An
+// independent algorithm for the same relation (the two are provably
+// equivalent), kept as a differential oracle against PEntails: the `klm`
+// planner strategy answers through this decider while `epsilon_semantics`
+// answers through the greedy one, and the fuzzer compares them.
+// Exponential in |R|; callers cap the rule count (defaults/fragment.h).
+bool EpsilonConsistentBySubsets(const std::vector<Rule>& rules,
+                                int num_vars);
+bool PEntailsBySubsets(const std::vector<Rule>& rules, const Rule& query,
+                       int num_vars);
+
 std::string PropToString(const PropPtr& f,
                          const std::vector<std::string>& names);
 

@@ -1,0 +1,240 @@
+#include "src/defaults/fragment.h"
+
+#include <utility>
+
+#include "src/logic/printer.h"
+
+namespace rwl::defaults {
+
+namespace {
+
+using logic::Expr;
+using logic::Formula;
+using logic::FormulaPtr;
+
+// Looks up (or registers) the propositional variable of a unary predicate.
+int VarIndex(const std::string& predicate, std::vector<std::string>* names,
+             int max_vars) {
+  for (size_t i = 0; i < names->size(); ++i) {
+    if ((*names)[i] == predicate) return static_cast<int>(i);
+  }
+  if (static_cast<int>(names->size()) >= max_vars) return -1;
+  names->push_back(predicate);
+  return static_cast<int>(names->size()) - 1;
+}
+
+// A boolean class expression in one subject term: atoms are unary
+// predicates applied to `subject_is_var ? variable : constant` named
+// `subject`; connectives are ¬ ∧ ∨ ⇒ ⇔ plus the boolean constants.
+// Returns null (with a reason) outside that shape.
+PropPtr ClassExprToProp(const FormulaPtr& f, bool subject_is_var,
+                        const std::string& subject,
+                        std::vector<std::string>* names, int max_vars,
+                        std::string* why) {
+  switch (f->kind()) {
+    case Formula::Kind::kTrue:
+      return Prop::True();
+    case Formula::Kind::kFalse:
+      return Prop::False();
+    case Formula::Kind::kAtom: {
+      if (f->terms().size() != 1) {
+        *why = "non-unary atom " + f->predicate();
+        return nullptr;
+      }
+      const logic::TermPtr& t = f->terms()[0];
+      if (subject_is_var == t->is_constant() || t->name() != subject) {
+        *why = "atom " + f->predicate() + " not about the subject " + subject;
+        return nullptr;
+      }
+      int var = VarIndex(f->predicate(), names, max_vars);
+      if (var < 0) {
+        *why = "more than " + std::to_string(max_vars) + " unary predicates";
+        return nullptr;
+      }
+      return Prop::Var(var);
+    }
+    case Formula::Kind::kNot: {
+      PropPtr body = ClassExprToProp(f->body(), subject_is_var, subject,
+                                     names, max_vars, why);
+      return body == nullptr ? nullptr : Prop::Not(body);
+    }
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kImplies:
+    case Formula::Kind::kIff: {
+      PropPtr lhs = ClassExprToProp(f->left(), subject_is_var, subject,
+                                    names, max_vars, why);
+      if (lhs == nullptr) return nullptr;
+      PropPtr rhs = ClassExprToProp(f->right(), subject_is_var, subject,
+                                    names, max_vars, why);
+      if (rhs == nullptr) return nullptr;
+      switch (f->kind()) {
+        case Formula::Kind::kAnd:
+          return Prop::And(lhs, rhs);
+        case Formula::Kind::kOr:
+          return Prop::Or(lhs, rhs);
+        case Formula::Kind::kImplies:
+          return Prop::Or(Prop::Not(lhs), rhs);
+        default:  // kIff
+          return Prop::And(Prop::Or(Prop::Not(lhs), rhs),
+                           Prop::Or(Prop::Not(rhs), lhs));
+      }
+    }
+    default:
+      *why = "connective outside the propositional class fragment";
+      return nullptr;
+  }
+}
+
+// The subject constant of a ground class conjunct, or "" when the formula
+// is not a ground class expression over one constant.
+std::string GroundSubject(const FormulaPtr& f) {
+  switch (f->kind()) {
+    case Formula::Kind::kAtom:
+      if (f->terms().size() != 1 || !f->terms()[0]->is_constant()) return "";
+      return f->terms()[0]->name();
+    case Formula::Kind::kNot:
+      return GroundSubject(f->body());
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kImplies:
+    case Formula::Kind::kIff: {
+      std::string lhs = GroundSubject(f->left());
+      std::string rhs = GroundSubject(f->right());
+      if (lhs.empty() || rhs.empty() || lhs != rhs) return "";
+      return lhs;
+    }
+    default:
+      return "";
+  }
+}
+
+}  // namespace
+
+DefaultsInstance AnalyzeDefaultsInstance(
+    const std::vector<logic::FormulaPtr>& conjuncts,
+    const logic::FormulaPtr& query, const FragmentLimits& limits) {
+  DefaultsInstance out;
+  int tolerance_index = 0;  // shared subscript, fixed by the first rule
+  PropPtr evidence = Prop::True();
+  bool any_fact = false;
+
+  for (const FormulaPtr& conjunct : conjuncts) {
+    if (conjunct->kind() == Formula::Kind::kCompare) {
+      // A hard default: proportion ≈_i 1 or ≈_i 0 (either orientation).
+      if (conjunct->compare_op() != logic::CompareOp::kApproxEq) {
+        out.reason = "non-≈ statistical conjunct";
+        return out;
+      }
+      logic::ExprPtr stat = conjunct->expr_left();
+      logic::ExprPtr constant = conjunct->expr_right();
+      if (stat->kind() == Expr::Kind::kConstant) std::swap(stat, constant);
+      if (constant->kind() != Expr::Kind::kConstant ||
+          (stat->kind() != Expr::Kind::kProportion &&
+           stat->kind() != Expr::Kind::kConditional)) {
+        out.reason = "statistical conjunct is not proportion-vs-constant";
+        return out;
+      }
+      const double value = constant->value();
+      if (value != 1.0 && value != 0.0) {
+        out.reason = "statistical value is neither 0 nor 1 (soft statistics "
+                     "are outside the defaults fragment)";
+        return out;
+      }
+      if (tolerance_index == 0) {
+        tolerance_index = conjunct->tolerance_index();
+      } else if (conjunct->tolerance_index() != tolerance_index) {
+        out.reason = "rules do not share one tolerance subscript";
+        return out;
+      }
+      if (stat->vars().size() != 1) {
+        out.reason = "proportion over more than one variable";
+        return out;
+      }
+      const std::string& var = stat->vars()[0];
+      std::string why;
+      PropPtr body = ClassExprToProp(stat->body(), /*subject_is_var=*/true,
+                                     var, &out.names, limits.max_vars, &why);
+      if (body == nullptr) {
+        out.reason = why;
+        return out;
+      }
+      PropPtr antecedent = Prop::True();
+      if (stat->kind() == Expr::Kind::kConditional) {
+        antecedent = ClassExprToProp(stat->cond(), /*subject_is_var=*/true,
+                                     var, &out.names, limits.max_vars, &why);
+        if (antecedent == nullptr) {
+          out.reason = why;
+          return out;
+        }
+      }
+      out.rules.push_back(
+          Rule{antecedent, value == 1.0 ? body : Prop::Not(body)});
+      if (static_cast<int>(out.rules.size()) > limits.max_rules) {
+        out.reason =
+            "more than " + std::to_string(limits.max_rules) + " rules";
+        return out;
+      }
+      continue;
+    }
+
+    // Otherwise the conjunct must be a ground class fact about the single
+    // shared subject constant.
+    std::string subject = GroundSubject(conjunct);
+    if (subject.empty()) {
+      out.reason = "conjunct is neither a hard default nor a ground class "
+                   "fact: " + logic::ToString(conjunct);
+      return out;
+    }
+    if (out.constant.empty()) {
+      out.constant = subject;
+    } else if (subject != out.constant) {
+      out.reason = "ground facts about more than one constant";
+      return out;
+    }
+    std::string why;
+    PropPtr fact = ClassExprToProp(conjunct, /*subject_is_var=*/false,
+                                   subject, &out.names, limits.max_vars,
+                                   &why);
+    if (fact == nullptr) {
+      out.reason = why;
+      return out;
+    }
+    evidence = any_fact ? Prop::And(evidence, fact) : fact;
+    any_fact = true;
+  }
+
+  if (out.rules.empty()) {
+    out.reason = "no default rules (no ≈ 0/1 statistical conjuncts)";
+    return out;
+  }
+
+  // The query: a ground class expression about the same constant (a KB
+  // without facts adopts the query's constant).
+  std::string query_subject = GroundSubject(query);
+  if (query_subject.empty()) {
+    out.reason = "query is not a ground class expression over one constant";
+    return out;
+  }
+  if (out.constant.empty()) {
+    out.constant = query_subject;
+  } else if (query_subject != out.constant) {
+    out.reason = "query constant differs from the KB's subject constant";
+    return out;
+  }
+  std::string why;
+  PropPtr query_prop = ClassExprToProp(query, /*subject_is_var=*/false,
+                                       out.constant, &out.names,
+                                       limits.max_vars, &why);
+  if (query_prop == nullptr) {
+    out.reason = why;
+    return out;
+  }
+
+  out.query = Rule{evidence, query_prop};
+  out.num_vars = static_cast<int>(out.names.size());
+  out.ok = true;
+  return out;
+}
+
+}  // namespace rwl::defaults

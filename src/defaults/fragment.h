@@ -1,0 +1,62 @@
+// Recognizes the propositional-defaults fragment of L≈ (Section 6): KBs
+// whose statistical conjuncts are all *hard* defaults — ||ψ | φ||_x ≈_i 1
+// (or ≈_i 0, read as a rule to the negated consequent) over unary
+// predicates of one proportion variable, sharing a single tolerance
+// subscript (the GMP90 embedding of gmp90.h shares one ε) — plus ground
+// class facts about a single subject constant.  Such instances translate
+// losslessly into propositional default rules (epsilon_semantics.h), where
+// p-entailment and the GMP90 maximum-entropy system decide the random-
+// worlds limit exactly:
+//
+//   R p-entails evidence → query        ⟹  Pr_∞(query(c) | KB) = 1
+//   R p-entails evidence → ¬query       ⟹  Pr_∞(query(c) | KB) = 0
+//   query ME-plausible given evidence   ⟺  Pr_∞(query(c) | KB) = 1
+//                                           (Theorem 6.1)
+//
+// The analyzer is the shared Capability gate of the epsilon_semantics, klm
+// and gmp90 planner strategies (core/inference.cc): a KB outside the
+// fragment makes all three inapplicable, with the first offending conjunct
+// in `reason`.
+#ifndef RWL_DEFAULTS_FRAGMENT_H_
+#define RWL_DEFAULTS_FRAGMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/defaults/epsilon_semantics.h"
+#include "src/logic/formula.h"
+
+namespace rwl::defaults {
+
+// Tractability caps: the exhaustive deciders enumerate 2^num_vars worlds
+// (and, for the subset-based KLM decider, 2^num_rules rule subsets).
+struct FragmentLimits {
+  int max_vars = 10;
+  int max_rules = 16;
+};
+
+struct DefaultsInstance {
+  bool ok = false;
+  // Why the (KB, query) pair is outside the fragment; empty when ok.
+  std::string reason;
+  int num_vars = 0;
+  // Unary predicate names; index i is propositional variable i.
+  std::vector<std::string> names;
+  std::vector<Rule> rules;
+  // evidence → query-class, where the antecedent conjoins the KB's ground
+  // facts about the subject constant (Prop::True() when there are none).
+  Rule query;
+  // The single subject constant all ground facts and the query share.
+  std::string constant;
+};
+
+// Maps KB conjuncts + a ground class query onto the fragment.  `ok` is
+// false (with a reason) when any conjunct or the query falls outside it,
+// or when a cap of `limits` is exceeded.
+DefaultsInstance AnalyzeDefaultsInstance(
+    const std::vector<logic::FormulaPtr>& conjuncts,
+    const logic::FormulaPtr& query, const FragmentLimits& limits = {});
+
+}  // namespace rwl::defaults
+
+#endif  // RWL_DEFAULTS_FRAGMENT_H_

@@ -1,0 +1,185 @@
+#include "src/evidence/combination.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/engines/symbolic_engine.h"
+#include "src/logic/printer.h"
+
+namespace rwl::evidence {
+
+namespace {
+
+using logic::Expr;
+using logic::Formula;
+using logic::FormulaPtr;
+
+// Matches a unary atom P(t); returns the predicate name or "".
+std::string UnaryAtom(const FormulaPtr& f, bool want_constant,
+                      std::string* term_name) {
+  if (f->kind() != Formula::Kind::kAtom || f->terms().size() != 1) return "";
+  const logic::TermPtr& t = f->terms()[0];
+  if (t->is_constant() != want_constant) return "";
+  *term_name = t->name();
+  return f->predicate();
+}
+
+}  // namespace
+
+EvidenceInstance AnalyzeEvidenceInstance(
+    const std::vector<logic::FormulaPtr>& conjuncts,
+    const logic::FormulaPtr& query) {
+  EvidenceInstance out;
+
+  std::vector<std::string> facts;  // predicates asserted of the constant
+  std::vector<std::pair<std::string, std::string>> disjoint_pairs;
+
+  for (const FormulaPtr& conjunct : conjuncts) {
+    if (conjunct->kind() == Formula::Kind::kCompare) {
+      // ||T(x) | R(x)||_x ≈ α, either orientation.
+      if (conjunct->compare_op() != logic::CompareOp::kApproxEq) {
+        out.reason = "non-≈ statistical conjunct";
+        return out;
+      }
+      logic::ExprPtr stat = conjunct->expr_left();
+      logic::ExprPtr constant = conjunct->expr_right();
+      if (stat->kind() == Expr::Kind::kConstant) std::swap(stat, constant);
+      if (constant->kind() != Expr::Kind::kConstant ||
+          stat->kind() != Expr::Kind::kConditional ||
+          stat->vars().size() != 1) {
+        out.reason = "statistical conjunct is not a single-variable "
+                     "conditional against a constant";
+        return out;
+      }
+      const double alpha = constant->value();
+      if (alpha < 0.0 || alpha > 1.0) {
+        out.reason = "statistic outside [0, 1]";
+        return out;
+      }
+      const std::string& var = stat->vars()[0];
+      std::string body_term;
+      std::string cond_term;
+      std::string target = UnaryAtom(stat->body(), /*want_constant=*/false,
+                                     &body_term);
+      std::string source = UnaryAtom(stat->cond(), /*want_constant=*/false,
+                                     &cond_term);
+      if (target.empty() || source.empty() || body_term != var ||
+          cond_term != var) {
+        out.reason = "conditional is not atom-over-atom in the proportion "
+                     "variable";
+        return out;
+      }
+      if (out.target.empty()) {
+        out.target = target;
+      } else if (target != out.target) {
+        out.reason = "statistics report more than one target predicate";
+        return out;
+      }
+      if (std::find(out.sources.begin(), out.sources.end(), source) !=
+          out.sources.end()) {
+        out.reason = "duplicate reference class " + source;
+        return out;
+      }
+      out.sources.push_back(source);
+      out.alphas.push_back(alpha);
+      out.tolerance_indices.push_back(conjunct->tolerance_index());
+      continue;
+    }
+
+    if (conjunct->kind() == Formula::Kind::kAtom) {
+      std::string term_name;
+      std::string predicate = UnaryAtom(conjunct, /*want_constant=*/true,
+                                        &term_name);
+      if (predicate.empty()) {
+        out.reason = "non-unary ground fact";
+        return out;
+      }
+      if (out.constant.empty()) {
+        out.constant = term_name;
+      } else if (term_name != out.constant) {
+        out.reason = "facts about more than one constant";
+        return out;
+      }
+      facts.push_back(predicate);
+      continue;
+    }
+
+    // The only other admissible conjunct: ∃!x (R_i(x) ∧ R_j(x)).
+    auto parts = engines::MatchExistsUnique(conjunct);
+    if (parts.has_value() &&
+        parts->body->kind() == Formula::Kind::kAnd) {
+      std::string lhs_term;
+      std::string rhs_term;
+      std::string lhs = UnaryAtom(parts->body->left(),
+                                  /*want_constant=*/false, &lhs_term);
+      std::string rhs = UnaryAtom(parts->body->right(),
+                                  /*want_constant=*/false, &rhs_term);
+      if (!lhs.empty() && !rhs.empty() && lhs != rhs &&
+          lhs_term == parts->var && rhs_term == parts->var) {
+        disjoint_pairs.emplace_back(std::min(lhs, rhs), std::max(lhs, rhs));
+        continue;
+      }
+    }
+    out.reason = "conjunct outside the Theorem 5.26 shape: " +
+                 logic::ToString(conjunct);
+    return out;
+  }
+
+  if (out.sources.size() < 2) {
+    out.reason = "fewer than two reference-class statistics";
+    return out;
+  }
+  if (std::find(out.sources.begin(), out.sources.end(), out.target) !=
+      out.sources.end()) {
+    out.reason = "target predicate is also a reference class";
+    return out;
+  }
+
+  // Exactly one membership fact per reference class, and none besides.
+  std::vector<std::string> sorted_sources = out.sources;
+  std::sort(sorted_sources.begin(), sorted_sources.end());
+  std::sort(facts.begin(), facts.end());
+  if (facts != sorted_sources) {
+    out.reason = "membership facts do not match the reference classes "
+                 "one-for-one";
+    return out;
+  }
+
+  // Pairwise essential disjointness: every source pair asserted.
+  for (size_t i = 0; i < out.sources.size(); ++i) {
+    for (size_t j = i + 1; j < out.sources.size(); ++j) {
+      std::pair<std::string, std::string> need{
+          std::min(out.sources[i], out.sources[j]),
+          std::max(out.sources[i], out.sources[j])};
+      if (std::find(disjoint_pairs.begin(), disjoint_pairs.end(), need) ==
+          disjoint_pairs.end()) {
+        out.reason = "missing essential-disjointness conjunct for " +
+                     need.first + "/" + need.second;
+        return out;
+      }
+    }
+  }
+  for (const auto& pair : disjoint_pairs) {
+    bool lhs_known = std::find(out.sources.begin(), out.sources.end(),
+                               pair.first) != out.sources.end();
+    bool rhs_known = std::find(out.sources.begin(), out.sources.end(),
+                               pair.second) != out.sources.end();
+    if (!lhs_known || !rhs_known) {
+      out.reason = "disjointness conjunct over a non-reference class";
+      return out;
+    }
+  }
+
+  // Query: exactly T(c).
+  std::string query_term;
+  if (UnaryAtom(query, /*want_constant=*/true, &query_term) != out.target ||
+      query_term != out.constant) {
+    out.reason = "query is not the target predicate of the individual";
+    return out;
+  }
+
+  out.ok = true;
+  return out;
+}
+
+}  // namespace rwl::evidence

@@ -1,0 +1,47 @@
+// Recognizes Theorem 5.26 evidence-combination instances: m ≥ 2
+// essentially-disjoint reference classes each reporting a point statistic
+// for the same target predicate about one individual,
+//
+//   KB = { ||T(x) | R_i(x)||_x ≈_{j_i} α_i,   R_i(c)   : i = 1..m }
+//        ∪ { ∃!x (R_i(x) ∧ R_j(x))            : i < j },
+//   query = T(c),
+//
+// with the R_i pairwise-distinct unary predicates, T ∉ {R_i}, and nothing
+// else in the KB.  For that exact shape the random-worlds limit is
+// Dempster's rule of combination over the α_i (dempster.h); the pairwise
+// ∃! conjuncts are load-bearing — without essential disjointness the
+// maximum-entropy point puts real mass on the overlaps and the limit is
+// *not* the Dempster value.
+//
+// The analyzer is the Capability gate of the `evidence` planner strategy
+// (core/inference.cc); the same shape is matched independently by the
+// symbolic engine's TryDempster, which the differential `evidence` check
+// exploits as a cross-implementation oracle.
+#ifndef RWL_EVIDENCE_COMBINATION_H_
+#define RWL_EVIDENCE_COMBINATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/logic/formula.h"
+
+namespace rwl::evidence {
+
+struct EvidenceInstance {
+  bool ok = false;
+  // Why the (KB, query) pair is outside the shape; empty when ok.
+  std::string reason;
+  std::vector<double> alphas;
+  std::vector<int> tolerance_indices;  // aligned with alphas
+  std::vector<std::string> sources;    // the R_i, aligned with alphas
+  std::string target;                  // T
+  std::string constant;                // c
+};
+
+EvidenceInstance AnalyzeEvidenceInstance(
+    const std::vector<logic::FormulaPtr>& conjuncts,
+    const logic::FormulaPtr& query);
+
+}  // namespace rwl::evidence
+
+#endif  // RWL_EVIDENCE_COMBINATION_H_

@@ -406,6 +406,23 @@ bool ParseRequest(const std::string& line, Request* out, std::string* error) {
     }
     out->options.plan = plan->string;
   }
+  const Json* engine = json.Find("engine");
+  if (engine != nullptr) {
+    if (engine->type != Json::Type::kString || engine->string.empty()) {
+      *error = "field 'engine' must be a non-empty strategy name";
+      return false;
+    }
+    out->options.engine = engine->string;
+  }
+  const Json* interval = json.Find("interval");
+  if (interval != nullptr) {
+    if (interval->type != Json::Type::kNumber || interval->number <= 0.0 ||
+        interval->number >= 1.0) {
+      *error = "field 'interval' must be a confidence in (0,1)";
+      return false;
+    }
+    out->options.interval_confidence = interval->number;
+  }
   return true;
 }
 

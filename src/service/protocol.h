@@ -9,6 +9,7 @@
 //   {"id":3,"op":"RETRACT","kb":"med","text":"Jaun(Eric)"}
 //   {"id":4,"op":"QUERY","kb":"med","q":"Hep(Eric)",
 //    "deadline_ms":50,"budget":1e7,"plan":"cost",
+//    "engine":"gmp90","interval":0.9,
 //    "min_version":12}                                   (options optional)
 //   {"id":5,"op":"BATCH","kb":"med","queries":["Hep(Eric)","Jaun(Eric)"]}
 //   {"id":6,"op":"STATS"}
@@ -100,7 +101,8 @@ struct Request {
   std::vector<std::string> declare;  // LOAD extra constants
   std::string query;                 // QUERY
   std::vector<std::string> queries;  // BATCH
-  RequestOptions options;            // deadline_ms / budget / plan / fixed_n
+  RequestOptions options;  // deadline_ms / budget / plan / fixed_n /
+                           // engine / interval
 };
 
 // Parses one request line.  On failure *error carries a message suitable

@@ -81,6 +81,13 @@ struct RequestOptions {
   double work_budget = 0.0;  // 0 = service default
   std::string plan;          // "", "fidelity" or "cost"
   int fixed_domain_size = 0;  // 0 = service default
+  // Forces a single named strategy, bypassing the planner (QUERY field
+  // "engine"; empty = plan normally).  An inapplicable forced strategy
+  // answers kUnknown, like rwlq --engine.
+  std::string engine;
+  // Calibrated-interval mode (QUERY field "interval"): confidence in
+  // (0,1); 0 keeps the service default (normally off).
+  double interval_confidence = 0.0;
   // Waits for this version to publish before pinning (0 = pin the current
   // head).  The protocol layer sets a connection's last acked mutation
   // version here so a client always reads its own writes even while the

@@ -68,13 +68,22 @@ std::string FormatCase(const CorpusCase& corpus_case) {
     out << "//! mc: " << corpus_case.montecarlo_samples << "\n";
   }
   if (!corpus_case.check_pipeline || !corpus_case.check_maxent ||
-      !corpus_case.check_batch || !corpus_case.check_service) {
+      !corpus_case.check_batch || !corpus_case.check_service ||
+      !corpus_case.check_defaults || !corpus_case.check_evidence ||
+      corpus_case.check_coverage) {
     std::string enabled;
     if (corpus_case.check_pipeline) enabled += " pipeline";
     if (corpus_case.check_maxent) enabled += " maxent";
     if (corpus_case.check_batch) enabled += " batch";
     if (corpus_case.check_service) enabled += " service";
+    if (corpus_case.check_defaults) enabled += " defaults";
+    if (corpus_case.check_evidence) enabled += " evidence";
+    if (corpus_case.check_coverage) enabled += " coverage";
     out << "//! checks:" << (enabled.empty() ? " none" : enabled) << "\n";
+  }
+  if (corpus_case.check_coverage) {
+    out << "//! confidence: " << FormatDouble(corpus_case.coverage_confidence)
+        << "\n";
   }
   if (!corpus_case.pipeline_domain_sizes.empty()) {
     out << "//! pipeline-n:";
@@ -153,7 +162,9 @@ bool ParseCase(const std::string& text, CorpusCase* out,
       }
     } else if (key == "checks") {
       parsed.check_pipeline = parsed.check_maxent = parsed.check_batch =
-          parsed.check_service = false;
+          parsed.check_service = parsed.check_defaults =
+              parsed.check_evidence = false;
+      parsed.check_coverage = false;
       std::istringstream names(value);
       std::string name;
       while (names >> name) {
@@ -165,9 +176,21 @@ bool ParseCase(const std::string& text, CorpusCase* out,
           parsed.check_batch = true;
         } else if (name == "service") {
           parsed.check_service = true;
+        } else if (name == "defaults") {
+          parsed.check_defaults = true;
+        } else if (name == "evidence") {
+          parsed.check_evidence = true;
+        } else if (name == "coverage") {
+          parsed.check_coverage = true;
         } else if (name != "none") {
           return fail("unknown check '" + name + "'");
         }
+      }
+    } else if (key == "confidence") {
+      parsed.coverage_confidence = std::strtod(value.c_str(), nullptr);
+      if (parsed.coverage_confidence <= 0.0 ||
+          parsed.coverage_confidence >= 1.0) {
+        return fail("confidence must be in (0, 1)");
       }
     } else if (key == "pipeline-n") {
       std::istringstream sizes(value);
@@ -294,6 +317,10 @@ CorpusCase CaseFromScenario(const Scenario& scenario,
   corpus_case.check_maxent = options.check_maxent;
   corpus_case.check_batch = options.check_batch;
   corpus_case.check_service = options.check_service;
+  corpus_case.check_defaults = options.check_defaults;
+  corpus_case.check_evidence = options.check_evidence;
+  corpus_case.check_coverage = options.check_coverage;
+  corpus_case.coverage_confidence = options.coverage_confidence;
   corpus_case.pipeline_domain_sizes = options.pipeline_domain_sizes;
   for (const auto& predicate : scenario.vocabulary.predicates()) {
     corpus_case.predicates.emplace_back(predicate.name, predicate.arity);
@@ -326,6 +353,10 @@ DifferentialOptions ReplayOptions(const CorpusCase& corpus_case) {
   options.check_maxent = corpus_case.check_maxent;
   options.check_batch = corpus_case.check_batch;
   options.check_service = corpus_case.check_service;
+  options.check_defaults = corpus_case.check_defaults;
+  options.check_evidence = corpus_case.check_evidence;
+  options.check_coverage = corpus_case.check_coverage;
+  options.coverage_confidence = corpus_case.coverage_confidence;
   if (!corpus_case.pipeline_domain_sizes.empty()) {
     options.pipeline_domain_sizes = corpus_case.pipeline_domain_sizes;
   }

@@ -13,7 +13,9 @@
 //   //! checks: pipeline maxent batch                     (enabled limit-level
 //                                                          checks; "none" for
 //                                                          finite-only; absent
-//                                                          = all)
+//                                                          = all defaults)
+//   //! confidence: 0.9                                   (coverage-check
+//                                                          interval confidence)
 //   //! pipeline-n: 6 9 12                                (limit-check sweep Ns)
 //   //! predicate: P0/1                                   (vocabulary pin)
 //   //! constant: K0
@@ -49,6 +51,14 @@ struct CorpusCase {
   bool check_maxent = true;
   bool check_batch = true;
   bool check_service = true;
+  // Self-gating fragment checks (differential.h): on by default like the
+  // other limit-level checks.
+  bool check_defaults = true;
+  bool check_evidence = true;
+  // Calibrated-interval coverage vs ground-truth enumeration: costs a full
+  // sweep per query, so opt-in per case (`//! checks: ... coverage`).
+  bool check_coverage = false;
+  double coverage_confidence = 0.9;
   std::vector<int> pipeline_domain_sizes;  // empty → defaults
   // Vocabulary pins (predicates with arity; functions with arity,
   // constants being arity 0).

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <random>
 #include <sstream>
 
 #include "src/core/planner.h"
 #include "src/core/query_context.h"
+#include "src/defaults/fragment.h"
 #include "src/engines/exact_engine.h"
+#include "src/evidence/combination.h"
 #include "src/service/catalog.h"
 #include "src/service/replica.h"
 #include "src/service/wal.h"
@@ -15,6 +18,7 @@
 #include "src/engines/montecarlo_engine.h"
 #include "src/engines/profile_engine.h"
 #include "src/logic/printer.h"
+#include "src/logic/transform.h"
 #include "src/semantics/compile.h"
 #include "src/semantics/evaluator.h"
 #include "src/semantics/vm.h"
@@ -593,7 +597,258 @@ void RunReplicaCheck(const Scenario& scenario,
   }
 }
 
+// defaults: the defaults family against itself and the planner.
+//
+// Self-gating on the propositional-defaults fragment (the same analyzer
+// the strategies' Capability hooks use, at the loosest caps in the
+// family).  Three relations are pinned:
+//
+//   1. epsilon_semantics == klm exactly when both answer: the greedy
+//      tolerance peel and the subset enumeration decide the same
+//      p-entailment relation, so two points for the same query must be
+//      identical (0/1 values — any mismatch is an implementation bug,
+//      not numerics);
+//   2. epsilon_semantics == gmp90 exactly when both answer: a p-entailed
+//      conclusion is ME-plausible (conservativity), so gmp90 must land on
+//      the same 0/1 point;
+//   3. every defaults point agrees with the planner's own (numeric)
+//      answer within defaults_epsilon when the numeric side converged —
+//      the finite sweep approaches the 0/1 limit slowly, hence the loose
+//      epsilon.
+void RunDefaultsCheck(const Scenario& scenario,
+                      const DifferentialOptions& options,
+                      DifferentialReport* report) {
+  std::vector<logic::FormulaPtr> conjuncts = logic::Conjuncts(scenario.kb);
+  KnowledgeBase kb = ToKnowledgeBase(scenario);
+
+  InferenceOptions base;
+  base.tolerances = options.tolerances;
+  base.limit.domain_sizes = options.pipeline_domain_sizes;
+  base.limit.tolerance_scales = options.pipeline_tolerance_scales;
+  base.work_budget = 3e7;
+
+  const size_t num_queries = std::min<size_t>(scenario.queries.size(), 2);
+  static const char* kDefaultsFamily[] = {"epsilon_semantics", "klm",
+                                          "gmp90"};
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    const logic::FormulaPtr& query = scenario.queries[qi];
+    defaults::DefaultsInstance instance =
+        defaults::AnalyzeDefaultsInstance(conjuncts, query);
+    if (!instance.ok) continue;  // outside the fragment: one analyzer call
+
+    struct Forced {
+      const char* name;
+      Answer answer;
+    };
+    std::vector<Forced> points;
+    for (const char* name : kDefaultsFamily) {
+      InferenceOptions forced = base;
+      forced.force_engine = name;
+      Answer answer = DegreeOfBelief(kb, query, forced);
+      if (answer.status == Answer::Status::kPoint) {
+        points.push_back(Forced{name, answer});
+      }
+    }
+    // Pairwise exactness inside the family (relations 1 and 2).
+    for (size_t i = 0; i < points.size(); ++i) {
+      for (size_t j = i + 1; j < points.size(); ++j) {
+        ++report->comparisons;
+        if (points[i].answer.value != points[j].answer.value) {
+          report->disagreements.push_back(Disagreement{
+              "defaults", std::string("forced:") + points[i].name,
+              std::string("forced:") + points[j].name, query, 0,
+              "defaults-family points differ  [" +
+                  AnswerToString(points[i].answer) + " vs " +
+                  AnswerToString(points[j].answer) + "]"});
+        }
+      }
+    }
+    if (points.empty()) continue;
+    // Relation 3: the planner's own answer.
+    Answer planned = DegreeOfBelief(kb, query, base);
+    for (const Forced& point : points) {
+      bool compared = false;
+      std::string why;
+      if (!PlannerAnswersAgree(planned, AnswerClass(planned), point.answer,
+                               engines::ResultClass::kDeterministic,
+                               options.defaults_epsilon, &compared, &why)) {
+        report->disagreements.push_back(
+            Disagreement{"defaults", "planner",
+                         std::string("forced:") + point.name, query, 0,
+                         why});
+      }
+      if (compared) ++report->comparisons;
+    }
+  }
+}
+
+// evidence: Dempster combination against the symbolic engine's
+// independent matcher, and against the planner.
+//
+// Self-gating on the Theorem 5.26 shape.  The evidence strategy and the
+// symbolic TryDempster recognize the same fragment through two separate
+// analyzers and compute the same closed form through two separate code
+// paths — their points must match to 1e-9 and their nonexistence verdicts
+// (conflicting hard defaults of differing strengths) must pair up.
+void RunEvidenceCheck(const Scenario& scenario,
+                      const DifferentialOptions& options,
+                      DifferentialReport* report) {
+  std::vector<logic::FormulaPtr> conjuncts = logic::Conjuncts(scenario.kb);
+  KnowledgeBase kb = ToKnowledgeBase(scenario);
+
+  InferenceOptions base;
+  base.tolerances = options.tolerances;
+  base.limit.domain_sizes = options.pipeline_domain_sizes;
+  base.limit.tolerance_scales = options.pipeline_tolerance_scales;
+  base.work_budget = 3e7;
+
+  const size_t num_queries = std::min<size_t>(scenario.queries.size(), 2);
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    const logic::FormulaPtr& query = scenario.queries[qi];
+    evidence::EvidenceInstance instance =
+        evidence::AnalyzeEvidenceInstance(conjuncts, query);
+    if (!instance.ok) continue;
+
+    InferenceOptions forced_evidence = base;
+    forced_evidence.force_engine = "evidence";
+    Answer combined = DegreeOfBelief(kb, query, forced_evidence);
+    if (combined.status == Answer::Status::kUnknown) continue;
+
+    InferenceOptions forced_symbolic = base;
+    forced_symbolic.force_engine = "symbolic";
+    Answer symbolic = DegreeOfBelief(kb, query, forced_symbolic);
+    if (symbolic.status != Answer::Status::kUnknown) {
+      ++report->comparisons;
+      const bool both_nonexistent =
+          combined.status == Answer::Status::kNonexistent &&
+          symbolic.status == Answer::Status::kNonexistent;
+      const bool both_points =
+          combined.status == Answer::Status::kPoint &&
+          symbolic.status == Answer::Status::kPoint &&
+          std::fabs(combined.value - symbolic.value) <= 1e-9;
+      if (!both_nonexistent && !both_points) {
+        report->disagreements.push_back(Disagreement{
+            "evidence", "forced:evidence", "forced:symbolic", query, 0,
+            "Dempster closed forms diverge  [" + AnswerToString(combined) +
+                " vs " + AnswerToString(symbolic) + "]"});
+      }
+    }
+
+    Answer planned = DegreeOfBelief(kb, query, base);
+    bool compared = false;
+    std::string why;
+    if (!PlannerAnswersAgree(planned, AnswerClass(planned), combined,
+                             engines::ResultClass::kDeterministic,
+                             options.defaults_epsilon, &compared, &why)) {
+      report->disagreements.push_back(Disagreement{
+          "evidence", "planner", "forced:evidence", query, 0, why});
+    }
+    if (compared) ++report->comparisons;
+  }
+}
+
+// coverage: the calibrated-interval guarantee against ground truth.
+//
+// Answers the first queries with interval_confidence = coverage_confidence
+// (routing through the preemptive calibrated strategy), then replays the
+// SAME sweep schedule — the (domain_size, tolerance_scale) grid of the
+// answer's own series — on the exact enumeration engine and scores the
+// fraction of well-defined ground-truth values inside the interval.  A
+// calibrated answer whose ground-truth coverage falls below
+// confidence - tolerance is a disagreement.
+void RunCoverageCheck(const Scenario& scenario,
+                      const DifferentialOptions& options,
+                      DifferentialReport* report) {
+  KnowledgeBase kb = ToKnowledgeBase(scenario);
+  QueryContext ctx(scenario.vocabulary, scenario.kb,
+                   /*caching_enabled=*/true);
+  engines::ExactEngine exact;
+
+  InferenceOptions calibrated;
+  calibrated.tolerances = options.tolerances;
+  calibrated.limit.domain_sizes = options.pipeline_domain_sizes;
+  calibrated.limit.tolerance_scales = options.pipeline_tolerance_scales;
+  calibrated.interval_confidence = options.coverage_confidence;
+  calibrated.work_budget = 3e7;
+
+  const size_t num_queries = std::min<size_t>(scenario.queries.size(), 2);
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    const logic::FormulaPtr& query = scenario.queries[qi];
+    Answer answer = DegreeOfBelief(kb, query, calibrated);
+    if (answer.status != Answer::Status::kInterval ||
+        answer.series.empty()) {
+      // The calibrated strategy bowed out (no numeric engine, or no
+      // well-defined sweep values) — nothing to verify.
+      continue;
+    }
+
+    // Ground truth over the answer's own schedule.
+    engines::LimitOptions schedule;
+    schedule.domain_sizes.clear();
+    for (const engines::SeriesPoint& point : answer.series) {
+      if (std::find(schedule.domain_sizes.begin(),
+                    schedule.domain_sizes.end(),
+                    point.domain_size) == schedule.domain_sizes.end()) {
+        schedule.domain_sizes.push_back(point.domain_size);
+      }
+    }
+    schedule.tolerance_scales = calibrated.limit.tolerance_scales;
+    engines::LimitResult truth = engines::EstimateLimit(
+        exact, ctx, query, options.tolerances, schedule);
+
+    // Score only the grid points the enumeration engine actually reached
+    // (it may not support the sweep's largest N).
+    std::vector<engines::SeriesPoint> matched;
+    for (const engines::SeriesPoint& gt : truth.series) {
+      for (const engines::SeriesPoint& swept : answer.series) {
+        if (gt.domain_size == swept.domain_size &&
+            gt.tolerance_scale == swept.tolerance_scale) {
+          matched.push_back(gt);
+          break;
+        }
+      }
+    }
+    bool any_defined = false;
+    for (const engines::SeriesPoint& point : matched) {
+      any_defined = any_defined || point.well_defined;
+    }
+    if (!any_defined) continue;
+
+    ++report->comparisons;
+    const double coverage = EmpiricalCoverage(matched, answer.lo,
+                                              answer.hi);
+    const double required =
+        options.coverage_confidence - options.coverage_tolerance;
+    if (coverage < required) {
+      char detail[200];
+      std::snprintf(detail, sizeof(detail),
+                    "empirical coverage %.3f < required %.3f over %zu "
+                    "ground-truth points  [interval [%g, %g]]",
+                    coverage, required, matched.size(), answer.lo,
+                    answer.hi);
+      report->disagreements.push_back(Disagreement{
+          "coverage", "calibrated interval", "exact enumeration", query, 0,
+          detail});
+    }
+  }
+}
+
 }  // namespace
+
+double EmpiricalCoverage(const std::vector<engines::SeriesPoint>& series,
+                         double lo, double hi) {
+  size_t defined = 0;
+  size_t covered = 0;
+  for (const engines::SeriesPoint& point : series) {
+    if (!point.well_defined) continue;
+    ++defined;
+    if (point.probability >= lo - 1e-9 && point.probability <= hi + 1e-9) {
+      ++covered;
+    }
+  }
+  if (defined == 0) return 1.0;
+  return static_cast<double>(covered) / static_cast<double>(defined);
+}
 
 std::vector<const FiniteEngine*> EngineSet::pointers() const {
   std::vector<const FiniteEngine*> out;
@@ -770,6 +1025,11 @@ DifferentialReport RunDifferential(
     }
   }
 
+  // ---- defaults family / evidence combination / calibrated coverage ----
+  if (options.check_defaults) RunDefaultsCheck(scenario, options, &report);
+  if (options.check_evidence) RunEvidenceCheck(scenario, options, &report);
+  if (options.check_coverage) RunCoverageCheck(scenario, options, &report);
+
   // ---- service: incremental maintenance vs rebuild-from-scratch ----
   if (options.check_service) RunServiceCheck(scenario, options, &report);
 
@@ -824,11 +1084,27 @@ DifferentialReport RunDifferential(
       }
       if (compared) ++report.comparisons;
 
+      // A planned answer from one of the closed-form defaults/evidence
+      // strategies is the full Pr_∞ = lim_{τ→0} lim_{N→∞} value; the
+      // maxent engine computes the inner N→∞ limit at the FIXED base
+      // tolerances and never takes the outer τ→0 limit.  On hard-default
+      // instances with exceptional individuals (penguin chains) those two
+      // genuinely differ at any positive τ, so the pair carries no
+      // differential information.  The `defaults` check covers these
+      // instances with the appropriate oracles instead.
+      const bool planned_exact_limit =
+          planned.method.find("p-entailment") != std::string::npos ||
+          planned.method.find("gmp90") != std::string::npos ||
+          planned.method.find("dempster") != std::string::npos;
+
       // Every forced applicable strategy.
       for (const char* forced_name : kForced) {
         const bool is_montecarlo =
             std::string(forced_name) == "montecarlo";
         if (is_montecarlo && options.planner_montecarlo_samples == 0) {
+          continue;
+        }
+        if (planned_exact_limit && std::string(forced_name) == "maxent") {
           continue;
         }
         InferenceOptions forced_options = planner_options;

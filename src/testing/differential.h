@@ -31,7 +31,17 @@
 //               the replication pipeline (hub -> subscription -> applier,
 //               SNAPSHOT bootstrap first) leaves a replica catalog
 //               answering bit-identically to the primary, head and
-//               pinned-version alike.
+//               pinned-version alike;
+//   defaults  — on propositional-defaults-fragment scenarios, the three
+//               defaults strategies (epsilon_semantics, klm, gmp90) agree
+//               with each other exactly and with the planner's numeric
+//               answer within a loose limit epsilon;
+//   evidence  — on Theorem 5.26 scenarios, the evidence strategy's
+//               Dempster closed form matches the symbolic engine's
+//               independent TryDempster to 1e-9;
+//   coverage  — a calibrated-interval answer's empirical coverage of the
+//               ground-truth enumeration sweep is at least
+//               confidence - tolerance.
 //
 // Any violated check becomes a Disagreement; a scenario with at least one
 // disagreement is a fuzzing failure, to be shrunk (shrinker.h) and checked
@@ -115,6 +125,35 @@ struct DifferentialOptions {
   // engine's work budget, turning every check into a wasted 2M-leaf abort.
   std::vector<int> pipeline_domain_sizes = {8, 12, 16};
   std::vector<double> pipeline_tolerance_scales = {1.0, 0.5};
+
+  // defaults — forced runs of the defaults family on propositional-
+  // defaults-fragment scenarios: epsilon_semantics and klm decide the same
+  // p-entailment relation by independent algorithms (greedy peel vs subset
+  // enumeration — their points must match exactly); a p-entailed point
+  // must also be the gmp90 point (p-entailment is a conservative part of
+  // the maximum-entropy system); and the planner's own answer must agree
+  // with any defaults point within defaults_epsilon.  Self-gating:
+  // scenarios outside the fragment cost one analyzer call.
+  bool check_defaults = true;
+  // evidence — the forced `evidence` strategy vs the symbolic engine's
+  // independent TryDempster matcher on Theorem 5.26 scenarios: closed-form
+  // points must match to 1e-9, nonexistence verdicts must pair up, and the
+  // planner must agree.  Self-gating like `defaults`.
+  bool check_evidence = true;
+  // Epsilon for defaults/evidence points vs numeric-sweep answers: the
+  // closed forms sit at exactly 0/1 while finite prefixes approach them
+  // slowly, so this is necessarily looser than limit_epsilon.
+  double defaults_epsilon = 0.25;
+  // coverage — calibrated-interval mode: answer the first queries with
+  // interval_confidence = coverage_confidence, replay the same sweep
+  // schedule on the ground-truth enumeration engine, and require the
+  // empirical coverage of the well-defined ground-truth values to be
+  // ≥ coverage_confidence - coverage_tolerance.  Costs a full enumeration
+  // sweep per query, so off by default (the fuzzer turns it on for
+  // calibrated profiles; rwlfuzz --checks coverage).
+  bool check_coverage = false;
+  double coverage_confidence = 0.9;
+  double coverage_tolerance = 0.05;
 };
 
 struct Disagreement {
@@ -146,6 +185,13 @@ struct EngineSet {
 };
 
 EngineSet DefaultEngineSet(uint64_t montecarlo_samples = 0);
+
+// Fraction of well-defined series points whose probability lies in
+// [lo - 1e-9, hi + 1e-9] — the coverage check's scoring primitive,
+// exposed for unit tests.  A series with no well-defined point scores 1.0
+// (vacuous coverage).
+double EmpiricalCoverage(const std::vector<engines::SeriesPoint>& series,
+                         double lo, double hi);
 
 // Runs every applicable check over the scenario with the given engine set.
 DifferentialReport RunDifferential(

@@ -1,5 +1,7 @@
 #include "src/workload/generators.h"
 
+#include <algorithm>
+
 #include "src/logic/builder.h"
 
 namespace rwl::workload {
@@ -284,6 +286,109 @@ ChainKb RandomChainKb(int depth, std::mt19937* rng) {
   out.query = logic::P("T", k0);
   out.tightest_lo = intervals[tightest].first;
   out.tightest_hi = intervals[tightest].second;
+  return out;
+}
+
+ExceptionChainKb RandomExceptionChainKb(const ExceptionChainParams& params,
+                                        std::mt19937* rng) {
+  ExceptionChainKb out;
+  const int depth = std::max(params.depth, 2);
+  std::vector<FormulaPtr> conjuncts;
+  TermPtr x = logic::V("x");
+  TermPtr k0 = logic::C("K0");
+
+  // Hard subset defaults L_i ⊆_≈ L_{i+1} (statistical, not universal:
+  // universal implications would leave the defaults fragment).
+  for (int i = 0; i + 1 < depth; ++i) {
+    conjuncts.push_back(logic::ApproxEq(
+        logic::CondProp(logic::P("L" + std::to_string(i + 1), x),
+                        logic::P("L" + std::to_string(i), x), {"x"}),
+        1.0, 1));
+  }
+  // Per-level F-polarity, alternating unless the level inherits.
+  bool flies = UniformInt(rng, 0, 1) == 1;
+  std::vector<bool> polarity(depth);
+  polarity[0] = flies;
+  for (int i = 1; i < depth; ++i) {
+    const bool keep = UniformReal(rng, 0.0, 1.0) < params.keep_polarity;
+    polarity[i] = keep ? polarity[i - 1] : !polarity[i - 1];
+  }
+  for (int i = 0; i < depth; ++i) {
+    conjuncts.push_back(logic::ApproxEq(
+        logic::CondProp(logic::P("F", x),
+                        logic::P("L" + std::to_string(i), x), {"x"}),
+        polarity[i] ? 1.0 : 0.0, 1));
+  }
+  conjuncts.push_back(logic::P("L0", k0));
+
+  out.kb = Formula::AndAll(conjuncts);
+  out.queries.push_back(logic::P("F", k0));
+  out.queries.push_back(logic::P("L" + std::to_string(depth - 1), k0));
+  out.expected_f = polarity[0] ? 1.0 : 0.0;
+  return out;
+}
+
+EvidenceKb RandomEvidenceKb(const EvidenceKbParams& params,
+                            std::mt19937* rng) {
+  EvidenceKb out;
+  const int m = std::max(params.num_sources, 2);
+  std::vector<FormulaPtr> conjuncts;
+  TermPtr x = logic::V("x");
+  TermPtr k0 = logic::C("K0");
+
+  for (int i = 0; i < m; ++i) {
+    double alpha;
+    if (UniformReal(rng, 0.0, 1.0) < params.extreme_fraction) {
+      alpha = UniformInt(rng, 0, 1) == 0 ? 0.0 : 1.0;
+    } else {
+      alpha = UniformReal(rng, 0.1, 0.9);
+    }
+    out.alphas.push_back(alpha);
+    FormulaPtr source = logic::P("E" + std::to_string(i), x);
+    conjuncts.push_back(logic::ApproxEq(
+        logic::CondProp(logic::P("T", x), source, {"x"}), alpha, i + 1));
+  }
+  for (int i = 0; i < m; ++i) {
+    conjuncts.push_back(logic::P("E" + std::to_string(i), k0));
+  }
+  // The load-bearing part of the Theorem 5.26 shape: every pair of
+  // reference classes is essentially disjoint.
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      conjuncts.push_back(logic::ExistsUnique(
+          "x", Formula::And(logic::P("E" + std::to_string(i), x),
+                            logic::P("E" + std::to_string(j), x))));
+    }
+  }
+  out.kb = Formula::AndAll(conjuncts);
+  out.query = logic::P("T", k0);
+  return out;
+}
+
+ReferenceClassKb RandomReferenceClassKb(std::mt19937* rng) {
+  ReferenceClassKb out;
+  std::vector<FormulaPtr> conjuncts;
+  TermPtr x = logic::V("x");
+  TermPtr k0 = logic::C("K0");
+
+  out.alpha0 = UniformReal(rng, 0.1, 0.45);
+  out.alpha1 = UniformReal(rng, 0.55, 0.9);
+  if (UniformInt(rng, 0, 1) == 0) std::swap(out.alpha0, out.alpha1);
+  conjuncts.push_back(logic::ApproxEq(
+      logic::CondProp(logic::P("T", x), logic::P("E0", x), {"x"}),
+      out.alpha0, 1));
+  conjuncts.push_back(logic::ApproxEq(
+      logic::CondProp(logic::P("T", x), logic::P("E1", x), {"x"}),
+      out.alpha1, 2));
+  conjuncts.push_back(logic::P("E0", k0));
+  conjuncts.push_back(logic::P("E1", k0));
+  out.has_specificity = UniformInt(rng, 0, 1) == 0;
+  if (out.has_specificity) {
+    conjuncts.push_back(Formula::ForAll(
+        "x", Formula::Implies(logic::P("E0", x), logic::P("E1", x))));
+  }
+  out.kb = Formula::AndAll(conjuncts);
+  out.query = logic::P("T", k0);
   return out;
 }
 

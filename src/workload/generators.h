@@ -106,6 +106,74 @@ ChainKb RandomChainKb(int depth, std::mt19937* rng);
 std::vector<defaults::Rule> RandomRuleSet(int num_vars, int num_rules,
                                           std::mt19937* rng);
 
+// ---- Defaults-with-exceptions scenarios (the penguin-chain family) ----
+//
+// Classes L0 ⊆ L1 ⊆ ... ⊆ L{depth-1} linked by hard defaults
+// ||L{i+1}(x) | L_i(x)||_x ≈_1 1, a flying-style property F whose polarity
+// defaults per level (exception levels flip it), and the membership fact
+// L0(K0).  Every conjunct stays inside the propositional-defaults fragment
+// (defaults/fragment.h), so the epsilon_semantics/klm/gmp90 strategies
+// apply; the profile sweep decides the same instances numerically, which
+// the differential `defaults` check exploits.
+struct ExceptionChainParams {
+  int depth = 3;  // number of levels (3 = the classic penguin triad)
+  // Probability that a level inherits the polarity below it instead of
+  // being an exception.  0 makes every level an exception (maximal
+  // alternation).
+  double keep_polarity = 0.25;
+};
+struct ExceptionChainKb {
+  logic::FormulaPtr kb;
+  // F(K0) (the interesting one) and L{depth-1}(K0) (chain transitivity).
+  std::vector<logic::FormulaPtr> queries;
+  // The specificity (maximum-entropy) answer for F(K0): the polarity of
+  // the most specific level.  p-entailment may abstain on deep
+  // alternations — this is the gmp90/profile value, not a p-entailment
+  // promise.
+  double expected_f = 0.0;
+};
+ExceptionChainKb RandomExceptionChainKb(const ExceptionChainParams& params,
+                                        std::mt19937* rng);
+
+// ---- Evidence-combination scenarios (Theorem 5.26) ----
+//
+// m independent mass functions over a shared frame: pairwise
+// essentially-disjoint reference classes E_i each reporting
+// ||T(x)|E_i(x)||_x ≈_{i+1} α_i, membership facts E_i(K0), the C(m,2)
+// ∃!x (E_i(x) ∧ E_j(x)) conjuncts, query T(K0).  The exact limit is
+// Dempster's rule over the α_i.
+struct EvidenceKbParams {
+  int num_sources = 2;  // m ≥ 2
+  // Probability that a statistic is extreme (α ∈ {0, 1}); two opposing
+  // extremes exercise the conflicting-hard-defaults edge.
+  double extreme_fraction = 0.1;
+};
+struct EvidenceKb {
+  logic::FormulaPtr kb;
+  logic::FormulaPtr query;  // T(K0)
+  std::vector<double> alphas;
+};
+EvidenceKb RandomEvidenceKb(const EvidenceKbParams& params,
+                            std::mt19937* rng);
+
+// ---- Competing-reference-class scenarios ----
+//
+// Two overlapping reference classes with conflicting statistics for the
+// same target — ||T(x)|E0(x)||_x ≈_1 α0, ||T(x)|E1(x)||_x ≈_2 α1, both
+// membership facts — and, half the time, the specificity conjunct
+// ∀x (E0(x) ⇒ E1(x)) that lets the symbolic strength rule prefer the
+// subset's statistic.  Deliberately *outside* the Theorem 5.26 shape (no
+// essential-disjointness conjuncts): exercises the evidence strategy's
+// rejection path and the planner's fallback to the numeric sweeps.
+struct ReferenceClassKb {
+  logic::FormulaPtr kb;
+  logic::FormulaPtr query;  // T(K0)
+  bool has_specificity = false;
+  double alpha0 = 0.0;
+  double alpha1 = 0.0;
+};
+ReferenceClassKb RandomReferenceClassKb(std::mt19937* rng);
+
 }  // namespace rwl::workload
 
 #endif  // RWL_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,138 @@
+// The calibrated-interval coverage check (testing/differential.h): the
+// EmpiricalCoverage scoring primitive, the flagging rule for deliberately
+// under-covering intervals, trimming arithmetic of the calibrated
+// strategy's own answers, and the end-to-end differential check against
+// ground-truth enumeration.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/inference.h"
+#include "src/core/knowledge_base.h"
+#include "src/engines/engine.h"
+#include "src/testing/differential.h"
+#include "src/testing/scenario.h"
+
+namespace rwl {
+namespace {
+
+engines::SeriesPoint Point(int n, double scale, double pr,
+                           bool defined = true) {
+  engines::SeriesPoint point;
+  point.domain_size = n;
+  point.tolerance_scale = scale;
+  point.probability = pr;
+  point.well_defined = defined;
+  return point;
+}
+
+TEST(CoverageCheckTest, EmpiricalCoverageCountsDefinedPointsOnly) {
+  std::vector<engines::SeriesPoint> series = {
+      Point(8, 1.0, 0.70),  Point(12, 1.0, 0.75),
+      Point(16, 1.0, 0.80), Point(8, 0.5, 0.85),
+      Point(12, 0.5, 0.20, /*defined=*/false),  // ignored
+  };
+  // [0.72, 0.82] covers 0.75 and 0.80 of the four defined points.
+  EXPECT_DOUBLE_EQ(testing::EmpiricalCoverage(series, 0.72, 0.82), 0.5);
+  // Inclusive at the endpoints (with the 1e-9 slack).
+  EXPECT_DOUBLE_EQ(testing::EmpiricalCoverage(series, 0.70, 0.85), 1.0);
+  EXPECT_DOUBLE_EQ(testing::EmpiricalCoverage(series, 0.9, 1.0), 0.0);
+}
+
+TEST(CoverageCheckTest, EmptyOrUndefinedSeriesCoversVacuously) {
+  EXPECT_DOUBLE_EQ(testing::EmpiricalCoverage({}, 0.4, 0.6), 1.0);
+  std::vector<engines::SeriesPoint> undefined = {
+      Point(8, 1.0, 0.1, /*defined=*/false),
+      Point(12, 1.0, 0.9, /*defined=*/false),
+  };
+  EXPECT_DOUBLE_EQ(testing::EmpiricalCoverage(undefined, 0.4, 0.6), 1.0);
+}
+
+TEST(CoverageCheckTest, UnderCoveringIntervalIsFlagged) {
+  // Ten ground-truth points; a deliberately narrow interval catches six.
+  // 0.6 < 0.9 - 0.05, so the differential check's rule must flag it,
+  // while the honest 10%-trimmed interval passes.
+  std::vector<engines::SeriesPoint> truth;
+  for (int i = 0; i < 10; ++i) {
+    truth.push_back(Point(8 + i, 1.0, 0.50 + 0.02 * i));
+  }
+  const double confidence = 0.9;
+  const double tolerance = 0.05;
+  const double required = confidence - tolerance;
+
+  const double narrow_coverage =
+      testing::EmpiricalCoverage(truth, 0.54, 0.64);
+  EXPECT_DOUBLE_EQ(narrow_coverage, 0.6);
+  EXPECT_LT(narrow_coverage, required) << "must be flagged";
+
+  // Trimming one point of ten (floor(10 · 0.1)) still clears the bar.
+  const double trimmed_coverage =
+      testing::EmpiricalCoverage(truth, 0.52, 0.68);
+  EXPECT_DOUBLE_EQ(trimmed_coverage, 0.9);
+  EXPECT_GE(trimmed_coverage, required);
+}
+
+TEST(CoverageCheckTest, CalibratedAnswerCoversItsOwnSweep) {
+  // The calibrated strategy trims at most floor(n·δ) well-defined points,
+  // so its self-coverage is ≥ 1 - δ by construction — a property the
+  // coverage check relies on when ground truth equals the sweep engine.
+  KnowledgeBase kb;
+  std::string error;
+  ASSERT_TRUE(kb.AddParsed("Jaun(Eric)\n"
+                           "#(Hep(x) ; Jaun(x))[x] ~= 0.8\n",
+                           &error))
+      << error;
+  InferenceOptions options;
+  options.tolerances = semantics::ToleranceVector::Uniform(0.1);
+  options.limit.domain_sizes = {8, 12, 16};
+  options.limit.tolerance_scales = {1.0, 0.5};
+  for (double confidence : {0.8, 0.9, 0.99}) {
+    options.interval_confidence = confidence;
+    Answer answer = DegreeOfBelief(kb, "Hep(Eric)", options);
+    ASSERT_EQ(answer.status, Answer::Status::kInterval) << confidence;
+    ASSERT_FALSE(answer.series.empty());
+    EXPECT_GE(
+        testing::EmpiricalCoverage(answer.series, answer.lo, answer.hi),
+        confidence - 1e-9)
+        << "confidence " << confidence;
+  }
+}
+
+TEST(CoverageCheckTest, DifferentialCoverageCheckPassesAgainstGroundTruth) {
+  testing::Scenario scenario;
+  std::string error;
+  ASSERT_TRUE(testing::ScenarioFromTexts(
+      "Jaun(Eric)\n#(Hep(x) ; Jaun(x))[x] ~= 0.8\n",
+      {"Hep(Eric)", "Hep(Eric) | Jaun(Eric)"}, &scenario, &error))
+      << error;
+  scenario.provenance = "coverage_check_test";
+
+  testing::DifferentialOptions options;
+  options.tolerances = semantics::ToleranceVector::Uniform(0.2);
+  options.domain_sizes.clear();
+  options.check_vm = false;
+  options.check_pipeline = false;
+  options.check_maxent = false;
+  options.check_batch = false;
+  options.check_service = false;
+  options.check_replica = false;
+  options.check_planner = false;
+  options.check_defaults = false;
+  options.check_evidence = false;
+  options.check_coverage = true;
+  options.coverage_confidence = 0.9;
+  options.coverage_tolerance = 0.05;
+  options.pipeline_domain_sizes = {4, 6, 8};
+  options.pipeline_tolerance_scales = {1.0, 0.5};
+
+  testing::DifferentialReport report =
+      testing::RunDifferential(scenario, options);
+  EXPECT_TRUE(report.ok()) << report.Summary(scenario);
+  EXPECT_GT(report.comparisons, 0)
+      << "the coverage check must actually compare something here";
+}
+
+}  // namespace
+}  // namespace rwl

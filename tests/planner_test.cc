@@ -328,6 +328,182 @@ TEST(PlannerTest, ExplainRenderingMentionsEveryStrategy) {
   EXPECT_NE(rendered.find("montecarlo"), std::string::npos);
 }
 
+// ---- defaults / evidence / calibrated strategies (PR 10) ----
+
+KnowledgeBase PenguinKb() {
+  KnowledgeBase kb;
+  std::string error;
+  EXPECT_TRUE(kb.AddParsed("#(Bird(x) ; Penguin(x))[x] ~= 1\n"
+                           "#(Fly(x) ; Bird(x))[x] ~= 1\n"
+                           "#(Fly(x) ; Penguin(x))[x] ~= 0\n"
+                           "Penguin(Opus)\n",
+                           &error))
+      << error;
+  return kb;
+}
+
+KnowledgeBase DempsterKb() {
+  KnowledgeBase kb;
+  std::string error;
+  EXPECT_TRUE(kb.AddParsed("#(Hep(x) ; Jaun(x))[x] ~=_1 0.8\n"
+                           "#(Hep(x) ; Pos(x))[x] ~=_2 0.75\n"
+                           "Jaun(Eric)\n"
+                           "Pos(Eric)\n"
+                           "exists! x. (Jaun(x) & Pos(x))\n",
+                           &error))
+      << error;
+  return kb;
+}
+
+TEST(PlannerTest, DefaultsFamilyInapplicableOutsideFragment) {
+  // The hepatitis KB's 0.8 statistic is soft — not a hard default — so
+  // every defaults-family capability must decline, and forcing any of
+  // them answers kUnknown with the skip recorded in the trace.  The
+  // evidence strategy needs two reference classes plus the ∃! overlap
+  // conjuncts, so it declines too.
+  KnowledgeBase kb = HepatitisKb();
+  InferenceOptions options = FastOptions();
+  logic::FormulaPtr query = logic::ParseFormula("Hep(Eric)").formula;
+  QueryContext ctx = MakeQueryContext(
+      kb, std::span<const logic::FormulaPtr>(&query, 1), options);
+  for (const char* name :
+       {"epsilon_semantics", "klm", "gmp90", "evidence"}) {
+    auto strategy = EngineRegistry::Default().Find(name);
+    ASSERT_NE(strategy, nullptr) << name;
+    engines::Capability cap = strategy->Assess(ctx, query, options);
+    EXPECT_FALSE(cap.applicable) << name << ": " << cap.reason;
+
+    InferenceOptions forced = options;
+    forced.force_engine = name;
+    Answer answer = DegreeOfBelief(kb, "Hep(Eric)", forced);
+    EXPECT_EQ(answer.status, Answer::Status::kUnknown) << name;
+    ASSERT_NE(answer.plan, nullptr) << name;
+    ASSERT_EQ(answer.plan->steps.size(), 1u) << name;
+    EXPECT_EQ(answer.plan->steps[0].action,
+              PlanStep::Action::kSkippedInapplicable)
+        << name;
+  }
+}
+
+TEST(PlannerTest, DefaultsFamilyAppliesToPenguinKb) {
+  // The penguin triad is inside the propositional-defaults fragment:
+  // every defaults capability accepts with a tiny predicted cost, and the
+  // three strategies agree on the classic answers — specificity beats the
+  // bird default (Fly(Opus) = 0) and the chain fires (Bird(Opus) = 1).
+  KnowledgeBase kb = PenguinKb();
+  InferenceOptions options = FastOptions();
+  logic::FormulaPtr query = logic::ParseFormula("Fly(Opus)").formula;
+  QueryContext ctx = MakeQueryContext(
+      kb, std::span<const logic::FormulaPtr>(&query, 1), options);
+  for (const char* name : {"epsilon_semantics", "klm", "gmp90"}) {
+    auto strategy = EngineRegistry::Default().Find(name);
+    ASSERT_NE(strategy, nullptr) << name;
+    engines::Capability cap = strategy->Assess(ctx, query, options);
+    EXPECT_TRUE(cap.applicable) << name << ": " << cap.reason;
+    engines::CostEstimate cost = strategy->EstimateCost(ctx, query, options);
+    EXPECT_GT(cost.work, 0.0) << name;
+    // Exponentially cheaper than any numeric sweep of this KB.
+    EXPECT_LT(cost.work, 1e5) << name;
+
+    InferenceOptions forced = options;
+    forced.force_engine = name;
+    Answer fly = DegreeOfBelief(kb, "Fly(Opus)", forced);
+    ASSERT_EQ(fly.status, Answer::Status::kPoint) << name;
+    EXPECT_EQ(fly.value, 0.0) << name;
+    EXPECT_TRUE(fly.converged) << name;
+    Answer bird = DegreeOfBelief(kb, "Bird(Opus)", forced);
+    ASSERT_EQ(bird.status, Answer::Status::kPoint) << name;
+    EXPECT_EQ(bird.value, 1.0) << name;
+  }
+  // use_defaults = false withdraws the whole family.
+  InferenceOptions disabled = options;
+  disabled.use_defaults = false;
+  QueryContext ctx2 = MakeQueryContext(
+      kb, std::span<const logic::FormulaPtr>(&query, 1), disabled);
+  for (const char* name : {"epsilon_semantics", "klm", "gmp90"}) {
+    auto strategy = EngineRegistry::Default().Find(name);
+    EXPECT_FALSE(strategy->Assess(ctx2, query, disabled).applicable) << name;
+  }
+}
+
+TEST(PlannerTest, EvidenceStrategyCombinesByDempstersRule) {
+  KnowledgeBase kb = DempsterKb();
+  InferenceOptions options = FastOptions();
+  options.force_engine = "evidence";
+  Answer forced = DegreeOfBelief(kb, "Hep(Eric)", options);
+  ASSERT_EQ(forced.status, Answer::Status::kPoint);
+  // 0.8·0.75 / (0.8·0.75 + 0.2·0.25) = 12/13.
+  EXPECT_NEAR(forced.value, 12.0 / 13.0, 1e-9);
+  EXPECT_NE(forced.method.find("dempster"), std::string::npos);
+  EXPECT_TRUE(forced.converged);
+
+  // The planner (symbolic first in fidelity order) lands on the same
+  // closed form.
+  options.force_engine.clear();
+  Answer planned = DegreeOfBelief(kb, "Hep(Eric)", options);
+  ASSERT_EQ(planned.status, Answer::Status::kPoint);
+  EXPECT_NEAR(planned.value, 12.0 / 13.0, 1e-9);
+}
+
+TEST(PlannerTest, CostModeCacheReplaysDefaultsPlanBitIdentically) {
+  // A cost-ordered plan over the penguin KB ranks the closed-form
+  // defaults strategies ahead of every numeric sweep; a plan-cache hit
+  // must replay the exact same strategy order and answer bit-identically.
+  KnowledgeBase kb = PenguinKb();
+  InferenceOptions options = FastOptions();
+  options.plan_mode = PlanMode::kMinCost;
+  options.use_symbolic = false;
+  logic::FormulaPtr query = logic::ParseFormula("Fly(Opus)").formula;
+  QueryContext ctx = MakeQueryContext(
+      kb, std::span<const logic::FormulaPtr>(&query, 1), options);
+
+  Answer cold = DegreeOfBelief(ctx, query, options);
+  Answer warm = DegreeOfBelief(ctx, query, options);
+  ASSERT_EQ(cold.status, Answer::Status::kPoint);
+  EXPECT_EQ(cold.value, 0.0);
+  EXPECT_NE(cold.method.find("p-entailment"), std::string::npos)
+      << cold.method;
+  ASSERT_NE(cold.plan, nullptr);
+  ASSERT_NE(warm.plan, nullptr);
+  EXPECT_FALSE(cold.plan->from_cache);
+  EXPECT_TRUE(warm.plan->from_cache);
+  EXPECT_TRUE(BitIdentical(cold, warm));
+  ASSERT_EQ(cold.plan->steps.size(), warm.plan->steps.size());
+  for (size_t i = 0; i < cold.plan->steps.size(); ++i) {
+    EXPECT_EQ(cold.plan->steps[i].strategy, warm.plan->steps[i].strategy)
+        << "strategy order diverged at step " << i;
+  }
+}
+
+TEST(PlannerTest, CalibratedIntervalAnswersWithCoveringInterval) {
+  KnowledgeBase kb = HepatitisKb();
+  InferenceOptions options = FastOptions();
+  options.interval_confidence = 0.9;
+  Answer answer = DegreeOfBelief(kb, "Hep(Eric)", options);
+  ASSERT_EQ(answer.status, Answer::Status::kInterval);
+  EXPECT_NE(answer.method.find("calibrated"), std::string::npos)
+      << answer.method;
+  EXPECT_LE(answer.lo, answer.hi);
+  EXPECT_GE(answer.lo, 0.0);
+  EXPECT_LE(answer.hi, 1.0);
+  // The true limit sits inside the calibrated interval here.
+  EXPECT_LE(answer.lo, 0.8 + 1e-9);
+  EXPECT_GE(answer.hi, 0.8 - 1e-9);
+  ASSERT_FALSE(answer.series.empty());
+  // Self-coverage of the sweep the interval was calibrated on.
+  EXPECT_GE(testing::EmpiricalCoverage(answer.series, answer.lo, answer.hi),
+            0.9 - 1e-9);
+  // The preemptive calibrated strategy owns the answer; the plan shows it.
+  const PlanStep* calibrated = FindStep(answer, "calibrated");
+  ASSERT_NE(calibrated, nullptr);
+  EXPECT_EQ(calibrated->action, PlanStep::Action::kRan);
+
+  // Without the request the strategy stays out of the way.
+  InferenceOptions plain = FastOptions();
+  Answer point = DegreeOfBelief(kb, "Hep(Eric)", plain);
+  EXPECT_EQ(point.status, Answer::Status::kPoint);
+}
+
 // Differential equivalence on generated workloads: the planner's answer
 // agrees with every forced applicable engine, the cost-ordered mode, and
 // plan-cache hits are bit-identical (testing/differential.cc check).

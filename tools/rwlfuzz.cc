@@ -17,12 +17,14 @@
 //
 // Options:
 //   --checks LIST    comma-separated subset of {finite,pipeline,maxent,
-//                    batch,vm,planner,service}; empty = profile defaults
+//                    batch,vm,planner,service,replica,defaults,evidence,
+//                    coverage}; empty = profile defaults
 //   --seed S         master seed (default 20260730); every case derives its
 //                    own RNG from (seed, case index), so any single case
 //                    reproduces from the pair alone
 //   --cases N        scenarios to generate (default 1000)
-//   --profile P      unary | defaults | chain | nonunary | mixed | all
+//   --profile P      unary | defaults | chain | nonunary | mixed |
+//                    exceptions | evidence | refclass | calibrated | all
 //   --mc-samples K   Monte-Carlo samples for non-unary oracles
 //                    (default 20000; 0 disables the MC engine)
 //   --out DIR        where reproducers are written (default tests/corpus)
@@ -68,10 +70,17 @@ struct Config {
   bool verbose = false;
   std::string replay_path;
   bool self_test = false;
-  // Comma-separated subset of {finite,pipeline,maxent,batch,vm,planner,
-  // service, replica}; empty = the per-profile defaults.
+  // Comma-separated subset of kCheckNames; empty = the per-profile
+  // defaults.
   std::string checks;
 };
+
+// The full check vocabulary — single-sourced so the validator and the
+// filter below cannot drift (a name the validator accepts but the filter
+// ignores would be a silent coverage loss).
+constexpr const char* kCheckNames[] = {
+    "finite", "pipeline", "maxent",   "batch",    "vm",      "planner",
+    "service", "replica", "defaults", "evidence", "coverage"};
 
 // Validates the --checks list; unknown names are a usage error (matching
 // the corpus format's strictness), not a silent coverage loss.
@@ -83,9 +92,9 @@ bool ValidCheckList(const std::string& checks) {
       token += checks[i];
       continue;
     }
-    if (token != "finite" && token != "pipeline" && token != "maxent" &&
-        token != "batch" && token != "vm" && token != "planner" &&
-        token != "service" && token != "replica") {
+    bool known = false;
+    for (const char* name : kCheckNames) known = known || token == name;
+    if (!known) {
       std::fprintf(stderr, "rwlfuzz: unknown check '%s'\n", token.c_str());
       return false;
     }
@@ -108,15 +117,26 @@ void ApplyCheckFilter(const std::string& checks,
   options->check_planner = options->check_planner && enabled("planner");
   options->check_service = options->check_service && enabled("service");
   options->check_replica = options->check_replica && enabled("replica");
+  options->check_defaults = options->check_defaults && enabled("defaults");
+  options->check_evidence = options->check_evidence && enabled("evidence");
+  // coverage defaults OFF (it pays a ground-truth enumeration sweep per
+  // query), so an explicit filter listing it turns it ON for every case —
+  // and, like the others, omitting it turns it off even for the calibrated
+  // profile.
+  options->check_coverage = enabled("coverage");
 }
 
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--seed S] [--cases N] [--profile P] [--mc-samples K]\n"
-      "          [--out DIR] [--max-failures K] [--no-shrink] [--no-emit]\n"
-      "          [--replay PATH] [--self-test] [--verbose]\n"
-      "profiles: unary defaults chain nonunary mixed all\n",
+      "          [--checks LIST] [--out DIR] [--max-failures K]\n"
+      "          [--no-shrink] [--no-emit] [--replay PATH] [--self-test]\n"
+      "          [--verbose]\n"
+      "profiles: unary defaults chain nonunary mixed exceptions evidence\n"
+      "          refclass calibrated all\n"
+      "checks:   finite pipeline maxent batch vm planner service replica\n"
+      "          defaults evidence coverage\n",
       argv0);
   return 2;
 }
@@ -254,6 +274,88 @@ GeneratedCase GenerateNonUnary(std::mt19937* rng, bool mixed,
   return generated;
 }
 
+// Penguin-style exception chains: the defaults family applies, so the
+// `defaults` differential check is the point of this profile.
+GeneratedCase GenerateExceptions(std::mt19937* rng, const Config& config) {
+  rwl::workload::ExceptionChainParams params;
+  params.depth = UniformInt(rng, 2, 4);
+  rwl::workload::ExceptionChainKb chain =
+      rwl::workload::RandomExceptionChainKb(params, rng);
+
+  GeneratedCase generated;
+  generated.scenario.kb = chain.kb;
+  generated.scenario.queries = chain.queries;
+  rwl::logic::RegisterSymbols(chain.kb, &generated.scenario.vocabulary);
+  for (const auto& query : chain.queries) {
+    rwl::logic::RegisterSymbols(query, &generated.scenario.vocabulary);
+  }
+  generated.options.tolerances =
+      rwl::semantics::ToleranceVector::Uniform(0.15);
+  generated.options.domain_sizes = {2, 3};
+  // depth+1 unary predicates: keep the limit-level sweeps shallow like the
+  // other wide vocabularies.
+  generated.options.pipeline_domain_sizes = {6, 9, 12};
+  (void)config;
+  return generated;
+}
+
+// Theorem 5.26 instances: multiple independent mass functions over a
+// shared frame, with the essential-disjointness conjuncts emitted.  The
+// `evidence` differential check pits the evidence strategy against the
+// symbolic engine's independent Dempster matcher.
+GeneratedCase GenerateEvidence(std::mt19937* rng, const Config& config) {
+  rwl::workload::EvidenceKbParams params;
+  params.num_sources = UniformInt(rng, 2, 3);
+  rwl::workload::EvidenceKb kb = rwl::workload::RandomEvidenceKb(params, rng);
+
+  GeneratedCase generated;
+  generated.scenario.kb = kb.kb;
+  generated.scenario.queries = {kb.query};
+  rwl::logic::RegisterSymbols(kb.kb, &generated.scenario.vocabulary);
+  rwl::logic::RegisterSymbols(kb.query, &generated.scenario.vocabulary);
+  generated.options.tolerances =
+      rwl::semantics::ToleranceVector::Uniform(0.15);
+  generated.options.domain_sizes = {2, 3};
+  generated.options.pipeline_domain_sizes = {6, 9, 12};
+  (void)config;
+  return generated;
+}
+
+// Competing reference classes WITHOUT the disjointness conjuncts —
+// deliberately outside the Theorem 5.26 shape, exercising the evidence
+// strategy's rejection path and the planner's fallback routing.
+GeneratedCase GenerateRefClass(std::mt19937* rng, const Config& config) {
+  rwl::workload::ReferenceClassKb kb =
+      rwl::workload::RandomReferenceClassKb(rng);
+
+  GeneratedCase generated;
+  generated.scenario.kb = kb.kb;
+  generated.scenario.queries = {kb.query};
+  rwl::logic::RegisterSymbols(kb.kb, &generated.scenario.vocabulary);
+  rwl::logic::RegisterSymbols(kb.query, &generated.scenario.vocabulary);
+  generated.options.tolerances =
+      rwl::semantics::ToleranceVector::Uniform(0.2);
+  generated.options.domain_sizes = {2, 3, 4};
+  (void)config;
+  return generated;
+}
+
+// Calibrated-interval scenarios: ordinary unary KBs answered at a
+// confidence level, with the coverage check verifying the interval
+// against ground-truth enumeration over the same schedule.
+GeneratedCase GenerateCalibrated(std::mt19937* rng, const Config& config) {
+  GeneratedCase generated =
+      GenerateUnary(rng, /*defaults_heavy=*/false, config);
+  generated.options.check_coverage = true;
+  // 0.80, 0.85, 0.90 or 0.95.
+  generated.options.coverage_confidence =
+      0.80 + 0.05 * UniformInt(rng, 0, 3);
+  // The ground-truth side replays the schedule on the enumeration engine:
+  // keep it within the exact odometer's reach.
+  generated.options.pipeline_domain_sizes = {4, 6, 8};
+  return generated;
+}
+
 GeneratedCase GenerateCase(const std::string& profile, uint64_t seed,
                            int index, const Config& config,
                            std::string* chosen_profile) {
@@ -261,7 +363,8 @@ GeneratedCase GenerateCase(const std::string& profile, uint64_t seed,
       rwl::logic::HashMix(seed * 0x9e3779b97f4a7c15ull + index)));
   std::vector<std::string> pool;
   if (profile == "all") {
-    pool = {"unary", "defaults", "chain", "nonunary", "mixed"};
+    pool = {"unary",      "defaults", "chain",    "nonunary", "mixed",
+            "exceptions", "evidence", "refclass", "calibrated"};
   } else {
     pool = {profile};
   }
@@ -276,6 +379,14 @@ GeneratedCase GenerateCase(const std::string& profile, uint64_t seed,
     generated = GenerateChain(&rng, config);
   } else if (*chosen_profile == "nonunary") {
     generated = GenerateNonUnary(&rng, /*mixed=*/false, config);
+  } else if (*chosen_profile == "exceptions") {
+    generated = GenerateExceptions(&rng, config);
+  } else if (*chosen_profile == "evidence") {
+    generated = GenerateEvidence(&rng, config);
+  } else if (*chosen_profile == "refclass") {
+    generated = GenerateRefClass(&rng, config);
+  } else if (*chosen_profile == "calibrated") {
+    generated = GenerateCalibrated(&rng, config);
   } else {
     generated = GenerateNonUnary(&rng, /*mixed=*/true, config);
   }
@@ -537,8 +648,10 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  const std::string known[] = {"unary", "defaults", "chain",
-                               "nonunary", "mixed", "all"};
+  const std::string known[] = {"unary",      "defaults", "chain",
+                               "nonunary",   "mixed",    "exceptions",
+                               "evidence",   "refclass", "calibrated",
+                               "all"};
   bool known_profile = false;
   for (const auto& p : known) known_profile = known_profile || p == config.profile;
   if (!known_profile) return Usage(argv[0]);

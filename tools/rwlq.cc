@@ -25,8 +25,12 @@
 //                    assessed/tried, predicted vs observed costs, skips);
 //                    with --json, adds a "plan" object per query
 //   --engine NAME    force a single strategy, bypassing the planner
-//                    (fixed-n, symbolic, profile, maxent, exact,
-//                    montecarlo)
+//                    (fixed-n, calibrated, symbolic, profile,
+//                    epsilon_semantics, klm, gmp90, evidence, maxent,
+//                    exact, montecarlo)
+//   --interval CONF  calibrated-interval mode: report an order-statistic
+//                    interval that covers a 1-CONF-trimmed share of the
+//                    sweep series (confidence in (0,1); 0 disables)
 //   --list-engines   print each engine's name, result class and
 //                    capability on the loaded KB, then exit
 //   --plan MODE      candidate order: fidelity (paper preference, the
@@ -63,6 +67,7 @@ int Usage(const char* argv0) {
                "options: --nmax N  --tol T  --no-symbolic  --series\n"
                "         --json  --fixed-n N  --threads N  --no-cache\n"
                "         --rate-exit  --explain  --engine NAME\n"
+               "         --interval CONF\n"
                "         --list-engines  --plan fidelity|cost\n"
                "         --deadline-ms D  --budget W  --montecarlo\n",
                argv0);
@@ -216,6 +221,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--engine") {
       if (++i >= argc) return Usage(argv[0]);
       options.force_engine = argv[i];
+    } else if (arg == "--interval") {
+      if (++i >= argc) return Usage(argv[0]);
+      double conf = std::atof(argv[i]);
+      if (!(conf > 0.0 && conf < 1.0)) {
+        std::fprintf(stderr, "rwlq: --interval wants a confidence in (0,1)\n");
+        return 2;
+      }
+      options.interval_confidence = conf;
     } else if (arg == "--list-engines") {
       list_engines = true;
     } else if (arg == "--plan") {
